@@ -1,0 +1,151 @@
+//! End-to-end time to regenerate each paper artefact at class S (the
+//! structure-preserving scaled-down class): one bench per table/figure,
+//! covering workload simulation, stream extraction, and — for the
+//! figures — prediction/evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpp_core::dpd::DpdConfig;
+use mpp_core::eval::evaluate_stream;
+use mpp_core::predictors::PredictorKind;
+use mpp_experiments::{accuracy_row, Level, Target, TracedRun};
+use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+use mpp_runtime::{simulate_buffers, BufferPolicy};
+
+fn small_configs() -> Vec<BenchmarkConfig> {
+    vec![
+        BenchmarkConfig::new(BenchId::Bt, 4, Class::S),
+        BenchmarkConfig::new(BenchId::Cg, 4, Class::S),
+        BenchmarkConfig::new(BenchId::Lu, 4, Class::S),
+        BenchmarkConfig::new(BenchId::Is, 4, Class::S),
+        BenchmarkConfig::new(BenchId::Sweep3d, 4, Class::S),
+    ]
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_census_classS", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for cfg in small_configs() {
+                let run = TracedRun::execute(cfg, 1);
+                total += run.census.p2p_msgs + run.census.coll_msgs;
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_fig1_period_detection(c: &mut Criterion) {
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::S), 1);
+    let stream = run.stream(Level::Physical, Target::Sender).to_vec();
+    c.bench_function("fig1_period_detection", |b| {
+        b.iter(|| {
+            let mut det = mpp_core::dpd::PeriodicityDetector::new(DpdConfig {
+                window: 128,
+                max_lag: 64,
+                tolerance: 0.2,
+                ..DpdConfig::default()
+            });
+            for &v in &stream {
+                det.observe(v);
+            }
+            black_box(det.period())
+        });
+    });
+}
+
+fn bench_fig2_stream_extraction(c: &mut Criterion) {
+    c.bench_function("fig2_logical_vs_physical", |b| {
+        b.iter(|| {
+            let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 4, Class::S), 1);
+            let diffs = run
+                .logical
+                .senders
+                .iter()
+                .zip(&run.physical.senders)
+                .filter(|(a, b)| a != b)
+                .count();
+            black_box(diffs)
+        });
+    });
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_accuracy_sweep");
+    for (name, level) in [("fig3_logical", Level::Logical), ("fig4_physical", Level::Physical)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for cfg in small_configs() {
+                    let run = TracedRun::execute(cfg, 1);
+                    let row = accuracy_row(&run, level, Target::Sender);
+                    acc += row.at(1).unwrap_or(0.0);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scalability_policies(c: &mut Criterion) {
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::S), 1);
+    let stream: Vec<(u64, u64)> = run
+        .physical
+        .senders
+        .iter()
+        .zip(&run.physical.sizes)
+        .map(|(&s, &b)| (s, b))
+        .collect();
+    c.bench_function("scalability_buffer_policy", |b| {
+        b.iter(|| {
+            let out = simulate_buffers(
+                BufferPolicy::Predictive { depth: 5 },
+                &stream,
+                9,
+                16 * 1024,
+                &DpdConfig::default(),
+            );
+            black_box(out.hit_rate())
+        });
+    });
+}
+
+fn bench_ablation_roster(c: &mut Criterion) {
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::S), 1);
+    let stream = run.stream(Level::Logical, Target::Sender).to_vec();
+    let cfg = DpdConfig {
+        window: 128,
+        max_lag: 64,
+        ..DpdConfig::default()
+    };
+    c.bench_function("ablation_roster_classS", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for kind in PredictorKind::ALL {
+                let tracker = evaluate_stream(kind.build(&cfg), &stream, 5);
+                acc += tracker.mean_accuracy().unwrap_or(0.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+/// Short sampling profile so the full suite stays minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_table1,
+    bench_fig1_period_detection,
+    bench_fig2_stream_extraction,
+    bench_fig3_fig4,
+    bench_scalability_policies,
+    bench_ablation_roster
+);
+criterion_main!(benches);

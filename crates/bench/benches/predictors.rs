@@ -1,0 +1,52 @@
+//! Throughput comparison of the whole predictor roster (§4.2 / §6: DPD
+//! vs next-value heuristics vs Markov models) on a BT-like periodic
+//! stream with mild physical noise.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpp_core::dpd::DpdConfig;
+use mpp_core::predictors::PredictorKind;
+use mpp_nasbench::synthetic::periodic_with_swaps;
+
+fn bench_roster(c: &mut Criterion) {
+    let pattern = [5u64, 4, 0, 6, 2, 7, 5, 5, 4, 4, 0, 0, 6, 6, 2, 2, 7, 7];
+    let stream = periodic_with_swaps(&pattern, 10_000, 0.05, 7).values;
+    let cfg = DpdConfig {
+        window: 512,
+        max_lag: 256,
+        tolerance: 0.2,
+        ..DpdConfig::default()
+    };
+
+    let mut g = c.benchmark_group("predictor_observe_predict");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in PredictorKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut p = kind.build(&cfg);
+                let mut acc = 0u64;
+                for &v in &stream {
+                    p.observe(v);
+                    if let Some(x) = p.predict(1) {
+                        acc = acc.wrapping_add(x);
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Short sampling profile so the full suite stays minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_roster);
+criterion_main!(benches);

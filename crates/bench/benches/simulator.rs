@@ -1,0 +1,86 @@
+//! Throughput of the MPI-simulator substrate: point-to-point message
+//! rate and collective-operation rate, including trace capture.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpp_mpisim::net::JitterNetwork;
+use mpp_mpisim::{Comm, ReduceOp, World, WorldConfig};
+
+fn bench_ring(c: &mut Criterion) {
+    const ROUNDS: usize = 200;
+    let mut g = c.benchmark_group("simulator_ring");
+    for procs in [4usize, 16] {
+        g.throughput(Throughput::Elements((ROUNDS * procs) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter(|| {
+                let cfg = WorldConfig::new(procs).seed(1);
+                let net = JitterNetwork::from_config(&cfg);
+                let trace = World::new(cfg, net).run(&|cm: &mut Comm| {
+                    let next = (cm.rank() + 1) % cm.size();
+                    let prev = (cm.rank() + cm.size() - 1) % cm.size();
+                    for r in 0..ROUNDS as u64 {
+                        cm.send(next, 1, 1024, r);
+                        cm.recv(prev, 1);
+                    }
+                });
+                black_box(trace.total_receives())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    const ROUNDS: usize = 50;
+    let mut g = c.benchmark_group("simulator_collectives");
+    for procs in [8usize, 32] {
+        g.throughput(Throughput::Elements((ROUNDS * procs) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter(|| {
+                let cfg = WorldConfig::new(procs).seed(2);
+                let net = JitterNetwork::from_config(&cfg);
+                let trace = World::new(cfg, net).run(&|cm: &mut Comm| {
+                    for r in 0..ROUNDS as u64 {
+                        cm.allreduce(64, r, ReduceOp::Sum);
+                    }
+                });
+                black_box(trace.total_receives())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    const ROUNDS: usize = 30;
+    let procs = 16;
+    let mut g = c.benchmark_group("simulator_alltoall");
+    g.throughput(Throughput::Elements((ROUNDS * procs * procs) as u64));
+    g.bench_function("16_ranks", |b| {
+        b.iter(|| {
+            let cfg = WorldConfig::new(procs).seed(3);
+            let net = JitterNetwork::from_config(&cfg);
+            let trace = World::new(cfg, net).run(&|cm: &mut Comm| {
+                let vals: Vec<u64> = (0..cm.size() as u64).collect();
+                for _ in 0..ROUNDS {
+                    cm.alltoall(512, &vals);
+                }
+            });
+            black_box(trace.total_receives())
+        });
+    });
+    g.finish();
+}
+
+/// Short sampling profile so the full suite stays minutes, not hours.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_ring, bench_collectives, bench_alltoall);
+criterion_main!(benches);

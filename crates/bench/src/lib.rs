@@ -1,0 +1,7 @@
+//! Criterion benchmark crate — see `benches/` for the harnesses.
+//!
+//! * `dpd_overhead` — per-observation cost of the detector/predictor, the
+//!   §4.2 "small overhead" claim.
+//! * `predictors` — throughput comparison of the whole predictor roster.
+//! * `simulator` — message throughput of the MPI substrate.
+//! * `figures` — time to regenerate each paper table/figure end to end.

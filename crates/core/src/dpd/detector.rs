@@ -1,0 +1,550 @@
+//! Incremental sliding-window periodicity detection.
+//!
+//! [`PeriodicityDetector`] maintains, for every candidate lag `m`, the
+//! exact number of mismatching comparisons among the last `N` comparisons
+//! at that lag. Each observation costs O(`max_lag`): one comparison and one
+//! bit-window push per lag. This is the "circular lists" implementation
+//! whose low overhead §4.2 emphasises (benchmarked in `mpp-bench`).
+//!
+//! Detection policy: a lag `m` is *eligible* when it has accumulated at
+//! least `max(⌈m·evidence_factor⌉, min_comparisons)` comparisons ("a
+//! sample of the pattern has to be seen by the predictor for learning",
+//! §5.1) and its windowed mismatch ratio is within `tolerance`. With
+//! `tolerance = 0` this is exactly the paper's `d(m) = 0` criterion. A
+//! positive tolerance lets the detector hold on to a period on *physical*
+//! streams where isolated arrival reorderings would otherwise poison the
+//! whole window.
+//!
+//! Among eligible lags the detector reports the one with the cleanest
+//! window (minimal mismatch ratio), ties broken toward the smaller lag —
+//! so exact periodicity always wins over incidental short-range
+//! repetition, and the fundamental period wins over its multiples.
+
+use super::distance::BitWindow;
+use crate::ring::Ring;
+use crate::stream::Symbol;
+
+/// Tuning knobs for the detector.
+#[derive(Debug, Clone)]
+pub struct DpdConfig {
+    /// `N`: number of recent comparisons (per lag) forming the window of
+    /// equation (1).
+    pub window: usize,
+    /// `M`: largest candidate period, exclusive upper bound is `max_lag + 1`.
+    pub max_lag: usize,
+    /// Smallest candidate period (usually 1).
+    pub min_lag: usize,
+    /// Fraction of mismatching comparisons tolerated within the window
+    /// before a lag stops counting as periodic. `0.0` reproduces the exact
+    /// sign metric of the paper.
+    pub tolerance: f64,
+    /// Floor on the number of comparisons a lag needs before it may be
+    /// declared periodic.
+    pub min_comparisons: usize,
+    /// How much evidence a lag needs relative to its own length: lag `m`
+    /// requires `max(min_comparisons, ⌈m · evidence_factor⌉)` comparisons
+    /// before it may be declared periodic. `1.0` (the default) means one
+    /// full extra period must be verified — the conservative choice.
+    /// Smaller values lock faster at the cost of occasional premature
+    /// locks; the paper's warm-up behaviour (IS.4 at ≈ 80 % *because* the
+    /// stream is short, everything else ≈ 100 %) corresponds to a small
+    /// factor.
+    pub evidence_factor: f64,
+}
+
+impl Default for DpdConfig {
+    fn default() -> Self {
+        DpdConfig {
+            window: 256,
+            max_lag: 128,
+            min_lag: 1,
+            tolerance: 0.0,
+            min_comparisons: 2,
+            evidence_factor: 1.0,
+        }
+    }
+}
+
+impl DpdConfig {
+    /// Validates invariants, panicking with a descriptive message on
+    /// nonsensical configurations. Called by the detector constructor.
+    fn validate(&self) {
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.max_lag > 0, "max_lag must be positive");
+        assert!(self.min_lag > 0, "min_lag must be positive (period 0 is meaningless)");
+        assert!(
+            self.min_lag <= self.max_lag,
+            "min_lag ({}) must not exceed max_lag ({})",
+            self.min_lag,
+            self.max_lag
+        );
+        assert!(
+            (0.0..1.0).contains(&self.tolerance),
+            "tolerance must be in [0, 1), got {}",
+            self.tolerance
+        );
+        assert!(
+            self.evidence_factor > 0.0,
+            "evidence_factor must be positive, got {}",
+            self.evidence_factor
+        );
+    }
+}
+
+/// Per-lag sliding state: the last `window` comparison outcomes and the
+/// running mismatch count among them.
+#[derive(Debug, Clone)]
+struct LagState {
+    bits: BitWindow,
+    mismatches: u32,
+}
+
+impl LagState {
+    fn new(window: usize) -> Self {
+        LagState {
+            bits: BitWindow::with_capacity(window),
+            mismatches: 0,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, mismatch: bool) {
+        if let Some(evicted) = self.bits.push(mismatch) {
+            if evicted {
+                self.mismatches -= 1;
+            }
+        }
+        if mismatch {
+            self.mismatches += 1;
+        }
+    }
+
+    #[inline]
+    fn comparisons(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Online periodicity detector over a symbol stream.
+#[derive(Debug, Clone)]
+pub struct PeriodicityDetector {
+    cfg: DpdConfig,
+    /// Recent raw symbols; sized `window + max_lag` so both comparison
+    /// partners and prediction sources stay addressable.
+    history: Ring,
+    /// `lags[i]` tracks lag `min_lag + i`.
+    lags: Vec<LagState>,
+    current: Option<usize>,
+    observations: u64,
+}
+
+impl PeriodicityDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(cfg: DpdConfig) -> Self {
+        cfg.validate();
+        let lags = (cfg.min_lag..=cfg.max_lag)
+            .map(|_| LagState::new(cfg.window))
+            .collect();
+        PeriodicityDetector {
+            history: Ring::with_capacity(cfg.window + cfg.max_lag),
+            lags,
+            current: None,
+            cfg,
+            observations: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DpdConfig {
+        &self.cfg
+    }
+
+    /// Total number of observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The stored symbol history (newest last), for prediction and debug.
+    pub fn history(&self) -> &Ring {
+        &self.history
+    }
+
+    /// Feeds one stream symbol and updates the detected period.
+    pub fn observe(&mut self, v: Symbol) {
+        for i in 0..self.lags.len() {
+            let m = self.cfg.min_lag + i;
+            // x[t-m] relative to the incoming sample: m-1 steps back from
+            // the newest stored symbol (v is not yet pushed).
+            if let Some(prev) = self.history.recent(m - 1) {
+                self.lags[i].record(prev != v);
+            }
+        }
+        self.history.push(v);
+        self.observations += 1;
+        self.update_current();
+    }
+
+    /// The detected period, if the stream is currently periodic.
+    pub fn period(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// Equation (1) for lag `m` over the current window: `Some(0)` when all
+    /// windowed comparisons at that lag match, `Some(1)` otherwise. `None`
+    /// when `m` is outside the configured lag range.
+    pub fn distance(&self, m: usize) -> Option<u8> {
+        let st = self.lag_state(m)?;
+        Some(u8::from(st.mismatches > 0))
+    }
+
+    /// Fraction of mismatching comparisons in the window at lag `m`;
+    /// `None` outside the lag range or before any comparison happened.
+    pub fn mismatch_ratio(&self, m: usize) -> Option<f64> {
+        let st = self.lag_state(m)?;
+        if st.comparisons() == 0 {
+            return None;
+        }
+        Some(st.mismatches as f64 / st.comparisons() as f64)
+    }
+
+    /// Confidence in the current lock: `1 − mismatch ratio` of the locked
+    /// lag's window, `None` while no period is locked. On clean streams
+    /// this is 1.0; on physical streams it approximates the expected
+    /// copy-prediction accuracy, so runtime policies can weigh how much
+    /// memory to bet on a forecast (§2.1's "allocate only what is really
+    /// needed").
+    pub fn confidence(&self) -> Option<f64> {
+        let p = self.current?;
+        self.mismatch_ratio(p).map(|r| 1.0 - r)
+    }
+
+    /// Resets all stream state, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        for lag in &mut self.lags {
+            lag.bits.clear();
+            lag.mismatches = 0;
+        }
+        self.current = None;
+        self.observations = 0;
+    }
+
+    fn lag_state(&self, m: usize) -> Option<&LagState> {
+        if m < self.cfg.min_lag || m > self.cfg.max_lag {
+            return None;
+        }
+        Some(&self.lags[m - self.cfg.min_lag])
+    }
+
+    fn eligible(&self, m: usize) -> bool {
+        let st = match self.lag_state(m) {
+            Some(st) => st,
+            None => return false,
+        };
+        let n = st.comparisons();
+        let need = ((m as f64 * self.cfg.evidence_factor).ceil() as usize)
+            .max(self.cfg.min_comparisons);
+        if n < need {
+            return false;
+        }
+        st.mismatches as f64 <= self.cfg.tolerance * n as f64
+    }
+
+    /// Chooses the eligible lag with the cleanest window — minimal
+    /// mismatch ratio, ties broken toward the smallest lag. Exact ties at
+    /// ratio 0 therefore resolve to the fundamental period rather than a
+    /// multiple, and a long constant *run* inside a larger pattern (ratio
+    /// slightly above 0 at lag 1 because of run boundaries in the window)
+    /// does not steal the lock from the true period (ratio exactly 0).
+    fn update_current(&mut self) {
+        let mut best: Option<(f64, usize)> = None;
+        for m in self.cfg.min_lag..=self.cfg.max_lag {
+            if !self.eligible(m) {
+                continue;
+            }
+            let st = self.lag_state(m).expect("lag in range");
+            let ratio = st.mismatches as f64 / st.comparisons() as f64;
+            match best {
+                Some((r, _)) if r <= ratio => {}
+                _ => best = Some((ratio, m)),
+            }
+            if ratio == 0.0 {
+                // Nothing can beat a clean window at a smaller lag.
+                break;
+            }
+        }
+        self.current = best.map(|(_, m)| m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_cycles(det: &mut PeriodicityDetector, pattern: &[Symbol], cycles: usize) {
+        for _ in 0..cycles {
+            for &v in pattern {
+                det.observe(v);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_simple_period() {
+        let mut det = PeriodicityDetector::new(DpdConfig::default());
+        feed_cycles(&mut det, &[3, 1, 4, 1, 5], 10);
+        assert_eq!(det.period(), Some(5));
+        assert_eq!(det.distance(5), Some(0));
+        assert_eq!(det.distance(4), Some(1));
+        assert_eq!(det.mismatch_ratio(5), Some(0.0));
+    }
+
+    #[test]
+    fn reports_fundamental_not_multiple() {
+        let mut det = PeriodicityDetector::new(DpdConfig::default());
+        feed_cycles(&mut det, &[7, 8, 7, 8, 7, 8], 10); // period 2, fed in 6-blocks
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn constant_stream_is_period_one() {
+        let mut det = PeriodicityDetector::new(DpdConfig::default());
+        for _ in 0..10 {
+            det.observe(42);
+        }
+        assert_eq!(det.period(), Some(1));
+    }
+
+    #[test]
+    fn aperiodic_stream_stays_undetected() {
+        let cfg = DpdConfig {
+            max_lag: 16,
+            window: 64,
+            ..DpdConfig::default()
+        };
+        let mut det = PeriodicityDetector::new(cfg);
+        // Strictly increasing stream: no lag can ever match.
+        for v in 0..200u64 {
+            det.observe(v);
+        }
+        assert_eq!(det.period(), None);
+        assert_eq!(det.distance(1), Some(1));
+    }
+
+    #[test]
+    fn needs_full_extra_period_before_locking() {
+        let mut det = PeriodicityDetector::new(DpdConfig::default());
+        // One instance of the pattern: not enough evidence for lag 4.
+        for &v in &[1u64, 2, 3, 4] {
+            det.observe(v);
+        }
+        assert_eq!(det.period(), None);
+        // Second instance: after 4 more matching comparisons lag 4 locks.
+        for &v in &[1u64, 2, 3, 4] {
+            det.observe(v);
+        }
+        assert_eq!(det.period(), Some(4));
+    }
+
+    #[test]
+    fn exact_mode_drops_period_on_corruption() {
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            window: 32,
+            max_lag: 8,
+            ..DpdConfig::default()
+        });
+        feed_cycles(&mut det, &[1, 2], 20);
+        assert_eq!(det.period(), Some(2));
+        det.observe(99); // corruption
+        assert_eq!(det.period(), None, "exact mode must drop the period");
+        // After the corruption slides out of all lag windows, it re-locks.
+        feed_cycles(&mut det, &[2, 1], 20);
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn tolerant_mode_holds_period_through_noise() {
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            window: 64,
+            max_lag: 8,
+            tolerance: 0.15,
+            ..DpdConfig::default()
+        });
+        feed_cycles(&mut det, &[1, 2, 3, 4], 20);
+        assert_eq!(det.period(), Some(4));
+        det.observe(99); // isolated corruption
+        assert_eq!(
+            det.period(),
+            Some(4),
+            "tolerant mode should hold the period through one bad sample"
+        );
+    }
+
+    #[test]
+    fn phase_change_relearns() {
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            window: 16,
+            max_lag: 8,
+            ..DpdConfig::default()
+        });
+        feed_cycles(&mut det, &[1, 2, 3], 10);
+        assert_eq!(det.period(), Some(3));
+        // Switch to a different period; after the window flushes the
+        // detector follows.
+        feed_cycles(&mut det, &[5, 6], 20);
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn min_lag_excludes_small_periods() {
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            min_lag: 2,
+            ..DpdConfig::default()
+        });
+        for _ in 0..20 {
+            det.observe(5);
+        }
+        // Period 1 is outside the candidate range; period 2 also fits a
+        // constant stream and is the smallest candidate.
+        assert_eq!(det.period(), Some(2));
+        assert_eq!(det.distance(1), None);
+        assert_eq!(det.mismatch_ratio(1), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut det = PeriodicityDetector::new(DpdConfig::default());
+        feed_cycles(&mut det, &[1, 2], 10);
+        assert!(det.period().is_some());
+        det.reset();
+        assert_eq!(det.period(), None);
+        assert_eq!(det.observations(), 0);
+        assert!(det.history().is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_offline_profile() {
+        use crate::dpd::distance::mismatch_profile;
+        // Pseudo-random-ish but deterministic stream with embedded period.
+        let mut stream = Vec::new();
+        for i in 0..300u64 {
+            stream.push(if i % 17 == 0 { 9 } else { i % 6 });
+        }
+        let cfg = DpdConfig {
+            window: 64,
+            max_lag: 32,
+            ..DpdConfig::default()
+        };
+        let mut det = PeriodicityDetector::new(cfg.clone());
+        for &v in &stream {
+            det.observe(v);
+        }
+        // Offline: for each lag, the last `window` comparisons are those at
+        // positions i in (len-window..len) — reconstruct and compare.
+        for m in 1..=cfg.max_lag {
+            let len = stream.len();
+            let lo = len.saturating_sub(cfg.window).max(m);
+            let mismatches = (lo..len).filter(|&i| stream[i] != stream[i - m]).count();
+            let ratio = mismatches as f64 / (len - lo) as f64;
+            let got = det.mismatch_ratio(m).unwrap();
+            assert!(
+                (got - ratio).abs() < 1e-12,
+                "lag {m}: incremental {got} vs offline {ratio}"
+            );
+        }
+        // And the sign metric agrees with the documented offline function on
+        // the trailing window of raw symbols.
+        let tail = &stream[stream.len() - cfg.window..];
+        let prof = mismatch_profile(tail, 8);
+        for m in 1..=8 {
+            let offline_sign = u8::from(prof[m - 1].0 > 0);
+            // Signs can differ only because the incremental window covers
+            // `window` comparisons, not `window - m`; allow offline 0 →
+            // incremental 0-or-1 but never offline 1 → incremental 0.
+            if offline_sign == 1 {
+                assert_eq!(det.distance(m), Some(1), "lag {m}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_lag")]
+    fn invalid_config_panics() {
+        let _ = PeriodicityDetector::new(DpdConfig {
+            min_lag: 10,
+            max_lag: 5,
+            ..DpdConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "evidence_factor")]
+    fn zero_evidence_factor_panics() {
+        let _ = PeriodicityDetector::new(DpdConfig {
+            evidence_factor: 0.0,
+            ..DpdConfig::default()
+        });
+    }
+
+    #[test]
+    fn confidence_tracks_window_cleanliness() {
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            window: 32,
+            max_lag: 8,
+            tolerance: 0.3,
+            ..DpdConfig::default()
+        });
+        assert_eq!(det.confidence(), None, "no lock, no confidence");
+        feed_cycles(&mut det, &[1, 2, 3, 4], 12);
+        assert_eq!(det.confidence(), Some(1.0), "clean stream");
+        det.observe(99);
+        det.observe(1);
+        det.observe(2);
+        let c = det.confidence().expect("tolerant lock holds");
+        assert!(c < 1.0, "corruption must lower confidence: {c}");
+        assert!(c > 0.7, "one bad sample is a small dent: {c}");
+    }
+
+    #[test]
+    fn small_evidence_factor_locks_after_one_extra_pattern_sample() {
+        // evidence_factor 0.125 with floor 4: lag 16 needs only 4
+        // comparisons instead of 16 — locks at sample 20 instead of 32.
+        let pattern: Vec<Symbol> = (0..16u64).collect();
+        let mut fast = PeriodicityDetector::new(DpdConfig {
+            evidence_factor: 0.125,
+            min_comparisons: 4,
+            ..DpdConfig::default()
+        });
+        let mut strict = PeriodicityDetector::new(DpdConfig::default());
+        let mut fast_lock = None;
+        let mut strict_lock = None;
+        for i in 0..64 {
+            let v = pattern[i % 16];
+            fast.observe(v);
+            strict.observe(v);
+            if fast_lock.is_none() && fast.period().is_some() {
+                fast_lock = Some(i + 1);
+            }
+            if strict_lock.is_none() && strict.period().is_some() {
+                strict_lock = Some(i + 1);
+            }
+        }
+        assert_eq!(fast_lock, Some(20));
+        assert_eq!(strict_lock, Some(32));
+    }
+
+    #[test]
+    fn cleanest_lag_wins_over_smaller_polluted_lag() {
+        // Stream with long runs inside a larger pattern: lag 1 is almost
+        // clean (runs), lag 8 is exactly clean — lag 8 must win.
+        let mut det = PeriodicityDetector::new(DpdConfig {
+            window: 64,
+            max_lag: 16,
+            tolerance: 0.4,
+            ..DpdConfig::default()
+        });
+        let pattern = [5u64, 5, 5, 5, 9, 9, 9, 9];
+        feed_cycles(&mut det, &pattern, 20);
+        assert_eq!(det.period(), Some(8));
+    }
+}

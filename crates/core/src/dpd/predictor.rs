@@ -1,0 +1,249 @@
+//! The periodicity-based predictor of §4.2.
+//!
+//! Once the detector knows the period `p`, the value `h` steps ahead is
+//! read straight out of the history: `x̂[t+h] = x[t+h−kp]` where `k` is the
+//! smallest integer with `kp ≥ h`. This is what lets the paper predict the
+//! next **five** senders and sizes at once (`+1 … +5` in Figures 3/4),
+//! rather than a single next value like the heuristic predictors of
+//! related work.
+
+use super::detector::{DpdConfig, PeriodicityDetector};
+use crate::predictors::Predictor;
+use crate::stream::Symbol;
+use std::collections::HashMap;
+
+/// Predictor wrapping a [`PeriodicityDetector`].
+#[derive(Debug, Clone)]
+pub struct DpdPredictor {
+    det: PeriodicityDetector,
+    /// When `true`, predictions are the majority vote over all stored
+    /// pattern instances at the same phase, instead of a copy of the most
+    /// recent instance. This is an ablation variant (more robust to a
+    /// transient reordering that landed inside the last period).
+    vote: bool,
+}
+
+impl DpdPredictor {
+    /// Creates a predictor that copies the most recent pattern instance.
+    pub fn new(cfg: DpdConfig) -> Self {
+        DpdPredictor {
+            det: PeriodicityDetector::new(cfg),
+            vote: false,
+        }
+    }
+
+    /// Creates the majority-vote variant (see [`DpdPredictor::new`]).
+    pub fn with_vote(cfg: DpdConfig) -> Self {
+        DpdPredictor {
+            det: PeriodicityDetector::new(cfg),
+            vote: true,
+        }
+    }
+
+    /// Currently detected period, if any.
+    pub fn period(&self) -> Option<usize> {
+        self.det.period()
+    }
+
+    /// Confidence in the current lock (see
+    /// [`PeriodicityDetector::confidence`]).
+    pub fn confidence(&self) -> Option<f64> {
+        self.det.confidence()
+    }
+
+    /// Read access to the underlying detector.
+    pub fn detector(&self) -> &PeriodicityDetector {
+        &self.det
+    }
+
+    /// Predicts the next `horizons` values in one call: index 0 is `+1`.
+    /// Entries are `None` while no period is locked or history is too
+    /// short. This is the "several future values" interface of §4.2 that
+    /// the buffer pre-allocation use case (§2.1) consumes.
+    pub fn predict_next(&self, horizons: usize) -> Vec<Option<Symbol>> {
+        (1..=horizons).map(|h| self.predict(h)).collect()
+    }
+
+    fn predict_copy(&self, horizon: usize) -> Option<Symbol> {
+        let p = self.det.period()?;
+        // Smallest k with k*p >= horizon; back = k*p - horizon steps into
+        // the past, where back = 0 is the most recent observation.
+        let k = horizon.div_ceil(p);
+        let back = k * p - horizon;
+        self.det.history().recent(back)
+    }
+
+    fn predict_vote(&self, horizon: usize) -> Option<Symbol> {
+        let p = self.det.period()?;
+        let hist = self.det.history();
+        let mut counts: HashMap<Symbol, u32> = HashMap::new();
+        let mut k = horizon.div_ceil(p);
+        loop {
+            let back = k * p - horizon;
+            match hist.recent(back) {
+                Some(v) => *counts.entry(v).or_insert(0) += 1,
+                None => break,
+            }
+            k += 1;
+        }
+        // Majority vote; ties broken toward the most recent instance so the
+        // vote variant degrades gracefully to the copy variant.
+        let best = counts.iter().map(|(_, &c)| c).max()?;
+        let mut k = horizon.div_ceil(p);
+        loop {
+            let back = k * p - horizon;
+            let v = hist.recent(back)?;
+            if counts[&v] == best {
+                return Some(v);
+            }
+            k += 1;
+        }
+    }
+}
+
+impl Predictor for DpdPredictor {
+    fn name(&self) -> &'static str {
+        if self.vote {
+            "dpd-vote"
+        } else {
+            "dpd"
+        }
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        self.det.observe(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        if horizon == 0 {
+            return None;
+        }
+        if self.vote {
+            self.predict_vote(horizon)
+        } else {
+            self.predict_copy(horizon)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.det.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(pattern: &[Symbol], cycles: usize) -> DpdPredictor {
+        let mut p = DpdPredictor::new(DpdConfig::default());
+        for _ in 0..cycles {
+            for &v in pattern {
+                p.observe(v);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn predicts_full_cycle_ahead() {
+        let p = trained(&[10, 20, 30, 40], 10);
+        assert_eq!(p.period(), Some(4));
+        // Stream ends on 40; next values cycle from 10.
+        assert_eq!(p.predict(1), Some(10));
+        assert_eq!(p.predict(2), Some(20));
+        assert_eq!(p.predict(3), Some(30));
+        assert_eq!(p.predict(4), Some(40));
+        assert_eq!(p.predict(5), Some(10));
+        assert_eq!(p.predict(9), Some(10));
+    }
+
+    #[test]
+    fn mid_phase_prediction() {
+        let mut p = trained(&[10, 20, 30, 40], 10);
+        p.observe(10);
+        p.observe(20);
+        assert_eq!(p.predict(1), Some(30));
+        assert_eq!(p.predict(2), Some(40));
+        assert_eq!(p.predict(3), Some(10));
+    }
+
+    #[test]
+    fn horizons_beyond_history_are_none() {
+        // Period 1 stream, but ask for a horizon requiring history deeper
+        // than what is retained: k*p - h stays small for p=1, so use an
+        // untrained predictor instead to exercise the None path.
+        let p = DpdPredictor::new(DpdConfig::default());
+        assert_eq!(p.predict(1), None);
+        assert_eq!(p.predict(0), None);
+    }
+
+    #[test]
+    fn predict_next_matches_individual_calls() {
+        let p = trained(&[1, 2, 3], 10);
+        let all = p.predict_next(5);
+        for (i, v) in all.iter().enumerate() {
+            assert_eq!(*v, p.predict(i + 1));
+        }
+    }
+
+    #[test]
+    fn no_prediction_without_periodicity() {
+        let mut p = DpdPredictor::new(DpdConfig {
+            max_lag: 8,
+            window: 32,
+            ..DpdConfig::default()
+        });
+        for v in 0..100u64 {
+            p.observe(v); // strictly increasing: aperiodic
+        }
+        assert_eq!(p.predict(1), None);
+    }
+
+    #[test]
+    fn vote_variant_outvotes_transient_corruption() {
+        let cfg = DpdConfig {
+            window: 64,
+            max_lag: 8,
+            tolerance: 0.2,
+            ..DpdConfig::default()
+        };
+        let mut copy = DpdPredictor::new(cfg.clone());
+        let mut vote = DpdPredictor::with_vote(cfg);
+        let pattern = [1u64, 2, 3, 4];
+        for _ in 0..10 {
+            for &v in &pattern {
+                copy.observe(v);
+                vote.observe(v);
+            }
+        }
+        // Corrupt the most recent instance: 1 2 9 4.
+        for &v in &[1u64, 2, 9, 4] {
+            copy.observe(v);
+            vote.observe(v);
+        }
+        // Copy variant replays the corruption one period later; the vote
+        // variant recovers the true pattern value.
+        assert_eq!(copy.predict(3), Some(9));
+        assert_eq!(vote.predict(3), Some(3));
+        // Both agree where no corruption happened.
+        assert_eq!(copy.predict(1), Some(1));
+        assert_eq!(vote.predict(1), Some(1));
+    }
+
+    #[test]
+    fn reset_forgets_pattern() {
+        let mut p = trained(&[5, 6], 20);
+        assert!(p.predict(1).is_some());
+        p.reset();
+        assert_eq!(p.predict(1), None);
+        assert_eq!(p.period(), None);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let a = DpdPredictor::new(DpdConfig::default());
+        let b = DpdPredictor::with_vote(DpdConfig::default());
+        assert_eq!(a.name(), "dpd");
+        assert_eq!(b.name(), "dpd-vote");
+    }
+}

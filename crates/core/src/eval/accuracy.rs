@@ -1,0 +1,153 @@
+//! Per-horizon accuracy counters.
+
+/// Counters for a single prediction horizon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HorizonAccuracy {
+    /// Predictions that matched the actual value.
+    pub correct: u64,
+    /// Evaluation points where the predictor committed to a value.
+    pub predicted: u64,
+    /// All evaluation points (including ones with no prediction).
+    pub total: u64,
+}
+
+impl HorizonAccuracy {
+    /// Fraction of evaluation points predicted correctly — the quantity on
+    /// the y-axis of Figures 3 and 4 ("% prediction accuracy"). Unpredicted
+    /// points count against the predictor. `None` before any evaluation.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.correct as f64 / self.total as f64)
+    }
+
+    /// Fraction of evaluation points where a prediction was emitted at all.
+    pub fn coverage(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.predicted as f64 / self.total as f64)
+    }
+
+    /// Accuracy among emitted predictions only.
+    pub fn precision(&self) -> Option<f64> {
+        if self.predicted == 0 {
+            return None;
+        }
+        Some(self.correct as f64 / self.predicted as f64)
+    }
+
+    /// Records one evaluation point. `prediction_made` says whether the
+    /// predictor committed to a value, `correct` whether it matched.
+    pub fn record(&mut self, prediction_made: bool, correct: bool) {
+        debug_assert!(prediction_made || !correct, "a hit requires a prediction");
+        self.total += 1;
+        if prediction_made {
+            self.predicted += 1;
+        }
+        if correct {
+            self.correct += 1;
+        }
+    }
+}
+
+/// Accuracy counters for horizons `+1 … +K`.
+#[derive(Debug, Clone)]
+pub struct AccuracyTracker {
+    horizons: Vec<HorizonAccuracy>,
+}
+
+impl AccuracyTracker {
+    /// Creates a tracker for `k` horizons (`+1 … +k`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one horizon");
+        AccuracyTracker {
+            horizons: vec![HorizonAccuracy::default(); k],
+        }
+    }
+
+    /// Number of tracked horizons.
+    pub fn k(&self) -> usize {
+        self.horizons.len()
+    }
+
+    /// Records an evaluation point at horizon `h` (1-based).
+    pub fn record(&mut self, h: usize, prediction_made: bool, correct: bool) {
+        self.horizons[h - 1].record(prediction_made, correct);
+    }
+
+    /// Counters for horizon `h` (1-based).
+    pub fn horizon(&self, h: usize) -> &HorizonAccuracy {
+        &self.horizons[h - 1]
+    }
+
+    /// Accuracy for every horizon, index 0 ↔ `+1`.
+    pub fn accuracies(&self) -> Vec<Option<f64>> {
+        self.horizons.iter().map(|h| h.accuracy()).collect()
+    }
+
+    /// Mean accuracy across horizons that have data.
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.horizons.iter().filter_map(|h| h.accuracy()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counters_have_no_accuracy() {
+        let h = HorizonAccuracy::default();
+        assert_eq!(h.accuracy(), None);
+        assert_eq!(h.coverage(), None);
+        assert_eq!(h.precision(), None);
+    }
+
+    #[test]
+    fn accuracy_counts_unpredicted_as_miss() {
+        let mut h = HorizonAccuracy::default();
+        h.record(true, true);
+        h.record(true, false);
+        h.record(false, false); // no prediction: still an evaluation point
+        assert_eq!(h.total, 3);
+        assert_eq!(h.predicted, 2);
+        assert_eq!(h.correct, 1);
+        assert!((h.accuracy().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.coverage().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.precision().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_routes_horizons() {
+        let mut t = AccuracyTracker::new(3);
+        t.record(1, true, true);
+        t.record(3, true, false);
+        assert_eq!(t.horizon(1).correct, 1);
+        assert_eq!(t.horizon(3).total, 1);
+        assert_eq!(t.horizon(2).total, 0);
+        assert_eq!(t.k(), 3);
+    }
+
+    #[test]
+    fn mean_skips_empty_horizons() {
+        let mut t = AccuracyTracker::new(2);
+        t.record(1, true, true);
+        assert_eq!(t.mean_accuracy(), Some(1.0));
+        assert_eq!(t.accuracies(), vec![Some(1.0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one horizon")]
+    fn zero_horizons_panics() {
+        let _ = AccuracyTracker::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Online accuracy evaluation for stream predictors.
+//!
+//! Figures 3 and 4 of the paper report, for every benchmark
+//! configuration, the accuracy of predicting the sender and size of the
+//! next five messages (`+1 … +5`). The protocol implemented by
+//! [`StreamEvaluator`] matches the paper's:
+//!
+//! * at every stream position `t` the predictor emits `x̂[t+1] … x̂[t+K]`;
+//! * when `x[t+h]` later arrives, the prediction made `h` steps earlier is
+//!   scored against it;
+//! * positions for which no prediction was possible (cold start, no
+//!   periodicity locked) count as **misses**, which reproduces the ≈80 %
+//!   result on the short IS.4 stream (§5.1).
+//!
+//! [`SetEvaluator`] implements the unordered variant discussed in §5.3:
+//! predict the *multiset* of the next `k` values and count how many of the
+//! actual next `k` arrivals it covers — the metric that matters for buffer
+//! pre-allocation, where order is irrelevant.
+
+mod accuracy;
+mod evaluator;
+mod report;
+mod sweep;
+
+pub use accuracy::{AccuracyTracker, HorizonAccuracy};
+pub use evaluator::{evaluate_stream, SetEvaluator, StreamEvaluator};
+pub use report::{accuracy_table, EvalReport, TextTable};
+pub use sweep::SweepStats;

@@ -1,0 +1,209 @@
+//! Plain-text and CSV report rendering.
+//!
+//! The experiment binaries print the paper's tables/figures as aligned
+//! text tables (for reading in a terminal) and CSV (for plotting). Both
+//! renderers are dependency-free.
+
+use super::accuracy::AccuracyTracker;
+
+/// A simple column-aligned text table that can also serialize to CSV.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data row has been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(widths.len()) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            // Trailing spaces are noise in diffs.
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A labelled accuracy result, pretty-printable as one table row.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Row label, e.g. `"bt.9 sender"`.
+    pub label: String,
+    /// Snapshot of per-horizon accuracies (index 0 ↔ `+1`).
+    pub accuracies: Vec<Option<f64>>,
+}
+
+impl EvalReport {
+    /// Builds a report row from a tracker.
+    pub fn from_tracker(label: impl Into<String>, tracker: &AccuracyTracker) -> Self {
+        EvalReport {
+            label: label.into(),
+            accuracies: tracker.accuracies(),
+        }
+    }
+
+    /// Accuracy at horizon `h` (1-based), if evaluated.
+    pub fn at(&self, h: usize) -> Option<f64> {
+        self.accuracies.get(h - 1).copied().flatten()
+    }
+
+    /// Formats the accuracies as percentages with one decimal, `-` for
+    /// unevaluated horizons.
+    pub fn cells(&self) -> Vec<String> {
+        self.accuracies
+            .iter()
+            .map(|a| match a {
+                Some(v) => format!("{:.1}", v * 100.0),
+                None => "-".to_string(),
+            })
+            .collect()
+    }
+}
+
+/// Builds the standard accuracy table (label + one column per horizon).
+pub fn accuracy_table(reports: &[EvalReport], k: usize) -> TextTable {
+    let mut headers = vec!["config".to_string()];
+    for h in 1..=k {
+        headers.push(format!("+{h} %"));
+    }
+    let mut t = TextTable::new(headers);
+    for r in reports {
+        let mut row = vec![r.label.clone()];
+        row.extend(r.cells());
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.push_row(vec!["a", "1"]);
+        t.push_row(vec!["longer-name", "23"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Column 2 starts at the same offset in every data row.
+        let off = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("23").unwrap(), off);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "x,,");
+    }
+
+    #[test]
+    fn csv_escapes_separators_and_quotes() {
+        let mut t = TextTable::new(vec!["v"]);
+        t.push_row(vec!["a,b"]);
+        t.push_row(vec!["say \"hi\""]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "\"a,b\"");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn report_formats_percentages() {
+        let mut tr = AccuracyTracker::new(3);
+        tr.record(1, true, true);
+        tr.record(2, true, false);
+        let r = EvalReport::from_tracker("bt.9 sender", &tr);
+        assert_eq!(r.cells(), vec!["100.0", "0.0", "-"]);
+        assert_eq!(r.at(1), Some(1.0));
+        assert_eq!(r.at(3), None);
+        let table = accuracy_table(&[r], 3);
+        assert!(table.render().contains("bt.9 sender"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Aggregation across repeated runs (seeds).
+//!
+//! Figures 3/4 of the paper are single runs; a reproduction should show
+//! that its numbers are not seed-luck. [`SweepStats`] summarises a set of
+//! per-seed measurements; the `variance` experiment binary prints
+//! mean ± std across seeds for every configuration.
+
+/// Summary statistics over repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl SweepStats {
+    /// Aggregates a slice of measurements; `None` when empty.
+    pub fn of(xs: &[f64]) -> Option<SweepStats> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(SweepStats {
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+            n,
+        })
+    }
+
+    /// Formats as `"mean ± std"` in percent with one decimal.
+    pub fn pct(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_basic_statistics() {
+        let s = SweepStats::of(&[0.9, 1.0, 0.8]).unwrap();
+        assert!((s.mean - 0.9).abs() < 1e-12);
+        assert!((s.std - 0.1).abs() < 1e-12);
+        assert_eq!(s.min, 0.8);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn single_observation_has_zero_std() {
+        let s = SweepStats::of(&[0.5]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 0.5);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(SweepStats::of(&[]), None);
+    }
+
+    #[test]
+    fn pct_formats_mean_and_std() {
+        let s = SweepStats::of(&[0.9, 1.0, 0.8]).unwrap();
+        assert_eq!(s.pct(), "90.0 ± 10.0");
+    }
+}

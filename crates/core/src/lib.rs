@@ -1,0 +1,67 @@
+//! # mpp-core — MPI message-stream prediction
+//!
+//! This crate implements the primary contribution of Freitag, Caubet,
+//! Farrera, Cortes and Labarta, *"Exploring the Predictability of MPI
+//! Messages"* (IPDPS 2003): a predictor for the **sender** and **message
+//! size** streams received by an MPI process, built on a *Dynamic
+//! Periodicity Detector* (DPD).
+//!
+//! The DPD slides a window of `N` recent symbols over the stream and, for
+//! every candidate lag `0 < m < M`, evaluates the distance metric of the
+//! paper's equation (1):
+//!
+//! ```text
+//! d(m) = sign( Σ_{i=0}^{N-1} | x[i] − x[i−m] | )
+//! ```
+//!
+//! `d(m) = 0` exactly when the window repeats with period `m`. Knowing the
+//! period lets the predictor emit *several* future values at once
+//! (`x̂[t+h] = x[t+h−m]`), which is what distinguishes it from next-value
+//! heuristics (Afsahi–Dimopoulos) and Markov models — both of which are
+//! provided here as baselines.
+//!
+//! ## Module map
+//!
+//! * [`ring`] — fixed-capacity circular buffer ("circular lists" of §4.2).
+//! * [`dpd`] — distance metric, incremental periodicity detector, and the
+//!   periodicity-based predictor.
+//! * [`predictors`] — the [`Predictor`] trait and
+//!   baseline predictors (last-value, most-frequent, stride, single-cycle,
+//!   tag-cycle, order-1/2 Markov) plus set-valued prediction.
+//! * [`eval`] — online evaluation of `+1 … +K` horizon accuracy exactly as
+//!   Figures 3 and 4 of the paper report it, and unordered *set* accuracy
+//!   as discussed in §5.3.
+//! * [`stream`] — symbol alphabets, stream statistics (distinct/frequent
+//!   value census used by Table 1) and helpers.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mpp_core::dpd::{DpdConfig, DpdPredictor};
+//! use mpp_core::predictors::Predictor;
+//!
+//! // A stream with period 3: 7 1 4 7 1 4 ...
+//! let mut p = DpdPredictor::new(DpdConfig::default());
+//! for _ in 0..20 {
+//!     for &v in &[7u64, 1, 4] {
+//!         p.observe(v);
+//!     }
+//! }
+//! // Last observed value was 4, so +1 is 7, +2 is 1, +3 is 4.
+//! assert_eq!(p.predict(1), Some(7));
+//! assert_eq!(p.predict(2), Some(1));
+//! assert_eq!(p.predict(3), Some(4));
+//! assert_eq!(p.period(), Some(3));
+//! ```
+
+pub mod dpd;
+pub mod eval;
+pub mod predictors;
+pub mod ring;
+pub mod stream;
+
+pub use dpd::{DpdConfig, DpdPredictor, PeriodicityDetector};
+pub use eval::{AccuracyTracker, EvalReport, SetEvaluator, StreamEvaluator};
+pub use predictors::{Predictor, PredictorKind};
+pub use ring::Ring;
+pub use stream::{Symbol, SymbolMap};

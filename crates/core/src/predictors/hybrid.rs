@@ -1,0 +1,194 @@
+//! Hybrid predictor: DPD when a period is locked, a fallback otherwise.
+//!
+//! The paper's conclusion invites follow-up uses of its predictability
+//! result; the most obvious engineering refinement is to stop answering
+//! `None` during warm-up and pattern changes. This predictor runs the
+//! DPD and a cheap fallback side by side and routes each query to the
+//! DPD exactly when it has a locked period, to the fallback otherwise.
+//! On clean periodic streams it converges to pure DPD behaviour; on
+//! unpredictable streams it degrades to the fallback instead of to
+//! silence.
+
+use super::Predictor;
+use crate::dpd::{DpdConfig, DpdPredictor};
+use crate::stream::Symbol;
+
+/// DPD with a fallback predictor for un-locked stretches.
+pub struct HybridPredictor<F> {
+    dpd: DpdPredictor,
+    fallback: F,
+    /// Queries answered by the DPD (period locked).
+    dpd_answers: u64,
+    /// Queries routed to the fallback.
+    fallback_answers: u64,
+}
+
+impl<F: Predictor> HybridPredictor<F> {
+    /// Combines a DPD (with `cfg`) and `fallback`.
+    pub fn new(cfg: DpdConfig, fallback: F) -> Self {
+        HybridPredictor {
+            dpd: DpdPredictor::new(cfg),
+            fallback,
+            dpd_answers: 0,
+            fallback_answers: 0,
+        }
+    }
+
+    /// (queries served by DPD, queries served by the fallback).
+    pub fn routing_counts(&self) -> (u64, u64) {
+        (self.dpd_answers, self.fallback_answers)
+    }
+
+    /// The inner DPD, for period inspection.
+    pub fn dpd(&self) -> &DpdPredictor {
+        &self.dpd
+    }
+}
+
+impl<F: Predictor> Predictor for HybridPredictor<F> {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        self.dpd.observe(v);
+        self.fallback.observe(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        if self.dpd.period().is_some() {
+            self.dpd.predict(horizon)
+        } else {
+            self.fallback.predict(horizon)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.dpd.reset();
+        self.fallback.reset();
+        self.dpd_answers = 0;
+        self.fallback_answers = 0;
+    }
+}
+
+/// Same predictor with routing statistics: call this instead of
+/// [`Predictor::predict`] when you want the counters maintained
+/// (the trait method takes `&self` and cannot count).
+impl<F: Predictor> HybridPredictor<F> {
+    /// Predicts and records which component answered.
+    pub fn predict_counted(&mut self, horizon: usize) -> Option<Symbol> {
+        if self.dpd.period().is_some() {
+            self.dpd_answers += 1;
+            self.dpd.predict(horizon)
+        } else {
+            self.fallback_answers += 1;
+            self.fallback.predict(horizon)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictors::{LastValuePredictor, MarkovPredictor};
+
+    #[test]
+    fn routes_to_dpd_once_locked() {
+        let mut h = HybridPredictor::new(DpdConfig::default(), LastValuePredictor::new());
+        // Before any lock: fallback answers (last value).
+        h.observe(9);
+        assert_eq!(h.predict_counted(1), Some(9));
+        assert_eq!(h.routing_counts(), (0, 1));
+        // Train a period-2 pattern long enough for the initial 9 to slide
+        // out of the (exact-tolerance) comparison window: DPD takes over.
+        for _ in 0..200 {
+            h.observe(1);
+            h.observe(2);
+        }
+        assert!(h.dpd().period().is_some());
+        let p = h.predict_counted(1);
+        assert_eq!(p, Some(1), "stream ends on 2; DPD continues the cycle");
+        assert_eq!(h.routing_counts().0, 1);
+    }
+
+    #[test]
+    fn falls_back_on_aperiodic_streams() {
+        let mut h = HybridPredictor::new(
+            DpdConfig {
+                max_lag: 8,
+                window: 32,
+                ..DpdConfig::default()
+            },
+            MarkovPredictor::order1(),
+        );
+        // Aperiodic (strictly increasing) stream: DPD never locks, but
+        // the Markov fallback has seen transitions and still answers.
+        for v in 0..100u64 {
+            h.observe(v % 50 * 2 + 1); // odd values, eventually repeating contexts
+        }
+        assert_eq!(h.dpd().period(), None);
+        assert!(h.predict(1).is_some(), "fallback must answer");
+    }
+
+    #[test]
+    fn trait_predict_matches_counted_predict() {
+        let mut h = HybridPredictor::new(DpdConfig::default(), LastValuePredictor::new());
+        for _ in 0..15 {
+            h.observe(4);
+            h.observe(5);
+        }
+        let a = h.predict(3);
+        let b = h.predict_counted(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_clears_both_components() {
+        let mut h = HybridPredictor::new(DpdConfig::default(), LastValuePredictor::new());
+        for _ in 0..10 {
+            h.observe(7);
+        }
+        h.reset();
+        assert_eq!(h.predict(1), None);
+        assert_eq!(h.routing_counts(), (0, 0));
+    }
+
+    #[test]
+    fn hybrid_beats_both_components_on_a_switching_stream() {
+        use crate::eval::evaluate_stream;
+        // A stream that is periodic for a while, then random-ish, then
+        // periodic again: the hybrid should never be worse than the DPD
+        // alone (it only adds answers where the DPD is silent).
+        let mut stream = Vec::new();
+        for _ in 0..60 {
+            stream.extend_from_slice(&[1u64, 2, 3]);
+        }
+        for i in 0..60u64 {
+            stream.push(i.wrapping_mul(0x9E37_79B9) % 11 + 10);
+        }
+        for _ in 0..60 {
+            stream.extend_from_slice(&[1u64, 2, 3]);
+        }
+        let cfg = DpdConfig {
+            window: 64,
+            max_lag: 16,
+            ..DpdConfig::default()
+        };
+        let dpd_only = evaluate_stream(DpdPredictor::new(cfg.clone()), &stream, 1)
+            .horizon(1)
+            .accuracy()
+            .unwrap();
+        let hybrid = evaluate_stream(
+            HybridPredictor::new(cfg, LastValuePredictor::new()),
+            &stream,
+            1,
+        )
+        .horizon(1)
+        .accuracy()
+        .unwrap();
+        assert!(
+            hybrid >= dpd_only,
+            "hybrid {hybrid:.3} must not lose to pure DPD {dpd_only:.3}"
+        );
+    }
+}

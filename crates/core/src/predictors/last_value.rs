@@ -1,0 +1,70 @@
+//! The simplest baseline: predict that the stream repeats its last value.
+//!
+//! On MPI sender streams this is surprisingly competitive when a process
+//! receives long runs from the same partner (LU's wavefront neighbours),
+//! and collapses on round-robin patterns (BT's face exchanges) — which is
+//! precisely the contrast the ablation experiment quantifies.
+
+use super::Predictor;
+use crate::stream::Symbol;
+
+/// Predicts every future value to equal the most recent observation.
+#[derive(Debug, Clone, Default)]
+pub struct LastValuePredictor {
+    last: Option<Symbol>,
+}
+
+impl LastValuePredictor {
+    /// Creates an untrained predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValuePredictor {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        self.last = Some(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        if horizon == 0 {
+            return None;
+        }
+        self.last
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_predicts_nothing() {
+        let p = LastValuePredictor::new();
+        assert_eq!(p.predict(1), None);
+    }
+
+    #[test]
+    fn repeats_last_observation_at_every_horizon() {
+        let mut p = LastValuePredictor::new();
+        p.observe(3);
+        p.observe(9);
+        assert_eq!(p.predict(1), Some(9));
+        assert_eq!(p.predict(5), Some(9));
+    }
+
+    #[test]
+    fn horizon_zero_is_rejected() {
+        let mut p = LastValuePredictor::new();
+        p.observe(1);
+        assert_eq!(p.predict(0), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`Predictor`] trait and baseline predictors.
+//!
+//! §4.2 and §6 of the paper position the DPD against two families of
+//! alternatives: the message-prediction *heuristics* of Afsahi and
+//! Dimopoulos (next-value-only predictors such as single-cycle and
+//! tagging) and *statistical models* (Markov chains) that "require more
+//! training time … and are not prepared to predict several future values".
+//! Every one of those families is implemented here so that the claim can
+//! be measured (see the `predictors` Criterion bench and the `ablation`
+//! experiment binary).
+//!
+//! All predictors share one online interface: feed symbols with
+//! [`Predictor::observe`], ask for the value `h` steps ahead with
+//! [`Predictor::predict`]. `None` means "no prediction available", which
+//! the evaluator counts as a miss — exactly how the paper treats samples
+//! the predictor has not learned yet (§5.1).
+
+mod cycle;
+mod frequency;
+mod hybrid;
+mod last_value;
+mod markov;
+mod set;
+mod stride;
+mod tag;
+
+pub use cycle::SingleCyclePredictor;
+pub use frequency::FrequencyPredictor;
+pub use hybrid::HybridPredictor;
+pub use last_value::LastValuePredictor;
+pub use markov::MarkovPredictor;
+pub use set::{SetPrediction, SetPredictor};
+pub use stride::StridePredictor;
+pub use tag::TagPredictor;
+
+use crate::dpd::{DpdConfig, DpdPredictor};
+use crate::stream::Symbol;
+
+/// An online stream predictor.
+pub trait Predictor {
+    /// Short stable identifier used in reports ("dpd", "markov1", ...).
+    fn name(&self) -> &'static str;
+
+    /// Feeds the next observed stream value.
+    fn observe(&mut self, v: Symbol);
+
+    /// Predicts the value `horizon ≥ 1` steps after the last observation;
+    /// `None` when the predictor cannot commit to a value (untrained, or
+    /// `horizon` out of its reach — most heuristics only reach `+1`
+    /// reliably and iterate themselves for deeper horizons).
+    fn predict(&self, horizon: usize) -> Option<Symbol>;
+
+    /// Clears all learned state.
+    fn reset(&mut self);
+}
+
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        (**self).observe(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        (**self).predict(horizon)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// Enumeration of every built-in predictor, used by experiment harnesses
+/// to sweep the whole roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Periodicity-based predictor of the paper.
+    Dpd,
+    /// Majority-vote ablation variant of the DPD.
+    DpdVote,
+    /// Repeats the last observed value.
+    LastValue,
+    /// Most frequent value seen so far.
+    Frequency,
+    /// Arithmetic stride continuation (for size-like streams).
+    Stride,
+    /// Afsahi–Dimopoulos style single-cycle heuristic.
+    SingleCycle,
+    /// Afsahi–Dimopoulos style tagging heuristic (last-seen transition).
+    Tag,
+    /// Order-1 Markov chain, most-likely next symbol.
+    Markov1,
+    /// Order-2 Markov chain.
+    Markov2,
+    /// DPD with an order-1 Markov fallback for un-locked stretches.
+    Hybrid,
+}
+
+impl PredictorKind {
+    /// Every kind, in report order.
+    pub const ALL: [PredictorKind; 10] = [
+        PredictorKind::Dpd,
+        PredictorKind::DpdVote,
+        PredictorKind::LastValue,
+        PredictorKind::Frequency,
+        PredictorKind::Stride,
+        PredictorKind::SingleCycle,
+        PredictorKind::Tag,
+        PredictorKind::Markov1,
+        PredictorKind::Markov2,
+        PredictorKind::Hybrid,
+    ];
+
+    /// Instantiates the predictor. `dpd_cfg` is used by the DPD variants
+    /// and by the single-cycle heuristic (history depth).
+    pub fn build(self, dpd_cfg: &DpdConfig) -> Box<dyn Predictor + Send> {
+        match self {
+            PredictorKind::Dpd => Box::new(DpdPredictor::new(dpd_cfg.clone())),
+            PredictorKind::DpdVote => Box::new(DpdPredictor::with_vote(dpd_cfg.clone())),
+            PredictorKind::LastValue => Box::new(LastValuePredictor::new()),
+            PredictorKind::Frequency => Box::new(FrequencyPredictor::new()),
+            PredictorKind::Stride => Box::new(StridePredictor::new()),
+            PredictorKind::SingleCycle => {
+                Box::new(SingleCyclePredictor::new(dpd_cfg.window + dpd_cfg.max_lag))
+            }
+            PredictorKind::Tag => Box::new(TagPredictor::new()),
+            PredictorKind::Markov1 => Box::new(MarkovPredictor::order1()),
+            PredictorKind::Markov2 => Box::new(MarkovPredictor::order2()),
+            PredictorKind::Hybrid => Box::new(HybridPredictor::new(
+                dpd_cfg.clone(),
+                MarkovPredictor::order1(),
+            )),
+        }
+    }
+
+    /// Stable identifier matching [`Predictor::name`].
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::Dpd => "dpd",
+            PredictorKind::DpdVote => "dpd-vote",
+            PredictorKind::LastValue => "last-value",
+            PredictorKind::Frequency => "frequency",
+            PredictorKind::Stride => "stride",
+            PredictorKind::SingleCycle => "single-cycle",
+            PredictorKind::Tag => "tag",
+            PredictorKind::Markov1 => "markov1",
+            PredictorKind::Markov2 => "markov2",
+            PredictorKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind_with_matching_name() {
+        let cfg = DpdConfig::default();
+        for kind in PredictorKind::ALL {
+            let p = kind.build(&cfg);
+            assert_eq!(p.name(), kind.label(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn all_kinds_learn_a_constant_stream() {
+        let cfg = DpdConfig::default();
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build(&cfg);
+            for _ in 0..50 {
+                p.observe(7);
+            }
+            assert_eq!(
+                p.predict(1),
+                Some(7),
+                "{} should predict a constant stream",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_clears_every_kind() {
+        let cfg = DpdConfig::default();
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build(&cfg);
+            for v in [1u64, 2, 1, 2, 1, 2, 1, 2] {
+                p.observe(v);
+            }
+            p.reset();
+            assert_eq!(p.predict(1), None, "{} after reset", p.name());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Set-valued prediction (§5.3).
+//!
+//! The paper's discussion of physical streams observes that a consumer
+//! like buffer pre-allocation does not need the *order* of the next
+//! messages, only *which* senders/sizes are coming: "knowing the next
+//! senders and their message size may be useful. This information is
+//! available with high accuracy also on the physical level". A
+//! [`SetPredictor`] wraps any ordered predictor and exposes the unordered
+//! multiset of the next `k` values; the matching evaluator lives in
+//! [`crate::eval::SetEvaluator`].
+
+use super::Predictor;
+use crate::stream::Symbol;
+use std::collections::HashMap;
+
+/// Unordered prediction of the next `k` values, as a multiset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetPrediction {
+    /// value → multiplicity among the next `k` predictions.
+    counts: HashMap<Symbol, usize>,
+    /// Number of horizons that produced a prediction (≤ k).
+    predicted: usize,
+    /// The k that was requested.
+    k: usize,
+}
+
+impl SetPrediction {
+    /// Does the multiset contain `v` (at least once)?
+    pub fn contains(&self, v: Symbol) -> bool {
+        self.counts.contains_key(&v)
+    }
+
+    /// Multiplicity of `v` in the prediction.
+    pub fn multiplicity(&self, v: Symbol) -> usize {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Removes one occurrence of `v`, returning whether it was present.
+    /// Used by the multiset evaluator so a value predicted once cannot
+    /// absolve two actual arrivals.
+    pub fn consume(&mut self, v: Symbol) -> bool {
+        match self.counts.get_mut(&v) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&v);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of horizons (out of `k`) that produced a value.
+    pub fn coverage(&self) -> usize {
+        self.predicted
+    }
+
+    /// The requested prediction depth.
+    pub fn depth(&self) -> usize {
+        self.k
+    }
+
+    /// Distinct predicted values, unordered.
+    pub fn values(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.counts.keys().copied()
+    }
+}
+
+/// Wraps an ordered predictor and exposes next-`k` multiset predictions.
+pub struct SetPredictor<P> {
+    inner: P,
+    k: usize,
+}
+
+impl<P: Predictor> SetPredictor<P> {
+    /// Predict the unordered multiset of the next `k` values.
+    pub fn new(inner: P, k: usize) -> Self {
+        assert!(k > 0, "set depth must be positive");
+        SetPredictor { inner, k }
+    }
+
+    /// Feeds an observation to the wrapped predictor.
+    pub fn observe(&mut self, v: Symbol) {
+        self.inner.observe(v);
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The multiset of the next `k` predicted values.
+    pub fn predict_set(&self) -> SetPrediction {
+        let mut counts = HashMap::new();
+        let mut predicted = 0;
+        for h in 1..=self.k {
+            if let Some(v) = self.inner.predict(h) {
+                *counts.entry(v).or_insert(0) += 1;
+                predicted += 1;
+            }
+        }
+        SetPrediction {
+            counts,
+            predicted,
+            k: self.k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpd::{DpdConfig, DpdPredictor};
+
+    #[test]
+    fn multiset_from_periodic_stream() {
+        let mut sp = SetPredictor::new(DpdPredictor::new(DpdConfig::default()), 4);
+        for _ in 0..10 {
+            for &v in &[1u64, 2, 1, 3] {
+                sp.observe(v);
+            }
+        }
+        let set = sp.predict_set();
+        assert_eq!(set.depth(), 4);
+        assert_eq!(set.coverage(), 4);
+        assert!(set.contains(1));
+        assert!(set.contains(2));
+        assert!(set.contains(3));
+        assert_eq!(set.multiplicity(1), 2);
+        assert_eq!(set.multiplicity(2), 1);
+        assert!(!set.contains(9));
+    }
+
+    #[test]
+    fn consume_decrements_multiplicity() {
+        let mut sp = SetPredictor::new(DpdPredictor::new(DpdConfig::default()), 4);
+        for _ in 0..10 {
+            for &v in &[1u64, 2, 1, 3] {
+                sp.observe(v);
+            }
+        }
+        let mut set = sp.predict_set();
+        assert!(set.consume(1));
+        assert!(set.consume(1));
+        assert!(!set.consume(1), "only two 1s were predicted");
+        assert!(set.consume(2));
+        assert!(!set.consume(2));
+    }
+
+    #[test]
+    fn untrained_predictor_gives_empty_set() {
+        let sp = SetPredictor::new(DpdPredictor::new(DpdConfig::default()), 5);
+        let set = sp.predict_set();
+        assert_eq!(set.coverage(), 0);
+        assert_eq!(set.values().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "set depth")]
+    fn zero_depth_panics() {
+        let _ = SetPredictor::new(DpdPredictor::new(DpdConfig::default()), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Arithmetic-stride baseline.
+//!
+//! Classic hardware-prefetcher style two-delta predictor: if the last two
+//! observations differ by a stable delta, extrapolate it. MPI size and
+//! sender streams are categorical rather than arithmetic, so this baseline
+//! mostly degenerates to last-value (delta 0) — including it makes that
+//! point measurable, and it wins on the one stream family where sizes grow
+//! linearly (pipelined scatter/gather fragments).
+
+use super::Predictor;
+use crate::stream::Symbol;
+
+/// Two-delta stride predictor with confirmation.
+#[derive(Debug, Clone, Default)]
+pub struct StridePredictor {
+    last: Option<Symbol>,
+    /// Last observed delta (wrapping i128 arithmetic over u64 symbols).
+    delta: Option<i128>,
+    /// Whether the same delta was seen twice in a row (confirmed).
+    confirmed: bool,
+}
+
+impl StridePredictor {
+    /// Creates an untrained predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for StridePredictor {
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        if let Some(prev) = self.last {
+            let d = v as i128 - prev as i128;
+            self.confirmed = self.delta == Some(d);
+            self.delta = Some(d);
+        }
+        self.last = Some(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        if horizon == 0 {
+            return None;
+        }
+        let last = self.last?;
+        // Unconfirmed stride degrades to last-value prediction.
+        let d = if self.confirmed {
+            self.delta.unwrap_or(0)
+        } else {
+            0
+        };
+        let v = last as i128 + d * horizon as i128;
+        // Out-of-domain extrapolations (negative sizes) are not predictions.
+        if (0..=u64::MAX as i128).contains(&v) {
+            Some(v as Symbol)
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+        self.delta = None;
+        self.confirmed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirmed_stride_extrapolates() {
+        let mut p = StridePredictor::new();
+        for v in [100u64, 200, 300] {
+            p.observe(v);
+        }
+        assert_eq!(p.predict(1), Some(400));
+        assert_eq!(p.predict(3), Some(600));
+    }
+
+    #[test]
+    fn unconfirmed_stride_falls_back_to_last_value() {
+        let mut p = StridePredictor::new();
+        p.observe(100);
+        p.observe(250); // delta seen once, not confirmed
+        assert_eq!(p.predict(1), Some(250));
+    }
+
+    #[test]
+    fn constant_stream_predicts_constant() {
+        let mut p = StridePredictor::new();
+        for _ in 0..5 {
+            p.observe(64);
+        }
+        assert_eq!(p.predict(2), Some(64));
+    }
+
+    #[test]
+    fn negative_extrapolation_is_suppressed() {
+        let mut p = StridePredictor::new();
+        for v in [300u64, 200, 100] {
+            p.observe(v);
+        }
+        assert_eq!(p.predict(1), Some(0));
+        // Horizon 2 would be -100: no prediction.
+        assert_eq!(p.predict(2), None);
+    }
+
+    #[test]
+    fn broken_stride_unconfirms() {
+        let mut p = StridePredictor::new();
+        for v in [10u64, 20, 30, 35] {
+            p.observe(v);
+        }
+        // Delta changed from 10 to 5: fall back to last value.
+        assert_eq!(p.predict(1), Some(35));
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixed-capacity circular buffer over [`Symbol`]s.
+//!
+//! The paper (§4.2) notes that the predictor "is done with circular lists,
+//! which reduces the overhead of the predictor". This module is that data
+//! structure: a power-of-two-free ring that keeps the most recent
+//! `capacity` symbols and supports O(1) push and O(1) random access both
+//! from the newest end ([`Ring::recent`]) and the oldest end
+//! ([`Ring::oldest`]).
+
+use crate::stream::Symbol;
+
+/// A bounded history of the most recent `capacity` stream symbols.
+///
+/// Pushing beyond capacity silently evicts the oldest element, which is
+/// exactly the sliding-window semantics the DPD needs.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: Box<[Symbol]>,
+    /// Index of the slot that will receive the next push.
+    head: usize,
+    /// Number of valid elements (saturates at `buf.len()`).
+    len: usize,
+    /// Total number of symbols ever pushed (not capped).
+    total: u64,
+}
+
+impl Ring {
+    /// Creates an empty ring holding at most `capacity` symbols.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            buf: vec![0; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends `v`, evicting the oldest element if the ring is full.
+    #[inline]
+    pub fn push(&mut self, v: Symbol) {
+        self.buf[self.head] = v;
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
+        if self.len < self.buf.len() {
+            self.len += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Number of currently stored symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no symbol has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of stored symbols.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total number of symbols pushed over the ring's lifetime.
+    #[inline]
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// The value pushed `back` steps ago: `recent(0)` is the most recent
+    /// symbol, `recent(1)` the one before it, and so on. Returns `None`
+    /// when `back` reaches past the stored history.
+    #[inline]
+    pub fn recent(&self, back: usize) -> Option<Symbol> {
+        if back >= self.len {
+            return None;
+        }
+        // head is one past the most recent element.
+        let cap = self.buf.len();
+        let idx = (self.head + cap - 1 - back) % cap;
+        Some(self.buf[idx])
+    }
+
+    /// The `i`-th oldest stored value (`oldest(0)` is the oldest).
+    #[inline]
+    pub fn oldest(&self, i: usize) -> Option<Symbol> {
+        if i >= self.len {
+            return None;
+        }
+        self.recent(self.len - 1 - i)
+    }
+
+    /// Iterates stored symbols from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.len).map(move |i| self.oldest(i).expect("index in range"))
+    }
+
+    /// Copies the stored window, oldest first, into a fresh vector.
+    pub fn to_vec(&self) -> Vec<Symbol> {
+        self.iter().collect()
+    }
+
+    /// Forgets all stored symbols (capacity and total count are kept).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_reports_empty() {
+        let r = Ring::with_capacity(4);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.recent(0), None);
+        assert_eq!(r.oldest(0), None);
+        assert_eq!(r.to_vec(), Vec::<Symbol>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Ring::with_capacity(0);
+    }
+
+    #[test]
+    fn push_below_capacity() {
+        let mut r = Ring::with_capacity(4);
+        r.push(10);
+        r.push(20);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.recent(0), Some(20));
+        assert_eq!(r.recent(1), Some(10));
+        assert_eq!(r.recent(2), None);
+        assert_eq!(r.oldest(0), Some(10));
+        assert_eq!(r.to_vec(), vec![10, 20]);
+    }
+
+    #[test]
+    fn push_wraps_and_evicts_oldest() {
+        let mut r = Ring::with_capacity(3);
+        for v in 1..=5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_vec(), vec![3, 4, 5]);
+        assert_eq!(r.recent(0), Some(5));
+        assert_eq!(r.recent(2), Some(3));
+        assert_eq!(r.recent(3), None);
+        assert_eq!(r.total_pushed(), 5);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_last() {
+        let mut r = Ring::with_capacity(1);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![2]);
+        assert_eq!(r.recent(0), Some(2));
+        assert_eq!(r.recent(1), None);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_total() {
+        let mut r = Ring::with_capacity(2);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 2);
+        r.push(9);
+        assert_eq!(r.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn iter_matches_to_vec_order() {
+        let mut r = Ring::with_capacity(5);
+        for v in [4, 8, 15, 16, 23, 42] {
+            r.push(v);
+        }
+        let collected: Vec<Symbol> = r.iter().collect();
+        assert_eq!(collected, r.to_vec());
+        assert_eq!(collected, vec![8, 15, 16, 23, 42]);
+    }
+}

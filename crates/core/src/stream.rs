@@ -1,0 +1,230 @@
+//! Symbol alphabets and stream statistics.
+//!
+//! Predictors operate on abstract `u64` symbols. For MPI traces those are
+//! either sender ranks or message sizes in bytes. [`SymbolMap`] densifies an
+//! arbitrary symbol alphabet into small consecutive ids (useful for
+//! Markov-style predictors whose tables are indexed by symbol), and
+//! [`StreamStats`] computes the census used by Table 1 of the paper
+//! (how many distinct and how many *frequently appearing* senders/sizes a
+//! stream contains).
+
+use std::collections::HashMap;
+
+/// A stream element: a sender rank or a message size in bytes.
+pub type Symbol = u64;
+
+/// Bidirectional mapping between raw symbols and dense ids `0..n`.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolMap {
+    to_id: HashMap<Symbol, u32>,
+    to_symbol: Vec<Symbol>,
+}
+
+impl SymbolMap {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense id for `s`, allocating a fresh one when unseen.
+    pub fn intern(&mut self, s: Symbol) -> u32 {
+        if let Some(&id) = self.to_id.get(&s) {
+            return id;
+        }
+        let id = self.to_symbol.len() as u32;
+        self.to_id.insert(s, id);
+        self.to_symbol.push(s);
+        id
+    }
+
+    /// Looks up an id without allocating; `None` when unseen.
+    pub fn get(&self, s: Symbol) -> Option<u32> {
+        self.to_id.get(&s).copied()
+    }
+
+    /// The raw symbol behind dense id `id`.
+    pub fn symbol(&self, id: u32) -> Option<Symbol> {
+        self.to_symbol.get(id as usize).copied()
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.to_symbol.len()
+    }
+
+    /// `true` when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.to_symbol.is_empty()
+    }
+
+    /// Interns every element of `stream`, returning the dense-id stream.
+    pub fn intern_stream(&mut self, stream: &[Symbol]) -> Vec<u32> {
+        stream.iter().map(|&s| self.intern(s)).collect()
+    }
+}
+
+/// Census of a finished stream: distinct values and their frequencies.
+///
+/// Table 1 of the paper reports "the number of the frequently appearing
+/// sender and message sizes" (footnote 1), i.e. rare stragglers (startup
+/// messages, final reductions) are not counted. [`StreamStats::frequent`]
+/// reproduces that: the minimum number of distinct values needed to cover
+/// `coverage` (default 99 %) of all observations.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Total number of observations.
+    pub len: usize,
+    /// Every distinct value with its occurrence count, most frequent first.
+    pub histogram: Vec<(Symbol, usize)>,
+}
+
+impl StreamStats {
+    /// Computes statistics over `stream`.
+    pub fn of(stream: &[Symbol]) -> Self {
+        let mut counts: HashMap<Symbol, usize> = HashMap::new();
+        for &s in stream {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let mut histogram: Vec<(Symbol, usize)> = counts.into_iter().collect();
+        // Most frequent first; ties broken by value for determinism.
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        StreamStats {
+            len: stream.len(),
+            histogram,
+        }
+    }
+
+    /// Number of distinct values in the stream.
+    pub fn distinct(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Minimum number of (most frequent) distinct values that together
+    /// cover at least `coverage` of the stream, e.g. `0.99`.
+    ///
+    /// Returns 0 for an empty stream.
+    pub fn frequent(&self, coverage: f64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let needed = (coverage * self.len as f64).ceil() as usize;
+        let mut acc = 0usize;
+        for (i, &(_, c)) in self.histogram.iter().enumerate() {
+            acc += c;
+            if acc >= needed {
+                return i + 1;
+            }
+        }
+        self.histogram.len()
+    }
+
+    /// The values covering `coverage` of the stream, most frequent first.
+    pub fn frequent_values(&self, coverage: f64) -> Vec<Symbol> {
+        let n = self.frequent(coverage);
+        self.histogram.iter().take(n).map(|&(s, _)| s).collect()
+    }
+
+    /// The single most frequent value, if any.
+    pub fn mode(&self) -> Option<Symbol> {
+        self.histogram.first().map(|&(s, _)| s)
+    }
+}
+
+/// Returns the smallest exact period of `stream`, i.e. the least `p ≥ 1`
+/// with `stream[i] == stream[i + p]` for all valid `i`. A stream shorter
+/// than 2 elements has period 1 by convention; `None` for empty input.
+///
+/// This is an offline reference used by tests and by the Figure-1
+/// experiment to label the observed pattern length.
+pub fn exact_period(stream: &[Symbol]) -> Option<usize> {
+    if stream.is_empty() {
+        return None;
+    }
+    'outer: for p in 1..stream.len() {
+        for i in p..stream.len() {
+            if stream[i] != stream[i - p] {
+                continue 'outer;
+            }
+        }
+        return Some(p);
+    }
+    Some(stream.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_map_round_trips() {
+        let mut m = SymbolMap::new();
+        let a = m.intern(3240);
+        let b = m.intern(19440);
+        let a2 = m.intern(3240);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(m.symbol(a), Some(3240));
+        assert_eq!(m.symbol(b), Some(19440));
+        assert_eq!(m.get(10240), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn intern_stream_produces_dense_ids() {
+        let mut m = SymbolMap::new();
+        let ids = m.intern_stream(&[5, 7, 5, 9, 7]);
+        assert_eq!(ids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn stats_histogram_sorted_by_frequency() {
+        let s = StreamStats::of(&[1, 2, 2, 3, 3, 3]);
+        assert_eq!(s.len, 6);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.histogram[0], (3, 3));
+        assert_eq!(s.histogram[1], (2, 2));
+        assert_eq!(s.histogram[2], (1, 1));
+        assert_eq!(s.mode(), Some(3));
+    }
+
+    #[test]
+    fn frequent_ignores_rare_stragglers() {
+        // 99 observations of {1,2}, one straggler 77.
+        let mut v = Vec::new();
+        for i in 0..99 {
+            v.push(if i % 2 == 0 { 1 } else { 2 });
+        }
+        v.push(77);
+        let s = StreamStats::of(&v);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.frequent(0.99), 2);
+        assert_eq!(s.frequent(1.0), 3);
+        assert_eq!(s.frequent_values(0.99), vec![1, 2]);
+    }
+
+    #[test]
+    fn frequent_on_empty_stream_is_zero() {
+        let s = StreamStats::of(&[]);
+        assert_eq!(s.distinct(), 0);
+        assert_eq!(s.frequent(0.99), 0);
+        assert_eq!(s.mode(), None);
+    }
+
+    #[test]
+    fn exact_period_finds_smallest() {
+        assert_eq!(exact_period(&[]), None);
+        assert_eq!(exact_period(&[5]), Some(1));
+        assert_eq!(exact_period(&[5, 5, 5]), Some(1));
+        assert_eq!(exact_period(&[1, 2, 1, 2, 1]), Some(2));
+        assert_eq!(exact_period(&[1, 2, 3, 1, 2, 3]), Some(3));
+        // Aperiodic stream: period equals length.
+        assert_eq!(exact_period(&[1, 2, 3, 4]), Some(4));
+    }
+
+    #[test]
+    fn exact_period_partial_final_repetition() {
+        // Period 3 with an incomplete final repetition.
+        assert_eq!(exact_period(&[4, 5, 6, 4, 5, 6, 4]), Some(3));
+    }
+}

@@ -1,0 +1,236 @@
+//! Ablation studies backing the paper's design arguments (§4.2, §6):
+//!
+//! * `roster`    — the DPD against every baseline predictor family
+//!   (last-value, frequency, stride, Afsahi–Dimopoulos single-cycle and
+//!   tagging, order-1/2 Markov) on logical and physical BT.9 streams.
+//! * `window`    — sensitivity to the DPD window / max-lag choice.
+//! * `tolerance` — sensitivity to the mismatch tolerance on noisy
+//!   physical streams.
+//! * `noise`     — physical accuracy vs network-noise magnitude.
+//! * `set`       — §5.3: ordered vs unordered (multiset) accuracy on
+//!   physical streams.
+//!
+//! ```text
+//! cargo run -p mpp-experiments --release --bin ablation [-- roster|window|tolerance|noise|set|all] [--csv --seed N]
+//! ```
+
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::eval::{SetEvaluator, StreamEvaluator, TextTable};
+use mpp_core::predictors::PredictorKind;
+use mpp_core::stream::Symbol;
+use mpp_experiments::{experiment_dpd_config, CliArgs, Level, Target, TracedRun, HORIZONS};
+use mpp_mpisim::WorldConfig;
+use mpp_nasbench::{run_with_world, BenchId, BenchmarkConfig, Class};
+
+fn main() {
+    let args = CliArgs::parse();
+    let what = args.positional.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "roster" => roster(&args),
+        "window" => window(&args),
+        "tolerance" => tolerance(&args),
+        "noise" => noise(&args),
+        "set" => set_accuracy(&args),
+        "torus" => torus(&args),
+        "all" => {
+            roster(&args);
+            window(&args);
+            tolerance(&args);
+            noise(&args);
+            set_accuracy(&args);
+            torus(&args);
+        }
+        other => {
+            eprintln!(
+                "unknown subcommand {other:?}; expected roster|window|tolerance|noise|set|torus|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn eval_with(
+    kind: PredictorKind,
+    cfg: &DpdConfig,
+    stream: &[Symbol],
+) -> Vec<Option<f64>> {
+    let mut ev = StreamEvaluator::new(kind.build(cfg), HORIZONS);
+    ev.feed_stream(stream);
+    ev.tracker().accuracies()
+}
+
+fn fmt_acc(a: Option<f64>) -> String {
+    match a {
+        Some(v) => format!("{:.1}", v * 100.0),
+        None => "-".into(),
+    }
+}
+
+fn roster(args: &CliArgs) {
+    println!("\n== ablation: predictor roster on BT.9 sender streams ==\n");
+    eprintln!("  running bt.9 ...");
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::A), args.seed);
+    let cfg = experiment_dpd_config();
+
+    for level in [Level::Logical, Level::Physical] {
+        let stream = run.stream(level, Target::Sender);
+        let mut t = TextTable::new(vec!["predictor", "+1 %", "+2 %", "+3 %", "+4 %", "+5 %"]);
+        for kind in PredictorKind::ALL {
+            let acc = eval_with(kind, &cfg, stream);
+            let mut row = vec![kind.label().to_string()];
+            row.extend(acc.into_iter().map(fmt_acc));
+            t.push_row(row);
+        }
+        println!("{} stream:", level.label());
+        print_table(args, &t);
+    }
+    println!("single-step heuristics compete at +1 but cannot sustain deep horizons; the DPD's periodicity knowledge keeps +2..+5 at the +1 level (§4.2).");
+}
+
+fn window(args: &CliArgs) {
+    println!("\n== ablation: DPD window / max-lag sensitivity (LU.32 logical sizes) ==\n");
+    eprintln!("  running lu.32 ...");
+    // LU.32's iteration pattern is 189 messages long: max_lag below that
+    // must fail, anything above should be perfect.
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Lu, 32, Class::A), args.seed);
+    let stream = run.stream(Level::Logical, Target::Size);
+    let mut t = TextTable::new(vec!["max_lag", "window", "+1 %", "+5 %"]);
+    for max_lag in [32usize, 64, 128, 192, 256, 384] {
+        let cfg = DpdConfig {
+            window: max_lag * 2,
+            max_lag,
+            tolerance: 0.2,
+            ..DpdConfig::default()
+        };
+        let acc = eval_with(PredictorKind::Dpd, &cfg, stream);
+        t.push_row(vec![
+            max_lag.to_string(),
+            (max_lag * 2).to_string(),
+            fmt_acc(acc[0]),
+            fmt_acc(acc[4]),
+        ]);
+    }
+    print_table(args, &t);
+    println!("the pattern is 189 messages long: max_lag >= 192 is the knee.");
+}
+
+fn tolerance(args: &CliArgs) {
+    println!("\n== ablation: mismatch tolerance on the BT.9 physical sender stream ==\n");
+    eprintln!("  running bt.9 ...");
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::A), args.seed);
+    let stream = run.stream(Level::Physical, Target::Sender);
+    let mut t = TextTable::new(vec!["tolerance", "dpd +1 %", "dpd-vote +1 %"]);
+    for tol in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
+        let cfg = DpdConfig {
+            tolerance: tol,
+            ..experiment_dpd_config()
+        };
+        let copy = eval_with(PredictorKind::Dpd, &cfg, stream);
+        let vote = eval_with(PredictorKind::DpdVote, &cfg, stream);
+        t.push_row(vec![format!("{tol:.2}"), fmt_acc(copy[0]), fmt_acc(vote[0])]);
+    }
+    print_table(args, &t);
+    println!("tolerance 0 reproduces the strict sign metric of eq. (1): any reordering in the window suppresses the period; a small tolerance recovers it.");
+}
+
+fn noise(args: &CliArgs) {
+    println!("\n== ablation: physical accuracy vs network-noise magnitude (BT.9 senders) ==\n");
+    let mut t = TextTable::new(vec!["noise scale", "+1 %", "+3 %", "+5 %"]);
+    for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        eprintln!("  running bt.9 at noise x{scale} ...");
+        let cfg = BenchmarkConfig::new(BenchId::Bt, 9, Class::A);
+        let wcfg = WorldConfig::new(cfg.procs).seed(args.seed).noise_scale(scale);
+        let trace = run_with_world(&cfg, wcfg);
+        let run = TracedRun::from_trace(cfg, &trace);
+        let acc = eval_with(
+            PredictorKind::Dpd,
+            &experiment_dpd_config(),
+            run.stream(Level::Physical, Target::Sender),
+        );
+        t.push_row(vec![
+            format!("{scale:.1}"),
+            fmt_acc(acc[0]),
+            fmt_acc(acc[2]),
+            fmt_acc(acc[4]),
+        ]);
+    }
+    print_table(args, &t);
+    println!("at scale 0 the physical stream equals the logical one (Figure 3); accuracy decays as randomness grows (Figure 4's regime).");
+}
+
+fn set_accuracy(args: &CliArgs) {
+    println!("\n== ablation: ordered vs unordered (set) prediction on physical streams (§5.3) ==\n");
+    let mut t = TextTable::new(vec!["stream", "ordered +1 %", "mean +1..+5 %", "set-of-5 hit %"]);
+    for cfg in [
+        BenchmarkConfig::new(BenchId::Bt, 9, Class::A),
+        BenchmarkConfig::new(BenchId::Is, 16, Class::A),
+        BenchmarkConfig::new(BenchId::Lu, 16, Class::A),
+    ] {
+        eprintln!("  running {} ...", cfg.label());
+        let run = TracedRun::execute(cfg, args.seed);
+        let stream = run.stream(Level::Physical, Target::Sender);
+        let dpd = experiment_dpd_config();
+
+        let mut ordered = StreamEvaluator::new(DpdPredictor::new(dpd.clone()), HORIZONS);
+        ordered.feed_stream(stream);
+        let o1 = ordered.tracker().horizon(1).accuracy();
+        let om = ordered.tracker().mean_accuracy();
+
+        let mut set = SetEvaluator::new(DpdPredictor::new(dpd), HORIZONS);
+        set.feed_stream(stream);
+
+        t.push_row(vec![
+            cfg.label(),
+            fmt_acc(o1),
+            fmt_acc(om),
+            fmt_acc(set.hit_rate()),
+        ]);
+    }
+    print_table(args, &t);
+    println!("\"knowing the next senders and their message size may be useful [without] the exact temporal order\" — the set metric stays above the ordered one on reordered streams.");
+}
+
+fn torus(args: &CliArgs) {
+    println!("\n== ablation: route-spread source — hashed pairs vs 2-D torus hops ==\n");
+    // Does Figure 4 depend on *how* the systematic per-pair latency
+    // spread arises? Replace the hashed pair factor with hop-count
+    // distances on a torus and re-measure bt.9 physical accuracy.
+    use mpp_mpisim::net::TorusNetwork;
+    use mpp_mpisim::World;
+    let mut t = TextTable::new(vec!["network", "+1 %", "+3 %", "+5 %"]);
+    for (name, torus) in [("hashed pair factors", false), ("torus hop counts", true)] {
+        eprintln!("  running bt.9 on {name} ...");
+        let cfg = BenchmarkConfig::new(BenchId::Bt, 9, Class::A);
+        let run = if torus {
+            let wcfg = WorldConfig::new(cfg.procs).seed(args.seed);
+            let net = TorusNetwork::from_config(&wcfg);
+            let program = mpp_nasbench::build_program(&cfg);
+            let trace = World::new(wcfg, net).run(program.as_ref());
+            TracedRun::from_trace(cfg, &trace)
+        } else {
+            TracedRun::execute(cfg, args.seed)
+        };
+        let acc = eval_with(
+            PredictorKind::Dpd,
+            &experiment_dpd_config(),
+            run.stream(Level::Physical, Target::Sender),
+        );
+        t.push_row(vec![
+            name.to_string(),
+            fmt_acc(acc[0]),
+            fmt_acc(acc[2]),
+            fmt_acc(acc[4]),
+        ]);
+    }
+    print_table(args, &t);
+    println!("the qualitative regime (partial physical predictability) survives a different route-spread mechanism.");
+}
+
+fn print_table(args: &CliArgs, t: &TextTable) {
+    if args.csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+    println!();
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 4** of the paper: prediction accuracy of the
+//! next five senders and message sizes on the **physical** communication
+//! stream (arrival order, perturbed by network randomness). The paper
+//! finds lower accuracy than Figure 3 — moderate degradation for BT,
+//! severe for collective-dominated IS, little for LU/Sweep3D whose
+//! streams have so few distinct values that reordering is often
+//! invisible.
+//!
+//! ```text
+//! cargo run -p mpp-experiments --release --bin fig4 [-- --csv --seed N]
+//! ```
+
+use mpp_core::eval::accuracy_table;
+use mpp_experiments::{accuracy_row, run_all_paper_configs, CliArgs, Level, Target, HORIZONS};
+
+fn main() {
+    let args = CliArgs::parse();
+    eprintln!("fig4: running all 19 configurations (seed {}) ...", args.seed);
+    let runs = run_all_paper_configs(args.seed);
+
+    for target in [Target::Sender, Target::Size] {
+        let rows: Vec<_> = runs
+            .iter()
+            .map(|r| accuracy_row(r, Level::Physical, target))
+            .collect();
+        let table = accuracy_table(&rows, HORIZONS);
+        if args.csv {
+            println!("# fig4 {} prediction", target.label());
+            print!("{}", table.to_csv());
+        } else {
+            println!(
+                "\nFigure 4 — prediction of the PHYSICAL MPI communication: {} prediction\n",
+                target.label()
+            );
+            print!("{}", table.render());
+        }
+    }
+    if !args.csv {
+        println!("\npaper: \"the physical communication of MPI is predicted with less accuracy\"; IS is \"very hard\", LU and Sweep3D stay high.");
+    }
+}

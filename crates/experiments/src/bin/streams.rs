@@ -1,0 +1,109 @@
+//! Debug/inspection tool: prints the logical and physical streams of the
+//! traced rank for any configuration, with difference markers and the
+//! DPD's view of the physical stream (per-lag mismatch ratios around the
+//! true period).
+//!
+//! ```text
+//! cargo run -p mpp-experiments --release --bin streams -- bt 9 [--seed N] [--count M]
+//! ```
+
+use mpp_core::dpd::PeriodicityDetector;
+use mpp_core::stream::exact_period;
+use mpp_experiments::{experiment_dpd_config, CliArgs, TracedRun};
+use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+
+fn main() {
+    let args = CliArgs::parse();
+    let bench = args.positional.first().map(String::as_str).unwrap_or("bt");
+    let procs: usize = args
+        .positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let count: usize = args
+        .positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let id = match bench {
+        "bt" => BenchId::Bt,
+        "cg" => BenchId::Cg,
+        "lu" => BenchId::Lu,
+        "is" => BenchId::Is,
+        "sw" => BenchId::Sweep3d,
+        other => {
+            eprintln!("unknown benchmark {other}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = BenchmarkConfig::new(id, procs, Class::A);
+    eprintln!("running {} ...", cfg.label());
+    // Noise-source toggles for bisection: pass any of
+    // nojitter/nocongestion/noimbalance/nopair as extra positionals.
+    let mut wcfg = mpp_mpisim::WorldConfig::new(cfg.procs).seed(args.seed);
+    for flag in &args.positional {
+        match flag.as_str() {
+            "nojitter" => wcfg.jitter_frac = 0.0,
+            "nocongestion" => wcfg.congestion_prob = 0.0,
+            "noimbalance" => {
+                wcfg.compute_imbalance = 0.0;
+                wcfg.compute_systematic = 0.0;
+            }
+            "nopair" => wcfg.pair_spread = 0.0,
+            _ => {}
+        }
+    }
+    let trace = mpp_nasbench::run_with_world(&cfg, wcfg);
+    let run = TracedRun::from_trace(cfg, &trace);
+
+    let log = &run.logical.senders;
+    let phys = &run.physical.senders;
+    let diffs = log.iter().zip(phys).filter(|(a, b)| a != b).count();
+    println!(
+        "{}: traced rank {}, {} messages, {} positions differ ({:.1} %)",
+        cfg.label(),
+        run.rank,
+        log.len(),
+        diffs,
+        100.0 * diffs as f64 / log.len().max(1) as f64
+    );
+
+    // Show a window from the middle of the run (steady state).
+    let start = (log.len() / 2).min(log.len().saturating_sub(count));
+    let end = (start + count).min(log.len());
+    for s in (start..end).step_by(30) {
+        let e = (s + 30).min(end);
+        let f = |v: &[u64]| {
+            v[s..e]
+                .iter()
+                .map(|x| format!("{x:>2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  idx {s}");
+        println!("  log : {}", f(log));
+        println!("  phys: {}", f(phys));
+        let marks: String = (s..e)
+            .map(|i| if log[i] != phys[i] { " ^ " } else { "   " })
+            .collect();
+        println!("       {marks}");
+    }
+
+    // DPD view of the physical stream.
+    let mut det = PeriodicityDetector::new(experiment_dpd_config());
+    for &v in phys {
+        det.observe(v);
+    }
+    let tail = &log[log.len().saturating_sub(600)..];
+    let true_p = exact_period(tail);
+    println!("\nlogical pattern length (tail): {true_p:?}");
+    println!("DPD period on physical stream: {:?}", det.period());
+    let mut ratios: Vec<(usize, f64)> = (1..=det.config().max_lag)
+        .filter_map(|m| det.mismatch_ratio(m).map(|r| (m, r)))
+        .collect();
+    ratios.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("cleanest lags (lag, mismatch ratio):");
+    for (m, r) in ratios.iter().take(8) {
+        println!("  lag {m:>4}: {:.3}", r);
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 1** of the paper: the message census of the traced
+//! process for all 19 benchmark configurations, side by side with the
+//! paper's published values.
+//!
+//! ```text
+//! cargo run -p mpp-experiments --release --bin table1 [-- --csv --seed N]
+//! ```
+
+use mpp_core::eval::TextTable;
+use mpp_experiments::paper::paper_row;
+use mpp_experiments::{run_all_paper_configs, CliArgs};
+
+fn main() {
+    let args = CliArgs::parse();
+    eprintln!("table1: running all 19 configurations (seed {}) ...", args.seed);
+    let runs = run_all_paper_configs(args.seed);
+
+    let mut t = TextTable::new(vec![
+        "config",
+        "procs",
+        "p2p msgs",
+        "paper p2p",
+        "coll msgs",
+        "paper coll",
+        "msg sizes",
+        "paper sizes",
+        "senders",
+        "paper senders",
+    ]);
+    for run in &runs {
+        let c = &run.census;
+        let paper = paper_row(&run.config.label());
+        let (pp2p, pcoll, psizes, psend) = paper
+            .map(|r| {
+                (
+                    r.p2p_msgs.to_string(),
+                    r.coll_msgs.to_string(),
+                    r.msg_sizes.to_string(),
+                    r.senders.to_string(),
+                )
+            })
+            .unwrap_or_default();
+        t.push_row(vec![
+            run.config.label(),
+            run.config.procs.to_string(),
+            c.p2p_msgs.to_string(),
+            pp2p,
+            c.coll_msgs.to_string(),
+            pcoll,
+            c.frequent_sizes.to_string(),
+            psizes,
+            c.frequent_senders.to_string(),
+            psend,
+        ]);
+    }
+
+    if args.csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("Table 1 — MPI applications used for this study (traced process census)");
+        println!("'paper *' columns are the published values; see EXPERIMENTS.md for deltas.\n");
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,507 @@
+//! Collective operations, decomposed into point-to-point algorithms.
+//!
+//! The paper's physical traces see collective traffic as the individual
+//! messages of the underlying algorithms (that is why IS — almost all
+//! collectives — is "very hard" to predict at the physical level, §5.2).
+//! The algorithms here follow the classic MPICH choices:
+//!
+//! * barrier — dissemination;
+//! * bcast / reduce — binomial tree;
+//! * allreduce — recursive doubling with non-power-of-two fold/unfold;
+//! * gather / scatter — flat tree rooted at `root`;
+//! * allgather — ring;
+//! * alltoall(v) — pairwise exchange rounds `(rank ± i) mod P`, including
+//!   the local self-copy round (`i = 0`), which MPICH also pushes through
+//!   its device layer and which the paper's Table 1 counts (IS lists `p`
+//!   distinct senders, not `p − 1`).
+//!
+//! Every collective instance draws a fresh reserved tag, so back-to-back
+//! collectives never cross-match. All ranks must invoke collectives in the
+//! same order with compatible arguments — the usual MPI contract.
+
+use super::Comm;
+use crate::message::{CollectiveKind, MessageKind, Rank, ReduceOp};
+
+impl Comm {
+    /// Dissemination barrier: ⌈log₂ P⌉ rounds of staggered exchanges.
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Barrier);
+        let p = self.size();
+        let me = self.rank();
+        let mut step = 1;
+        while step < p {
+            let dst = (me + step) % p;
+            let src = (me + p - step) % p;
+            self.send_kind(dst, tag, 8, 0, kind);
+            self.recv_coll(src, tag);
+            step <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of `payload` from `root`; every rank
+    /// returns the broadcast value. `bytes` is the simulated size.
+    pub fn bcast(&mut self, root: Rank, bytes: u64, payload: u64) -> u64 {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Bcast);
+        let p = self.size();
+        let me = self.rank();
+        let relative = (me + p - root) % p;
+        let mut value = payload;
+        // Receive from parent (lowest set bit of the relative rank).
+        let mut mask = 1;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % p;
+                value = self.recv_coll(src, tag).payload;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children, highest mask first.
+        mask >>= 1;
+        while mask > 0 {
+            if relative & mask == 0 && relative + mask < p {
+                let dst = (relative + mask + root) % p;
+                self.send_kind(dst, tag, bytes, value, kind);
+            }
+            mask >>= 1;
+        }
+        value
+    }
+
+    /// Binomial-tree reduction to `root`. Returns `Some(result)` on the
+    /// root, `None` elsewhere.
+    pub fn reduce(&mut self, root: Rank, bytes: u64, value: u64, op: ReduceOp) -> Option<u64> {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Reduce);
+        let p = self.size();
+        let me = self.rank();
+        let relative = (me + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1;
+        while mask < p {
+            if relative & mask == 0 {
+                let peer_rel = relative | mask;
+                if peer_rel < p {
+                    let src = (peer_rel + root) % p;
+                    let m = self.recv_coll(src, tag);
+                    acc = op.apply(acc, m.payload);
+                }
+            } else {
+                let dst = ((relative & !mask) + root) % p;
+                self.send_kind(dst, tag, bytes, acc, kind);
+                break;
+            }
+            mask <<= 1;
+        }
+        (me == root).then_some(acc)
+    }
+
+    /// Recursive-doubling allreduce; every rank returns the reduction of
+    /// all contributions. Handles non-power-of-two sizes with the
+    /// standard fold/unfold of the first `2·(P − 2^⌊log P⌋)` ranks.
+    pub fn allreduce(&mut self, bytes: u64, value: u64, op: ReduceOp) -> u64 {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Allreduce);
+        let p = self.size();
+        let me = self.rank();
+        let pof2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+        let rem = p - pof2;
+        let mut acc = value;
+
+        // Fold: the first 2·rem ranks combine pairwise so a power-of-two
+        // subset remains.
+        let newrank: Option<usize> = if me < 2 * rem {
+            if me.is_multiple_of(2) {
+                self.send_kind(me + 1, tag, bytes, acc, kind);
+                None
+            } else {
+                let m = self.recv_coll(me - 1, tag);
+                acc = op.apply(acc, m.payload);
+                Some(me / 2)
+            }
+        } else {
+            Some(me - rem)
+        };
+
+        if let Some(nr) = newrank {
+            let mut mask = 1;
+            while mask < pof2 {
+                let peer_nr = nr ^ mask;
+                let peer = if peer_nr < rem {
+                    peer_nr * 2 + 1
+                } else {
+                    peer_nr + rem
+                };
+                self.send_kind(peer, tag, bytes, acc, kind);
+                let m = self.recv_coll(peer, tag);
+                acc = op.apply(acc, m.payload);
+                mask <<= 1;
+            }
+        }
+
+        // Unfold: deliver the result back to the folded-away ranks.
+        if me < 2 * rem {
+            if me % 2 == 1 {
+                self.send_kind(me - 1, tag, bytes, acc, kind);
+            } else {
+                acc = self.recv_coll(me + 1, tag).payload;
+            }
+        }
+        acc
+    }
+
+    /// Flat-tree gather: rank `root` returns every rank's value (indexed
+    /// by rank), other ranks return `None`.
+    pub fn gather(&mut self, root: Rank, bytes: u64, value: u64) -> Option<Vec<u64>> {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Gather);
+        let p = self.size();
+        let me = self.rank();
+        if me == root {
+            let mut out = vec![0u64; p];
+            out[me] = value;
+            // Deterministic reception order: by source rank.
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != me {
+                    *slot = self.recv_coll(src, tag).payload;
+                }
+            }
+            Some(out)
+        } else {
+            self.send_kind(root, tag, bytes, value, kind);
+            None
+        }
+    }
+
+    /// Flat-tree scatter: `root` provides one value per rank; every rank
+    /// returns its slice. Non-root ranks pass `None`.
+    pub fn scatter(&mut self, root: Rank, bytes: u64, values: Option<&[u64]>) -> u64 {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Scatter);
+        let p = self.size();
+        let me = self.rank();
+        if me == root {
+            let values = values.expect("root must supply scatter values");
+            assert_eq!(values.len(), p, "one value per rank");
+            for (dst, &v) in values.iter().enumerate() {
+                if dst != me {
+                    self.send_kind(dst, tag, bytes, v, kind);
+                }
+            }
+            values[me]
+        } else {
+            self.recv_coll(root, tag).payload
+        }
+    }
+
+    /// Ring allgather: P − 1 rounds; every rank returns all values
+    /// (indexed by rank).
+    pub fn allgather(&mut self, bytes: u64, value: u64) -> Vec<u64> {
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(CollectiveKind::Allgather);
+        let p = self.size();
+        let me = self.rank();
+        let mut out = vec![0u64; p];
+        out[me] = value;
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        // Round i forwards the value that originated at (me - i) mod p.
+        let mut forward = value;
+        for i in 0..p.saturating_sub(1) {
+            self.send_kind(right, tag, bytes, forward, kind);
+            let m = self.recv_coll(left, tag);
+            let origin = (me + p - 1 - i) % p;
+            out[origin] = m.payload;
+            forward = m.payload;
+        }
+        out
+    }
+
+    /// Pairwise-exchange all-to-all with uniform `bytes` per peer;
+    /// `values[d]` is sent to rank `d`. Returns the received values
+    /// indexed by source (including the self-copy).
+    pub fn alltoall(&mut self, bytes: u64, values: &[u64]) -> Vec<u64> {
+        let sizes = vec![bytes; self.size()];
+        self.alltoallv_internal(&sizes, values, CollectiveKind::Alltoall)
+    }
+
+    /// Pairwise-exchange all-to-all with per-destination sizes
+    /// (`MPI_Alltoallv`). Returns received values indexed by source.
+    pub fn alltoallv(&mut self, bytes_to: &[u64], values: &[u64]) -> Vec<u64> {
+        self.alltoallv_internal(bytes_to, values, CollectiveKind::Alltoallv)
+    }
+
+    fn alltoallv_internal(
+        &mut self,
+        bytes_to: &[u64],
+        values: &[u64],
+        ck: CollectiveKind,
+    ) -> Vec<u64> {
+        let p = self.size();
+        assert_eq!(bytes_to.len(), p, "one size per destination");
+        assert_eq!(values.len(), p, "one value per destination");
+        let tag = self.next_coll_tag();
+        let kind = MessageKind::Collective(ck);
+        let me = self.rank();
+        let mut out = vec![0u64; p];
+        // Round i: send to (me + i), receive from (me − i); round 0 is the
+        // self-copy.
+        for i in 0..p {
+            let dst = (me + i) % p;
+            let src = (me + p - i) % p;
+            self.send_kind(dst, tag, bytes_to[dst], values[dst], kind);
+            let m = self.recv_coll(src, tag);
+            out[src] = m.payload;
+        }
+        out
+    }
+
+    /// Receive helper for collective-internal messages.
+    fn recv_coll(&mut self, src: Rank, tag: crate::message::Tag) -> super::Message {
+        self.recv(src, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::Comm;
+    use crate::config::WorldConfig;
+    use crate::engine::{RankProgram, World};
+    use crate::message::ReduceOp;
+    use crate::net::{IdealNetwork, JitterNetwork};
+
+    fn run_on<P: RankProgram>(n: usize, program: P) -> crate::trace::Trace {
+        let cfg = WorldConfig::new(n).seed(11);
+        let net = JitterNetwork::from_config(&cfg);
+        World::new(cfg, net).run(&program)
+    }
+
+    struct BcastCheck;
+    impl RankProgram for BcastCheck {
+        fn run(&self, c: &mut Comm) {
+            let payload = if c.rank() == 2 { 777 } else { 0 };
+            let got = c.bcast(2, 4096, payload);
+            assert_eq!(got, 777, "rank {}", c.rank());
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_every_rank_from_any_root() {
+        for n in [1, 2, 3, 4, 5, 8, 13] {
+            if n > 2 {
+                run_on(n, BcastCheck);
+            }
+        }
+    }
+
+    struct ReduceCheck;
+    impl RankProgram for ReduceCheck {
+        fn run(&self, c: &mut Comm) {
+            let v = (c.rank() + 1) as u64;
+            let n = c.size() as u64;
+            let got = c.reduce(0, 64, v, ReduceOp::Sum);
+            if c.rank() == 0 {
+                assert_eq!(got, Some(n * (n + 1) / 2));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_all_contributions() {
+        for n in [1, 2, 3, 4, 6, 7, 8, 16] {
+            run_on(n, ReduceCheck);
+        }
+    }
+
+    struct AllreduceCheck;
+    impl RankProgram for AllreduceCheck {
+        fn run(&self, c: &mut Comm) {
+            let v = (c.rank() * 10 + 1) as u64;
+            let max = c.allreduce(128, v, ReduceOp::Max);
+            assert_eq!(max, ((c.size() - 1) * 10 + 1) as u64);
+            let sum = c.allreduce(128, 1, ReduceOp::Sum);
+            assert_eq!(sum, c.size() as u64);
+            let min = c.allreduce(128, v, ReduceOp::Min);
+            assert_eq!(min, 1);
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_any_size_including_non_pow2() {
+        for n in [1, 2, 3, 5, 6, 8, 12, 16, 32] {
+            run_on(n, AllreduceCheck);
+        }
+    }
+
+    struct BarrierCheck;
+    impl RankProgram for BarrierCheck {
+        fn run(&self, c: &mut Comm) {
+            // Rank 0 lags; everyone's post-barrier clock must reach rank
+            // 0's pre-barrier time (that's what a barrier means in
+            // virtual time).
+            if c.rank() == 0 {
+                c.compute(1_000_000);
+            }
+            c.barrier();
+            assert!(
+                c.now().as_nanos() >= 1_000_000,
+                "rank {} passed the barrier at {} before the slowest rank reached it",
+                c.rank(),
+                c.now()
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises_virtual_clocks() {
+        let cfg = WorldConfig::new(6).seed(2).noiseless();
+        let net = IdealNetwork::from_config(&cfg);
+        World::new(cfg, net).run(&BarrierCheck);
+    }
+
+    struct GatherScatter;
+    impl RankProgram for GatherScatter {
+        fn run(&self, c: &mut Comm) {
+            let r = c.rank() as u64;
+            let gathered = c.gather(1, 32, r * r);
+            if c.rank() == 1 {
+                let g = gathered.unwrap();
+                for (i, &v) in g.iter().enumerate() {
+                    assert_eq!(v, (i * i) as u64);
+                }
+            } else {
+                assert!(gathered.is_none());
+            }
+            // Scatter back doubled values.
+            let doubled: Vec<u64> = (0..c.size() as u64).map(|i| i * 2).collect();
+            let mine = if c.rank() == 1 {
+                c.scatter(1, 16, Some(&doubled))
+            } else {
+                c.scatter(1, 16, None)
+            };
+            assert_eq!(mine, r * 2);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_round_trip() {
+        for n in [2, 3, 5, 8] {
+            run_on(n, GatherScatter);
+        }
+    }
+
+    struct AllgatherCheck;
+    impl RankProgram for AllgatherCheck {
+        fn run(&self, c: &mut Comm) {
+            let got = c.allgather(64, c.rank() as u64 + 100);
+            let expect: Vec<u64> = (0..c.size() as u64).map(|i| i + 100).collect();
+            assert_eq!(got, expect, "rank {}", c.rank());
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            run_on(n, AllgatherCheck);
+        }
+    }
+
+    struct AlltoallCheck;
+    impl RankProgram for AlltoallCheck {
+        fn run(&self, c: &mut Comm) {
+            let me = c.rank() as u64;
+            let p = c.size() as u64;
+            // values[d] = me * p + d: unique per (src, dst) pair.
+            let values: Vec<u64> = (0..p).map(|d| me * p + d).collect();
+            let got = c.alltoall(256, &values);
+            for (src, &v) in got.iter().enumerate() {
+                assert_eq!(v, src as u64 * p + me, "rank {me} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_permutes_correctly() {
+        for n in [1, 2, 4, 5, 8] {
+            run_on(n, AlltoallCheck);
+        }
+    }
+
+    struct AlltoallvCheck;
+    impl RankProgram for AlltoallvCheck {
+        fn run(&self, c: &mut Comm) {
+            let me = c.rank() as u64;
+            let p = c.size();
+            let sizes: Vec<u64> = (0..p as u64).map(|d| 100 * (me + d + 1)).collect();
+            let values: Vec<u64> = (0..p as u64).map(|d| me * 1000 + d).collect();
+            let got = c.alltoallv(&sizes, &values);
+            for (src, &v) in got.iter().enumerate() {
+                assert_eq!(v, src as u64 * 1000 + me);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_carries_per_peer_sizes() {
+        let trace = run_on(4, AlltoallvCheck);
+        // Rank 0 receives from peers 1..3 with sizes 100*(src+0+1)
+        // plus its self-copy 100*(0+0+1).
+        let evs = trace.receives_of(0);
+        let mut sizes: Vec<u64> = evs.iter().map(|e| e.bytes).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![100, 200, 300, 400]);
+    }
+
+    struct MixedCollectives;
+    impl RankProgram for MixedCollectives {
+        fn run(&self, c: &mut Comm) {
+            // Back-to-back collectives must not cross-match thanks to
+            // per-instance tags.
+            for round in 0..5u64 {
+                let s = c.allreduce(64, round, ReduceOp::Sum);
+                assert_eq!(s, round * c.size() as u64);
+                let b = c.bcast(0, 64, round * 7);
+                assert_eq!(b, round * 7);
+                c.barrier();
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_match() {
+        for n in [2, 3, 8] {
+            run_on(n, MixedCollectives);
+        }
+    }
+
+    #[test]
+    fn collective_traffic_is_flagged_in_traces() {
+        let trace = run_on(4, AlltoallCheck);
+        for r in 0..4 {
+            assert!(trace
+                .receives_of(r)
+                .iter()
+                .all(|e| e.kind.is_collective()));
+        }
+    }
+
+    struct SingleRankCollectives;
+    impl RankProgram for SingleRankCollectives {
+        fn run(&self, c: &mut Comm) {
+            assert_eq!(c.allreduce(8, 5, ReduceOp::Sum), 5);
+            assert_eq!(c.bcast(0, 8, 9), 9);
+            c.barrier();
+            assert_eq!(c.alltoall(8, &[3]), vec![3]);
+            assert_eq!(c.allgather(8, 4), vec![4]);
+        }
+    }
+
+    #[test]
+    fn collectives_degenerate_gracefully_on_one_rank() {
+        run_on(1, SingleRankCollectives);
+    }
+}

@@ -1,0 +1,145 @@
+//! World configuration.
+
+/// Parameters of a simulated world.
+///
+/// The defaults model a early-2000s message-passing machine in the spirit
+/// of the paper's IBM RS/6000 testbed: microsecond-scale software
+/// overheads, ~10 µs wire latency, ~100 MB/s bandwidth, an eager/rendezvous
+/// switch at 16 KB (the IBM MPI per-pair buffer size quoted in §2.1), and
+/// moderate jitter.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Master seed for all deterministic noise.
+    pub seed: u64,
+    /// Sender-side software overhead per message, ns (LogGP `o_s`).
+    pub send_overhead_ns: u64,
+    /// Receiver-side software overhead per delivery, ns (LogGP `o_r`).
+    pub recv_overhead_ns: u64,
+    /// Base wire latency, ns (LogGP `L`).
+    pub latency_ns: u64,
+    /// Transfer cost per byte, ns (LogGP `G`); 10 ns/B ≈ 100 MB/s.
+    pub ns_per_byte: f64,
+    /// Relative magnitude of per-message latency jitter (0 = none).
+    pub jitter_frac: f64,
+    /// Relative magnitude of the *systematic* per-(src, dst) latency
+    /// spread: different pairs take different routes, so each pair's
+    /// latency is scaled by a run-constant factor in
+    /// `[1, 1 + pair_spread]`. This is what makes the arrival order of a
+    /// small burst mostly *stable* (BT's six faces) while a wide incast
+    /// (IS's alltoall) — whose adjacent pair-latency gaps shrink with the
+    /// number of racers — still scrambles under jitter.
+    pub pair_spread: f64,
+    /// Probability that a message hits a congestion spike.
+    pub congestion_prob: f64,
+    /// Latency multiplier applied on a congestion spike.
+    pub congestion_factor: f64,
+    /// Relative magnitude of *random* (per-call) compute-time noise.
+    pub compute_imbalance: f64,
+    /// Relative magnitude of *systematic* (per-rank, run-constant)
+    /// compute skew. Real machines drift consistently — one rank is
+    /// always a little slower — which keeps physical arrival orders
+    /// mostly stable with only occasional jitter-induced swaps, exactly
+    /// the Figure-2 behaviour.
+    pub compute_systematic: f64,
+    /// Messages strictly larger than this use the rendezvous protocol
+    /// (an extra request/ack round trip before data moves).
+    pub eager_threshold: u64,
+    /// Whether the rendezvous protocol is modelled at all.
+    pub rendezvous: bool,
+}
+
+impl WorldConfig {
+    /// A world of `nprocs` ranks with testbed-like defaults.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs > 0, "a world needs at least one rank");
+        WorldConfig {
+            nprocs,
+            seed: 0x5EED,
+            send_overhead_ns: 800,
+            recv_overhead_ns: 800,
+            latency_ns: 10_000,
+            ns_per_byte: 10.0,
+            jitter_frac: 0.01,
+            pair_spread: 0.10,
+            congestion_prob: 0.01,
+            congestion_factor: 4.0,
+            compute_imbalance: 0.003,
+            compute_systematic: 0.04,
+            eager_threshold: 16 * 1024,
+            rendezvous: true,
+        }
+    }
+
+    /// Replaces the master seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables every noise source: jitter, congestion and compute
+    /// imbalance. The physical stream then orders exactly like the
+    /// logical one (useful for tests and for isolating noise effects).
+    pub fn noiseless(mut self) -> Self {
+        self.jitter_frac = 0.0;
+        self.pair_spread = 0.0;
+        self.congestion_prob = 0.0;
+        self.compute_imbalance = 0.0;
+        self.compute_systematic = 0.0;
+        self
+    }
+
+    /// Scales all noise knobs by `f` relative to the defaults (ablation
+    /// sweeps use this to dial randomness up and down).
+    pub fn noise_scale(mut self, f: f64) -> Self {
+        let base = WorldConfig::new(self.nprocs);
+        self.jitter_frac = base.jitter_frac * f;
+        self.congestion_prob = (base.congestion_prob * f).min(1.0);
+        self.compute_imbalance = base.compute_imbalance * f;
+        self.compute_systematic = base.compute_systematic * f;
+        // The pair spread is systematic, not noise: it stays put.
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = WorldConfig::new(8);
+        assert_eq!(c.nprocs, 8);
+        assert!(c.jitter_frac > 0.0);
+        assert!(c.eager_threshold > 0);
+        assert!(c.rendezvous);
+    }
+
+    #[test]
+    fn noiseless_zeroes_all_noise() {
+        let c = WorldConfig::new(4).noiseless();
+        assert_eq!(c.jitter_frac, 0.0);
+        assert_eq!(c.congestion_prob, 0.0);
+        assert_eq!(c.compute_imbalance, 0.0);
+    }
+
+    #[test]
+    fn noise_scale_is_relative_to_defaults() {
+        let c = WorldConfig::new(4).noiseless().noise_scale(2.0);
+        let base = WorldConfig::new(4);
+        assert!((c.jitter_frac - base.jitter_frac * 2.0).abs() < 1e-12);
+        assert!((c.congestion_prob - base.congestion_prob * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_seed() {
+        assert_eq!(WorldConfig::new(2).seed(99).seed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = WorldConfig::new(0);
+    }
+}

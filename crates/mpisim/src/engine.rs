@@ -1,0 +1,191 @@
+//! World execution: one OS thread per simulated rank.
+
+use crate::comm::Comm;
+use crate::config::WorldConfig;
+use crate::message::Wire;
+use crate::net::NetworkModel;
+use crate::oracle::OracleFactory;
+use crate::trace::{RankTrace, Trace};
+use crossbeam_channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread;
+
+/// The code a rank executes. Implementations receive their identity via
+/// [`Comm::rank`] and must be safe to invoke concurrently from all rank
+/// threads (`&self` only).
+pub trait RankProgram: Send + Sync {
+    /// Body of the simulated process.
+    fn run(&self, comm: &mut Comm);
+}
+
+/// Closures can serve as quick one-off programs (tests, examples).
+impl<F: Fn(&mut Comm) + Send + Sync> RankProgram for F {
+    fn run(&self, comm: &mut Comm) {
+        self(comm);
+    }
+}
+
+/// A simulated machine: configuration plus network model.
+pub struct World {
+    cfg: Arc<WorldConfig>,
+    net: Arc<dyn NetworkModel>,
+    oracle: Option<Arc<dyn OracleFactory>>,
+}
+
+impl World {
+    /// Creates a world with the given configuration and network model.
+    pub fn new(cfg: WorldConfig, net: impl NetworkModel + 'static) -> Self {
+        World {
+            cfg: Arc::new(cfg),
+            net: Arc::new(net),
+            oracle: None,
+        }
+    }
+
+    /// Equips every rank with a receiver-side arrival oracle: correctly
+    /// predicted rendezvous messages skip the request/clear-to-send
+    /// round trip (§2.3 of the paper).
+    pub fn with_oracle(mut self, factory: impl OracleFactory + 'static) -> Self {
+        self.oracle = Some(Arc::new(factory));
+        self
+    }
+
+    /// The world's configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` on every rank to completion and returns the merged
+    /// trace. Panics from rank threads (assertion failures, simulated
+    /// deadlock) propagate to the caller.
+    pub fn run<P: RankProgram + ?Sized>(&self, program: &P) -> Trace {
+        let n = self.cfg.nprocs;
+        let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let outs: Arc<[Sender<Wire>]> = txs.into();
+
+        let per_rank: Vec<RankTrace> = thread::scope(|s| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let outs = Arc::clone(&outs);
+                    let cfg = Arc::clone(&self.cfg);
+                    let net = Arc::clone(&self.net);
+                    let oracle = self.oracle.as_ref().map(|f| f.build(rank));
+                    s.spawn(move || {
+                        let mut comm = Comm::new(rank, cfg, net, rx, outs);
+                        comm.set_oracle(oracle);
+                        program.run(&mut comm);
+                        comm.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(rt) => rt,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        });
+        Trace::new(n, per_rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::IdealNetwork;
+
+    fn world(n: usize) -> World {
+        let cfg = WorldConfig::new(n).seed(5);
+        let net = IdealNetwork::from_config(&cfg);
+        World::new(cfg, net)
+    }
+
+    #[test]
+    fn closures_are_programs() {
+        let trace = world(3).run(&|c: &mut Comm| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 0, 8, c.rank() as u64);
+            let m = c.recv(prev, 0);
+            assert_eq!(m.payload, prev as u64);
+        });
+        assert_eq!(trace.total_receives(), 3);
+        assert_eq!(trace.nprocs(), 3);
+    }
+
+    #[test]
+    fn empty_program_produces_empty_trace() {
+        let trace = world(4).run(&|_c: &mut Comm| {});
+        assert_eq!(trace.total_receives(), 0);
+        for r in 0..4 {
+            assert!(trace.receives_of(r).is_empty());
+            assert_eq!(trace.final_time_of(r).as_nanos(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom from rank 2")]
+    fn rank_panics_propagate() {
+        world(3).run(&|c: &mut Comm| {
+            if c.rank() == 2 {
+                panic!("boom from rank 2");
+            }
+        });
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let prog = |c: &mut Comm| {
+            for round in 0..20u64 {
+                let dst = (c.rank() + 1) % c.size();
+                let src = (c.rank() + c.size() - 1) % c.size();
+                c.send(dst, 1, 100 + round * 10, round);
+                c.recv(src, 1);
+                c.compute(500);
+            }
+        };
+        let cfg = WorldConfig::new(8).seed(77);
+        let t1 = World::new(cfg.clone(), crate::net::JitterNetwork::from_config(&cfg)).run(&prog);
+        let t2 = World::new(cfg.clone(), crate::net::JitterNetwork::from_config(&cfg)).run(&prog);
+        for r in 0..8 {
+            let a = t1.receives_of(r);
+            let b = t2.receives_of(r);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.src, y.src);
+                assert_eq!(x.arrive, y.arrive);
+                assert_eq!(x.deliver, y.deliver);
+                assert_eq!(x.logical_idx, y.logical_idx);
+            }
+            assert_eq!(t1.final_time_of(r), t2.final_time_of(r));
+        }
+    }
+
+    #[test]
+    fn different_seeds_change_physical_timing() {
+        let prog = |c: &mut Comm| {
+            for round in 0..20u64 {
+                let dst = (c.rank() + 1) % c.size();
+                let src = (c.rank() + c.size() - 1) % c.size();
+                c.send(dst, 1, 4096, round);
+                c.recv(src, 1);
+            }
+        };
+        let cfg1 = WorldConfig::new(4).seed(1);
+        let cfg2 = WorldConfig::new(4).seed(2);
+        let t1 = World::new(cfg1.clone(), crate::net::JitterNetwork::from_config(&cfg1)).run(&prog);
+        let t2 = World::new(cfg2.clone(), crate::net::JitterNetwork::from_config(&cfg2)).run(&prog);
+        let a: Vec<u64> = t1.receives_of(0).iter().map(|e| e.arrive.as_nanos()).collect();
+        let b: Vec<u64> = t2.receives_of(0).iter().map(|e| e.arrive.as_nanos()).collect();
+        assert_ne!(a, b, "different seeds must perturb arrivals");
+    }
+}

@@ -1,0 +1,66 @@
+//! # mpp-mpisim — a deterministic MPI simulator
+//!
+//! The paper instruments MPICH at two levels: the *logical* level (order
+//! of MPI calls at the top of the library) and the *physical* level (order
+//! in which messages actually arrive, "affected by random effects in the
+//! physical data transfer, load balance, network congestion, and so on",
+//! §3.1). This crate reproduces that observable without real hardware:
+//!
+//! * Every rank runs as an OS thread executing a [`RankProgram`] against a
+//!   [`Comm`] handle offering MPI-like point-to-point and collective
+//!   operations (collectives are decomposed into their MPICH-style
+//!   point-to-point algorithms, so collective traffic shows up in traces
+//!   the way a low-level MPICH trace would see it).
+//! * Time is **virtual**: each rank carries a clock advanced by compute
+//!   blocks and communication overheads; message arrival times follow a
+//!   LogGP-style [`net::NetworkModel`] with optional jitter/congestion.
+//! * All randomness is a pure function of `(seed, message identity)`
+//!   ([`det`]), never of thread scheduling — so for a fixed seed the
+//!   simulation output is bit-identical across runs and machines, while
+//!   ranks still execute genuinely in parallel.
+//! * The [`trace`] module records every delivery twice: in program order
+//!   (the logical stream) and by virtual arrival time (the physical
+//!   stream). Those two orderings are precisely Figure 2 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpp_mpisim::{Comm, RankProgram, World, WorldConfig};
+//! use mpp_mpisim::net::JitterNetwork;
+//!
+//! struct Ring;
+//! impl RankProgram for Ring {
+//!     fn run(&self, comm: &mut Comm) {
+//!         let right = (comm.rank() + 1) % comm.size();
+//!         let left = (comm.rank() + comm.size() - 1) % comm.size();
+//!         comm.send(right, 7, 1024, comm.rank() as u64);
+//!         let msg = comm.recv(left, 7);
+//!         assert_eq!(msg.payload, left as u64);
+//!     }
+//! }
+//!
+//! let cfg = WorldConfig::new(4).seed(42);
+//! let net = JitterNetwork::from_config(&cfg);
+//! let trace = World::new(cfg, net).run(&Ring);
+//! assert_eq!(trace.receives_of(0).len(), 1);
+//! ```
+
+pub mod comm;
+pub mod config;
+pub mod det;
+pub mod engine;
+pub mod message;
+pub mod net;
+pub mod oracle;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use comm::{Comm, Message, RecvRequest};
+pub use config::WorldConfig;
+pub use engine::{RankProgram, World};
+pub use message::{CollectiveKind, MessageKind, Rank, ReduceOp, Tag};
+pub use oracle::{ArrivalOracle, OracleFactory};
+pub use time::SimTime;
+pub use topology::Grid2D;
+pub use trace::{Event, MessageStream, RankCensus, StreamFilter, Trace};

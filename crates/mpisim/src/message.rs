@@ -1,0 +1,136 @@
+//! Message envelopes and kinds.
+
+use crate::time::SimTime;
+
+/// Process identifier within a simulated world (0-based, dense).
+pub type Rank = usize;
+
+/// User-visible message tag. Tags at or above [`Tags::COLLECTIVE_BASE`] are
+/// reserved for collective-internal traffic.
+pub type Tag = u32;
+
+/// Reserved tag space helpers.
+pub struct Tags;
+
+impl Tags {
+    /// First tag reserved for collective algorithms; user code must stay
+    /// below this value.
+    pub const COLLECTIVE_BASE: Tag = 1 << 24;
+}
+
+/// Which MPI operation family produced a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Application-level point-to-point send/recv.
+    PointToPoint,
+    /// Internal message of a collective algorithm.
+    Collective(CollectiveKind),
+}
+
+impl MessageKind {
+    /// `true` for collective-internal traffic.
+    pub fn is_collective(self) -> bool {
+        matches!(self, MessageKind::Collective(_))
+    }
+}
+
+/// The collective operation a message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Scatter,
+    Alltoall,
+    Alltoallv,
+}
+
+/// Reduction operators supported by reduce/allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    /// Applies the operator to two payload words.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Identity element of the operator.
+    #[inline]
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Max => u64::MIN,
+            ReduceOp::Min => u64::MAX,
+        }
+    }
+}
+
+/// A message in flight: what crosses the simulated wire.
+///
+/// Payloads are a single `u64` word — enough for collectives to be
+/// verifiable (reductions really reduce, gathers really gather) while
+/// keeping multi-million-message traces cheap. The `bytes` field, not the
+/// payload, drives the network model.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    pub src: Rank,
+    pub dst: Rank,
+    pub tag: Tag,
+    /// Simulated message size in bytes (drives latency and statistics).
+    pub bytes: u64,
+    /// Verifiable payload word.
+    pub payload: u64,
+    pub kind: MessageKind,
+    /// Per-(src, dst) sequence number, 0-based.
+    pub seq: u64,
+    /// Virtual time the message left the sender.
+    pub depart: SimTime,
+    /// Virtual time the message (for eager sends) or its
+    /// request-to-send (for rendezvous sends) reached the receiver.
+    pub arrive: SimTime,
+    /// `true` when the payload moves only after the receiver posts the
+    /// matching receive and the clear-to-send returns to the sender.
+    pub rendezvous: bool,
+    /// Wire time of the data leg for rendezvous messages, ns.
+    pub data_lat_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_apply_and_have_identities() {
+        assert_eq!(ReduceOp::Sum.apply(2, 3), 5);
+        assert_eq!(ReduceOp::Max.apply(2, 3), 3);
+        assert_eq!(ReduceOp::Min.apply(2, 3), 2);
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            assert_eq!(op.apply(op.identity(), 42), 42);
+            assert_eq!(op.apply(42, op.identity()), 42);
+        }
+    }
+
+    #[test]
+    fn sum_wraps_instead_of_panicking() {
+        assert_eq!(ReduceOp::Sum.apply(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(!MessageKind::PointToPoint.is_collective());
+        assert!(MessageKind::Collective(CollectiveKind::Bcast).is_collective());
+    }
+}

@@ -1,0 +1,296 @@
+//! Network latency models.
+//!
+//! The simulator separates *what the program does* from *how long the
+//! wire takes*. A [`NetworkModel`] maps a message identity to a transfer
+//! latency; the engine adds software overheads and (optionally) the
+//! rendezvous round trip. Two models ship:
+//!
+//! * [`IdealNetwork`] — pure LogGP `L + G·bytes`, no randomness. Physical
+//!   arrival order equals logical order (up to genuine concurrency), so
+//!   Figure-3-style "logical" experiments can also be run through the
+//!   physical pipeline for validation.
+//! * [`JitterNetwork`] — the same deterministic base plus multiplicative
+//!   per-message jitter and occasional congestion spikes, both derived
+//!   from `(seed, src, dst, seq)` hashes. This is the "random effects"
+//!   source for the paper's physical-level experiments (Figure 4).
+
+use crate::config::WorldConfig;
+use crate::det;
+use crate::message::Rank;
+
+/// Maps a message to its wire latency in nanoseconds.
+pub trait NetworkModel: Send + Sync {
+    /// Latency (ns) for message number `seq` of `bytes` bytes from `src`
+    /// to `dst`. Must be a pure function of its arguments.
+    fn latency_ns(&self, src: Rank, dst: Rank, bytes: u64, seq: u64) -> u64;
+}
+
+/// Deterministic LogGP latency: `L + G·bytes`, plus zero cost for
+/// self-messages (loopback never touches the wire).
+#[derive(Debug, Clone)]
+pub struct IdealNetwork {
+    /// Base latency `L` in ns.
+    pub latency_ns: u64,
+    /// Per-byte cost `G` in ns.
+    pub ns_per_byte: f64,
+}
+
+impl IdealNetwork {
+    /// Builds the model from a world configuration.
+    pub fn from_config(cfg: &WorldConfig) -> Self {
+        IdealNetwork {
+            latency_ns: cfg.latency_ns,
+            ns_per_byte: cfg.ns_per_byte,
+        }
+    }
+}
+
+impl NetworkModel for IdealNetwork {
+    fn latency_ns(&self, src: Rank, dst: Rank, bytes: u64, _seq: u64) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64
+    }
+}
+
+/// LogGP base latency with a systematic per-pair route factor and
+/// deterministic per-message noise.
+///
+/// `latency = (L + G·bytes) · (1 + pair_spread·u_pair + jitter·u_msg) ·
+/// spike`, where `u_pair ∈ [0,1)` is hashed from `(seed, src, dst)` only
+/// (run-constant: the pair's route), `u_msg ∈ [0,1)` from
+/// `(seed, src, dst, seq)`, and `spike` is `congestion_factor` with
+/// probability `congestion_prob`.
+#[derive(Debug, Clone)]
+pub struct JitterNetwork {
+    /// Underlying deterministic component.
+    pub base: IdealNetwork,
+    /// Relative jitter magnitude.
+    pub jitter_frac: f64,
+    /// Relative systematic per-pair latency spread.
+    pub pair_spread: f64,
+    /// Congestion spike probability per message.
+    pub congestion_prob: f64,
+    /// Latency multiplier during a spike.
+    pub congestion_factor: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl JitterNetwork {
+    /// Builds the model from a world configuration (uses its seed and
+    /// noise knobs).
+    pub fn from_config(cfg: &WorldConfig) -> Self {
+        JitterNetwork {
+            base: IdealNetwork::from_config(cfg),
+            jitter_frac: cfg.jitter_frac,
+            pair_spread: cfg.pair_spread,
+            congestion_prob: cfg.congestion_prob,
+            congestion_factor: cfg.congestion_factor,
+            seed: cfg.seed,
+        }
+    }
+}
+
+impl NetworkModel for JitterNetwork {
+    fn latency_ns(&self, src: Rank, dst: Rank, bytes: u64, seq: u64) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        let clean = self.base.latency_ns(src, dst, bytes, seq) as f64;
+        let id = [src as u64, dst as u64, seq];
+        let u_pair = det::unit_f64(self.seed ^ 0x9A12, &id[..2]);
+        let u_msg = det::unit_f64(self.seed, &id);
+        let mut lat = clean * (1.0 + self.pair_spread * u_pair + self.jitter_frac * u_msg);
+        if det::chance(self.seed ^ 0xC0_FFEE, &id, self.congestion_prob) {
+            lat *= self.congestion_factor;
+        }
+        lat as u64
+    }
+}
+
+/// Hop-count latency on a 2-D torus: base latency scales with the
+/// Manhattan distance between the ranks' torus coordinates, so the
+/// systematic per-pair spread emerges from *topology* instead of a hash.
+/// Useful for ablations that ask whether Figure 4's physical behaviour
+/// depends on how the route spread is generated.
+#[derive(Debug, Clone)]
+pub struct TorusNetwork {
+    /// Underlying per-hop cost model.
+    pub base: IdealNetwork,
+    /// Torus rows.
+    pub rows: usize,
+    /// Torus columns.
+    pub cols: usize,
+    /// Per-message jitter magnitude (relative).
+    pub jitter_frac: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl TorusNetwork {
+    /// Lays `cfg.nprocs` ranks on the most-square torus.
+    pub fn from_config(cfg: &WorldConfig) -> Self {
+        let (rows, cols) = crate::topology::near_square_dims(cfg.nprocs);
+        TorusNetwork {
+            base: IdealNetwork::from_config(cfg),
+            rows,
+            cols,
+            jitter_frac: cfg.jitter_frac,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Wrap-around Manhattan distance between two ranks (minimum 1 for
+    /// distinct ranks).
+    pub fn hops(&self, a: Rank, b: Rank) -> u64 {
+        let (ar, ac) = (a / self.cols, a % self.cols);
+        let (br, bc) = (b / self.cols, b % self.cols);
+        let dr = ar.abs_diff(br).min(self.rows - ar.abs_diff(br));
+        let dc = ac.abs_diff(bc).min(self.cols - ac.abs_diff(bc));
+        ((dr + dc) as u64).max(1)
+    }
+}
+
+impl NetworkModel for TorusNetwork {
+    fn latency_ns(&self, src: Rank, dst: Rank, bytes: u64, seq: u64) -> u64 {
+        if src == dst {
+            return 0;
+        }
+        let hops = self.hops(src, dst);
+        let clean = (self.base.latency_ns * hops) as f64 + bytes as f64 * self.base.ns_per_byte;
+        let u = det::unit_f64(self.seed, &[src as u64, dst as u64, seq]);
+        (clean * (1.0 + self.jitter_frac * u)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorldConfig {
+        WorldConfig::new(4).seed(7)
+    }
+
+    #[test]
+    fn ideal_is_affine_in_bytes() {
+        let n = IdealNetwork::from_config(&cfg());
+        let l0 = n.latency_ns(0, 1, 0, 0);
+        let l1 = n.latency_ns(0, 1, 1000, 0);
+        let l2 = n.latency_ns(0, 1, 2000, 0);
+        assert_eq!(l1 - l0, l2 - l1);
+        assert_eq!(l0, cfg().latency_ns);
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let n = JitterNetwork::from_config(&cfg());
+        assert_eq!(n.latency_ns(2, 2, 1 << 20, 5), 0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_identity() {
+        let n = JitterNetwork::from_config(&cfg());
+        assert_eq!(n.latency_ns(0, 1, 100, 3), n.latency_ns(0, 1, 100, 3));
+        // Different sequence numbers give (almost surely) different noise.
+        let distinct = (0..100)
+            .map(|s| n.latency_ns(0, 1, 100, s))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 50, "jitter should vary across messages");
+    }
+
+    #[test]
+    fn jitter_bounded_by_fraction() {
+        let n = JitterNetwork {
+            congestion_prob: 0.0,
+            ..JitterNetwork::from_config(&cfg())
+        };
+        let clean = n.base.latency_ns(0, 1, 4096, 0) as f64;
+        for s in 0..200 {
+            let l = n.latency_ns(0, 1, 4096, s) as f64;
+            assert!(l >= clean - 1.0);
+            assert!(l <= clean * (1.0 + n.pair_spread + n.jitter_frac) + 1.0);
+        }
+        // The pair factor is constant: latency varies only by jitter.
+        let lo = (0..200).map(|s| n.latency_ns(0, 1, 4096, s)).min().unwrap() as f64;
+        let hi = (0..200).map(|s| n.latency_ns(0, 1, 4096, s)).max().unwrap() as f64;
+        assert!(hi - lo <= clean * n.jitter_frac + 2.0);
+    }
+
+    #[test]
+    fn pair_spread_is_systematic_per_pair() {
+        let n = JitterNetwork {
+            jitter_frac: 0.0,
+            congestion_prob: 0.0,
+            ..JitterNetwork::from_config(&cfg())
+        };
+        // Same pair ⇒ same latency across messages.
+        assert_eq!(n.latency_ns(0, 1, 1000, 0), n.latency_ns(0, 1, 1000, 99));
+        // Different pairs (almost surely) differ.
+        let distinct = [(0, 1), (1, 0), (0, 2), (2, 3), (1, 3)]
+            .iter()
+            .map(|&(a, b)| n.latency_ns(a, b, 1000, 0))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct >= 4, "pair factors should spread routes");
+    }
+
+    #[test]
+    fn congestion_spikes_at_configured_rate() {
+        let n = JitterNetwork {
+            jitter_frac: 0.0,
+            congestion_prob: 0.1,
+            congestion_factor: 5.0,
+            ..JitterNetwork::from_config(&cfg())
+        };
+        let clean = n.base.latency_ns(0, 1, 64, 0);
+        let spikes = (0..5000)
+            .filter(|&s| n.latency_ns(0, 1, 64, s) > clean * 2)
+            .count();
+        let rate = spikes as f64 / 5000.0;
+        assert!((rate - 0.1).abs() < 0.02, "spike rate {rate}");
+    }
+
+    #[test]
+    fn torus_hops_wrap_and_scale_latency() {
+        let mut c = WorldConfig::new(16).seed(1);
+        c.jitter_frac = 0.0;
+        let n = TorusNetwork::from_config(&c);
+        assert_eq!((n.rows, n.cols), (4, 4));
+        // Neighbours are 1 hop; the far corner wraps to 2+2 → 4 hops.
+        assert_eq!(n.hops(0, 1), 1);
+        assert_eq!(n.hops(0, 3), 1, "wrap-around column");
+        assert_eq!(n.hops(0, 10), 4);
+        let near = n.latency_ns(0, 1, 0, 0);
+        let far = n.latency_ns(0, 10, 0, 0);
+        assert_eq!(far, 4 * near);
+        // Self-messages stay free.
+        assert_eq!(n.latency_ns(5, 5, 1 << 20, 0), 0);
+    }
+
+    #[test]
+    fn torus_distance_is_symmetric() {
+        let c = WorldConfig::new(12).seed(1);
+        let n = TorusNetwork::from_config(&c);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert_eq!(n.hops(a, b), n.hops(b, a), "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_noise() {
+        let a = JitterNetwork::from_config(&cfg());
+        let b = JitterNetwork {
+            seed: 12345,
+            ..JitterNetwork::from_config(&cfg())
+        };
+        let differing = (0..100)
+            .filter(|&s| a.latency_ns(0, 1, 100, s) != b.latency_ns(0, 1, 100, s))
+            .count();
+        assert!(differing > 80);
+    }
+}

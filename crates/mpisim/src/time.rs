@@ -1,0 +1,112 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// Wall-clock time plays no role in the simulation's observable output;
+/// all ordering of physical events derives from these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncating).
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float, for reports.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, ns: u64) {
+        self.0 += ns;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Saturating difference in nanoseconds.
+    #[inline]
+    fn sub(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime(100);
+        let b = a + 50;
+        assert_eq!(b.as_nanos(), 150);
+        assert!(b > a);
+        assert_eq!(b - a, 50);
+        assert_eq!(a - b, 0, "difference saturates");
+        assert_eq!(a.max(b), b);
+        let mut c = a;
+        c += 25;
+        assert_eq!(c.as_nanos(), 125);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let t = SimTime(2_500_000);
+        assert_eq!(t.as_micros(), 2_500);
+        assert!((t.as_secs_f64() - 0.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime(5).to_string(), "5ns");
+        assert_eq!(SimTime(5_000).to_string(), "5.000us");
+        assert_eq!(SimTime(5_000_000).to_string(), "5.000ms");
+        assert_eq!(SimTime(5_000_000_000).to_string(), "5.000s");
+    }
+}

@@ -1,0 +1,163 @@
+//! Process-grid topology helpers.
+//!
+//! The NAS codes and Sweep3D lay ranks out on logical 2-D grids; this
+//! module centralises the rank ↔ coordinate arithmetic (row-major, like
+//! the Fortran originals' `node = row*cols + col` numbering).
+
+use crate::message::Rank;
+
+/// A row-major 2-D process grid of `rows × cols` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2D {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Grid2D {
+    /// Creates a grid; panics when either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Grid2D { rows, cols }
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// (row, col) of `rank`.
+    pub fn coords(&self, rank: Rank) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at (row, col).
+    pub fn rank(&self, row: usize, col: usize) -> Rank {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Neighbour one step north (row − 1), if any.
+    pub fn north(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (r > 0).then(|| self.rank(r - 1, c))
+    }
+
+    /// Neighbour one step south (row + 1), if any.
+    pub fn south(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (r + 1 < self.rows).then(|| self.rank(r + 1, c))
+    }
+
+    /// Neighbour one step west (col − 1), if any.
+    pub fn west(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (c > 0).then(|| self.rank(r, c - 1))
+    }
+
+    /// Neighbour one step east (col + 1), if any.
+    pub fn east(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (c + 1 < self.cols).then(|| self.rank(r, c + 1))
+    }
+
+    /// Torus neighbour: wraps around at the edges.
+    pub fn torus_shift(&self, rank: Rank, drow: isize, dcol: isize) -> Rank {
+        let (r, c) = self.coords(rank);
+        let nr = (r as isize + drow).rem_euclid(self.rows as isize) as usize;
+        let nc = (c as isize + dcol).rem_euclid(self.cols as isize) as usize;
+        self.rank(nr, nc)
+    }
+
+    /// All existing von-Neumann neighbours (N, S, W, E order).
+    pub fn neighbors(&self, rank: Rank) -> Vec<Rank> {
+        [
+            self.north(rank),
+            self.south(rank),
+            self.west(rank),
+            self.east(rank),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// The most-square factorisation `rows × cols = n` with `rows ≤ cols`,
+/// matching how the NAS codes pick default 2-D layouts.
+pub fn near_square_dims(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut best = (1, n);
+    let mut r = 1;
+    while r * r <= n {
+        if n.is_multiple_of(r) {
+            best = (r, n / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = Grid2D::new(3, 4);
+        assert_eq!(g.size(), 12);
+        for rank in 0..g.size() {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.rank(r, c), rank);
+        }
+        assert_eq!(g.coords(7), (1, 3));
+    }
+
+    #[test]
+    fn edge_neighbours_are_none() {
+        let g = Grid2D::new(2, 3);
+        assert_eq!(g.north(0), None);
+        assert_eq!(g.west(0), None);
+        assert_eq!(g.south(0), Some(3));
+        assert_eq!(g.east(0), Some(1));
+        assert_eq!(g.south(5), None);
+        assert_eq!(g.east(5), None);
+        assert_eq!(g.north(5), Some(2));
+        assert_eq!(g.west(5), Some(4));
+    }
+
+    #[test]
+    fn neighbors_list_interior() {
+        let g = Grid2D::new(3, 3);
+        let n = g.neighbors(4); // centre
+        assert_eq!(n, vec![1, 7, 3, 5]);
+        assert_eq!(g.neighbors(0), vec![3, 1]);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let g = Grid2D::new(3, 3);
+        assert_eq!(g.torus_shift(0, -1, 0), 6);
+        assert_eq!(g.torus_shift(0, 0, -1), 2);
+        assert_eq!(g.torus_shift(8, 1, 1), 0);
+        assert_eq!(g.torus_shift(4, 0, 0), 4);
+    }
+
+    #[test]
+    fn near_square_prefers_balanced_factors() {
+        assert_eq!(near_square_dims(16), (4, 4));
+        assert_eq!(near_square_dims(8), (2, 4));
+        assert_eq!(near_square_dims(6), (2, 3));
+        assert_eq!(near_square_dims(7), (1, 7));
+        assert_eq!(near_square_dims(1), (1, 1));
+        assert_eq!(near_square_dims(32), (4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = Grid2D::new(0, 3);
+    }
+}

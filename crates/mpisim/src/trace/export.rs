@@ -1,0 +1,234 @@
+//! Trace export/import in a plain CSV dialect.
+//!
+//! Useful for inspecting traces with external tooling (or feeding
+//! recorded streams back into the predictor without re-running the
+//! simulation). The format is one receive event per line:
+//!
+//! ```text
+//! dst,src,tag,bytes,kind,seq,arrive_ns,deliver_ns,logical_idx
+//! ```
+//!
+//! `kind` is `p2p` or the lower-case collective name (`bcast`,
+//! `allreduce`, ...).
+
+use super::{Event, RankTrace, Trace};
+use crate::message::{CollectiveKind, MessageKind};
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Column header of the CSV dialect.
+pub const CSV_HEADER: &str = "dst,src,tag,bytes,kind,seq,arrive_ns,deliver_ns,logical_idx";
+
+fn kind_name(kind: MessageKind) -> &'static str {
+    match kind {
+        MessageKind::PointToPoint => "p2p",
+        MessageKind::Collective(c) => match c {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Alltoall => "alltoall",
+            CollectiveKind::Alltoallv => "alltoallv",
+        },
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<MessageKind> {
+    Some(match name {
+        "p2p" => MessageKind::PointToPoint,
+        "barrier" => MessageKind::Collective(CollectiveKind::Barrier),
+        "bcast" => MessageKind::Collective(CollectiveKind::Bcast),
+        "reduce" => MessageKind::Collective(CollectiveKind::Reduce),
+        "allreduce" => MessageKind::Collective(CollectiveKind::Allreduce),
+        "gather" => MessageKind::Collective(CollectiveKind::Gather),
+        "allgather" => MessageKind::Collective(CollectiveKind::Allgather),
+        "scatter" => MessageKind::Collective(CollectiveKind::Scatter),
+        "alltoall" => MessageKind::Collective(CollectiveKind::Alltoall),
+        "alltoallv" => MessageKind::Collective(CollectiveKind::Alltoallv),
+        _ => return None,
+    })
+}
+
+/// Serialises every receive event of `trace` (all ranks, logical order
+/// per rank) as CSV, header included.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for rank in 0..trace.nprocs() {
+        for e in trace.receives_of(rank) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                e.dst,
+                e.src,
+                e.tag,
+                e.bytes,
+                kind_name(e.kind),
+                e.seq,
+                e.arrive.as_nanos(),
+                e.deliver.as_nanos(),
+                e.logical_idx
+            );
+        }
+    }
+    out
+}
+
+/// Parses a CSV produced by [`to_csv`] back into a trace.
+///
+/// Returns `Err` with a line-numbered message on malformed input. Rank
+/// metadata not present in the CSV (final times, send counts) is
+/// reconstructed conservatively (final time = latest delivery).
+pub fn from_csv(csv: &str, nprocs: usize) -> Result<Trace, String> {
+    let mut per_rank: Vec<Vec<Event>> = vec![Vec::new(); nprocs];
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 {
+            if line.trim() != CSV_HEADER {
+                return Err(format!("line 1: expected header {CSV_HEADER:?}"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 9 {
+            return Err(format!("line {}: expected 9 fields, got {}", lineno + 1, fields.len()));
+        }
+        let parse = |i: usize| -> Result<u64, String> {
+            fields[i]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("line {}: field {}: {}", lineno + 1, i + 1, e))
+        };
+        let dst = parse(0)? as usize;
+        if dst >= nprocs {
+            return Err(format!("line {}: dst {} out of range", lineno + 1, dst));
+        }
+        let kind = kind_from_name(fields[4].trim())
+            .ok_or_else(|| format!("line {}: unknown kind {:?}", lineno + 1, fields[4]))?;
+        per_rank[dst].push(Event {
+            dst,
+            src: parse(1)? as usize,
+            tag: parse(2)? as u32,
+            bytes: parse(3)?,
+            kind,
+            seq: parse(5)?,
+            arrive: SimTime(parse(6)?),
+            deliver: SimTime(parse(7)?),
+            logical_idx: parse(8)?,
+        });
+    }
+    let rank_traces = per_rank
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut events)| {
+            events.sort_by_key(|e| e.logical_idx);
+            let final_time = events
+                .iter()
+                .map(|e| e.deliver)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            RankTrace {
+                rank,
+                events,
+                final_time,
+                sends: 0,
+            }
+        })
+        .collect();
+    Ok(Trace::new(nprocs, rank_traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Comm;
+    use crate::config::WorldConfig;
+    use crate::engine::World;
+    use crate::net::JitterNetwork;
+    use crate::trace::StreamFilter;
+
+    fn sample_trace() -> Trace {
+        let cfg = WorldConfig::new(3).seed(5);
+        let net = JitterNetwork::from_config(&cfg);
+        World::new(cfg, net).run(&|c: &mut Comm| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            for r in 0..4u64 {
+                c.send(next, 1, 100 + r, r);
+                c.recv(prev, 1);
+            }
+            c.allreduce(8, 1, crate::message::ReduceOp::Sum);
+        })
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let trace = sample_trace();
+        let csv = to_csv(&trace);
+        let back = from_csv(&csv, trace.nprocs()).expect("parse");
+        for rank in 0..trace.nprocs() {
+            assert_eq!(trace.receives_of(rank), back.receives_of(rank));
+            let a = trace.physical_stream(rank, StreamFilter::all());
+            let b = back.physical_stream(rank, StreamFilter::all());
+            assert_eq!(a.senders, b.senders);
+            assert_eq!(a.sizes, b.sizes);
+        }
+    }
+
+    #[test]
+    fn header_is_required() {
+        let err = from_csv("no header\n", 1).unwrap_err();
+        assert!(err.contains("header"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let csv = format!("{CSV_HEADER}\n0,1,2,three,p2p,0,1,2,0\n");
+        let err = from_csv(&csv, 2).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+
+        let csv = format!("{CSV_HEADER}\n0,1,2\n");
+        let err = from_csv(&csv, 2).unwrap_err();
+        assert!(err.contains("expected 9 fields"), "{err}");
+
+        let csv = format!("{CSV_HEADER}\n0,1,2,3,warp,0,1,2,0\n");
+        let err = from_csv(&csv, 2).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+
+        let csv = format!("{CSV_HEADER}\n9,1,2,3,p2p,0,1,2,0\n");
+        let err = from_csv(&csv, 2).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            MessageKind::PointToPoint,
+            MessageKind::Collective(CollectiveKind::Barrier),
+            MessageKind::Collective(CollectiveKind::Bcast),
+            MessageKind::Collective(CollectiveKind::Reduce),
+            MessageKind::Collective(CollectiveKind::Allreduce),
+            MessageKind::Collective(CollectiveKind::Gather),
+            MessageKind::Collective(CollectiveKind::Allgather),
+            MessageKind::Collective(CollectiveKind::Scatter),
+            MessageKind::Collective(CollectiveKind::Alltoall),
+            MessageKind::Collective(CollectiveKind::Alltoallv),
+        ] {
+            assert_eq!(kind_from_name(kind_name(kind)), Some(kind));
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let cfg = WorldConfig::new(2).seed(1);
+        let net = JitterNetwork::from_config(&cfg);
+        let trace = World::new(cfg, net).run(&|_c: &mut Comm| {});
+        let back = from_csv(&to_csv(&trace), 2).unwrap();
+        assert_eq!(back.total_receives(), 0);
+    }
+}

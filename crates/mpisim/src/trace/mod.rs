@@ -1,0 +1,358 @@
+//! Trace capture: the logical and physical message streams.
+//!
+//! Every completed receive is recorded as an [`Event`] carrying both its
+//! *logical* position (the order the application saw deliveries — "the
+//! calls from the application code to the top level of the MPI library",
+//! §3.1) and its *physical* arrival instant (what low-level tracing sees
+//! at the wire). [`Trace::logical_stream`] and [`Trace::physical_stream`]
+//! extract the per-receiver (sender, size) sequences those two views
+//! induce; Figure 2 of the paper is exactly the difference between them.
+
+pub mod export;
+mod stats;
+
+pub use export::{from_csv, to_csv};
+pub use stats::{census, RankCensus};
+
+use crate::message::{MessageKind, Rank, Tag};
+use crate::time::SimTime;
+
+/// One completed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Simulated size in bytes.
+    pub bytes: u64,
+    /// Operation family that produced the message.
+    pub kind: MessageKind,
+    /// Per-(src, dst) sequence number.
+    pub seq: u64,
+    /// Virtual arrival time at the receiver's NIC.
+    pub arrive: SimTime,
+    /// Virtual time the receive completed at the application.
+    pub deliver: SimTime,
+    /// 0-based position in the receiver's logical delivery order.
+    pub logical_idx: u64,
+}
+
+impl Event {
+    /// `true` for loopback (self) messages.
+    pub fn is_self(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// Trace of a single rank.
+#[derive(Debug, Clone)]
+pub struct RankTrace {
+    /// The rank this record belongs to.
+    pub rank: Rank,
+    /// Receive events in logical (delivery) order.
+    pub events: Vec<Event>,
+    /// Rank-local virtual time when the program finished.
+    pub final_time: SimTime,
+    /// Number of messages this rank sent.
+    pub sends: u64,
+}
+
+/// Which events a stream extraction keeps.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamFilter {
+    /// Keep application point-to-point messages.
+    pub p2p: bool,
+    /// Keep collective-internal messages.
+    pub collectives: bool,
+    /// Keep loopback (self) messages.
+    pub self_messages: bool,
+}
+
+impl Default for StreamFilter {
+    fn default() -> Self {
+        StreamFilter::all()
+    }
+}
+
+impl StreamFilter {
+    /// Everything (the paper's "message stream received by a process").
+    pub fn all() -> Self {
+        StreamFilter {
+            p2p: true,
+            collectives: true,
+            self_messages: true,
+        }
+    }
+
+    /// Point-to-point messages only.
+    pub fn p2p_only() -> Self {
+        StreamFilter {
+            p2p: true,
+            collectives: false,
+            self_messages: true,
+        }
+    }
+
+    /// Collective-internal messages only.
+    pub fn collectives_only() -> Self {
+        StreamFilter {
+            p2p: false,
+            collectives: true,
+            self_messages: true,
+        }
+    }
+
+    /// Does `e` pass the filter?
+    pub fn keep(&self, e: &Event) -> bool {
+        if e.is_self() && !self.self_messages {
+            return false;
+        }
+        match e.kind {
+            MessageKind::PointToPoint => self.p2p,
+            MessageKind::Collective(_) => self.collectives,
+        }
+    }
+}
+
+/// Aligned per-message attribute vectors of one receiver's stream —
+/// the direct inputs to the predictors (`senders[i]`, `sizes[i]` describe
+/// the i-th message in the chosen order).
+#[derive(Debug, Clone, Default)]
+pub struct MessageStream {
+    /// Sending rank of each message, as prediction symbols.
+    pub senders: Vec<u64>,
+    /// Size in bytes of each message, as prediction symbols.
+    pub sizes: Vec<u64>,
+    /// Operation family of each message.
+    pub kinds: Vec<MessageKind>,
+}
+
+impl MessageStream {
+    /// Number of messages in the stream.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// `true` when the stream holds no message.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    fn push(&mut self, e: &Event) {
+        self.senders.push(e.src as u64);
+        self.sizes.push(e.bytes);
+        self.kinds.push(e.kind);
+    }
+}
+
+/// Complete trace of a simulated run.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    nprocs: usize,
+    per_rank: Vec<RankTrace>,
+}
+
+impl Trace {
+    /// Assembles a trace from per-rank records (sorted by rank).
+    pub fn new(nprocs: usize, mut per_rank: Vec<RankTrace>) -> Self {
+        per_rank.sort_by_key(|rt| rt.rank);
+        assert_eq!(per_rank.len(), nprocs, "one record per rank");
+        for (i, rt) in per_rank.iter().enumerate() {
+            assert_eq!(rt.rank, i, "rank records must be dense");
+        }
+        Trace { nprocs, per_rank }
+    }
+
+    /// Number of ranks in the traced world.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// All receive events of `rank` in logical order.
+    pub fn receives_of(&self, rank: Rank) -> &[Event] {
+        &self.per_rank[rank].events
+    }
+
+    /// Final virtual time of `rank`.
+    pub fn final_time_of(&self, rank: Rank) -> SimTime {
+        self.per_rank[rank].final_time
+    }
+
+    /// Number of messages `rank` sent.
+    pub fn sends_of(&self, rank: Rank) -> u64 {
+        self.per_rank[rank].sends
+    }
+
+    /// Total receives across all ranks.
+    pub fn total_receives(&self) -> usize {
+        self.per_rank.iter().map(|rt| rt.events.len()).sum()
+    }
+
+    /// Latest final time across ranks (virtual makespan of the run).
+    pub fn makespan(&self) -> SimTime {
+        self.per_rank
+            .iter()
+            .map(|rt| rt.final_time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The receiver's stream in **logical** order: the order the
+    /// application's receive calls completed. Deterministic for
+    /// deterministic programs regardless of network noise.
+    pub fn logical_stream(&self, rank: Rank, filter: StreamFilter) -> MessageStream {
+        let mut s = MessageStream::default();
+        for e in &self.per_rank[rank].events {
+            if filter.keep(e) {
+                s.push(e);
+            }
+        }
+        s
+    }
+
+    /// The receiver's stream in **physical** order: sorted by virtual
+    /// arrival time at the NIC (ties broken by source then sequence, so
+    /// the order is deterministic). Network jitter reorders this stream
+    /// relative to the logical one — the §5.2 "random effects".
+    pub fn physical_stream(&self, rank: Rank, filter: StreamFilter) -> MessageStream {
+        let mut evs: Vec<&Event> = self.per_rank[rank]
+            .events
+            .iter()
+            .filter(|e| filter.keep(e))
+            .collect();
+        evs.sort_by_key(|e| (e.arrive, e.src, e.seq));
+        let mut s = MessageStream::default();
+        for e in evs {
+            s.push(e);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::CollectiveKind;
+
+    fn ev(src: Rank, bytes: u64, kind: MessageKind, arrive: u64, logical_idx: u64) -> Event {
+        Event {
+            dst: 0,
+            src,
+            tag: 0,
+            bytes,
+            kind,
+            seq: logical_idx,
+            arrive: SimTime(arrive),
+            deliver: SimTime(arrive + 1),
+            logical_idx,
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        // Logical order: A(src 1), B(src 2), C(src 1); physical order by
+        // arrival: B, A, C.
+        let events = vec![
+            ev(1, 100, MessageKind::PointToPoint, 50, 0),
+            ev(2, 200, MessageKind::Collective(CollectiveKind::Bcast), 40, 1),
+            ev(1, 100, MessageKind::PointToPoint, 60, 2),
+        ];
+        Trace::new(
+            2,
+            vec![
+                RankTrace {
+                    rank: 0,
+                    events,
+                    final_time: SimTime(100),
+                    sends: 0,
+                },
+                RankTrace {
+                    rank: 1,
+                    events: vec![],
+                    final_time: SimTime(90),
+                    sends: 3,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn logical_vs_physical_ordering() {
+        let t = sample_trace();
+        let log = t.logical_stream(0, StreamFilter::all());
+        assert_eq!(log.senders, vec![1, 2, 1]);
+        assert_eq!(log.sizes, vec![100, 200, 100]);
+        let phys = t.physical_stream(0, StreamFilter::all());
+        assert_eq!(phys.senders, vec![2, 1, 1]);
+        assert_eq!(phys.sizes, vec![200, 100, 100]);
+    }
+
+    #[test]
+    fn filters_select_kinds() {
+        let t = sample_trace();
+        let p2p = t.logical_stream(0, StreamFilter::p2p_only());
+        assert_eq!(p2p.len(), 2);
+        assert_eq!(p2p.senders, vec![1, 1]);
+        let coll = t.logical_stream(0, StreamFilter::collectives_only());
+        assert_eq!(coll.len(), 1);
+        assert_eq!(coll.senders, vec![2]);
+    }
+
+    #[test]
+    fn self_message_filter() {
+        let mut events = vec![ev(0, 10, MessageKind::PointToPoint, 1, 0)];
+        events.push(ev(1, 20, MessageKind::PointToPoint, 2, 1));
+        let t = Trace::new(
+            1,
+            vec![RankTrace {
+                rank: 0,
+                events,
+                final_time: SimTime(5),
+                sends: 1,
+            }],
+        );
+        let with_self = t.logical_stream(0, StreamFilter::all());
+        assert_eq!(with_self.len(), 2);
+        let mut no_self = StreamFilter::all();
+        no_self.self_messages = false;
+        assert_eq!(t.logical_stream(0, no_self).senders, vec![1]);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.nprocs(), 2);
+        assert_eq!(t.total_receives(), 3);
+        assert_eq!(t.sends_of(1), 3);
+        assert_eq!(t.makespan(), SimTime(100));
+        assert!(t.receives_of(1).is_empty());
+    }
+
+    #[test]
+    fn physical_tie_break_is_deterministic() {
+        // Two messages with equal arrival: lower src first.
+        let events = vec![
+            ev(3, 10, MessageKind::PointToPoint, 70, 0),
+            ev(1, 10, MessageKind::PointToPoint, 70, 1),
+        ];
+        let t = Trace::new(
+            1,
+            vec![RankTrace {
+                rank: 0,
+                events,
+                final_time: SimTime(80),
+                sends: 0,
+            }],
+        );
+        let phys = t.physical_stream(0, StreamFilter::all());
+        assert_eq!(phys.senders, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one record per rank")]
+    fn trace_requires_dense_ranks() {
+        let _ = Trace::new(2, vec![]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-rank message census — the quantities of the paper's Table 1.
+//!
+//! For a traced process the table reports: the number of point-to-point
+//! and collective messages received, and the number of *frequently
+//! appearing* distinct message sizes and sender processes (footnote 1 of
+//! the paper: rare stragglers such as startup messages are not counted;
+//! we implement "frequent" as the smallest set of values covering a given
+//! fraction of the stream, 99 % by default).
+
+use super::{StreamFilter, Trace};
+use crate::message::Rank;
+use std::collections::HashMap;
+
+/// Census of one rank's receive stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankCensus {
+    /// The rank the census describes.
+    pub rank: Rank,
+    /// Point-to-point messages received.
+    pub p2p_msgs: usize,
+    /// Collective-internal messages received.
+    pub coll_msgs: usize,
+    /// Distinct message sizes (all of them).
+    pub distinct_sizes: usize,
+    /// Sizes covering the coverage fraction of the stream.
+    pub frequent_sizes: usize,
+    /// Distinct sender ranks (all of them).
+    pub distinct_senders: usize,
+    /// Senders covering the coverage fraction of the stream.
+    pub frequent_senders: usize,
+}
+
+/// Smallest number of distinct values covering `coverage` of `stream`.
+fn frequent_count(stream: &[u64], coverage: f64) -> usize {
+    if stream.is_empty() {
+        return 0;
+    }
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &v in stream {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<usize> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    let needed = (coverage * stream.len() as f64).ceil() as usize;
+    let mut acc = 0;
+    for (i, f) in freqs.iter().enumerate() {
+        acc += f;
+        if acc >= needed {
+            return i + 1;
+        }
+    }
+    freqs.len()
+}
+
+fn distinct_count(stream: &[u64]) -> usize {
+    let mut seen: Vec<u64> = stream.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Computes the Table-1 census for `rank`, counting values as "frequent"
+/// when the most common values covering `coverage` of the stream include
+/// them.
+pub fn census(trace: &Trace, rank: Rank, coverage: f64) -> RankCensus {
+    let all = trace.logical_stream(rank, StreamFilter::all());
+    let p2p = trace.logical_stream(rank, StreamFilter::p2p_only());
+    let coll = trace.logical_stream(rank, StreamFilter::collectives_only());
+    RankCensus {
+        rank,
+        p2p_msgs: p2p.len(),
+        coll_msgs: coll.len(),
+        distinct_sizes: distinct_count(&all.sizes),
+        frequent_sizes: frequent_count(&all.sizes, coverage),
+        distinct_senders: distinct_count(&all.senders),
+        frequent_senders: frequent_count(&all.senders, coverage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CollectiveKind, MessageKind};
+    use crate::time::SimTime;
+    use crate::trace::{Event, RankTrace};
+
+    fn ev(src: Rank, bytes: u64, kind: MessageKind, i: u64) -> Event {
+        Event {
+            dst: 0,
+            src,
+            tag: 0,
+            bytes,
+            kind,
+            seq: i,
+            arrive: SimTime(i),
+            deliver: SimTime(i + 1),
+            logical_idx: i,
+        }
+    }
+
+    #[test]
+    fn census_counts_kinds_and_values() {
+        let mut events = Vec::new();
+        // 99 p2p messages alternating two senders/sizes + 1 rare straggler.
+        for i in 0..99u64 {
+            let src = if i % 2 == 0 { 1 } else { 2 };
+            let bytes = if i % 2 == 0 { 100 } else { 200 };
+            events.push(ev(src, bytes, MessageKind::PointToPoint, i));
+        }
+        events.push(ev(
+            7,
+            999,
+            MessageKind::Collective(CollectiveKind::Allreduce),
+            99,
+        ));
+        let trace = Trace::new(
+            1,
+            vec![RankTrace {
+                rank: 0,
+                events,
+                final_time: SimTime(1000),
+                sends: 0,
+            }],
+        );
+        let c = census(&trace, 0, 0.99);
+        assert_eq!(c.p2p_msgs, 99);
+        assert_eq!(c.coll_msgs, 1);
+        assert_eq!(c.distinct_senders, 3);
+        assert_eq!(c.frequent_senders, 2, "straggler ignored at 99 %");
+        assert_eq!(c.distinct_sizes, 3);
+        assert_eq!(c.frequent_sizes, 2);
+    }
+
+    #[test]
+    fn census_of_empty_rank() {
+        let trace = Trace::new(
+            1,
+            vec![RankTrace {
+                rank: 0,
+                events: vec![],
+                final_time: SimTime(0),
+                sends: 0,
+            }],
+        );
+        let c = census(&trace, 0, 0.99);
+        assert_eq!(c.p2p_msgs, 0);
+        assert_eq!(c.coll_msgs, 0);
+        assert_eq!(c.distinct_senders, 0);
+        assert_eq!(c.frequent_senders, 0);
+    }
+
+    #[test]
+    fn frequent_count_full_coverage_counts_all() {
+        assert_eq!(frequent_count(&[1, 1, 2, 3], 1.0), 3);
+        assert_eq!(frequent_count(&[5; 10], 0.5), 1);
+        assert_eq!(frequent_count(&[], 0.99), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! NAS BT (Block Tridiagonal) communication skeleton.
+//!
+//! BT runs on a square number of processes `P = q²` using the
+//! *multipartition* decomposition: each process owns `q` diagonally-shifted
+//! cells, one per slab along each axis, so every process participates in
+//! every stage of every directional sweep. Per time step:
+//!
+//! * `copy_faces` — exchange ghost faces with all six directional
+//!   partners (±x, ±y, ±z): 6 receives of the large face message;
+//! * three ADI sweeps (x, y, z) — each with a forward substitution phase
+//!   (`q − 1` boundary messages from the direction's predecessor) and a
+//!   back-substitution phase (`q − 1` from the successor).
+//!
+//! Total: `6q` receives per iteration per rank — the 18-message period of
+//! Figure 1 for BT.9, 12 for BT.4, 24 for BT.16, 30 for BT.25 — with
+//! exactly three distinct message sizes, matching Table 1.
+//!
+//! Message sizes are calibrated to the paper's observed BT.9 values
+//! (19440 / 10240 / 3240 bytes, Figure 1b) and scaled with the cell face
+//! area `c²` for other process counts, `c = ⌈64/q⌉` at class A.
+
+use crate::params::Class;
+use mpp_mpisim::{Comm, Grid2D, Rank, RankProgram, ReduceOp, Tag};
+
+const TAG_FACE: Tag = 10;
+const TAG_FWD: [Tag; 3] = [20, 21, 22];
+const TAG_BWD: [Tag; 3] = [30, 31, 32];
+
+/// The BT skeleton.
+#[derive(Debug, Clone)]
+pub struct Bt {
+    q: usize,
+    grid: Grid2D,
+    niter: usize,
+    /// (copy_faces, back-substitution, forward-solve) message bytes.
+    sizes: (u64, u64, u64),
+    /// Nominal compute block lengths in ns (face assembly, sweep stage).
+    face_work: u64,
+    stage_work: u64,
+}
+
+impl Bt {
+    /// Creates the skeleton for `procs = q²` ranks.
+    ///
+    /// # Panics
+    /// Panics when `procs` is not a perfect square.
+    pub fn new(procs: usize, class: Class) -> Self {
+        let q = (procs as f64).sqrt().round() as usize;
+        assert_eq!(q * q, procs, "BT needs a square process count, got {procs}");
+        let (mesh, niter) = match class {
+            Class::A => (64usize, 200usize),
+            Class::B => (102, 200),
+            Class::S => (12, 5),
+        };
+        let c = mesh.div_ceil(q) as u64;
+        // Paper-observed BT.9 sizes scaled by face area (484 = 22² is the
+        // class-A face at q = 3).
+        let scale = |bytes: u64| -> u64 { (bytes * c * c).div_ceil(484).max(8) };
+        let sizes = (scale(19440), scale(10240), scale(3240));
+        Bt {
+            q,
+            grid: Grid2D::new(q, q),
+            niter,
+            sizes,
+            face_work: 120 * c * c,
+            stage_work: 40 * c * c,
+        }
+    }
+
+    /// Number of time steps.
+    pub fn iterations(&self) -> usize {
+        self.niter
+    }
+
+    /// Expected receives per iteration per rank (`6q`).
+    pub fn receives_per_iter(&self) -> usize {
+        6 * self.q
+    }
+
+    /// The three message sizes (face, back-substitution, forward).
+    pub fn message_sizes(&self) -> (u64, u64, u64) {
+        self.sizes
+    }
+
+    /// Directional successor of `rank`: +x moves along columns, +y along
+    /// rows, +z along the diagonal — the multipartition shift pattern
+    /// that gives each process one cell per slab per axis.
+    pub fn successor(&self, rank: Rank, dir: usize) -> Rank {
+        match dir {
+            0 => self.grid.torus_shift(rank, 0, 1),
+            1 => self.grid.torus_shift(rank, 1, 0),
+            2 => self.grid.torus_shift(rank, 1, 1),
+            _ => unreachable!("directions are 0..3"),
+        }
+    }
+
+    /// Directional predecessor (inverse of [`Bt::successor`]).
+    pub fn predecessor(&self, rank: Rank, dir: usize) -> Rank {
+        match dir {
+            0 => self.grid.torus_shift(rank, 0, -1),
+            1 => self.grid.torus_shift(rank, -1, 0),
+            2 => self.grid.torus_shift(rank, -1, -1),
+            _ => unreachable!("directions are 0..3"),
+        }
+    }
+}
+
+impl RankProgram for Bt {
+    fn run(&self, c: &mut Comm) {
+        let me = c.rank();
+        let (face, bwd, fwd) = self.sizes;
+
+        // Startup: root distributes niter, dt and grid parameters.
+        for _ in 0..3 {
+            c.bcast(0, 8, self.niter as u64);
+        }
+
+        for _iter in 0..self.niter {
+            // copy_faces: NPB pre-posts all six receives, then sends all
+            // six faces, then waits — so the six (rendezvous-sized) face
+            // transfers genuinely race each other on the wire.
+            let mut reqs = Vec::with_capacity(6);
+            for dir in 0..3 {
+                reqs.push(c.irecv(self.predecessor(me, dir), TAG_FACE));
+                reqs.push(c.irecv(self.successor(me, dir), TAG_FACE));
+            }
+            for dir in 0..3 {
+                c.send(self.successor(me, dir), TAG_FACE, face, 0);
+                c.send(self.predecessor(me, dir), TAG_FACE, face, 0);
+            }
+            for req in reqs {
+                c.wait(req);
+            }
+            c.compute(self.face_work);
+
+            // Three ADI sweeps.
+            for dir in 0..3 {
+                let succ = self.successor(me, dir);
+                let pred = self.predecessor(me, dir);
+                // Forward substitution: q−1 stage boundaries.
+                for _stage in 0..self.q - 1 {
+                    c.send(succ, TAG_FWD[dir], fwd, 0);
+                    c.recv(pred, TAG_FWD[dir]);
+                    c.compute(self.stage_work);
+                }
+                // Back substitution.
+                for _stage in 0..self.q - 1 {
+                    c.send(pred, TAG_BWD[dir], bwd, 0);
+                    c.recv(succ, TAG_BWD[dir]);
+                    c.compute(self.stage_work);
+                }
+            }
+        }
+
+        // Verification: five residual component sums.
+        for i in 0..5u64 {
+            c.allreduce(40, i, ReduceOp::Sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_mpisim::net::JitterNetwork;
+    use mpp_mpisim::{StreamFilter, World, WorldConfig};
+
+    fn run(procs: usize) -> mpp_mpisim::Trace {
+        let bt = Bt::new(procs, Class::S);
+        let cfg = WorldConfig::new(procs).seed(3);
+        let net = JitterNetwork::from_config(&cfg);
+        World::new(cfg, net).run(&bt)
+    }
+
+    #[test]
+    #[should_panic(expected = "square process count")]
+    fn non_square_rejected() {
+        let _ = Bt::new(8, Class::S);
+    }
+
+    #[test]
+    fn p2p_count_matches_six_q_per_iteration() {
+        for procs in [4usize, 9, 16] {
+            let bt = Bt::new(procs, Class::S);
+            let trace = run(procs);
+            for rank in 0..procs {
+                let p2p = trace.logical_stream(rank, StreamFilter::p2p_only());
+                assert_eq!(
+                    p2p.len(),
+                    bt.receives_per_iter() * bt.iterations(),
+                    "rank {rank} of bt.{procs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_three_p2p_sizes() {
+        let trace = run(9);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut sizes = s.sizes.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes.len(), 3);
+    }
+
+    #[test]
+    fn logical_streams_are_periodic_with_the_iteration() {
+        // BT.9: both the sender and the size stream repeat every 18
+        // messages (Figure 1 of the paper). BT.4 is degenerate: with q=2
+        // each partner pair collapses (succ = pred), so the *sender*
+        // stream already repeats after 6 while the size stream needs the
+        // full 12-message iteration.
+        let bt9 = Bt::new(9, Class::S);
+        let t9 = run(9);
+        let s9 = t9.logical_stream(3, StreamFilter::p2p_only());
+        assert_eq!(mpp_core_period(&s9.senders), bt9.receives_per_iter());
+        assert_eq!(mpp_core_period(&s9.sizes), bt9.receives_per_iter());
+        assert_eq!(bt9.receives_per_iter(), 18);
+
+        let bt4 = Bt::new(4, Class::S);
+        let t4 = run(4);
+        let s4 = t4.logical_stream(3, StreamFilter::p2p_only());
+        assert_eq!(mpp_core_period(&s4.senders), 6);
+        assert_eq!(mpp_core_period(&s4.sizes), bt4.receives_per_iter());
+    }
+
+    /// Minimal local re-implementation of smallest exact period (keeps
+    /// this crate independent of mpp-core).
+    fn mpp_core_period(stream: &[u64]) -> usize {
+        'outer: for p in 1..stream.len() {
+            for i in p..stream.len() {
+                if stream[i] != stream[i - p] {
+                    continue 'outer;
+                }
+            }
+            return p;
+        }
+        stream.len()
+    }
+
+    #[test]
+    fn bt4_partners_are_all_other_ranks() {
+        let bt = Bt::new(4, Class::S);
+        // Rank 3 = (1,1) in a 2×2 torus: ±x → 2, ±y → 1, ±z → 0.
+        assert_eq!(bt.successor(3, 0), 2);
+        assert_eq!(bt.predecessor(3, 0), 2);
+        assert_eq!(bt.successor(3, 1), 1);
+        assert_eq!(bt.successor(3, 2), 0);
+        let trace = run(4);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        assert_eq!(senders, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bt9_has_six_distinct_partners() {
+        let trace = run(9);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        assert_eq!(senders.len(), 6);
+    }
+
+    #[test]
+    fn successor_predecessor_are_inverse() {
+        let bt = Bt::new(25, Class::S);
+        for rank in 0..25 {
+            for dir in 0..3 {
+                assert_eq!(bt.predecessor(bt.successor(rank, dir), dir), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_sizes_match_paper_for_bt9() {
+        let bt = Bt::new(9, Class::A);
+        // c = ceil(64/3) = 22 → scale = 484/484 = 1: exact paper sizes.
+        assert_eq!(bt.message_sizes(), (19440, 10240, 3240));
+    }
+
+    #[test]
+    fn collective_startup_and_verification_present() {
+        let trace = run(4);
+        let coll = trace.logical_stream(3, StreamFilter::collectives_only());
+        assert!(!coll.is_empty());
+        assert!(coll.len() < 30, "collectives are a handful, not a flood");
+    }
+}

@@ -1,0 +1,181 @@
+//! NAS IS (Integer Sort) communication skeleton.
+//!
+//! IS is the paper's collective-dominated benchmark: per iteration every
+//! rank (1) counts its keys into buckets, (2) allreduces the bucket
+//! histogram, (3) alltoalls the per-destination send counts, (4)
+//! alltoallv's the keys themselves, and (5) sends one small boundary
+//! message to its successor (keys equal to the split value). With one
+//! untimed warm-up iteration plus 10 timed ones, a rank receives exactly
+//! 11 point-to-point messages — Table 1's "11" — and a few hundred
+//! collective-internal messages from **all** ranks (which is why Table 1
+//! lists `P` distinct senders and why the physical stream is "very hard"
+//! to predict, §5.2).
+
+use crate::params::Class;
+use mpp_mpisim::{Comm, RankProgram, ReduceOp, Tag};
+
+const TAG_BOUNDARY: Tag = 60;
+
+/// Number of histogram buckets (NPB IS uses 2¹⁰).
+const NUM_BUCKETS: u64 = 1024;
+
+/// The IS skeleton.
+#[derive(Debug, Clone)]
+pub struct Is {
+    procs: usize,
+    total_keys: u64,
+    /// Timed iterations (a warm-up iteration runs first).
+    iterations: usize,
+    /// Per-iteration counting work, ns.
+    count_work: u64,
+}
+
+impl Is {
+    /// Creates the skeleton.
+    pub fn new(procs: usize, class: Class) -> Self {
+        let (total_keys, iterations) = match class {
+            Class::A => (1u64 << 23, 10usize),
+            Class::B => (1 << 25, 10),
+            Class::S => (1 << 14, 3),
+        };
+        Is {
+            procs,
+            total_keys,
+            iterations,
+            count_work: (total_keys / procs as u64) * 2,
+        }
+    }
+
+    /// Keys held per rank.
+    pub fn keys_per_rank(&self) -> u64 {
+        self.total_keys / self.procs as u64
+    }
+
+    /// Bytes of one key-redistribution chunk (uniform key distribution).
+    pub fn chunk_bytes(&self) -> u64 {
+        4 * self.keys_per_rank() / self.procs as u64
+    }
+
+    /// Bytes of the bucket-histogram allreduce.
+    pub fn bucket_bytes(&self) -> u64 {
+        4 * NUM_BUCKETS
+    }
+
+    /// Total iterations including the untimed warm-up.
+    pub fn total_iterations(&self) -> usize {
+        self.iterations + 1
+    }
+
+    fn one_iteration(&self, c: &mut Comm, iter: u64) {
+        let p = c.size();
+        let me = c.rank();
+        // Local bucket counting.
+        c.compute(self.count_work);
+        // Global bucket histogram.
+        c.allreduce(self.bucket_bytes(), iter, ReduceOp::Sum);
+        // Send counts: one word per destination.
+        let counts: Vec<u64> = (0..p as u64).map(|d| d + iter).collect();
+        c.alltoall(4, &counts);
+        // Key redistribution (uniform keys ⇒ equal chunks).
+        let keys: Vec<u64> = (0..p as u64).map(|d| me as u64 * 100 + d).collect();
+        let sizes = vec![self.chunk_bytes(); p];
+        c.alltoallv(&sizes, &keys);
+        // Local ranking of the received keys.
+        c.compute(self.count_work / 2);
+        // Boundary exchange: keys equal to the split go to the successor.
+        if me + 1 < p {
+            c.send(me + 1, TAG_BOUNDARY, 4, iter);
+        }
+        if me > 0 {
+            c.recv(me - 1, TAG_BOUNDARY);
+        }
+    }
+}
+
+impl RankProgram for Is {
+    fn run(&self, c: &mut Comm) {
+        for iter in 0..self.total_iterations() as u64 {
+            self.one_iteration(c, iter);
+        }
+        // Final verification reduction.
+        c.allreduce(8, c.rank() as u64, ReduceOp::Sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_mpisim::net::JitterNetwork;
+    use mpp_mpisim::{StreamFilter, World, WorldConfig};
+
+    fn run(procs: usize) -> mpp_mpisim::Trace {
+        let is = Is::new(procs, Class::S);
+        let cfg = WorldConfig::new(procs).seed(6);
+        let net = JitterNetwork::from_config(&cfg);
+        World::new(cfg, net).run(&is)
+    }
+
+    #[test]
+    fn p2p_count_equals_iterations() {
+        let trace = run(4);
+        let is = Is::new(4, Class::S);
+        for rank in 1..4 {
+            let p2p = trace.logical_stream(rank, StreamFilter::p2p_only());
+            assert_eq!(p2p.len(), is.total_iterations(), "rank {rank}");
+        }
+        // Rank 0 has no predecessor.
+        assert!(trace.logical_stream(0, StreamFilter::p2p_only()).is_empty());
+    }
+
+    #[test]
+    fn class_a_p2p_is_eleven() {
+        let is = Is::new(4, Class::A);
+        assert_eq!(is.total_iterations(), 11);
+    }
+
+    #[test]
+    fn every_rank_is_a_sender() {
+        let trace = run(8);
+        let s = trace.logical_stream(3, StreamFilter::all());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        assert_eq!(senders.len(), 8, "alltoall reaches rank 3 from all ranks");
+    }
+
+    #[test]
+    fn three_frequent_sizes() {
+        let trace = run(4);
+        let s = trace.logical_stream(3, StreamFilter::all());
+        let mut sizes = s.sizes.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+        // {4 (counts + boundary), bucket histogram, key chunk} plus the
+        // 8-byte final verification.
+        assert!(sizes.contains(&4));
+        assert!(sizes.contains(&Is::new(4, Class::S).bucket_bytes()));
+        assert!(sizes.contains(&Is::new(4, Class::S).chunk_bytes()));
+        assert!(sizes.len() <= 4);
+    }
+
+    #[test]
+    fn collective_traffic_dominates() {
+        let trace = run(4);
+        let coll = trace.logical_stream(3, StreamFilter::collectives_only());
+        let p2p = trace.logical_stream(3, StreamFilter::p2p_only());
+        assert!(coll.len() > 10 * p2p.len());
+    }
+
+    #[test]
+    fn collective_count_matches_algorithm() {
+        let procs = 8;
+        let is = Is::new(procs, Class::S);
+        let trace = run(procs);
+        let coll = trace.logical_stream(3, StreamFilter::collectives_only());
+        // Per iteration: log2(p) allreduce + p alltoall + p alltoallv;
+        // plus the final 8-byte allreduce.
+        let per_iter = 3 + procs + procs;
+        let expect = per_iter * is.total_iterations() + 3;
+        assert_eq!(coll.len(), expect);
+    }
+}

@@ -1,0 +1,105 @@
+//! # mpp-nasbench — workload skeletons
+//!
+//! Communication skeletons of the five applications the paper evaluates
+//! (§3.2): NAS BT, CG, LU, IS and ASCI Sweep3D. A skeleton reproduces the
+//! *communication structure* of the original code — partner graph, message
+//! sizes derived from the class-A array shapes, per-iteration message
+//! counts and loop periodicity — without the floating-point math, which
+//! the predictor never sees.
+//!
+//! Each benchmark is a [`mpp_mpisim::RankProgram`] for the
+//! `mpp-mpisim` substrate:
+//!
+//! * [`bt`] — multipartition ADI: 6 face exchanges + 3 directional solve
+//!   sweeps per iteration ⇒ the 18-message period of Figure 1 (9 ranks).
+//! * [`cg`] — 2-D partitioned conjugate gradient: row reductions and a
+//!   transpose exchange, all point-to-point (CG has zero collectives in
+//!   Table 1).
+//! * [`lu`] — SSOR wavefront pipeline over k-planes (tens of thousands of
+//!   small messages from ≤ 2 upstream neighbours).
+//! * [`is`] — bucket sort: allreduce + alltoall + alltoallv per iteration,
+//!   plus one boundary point-to-point message.
+//! * [`sweep3d`] — KBA discrete-ordinates sweeps: 8 octants × k-blocks ×
+//!   angle-blocks pipelined over a 2-D grid.
+//!
+//! [`params`] holds problem classes and the paper's 19 configurations;
+//! [`synthetic`] generates controlled streams for tests and ablations.
+
+pub mod bt;
+pub mod cg;
+pub mod is;
+pub mod lu;
+pub mod params;
+pub mod sweep3d;
+pub mod synthetic;
+
+pub use params::{paper_configs, BenchId, BenchmarkConfig, Class};
+
+use mpp_mpisim::net::JitterNetwork;
+use mpp_mpisim::{RankProgram, Trace, World, WorldConfig};
+
+/// Instantiates the skeleton program for a configuration.
+pub fn build_program(cfg: &BenchmarkConfig) -> Box<dyn RankProgram> {
+    match cfg.id {
+        BenchId::Bt => Box::new(bt::Bt::new(cfg.procs, cfg.class)),
+        BenchId::Cg => Box::new(cg::Cg::new(cfg.procs, cfg.class)),
+        BenchId::Lu => Box::new(lu::Lu::new(cfg.procs, cfg.class)),
+        BenchId::Is => Box::new(is::Is::new(cfg.procs, cfg.class)),
+        BenchId::Sweep3d => Box::new(sweep3d::Sweep3d::new(cfg.procs, cfg.class)),
+    }
+}
+
+/// Runs a configuration on a jittered world with the given seed and
+/// returns the trace. This is the standard entry point for experiments;
+/// pass [`WorldConfig::noiseless`] output through [`run_with_world`] to
+/// get an unperturbed network instead.
+pub fn run_config(cfg: &BenchmarkConfig, seed: u64) -> Trace {
+    let wcfg = WorldConfig::new(cfg.procs).seed(seed);
+    run_with_world(cfg, wcfg)
+}
+
+/// Runs a configuration on a caller-supplied world configuration.
+pub fn run_with_world(cfg: &BenchmarkConfig, wcfg: WorldConfig) -> Trace {
+    assert_eq!(wcfg.nprocs, cfg.procs, "world size must match config");
+    let net = JitterNetwork::from_config(&wcfg);
+    let world = World::new(wcfg, net);
+    let program = build_program(cfg);
+    world.run(program.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_config_builds() {
+        for cfg in paper_configs() {
+            let _ = build_program(&cfg);
+        }
+    }
+
+    #[test]
+    fn paper_configs_match_table_one() {
+        let cfgs = paper_configs();
+        assert_eq!(cfgs.len(), 19);
+        let bt: Vec<usize> = cfgs
+            .iter()
+            .filter(|c| c.id == BenchId::Bt)
+            .map(|c| c.procs)
+            .collect();
+        assert_eq!(bt, vec![4, 9, 16, 25]);
+        let sw: Vec<usize> = cfgs
+            .iter()
+            .filter(|c| c.id == BenchId::Sweep3d)
+            .map(|c| c.procs)
+            .collect();
+        assert_eq!(sw, vec![6, 16, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must match")]
+    fn mismatched_world_size_panics() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        run_with_world(&cfg, WorldConfig::new(8));
+    }
+}

@@ -1,0 +1,239 @@
+//! NAS LU (SSOR) communication skeleton.
+//!
+//! LU decomposes the `nx × ny` plane on a 2-D process grid and pipelines
+//! the SSOR solver over the `nz` k-planes: the lower-triangular sweep
+//! flows from the north-west corner (every interior rank receives a
+//! row-boundary from its north neighbour and a column-boundary from its
+//! west neighbour for each of the `nz − 2` planes), the upper-triangular
+//! sweep flows back from the south-east. One ghost-cell exchange
+//! (`exchange_3`) with every neighbour closes the iteration.
+//!
+//! This yields the tens of thousands of small messages Table 1 lists
+//! (31 472…47 211 for the traced rank at class A, 250 iterations) from at
+//! most 2–3 distinct senders, with 2 distinct sizes on square process
+//! grids and 4 on rectangular ones — exactly the pattern of the paper's
+//! LU rows.
+
+use crate::params::Class;
+use mpp_mpisim::topology::near_square_dims;
+use mpp_mpisim::{Comm, Grid2D, RankProgram, ReduceOp, Tag};
+
+const TAG_LOW: Tag = 50;
+const TAG_UP: Tag = 51;
+const TAG_E3: Tag = 52;
+
+/// The LU skeleton.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    grid: Grid2D,
+    nz: usize,
+    itmax: usize,
+    /// North–south sweep boundary bytes (a row of the k-plane).
+    row_bytes: u64,
+    /// East–west sweep boundary bytes (a column of the k-plane).
+    col_bytes: u64,
+    /// exchange_3 ghost faces (row / column variants).
+    e3_row_bytes: u64,
+    e3_col_bytes: u64,
+    /// Per-plane compute, ns.
+    plane_work: u64,
+}
+
+impl Lu {
+    /// Creates the skeleton on the most-square 2-D grid for `procs`.
+    pub fn new(procs: usize, class: Class) -> Self {
+        let (rows, cols) = near_square_dims(procs);
+        let (mesh, itmax) = match class {
+            Class::A => (64usize, 250usize),
+            Class::B => (102, 250),
+            Class::S => (12, 4),
+        };
+        let nx_local = mesh.div_ceil(cols) as u64;
+        let ny_local = mesh.div_ceil(rows) as u64;
+        Lu {
+            grid: Grid2D::new(rows, cols),
+            nz: mesh,
+            itmax,
+            // 5 solution components, 8 bytes each, per boundary point.
+            row_bytes: 40 * nx_local,
+            col_bytes: 40 * ny_local,
+            // exchange_3 moves a full face of the rhs (one component,
+            // depth-2 ghost ⇒ 2 × 8 bytes per point ≈ 16·n·nz).
+            e3_row_bytes: 8 * nx_local * mesh as u64,
+            e3_col_bytes: 8 * ny_local * mesh as u64,
+            plane_work: nx_local * ny_local * 100,
+        }
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> Grid2D {
+        self.grid
+    }
+
+    /// Number of SSOR iterations.
+    pub fn iterations(&self) -> usize {
+        self.itmax
+    }
+
+    /// Expected receives per iteration for `rank`:
+    /// `(nz − 2) · (#lower upstream + #upper upstream) + #neighbours`.
+    pub fn receives_per_iter(&self, rank: usize) -> usize {
+        let lower = usize::from(self.grid.north(rank).is_some())
+            + usize::from(self.grid.west(rank).is_some());
+        let upper = usize::from(self.grid.south(rank).is_some())
+            + usize::from(self.grid.east(rank).is_some());
+        (self.nz - 2) * (lower + upper) + self.grid.neighbors(rank).len()
+    }
+}
+
+impl RankProgram for Lu {
+    fn run(&self, c: &mut Comm) {
+        let me = c.rank();
+        let g = self.grid;
+
+        // Startup parameter broadcasts.
+        for _ in 0..3 {
+            c.bcast(0, 8, self.itmax as u64);
+        }
+
+        for _iter in 0..self.itmax {
+            // Lower-triangular sweep (blts): NW → SE wavefront.
+            for _k in 1..self.nz - 1 {
+                if let Some(n) = g.north(me) {
+                    c.recv(n, TAG_LOW);
+                }
+                if let Some(w) = g.west(me) {
+                    c.recv(w, TAG_LOW);
+                }
+                c.compute(self.plane_work);
+                if let Some(s) = g.south(me) {
+                    c.send(s, TAG_LOW, self.row_bytes, 0);
+                }
+                if let Some(e) = g.east(me) {
+                    c.send(e, TAG_LOW, self.col_bytes, 0);
+                }
+            }
+            // Upper-triangular sweep (buts): SE → NW wavefront.
+            for _k in 1..self.nz - 1 {
+                if let Some(s) = g.south(me) {
+                    c.recv(s, TAG_UP);
+                }
+                if let Some(e) = g.east(me) {
+                    c.recv(e, TAG_UP);
+                }
+                c.compute(self.plane_work);
+                if let Some(n) = g.north(me) {
+                    c.send(n, TAG_UP, self.row_bytes, 0);
+                }
+                if let Some(w) = g.west(me) {
+                    c.send(w, TAG_UP, self.col_bytes, 0);
+                }
+            }
+            // exchange_3: rhs ghost faces with every neighbour.
+            if let Some(n) = g.north(me) {
+                c.sendrecv(n, TAG_E3, self.e3_row_bytes, 0, n, TAG_E3);
+            }
+            if let Some(s) = g.south(me) {
+                c.sendrecv(s, TAG_E3, self.e3_row_bytes, 0, s, TAG_E3);
+            }
+            if let Some(w) = g.west(me) {
+                c.sendrecv(w, TAG_E3, self.e3_col_bytes, 0, w, TAG_E3);
+            }
+            if let Some(e) = g.east(me) {
+                c.sendrecv(e, TAG_E3, self.e3_col_bytes, 0, e, TAG_E3);
+            }
+            c.compute(self.plane_work * 4);
+        }
+
+        // Residual norms at the end of the run.
+        for i in 0..5u64 {
+            c.allreduce(40, i, ReduceOp::Sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_mpisim::net::JitterNetwork;
+    use mpp_mpisim::{StreamFilter, World, WorldConfig};
+
+    fn run(procs: usize) -> (Lu, mpp_mpisim::Trace) {
+        let lu = Lu::new(procs, Class::S);
+        let cfg = WorldConfig::new(procs).seed(5);
+        let net = JitterNetwork::from_config(&cfg);
+        let trace = World::new(cfg, net).run(&lu);
+        (lu, trace)
+    }
+
+    #[test]
+    fn grids_match_calibration() {
+        assert_eq!(Lu::new(4, Class::S).grid(), Grid2D::new(2, 2));
+        assert_eq!(Lu::new(8, Class::S).grid(), Grid2D::new(2, 4));
+        assert_eq!(Lu::new(16, Class::S).grid(), Grid2D::new(4, 4));
+        assert_eq!(Lu::new(32, Class::S).grid(), Grid2D::new(4, 8));
+    }
+
+    #[test]
+    fn per_rank_counts_match_formula() {
+        for procs in [4usize, 8, 16] {
+            let (lu, trace) = run(procs);
+            for rank in 0..procs {
+                let got = trace.logical_stream(rank, StreamFilter::p2p_only()).len();
+                let expect = lu.receives_per_iter(rank) * lu.iterations();
+                assert_eq!(got, expect, "lu.{procs} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_multiplicity_follows_grid_shape() {
+        // Square grid → 2 distinct p2p sizes; rectangular → 4.
+        let (_, t4) = run(4);
+        let s4 = t4.logical_stream(3, StreamFilter::p2p_only());
+        let mut sizes: Vec<u64> = s4.sizes.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes.len(), 2, "lu.4 square grid");
+
+        let (_, t8) = run(8);
+        let s8 = t8.logical_stream(3, StreamFilter::p2p_only());
+        let mut sizes: Vec<u64> = s8.sizes.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes.len(), 4, "lu.8 rectangular grid");
+    }
+
+    #[test]
+    fn traced_rank_has_few_senders() {
+        let (_, trace) = run(16);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        // Rank 3 = (0,3) on 4×4: west and south only.
+        assert_eq!(senders, vec![2, 7]);
+    }
+
+    #[test]
+    fn class_a_traced_count_matches_table_one() {
+        for (procs, paper) in [(4usize, 31472usize), (8, 31474), (16, 31474), (32, 47211)] {
+            let lu = Lu::new(procs, Class::A);
+            let ours = lu.receives_per_iter(3) * lu.iterations();
+            let rel = (ours as f64 - paper as f64).abs() / paper as f64;
+            assert!(
+                rel < 0.01,
+                "lu.{procs}: ours {ours} vs paper {paper} ({:.2}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn corner_rank_zero_receives_only_sweep_backflow() {
+        let (lu, _) = run(4);
+        // Rank 0 = (0,0): nothing upstream in the lower sweep; south and
+        // east feed the upper sweep; 2 exchange_3 neighbours.
+        assert_eq!(lu.receives_per_iter(0), (lu.nz - 2) * 2 + 2);
+    }
+}

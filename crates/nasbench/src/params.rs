@@ -1,0 +1,147 @@
+//! Problem classes and the paper's benchmark configurations.
+
+use mpp_mpisim::Rank;
+
+/// Problem size class.
+///
+/// `A` is what the paper ran (§3.2, "class A problem size"); `S` is a
+/// scaled-down variant with the same communication *structure* (identical
+/// partner graphs and periodicity, smaller sizes and fewer iterations)
+/// for fast tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Small: test-sized iteration counts and meshes.
+    S,
+    /// Class A: the paper's configuration.
+    A,
+    /// Class B: the next NPB size up (not in the paper; for scale
+    /// studies — same communication structure, larger meshes).
+    B,
+}
+
+impl Class {
+    /// Lower-case letter, as NPB names classes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::S => "s",
+            Class::A => "a",
+            Class::B => "b",
+        }
+    }
+}
+
+/// Which benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchId {
+    Bt,
+    Cg,
+    Lu,
+    Is,
+    Sweep3d,
+}
+
+impl BenchId {
+    /// Lower-case name as the paper abbreviates it ("bt", "cg", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchId::Bt => "bt",
+            BenchId::Cg => "cg",
+            BenchId::Lu => "lu",
+            BenchId::Is => "is",
+            BenchId::Sweep3d => "sw",
+        }
+    }
+
+    /// The process counts Table 1 lists for this benchmark.
+    pub fn paper_proc_counts(self) -> &'static [usize] {
+        match self {
+            BenchId::Bt => &[4, 9, 16, 25],
+            BenchId::Cg | BenchId::Lu | BenchId::Is => &[4, 8, 16, 32],
+            BenchId::Sweep3d => &[6, 16, 32],
+        }
+    }
+}
+
+/// One benchmark execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BenchmarkConfig {
+    /// The benchmark.
+    pub id: BenchId,
+    /// Number of ranks.
+    pub procs: usize,
+    /// Problem class.
+    pub class: Class,
+}
+
+impl BenchmarkConfig {
+    /// Creates a configuration.
+    pub fn new(id: BenchId, procs: usize, class: Class) -> Self {
+        BenchmarkConfig { id, procs, class }
+    }
+
+    /// Display label in the paper's notation, e.g. `bt.9`.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.id.name(), self.procs)
+    }
+
+    /// The process whose receive stream the experiments trace.
+    ///
+    /// The paper traces process 3 for BT (Figures 1 and 2). For the other
+    /// codes the traced rank is unspecified; we use rank 3 where it is
+    /// representative and rank 2 for CG (ranks on the transpose diagonal —
+    /// rank 3 in a 2×2 grid, rank 1 in a 2×4 grid — exchange with
+    /// themselves and would under-count both partners and messages
+    /// relative to Table 1).
+    pub fn traced_rank(&self) -> Rank {
+        let preferred = match self.id {
+            BenchId::Cg => 2,
+            _ => 3,
+        };
+        preferred.min(self.procs - 1)
+    }
+}
+
+/// All 19 (benchmark, process-count) configurations of Table 1 /
+/// Figures 3–4, at class A.
+pub fn paper_configs() -> Vec<BenchmarkConfig> {
+    let mut out = Vec::new();
+    for id in [
+        BenchId::Bt,
+        BenchId::Cg,
+        BenchId::Lu,
+        BenchId::Is,
+        BenchId::Sweep3d,
+    ] {
+        for &p in id.paper_proc_counts() {
+            out.push(BenchmarkConfig::new(id, p, Class::A));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_use_paper_notation() {
+        assert_eq!(BenchmarkConfig::new(BenchId::Bt, 9, Class::A).label(), "bt.9");
+        assert_eq!(
+            BenchmarkConfig::new(BenchId::Sweep3d, 6, Class::A).label(),
+            "sw.6"
+        );
+    }
+
+    #[test]
+    fn traced_rank_is_in_range() {
+        for cfg in paper_configs() {
+            assert!(cfg.traced_rank() < cfg.procs, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn cg_traces_off_diagonal_rank() {
+        assert_eq!(BenchmarkConfig::new(BenchId::Cg, 4, Class::A).traced_rank(), 2);
+        assert_eq!(BenchmarkConfig::new(BenchId::Bt, 4, Class::A).traced_rank(), 3);
+    }
+}

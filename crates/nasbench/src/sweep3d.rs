@@ -1,0 +1,259 @@
+//! ASCI Sweep3D communication skeleton.
+//!
+//! Sweep3D performs discrete-ordinates (Sₙ) transport sweeps: for each of
+//! the 8 octants, a wavefront crosses the 2-D process grid from one
+//! corner, pipelined over `nz/mk` k-blocks × `angles/mmi` angle-blocks
+//! (the KBA algorithm). A rank receives, per pipeline stage, one face
+//! from each *upstream* neighbour of the octant's sweep direction and
+//! forwards downstream after computing.
+//!
+//! With the paper's geometry (50³ mesh, `mk = 10`, `mmi = 3`, 12 outer
+//! iterations) a corner rank on a 4×4 grid receives 960 sweep messages —
+//! Table 1 lists 949 for sw.16/sw.32 — from exactly 2 senders, and three
+//! global reductions per iteration produce the 36 collective operations.
+
+use crate::params::Class;
+use mpp_mpisim::{Comm, Grid2D, Rank, RankProgram, ReduceOp, Tag};
+
+/// One sweep tag per octant: pipelined octants overlap across ranks, so
+/// tags keep their traffic separate in the matching queue.
+const TAG_SWEEP_BASE: Tag = 70;
+
+/// The Sweep3D skeleton.
+#[derive(Debug, Clone)]
+pub struct Sweep3d {
+    grid: Grid2D,
+    /// Outer (timing) iterations.
+    iterations: usize,
+    /// Pipeline stages: k-blocks × angle-blocks per octant.
+    kblocks: usize,
+    ablocks: usize,
+    /// East–west face bytes (ny-local × mk × mmi × 8).
+    ew_bytes: u64,
+    /// North–south face bytes (nx-local × mk × mmi × 8).
+    ns_bytes: u64,
+    /// Per-stage compute, ns.
+    stage_work: u64,
+}
+
+/// The four sweep quadrants: (x direction, y direction); `+1` sweeps in
+/// increasing column/row order. Each quadrant is traversed for both z
+/// directions (hence 8 octants).
+const QUADRANTS: [(i8, i8); 4] = [(1, 1), (-1, 1), (-1, -1), (1, -1)];
+
+impl Sweep3d {
+    /// Creates the skeleton. The process grid is chosen rows ≥ cols
+    /// (50³ problems favour taller grids; this also reproduces the
+    /// paper's per-rank partner counts).
+    pub fn new(procs: usize, class: Class) -> Self {
+        let (r, c) = mpp_mpisim::topology::near_square_dims(procs);
+        let (rows, cols) = (r.max(c), r.min(c));
+        let (mesh, mk, mmi, angles, iterations) = match class {
+            Class::A => (50usize, 10usize, 3usize, 6usize, 12usize),
+            Class::B => (100, 10, 3, 6, 12),
+            Class::S => (12, 4, 3, 6, 2),
+        };
+        let nx_local = mesh.div_ceil(cols) as u64;
+        let ny_local = mesh.div_ceil(rows) as u64;
+        Sweep3d {
+            grid: Grid2D::new(rows, cols),
+            iterations,
+            kblocks: mesh.div_ceil(mk),
+            ablocks: angles.div_ceil(mmi),
+            ew_bytes: ny_local * (mk * mmi) as u64 * 8,
+            ns_bytes: nx_local * (mk * mmi) as u64 * 8,
+            stage_work: nx_local * ny_local * (mk * mmi) as u64 * 25,
+        }
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> Grid2D {
+        self.grid
+    }
+
+    /// Outer iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Pipeline stages per octant.
+    pub fn stages_per_octant(&self) -> usize {
+        self.kblocks * self.ablocks
+    }
+
+    /// Upstream neighbours of `rank` for a quadrant: where sweep input
+    /// comes from.
+    fn upstream(&self, rank: Rank, (dx, dy): (i8, i8)) -> (Option<Rank>, Option<Rank>) {
+        let x_up = if dx > 0 {
+            self.grid.west(rank)
+        } else {
+            self.grid.east(rank)
+        };
+        let y_up = if dy > 0 {
+            self.grid.north(rank)
+        } else {
+            self.grid.south(rank)
+        };
+        (x_up, y_up)
+    }
+
+    /// Downstream neighbours (where sweep output goes).
+    fn downstream(&self, rank: Rank, (dx, dy): (i8, i8)) -> (Option<Rank>, Option<Rank>) {
+        let x_dn = if dx > 0 {
+            self.grid.east(rank)
+        } else {
+            self.grid.west(rank)
+        };
+        let y_dn = if dy > 0 {
+            self.grid.south(rank)
+        } else {
+            self.grid.north(rank)
+        };
+        (x_dn, y_dn)
+    }
+
+    /// Expected sweep receives per iteration for `rank`.
+    pub fn receives_per_iter(&self, rank: Rank) -> usize {
+        let per_stage: usize = QUADRANTS
+            .iter()
+            .map(|&q| {
+                let (x, y) = self.upstream(rank, q);
+                usize::from(x.is_some()) + usize::from(y.is_some())
+            })
+            .sum();
+        // ×2 z-directions per quadrant.
+        2 * per_stage * self.stages_per_octant()
+    }
+}
+
+impl RankProgram for Sweep3d {
+    fn run(&self, c: &mut Comm) {
+        let me = c.rank();
+
+        // Startup parameter broadcasts.
+        for _ in 0..3 {
+            c.bcast(0, 8, self.iterations as u64);
+        }
+
+        for _iter in 0..self.iterations {
+            for octant in 0..8usize {
+                let quadrant = QUADRANTS[octant / 2];
+                let tag = TAG_SWEEP_BASE + octant as Tag;
+                let (x_up, y_up) = self.upstream(me, quadrant);
+                let (x_dn, y_dn) = self.downstream(me, quadrant);
+                for _stage in 0..self.stages_per_octant() {
+                    if let Some(src) = x_up {
+                        c.recv(src, tag);
+                    }
+                    if let Some(src) = y_up {
+                        c.recv(src, tag);
+                    }
+                    c.compute(self.stage_work);
+                    if let Some(dst) = x_dn {
+                        c.send(dst, tag, self.ew_bytes, 0);
+                    }
+                    if let Some(dst) = y_dn {
+                        c.send(dst, tag, self.ns_bytes, 0);
+                    }
+                }
+            }
+            // Global convergence/balance checks: flux sum, error max,
+            // leakage sum.
+            c.allreduce(8, 1, ReduceOp::Sum);
+            c.allreduce(8, 1, ReduceOp::Max);
+            c.allreduce(8, 1, ReduceOp::Sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_mpisim::net::JitterNetwork;
+    use mpp_mpisim::{StreamFilter, World, WorldConfig};
+
+    fn run(procs: usize) -> (Sweep3d, mpp_mpisim::Trace) {
+        let sw = Sweep3d::new(procs, Class::S);
+        let cfg = WorldConfig::new(procs).seed(7);
+        let net = JitterNetwork::from_config(&cfg);
+        let trace = World::new(cfg, net).run(&sw);
+        (sw, trace)
+    }
+
+    #[test]
+    fn grids_are_tall() {
+        assert_eq!(Sweep3d::new(6, Class::S).grid(), Grid2D::new(3, 2));
+        assert_eq!(Sweep3d::new(16, Class::S).grid(), Grid2D::new(4, 4));
+        assert_eq!(Sweep3d::new(32, Class::S).grid(), Grid2D::new(8, 4));
+    }
+
+    #[test]
+    fn sweep_counts_match_formula() {
+        for procs in [4usize, 6, 16] {
+            let (sw, trace) = run(procs);
+            for rank in 0..procs {
+                let got = trace.logical_stream(rank, StreamFilter::p2p_only()).len();
+                let expect = sw.receives_per_iter(rank) * sw.iterations();
+                assert_eq!(got, expect, "sw.{procs} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_traced_rank_matches_table_one() {
+        // Table 1: 1438 receives for sw.6, 949 for sw.16 and sw.32.
+        for (procs, paper) in [(6usize, 1438usize), (16, 949), (32, 949)] {
+            let sw = Sweep3d::new(procs, Class::A);
+            let ours = sw.receives_per_iter(3) * sw.iterations();
+            let rel = (ours as f64 - paper as f64).abs() / paper as f64;
+            assert!(
+                rel < 0.02,
+                "sw.{procs}: ours {ours} vs paper {paper} ({:.2}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn corner_rank_has_two_senders_on_square_grid() {
+        let (_, trace) = run(16);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        assert_eq!(senders, vec![2, 7], "west and south of (0,3)");
+    }
+
+    #[test]
+    fn edge_rank_has_three_senders_on_sw6() {
+        let (_, trace) = run(6);
+        let s = trace.logical_stream(3, StreamFilter::p2p_only());
+        let mut senders = s.senders.clone();
+        senders.sort_unstable();
+        senders.dedup();
+        // Rank 3 = (1,1) on 3×2: north 1, west 2, south 5.
+        assert_eq!(senders, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn three_allreduces_per_iteration() {
+        let (sw, trace) = run(4);
+        let coll = trace.logical_stream(0, StreamFilter::collectives_only());
+        // Startup: 3 bcasts (rank 0 is root: receives none); per iter:
+        // 3 allreduces × log2(4) receives for a power-of-two world.
+        assert_eq!(coll.len(), sw.iterations() * 3 * 2);
+    }
+
+    #[test]
+    fn upstream_downstream_are_mirrors() {
+        let sw = Sweep3d::new(16, Class::S);
+        for rank in 0..16 {
+            for q in QUADRANTS {
+                let (xu, yu) = sw.upstream(rank, q);
+                let (xd, yd) = sw.downstream(rank, (-q.0, -q.1));
+                assert_eq!(xu, xd);
+                assert_eq!(yu, yd);
+            }
+        }
+    }
+}

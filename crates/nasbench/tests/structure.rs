@@ -1,0 +1,124 @@
+//! Cross-benchmark structural invariants, checked over the full
+//! configuration space at class S (cheap) with spot checks at class A.
+
+use mpp_mpisim::{StreamFilter, WorldConfig};
+use mpp_nasbench::{build_program, paper_configs, run_with_world, BenchId, BenchmarkConfig, Class};
+
+fn run(cfg: &BenchmarkConfig, seed: u64) -> mpp_mpisim::Trace {
+    run_with_world(cfg, WorldConfig::new(cfg.procs).seed(seed))
+}
+
+#[test]
+fn every_config_runs_and_traces_at_class_s() {
+    for mut cfg in paper_configs() {
+        cfg.class = Class::S;
+        let trace = run(&cfg, 1);
+        assert!(trace.total_receives() > 0, "{}", cfg.label());
+        // Every rank participated (sent or received something).
+        for rank in 0..cfg.procs {
+            assert!(
+                !trace.receives_of(rank).is_empty() || trace.sends_of(rank) > 0,
+                "{} rank {rank} did nothing",
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn physical_is_always_a_permutation_of_logical() {
+    for mut cfg in paper_configs() {
+        cfg.class = Class::S;
+        let trace = run(&cfg, 2);
+        for rank in 0..cfg.procs {
+            let log = trace.logical_stream(rank, StreamFilter::all());
+            let phys = trace.physical_stream(rank, StreamFilter::all());
+            assert_eq!(log.len(), phys.len(), "{} rank {rank}", cfg.label());
+            let mut a: Vec<(u64, u64)> = log.senders.into_iter().zip(log.sizes).collect();
+            let mut b: Vec<(u64, u64)> = phys.senders.into_iter().zip(phys.sizes).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{} rank {rank}", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn noiseless_physical_streams_are_exactly_periodic() {
+    // Without noise the physical order may be a *shifted* version of the
+    // logical one (scalars genuinely arrive before larger eager messages
+    // posted earlier), but it must be a deterministic, exactly periodic
+    // shift: position i repeats at i + one iteration period.
+    let cases = [
+        (BenchmarkConfig::new(BenchId::Lu, 4, Class::S), {
+            let lu = mpp_nasbench::lu::Lu::new(4, Class::S);
+            lu.receives_per_iter(3)
+        }),
+        (BenchmarkConfig::new(BenchId::Sweep3d, 4, Class::S), {
+            let sw = mpp_nasbench::sweep3d::Sweep3d::new(4, Class::S);
+            sw.receives_per_iter(3)
+        }),
+        (BenchmarkConfig::new(BenchId::Bt, 4, Class::S), {
+            let bt = mpp_nasbench::bt::Bt::new(4, Class::S);
+            bt.receives_per_iter()
+        }),
+    ];
+    for (cfg, period) in cases {
+        let trace = run_with_world(&cfg, WorldConfig::new(4).seed(3).noiseless());
+        let phys = trace.physical_stream(cfg.traced_rank(), StreamFilter::p2p_only());
+        let s = &phys.senders;
+        assert!(s.len() >= 2 * period, "{}", cfg.label());
+        // Compare the last two full iterations.
+        let mismatches = (s.len() - period..s.len())
+            .filter(|&i| s[i] != s[i - period])
+            .count();
+        assert_eq!(
+            mismatches,
+            0,
+            "{}: noiseless physical stream must repeat with period {period}",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn class_b_scales_up_sizes_but_keeps_structure() {
+    // Same partner graphs and counts-per-iteration; bigger messages.
+    let a = mpp_nasbench::lu::Lu::new(16, Class::A);
+    let b = mpp_nasbench::lu::Lu::new(16, Class::B);
+    assert_eq!(a.grid(), b.grid());
+    assert_eq!(a.receives_per_iter(3) / (64 - 2), b.receives_per_iter(3) / (102 - 2));
+
+    let bt_a = mpp_nasbench::bt::Bt::new(9, Class::A);
+    let bt_b = mpp_nasbench::bt::Bt::new(9, Class::B);
+    assert_eq!(bt_a.receives_per_iter(), bt_b.receives_per_iter());
+    assert!(bt_b.message_sizes().0 > bt_a.message_sizes().0);
+}
+
+#[test]
+fn class_b_runs_end_to_end_on_a_small_world() {
+    // Smoke: class B is heavy; run the cheapest member (CG has the
+    // fewest messages per iteration relative to its size).
+    let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::B);
+    let trace = run(&cfg, 4);
+    let rank = cfg.traced_rank();
+    // 75 outer iterations + warm-up, 4 receives per inner iteration band.
+    let n = trace.receives_of(rank).len();
+    assert!(n > 7000, "cg.4 class B should be much longer than class A: {n}");
+}
+
+#[test]
+fn build_program_matches_direct_construction() {
+    let cfg = BenchmarkConfig::new(BenchId::Sweep3d, 6, Class::S);
+    let program = build_program(&cfg);
+    let wcfg = WorldConfig::new(6).seed(9);
+    let net = mpp_mpisim::net::JitterNetwork::from_config(&wcfg);
+    let t1 = mpp_mpisim::World::new(wcfg, net).run(program.as_ref());
+    let t2 = run(&cfg, 9);
+    for rank in 0..6 {
+        assert_eq!(
+            t1.logical_stream(rank, StreamFilter::all()).senders,
+            t2.logical_stream(rank, StreamFilter::all()).senders
+        );
+    }
+}

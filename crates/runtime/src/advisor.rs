@@ -1,0 +1,149 @@
+//! Turning stream predictors into runtime advice.
+//!
+//! The §2 policies need to know, ahead of time, *which senders* will
+//! deliver the next messages and *how large* those messages will be.
+//! [`PredictionAdvisor`] runs two DPD predictors side by side — one on
+//! the sender stream, one on the size stream — and exposes the next-`k`
+//! (sender, size) forecasts. §5.3 argues exactly this interface: "knowing
+//! the next senders and their message size may be useful \[without\] the
+//! exact temporal order".
+
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::predictors::Predictor;
+use std::collections::HashMap;
+
+/// Forecast for the next `k` messages.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Per-horizon forecasts, index 0 ↔ `+1`; `None` where the predictor
+    /// cannot commit.
+    pub messages: Vec<(Option<u64>, Option<u64>)>,
+}
+
+impl Advice {
+    /// Distinct predicted senders with the largest size forecast per
+    /// sender — what a buffer manager allocates against.
+    pub fn buffers_needed(&self, default_bytes: u64) -> HashMap<u64, u64> {
+        let mut out: HashMap<u64, u64> = HashMap::new();
+        for &(sender, size) in &self.messages {
+            if let Some(s) = sender {
+                let b = out.entry(s).or_insert(0);
+                *b = (*b).max(size.unwrap_or(default_bytes));
+            }
+        }
+        out
+    }
+
+    /// Number of horizons with a sender forecast.
+    pub fn coverage(&self) -> usize {
+        self.messages.iter().filter(|(s, _)| s.is_some()).count()
+    }
+}
+
+/// Online (sender, size) forecaster for one receiving process.
+pub struct PredictionAdvisor {
+    senders: DpdPredictor,
+    sizes: DpdPredictor,
+    depth: usize,
+}
+
+impl PredictionAdvisor {
+    /// Creates an advisor forecasting `depth` messages ahead.
+    pub fn new(cfg: DpdConfig, depth: usize) -> Self {
+        assert!(depth > 0, "advice depth must be positive");
+        PredictionAdvisor {
+            senders: DpdPredictor::new(cfg.clone()),
+            sizes: DpdPredictor::new(cfg),
+            depth,
+        }
+    }
+
+    /// Records one delivered message.
+    pub fn observe(&mut self, sender: u64, size: u64) {
+        self.senders.observe(sender);
+        self.sizes.observe(size);
+    }
+
+    /// Forecast for the next `depth` messages.
+    pub fn advise(&self) -> Advice {
+        let messages = (1..=self.depth)
+            .map(|h| (self.senders.predict(h), self.sizes.predict(h)))
+            .collect();
+        Advice { messages }
+    }
+
+    /// The configured advice depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_advisor() -> PredictionAdvisor {
+        let mut a = PredictionAdvisor::new(DpdConfig::default(), 4);
+        for _ in 0..20 {
+            // Period-4 joint pattern: (1, 100) (2, 200) (1, 100) (3, 800).
+            for (s, b) in [(1u64, 100u64), (2, 200), (1, 100), (3, 800)] {
+                a.observe(s, b);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn advises_full_period() {
+        let a = trained_advisor();
+        let adv = a.advise();
+        assert_eq!(adv.coverage(), 4);
+        assert_eq!(adv.messages[0], (Some(1), Some(100)));
+        assert_eq!(adv.messages[1], (Some(2), Some(200)));
+        assert_eq!(adv.messages[2], (Some(1), Some(100)));
+        assert_eq!(adv.messages[3], (Some(3), Some(800)));
+    }
+
+    #[test]
+    fn buffers_needed_takes_max_size_per_sender() {
+        let mut a = PredictionAdvisor::new(DpdConfig::default(), 4);
+        for _ in 0..20 {
+            // Sender 1 sends alternating 100 and 900 bytes.
+            for (s, b) in [(1u64, 100u64), (1, 900), (2, 50), (1, 100)] {
+                a.observe(s, b);
+            }
+        }
+        let adv = a.advise();
+        let bufs = adv.buffers_needed(0);
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(bufs[&1], 900, "largest forecast for sender 1");
+        assert_eq!(bufs[&2], 50);
+    }
+
+    #[test]
+    fn cold_advisor_gives_empty_advice() {
+        let a = PredictionAdvisor::new(DpdConfig::default(), 5);
+        let adv = a.advise();
+        assert_eq!(adv.coverage(), 0);
+        assert!(adv.buffers_needed(4096).is_empty());
+    }
+
+    #[test]
+    fn missing_size_falls_back_to_default() {
+        // Senders periodic, sizes aperiodic: sender predicted, size not.
+        let mut a = PredictionAdvisor::new(DpdConfig::default(), 2);
+        for i in 0..200u64 {
+            a.observe(i % 2, i * 7919);
+        }
+        let adv = a.advise();
+        assert!(adv.coverage() > 0);
+        let bufs = adv.buffers_needed(16 * 1024);
+        assert!(bufs.values().any(|&b| b == 16 * 1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = PredictionAdvisor::new(DpdConfig::default(), 0);
+    }
+}

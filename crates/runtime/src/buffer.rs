@@ -1,0 +1,131 @@
+//! Receive-buffer pool with memory accounting.
+
+use std::collections::HashMap;
+
+/// A pool of per-sender receive buffers with peak / time-averaged
+/// accounting. "Time" is message-arrival count — the natural clock for a
+/// policy that re-plans every few messages.
+#[derive(Debug, Clone, Default)]
+pub struct BufferPool {
+    /// sender → allocated bytes.
+    allocated: HashMap<u64, u64>,
+    /// Peak simultaneous allocation, bytes.
+    peak_bytes: u64,
+    /// Σ current_bytes over observation ticks (for the average).
+    integral_bytes: u128,
+    ticks: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the allocation set wholesale (the predictive policy
+    /// re-plans at each advice boundary).
+    pub fn replace(&mut self, wanted: &HashMap<u64, u64>) {
+        self.allocated = wanted.clone();
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes());
+    }
+
+    /// Ensures a buffer of at least `bytes` for `sender`.
+    pub fn ensure(&mut self, sender: u64, bytes: u64) {
+        let b = self.allocated.entry(sender).or_insert(0);
+        *b = (*b).max(bytes);
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes());
+    }
+
+    /// Does `sender` currently have a buffer of at least `bytes`?
+    pub fn covers(&self, sender: u64, bytes: u64) -> bool {
+        self.allocated.get(&sender).is_some_and(|&b| b >= bytes)
+    }
+
+    /// Advances the accounting clock by one arrival.
+    pub fn tick(&mut self) {
+        self.integral_bytes += self.current_bytes() as u128;
+        self.ticks += 1;
+    }
+
+    /// Bytes currently allocated.
+    pub fn current_bytes(&self) -> u64 {
+        self.allocated.values().sum()
+    }
+
+    /// Number of distinct sender buffers currently held.
+    pub fn current_buffers(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Largest simultaneous allocation seen.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Time-averaged allocation in bytes (average over arrivals).
+    pub fn mean_bytes(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.integral_bytes as f64 / self.ticks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_never_shrinks() {
+        let mut p = BufferPool::new();
+        p.ensure(1, 100);
+        p.ensure(1, 50);
+        assert!(p.covers(1, 100));
+        assert_eq!(p.current_bytes(), 100);
+        p.ensure(1, 200);
+        assert_eq!(p.current_bytes(), 200);
+        assert_eq!(p.current_buffers(), 1);
+    }
+
+    #[test]
+    fn covers_requires_enough_bytes() {
+        let mut p = BufferPool::new();
+        p.ensure(4, 64);
+        assert!(p.covers(4, 64));
+        assert!(!p.covers(4, 65));
+        assert!(!p.covers(5, 1));
+    }
+
+    #[test]
+    fn replace_swaps_allocation_set() {
+        let mut p = BufferPool::new();
+        p.ensure(1, 1000);
+        let mut wanted = HashMap::new();
+        wanted.insert(2u64, 10u64);
+        p.replace(&wanted);
+        assert!(!p.covers(1, 1));
+        assert!(p.covers(2, 10));
+        assert_eq!(p.current_bytes(), 10);
+        // Peak remembers the earlier 1000-byte allocation.
+        assert_eq!(p.peak_bytes(), 1000);
+    }
+
+    #[test]
+    fn mean_tracks_time_average() {
+        let mut p = BufferPool::new();
+        p.ensure(1, 100);
+        p.tick();
+        p.tick();
+        let mut none = HashMap::new();
+        none.clear();
+        p.replace(&none);
+        p.tick();
+        p.tick();
+        assert!((p.mean_bytes() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pool_mean_is_zero() {
+        assert_eq!(BufferPool::new().mean_bytes(), 0.0);
+    }
+}

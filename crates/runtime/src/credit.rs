@@ -1,0 +1,264 @@
+//! §2.2 — credit-based flow control for short messages.
+//!
+//! The failure mode: "if thousands of nodes send a short message to the
+//! same process \[a collective incast\], the receiver may run out of
+//! memory and the sent messages will be lost or, even worse, the
+//! application may crash". The fix: the receiver predicts who will send
+//! and how much, pre-allocates within its memory budget, and issues
+//! credits; senders without a credit must ask permission first.
+//!
+//! The simulation replays an arrival stream in *bursts* (one burst ≈ one
+//! collective round, where everything arrives before the receiver drains
+//! anything — the worst case §2.2 worries about) and accounts receiver
+//! memory per burst.
+
+use crate::advisor::PredictionAdvisor;
+use mpp_core::dpd::DpdConfig;
+
+/// Flow-control strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditPolicy {
+    /// 2003 status quo: every short message is sent unsolicited. The
+    /// receiver buffers whatever arrives; memory above the budget is an
+    /// overflow (lost messages / crash territory).
+    UnsolicitedEager,
+    /// Prediction-issued credits: forecast messages are pre-credited (and
+    /// arrive eagerly) as long as they fit the budget; everything else
+    /// asks permission and is never buffered unsolicited.
+    PredictiveCredits,
+    /// No prediction, no risk: everyone always asks permission.
+    AlwaysAsk,
+}
+
+impl CreditPolicy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CreditPolicy::UnsolicitedEager => "unsolicited-eager",
+            CreditPolicy::PredictiveCredits => "predictive-credits",
+            CreditPolicy::AlwaysAsk => "always-ask",
+        }
+    }
+}
+
+/// Result of a credit-policy replay.
+#[derive(Debug, Clone)]
+pub struct CreditOutcome {
+    /// Which policy produced this outcome.
+    pub policy: CreditPolicy,
+    /// Messages that travelled eagerly (credited or unsolicited).
+    pub eager: u64,
+    /// Messages that paid the ask-permission round trip.
+    pub asked: u64,
+    /// Bytes that arrived with no buffer space left (only possible under
+    /// [`CreditPolicy::UnsolicitedEager`]).
+    pub overflow_bytes: u64,
+    /// Peak buffered bytes in any burst.
+    pub peak_bytes: u64,
+}
+
+impl CreditOutcome {
+    /// Fraction of messages on the eager path.
+    pub fn eager_rate(&self) -> f64 {
+        let total = self.eager + self.asked;
+        if total == 0 {
+            return 0.0;
+        }
+        self.eager as f64 / total as f64
+    }
+}
+
+/// Replays `stream` in bursts of `burst` messages against a receiver
+/// memory budget of `budget_bytes`.
+pub fn simulate_credits(
+    policy: CreditPolicy,
+    stream: &[(u64, u64)],
+    burst: usize,
+    budget_bytes: u64,
+    dpd: &DpdConfig,
+) -> CreditOutcome {
+    assert!(burst > 0, "burst must be positive");
+    let mut eager = 0u64;
+    let mut asked = 0u64;
+    let mut overflow = 0u64;
+    let mut peak = 0u64;
+
+    let mut advisor = PredictionAdvisor::new(dpd.clone(), burst);
+
+    for chunk in stream.chunks(burst) {
+        let mut buffered = 0u64;
+        // Credits are issued before the burst, from the forecast.
+        let mut credits = if policy == CreditPolicy::PredictiveCredits {
+            let advice = advisor.advise();
+            let mut c = advice.buffers_needed(0);
+            // Issue credits only up to the budget.
+            let mut granted = 0u64;
+            c.retain(|_, bytes| {
+                if granted + *bytes <= budget_bytes {
+                    granted += *bytes;
+                    true
+                } else {
+                    false
+                }
+            });
+            c
+        } else {
+            Default::default()
+        };
+
+        for &(sender, bytes) in chunk {
+            match policy {
+                CreditPolicy::UnsolicitedEager => {
+                    eager += 1;
+                    if buffered + bytes > budget_bytes {
+                        overflow += bytes;
+                    } else {
+                        buffered += bytes;
+                    }
+                }
+                CreditPolicy::AlwaysAsk => {
+                    asked += 1;
+                    // Permission granted only when space exists; the
+                    // receiver never overruns.
+                }
+                CreditPolicy::PredictiveCredits => {
+                    let credited = credits
+                        .get(&sender)
+                        .is_some_and(|&granted| granted >= bytes);
+                    if credited && buffered + bytes <= budget_bytes {
+                        // Consume the credit.
+                        credits.remove(&sender);
+                        eager += 1;
+                        buffered += bytes;
+                    } else {
+                        asked += 1;
+                    }
+                }
+            }
+            advisor.observe(sender, bytes);
+        }
+        peak = peak.max(buffered);
+    }
+
+    CreditOutcome {
+        policy,
+        eager,
+        asked,
+        overflow_bytes: overflow,
+        peak_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Incast burst: `p` senders each deliver one `bytes`-sized message
+    /// per burst, repeated `rounds` times (an IS-like collective storm).
+    fn incast(p: u64, bytes: u64, rounds: usize) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for _ in 0..rounds {
+            for s in 0..p {
+                v.push((s, bytes));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn unsolicited_eager_overflows_small_budgets() {
+        // 64 senders × 1 KB per burst against a 16 KB budget.
+        let s = incast(64, 1024, 10);
+        let out = simulate_credits(
+            CreditPolicy::UnsolicitedEager,
+            &s,
+            64,
+            16 * 1024,
+            &DpdConfig::default(),
+        );
+        assert!(out.overflow_bytes > 0, "incast must overrun the budget");
+        assert_eq!(out.eager, 640);
+        assert_eq!(out.peak_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn predictive_credits_never_overflow() {
+        let s = incast(64, 1024, 20);
+        let out = simulate_credits(
+            CreditPolicy::PredictiveCredits,
+            &s,
+            64,
+            16 * 1024,
+            &DpdConfig::default(),
+        );
+        assert_eq!(out.overflow_bytes, 0);
+        assert!(out.peak_bytes <= 16 * 1024);
+        // Once the pattern locks, 16 of 64 messages per burst fit the
+        // budget and go eagerly.
+        assert!(out.eager > 0, "some credits must be issued");
+    }
+
+    #[test]
+    fn predictive_credits_reach_full_eager_when_budget_suffices() {
+        let s = incast(8, 1024, 40);
+        let out = simulate_credits(
+            CreditPolicy::PredictiveCredits,
+            &s,
+            8,
+            64 * 1024,
+            &DpdConfig::default(),
+        );
+        assert_eq!(out.overflow_bytes, 0);
+        // After the detector locks (a few bursts), every message is
+        // credited: eager rate approaches 1.
+        assert!(out.eager_rate() > 0.8, "eager rate {}", out.eager_rate());
+    }
+
+    #[test]
+    fn always_ask_is_safe_and_slow() {
+        let s = incast(64, 1024, 5);
+        let out = simulate_credits(
+            CreditPolicy::AlwaysAsk,
+            &s,
+            64,
+            1024,
+            &DpdConfig::default(),
+        );
+        assert_eq!(out.overflow_bytes, 0);
+        assert_eq!(out.eager, 0);
+        assert_eq!(out.asked, 320);
+        assert_eq!(out.eager_rate(), 0.0);
+    }
+
+    #[test]
+    fn credit_is_consumed_once() {
+        // One sender repeats within a burst: only one credit exists.
+        let mut s = Vec::new();
+        for _ in 0..30 {
+            s.push((1u64, 512u64));
+            s.push((1, 512));
+        }
+        let out = simulate_credits(
+            CreditPolicy::PredictiveCredits,
+            &s,
+            2,
+            4096,
+            &DpdConfig::default(),
+        );
+        // Per burst at most one eager (single credit for sender 1).
+        assert!(out.eager <= 30);
+        assert!(out.asked >= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be positive")]
+    fn zero_burst_panics() {
+        let _ = simulate_credits(
+            CreditPolicy::AlwaysAsk,
+            &[],
+            0,
+            1,
+            &DpdConfig::default(),
+        );
+    }
+}

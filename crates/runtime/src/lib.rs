@@ -1,0 +1,40 @@
+//! # mpp-runtime — prediction-driven MPI runtime policies
+//!
+//! Section 2 of the paper identifies three scalability problems in
+//! 2003-era MPI implementations and sketches prediction-driven fixes. The
+//! paper *proposes* them; this crate implements them as simulated runtime
+//! policies so the benefit can be quantified (the `scalability`
+//! experiment binary):
+//!
+//! * **§2.1 memory** ([`memory`], [`policy`]) — pre-allocating one eager
+//!   buffer per peer costs `16 KB × P` per process (160 MB at P = 10⁴,
+//!   the paper's Blue Gene example). A predictor that knows the next
+//!   senders lets a process keep buffers only for its *actual* partner
+//!   set, falling back to an ask-permission handshake on mispredictions.
+//! * **§2.2 control flow** ([`credit`]) — unsolicited eager sends can
+//!   overrun a receiver during collective incast. Prediction-issued
+//!   credits bound receiver memory while keeping predicted messages on
+//!   the fast path.
+//! * **§2.3 protocols** ([`protocol`]) — large messages normally pay a
+//!   rendezvous round trip. A receiver that *predicts* a large message
+//!   pre-posts the buffer and grants the sender an eager send: the long
+//!   message travels like a short one.
+//!
+//! [`advisor`] adapts the `mpp-core` predictors into the (sender, size)
+//! advice these policies consume.
+
+pub mod advisor;
+pub mod buffer;
+pub mod credit;
+pub mod memory;
+pub mod oracle;
+pub mod policy;
+pub mod protocol;
+
+pub use advisor::{Advice, PredictionAdvisor};
+pub use buffer::BufferPool;
+pub use credit::{simulate_credits, CreditOutcome, CreditPolicy};
+pub use memory::MemoryModel;
+pub use oracle::{DpdOracle, DpdOracleFactory};
+pub use policy::{simulate_buffers, BufferOutcome, BufferPolicy};
+pub use protocol::{simulate_protocol, ProtocolCosts, ProtocolOutcome, SendMode};

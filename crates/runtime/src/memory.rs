@@ -1,0 +1,76 @@
+//! §2.1 — the buffer-memory scaling model.
+//!
+//! "Just imagine that each process allocates a 16 KB buffer for each
+//! other process (as done by the IBM MPI implementation). If we have
+//! 10000 nodes (like in the IBM Blue Gene), this process will need to
+//! allocate 160 MB of memory per process." This module is that
+//! arithmetic, parameterised, so the scalability experiment can sweep P.
+
+/// Eager-buffer memory model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    /// Bytes per peer buffer (16 KB in the IBM example).
+    pub buffer_bytes: u64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            buffer_bytes: 16 * 1024,
+        }
+    }
+}
+
+impl MemoryModel {
+    /// Per-process memory under all-pairs pre-allocation.
+    pub fn all_pairs_bytes(&self, nprocs: usize) -> u64 {
+        self.buffer_bytes * (nprocs.saturating_sub(1)) as u64
+    }
+
+    /// Per-process memory when only `partners` peers get a buffer, plus
+    /// `fallback` spare buffers for mispredictions.
+    pub fn predictive_bytes(&self, partners: usize, fallback: usize) -> u64 {
+        self.buffer_bytes * (partners + fallback) as u64
+    }
+
+    /// Memory reduction factor of predictive vs all-pairs allocation.
+    pub fn reduction_factor(&self, nprocs: usize, partners: usize, fallback: usize) -> f64 {
+        let pred = self.predictive_bytes(partners, fallback);
+        if pred == 0 {
+            return f64::INFINITY;
+        }
+        self.all_pairs_bytes(nprocs) as f64 / pred as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_blue_gene_example() {
+        let m = MemoryModel::default();
+        // 10000 nodes → ~160 MB per process.
+        let bytes = m.all_pairs_bytes(10_000);
+        assert_eq!(bytes, 16 * 1024 * 9_999);
+        assert!((bytes as f64 / (1024.0 * 1024.0) - 156.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn predictive_memory_tracks_partner_count() {
+        let m = MemoryModel::default();
+        assert_eq!(m.predictive_bytes(6, 2), 16 * 1024 * 8);
+        // A BT process talks to ~6 partners: three orders of magnitude
+        // less memory at Blue Gene scale.
+        let f = m.reduction_factor(10_000, 6, 2);
+        assert!(f > 1000.0, "factor {f}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = MemoryModel::default();
+        assert_eq!(m.all_pairs_bytes(1), 0);
+        assert_eq!(m.all_pairs_bytes(0), 0);
+        assert!(m.reduction_factor(100, 0, 0).is_infinite());
+    }
+}

@@ -1,0 +1,162 @@
+//! The DPD-backed arrival oracle: closes the loop from the paper's §4
+//! predictor to its §2.3 protocol optimisation, *inside* the simulator.
+//!
+//! Each receiving rank runs a [`PredictionAdvisor`] over its delivery
+//! stream. Before each burst of `depth` deliveries it commits to the
+//! forecast (sender, size) multiset; a rendezvous message that matches an
+//! outstanding grant skips the handshake. Grants are consumed one per
+//! message, so a single forecast cannot absolve repeated arrivals — the
+//! same multiset discipline as the §5.3 set evaluation.
+
+use crate::advisor::PredictionAdvisor;
+use mpp_core::dpd::DpdConfig;
+use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank};
+use std::collections::HashMap;
+
+/// Per-rank DPD oracle.
+pub struct DpdOracle {
+    advisor: PredictionAdvisor,
+    /// Outstanding grants: sender → granted sizes (multiset).
+    grants: HashMap<u64, Vec<u64>>,
+    /// Deliveries until the next re-plan.
+    until_replan: usize,
+    depth: usize,
+}
+
+impl DpdOracle {
+    /// Creates the oracle with forecast depth `depth`.
+    pub fn new(cfg: DpdConfig, depth: usize) -> Self {
+        DpdOracle {
+            advisor: PredictionAdvisor::new(cfg, depth),
+            grants: HashMap::new(),
+            until_replan: 0,
+            depth,
+        }
+    }
+
+    fn replan(&mut self) {
+        self.grants.clear();
+        for &(sender, size) in &self.advisor.advise().messages {
+            if let (Some(s), Some(b)) = (sender, size) {
+                self.grants.entry(s).or_default().push(b);
+            }
+        }
+        self.until_replan = self.depth;
+    }
+}
+
+impl ArrivalOracle for DpdOracle {
+    fn observe(&mut self, src: Rank, bytes: u64) {
+        self.advisor.observe(src as u64, bytes);
+        if self.until_replan == 0 {
+            self.replan();
+        }
+        self.until_replan -= 1;
+    }
+
+    fn expects(&mut self, src: Rank, bytes: u64) -> bool {
+        let Some(sizes) = self.grants.get_mut(&(src as u64)) else {
+            return false;
+        };
+        // A grant covers the message when the pre-allocated buffer was at
+        // least as large; consume it.
+        if let Some(pos) = sizes.iter().position(|&b| b >= bytes) {
+            sizes.swap_remove(pos);
+            if sizes.is_empty() {
+                self.grants.remove(&(src as u64));
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Factory handing each rank its own [`DpdOracle`].
+#[derive(Clone)]
+pub struct DpdOracleFactory {
+    /// Detector configuration for every rank's oracle.
+    pub cfg: DpdConfig,
+    /// Forecast depth.
+    pub depth: usize,
+}
+
+impl OracleFactory for DpdOracleFactory {
+    fn build(&self, _rank: Rank) -> Box<dyn ArrivalOracle> {
+        Box::new(DpdOracle::new(self.cfg.clone(), self.depth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> DpdOracle {
+        let mut o = DpdOracle::new(DpdConfig::default(), 4);
+        for _ in 0..30 {
+            for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
+                // Warm through the trait path: expects then observe.
+                let _ = o.expects(s, b);
+                o.observe(s, b);
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn predicts_periodic_large_messages() {
+        let mut o = trained();
+        assert!(o.expects(1, 100_000), "the forecast covers sender 1");
+    }
+
+    #[test]
+    fn grants_are_consumed_once_per_replan() {
+        // Observe-only training: no grant is consumed along the way, so
+        // the latest plan's multiset is intact.
+        let mut o = DpdOracle::new(DpdConfig::default(), 4);
+        for _ in 0..30 {
+            for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
+                o.observe(s, b);
+            }
+        }
+        // Sender 1 appears twice per 4-message plan.
+        assert!(o.expects(1, 100_000));
+        assert!(o.expects(1, 100_000));
+        assert!(
+            !o.expects(1, 100_000),
+            "two grants per plan window, not three"
+        );
+    }
+
+    #[test]
+    fn grant_requires_sufficient_size() {
+        let mut o = trained();
+        assert!(!o.expects(1, 200_000), "forecast buffer too small");
+        assert!(o.expects(1, 50_000), "smaller message fits the buffer");
+    }
+
+    #[test]
+    fn unknown_sender_is_never_granted() {
+        let mut o = trained();
+        assert!(!o.expects(9, 8));
+    }
+
+    #[test]
+    fn cold_oracle_grants_nothing() {
+        let mut o = DpdOracle::new(DpdConfig::default(), 4);
+        assert!(!o.expects(1, 100));
+    }
+
+    #[test]
+    fn factory_builds_independent_oracles() {
+        let f = DpdOracleFactory {
+            cfg: DpdConfig::default(),
+            depth: 3,
+        };
+        let mut a = f.build(0);
+        let b = f.build(1);
+        a.observe(1, 10);
+        // No shared state to assert on directly; just exercise both.
+        drop(b);
+    }
+}

@@ -1,0 +1,239 @@
+//! §2.3 — eager / rendezvous protocol selection.
+//!
+//! Long messages normally pay a rendezvous: request → clear-to-send →
+//! data, i.e. one extra round trip of pure latency before the bytes move.
+//! If the receiver *predicts* a long message from a given sender, it
+//! pre-allocates the buffer and tells the sender in advance — the data
+//! then travels eagerly "as if it were a short one" (§2.3). A
+//! misprediction simply falls back to the normal rendezvous; correctness
+//! is unaffected.
+//!
+//! The model here is LogGP-style, matching the simulator's cost
+//! parameters: an eager message costs `o + L + G·bytes`, a rendezvous
+//! adds `2·(o + L)` for the handshake.
+
+use crate::advisor::PredictionAdvisor;
+use mpp_core::dpd::DpdConfig;
+
+/// Cost parameters (defaults match `mpp_mpisim::WorldConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolCosts {
+    /// Software overhead per message end, ns.
+    pub overhead_ns: u64,
+    /// Wire latency, ns.
+    pub latency_ns: u64,
+    /// Per-byte cost, ns.
+    pub ns_per_byte: f64,
+    /// Messages larger than this need rendezvous (unless predicted).
+    pub eager_threshold: u64,
+}
+
+impl Default for ProtocolCosts {
+    fn default() -> Self {
+        ProtocolCosts {
+            overhead_ns: 800,
+            latency_ns: 10_000,
+            ns_per_byte: 10.0,
+            eager_threshold: 16 * 1024,
+        }
+    }
+}
+
+/// How a particular message was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Below the threshold, or pre-allocated by prediction.
+    Eager,
+    /// Above the threshold without a pre-allocation.
+    Rendezvous,
+}
+
+impl ProtocolCosts {
+    /// End-to-end time for one message under `mode`.
+    pub fn message_ns(&self, bytes: u64, mode: SendMode) -> u64 {
+        let base = 2 * self.overhead_ns + self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64;
+        match mode {
+            SendMode::Eager => base,
+            SendMode::Rendezvous => base + 2 * (self.overhead_ns + self.latency_ns),
+        }
+    }
+
+    /// The mode a 2003 MPI library would pick (no prediction).
+    pub fn default_mode(&self, bytes: u64) -> SendMode {
+        if bytes > self.eager_threshold {
+            SendMode::Rendezvous
+        } else {
+            SendMode::Eager
+        }
+    }
+}
+
+/// Result of replaying a stream under the three protocol regimes.
+#[derive(Debug, Clone)]
+pub struct ProtocolOutcome {
+    /// Total ns with the standard threshold rule.
+    pub baseline_ns: u64,
+    /// Total ns with prediction-driven pre-allocation (misses fall back
+    /// to rendezvous).
+    pub predicted_ns: u64,
+    /// Total ns if every message could magically go eagerly (lower
+    /// bound).
+    pub oracle_ns: u64,
+    /// Large messages whose arrival was correctly predicted.
+    pub hits: u64,
+    /// Large messages that fell back to rendezvous.
+    pub misses: u64,
+}
+
+impl ProtocolOutcome {
+    /// Fraction of the baseline→oracle gap that prediction recovered.
+    pub fn gap_recovered(&self) -> f64 {
+        let gap = self.baseline_ns.saturating_sub(self.oracle_ns);
+        if gap == 0 {
+            return 1.0;
+        }
+        self.baseline_ns.saturating_sub(self.predicted_ns) as f64 / gap as f64
+    }
+}
+
+/// Replays an arrival stream of (sender, bytes). The advisor forecasts
+/// `depth` messages ahead; a large message counts as *predicted* when
+/// both its sender and its size were forecast at the horizon it arrived
+/// on (the information the receiver needs to pre-allocate and grant).
+pub fn simulate_protocol(
+    costs: &ProtocolCosts,
+    stream: &[(u64, u64)],
+    depth: usize,
+    dpd: &DpdConfig,
+) -> ProtocolOutcome {
+    let mut advisor = PredictionAdvisor::new(dpd.clone(), depth);
+    // Forecasts registered for upcoming arrivals: slot 0 = next message.
+    let mut horizon_book: std::collections::VecDeque<Vec<(u64, u64)>> =
+        std::collections::VecDeque::new();
+    horizon_book.resize(depth, Vec::new());
+
+    let mut baseline = 0u64;
+    let mut predicted = 0u64;
+    let mut oracle = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    for &(sender, bytes) in stream {
+        let due = horizon_book.pop_front().unwrap_or_default();
+        horizon_book.push_back(Vec::new());
+
+        baseline += costs.message_ns(bytes, costs.default_mode(bytes));
+        oracle += costs.message_ns(bytes, SendMode::Eager);
+
+        if bytes > costs.eager_threshold {
+            // Was (sender, ≥bytes) forecast for this arrival?
+            let hit = due.iter().any(|&(s, b)| s == sender && b >= bytes);
+            if hit {
+                hits += 1;
+                predicted += costs.message_ns(bytes, SendMode::Eager);
+            } else {
+                misses += 1;
+                predicted += costs.message_ns(bytes, SendMode::Rendezvous);
+            }
+        } else {
+            predicted += costs.message_ns(bytes, SendMode::Eager);
+        }
+
+        advisor.observe(sender, bytes);
+        let advice = advisor.advise();
+        for (h, &(s, b)) in advice.messages.iter().enumerate() {
+            if let (Some(s), Some(b)) = (s, b) {
+                horizon_book[h].push((s, b));
+            }
+        }
+    }
+
+    ProtocolOutcome {
+        baseline_ns: baseline,
+        predicted_ns: predicted,
+        oracle_ns: oracle,
+        hits,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_adds_a_round_trip() {
+        let c = ProtocolCosts::default();
+        let eager = c.message_ns(1 << 20, SendMode::Eager);
+        let rdv = c.message_ns(1 << 20, SendMode::Rendezvous);
+        assert_eq!(rdv - eager, 2 * (c.overhead_ns + c.latency_ns));
+    }
+
+    #[test]
+    fn default_mode_follows_threshold() {
+        let c = ProtocolCosts::default();
+        assert_eq!(c.default_mode(1024), SendMode::Eager);
+        assert_eq!(c.default_mode(17 * 1024), SendMode::Rendezvous);
+    }
+
+    #[test]
+    fn periodic_large_messages_are_recovered() {
+        // Period-2 stream alternating a small and a large message.
+        let stream: Vec<(u64, u64)> = (0..600)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (1u64, 1024u64)
+                } else {
+                    (2, 128 * 1024)
+                }
+            })
+            .collect();
+        let out = simulate_protocol(
+            &ProtocolCosts::default(),
+            &stream,
+            5,
+            &DpdConfig::default(),
+        );
+        assert!(out.hits > out.misses, "hits {} misses {}", out.hits, out.misses);
+        assert!(out.predicted_ns < out.baseline_ns);
+        assert!(out.predicted_ns >= out.oracle_ns);
+        assert!(out.gap_recovered() > 0.8, "recovered {}", out.gap_recovered());
+    }
+
+    #[test]
+    fn random_large_messages_fall_back_to_baseline() {
+        let stream: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| {
+                let h = {
+                    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z ^ (z >> 27)
+                };
+                (h % 16, (h % 7 + 1) * 32 * 1024)
+            })
+            .collect();
+        let out = simulate_protocol(
+            &ProtocolCosts::default(),
+            &stream,
+            5,
+            &DpdConfig::default(),
+        );
+        // Nothing reliably predicted ⇒ predicted cost ≈ baseline.
+        assert!(out.gap_recovered() < 0.3, "recovered {}", out.gap_recovered());
+    }
+
+    #[test]
+    fn all_small_streams_have_no_gap() {
+        let stream: Vec<(u64, u64)> = (0..100).map(|_| (1u64, 512u64)).collect();
+        let out = simulate_protocol(
+            &ProtocolCosts::default(),
+            &stream,
+            3,
+            &DpdConfig::default(),
+        );
+        assert_eq!(out.baseline_ns, out.oracle_ns);
+        assert_eq!(out.predicted_ns, out.baseline_ns);
+        assert_eq!(out.gap_recovered(), 1.0);
+        assert_eq!(out.hits + out.misses, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the §2 runtime policies: accounting
+//! invariants that must hold for *any* arrival stream.
+
+use mpp_core::dpd::DpdConfig;
+use mpp_runtime::{
+    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy,
+    MemoryModel, ProtocolCosts, SendMode,
+};
+use proptest::prelude::*;
+
+/// Arbitrary (sender, size) streams over a bounded world.
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..16, 1u64..200_000), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every arrival is classified exactly once, whatever the policy.
+    #[test]
+    fn buffer_outcomes_partition_the_stream(
+        stream in arb_stream(300),
+        depth in 1usize..10,
+    ) {
+        for policy in [
+            BufferPolicy::AllPairs,
+            BufferPolicy::OnDemand,
+            BufferPolicy::Predictive { depth },
+        ] {
+            let out = simulate_buffers(policy, &stream, 16, 16 * 1024, &DpdConfig::default());
+            prop_assert_eq!(out.fast + out.slow, stream.len() as u64, "{:?}", policy);
+            prop_assert!(out.mean_bytes <= out.peak_bytes as f64 + 1e-9);
+            if !stream.is_empty() {
+                let w = out.mean_wire_messages();
+                prop_assert!((1.0..=3.0).contains(&w) || w == 0.0);
+            }
+        }
+    }
+
+    /// All-pairs memory never depends on the stream; on-demand never
+    /// allocates; predictive never exceeds one buffer per distinct sender
+    /// within its planning depth.
+    #[test]
+    fn buffer_memory_bounds(
+        stream in arb_stream(300),
+        depth in 1usize..8,
+    ) {
+        let nprocs = 16usize;
+        let b = 16 * 1024u64;
+        let all = simulate_buffers(BufferPolicy::AllPairs, &stream, nprocs, b, &DpdConfig::default());
+        prop_assert_eq!(all.peak_bytes, nprocs as u64 * b);
+        let od = simulate_buffers(BufferPolicy::OnDemand, &stream, nprocs, b, &DpdConfig::default());
+        prop_assert_eq!(od.peak_bytes, 0);
+        let pred = simulate_buffers(
+            BufferPolicy::Predictive { depth },
+            &stream,
+            nprocs,
+            b,
+            &DpdConfig::default(),
+        );
+        // At most `depth` distinct senders can be forecast at once, each
+        // with a buffer of at least `b` but no larger than the largest
+        // forecast size.
+        let max_size = stream.iter().map(|&(_, s)| s).max().unwrap_or(0).max(b);
+        prop_assert!(pred.peak_bytes <= depth as u64 * max_size);
+    }
+
+    /// Credit policies never buffer beyond the budget except the
+    /// unsolicited one, whose overflow accounts for exactly the excess.
+    #[test]
+    fn credit_budget_safety(
+        stream in arb_stream(400),
+        burst in 1usize..40,
+        budget in 1024u64..100_000,
+    ) {
+        for policy in [CreditPolicy::PredictiveCredits, CreditPolicy::AlwaysAsk] {
+            let out = simulate_credits(policy, &stream, burst, budget, &DpdConfig::default());
+            prop_assert!(out.peak_bytes <= budget, "{:?}", policy);
+            prop_assert_eq!(out.overflow_bytes, 0, "{:?}", policy);
+            prop_assert_eq!(out.eager + out.asked, stream.len() as u64);
+        }
+        let eager = simulate_credits(
+            CreditPolicy::UnsolicitedEager,
+            &stream,
+            burst,
+            budget,
+            &DpdConfig::default(),
+        );
+        prop_assert!(eager.peak_bytes <= budget);
+        prop_assert_eq!(eager.eager, stream.len() as u64);
+    }
+
+    /// Latency orderings hold for any stream: oracle ≤ predicted ≤
+    /// baseline, and hits+misses = number of rendezvous-sized messages.
+    #[test]
+    fn protocol_latency_orderings(
+        stream in arb_stream(300),
+        depth in 1usize..8,
+    ) {
+        let costs = ProtocolCosts::default();
+        let out = simulate_protocol(&costs, &stream, depth, &DpdConfig::default());
+        prop_assert!(out.oracle_ns <= out.predicted_ns);
+        prop_assert!(out.predicted_ns <= out.baseline_ns);
+        let large = stream
+            .iter()
+            .filter(|&&(_, b)| b > costs.eager_threshold)
+            .count() as u64;
+        prop_assert_eq!(out.hits + out.misses, large);
+        let g = out.gap_recovered();
+        prop_assert!((0.0..=1.0).contains(&g) || large == 0);
+    }
+
+    /// Rendezvous cost dominates eager cost for every size.
+    #[test]
+    fn rendezvous_is_never_cheaper(bytes in 0u64..10_000_000) {
+        let costs = ProtocolCosts::default();
+        prop_assert!(
+            costs.message_ns(bytes, SendMode::Rendezvous)
+                > costs.message_ns(bytes, SendMode::Eager)
+        );
+    }
+
+    /// The memory model is monotone in machine size and partner count.
+    #[test]
+    fn memory_model_monotonicity(
+        p1 in 1usize..100_000,
+        p2 in 1usize..100_000,
+        partners in 0usize..64,
+    ) {
+        let m = MemoryModel::default();
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        prop_assert!(m.all_pairs_bytes(lo) <= m.all_pairs_bytes(hi));
+        prop_assert!(m.predictive_bytes(partners, 0) <= m.predictive_bytes(partners + 1, 0));
+        // Predictive memory is machine-size independent.
+        prop_assert_eq!(
+            m.predictive_bytes(partners, 2),
+            m.predictive_bytes(partners, 2)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! §2.1 in action: prediction-driven receive-buffer management.
+//!
+//! A process that pre-allocates a 16 KB eager buffer for *every* peer
+//! needs 160 MB at Blue-Gene scale. This example runs Sweep3D on the
+//! simulator, replays the traced rank's arrival stream through the three
+//! buffer policies, and prints the fast-path rate and memory footprint
+//! of each — quantifying the paper's proposal.
+//!
+//! ```text
+//! cargo run --release --example buffer_advisor
+//! ```
+
+use mpi_predict::bench::{sweep3d::Sweep3d, Class};
+use mpi_predict::core::dpd::DpdConfig;
+use mpi_predict::runtime::{simulate_buffers, BufferPolicy, MemoryModel};
+use mpi_predict::sim::net::JitterNetwork;
+use mpi_predict::sim::{StreamFilter, World, WorldConfig};
+
+fn main() {
+    // The machine-scale arithmetic first (the Blue Gene example).
+    let model = MemoryModel::default();
+    println!("all-pairs eager buffers at 10 000 nodes: {:.0} MB per process", model.all_pairs_bytes(10_000) as f64 / (1024.0 * 1024.0));
+    println!("with predicted partner sets (6 + 2 spare): {:.1} KB per process — {:.0}x less\n",
+        model.predictive_bytes(6, 2) as f64 / 1024.0,
+        model.reduction_factor(10_000, 6, 2));
+
+    // Now a real workload: Sweep3D on 16 ranks.
+    let wcfg = WorldConfig::new(16).seed(7);
+    let net = JitterNetwork::from_config(&wcfg);
+    let sw = Sweep3d::new(16, Class::A);
+    println!("running sw.16 class A ...");
+    let trace = World::new(wcfg, net).run(&sw);
+    let stream: Vec<(u64, u64)> = {
+        let s = trace.physical_stream(3, StreamFilter::all());
+        s.senders.iter().zip(&s.sizes).map(|(&a, &b)| (a, b)).collect()
+    };
+    println!("traced rank received {} messages\n", stream.len());
+
+    let dpd = DpdConfig {
+        window: 512,
+        max_lag: 256,
+        tolerance: 0.4,
+        min_comparisons: 8,
+        evidence_factor: 0.125,
+        ..DpdConfig::default()
+    };
+    println!(
+        "{:<18} {:>10} {:>18} {:>10} {:>10}",
+        "policy", "fast path", "wire msgs/deliv.", "peak KB", "mean KB"
+    );
+    for policy in [
+        BufferPolicy::AllPairs,
+        BufferPolicy::OnDemand,
+        BufferPolicy::Predictive { depth: 5 },
+    ] {
+        let out = simulate_buffers(policy, &stream, 16, 16 * 1024, &dpd);
+        println!(
+            "{:<18} {:>9.1}% {:>18.2} {:>10.1} {:>10.1}",
+            out.policy.label(),
+            out.hit_rate() * 100.0,
+            out.mean_wire_messages(),
+            out.peak_bytes as f64 / 1024.0,
+            out.mean_bytes / 1024.0
+        );
+    }
+    println!("\nPredictive allocation keeps nearly the all-pairs fast path at a");
+    println!("fraction of its memory: the paper's §2.1 trade resolved by the DPD.");
+}

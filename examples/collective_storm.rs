@@ -1,0 +1,76 @@
+//! §2.2 in action: surviving a collective incast with predicted credits.
+//!
+//! When many ranks send short messages to one receiver (an IS-style
+//! collective), unsolicited eager delivery can exhaust receiver memory —
+//! "the sent messages will be lost or, even worse, the application may
+//! crash". This example replays the IS.32 arrival stream and a synthetic
+//! worst-case storm under three flow-control policies.
+//!
+//! ```text
+//! cargo run --release --example collective_storm
+//! ```
+
+use mpi_predict::bench::{is::Is, Class};
+use mpi_predict::core::dpd::DpdConfig;
+use mpi_predict::runtime::{simulate_credits, CreditPolicy};
+use mpi_predict::sim::net::JitterNetwork;
+use mpi_predict::sim::{StreamFilter, World, WorldConfig};
+
+fn report(label: &str, stream: &[(u64, u64)], burst: usize, budget: u64, dpd: &DpdConfig) {
+    println!("\n{label}: {} messages, burst {burst}, budget {} KB", stream.len(), budget / 1024);
+    println!(
+        "  {:<20} {:>8} {:>8} {:>12} {:>10}",
+        "policy", "eager%", "asked%", "overflow KB", "peak KB"
+    );
+    for policy in [
+        CreditPolicy::UnsolicitedEager,
+        CreditPolicy::AlwaysAsk,
+        CreditPolicy::PredictiveCredits,
+    ] {
+        let out = simulate_credits(policy, stream, burst, budget, dpd);
+        let total = (out.eager + out.asked).max(1);
+        println!(
+            "  {:<20} {:>7.1}% {:>7.1}% {:>12.1} {:>10.1}",
+            out.policy.label(),
+            100.0 * out.eager as f64 / total as f64,
+            100.0 * out.asked as f64 / total as f64,
+            out.overflow_bytes as f64 / 1024.0,
+            out.peak_bytes as f64 / 1024.0
+        );
+    }
+}
+
+fn main() {
+    let dpd = DpdConfig {
+        window: 512,
+        max_lag: 256,
+        tolerance: 0.4,
+        min_comparisons: 8,
+        evidence_factor: 0.125,
+        ..DpdConfig::default()
+    };
+
+    // A worst-case periodic storm: 128 senders, 2 KB each, every burst.
+    let storm: Vec<(u64, u64)> = (0..128u64 * 30).map(|i| (i % 128, 2048)).collect();
+    report("synthetic 128-way incast", &storm, 128, 64 * 1024, &dpd);
+
+    // The real thing: IS with 32 ranks (class A), short messages only.
+    let wcfg = WorldConfig::new(32).seed(11);
+    let net = JitterNetwork::from_config(&wcfg);
+    let is = Is::new(32, Class::A);
+    println!("\nrunning is.32 class A ...");
+    let trace = World::new(wcfg, net).run(&is);
+    let s = trace.physical_stream(3, StreamFilter::all());
+    let short: Vec<(u64, u64)> = s
+        .senders
+        .iter()
+        .zip(&s.sizes)
+        .filter(|&(_, &b)| b <= 16 * 1024)
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    report("is.32 short messages", &short, 32, 16 * 1024, &dpd);
+
+    println!("\nUnsolicited eager overflows the budget (lost messages); always-ask");
+    println!("is safe but pays three wire messages per delivery; predicted credits");
+    println!("are safe *and* keep the predictable fraction on the fast path.");
+}

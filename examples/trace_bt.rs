@@ -1,0 +1,70 @@
+//! Trace NAS BT on the simulator and predict its message streams.
+//!
+//! Reproduces the paper's §5 pipeline end to end for one configuration:
+//! run the BT.9 communication skeleton (class A) on the simulated
+//! machine, extract process 3's logical and physical receive streams,
+//! and compare DPD prediction accuracy on both levels.
+//!
+//! ```text
+//! cargo run --release --example trace_bt
+//! ```
+
+use mpi_predict::bench::{bt::Bt, Class};
+use mpi_predict::core::dpd::{DpdConfig, DpdPredictor};
+use mpi_predict::core::eval::StreamEvaluator;
+use mpi_predict::sim::net::JitterNetwork;
+use mpi_predict::sim::{StreamFilter, World, WorldConfig};
+
+fn main() {
+    // Build the world: 9 ranks, jittered 2003-era network.
+    let wcfg = WorldConfig::new(9).seed(2003);
+    let net = JitterNetwork::from_config(&wcfg);
+    let world = World::new(wcfg, net);
+
+    // Run the BT communication skeleton at class A (200 iterations).
+    let bt = Bt::new(9, Class::A);
+    println!("running bt.9 class A ({} iterations) ...", bt.iterations());
+    let trace = world.run(&bt);
+    println!(
+        "done: {} messages total, virtual makespan {}",
+        trace.total_receives(),
+        trace.makespan()
+    );
+
+    // Process 3's receive streams, as in Figures 1-4.
+    let logical = trace.logical_stream(3, StreamFilter::all());
+    let physical = trace.physical_stream(3, StreamFilter::all());
+    println!(
+        "\nprocess 3 received {} messages; first 18 physical senders: {:?}",
+        logical.len(),
+        &physical.senders[..18]
+    );
+
+    let dpd = DpdConfig {
+        window: 512,
+        max_lag: 256,
+        tolerance: 0.4,
+        min_comparisons: 8,
+        evidence_factor: 0.125,
+        ..DpdConfig::default()
+    };
+    for (name, senders) in [("logical", &logical.senders), ("physical", &physical.senders)] {
+        let mut ev = StreamEvaluator::new(DpdPredictor::new(dpd.clone()), 5);
+        ev.feed_stream(senders);
+        let accs: Vec<String> = (1..=5)
+            .map(|h| {
+                format!(
+                    "{:4.1}%",
+                    ev.tracker().horizon(h).accuracy().unwrap_or(0.0) * 100.0
+                )
+            })
+            .collect();
+        println!(
+            "{name:>8} sender prediction +1..+5: {}  (period {:?})",
+            accs.join(" "),
+            ev.predictor().period()
+        );
+    }
+    println!("\nThe logical level is near-perfectly periodic; network randomness");
+    println!("degrades the physical level — the contrast of Figures 3 and 4.");
+}

@@ -1,0 +1,27 @@
+//! # mpi-predict — facade crate
+//!
+//! Reproduction of Freitag et al., *"Exploring the Predictability of MPI
+//! Messages"* (IPDPS 2003). This crate re-exports the workspace's public
+//! API so examples and downstream users need a single dependency:
+//!
+//! * [`core`] — DPD periodicity detection, predictors, evaluation.
+//! * [`sim`] — deterministic MPI simulator with logical and
+//!   physical trace capture.
+//! * [`bench`](mod@bench) — NAS BT/CG/LU/IS and Sweep3D communication
+//!   skeletons.
+//! * [`runtime`] — prediction-driven buffer / credit /
+//!   protocol policies from §2 of the paper.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+pub use mpp_core as core;
+pub use mpp_mpisim as sim;
+pub use mpp_nasbench as bench;
+pub use mpp_runtime as runtime;
+
+pub use mpp_core::{
+    dpd::{DpdConfig, DpdPredictor, PeriodicityDetector},
+    eval::{evaluate_stream, SetEvaluator, StreamEvaluator},
+    predictors::{Predictor, PredictorKind},
+    stream::{Symbol, SymbolMap},
+};

@@ -1,0 +1,165 @@
+//! End-to-end reproduction checks against the paper's published numbers.
+//!
+//! These run the class-A configurations the assertions need (a few
+//! seconds total in release, a bit longer in debug) and pin the headline
+//! claims: Table 1 message counts, Figure 3 logical accuracy, and the
+//! Figure 4 logical-vs-physical orderings.
+
+use mpp_experiments::paper::{paper_row, PAPER_LOGICAL_FLOOR};
+use mpp_experiments::{accuracy_row, Level, Target, TracedRun};
+use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+
+fn class_a(id: BenchId, procs: usize) -> TracedRun {
+    TracedRun::execute(BenchmarkConfig::new(id, procs, Class::A), 2003)
+}
+
+#[test]
+fn table1_p2p_counts_match_paper_within_two_percent() {
+    for (id, procs) in [
+        (BenchId::Bt, 9),
+        (BenchId::Cg, 4),
+        (BenchId::Lu, 4),
+        (BenchId::Is, 8),
+        (BenchId::Sweep3d, 16),
+    ] {
+        let run = class_a(id, procs);
+        let paper = paper_row(&run.config.label()).expect("paper row exists");
+        let rel = (run.census.p2p_msgs as f64 - paper.p2p_msgs as f64).abs()
+            / (paper.p2p_msgs.max(1)) as f64;
+        assert!(
+            rel < 0.02,
+            "{}: {} p2p vs paper {} ({:.1} % off)",
+            run.config.label(),
+            run.census.p2p_msgs,
+            paper.p2p_msgs,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn table1_is_has_exactly_eleven_p2p_and_p_senders() {
+    let run = class_a(BenchId::Is, 8);
+    assert_eq!(run.census.p2p_msgs, 11, "1 warm-up + 10 timed iterations");
+    assert_eq!(run.census.frequent_senders, 8, "alltoall reaches everyone");
+}
+
+#[test]
+fn bt9_sender_and_size_streams_have_period_18() {
+    // Figure 1: "the period of the sender and message size streams is 18".
+    let run = class_a(BenchId::Bt, 9);
+    let p2p: Vec<(u64, u64)> = run
+        .logical
+        .senders
+        .iter()
+        .zip(&run.logical.sizes)
+        .zip(&run.logical.kinds)
+        .filter(|&(_, k)| !k.is_collective())
+        .map(|((&s, &b), _)| (s, b))
+        .collect();
+    let senders: Vec<u64> = p2p.iter().map(|&(s, _)| s).collect();
+    let sizes: Vec<u64> = p2p.iter().map(|&(_, b)| b).collect();
+    let tail = senders.len() - 180..senders.len();
+    assert_eq!(
+        mpp_core::stream::exact_period(&senders[tail.clone()]),
+        Some(18)
+    );
+    assert_eq!(mpp_core::stream::exact_period(&sizes[tail]), Some(18));
+    // And the three sizes of Figure 1b, exactly.
+    let mut distinct = sizes.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct, vec![3240, 10240, 19440]);
+}
+
+#[test]
+fn fig3_logical_accuracy_beats_ninety_percent() {
+    // §5.1's headline for every benchmark family (IS.4 is the documented
+    // short-stream exception, checked separately).
+    for (id, procs) in [
+        (BenchId::Bt, 9),
+        (BenchId::Cg, 8),
+        (BenchId::Lu, 16),
+        (BenchId::Sweep3d, 16),
+    ] {
+        let run = class_a(id, procs);
+        for target in [Target::Sender, Target::Size] {
+            let row = accuracy_row(&run, Level::Logical, target);
+            for h in 1..=5 {
+                let acc = row.at(h).expect("evaluated");
+                assert!(
+                    acc > PAPER_LOGICAL_FLOOR,
+                    "{} logical {} +{h}: {:.3}",
+                    run.config.label(),
+                    target.label(),
+                    acc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig3_is4_sits_in_the_eighty_percent_band() {
+    // "Only in the NAS IS.4 we have around 80 %. The reason is that the
+    // data stream with ~100 samples is very short."
+    let run = class_a(BenchId::Is, 4);
+    let row = accuracy_row(&run, Level::Logical, Target::Sender);
+    let acc = row.at(1).unwrap();
+    assert!((0.70..0.95).contains(&acc), "is.4 logical +1 = {acc:.3}");
+}
+
+#[test]
+fn fig4_physical_never_beats_logical() {
+    for (id, procs) in [(BenchId::Bt, 9), (BenchId::Is, 16), (BenchId::Sweep3d, 16)] {
+        let run = class_a(id, procs);
+        for target in [Target::Sender, Target::Size] {
+            let log = accuracy_row(&run, Level::Logical, target).at(1).unwrap();
+            let phys = accuracy_row(&run, Level::Physical, target).at(1).unwrap();
+            assert!(
+                phys <= log + 0.02,
+                "{} {}: physical {phys:.3} vs logical {log:.3}",
+                run.config.label(),
+                target.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_degradation_ordering_matches_the_paper() {
+    // §5.2: LU stays high (few distinct senders hide reordering); BT
+    // degrades visibly; IS sender prediction is the hard case.
+    let lu = accuracy_row(&class_a(BenchId::Lu, 16), Level::Physical, Target::Sender)
+        .at(1)
+        .unwrap();
+    let bt = accuracy_row(&class_a(BenchId::Bt, 16), Level::Physical, Target::Sender)
+        .at(1)
+        .unwrap();
+    let is = accuracy_row(&class_a(BenchId::Is, 16), Level::Physical, Target::Sender)
+        .at(1)
+        .unwrap();
+    assert!(lu > 0.9, "lu.16 physical stays high: {lu:.3}");
+    assert!(bt < lu, "bt.16 ({bt:.3}) degrades below lu.16 ({lu:.3})");
+    assert!(is < lu, "is.16 ({is:.3}) degrades below lu.16 ({lu:.3})");
+    assert!(bt > 0.2, "bt.16 remains partially predictable: {bt:.3}");
+}
+
+#[test]
+fn fig2_physical_is_a_locally_reordered_permutation() {
+    // Figure 2: same messages, some local order changes.
+    let run = class_a(BenchId::Bt, 4);
+    let mut log = run.logical.senders.clone();
+    let mut phys = run.physical.senders.clone();
+    let diffs = log.iter().zip(&phys).filter(|(a, b)| a != b).count();
+    assert!(diffs > 0, "some positions must differ");
+    assert!(
+        (diffs as f64) < 0.5 * log.len() as f64,
+        "but the streams stay mostly aligned ({} of {})",
+        diffs,
+        log.len()
+    );
+    log.sort_unstable();
+    phys.sort_unstable();
+    assert_eq!(log, phys, "physical is a permutation of logical");
+}

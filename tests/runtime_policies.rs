@@ -1,0 +1,106 @@
+//! Cross-crate checks of the §2 runtime policies on real simulated
+//! workload streams (not synthetic patterns): the prediction-driven
+//! policies must deliver their promised trade-offs end to end.
+
+use mpp_experiments::{experiment_dpd_config, Level, Target, TracedRun};
+use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+use mpp_runtime::{
+    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy,
+    ProtocolCosts,
+};
+
+/// (sender, size) pairs of the traced rank's physical stream.
+fn arrival_stream(id: BenchId, procs: usize, class: Class) -> (TracedRun, Vec<(u64, u64)>) {
+    let run = TracedRun::execute(BenchmarkConfig::new(id, procs, class), 2003);
+    let stream = run
+        .physical
+        .senders
+        .iter()
+        .zip(&run.physical.sizes)
+        .map(|(&s, &b)| (s, b))
+        .collect();
+    (run, stream)
+}
+
+#[test]
+fn predictive_buffers_beat_all_pairs_memory_on_sweep3d() {
+    let (_, stream) = arrival_stream(BenchId::Sweep3d, 16, Class::A);
+    let dpd = experiment_dpd_config();
+    let all = simulate_buffers(BufferPolicy::AllPairs, &stream, 16, 16 * 1024, &dpd);
+    let pred = simulate_buffers(
+        BufferPolicy::Predictive { depth: 5 },
+        &stream,
+        16,
+        16 * 1024,
+        &dpd,
+    );
+    assert!(pred.hit_rate() > 0.85, "hit rate {}", pred.hit_rate());
+    assert!(
+        pred.peak_bytes * 4 < all.peak_bytes,
+        "predictive peak {} vs all-pairs {}",
+        pred.peak_bytes,
+        all.peak_bytes
+    );
+}
+
+#[test]
+fn predictive_credits_prevent_overflow_on_is() {
+    // Credits are granted from the receiver's *delivery* history (the
+    // logical stream): the unordered partner set per burst is what the
+    // §2.2 receiver plans against — order within the burst is irrelevant.
+    let (run, _) = arrival_stream(BenchId::Is, 16, Class::A);
+    let short: Vec<(u64, u64)> = run
+        .logical
+        .senders
+        .iter()
+        .zip(&run.logical.sizes)
+        .map(|(&s, &b)| (s, b))
+        .filter(|&(_, b)| b <= 16 * 1024)
+        .collect();
+    let dpd = experiment_dpd_config();
+    let budget = 8 * 1024;
+    let eager = simulate_credits(CreditPolicy::UnsolicitedEager, &short, 16, budget, &dpd);
+    let credit = simulate_credits(CreditPolicy::PredictiveCredits, &short, 16, budget, &dpd);
+    assert!(eager.overflow_bytes > 0, "the storm must overrun the budget");
+    assert_eq!(credit.overflow_bytes, 0, "credits must bound memory");
+    assert!(credit.peak_bytes <= budget);
+    assert!(credit.eager > 0, "prediction keeps part of the fast path");
+}
+
+#[test]
+fn predicted_preallocation_recovers_rendezvous_gap_on_cg() {
+    let (_, stream) = arrival_stream(BenchId::Cg, 8, Class::A);
+    let out = simulate_protocol(&ProtocolCosts::default(), &stream, 5, &experiment_dpd_config());
+    assert!(out.hits + out.misses > 0, "cg.8 has rendezvous-sized messages");
+    assert!(out.predicted_ns <= out.baseline_ns);
+    assert!(out.predicted_ns >= out.oracle_ns);
+    assert!(
+        out.gap_recovered() > 0.5,
+        "periodic large messages should be mostly recovered: {:.2}",
+        out.gap_recovered()
+    );
+}
+
+#[test]
+fn set_prediction_beats_ordered_prediction_on_reordered_streams() {
+    // §5.3: buffer managers only need the unordered next-k set, which
+    // survives physical reordering better than exact-order prediction.
+    use mpp_core::dpd::DpdPredictor;
+    use mpp_core::eval::{SetEvaluator, StreamEvaluator};
+    let run = TracedRun::execute(BenchmarkConfig::new(BenchId::Bt, 9, Class::A), 2003);
+    let stream = run.stream(Level::Physical, Target::Sender);
+    let dpd = experiment_dpd_config();
+
+    let mut ordered = StreamEvaluator::new(DpdPredictor::new(dpd.clone()), 5);
+    ordered.feed_stream(stream);
+    let ordered_acc = ordered.tracker().horizon(1).accuracy().unwrap();
+
+    let mut set = SetEvaluator::new(DpdPredictor::new(dpd), 5);
+    set.feed_stream(stream);
+    let set_acc = set.hit_rate().unwrap();
+
+    assert!(
+        set_acc > ordered_acc,
+        "set-of-5 {set_acc:.3} should beat ordered +1 {ordered_acc:.3}"
+    );
+}
