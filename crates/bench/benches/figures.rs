@@ -71,7 +71,10 @@ fn bench_fig2_stream_extraction(c: &mut Criterion) {
 
 fn bench_fig3_fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure_accuracy_sweep");
-    for (name, level) in [("fig3_logical", Level::Logical), ("fig4_physical", Level::Physical)] {
+    for (name, level) in [
+        ("fig3_logical", Level::Logical),
+        ("fig4_physical", Level::Physical),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
             b.iter(|| {
                 let mut acc = 0.0f64;

@@ -20,19 +20,23 @@ fn bench_roster(c: &mut Criterion) {
     let mut g = c.benchmark_group("predictor_observe_predict");
     g.throughput(Throughput::Elements(stream.len() as u64));
     for kind in PredictorKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut p = kind.build(&cfg);
-                let mut acc = 0u64;
-                for &v in &stream {
-                    p.observe(v);
-                    if let Some(x) = p.predict(1) {
-                        acc = acc.wrapping_add(x);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut p = kind.build(&cfg);
+                    let mut acc = 0u64;
+                    for &v in &stream {
+                        p.observe(v);
+                        if let Some(x) = p.predict(1) {
+                            acc = acc.wrapping_add(x);
+                        }
                     }
-                }
-                black_box(acc)
-            });
-        });
+                    black_box(acc)
+                });
+            },
+        );
     }
     g.finish();
 }

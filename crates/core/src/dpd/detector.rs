@@ -71,7 +71,10 @@ impl DpdConfig {
     fn validate(&self) {
         assert!(self.window > 0, "window must be positive");
         assert!(self.max_lag > 0, "max_lag must be positive");
-        assert!(self.min_lag > 0, "min_lag must be positive (period 0 is meaningless)");
+        assert!(
+            self.min_lag > 0,
+            "min_lag must be positive (period 0 is meaningless)"
+        );
         assert!(
             self.min_lag <= self.max_lag,
             "min_lag ({}) must not exceed max_lag ({})",
@@ -242,8 +245,8 @@ impl PeriodicityDetector {
             None => return false,
         };
         let n = st.comparisons();
-        let need = ((m as f64 * self.cfg.evidence_factor).ceil() as usize)
-            .max(self.cfg.min_comparisons);
+        let need =
+            ((m as f64 * self.cfg.evidence_factor).ceil() as usize).max(self.cfg.min_comparisons);
         if n < need {
             return false;
         }

@@ -143,7 +143,7 @@ mod tests {
         // Lags 3 and 6 are exact periods: zero mismatches.
         assert_eq!(prof[2], (0, 6)); // m = 3
         assert_eq!(prof[5], (0, 3)); // m = 6
-        // Lag 1 mismatches everywhere (no equal neighbours).
+                                     // Lag 1 mismatches everywhere (no equal neighbours).
         assert_eq!(prof[0], (8, 8));
         assert_eq!(distance_sign(&w, 3), 0);
         assert_eq!(distance_sign(&w, 1), 1);

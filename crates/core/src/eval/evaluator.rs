@@ -43,8 +43,7 @@ impl<P: Predictor> StreamEvaluator<P> {
     pub fn feed(&mut self, v: Symbol) {
         let due = self.pending.pop_front().expect("ring kept at k slots");
         for (h, pred) in due {
-            self.tracker
-                .record(h, pred.is_some(), pred == Some(v));
+            self.tracker.record(h, pred.is_some(), pred == Some(v));
         }
         self.pending.push_back(Vec::with_capacity(self.k));
 

@@ -87,14 +87,7 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .headers
-                .iter()
-                .map(esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));

@@ -70,12 +70,7 @@ impl Predictor for MarkovPredictor {
 
     fn observe(&mut self, v: Symbol) {
         if let Some(ctx) = self.context_of(&self.recent) {
-            *self
-                .table
-                .entry(ctx)
-                .or_default()
-                .entry(v)
-                .or_insert(0) += 1;
+            *self.table.entry(ctx).or_default().entry(v).or_insert(0) += 1;
         }
         self.recent.push(v);
         if self.recent.len() > self.order {

@@ -5,7 +5,9 @@
 //! agrees with the offline metric, and a locked period yields perfect
 //! multi-step prediction on clean periodic streams.
 
-use mpp_core::dpd::{distance_sign, mismatch_profile, DpdConfig, DpdPredictor, PeriodicityDetector};
+use mpp_core::dpd::{
+    distance_sign, mismatch_profile, DpdConfig, DpdPredictor, PeriodicityDetector,
+};
 use mpp_core::predictors::Predictor;
 use mpp_core::ring::Ring;
 use mpp_core::stream::{exact_period, StreamStats, Symbol};

@@ -1,0 +1,386 @@
+//! The sharded engine: rank-hash partitioning, batched ingest across
+//! worker threads, and batched prediction serving.
+//!
+//! ## Sharding
+//!
+//! Streams are partitioned by a multiplicative hash of their owning
+//! rank, so all three attribute streams of a rank live in the same
+//! shard (per-rank advice needs them together) and consecutive ranks
+//! spread across shards instead of clustering. Because predictors are
+//! per-stream and a stream never leaves its shard, any shard count
+//! produces bit-identical predictions — parallelism changes wall-clock
+//! only, never results (property-tested in `tests/equivalence.rs`).
+//!
+//! ## Hot path
+//!
+//! [`Engine::observe_batch`] partitions the batch into per-shard index
+//! lists held in preallocated scratch buffers (cleared, never shrunk),
+//! then drives each non-empty shard on its own scoped worker thread
+//! (sequentially when only one shard has work or the batch is below the
+//! spawn threshold). No event is boxed or cloned beyond the `Copy` of
+//! the 16-byte [`Observation`]; per-stream state reuses the fixed
+//! [`mpp_core::Ring`] buffers inside each predictor.
+
+use crate::metrics::{EngineMetrics, ShardMetrics};
+use crate::shard::Shard;
+use crate::types::{Observation, Query, RankId, StreamKey, StreamKind};
+use mpp_core::dpd::DpdConfig;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shards (worker partitions); must be positive.
+    pub shards: usize,
+    /// Detector configuration applied to every stream predictor.
+    pub dpd: DpdConfig,
+    /// Batches smaller than this are processed inline even with
+    /// multiple shards: scoped-thread spawn costs (~10 µs) would
+    /// dominate tiny batches.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 1,
+            dpd: DpdConfig::default(),
+            parallel_threshold: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `shards` shards and default detector settings.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.shards > 0, "engine needs at least one shard");
+    }
+}
+
+/// Fibonacci-multiplicative rank hash: spreads consecutive ranks across
+/// shards without clustering, and is stable across platforms.
+#[inline]
+fn shard_of(rank: RankId, shards: usize) -> usize {
+    (u64::from(rank).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards
+}
+
+/// Multi-stream prediction engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    shards: Vec<Shard>,
+    /// Per-shard event-index scratch, reused across batches.
+    scratch: Vec<Vec<u32>>,
+}
+
+impl Engine {
+    /// Creates an engine with `cfg.shards` empty shards.
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate();
+        let shards = (0..cfg.shards)
+            .map(|_| Shard::new(cfg.dpd.clone()))
+            .collect();
+        let scratch = (0..cfg.shards).map(|_| Vec::new()).collect();
+        Engine {
+            cfg,
+            shards,
+            scratch,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index serving `rank`.
+    pub fn shard_for(&self, rank: RankId) -> usize {
+        shard_of(rank, self.shards.len())
+    }
+
+    /// Ingests a single observation (convenience path; batch ingest is
+    /// the throughput path).
+    #[inline]
+    pub fn observe(&mut self, key: StreamKey, value: u64) {
+        let s = shard_of(key.rank, self.shards.len());
+        self.shards[s].observe(Observation::new(key, value));
+    }
+
+    /// Ingests `batch` in order. Events of different ranks may be
+    /// processed concurrently (one worker per shard); events of the
+    /// same stream always retain their batch order, so results are
+    /// independent of the shard count and of thread scheduling.
+    pub fn observe_batch(&mut self, batch: &[Observation]) {
+        assert!(
+            batch.len() <= u32::MAX as usize,
+            "batch exceeds u32 index space"
+        );
+        let nshards = self.shards.len();
+        if nshards == 1 {
+            self.shards[0].observe_all(batch);
+            return;
+        }
+        for idxs in &mut self.scratch {
+            idxs.clear();
+        }
+        for (i, obs) in batch.iter().enumerate() {
+            self.scratch[shard_of(obs.key.rank, nshards)].push(i as u32);
+        }
+        let busy = self.scratch.iter().filter(|s| !s.is_empty()).count();
+        if busy <= 1 || batch.len() < self.cfg.parallel_threshold {
+            for (shard, idxs) in self.shards.iter_mut().zip(&self.scratch) {
+                if !idxs.is_empty() {
+                    shard.observe_indexed(batch, idxs);
+                }
+            }
+            return;
+        }
+        // The last busy shard runs on the calling thread: N busy shards
+        // cost N-1 spawns, and the caller works instead of idling.
+        let last_busy = self
+            .scratch
+            .iter()
+            .rposition(|s| !s.is_empty())
+            .expect("busy > 1");
+        std::thread::scope(|scope| {
+            let mut own: Option<(&mut Shard, &Vec<u32>)> = None;
+            for (i, (shard, idxs)) in self.shards.iter_mut().zip(&self.scratch).enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                if i == last_busy {
+                    own = Some((shard, idxs));
+                } else {
+                    scope.spawn(move || shard.observe_indexed(batch, idxs));
+                }
+            }
+            let (shard, idxs) = own.expect("last busy shard present");
+            shard.observe_indexed(batch, idxs);
+        });
+    }
+
+    /// Serves one query.
+    #[inline]
+    pub fn predict(&mut self, key: StreamKey, horizon: u32) -> Option<u64> {
+        let s = shard_of(key.rank, self.shards.len());
+        self.shards[s].predict(Query::new(key, horizon))
+    }
+
+    /// Serves `queries`, writing one entry per query into `out`
+    /// (cleared first, capacity reused — steady state allocates
+    /// nothing). Prediction is read-mostly and cheap (a ring lookup),
+    /// so this path stays sequential.
+    pub fn predict_batch(&mut self, queries: &[Query], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.reserve(queries.len());
+        let nshards = self.shards.len();
+        for q in queries {
+            let s = shard_of(q.key.rank, nshards);
+            out.push(self.shards[s].predict(*q));
+        }
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank` — the
+    /// shape the runtime policies (§2 of the paper) consume.
+    pub fn forecast_messages(
+        &mut self,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        out.clear();
+        out.reserve(depth);
+        let s = shard_of(rank, self.shards.len());
+        let shard = &mut self.shards[s];
+        for h in 1..=depth as u32 {
+            let sender = shard.predict(Query::new(StreamKey::new(rank, StreamKind::Sender), h));
+            let size = shard.predict(Query::new(StreamKey::new(rank, StreamKind::Size), h));
+            out.push((sender, size));
+        }
+    }
+
+    /// Detected period of a stream, if locked.
+    pub fn period_of(&self, key: StreamKey) -> Option<usize> {
+        self.shards[shard_of(key.rank, self.shards.len())].period_of(key)
+    }
+
+    /// Detector confidence of a stream's lock.
+    pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
+        self.shards[shard_of(key.rank, self.shards.len())].confidence_of(key)
+    }
+
+    /// Per-shard metrics snapshot.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            shards: self.shards.iter().map(Shard::metrics).collect(),
+        }
+    }
+
+    /// Aggregate metrics across shards.
+    pub fn metrics_total(&self) -> ShardMetrics {
+        self.metrics().total()
+    }
+
+    /// Total streams resident across shards.
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(Shard::stream_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skey(rank: u32) -> StreamKey {
+        StreamKey::new(rank, StreamKind::Sender)
+    }
+
+    fn periodic_batch(
+        ranks: u32,
+        cycles: usize,
+        pattern_of: impl Fn(u32) -> Vec<u64>,
+    ) -> Vec<Observation> {
+        let mut out = Vec::new();
+        for _ in 0..cycles {
+            for r in 0..ranks {
+                for &v in &pattern_of(r) {
+                    out.push(Observation::new(skey(r), v));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_and_multi_shard_agree() {
+        let batch = periodic_batch(16, 12, |r| vec![u64::from(r), u64::from(r) + 1, 40]);
+        let queries: Vec<Query> = (0..16)
+            .flat_map(|r| (1..=5).map(move |h| Query::new(skey(r), h)))
+            .collect();
+        let mut solo = Engine::new(EngineConfig::with_shards(1));
+        let mut multi = Engine::new(EngineConfig {
+            parallel_threshold: 0,
+            ..EngineConfig::with_shards(8)
+        });
+        solo.observe_batch(&batch);
+        multi.observe_batch(&batch);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        solo.predict_batch(&queries, &mut a);
+        multi.predict_batch(&queries, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(Option::is_some), "locked streams must predict");
+    }
+
+    #[test]
+    fn batched_equals_incremental() {
+        let batch = periodic_batch(5, 10, |r| vec![u64::from(r) % 3, 7, 9]);
+        let mut batched = Engine::new(EngineConfig::with_shards(4));
+        let mut incremental = Engine::new(EngineConfig::with_shards(4));
+        batched.observe_batch(&batch);
+        for obs in &batch {
+            incremental.observe(obs.key, obs.value);
+        }
+        for r in 0..5 {
+            for h in 1..=4 {
+                assert_eq!(
+                    batched.predict(skey(r), h),
+                    incremental.predict(skey(r), h),
+                    "rank {r} horizon {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_messages_pairs_sender_and_size() {
+        let mut eng = Engine::new(EngineConfig::with_shards(2));
+        for _ in 0..20 {
+            for (s, b) in [(1u64, 100u64), (2, 200), (1, 100), (3, 800)] {
+                eng.observe(StreamKey::new(0, StreamKind::Sender), s);
+                eng.observe(StreamKey::new(0, StreamKind::Size), b);
+            }
+        }
+        let mut advice = Vec::new();
+        eng.forecast_messages(0, 4, &mut advice);
+        assert_eq!(
+            advice,
+            vec![
+                (Some(1), Some(100)),
+                (Some(2), Some(200)),
+                (Some(1), Some(100)),
+                (Some(3), Some(800)),
+            ]
+        );
+    }
+
+    #[test]
+    fn rank_streams_colocate_in_one_shard() {
+        let eng = Engine::new(EngineConfig::with_shards(8));
+        for r in 0..100 {
+            let s = eng.shard_for(r);
+            assert!(s < 8);
+            // All kinds of one rank map through the same rank hash.
+            assert_eq!(eng.shard_for(r), s);
+        }
+    }
+
+    #[test]
+    fn ranks_spread_across_shards() {
+        let eng = Engine::new(EngineConfig::with_shards(8));
+        let mut seen = [false; 8];
+        for r in 0..64 {
+            seen[eng.shard_for(r)] = true;
+        }
+        let used = seen.iter().filter(|&&b| b).count();
+        assert!(
+            used >= 6,
+            "64 ranks should populate most of 8 shards, got {used}"
+        );
+    }
+
+    #[test]
+    fn metrics_aggregate_across_shards() {
+        let mut eng = Engine::new(EngineConfig {
+            parallel_threshold: 0,
+            ..EngineConfig::with_shards(4)
+        });
+        let batch = periodic_batch(8, 10, |_| vec![1, 2, 3]);
+        eng.observe_batch(&batch);
+        let total = eng.metrics_total();
+        assert_eq!(total.events_ingested, batch.len() as u64);
+        assert_eq!(total.streams, 8);
+        assert!(total.hits > 0, "periodic streams must eventually hit");
+        assert!(total.max_batch_depth > 0);
+        let per_shard = eng.metrics();
+        assert_eq!(per_shard.shards.len(), 4);
+        let sum: u64 = per_shard.shards.iter().map(|m| m.events_ingested).sum();
+        assert_eq!(sum, batch.len() as u64);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut eng = Engine::new(EngineConfig::with_shards(4));
+        eng.observe_batch(&[]);
+        assert_eq!(eng.metrics_total().events_ingested, 0);
+        let mut out = vec![Some(1)];
+        eng.predict_batch(&[], &mut out);
+        assert!(out.is_empty(), "predict_batch clears stale output");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Engine::new(EngineConfig::with_shards(0));
+    }
+}

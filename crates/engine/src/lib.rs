@@ -1,0 +1,64 @@
+//! # mpp-engine — sharded multi-stream prediction serving
+//!
+//! The paper predicts *one* process's message streams with a Dynamic
+//! Periodicity Detector. Serving that prediction at production scale —
+//! every rank of every job, sender + size + tag streams, millions of
+//! concurrent streams — needs an engine, not a per-call factory. This
+//! crate is that serving layer: it owns a bank of per-`(rank,
+//! stream-kind)` [`DpdPredictor`](mpp_core::dpd::DpdPredictor)s behind
+//! a symbol-interning layer, shards them across worker threads by rank
+//! hash, and exposes batched, zero-allocation observe/predict APIs.
+//!
+//! Two properties are load-bearing and tested:
+//!
+//! 1. **Prediction equivalence.** For any shard count and batch
+//!    split, the engine's predictions are bit-identical to driving one
+//!    `DpdPredictor` per stream sequentially (`tests/equivalence.rs`).
+//!    Sharding is a throughput device, never a semantics device.
+//! 2. **Zero-allocation steady state.** Batch ingest reuses per-shard
+//!    index scratch; predictors reuse their fixed
+//!    [`Ring`](mpp_core::ring::Ring) buffers; prediction output lands
+//!    in a caller-provided, capacity-reused vector. Allocation happens
+//!    only when a new stream or new raw symbol first appears.
+//!
+//! ## Module map
+//!
+//! * [`types`] — [`StreamKey`] addressing (`rank` × sender/size/tag),
+//!   plain-old-data [`Observation`] / [`Query`] batch elements.
+//! * [`shard`] — [`Shard`]: single-threaded predictor bank with
+//!   interning, online `+1` hit/miss scoring, and period-churn
+//!   tracking.
+//! * [`engine`] — [`Engine`]: rank-hash sharding, batched
+//!   [`observe_batch`](Engine::observe_batch) /
+//!   [`predict_batch`](Engine::predict_batch), scoped worker threads,
+//!   per-rank (sender, size) forecasts for the runtime policies.
+//! * [`metrics`] — [`ShardMetrics`] / [`EngineMetrics`]: events
+//!   ingested, hit/miss/abstention, period churn, queue depth.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mpp_engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind};
+//!
+//! let mut engine = Engine::new(EngineConfig::with_shards(4));
+//! // Rank 0 receives from senders 7, 1, 4 cyclically.
+//! let key = StreamKey::new(0, StreamKind::Sender);
+//! let batch: Vec<Observation> = (0..30)
+//!     .map(|i| Observation::new(key, [7u64, 1, 4][i % 3]))
+//!     .collect();
+//! engine.observe_batch(&batch);
+//! assert_eq!(engine.predict(key, 1), Some(7));
+//! assert_eq!(engine.predict(key, 2), Some(1));
+//! assert_eq!(engine.period_of(key), Some(3));
+//! assert!(engine.metrics_total().hit_rate().unwrap() > 0.5);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod shard;
+pub mod types;
+
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{EngineMetrics, ShardMetrics};
+pub use shard::Shard;
+pub use types::{Observation, Query, RankId, StreamKey, StreamKind};

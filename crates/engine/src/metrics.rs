@@ -1,0 +1,113 @@
+//! Per-shard and aggregate serving metrics.
+//!
+//! Every shard tracks how much work it ingested, how well its `+1`
+//! forecasts tracked reality (scored online: the prediction standing
+//! when the next symbol of the same stream arrives), how often period
+//! locks changed ("churn", a proxy for phase changes in the workload),
+//! and the deepest per-batch queue it has seen (load-balance signal
+//! across shards).
+
+/// Counters for one shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Stream elements ingested via observe paths.
+    pub events_ingested: u64,
+    /// Predictions returned from predict paths (including `None`s).
+    pub predictions_served: u64,
+    /// `+1` forecasts that matched the subsequently observed symbol.
+    pub hits: u64,
+    /// `+1` forecasts that existed but did not match the next symbol.
+    pub misses: u64,
+    /// Observations at which no `+1` forecast was standing (cold or
+    /// unlocked streams); neither hit nor miss.
+    pub abstentions: u64,
+    /// Number of times any stream's detected period changed (including
+    /// lock acquisitions and losses).
+    pub period_churn: u64,
+    /// Distinct streams resident in this shard's predictor bank.
+    pub streams: u64,
+    /// Largest number of events this shard received in a single batch.
+    pub max_batch_depth: u64,
+}
+
+impl ShardMetrics {
+    /// Online `+1` hit rate over scored observations; `None` before any
+    /// forecast was scored.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let scored = self.hits + self.misses;
+        if scored == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / scored as f64)
+    }
+
+    /// Adds `other`'s counters into `self` (used for aggregation).
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.events_ingested += other.events_ingested;
+        self.predictions_served += other.predictions_served;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.abstentions += other.abstentions;
+        self.period_churn += other.period_churn;
+        self.streams += other.streams;
+        self.max_batch_depth = self.max_batch_depth.max(other.max_batch_depth);
+    }
+}
+
+/// Aggregate view across all shards.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl EngineMetrics {
+    /// Sum of all shard counters (`max_batch_depth` is the max).
+    pub fn total(&self) -> ShardMetrics {
+        let mut out = ShardMetrics::default();
+        for s in &self.shards {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_cold_and_warm() {
+        let mut m = ShardMetrics::default();
+        assert_eq!(m.hit_rate(), None);
+        m.hits = 3;
+        m.misses = 1;
+        assert_eq!(m.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_depth() {
+        let a = ShardMetrics {
+            events_ingested: 10,
+            hits: 4,
+            misses: 1,
+            max_batch_depth: 7,
+            streams: 2,
+            ..Default::default()
+        };
+        let b = ShardMetrics {
+            events_ingested: 5,
+            hits: 2,
+            misses: 2,
+            max_batch_depth: 3,
+            streams: 1,
+            ..Default::default()
+        };
+        let total = EngineMetrics { shards: vec![a, b] }.total();
+        assert_eq!(total.events_ingested, 15);
+        assert_eq!(total.hits, 6);
+        assert_eq!(total.misses, 3);
+        assert_eq!(total.max_batch_depth, 7);
+        assert_eq!(total.streams, 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! One shard: a bank of per-stream predictors behind symbol interning.
+//!
+//! A shard owns every stream whose rank hashes to it, so all processing
+//! inside a shard is single-threaded and allocation-free once a stream's
+//! slot exists (the [`DpdPredictor`] reuses its fixed-capacity
+//! [`mpp_core::Ring`]s; the interner only allocates when a *new* raw
+//! symbol appears, which on periodic MPI streams happens a handful of
+//! times per stream lifetime).
+//!
+//! Interning: predictors operate on dense `u64` ids rather than raw
+//! symbols. Because the mapping is injective, equality structure — the
+//! only thing the DPD's distance metric consults — is preserved, so the
+//! detected periods and the mapped-back predictions are bit-identical to
+//! running the predictor on raw symbols (property-tested in
+//! `tests/equivalence.rs`). Dense ids keep ring contents small and are
+//! the representation table-indexed predictors (Markov, set) need.
+
+use crate::metrics::ShardMetrics;
+use crate::types::{Observation, Query, StreamKey};
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::predictors::Predictor;
+use mpp_core::stream::SymbolMap;
+use std::collections::HashMap;
+
+/// Predictor, interner and score-keeping state for one stream.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamSlot {
+    interner: SymbolMap,
+    predictor: DpdPredictor,
+    /// `+1` forecast (dense id) standing from the previous observation,
+    /// scored against the next arrival. `None` while unlocked.
+    pending_next: Option<u64>,
+    /// Period seen after the previous observation, for churn counting.
+    last_period: Option<usize>,
+}
+
+impl StreamSlot {
+    fn new(cfg: &DpdConfig) -> Self {
+        StreamSlot {
+            interner: SymbolMap::new(),
+            predictor: DpdPredictor::new(cfg.clone()),
+            pending_next: None,
+            last_period: None,
+        }
+    }
+
+    /// Ingests one raw symbol, updating hit/miss/churn counters.
+    #[inline]
+    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics) {
+        let id = u64::from(self.interner.intern(raw));
+        match self.pending_next {
+            Some(p) if p == id => metrics.hits += 1,
+            Some(_) => metrics.misses += 1,
+            None => metrics.abstentions += 1,
+        }
+        self.predictor.observe(id);
+        let period = self.predictor.period();
+        if period != self.last_period {
+            metrics.period_churn += 1;
+            self.last_period = period;
+        }
+        self.pending_next = self.predictor.predict(1);
+        metrics.events_ingested += 1;
+    }
+
+    /// Predicts the raw symbol `horizon` steps ahead.
+    #[inline]
+    fn predict(&self, horizon: usize) -> Option<u64> {
+        let id = self.predictor.predict(horizon)?;
+        let raw = self
+            .interner
+            .symbol(u32::try_from(id).expect("dense ids fit u32"))
+            .expect("predicted id was interned");
+        Some(raw)
+    }
+
+    fn period(&self) -> Option<usize> {
+        self.predictor.period()
+    }
+
+    fn confidence(&self) -> Option<f64> {
+        self.predictor.confidence()
+    }
+}
+
+/// A single-threaded predictor bank for one hash partition of ranks.
+#[derive(Debug)]
+pub struct Shard {
+    cfg: DpdConfig,
+    slots: HashMap<StreamKey, StreamSlot>,
+    metrics: ShardMetrics,
+}
+
+impl Shard {
+    /// Creates an empty shard whose predictors use `cfg`.
+    pub fn new(cfg: DpdConfig) -> Self {
+        Shard {
+            cfg,
+            slots: HashMap::new(),
+            metrics: ShardMetrics::default(),
+        }
+    }
+
+    /// Ingests one observation.
+    #[inline]
+    pub fn observe(&mut self, obs: Observation) {
+        let cfg = &self.cfg;
+        self.slots
+            .entry(obs.key)
+            .or_insert_with(|| StreamSlot::new(cfg))
+            .observe(obs.value, &mut self.metrics);
+    }
+
+    /// Ingests the subset of `batch` selected by `indices`, in order.
+    /// This is the per-shard leg of `Engine::observe_batch`: `indices`
+    /// is a preallocated scratch buffer owned by the engine, so the
+    /// steady state allocates nothing.
+    pub fn observe_indexed(&mut self, batch: &[Observation], indices: &[u32]) {
+        self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(indices.len() as u64);
+        for &i in indices {
+            self.observe(batch[i as usize]);
+        }
+    }
+
+    /// Ingests every event of `batch`, in order (single-shard fast
+    /// path: no partitioning needed).
+    pub fn observe_all(&mut self, batch: &[Observation]) {
+        self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(batch.len() as u64);
+        for obs in batch {
+            self.observe(*obs);
+        }
+    }
+
+    /// Serves one query. Returns `None` for unknown streams, horizon 0,
+    /// or streams without a locked period.
+    #[inline]
+    pub fn predict(&mut self, q: Query) -> Option<u64> {
+        self.metrics.predictions_served += 1;
+        self.slots.get(&q.key)?.predict(q.horizon as usize)
+    }
+
+    /// Detected period of a stream, if locked.
+    pub fn period_of(&self, key: StreamKey) -> Option<usize> {
+        self.slots.get(&key)?.period()
+    }
+
+    /// Detector confidence of a stream's lock.
+    pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
+        self.slots.get(&key)?.confidence()
+    }
+
+    /// Number of resident streams.
+    pub fn stream_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Counter snapshot (stream count refreshed on read).
+    pub fn metrics(&self) -> ShardMetrics {
+        let mut m = self.metrics;
+        m.streams = self.slots.len() as u64;
+        m
+    }
+
+    /// Drops all stream state, keeping configuration and counters.
+    pub fn clear_streams(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{StreamKey, StreamKind};
+
+    fn key(rank: u32) -> StreamKey {
+        StreamKey::new(rank, StreamKind::Sender)
+    }
+
+    fn feed_pattern(shard: &mut Shard, k: StreamKey, pattern: &[u64], cycles: usize) {
+        for _ in 0..cycles {
+            for &v in pattern {
+                shard.observe(Observation::new(k, v));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_predicts_like_a_lone_predictor() {
+        let mut shard = Shard::new(DpdConfig::default());
+        feed_pattern(&mut shard, key(0), &[7, 1, 4], 12);
+        let mut reference = DpdPredictor::new(DpdConfig::default());
+        for _ in 0..12 {
+            for v in [7u64, 1, 4] {
+                reference.observe(v);
+            }
+        }
+        for h in 1..=6 {
+            // Interning maps {7,1,4} -> {0,1,2}; prediction maps back.
+            assert_eq!(
+                shard.predict(Query::new(key(0), h)),
+                reference.predict(h as usize),
+                "horizon {h}"
+            );
+        }
+        assert_eq!(shard.period_of(key(0)), Some(3));
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let mut shard = Shard::new(DpdConfig::default());
+        feed_pattern(&mut shard, key(0), &[1, 2], 10);
+        feed_pattern(&mut shard, key(1), &[5, 6, 7], 10);
+        assert_eq!(shard.period_of(key(0)), Some(2));
+        assert_eq!(shard.period_of(key(1)), Some(3));
+        assert_eq!(shard.predict(Query::new(key(0), 1)), Some(1));
+        assert_eq!(shard.predict(Query::new(key(1), 1)), Some(5));
+        assert_eq!(shard.stream_count(), 2);
+    }
+
+    #[test]
+    fn sender_and_size_streams_of_one_rank_are_distinct() {
+        let mut shard = Shard::new(DpdConfig::default());
+        let ks = StreamKey::new(9, StreamKind::Sender);
+        let kz = StreamKey::new(9, StreamKind::Size);
+        feed_pattern(&mut shard, ks, &[1, 2], 10);
+        feed_pattern(&mut shard, kz, &[100, 200, 800], 10);
+        assert_eq!(shard.period_of(ks), Some(2));
+        assert_eq!(shard.period_of(kz), Some(3));
+    }
+
+    #[test]
+    fn unknown_stream_and_zero_horizon_yield_none() {
+        let mut shard = Shard::new(DpdConfig::default());
+        assert_eq!(shard.predict(Query::new(key(3), 1)), None);
+        feed_pattern(&mut shard, key(3), &[4, 5], 10);
+        assert_eq!(shard.predict(Query::new(key(3), 0)), None);
+    }
+
+    #[test]
+    fn metrics_score_online_hits() {
+        let mut shard = Shard::new(DpdConfig::default());
+        // 30 cycles of a period-2 pattern: once locked, every +1 forecast
+        // is correct, earlier observations are abstentions.
+        feed_pattern(&mut shard, key(0), &[8, 9], 30);
+        let m = shard.metrics();
+        assert_eq!(m.events_ingested, 60);
+        assert!(m.hits >= 50, "locked stream should mostly hit: {m:?}");
+        assert_eq!(m.misses, 0);
+        assert!(m.abstentions >= 2, "cold start abstains");
+        assert_eq!(m.streams, 1);
+        let rate = m.hit_rate().unwrap();
+        assert!(rate > 0.8, "hit rate {rate}");
+    }
+
+    #[test]
+    fn churn_counts_lock_transitions() {
+        let mut shard = Shard::new(DpdConfig {
+            window: 16,
+            max_lag: 8,
+            ..DpdConfig::default()
+        });
+        feed_pattern(&mut shard, key(0), &[1, 2], 10);
+        let after_lock = shard.metrics().period_churn;
+        assert!(after_lock >= 1, "lock acquisition counts as churn");
+        // A corruption drops the exact-mode lock, then re-locks: more churn.
+        shard.observe(Observation::new(key(0), 99));
+        feed_pattern(&mut shard, key(0), &[1, 2], 12);
+        assert!(shard.metrics().period_churn > after_lock);
+    }
+
+    #[test]
+    fn observe_indexed_tracks_queue_depth() {
+        let mut shard = Shard::new(DpdConfig::default());
+        let batch: Vec<Observation> = (0..5).map(|i| Observation::new(key(0), i % 2)).collect();
+        let idx: Vec<u32> = (0..5).collect();
+        shard.observe_indexed(&batch, &idx);
+        assert_eq!(shard.metrics().max_batch_depth, 5);
+        assert_eq!(shard.metrics().events_ingested, 5);
+        shard.observe_indexed(&batch, &idx[..2]);
+        assert_eq!(
+            shard.metrics().max_batch_depth,
+            5,
+            "depth is a high-water mark"
+        );
+    }
+
+    #[test]
+    fn clear_streams_keeps_counters() {
+        let mut shard = Shard::new(DpdConfig::default());
+        feed_pattern(&mut shard, key(0), &[1, 2], 5);
+        let ingested = shard.metrics().events_ingested;
+        shard.clear_streams();
+        assert_eq!(shard.stream_count(), 0);
+        assert_eq!(shard.metrics().events_ingested, ingested);
+        assert_eq!(shard.metrics().streams, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Stream addressing and batched request/response records.
+//!
+//! The engine serves one predictor per `(rank, stream-kind)` pair. A
+//! receiving MPI process exposes three predictable attribute streams —
+//! the sequence of sending ranks, of message sizes, and of tags (§3.1 of
+//! the paper tracks sender and size; tags ride along for free and are
+//! what the tag-cycle baseline consumes). [`StreamKey`] names one such
+//! stream; [`Observation`] and [`Query`] are the plain-old-data batch
+//! elements (no boxing) the hot path moves around.
+
+/// Identity of a simulated/served process. `u32` keeps keys small; the
+/// north-star scale (millions of streams) fits comfortably.
+pub type RankId = u32;
+
+/// Which attribute stream of a rank is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StreamKind {
+    /// The sequence of sending ranks observed by the receiver.
+    Sender,
+    /// The sequence of message sizes in bytes.
+    Size,
+    /// The sequence of message tags.
+    Tag,
+}
+
+impl StreamKind {
+    /// All kinds, in canonical order.
+    pub const ALL: [StreamKind; 3] = [StreamKind::Sender, StreamKind::Size, StreamKind::Tag];
+
+    /// Dense index of the kind (0, 1, 2) for table-indexed storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            StreamKind::Sender => 0,
+            StreamKind::Size => 1,
+            StreamKind::Tag => 2,
+        }
+    }
+
+    /// Lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKind::Sender => "sender",
+            StreamKind::Size => "size",
+            StreamKind::Tag => "tag",
+        }
+    }
+}
+
+/// Addresses one predictor-served stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamKey {
+    /// Owning (receiving) rank.
+    pub rank: RankId,
+    /// Attribute stream of that rank.
+    pub kind: StreamKind,
+}
+
+impl StreamKey {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(rank: RankId, kind: StreamKind) -> Self {
+        StreamKey { rank, kind }
+    }
+}
+
+/// One ingested stream element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Stream the value belongs to.
+    pub key: StreamKey,
+    /// Raw symbol (sender rank, byte size, or tag value).
+    pub value: u64,
+}
+
+impl Observation {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(key: StreamKey, value: u64) -> Self {
+        Observation { key, value }
+    }
+}
+
+/// One prediction request: the value `horizon` steps ahead on `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Stream to predict.
+    pub key: StreamKey,
+    /// Steps ahead; 1 is the next value. 0 yields `None`.
+    pub horizon: u32,
+}
+
+impl Query {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(key: StreamKey, horizon: u32) -> Self {
+        Query { key, horizon }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_is_16_bytes() {
+        // The hot-path docs lean on events being small Copy records.
+        assert_eq!(std::mem::size_of::<Observation>(), 16);
+        assert_eq!(std::mem::size_of::<Query>(), 12);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for k in StreamKind::ALL {
+            assert!(!seen[k.index()], "duplicate index for {k:?}");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(StreamKind::Sender.label(), "sender");
+        assert_eq!(StreamKind::Size.label(), "size");
+        assert_eq!(StreamKind::Tag.label(), "tag");
+    }
+
+    #[test]
+    fn keys_hash_and_compare_by_value() {
+        use std::collections::HashSet;
+        let a = StreamKey::new(3, StreamKind::Size);
+        let b = StreamKey::new(3, StreamKind::Size);
+        let c = StreamKey::new(3, StreamKind::Tag);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: HashSet<StreamKey> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -49,11 +49,7 @@ fn main() {
     }
 }
 
-fn eval_with(
-    kind: PredictorKind,
-    cfg: &DpdConfig,
-    stream: &[Symbol],
-) -> Vec<Option<f64>> {
+fn eval_with(kind: PredictorKind, cfg: &DpdConfig, stream: &[Symbol]) -> Vec<Option<f64>> {
     let mut ev = StreamEvaluator::new(kind.build(cfg), HORIZONS);
     ev.feed_stream(stream);
     ev.tracker().accuracies()
@@ -127,7 +123,11 @@ fn tolerance(args: &CliArgs) {
         };
         let copy = eval_with(PredictorKind::Dpd, &cfg, stream);
         let vote = eval_with(PredictorKind::DpdVote, &cfg, stream);
-        t.push_row(vec![format!("{tol:.2}"), fmt_acc(copy[0]), fmt_acc(vote[0])]);
+        t.push_row(vec![
+            format!("{tol:.2}"),
+            fmt_acc(copy[0]),
+            fmt_acc(vote[0]),
+        ]);
     }
     print_table(args, &t);
     println!("tolerance 0 reproduces the strict sign metric of eq. (1): any reordering in the window suppresses the period; a small tolerance recovers it.");
@@ -139,7 +139,9 @@ fn noise(args: &CliArgs) {
     for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
         eprintln!("  running bt.9 at noise x{scale} ...");
         let cfg = BenchmarkConfig::new(BenchId::Bt, 9, Class::A);
-        let wcfg = WorldConfig::new(cfg.procs).seed(args.seed).noise_scale(scale);
+        let wcfg = WorldConfig::new(cfg.procs)
+            .seed(args.seed)
+            .noise_scale(scale);
         let trace = run_with_world(&cfg, wcfg);
         let run = TracedRun::from_trace(cfg, &trace);
         let acc = eval_with(
@@ -159,8 +161,15 @@ fn noise(args: &CliArgs) {
 }
 
 fn set_accuracy(args: &CliArgs) {
-    println!("\n== ablation: ordered vs unordered (set) prediction on physical streams (§5.3) ==\n");
-    let mut t = TextTable::new(vec!["stream", "ordered +1 %", "mean +1..+5 %", "set-of-5 hit %"]);
+    println!(
+        "\n== ablation: ordered vs unordered (set) prediction on physical streams (§5.3) ==\n"
+    );
+    let mut t = TextTable::new(vec![
+        "stream",
+        "ordered +1 %",
+        "mean +1..+5 %",
+        "set-of-5 hit %",
+    ]);
     for cfg in [
         BenchmarkConfig::new(BenchId::Bt, 9, Class::A),
         BenchmarkConfig::new(BenchId::Is, 16, Class::A),

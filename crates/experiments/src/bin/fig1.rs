@@ -58,7 +58,11 @@ fn main() {
 
     let mut t = TextTable::new(vec!["index", "sender", "msg size (bytes)"]);
     for i in 0..SHOWN.min(senders.len()) {
-        t.push_row(vec![i.to_string(), senders[i].to_string(), sizes[i].to_string()]);
+        t.push_row(vec![
+            i.to_string(),
+            senders[i].to_string(),
+            sizes[i].to_string(),
+        ]);
     }
 
     if args.csv {

@@ -39,7 +39,12 @@ fn main() {
         .count();
 
     if args.csv {
-        let mut t = TextTable::new(vec!["index", "logical sender", "physical sender", "differs"]);
+        let mut t = TextTable::new(vec![
+            "index",
+            "logical sender",
+            "physical sender",
+            "differs",
+        ]);
         for i in 0..n {
             t.push_row(vec![
                 i.to_string(),
@@ -67,7 +72,13 @@ fn main() {
         println!("  logical : {}", fmt(&logical));
         println!("  physical: {}", fmt(&physical));
         let marks: String = (start..end)
-            .map(|i| if logical[i] != physical[i] { "^ " } else { "  " })
+            .map(|i| {
+                if logical[i] != physical[i] {
+                    "^ "
+                } else {
+                    "  "
+                }
+            })
             .collect();
         println!("            {marks}");
     }

@@ -15,7 +15,10 @@ use mpp_experiments::{accuracy_row, run_all_paper_configs, CliArgs, Level, Targe
 
 fn main() {
     let args = CliArgs::parse();
-    eprintln!("fig4: running all 19 configurations (seed {}) ...", args.seed);
+    eprintln!(
+        "fig4: running all 19 configurations (seed {}) ...",
+        args.seed
+    );
     let runs = run_all_paper_configs(args.seed);
 
     for target in [Target::Sender, Target::Size] {

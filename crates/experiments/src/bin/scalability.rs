@@ -16,8 +16,8 @@ use mpp_core::eval::TextTable;
 use mpp_experiments::{experiment_dpd_config, CliArgs, TracedRun};
 use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
 use mpp_runtime::{
-    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy,
-    MemoryModel, ProtocolCosts,
+    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy, MemoryModel,
+    ProtocolCosts,
 };
 
 fn main() {
@@ -97,7 +97,13 @@ fn memory(args: &CliArgs) {
             BufferPolicy::OnDemand,
             BufferPolicy::Predictive { depth: 5 },
         ] {
-            let out = simulate_buffers(policy, &stream, cfg.procs, 16 * 1024, &experiment_dpd_config());
+            let out = simulate_buffers(
+                policy,
+                &stream,
+                cfg.procs,
+                16 * 1024,
+                &experiment_dpd_config(),
+            );
             t.push_row(vec![
                 cfg.label(),
                 out.policy.label(),
@@ -207,8 +213,8 @@ fn end_to_end(args: &CliArgs) {
         eprintln!("  running {} twice ...", cfg.label());
         let program = mpp_nasbench::build_program(&cfg);
         let wcfg = mpp_mpisim::WorldConfig::new(cfg.procs).seed(args.seed);
-        let base = World::new(wcfg.clone(), JitterNetwork::from_config(&wcfg))
-            .run(program.as_ref());
+        let base =
+            World::new(wcfg.clone(), JitterNetwork::from_config(&wcfg)).run(program.as_ref());
         let oracled = World::new(wcfg.clone(), JitterNetwork::from_config(&wcfg))
             .with_oracle(DpdOracleFactory {
                 cfg: experiment_dpd_config(),

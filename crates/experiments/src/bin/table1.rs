@@ -12,7 +12,10 @@ use mpp_experiments::{run_all_paper_configs, CliArgs};
 
 fn main() {
     let args = CliArgs::parse();
-    eprintln!("table1: running all 19 configurations (seed {}) ...", args.seed);
+    eprintln!(
+        "table1: running all 19 configurations (seed {}) ...",
+        args.seed
+    );
     let runs = run_all_paper_configs(args.seed);
 
     let mut t = TextTable::new(vec![

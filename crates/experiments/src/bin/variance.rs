@@ -45,12 +45,7 @@ fn main() {
             }
         }
         let fmt = |xs: &[f64]| SweepStats::of(xs).map(|s| s.pct()).unwrap_or_default();
-        t.push_row(vec![
-            cfg.label(),
-            fmt(&log_s),
-            fmt(&phy_s),
-            fmt(&phy_b),
-        ]);
+        t.push_row(vec![cfg.label(), fmt(&log_s), fmt(&phy_s), fmt(&phy_b)]);
     }
 
     if args.csv {

@@ -193,13 +193,10 @@ impl CliArgs {
             match a.as_str() {
                 "--csv" => csv = true,
                 "--seed" => {
-                    seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--seed needs an integer argument");
-                            std::process::exit(2);
-                        });
+                    seed = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer argument");
+                        std::process::exit(2);
+                    });
                 }
                 other => positional.push(other.to_string()),
             }
@@ -209,6 +206,21 @@ impl CliArgs {
             seed,
             positional,
         }
+    }
+
+    /// Extracts a binary-specific `--name value` flag from the
+    /// positional leftovers, returning its value. Keeps the shared
+    /// parser ignorant of per-binary flags without each binary
+    /// re-implementing a scan.
+    pub fn take_flag(&mut self, name: &str) -> Option<String> {
+        let i = self.positional.iter().position(|a| a == name)?;
+        if i + 1 >= self.positional.len() {
+            eprintln!("{name} needs an argument");
+            std::process::exit(2);
+        }
+        let value = self.positional.remove(i + 1);
+        self.positional.remove(i);
+        Some(value)
     }
 }
 

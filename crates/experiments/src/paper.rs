@@ -19,25 +19,139 @@ pub struct PaperTable1Row {
 
 /// Table 1 of the paper, verbatim.
 pub const PAPER_TABLE1: &[PaperTable1Row] = &[
-    PaperTable1Row { label: "bt.4", p2p_msgs: 2416, coll_msgs: 9, msg_sizes: 3, senders: 3 },
-    PaperTable1Row { label: "bt.9", p2p_msgs: 3651, coll_msgs: 9, msg_sizes: 3, senders: 7 },
-    PaperTable1Row { label: "bt.16", p2p_msgs: 4826, coll_msgs: 9, msg_sizes: 3, senders: 7 },
-    PaperTable1Row { label: "bt.25", p2p_msgs: 6030, coll_msgs: 9, msg_sizes: 3, senders: 7 },
-    PaperTable1Row { label: "cg.4", p2p_msgs: 1679, coll_msgs: 0, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "cg.8", p2p_msgs: 2942, coll_msgs: 0, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "cg.16", p2p_msgs: 2942, coll_msgs: 0, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "cg.32", p2p_msgs: 4204, coll_msgs: 0, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "lu.4", p2p_msgs: 31472, coll_msgs: 18, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "lu.8", p2p_msgs: 31474, coll_msgs: 18, msg_sizes: 4, senders: 2 },
-    PaperTable1Row { label: "lu.16", p2p_msgs: 31474, coll_msgs: 18, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "lu.32", p2p_msgs: 47211, coll_msgs: 18, msg_sizes: 4, senders: 2 },
-    PaperTable1Row { label: "is.4", p2p_msgs: 11, coll_msgs: 89, msg_sizes: 3, senders: 4 },
-    PaperTable1Row { label: "is.8", p2p_msgs: 11, coll_msgs: 177, msg_sizes: 3, senders: 8 },
-    PaperTable1Row { label: "is.16", p2p_msgs: 11, coll_msgs: 353, msg_sizes: 3, senders: 16 },
-    PaperTable1Row { label: "is.32", p2p_msgs: 11, coll_msgs: 705, msg_sizes: 3, senders: 32 },
-    PaperTable1Row { label: "sw.6", p2p_msgs: 1438, coll_msgs: 36, msg_sizes: 2, senders: 3 },
-    PaperTable1Row { label: "sw.16", p2p_msgs: 949, coll_msgs: 36, msg_sizes: 2, senders: 2 },
-    PaperTable1Row { label: "sw.32", p2p_msgs: 949, coll_msgs: 36, msg_sizes: 2, senders: 2 },
+    PaperTable1Row {
+        label: "bt.4",
+        p2p_msgs: 2416,
+        coll_msgs: 9,
+        msg_sizes: 3,
+        senders: 3,
+    },
+    PaperTable1Row {
+        label: "bt.9",
+        p2p_msgs: 3651,
+        coll_msgs: 9,
+        msg_sizes: 3,
+        senders: 7,
+    },
+    PaperTable1Row {
+        label: "bt.16",
+        p2p_msgs: 4826,
+        coll_msgs: 9,
+        msg_sizes: 3,
+        senders: 7,
+    },
+    PaperTable1Row {
+        label: "bt.25",
+        p2p_msgs: 6030,
+        coll_msgs: 9,
+        msg_sizes: 3,
+        senders: 7,
+    },
+    PaperTable1Row {
+        label: "cg.4",
+        p2p_msgs: 1679,
+        coll_msgs: 0,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "cg.8",
+        p2p_msgs: 2942,
+        coll_msgs: 0,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "cg.16",
+        p2p_msgs: 2942,
+        coll_msgs: 0,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "cg.32",
+        p2p_msgs: 4204,
+        coll_msgs: 0,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "lu.4",
+        p2p_msgs: 31472,
+        coll_msgs: 18,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "lu.8",
+        p2p_msgs: 31474,
+        coll_msgs: 18,
+        msg_sizes: 4,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "lu.16",
+        p2p_msgs: 31474,
+        coll_msgs: 18,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "lu.32",
+        p2p_msgs: 47211,
+        coll_msgs: 18,
+        msg_sizes: 4,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "is.4",
+        p2p_msgs: 11,
+        coll_msgs: 89,
+        msg_sizes: 3,
+        senders: 4,
+    },
+    PaperTable1Row {
+        label: "is.8",
+        p2p_msgs: 11,
+        coll_msgs: 177,
+        msg_sizes: 3,
+        senders: 8,
+    },
+    PaperTable1Row {
+        label: "is.16",
+        p2p_msgs: 11,
+        coll_msgs: 353,
+        msg_sizes: 3,
+        senders: 16,
+    },
+    PaperTable1Row {
+        label: "is.32",
+        p2p_msgs: 11,
+        coll_msgs: 705,
+        msg_sizes: 3,
+        senders: 32,
+    },
+    PaperTable1Row {
+        label: "sw.6",
+        p2p_msgs: 1438,
+        coll_msgs: 36,
+        msg_sizes: 2,
+        senders: 3,
+    },
+    PaperTable1Row {
+        label: "sw.16",
+        p2p_msgs: 949,
+        coll_msgs: 36,
+        msg_sizes: 2,
+        senders: 2,
+    },
+    PaperTable1Row {
+        label: "sw.32",
+        p2p_msgs: 949,
+        coll_msgs: 36,
+        msg_sizes: 2,
+        senders: 2,
+    },
 ];
 
 /// Looks up the paper row for a config label.

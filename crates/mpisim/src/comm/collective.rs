@@ -482,10 +482,7 @@ mod tests {
     fn collective_traffic_is_flagged_in_traces() {
         let trace = run_on(4, AlltoallCheck);
         for r in 0..4 {
-            assert!(trace
-                .receives_of(r)
-                .iter()
-                .all(|e| e.kind.is_collective()));
+            assert!(trace.receives_of(r).iter().all(|e| e.kind.is_collective()));
         }
     }
 

@@ -168,8 +168,8 @@ impl Comm {
     /// a per-rank *systematic* skew (constant across the run) plus a
     /// per-call random component.
     pub fn compute(&mut self, ns: u64) {
-        let systematic =
-            det::unit_f64(self.cfg.seed ^ 0xFACE, &[self.rank as u64]) * self.cfg.compute_systematic;
+        let systematic = det::unit_f64(self.cfg.seed ^ 0xFACE, &[self.rank as u64])
+            * self.cfg.compute_systematic;
         let random = det::unit_f64(
             self.cfg.seed ^ 0xC0DE,
             &[self.rank as u64, self.compute_count],
@@ -357,7 +357,7 @@ impl Comm {
             w
         };
         if let Some(o) = self.oracle.as_mut() {
-            o.observe(w.src, w.bytes);
+            o.observe(w.src, w.bytes, w.tag);
         }
         let deliver = self.now.max(w.arrive) + self.cfg.recv_overhead_ns;
         self.now = deliver;
@@ -388,7 +388,8 @@ impl Comm {
     /// collectives in the same order (an MPI requirement), so the counter
     /// — and hence the tag — agrees across ranks.
     fn next_coll_tag(&mut self) -> Tag {
-        let tag = Tags::COLLECTIVE_BASE + (self.coll_count % (u32::MAX - Tags::COLLECTIVE_BASE) as u64) as Tag;
+        let tag = Tags::COLLECTIVE_BASE
+            + (self.coll_count % (u32::MAX - Tags::COLLECTIVE_BASE) as u64) as Tag;
         self.coll_count += 1;
         tag
     }

@@ -184,8 +184,16 @@ mod tests {
         let cfg2 = WorldConfig::new(4).seed(2);
         let t1 = World::new(cfg1.clone(), crate::net::JitterNetwork::from_config(&cfg1)).run(&prog);
         let t2 = World::new(cfg2.clone(), crate::net::JitterNetwork::from_config(&cfg2)).run(&prog);
-        let a: Vec<u64> = t1.receives_of(0).iter().map(|e| e.arrive.as_nanos()).collect();
-        let b: Vec<u64> = t2.receives_of(0).iter().map(|e| e.arrive.as_nanos()).collect();
+        let a: Vec<u64> = t1
+            .receives_of(0)
+            .iter()
+            .map(|e| e.arrive.as_nanos())
+            .collect();
+        let b: Vec<u64> = t2
+            .receives_of(0)
+            .iter()
+            .map(|e| e.arrive.as_nanos())
+            .collect();
         assert_ne!(a, b, "different seeds must perturb arrivals");
     }
 }

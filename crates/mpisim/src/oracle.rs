@@ -14,16 +14,18 @@
 //! measured in end-to-end virtual makespan, not just per-message cost
 //! arithmetic.
 
-use crate::message::Rank;
+use crate::message::{Rank, Tag};
 
 /// Receiver-side predictor consulted when a rendezvous-sized message is
 /// matched: did this receiver pre-allocate (and pre-grant) for it?
 ///
 /// `observe` is called for every completed delivery in logical order, so
-/// implementations see exactly the stream the paper's predictor sees.
+/// implementations see exactly the stream the paper's predictor sees —
+/// sender, size *and* tag, the three attribute streams a serving engine
+/// tracks per rank.
 pub trait ArrivalOracle: Send {
     /// Records a completed delivery at this receiver.
-    fn observe(&mut self, src: Rank, bytes: u64);
+    fn observe(&mut self, src: Rank, bytes: u64, tag: Tag);
 
     /// Whether a buffer (and an eager grant) was standing for a message
     /// of `bytes` from `src`. Called *before* `observe` for the same
@@ -44,7 +46,7 @@ pub trait OracleFactory: Send + Sync {
 pub struct PerfectOracle;
 
 impl ArrivalOracle for PerfectOracle {
-    fn observe(&mut self, _src: Rank, _bytes: u64) {}
+    fn observe(&mut self, _src: Rank, _bytes: u64, _tag: Tag) {}
     fn expects(&mut self, _src: Rank, _bytes: u64) -> bool {
         true
     }
@@ -108,7 +110,9 @@ mod tests {
         let cfg = WorldConfig::new(2).seed(1);
         let net = crate::net::JitterNetwork::from_config(&cfg);
         let base = World::new(cfg.clone(), net.clone()).run(&BigPipeline);
-        let oracled = World::new(cfg, net).with_oracle(PerfectOracle).run(&BigPipeline);
+        let oracled = World::new(cfg, net)
+            .with_oracle(PerfectOracle)
+            .run(&BigPipeline);
         assert_eq!(base.total_receives(), oracled.total_receives());
         let a = base.receives_of(1);
         let b = oracled.receives_of(1);

@@ -96,7 +96,11 @@ pub fn from_csv(csv: &str, nprocs: usize) -> Result<Trace, String> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 9 {
-            return Err(format!("line {}: expected 9 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 9 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse = |i: usize| -> Result<u64, String> {
             fields[i]

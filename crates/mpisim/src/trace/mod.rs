@@ -256,7 +256,13 @@ mod tests {
         // arrival: B, A, C.
         let events = vec![
             ev(1, 100, MessageKind::PointToPoint, 50, 0),
-            ev(2, 200, MessageKind::Collective(CollectiveKind::Bcast), 40, 1),
+            ev(
+                2,
+                200,
+                MessageKind::Collective(CollectiveKind::Bcast),
+                40,
+                1,
+            ),
             ev(1, 100, MessageKind::PointToPoint, 60, 2),
         ];
         Trace::new(

@@ -43,7 +43,10 @@ pub struct Cg {
 impl Cg {
     /// Creates the skeleton for a power-of-two process count.
     pub fn new(procs: usize, class: Class) -> Self {
-        assert!(procs.is_power_of_two(), "CG needs a power-of-two process count");
+        assert!(
+            procs.is_power_of_two(),
+            "CG needs a power-of-two process count"
+        );
         let log2p = procs.trailing_zeros() as usize;
         // npcols ≥ nprows, both powers of two (NPB's setup_proc_info).
         let npcols = 1usize << log2p.div_ceil(2);

@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn labels_use_paper_notation() {
-        assert_eq!(BenchmarkConfig::new(BenchId::Bt, 9, Class::A).label(), "bt.9");
+        assert_eq!(
+            BenchmarkConfig::new(BenchId::Bt, 9, Class::A).label(),
+            "bt.9"
+        );
         assert_eq!(
             BenchmarkConfig::new(BenchId::Sweep3d, 6, Class::A).label(),
             "sw.6"
@@ -141,7 +144,13 @@ mod tests {
 
     #[test]
     fn cg_traces_off_diagonal_rank() {
-        assert_eq!(BenchmarkConfig::new(BenchId::Cg, 4, Class::A).traced_rank(), 2);
-        assert_eq!(BenchmarkConfig::new(BenchId::Bt, 4, Class::A).traced_rank(), 3);
+        assert_eq!(
+            BenchmarkConfig::new(BenchId::Cg, 4, Class::A).traced_rank(),
+            2
+        );
+        assert_eq!(
+            BenchmarkConfig::new(BenchId::Bt, 4, Class::A).traced_rank(),
+            3
+        );
     }
 }

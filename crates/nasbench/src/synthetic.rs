@@ -77,7 +77,9 @@ pub fn periodic_with_noise(
 pub fn random(alphabet: u64, len: usize, seed: u64) -> SyntheticStream {
     assert!(alphabet > 0);
     SyntheticStream {
-        values: (0..len as u64).map(|i| det::mix(seed, &[i]) % alphabet).collect(),
+        values: (0..len as u64)
+            .map(|i| det::mix(seed, &[i]) % alphabet)
+            .collect(),
         label: format!("random(k={alphabet})"),
     }
 }

@@ -87,7 +87,10 @@ fn class_b_scales_up_sizes_but_keeps_structure() {
     let a = mpp_nasbench::lu::Lu::new(16, Class::A);
     let b = mpp_nasbench::lu::Lu::new(16, Class::B);
     assert_eq!(a.grid(), b.grid());
-    assert_eq!(a.receives_per_iter(3) / (64 - 2), b.receives_per_iter(3) / (102 - 2));
+    assert_eq!(
+        a.receives_per_iter(3) / (64 - 2),
+        b.receives_per_iter(3) / (102 - 2)
+    );
 
     let bt_a = mpp_nasbench::bt::Bt::new(9, Class::A);
     let bt_b = mpp_nasbench::bt::Bt::new(9, Class::B);
@@ -104,7 +107,10 @@ fn class_b_runs_end_to_end_on_a_small_world() {
     let rank = cfg.traced_rank();
     // 75 outer iterations + warm-up, 4 receives per inner iteration band.
     let n = trace.receives_of(rank).len();
-    assert!(n > 7000, "cg.4 class B should be much longer than class A: {n}");
+    assert!(
+        n > 7000,
+        "cg.4 class B should be much longer than class A: {n}"
+    );
 }
 
 #[test]

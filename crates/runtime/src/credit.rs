@@ -217,13 +217,7 @@ mod tests {
     #[test]
     fn always_ask_is_safe_and_slow() {
         let s = incast(64, 1024, 5);
-        let out = simulate_credits(
-            CreditPolicy::AlwaysAsk,
-            &s,
-            64,
-            1024,
-            &DpdConfig::default(),
-        );
+        let out = simulate_credits(CreditPolicy::AlwaysAsk, &s, 64, 1024, &DpdConfig::default());
         assert_eq!(out.overflow_bytes, 0);
         assert_eq!(out.eager, 0);
         assert_eq!(out.asked, 320);
@@ -253,12 +247,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "burst must be positive")]
     fn zero_burst_panics() {
-        let _ = simulate_credits(
-            CreditPolicy::AlwaysAsk,
-            &[],
-            0,
-            1,
-            &DpdConfig::default(),
-        );
+        let _ = simulate_credits(CreditPolicy::AlwaysAsk, &[], 0, 1, &DpdConfig::default());
     }
 }

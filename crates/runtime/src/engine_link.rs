@@ -1,0 +1,333 @@
+//! Serving the §2 policies from the `mpp-engine` prediction engine.
+//!
+//! The per-rank [`PredictionAdvisor`](crate::advisor::PredictionAdvisor)
+//! owns two private predictors; fine for one process, wrong shape for a
+//! machine serving every rank of every job. This module rewires the
+//! runtime onto the shared engine:
+//!
+//! * [`EngineHandle`] — cloneable, thread-safe handle to one
+//!   [`Engine`]; every simulated rank (each running on its own OS
+//!   thread in `mpp-mpisim`) feeds and queries the same engine.
+//! * [`EngineAdvisor`] — the advisor interface backed by engine
+//!   forecasts: `observe` stages sender/size/tag observations,
+//!   `advise` returns the same [`Advice`] type the §2 policies
+//!   already consume.
+//! * [`EngineOracle`] / [`EngineOracleFactory`] — the §2.3 arrival
+//!   oracle served by the engine. Observations are staged locally and
+//!   flushed through `observe_batch` exactly at re-plan boundaries, so
+//!   the engine sees each rank's stream in logical order while lock
+//!   traffic stays one round-trip per `depth` deliveries. Because
+//!   forecasts are only read at re-plan time, this batching produces
+//!   *identical* grants to feeding the engine one event at a time —
+//!   and identical behaviour to the local [`DpdOracle`]
+//!   (`tests/engine_oracle.rs` pins both).
+
+use crate::advisor::Advice;
+use crate::oracle::GrantBook;
+use mpp_core::dpd::DpdConfig;
+use mpp_engine::{Engine, EngineConfig, EngineMetrics, Observation, RankId, StreamKey, StreamKind};
+use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
+use std::sync::{Arc, Mutex};
+
+/// Cloneable handle to a shared prediction engine.
+#[derive(Clone)]
+pub struct EngineHandle {
+    inner: Arc<Mutex<Engine>>,
+}
+
+impl EngineHandle {
+    /// Wraps `engine` for shared use.
+    pub fn new(engine: Engine) -> Self {
+        EngineHandle {
+            inner: Arc::new(Mutex::new(engine)),
+        }
+    }
+
+    /// Builds an engine from `shards` and a detector config, wrapped.
+    pub fn with_config(shards: usize, dpd: DpdConfig) -> Self {
+        Self::new(Engine::new(EngineConfig {
+            shards,
+            dpd,
+            ..EngineConfig::default()
+        }))
+    }
+
+    /// Runs `f` with exclusive access to the engine.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        let mut guard = self.inner.lock().expect("engine lock poisoned");
+        f(&mut guard)
+    }
+
+    /// Like [`EngineHandle::with`], but returns `None` instead of
+    /// panicking when the lock is poisoned — for destructors and other
+    /// paths that must not double-panic.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> Option<R> {
+        self.inner.lock().ok().map(|mut guard| f(&mut guard))
+    }
+
+    /// Feeds one delivered message (all three attribute streams).
+    pub fn observe_message(&self, rank: RankId, src: u64, bytes: u64, tag: u64) {
+        self.with(|e| {
+            e.observe(StreamKey::new(rank, StreamKind::Sender), src);
+            e.observe(StreamKey::new(rank, StreamKind::Size), bytes);
+            e.observe(StreamKey::new(rank, StreamKind::Tag), tag);
+        });
+    }
+
+    /// Feeds one delivered message whose tag is unknown (sender and
+    /// size streams only — no fabricated tag symbol).
+    pub fn observe_pair(&self, rank: RankId, src: u64, bytes: u64) {
+        self.with(|e| {
+            e.observe(StreamKey::new(rank, StreamKind::Sender), src);
+            e.observe(StreamKey::new(rank, StreamKind::Size), bytes);
+        });
+    }
+
+    /// Forecast of the next `depth` (sender, size) pairs for `rank`,
+    /// in the runtime's [`Advice`] shape.
+    pub fn advise(&self, rank: RankId, depth: usize) -> Advice {
+        let mut messages = Vec::with_capacity(depth);
+        self.with(|e| e.forecast_messages(rank, depth, &mut messages));
+        Advice { messages }
+    }
+
+    /// Per-shard metrics snapshot of the underlying engine.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.with(|e| e.metrics())
+    }
+}
+
+/// Engine-backed replacement for `PredictionAdvisor`: same `observe` /
+/// `advise` contract, predictions served by the shared engine.
+pub struct EngineAdvisor {
+    handle: EngineHandle,
+    rank: RankId,
+    depth: usize,
+}
+
+impl EngineAdvisor {
+    /// Creates an advisor for `rank` forecasting `depth` ahead.
+    pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
+        assert!(depth > 0, "advice depth must be positive");
+        EngineAdvisor {
+            handle,
+            rank,
+            depth,
+        }
+    }
+
+    /// Records one delivered message with unknown tag; only the sender
+    /// and size streams are fed (fabricating a constant tag would
+    /// inflate the engine's stream count and hit-rate metrics).
+    pub fn observe(&mut self, sender: u64, size: u64) {
+        self.handle.observe_pair(self.rank, sender, size);
+    }
+
+    /// Records one delivered message including its tag.
+    pub fn observe_tagged(&mut self, sender: u64, size: u64, tag: u64) {
+        self.handle.observe_message(self.rank, sender, size, tag);
+    }
+
+    /// Forecast for the next `depth` messages.
+    pub fn advise(&self) -> Advice {
+        self.handle.advise(self.rank, self.depth)
+    }
+
+    /// The configured advice depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// §2.3 arrival oracle served by the shared engine.
+pub struct EngineOracle {
+    handle: EngineHandle,
+    rank: RankId,
+    depth: usize,
+    until_replan: usize,
+    /// Observations staged since the last flush (3 per delivery).
+    staged: Vec<Observation>,
+    /// Forecast scratch, reused every re-plan.
+    forecast: Vec<(Option<u64>, Option<u64>)>,
+    grants: GrantBook,
+}
+
+impl EngineOracle {
+    /// Creates the oracle for `rank` with forecast depth `depth`.
+    pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
+        assert!(depth > 0, "forecast depth must be positive");
+        EngineOracle {
+            handle,
+            rank,
+            depth,
+            until_replan: 0,
+            staged: Vec::with_capacity(3 * depth),
+            forecast: Vec::with_capacity(depth),
+            grants: GrantBook::new(),
+        }
+    }
+
+    fn flush_and_replan(&mut self) {
+        let rank = self.rank;
+        let depth = self.depth;
+        let staged = &self.staged;
+        let forecast = &mut self.forecast;
+        self.handle.with(|e| {
+            e.observe_batch(staged);
+            e.forecast_messages(rank, depth, forecast);
+        });
+        self.staged.clear();
+        self.grants.refill_pairs(&self.forecast);
+        self.until_replan = self.depth;
+    }
+}
+
+impl Drop for EngineOracle {
+    /// Flushes deliveries staged since the last re-plan, so the engine's
+    /// ingest counters match the trace even when a program ends
+    /// mid-window. Skipped while unwinding (and tolerant of a poisoned
+    /// lock): a best-effort counter flush must never escalate a rank
+    /// panic into a double-panic abort.
+    fn drop(&mut self) {
+        if self.staged.is_empty() || std::thread::panicking() {
+            return;
+        }
+        let staged = &self.staged;
+        self.handle.try_with(|e| e.observe_batch(staged));
+        self.staged.clear();
+    }
+}
+
+impl ArrivalOracle for EngineOracle {
+    fn observe(&mut self, src: Rank, bytes: u64, tag: Tag) {
+        self.staged.push(Observation::new(
+            StreamKey::new(self.rank, StreamKind::Sender),
+            src as u64,
+        ));
+        self.staged.push(Observation::new(
+            StreamKey::new(self.rank, StreamKind::Size),
+            bytes,
+        ));
+        self.staged.push(Observation::new(
+            StreamKey::new(self.rank, StreamKind::Tag),
+            u64::from(tag),
+        ));
+        if self.until_replan == 0 {
+            self.flush_and_replan();
+        }
+        self.until_replan -= 1;
+    }
+
+    fn expects(&mut self, src: Rank, bytes: u64) -> bool {
+        self.grants.consume(src as u64, bytes)
+    }
+}
+
+/// Factory wiring every rank of a [`World`](mpp_mpisim::World) to one
+/// shared engine: `World::with_oracle(EngineOracleFactory::new(..))`.
+#[derive(Clone)]
+pub struct EngineOracleFactory {
+    handle: EngineHandle,
+    depth: usize,
+}
+
+impl EngineOracleFactory {
+    /// Creates a factory serving oracles from `handle`.
+    pub fn new(handle: EngineHandle, depth: usize) -> Self {
+        assert!(depth > 0, "forecast depth must be positive");
+        EngineOracleFactory { handle, depth }
+    }
+
+    /// The shared engine handle (for post-run metrics inspection).
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+}
+
+impl OracleFactory for EngineOracleFactory {
+    fn build(&self, rank: Rank) -> Box<dyn ArrivalOracle> {
+        Box::new(EngineOracle::new(
+            self.handle.clone(),
+            u32::try_from(rank).expect("rank fits u32"),
+            self.depth,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advisor_matches_local_advisor_on_periodic_streams() {
+        use crate::advisor::PredictionAdvisor;
+        let handle = EngineHandle::with_config(4, DpdConfig::default());
+        let mut local = PredictionAdvisor::new(DpdConfig::default(), 4);
+        let mut served = EngineAdvisor::new(handle, 7, 4);
+        for _ in 0..20 {
+            for (s, b) in [(1u64, 100u64), (2, 200), (1, 100), (3, 800)] {
+                local.observe(s, b);
+                served.observe(s, b);
+            }
+        }
+        assert_eq!(local.advise().messages, served.advise().messages);
+    }
+
+    #[test]
+    fn tagless_advisor_does_not_fabricate_a_tag_stream() {
+        let handle = EngineHandle::with_config(1, DpdConfig::default());
+        let mut served = EngineAdvisor::new(handle.clone(), 0, 2);
+        for i in 0..10u64 {
+            served.observe(i % 2, 64);
+        }
+        assert_eq!(
+            handle.with(|e| e.stream_count()),
+            2,
+            "sender and size only — no constant tag stream"
+        );
+        assert_eq!(handle.metrics().total().events_ingested, 20);
+    }
+
+    #[test]
+    fn oracle_grants_after_periodic_training() {
+        let handle = EngineHandle::with_config(2, DpdConfig::default());
+        let mut o = EngineOracle::new(handle, 0, 4);
+        for _ in 0..30 {
+            for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
+                o.observe(s, b, 5);
+            }
+        }
+        assert!(o.expects(1, 100_000));
+        assert!(o.expects(1, 50_000), "second grant, smaller message");
+        assert!(!o.expects(1, 100_000), "two grants per plan");
+    }
+
+    #[test]
+    fn ranks_share_one_engine_but_not_streams() {
+        let handle = EngineHandle::with_config(4, DpdConfig::default());
+        let f = EngineOracleFactory::new(handle.clone(), 3);
+        let mut a = f.build(0);
+        let mut b = f.build(1);
+        for _ in 0..30 {
+            a.observe(5, 70_000, 1);
+            b.observe(9, 10, 2);
+        }
+        assert!(a.expects(5, 70_000));
+        assert!(!b.expects(5, 70_000), "rank 1 never saw sender 5");
+        // Both ranks' streams are resident in the one engine.
+        let streams = handle.with(|e| e.stream_count());
+        assert_eq!(streams, 6, "2 ranks x 3 attribute streams");
+    }
+
+    #[test]
+    fn engine_serves_tag_streams_too() {
+        let handle = EngineHandle::with_config(1, DpdConfig::default());
+        let f = EngineOracleFactory::new(handle.clone(), 2);
+        let mut o = f.build(3);
+        for i in 0..40u32 {
+            o.observe(1, 8, i % 4);
+        }
+        let key = StreamKey::new(3, StreamKind::Tag);
+        assert_eq!(handle.with(|e| e.period_of(key)), Some(4));
+    }
+}

@@ -21,11 +21,14 @@
 //!   message travels like a short one.
 //!
 //! [`advisor`] adapts the `mpp-core` predictors into the (sender, size)
-//! advice these policies consume.
+//! advice these policies consume; [`engine_link`] serves the same
+//! advice from the shared `mpp-engine` prediction engine, one engine
+//! for every rank of a simulated world.
 
 pub mod advisor;
 pub mod buffer;
 pub mod credit;
+pub mod engine_link;
 pub mod memory;
 pub mod oracle;
 pub mod policy;
@@ -34,7 +37,8 @@ pub mod protocol;
 pub use advisor::{Advice, PredictionAdvisor};
 pub use buffer::BufferPool;
 pub use credit::{simulate_credits, CreditOutcome, CreditPolicy};
+pub use engine_link::{EngineAdvisor, EngineHandle, EngineOracle, EngineOracleFactory};
 pub use memory::MemoryModel;
-pub use oracle::{DpdOracle, DpdOracleFactory};
+pub use oracle::{DpdOracle, DpdOracleFactory, GrantBook};
 pub use policy::{simulate_buffers, BufferOutcome, BufferPolicy};
 pub use protocol::{simulate_protocol, ProtocolCosts, ProtocolOutcome, SendMode};

@@ -7,17 +7,75 @@
 //! outstanding grant skips the handshake. Grants are consumed one per
 //! message, so a single forecast cannot absolve repeated arrivals — the
 //! same multiset discipline as the §5.3 set evaluation.
+//!
+//! The grant bookkeeping lives in [`GrantBook`] so the engine-backed
+//! oracle ([`crate::engine_link::EngineOracle`]) shares it verbatim:
+//! the two oracles differ only in *where* predictions come from.
 
-use crate::advisor::PredictionAdvisor;
+use crate::advisor::{Advice, PredictionAdvisor};
 use mpp_core::dpd::DpdConfig;
-use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank};
+use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
 use std::collections::HashMap;
+
+/// Outstanding pre-allocation grants: sender → granted sizes (multiset).
+///
+/// A grant covers a message when its pre-allocated buffer was at least
+/// as large as the arrival; each grant absolves exactly one message.
+#[derive(Debug, Default, Clone)]
+pub struct GrantBook {
+    grants: HashMap<u64, Vec<u64>>,
+}
+
+impl GrantBook {
+    /// Creates an empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces all grants with the (sender, size) pairs of `forecast`
+    /// that are fully specified.
+    pub fn refill(&mut self, forecast: &Advice) {
+        self.refill_pairs(&forecast.messages);
+    }
+
+    /// [`GrantBook::refill`] over raw forecast pairs (lets callers keep
+    /// their scratch buffers).
+    pub fn refill_pairs(&mut self, pairs: &[(Option<u64>, Option<u64>)]) {
+        self.grants.clear();
+        for &(sender, size) in pairs {
+            if let (Some(s), Some(b)) = (sender, size) {
+                self.grants.entry(s).or_default().push(b);
+            }
+        }
+    }
+
+    /// Consumes a grant covering a `bytes`-sized message from `src`,
+    /// returning whether one was standing.
+    pub fn consume(&mut self, src: u64, bytes: u64) -> bool {
+        let Some(sizes) = self.grants.get_mut(&src) else {
+            return false;
+        };
+        if let Some(pos) = sizes.iter().position(|&b| b >= bytes) {
+            sizes.swap_remove(pos);
+            if sizes.is_empty() {
+                self.grants.remove(&src);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of outstanding grants across all senders.
+    pub fn outstanding(&self) -> usize {
+        self.grants.values().map(Vec::len).sum()
+    }
+}
 
 /// Per-rank DPD oracle.
 pub struct DpdOracle {
     advisor: PredictionAdvisor,
-    /// Outstanding grants: sender → granted sizes (multiset).
-    grants: HashMap<u64, Vec<u64>>,
+    grants: GrantBook,
     /// Deliveries until the next re-plan.
     until_replan: usize,
     depth: usize,
@@ -28,25 +86,22 @@ impl DpdOracle {
     pub fn new(cfg: DpdConfig, depth: usize) -> Self {
         DpdOracle {
             advisor: PredictionAdvisor::new(cfg, depth),
-            grants: HashMap::new(),
+            grants: GrantBook::new(),
             until_replan: 0,
             depth,
         }
     }
 
     fn replan(&mut self) {
-        self.grants.clear();
-        for &(sender, size) in &self.advisor.advise().messages {
-            if let (Some(s), Some(b)) = (sender, size) {
-                self.grants.entry(s).or_default().push(b);
-            }
-        }
+        self.grants.refill(&self.advisor.advise());
         self.until_replan = self.depth;
     }
 }
 
 impl ArrivalOracle for DpdOracle {
-    fn observe(&mut self, src: Rank, bytes: u64) {
+    fn observe(&mut self, src: Rank, bytes: u64, _tag: Tag) {
+        // The local advisor tracks sender/size only; the engine-backed
+        // oracle additionally serves the tag stream.
         self.advisor.observe(src as u64, bytes);
         if self.until_replan == 0 {
             self.replan();
@@ -55,20 +110,7 @@ impl ArrivalOracle for DpdOracle {
     }
 
     fn expects(&mut self, src: Rank, bytes: u64) -> bool {
-        let Some(sizes) = self.grants.get_mut(&(src as u64)) else {
-            return false;
-        };
-        // A grant covers the message when the pre-allocated buffer was at
-        // least as large; consume it.
-        if let Some(pos) = sizes.iter().position(|&b| b >= bytes) {
-            sizes.swap_remove(pos);
-            if sizes.is_empty() {
-                self.grants.remove(&(src as u64));
-            }
-            true
-        } else {
-            false
-        }
+        self.grants.consume(src as u64, bytes)
     }
 }
 
@@ -97,7 +139,7 @@ mod tests {
             for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
                 // Warm through the trait path: expects then observe.
                 let _ = o.expects(s, b);
-                o.observe(s, b);
+                o.observe(s, b, 0);
             }
         }
         o
@@ -116,7 +158,7 @@ mod tests {
         let mut o = DpdOracle::new(DpdConfig::default(), 4);
         for _ in 0..30 {
             for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
-                o.observe(s, b);
+                o.observe(s, b, 0);
             }
         }
         // Sender 1 appears twice per 4-message plan.
@@ -155,8 +197,26 @@ mod tests {
         };
         let mut a = f.build(0);
         let b = f.build(1);
-        a.observe(1, 10);
+        a.observe(1, 10, 0);
         // No shared state to assert on directly; just exercise both.
         drop(b);
+    }
+
+    #[test]
+    fn grant_book_multiset_discipline() {
+        let mut book = GrantBook::new();
+        book.refill(&Advice {
+            messages: vec![
+                (Some(1), Some(100)),
+                (Some(1), Some(500)),
+                (Some(2), None),
+                (None, Some(9)),
+            ],
+        });
+        assert_eq!(book.outstanding(), 2, "only fully specified pairs grant");
+        assert!(book.consume(1, 400), "500-byte grant covers 400 bytes");
+        assert!(book.consume(1, 100));
+        assert!(!book.consume(1, 1), "multiset exhausted");
+        assert!(!book.consume(2, 1), "size-less forecast grants nothing");
     }
 }

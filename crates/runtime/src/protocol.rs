@@ -51,7 +51,8 @@ pub enum SendMode {
 impl ProtocolCosts {
     /// End-to-end time for one message under `mode`.
     pub fn message_ns(&self, bytes: u64, mode: SendMode) -> u64 {
-        let base = 2 * self.overhead_ns + self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64;
+        let base =
+            2 * self.overhead_ns + self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64;
         match mode {
             SendMode::Eager => base,
             SendMode::Rendezvous => base + 2 * (self.overhead_ns + self.latency_ns),
@@ -188,16 +189,20 @@ mod tests {
                 }
             })
             .collect();
-        let out = simulate_protocol(
-            &ProtocolCosts::default(),
-            &stream,
-            5,
-            &DpdConfig::default(),
+        let out = simulate_protocol(&ProtocolCosts::default(), &stream, 5, &DpdConfig::default());
+        assert!(
+            out.hits > out.misses,
+            "hits {} misses {}",
+            out.hits,
+            out.misses
         );
-        assert!(out.hits > out.misses, "hits {} misses {}", out.hits, out.misses);
         assert!(out.predicted_ns < out.baseline_ns);
         assert!(out.predicted_ns >= out.oracle_ns);
-        assert!(out.gap_recovered() > 0.8, "recovered {}", out.gap_recovered());
+        assert!(
+            out.gap_recovered() > 0.8,
+            "recovered {}",
+            out.gap_recovered()
+        );
     }
 
     #[test]
@@ -212,25 +217,19 @@ mod tests {
                 (h % 16, (h % 7 + 1) * 32 * 1024)
             })
             .collect();
-        let out = simulate_protocol(
-            &ProtocolCosts::default(),
-            &stream,
-            5,
-            &DpdConfig::default(),
-        );
+        let out = simulate_protocol(&ProtocolCosts::default(), &stream, 5, &DpdConfig::default());
         // Nothing reliably predicted ⇒ predicted cost ≈ baseline.
-        assert!(out.gap_recovered() < 0.3, "recovered {}", out.gap_recovered());
+        assert!(
+            out.gap_recovered() < 0.3,
+            "recovered {}",
+            out.gap_recovered()
+        );
     }
 
     #[test]
     fn all_small_streams_have_no_gap() {
         let stream: Vec<(u64, u64)> = (0..100).map(|_| (1u64, 512u64)).collect();
-        let out = simulate_protocol(
-            &ProtocolCosts::default(),
-            &stream,
-            3,
-            &DpdConfig::default(),
-        );
+        let out = simulate_protocol(&ProtocolCosts::default(), &stream, 3, &DpdConfig::default());
         assert_eq!(out.baseline_ns, out.oracle_ns);
         assert_eq!(out.predicted_ns, out.baseline_ns);
         assert_eq!(out.gap_recovered(), 1.0);

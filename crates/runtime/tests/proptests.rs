@@ -3,8 +3,8 @@
 
 use mpp_core::dpd::DpdConfig;
 use mpp_runtime::{
-    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy,
-    MemoryModel, ProtocolCosts, SendMode,
+    simulate_buffers, simulate_credits, simulate_protocol, BufferPolicy, CreditPolicy, MemoryModel,
+    ProtocolCosts, SendMode,
 };
 use proptest::prelude::*;
 

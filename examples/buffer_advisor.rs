@@ -19,10 +19,15 @@ use mpi_predict::sim::{StreamFilter, World, WorldConfig};
 fn main() {
     // The machine-scale arithmetic first (the Blue Gene example).
     let model = MemoryModel::default();
-    println!("all-pairs eager buffers at 10 000 nodes: {:.0} MB per process", model.all_pairs_bytes(10_000) as f64 / (1024.0 * 1024.0));
-    println!("with predicted partner sets (6 + 2 spare): {:.1} KB per process — {:.0}x less\n",
+    println!(
+        "all-pairs eager buffers at 10 000 nodes: {:.0} MB per process",
+        model.all_pairs_bytes(10_000) as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "with predicted partner sets (6 + 2 spare): {:.1} KB per process — {:.0}x less\n",
         model.predictive_bytes(6, 2) as f64 / 1024.0,
-        model.reduction_factor(10_000, 6, 2));
+        model.reduction_factor(10_000, 6, 2)
+    );
 
     // Now a real workload: Sweep3D on 16 ranks.
     let wcfg = WorldConfig::new(16).seed(7);
@@ -32,7 +37,11 @@ fn main() {
     let trace = World::new(wcfg, net).run(&sw);
     let stream: Vec<(u64, u64)> = {
         let s = trace.physical_stream(3, StreamFilter::all());
-        s.senders.iter().zip(&s.sizes).map(|(&a, &b)| (a, b)).collect()
+        s.senders
+            .iter()
+            .zip(&s.sizes)
+            .map(|(&a, &b)| (a, b))
+            .collect()
     };
     println!("traced rank received {} messages\n", stream.len());
 

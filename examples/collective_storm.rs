@@ -17,7 +17,11 @@ use mpi_predict::sim::net::JitterNetwork;
 use mpi_predict::sim::{StreamFilter, World, WorldConfig};
 
 fn report(label: &str, stream: &[(u64, u64)], burst: usize, budget: u64, dpd: &DpdConfig) {
-    println!("\n{label}: {} messages, burst {burst}, budget {} KB", stream.len(), budget / 1024);
+    println!(
+        "\n{label}: {} messages, burst {burst}, budget {} KB",
+        stream.len(),
+        budget / 1024
+    );
     println!(
         "  {:<20} {:>8} {:>8} {:>12} {:>10}",
         "policy", "eager%", "asked%", "overflow KB", "peak KB"

@@ -18,8 +18,14 @@ use mpi_predict::core::stream::exact_period;
 fn main() {
     // The sender pattern of BT.9's process 3 (Figure 1a): period 18.
     let pattern: [u64; 18] = [5, 4, 0, 6, 2, 7, 5, 5, 4, 4, 0, 0, 6, 6, 2, 2, 7, 7];
-    let stream: Vec<u64> = (0..50 * pattern.len()).map(|i| pattern[i % pattern.len()]).collect();
-    println!("stream: {} symbols, true period {:?}", stream.len(), exact_period(&pattern));
+    let stream: Vec<u64> = (0..50 * pattern.len())
+        .map(|i| pattern[i % pattern.len()])
+        .collect();
+    println!(
+        "stream: {} symbols, true period {:?}",
+        stream.len(),
+        exact_period(&pattern)
+    );
 
     // 1. Online detection.
     let mut predictor = DpdPredictor::new(DpdConfig::default());
@@ -40,7 +46,9 @@ fn main() {
     //    +1 … +5 experiments.
     let next5 = predictor.predict_next(5);
     println!("next five predicted senders: {next5:?}");
-    let expect: Vec<u64> = (0..5).map(|h| pattern[(stream.len() + h) % pattern.len()]).collect();
+    let expect: Vec<u64> = (0..5)
+        .map(|h| pattern[(stream.len() + h) % pattern.len()])
+        .collect();
     println!("actual continuation:         {expect:?}");
     assert_eq!(next5.into_iter().flatten().collect::<Vec<_>>(), expect);
 

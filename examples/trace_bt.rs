@@ -48,7 +48,10 @@ fn main() {
         evidence_factor: 0.125,
         ..DpdConfig::default()
     };
-    for (name, senders) in [("logical", &logical.senders), ("physical", &physical.senders)] {
+    for (name, senders) in [
+        ("logical", &logical.senders),
+        ("physical", &physical.senders),
+    ] {
         let mut ev = StreamEvaluator::new(DpdPredictor::new(dpd.clone()), 5);
         ev.feed_stream(senders);
         let accs: Vec<String> = (1..=5)

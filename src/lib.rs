@@ -5,16 +5,22 @@
 //! API so examples and downstream users need a single dependency:
 //!
 //! * [`core`] — DPD periodicity detection, predictors, evaluation.
+//! * [`engine`] — sharded multi-stream prediction serving engine
+//!   (batched zero-allocation observe/predict over per-rank
+//!   sender/size/tag streams).
 //! * [`sim`] — deterministic MPI simulator with logical and
 //!   physical trace capture.
 //! * [`bench`](mod@bench) — NAS BT/CG/LU/IS and Sweep3D communication
 //!   skeletons.
 //! * [`runtime`] — prediction-driven buffer / credit /
-//!   protocol policies from §2 of the paper.
+//!   protocol policies from §2 of the paper, including the
+//!   engine-backed arrival oracle.
 //!
-//! See `examples/quickstart.rs` for a three-minute tour.
+//! See `examples/quickstart.rs` for a three-minute tour and
+//! `examples/engine_replay.rs` for the serving layer.
 
 pub use mpp_core as core;
+pub use mpp_engine as engine;
 pub use mpp_mpisim as sim;
 pub use mpp_nasbench as bench;
 pub use mpp_runtime as runtime;
@@ -25,3 +31,5 @@ pub use mpp_core::{
     predictors::{Predictor, PredictorKind},
     stream::{Symbol, SymbolMap},
 };
+pub use mpp_engine::{Engine, EngineConfig, Observation, Query, StreamKey, StreamKind};
+pub use mpp_runtime::{EngineHandle, EngineOracleFactory};

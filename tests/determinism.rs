@@ -12,13 +12,25 @@ fn run(id: BenchId, procs: usize, seed: u64) -> TracedRun {
 
 #[test]
 fn same_seed_gives_bit_identical_streams() {
-    for id in [BenchId::Bt, BenchId::Cg, BenchId::Lu, BenchId::Is, BenchId::Sweep3d] {
+    for id in [
+        BenchId::Bt,
+        BenchId::Cg,
+        BenchId::Lu,
+        BenchId::Is,
+        BenchId::Sweep3d,
+    ] {
         let procs = if id == BenchId::Bt { 9 } else { 8 };
         let a = run(id, procs, 42);
         let b = run(id, procs, 42);
-        assert_eq!(a.logical.senders, b.logical.senders, "{id:?} logical senders");
+        assert_eq!(
+            a.logical.senders, b.logical.senders,
+            "{id:?} logical senders"
+        );
         assert_eq!(a.logical.sizes, b.logical.sizes, "{id:?} logical sizes");
-        assert_eq!(a.physical.senders, b.physical.senders, "{id:?} physical senders");
+        assert_eq!(
+            a.physical.senders, b.physical.senders,
+            "{id:?} physical senders"
+        );
         assert_eq!(a.physical.sizes, b.physical.sizes, "{id:?} physical sizes");
     }
 }

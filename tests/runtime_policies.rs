@@ -61,7 +61,10 @@ fn predictive_credits_prevent_overflow_on_is() {
     let budget = 8 * 1024;
     let eager = simulate_credits(CreditPolicy::UnsolicitedEager, &short, 16, budget, &dpd);
     let credit = simulate_credits(CreditPolicy::PredictiveCredits, &short, 16, budget, &dpd);
-    assert!(eager.overflow_bytes > 0, "the storm must overrun the budget");
+    assert!(
+        eager.overflow_bytes > 0,
+        "the storm must overrun the budget"
+    );
     assert_eq!(credit.overflow_bytes, 0, "credits must bound memory");
     assert!(credit.peak_bytes <= budget);
     assert!(credit.eager > 0, "prediction keeps part of the fast path");
@@ -70,8 +73,16 @@ fn predictive_credits_prevent_overflow_on_is() {
 #[test]
 fn predicted_preallocation_recovers_rendezvous_gap_on_cg() {
     let (_, stream) = arrival_stream(BenchId::Cg, 8, Class::A);
-    let out = simulate_protocol(&ProtocolCosts::default(), &stream, 5, &experiment_dpd_config());
-    assert!(out.hits + out.misses > 0, "cg.8 has rendezvous-sized messages");
+    let out = simulate_protocol(
+        &ProtocolCosts::default(),
+        &stream,
+        5,
+        &experiment_dpd_config(),
+    );
+    assert!(
+        out.hits + out.misses > 0,
+        "cg.8 has rendezvous-sized messages"
+    );
     assert!(out.predicted_ns <= out.baseline_ns);
     assert!(out.predicted_ns >= out.oracle_ns);
     assert!(

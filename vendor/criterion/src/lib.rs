@@ -1,0 +1,326 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! implements the benchmark-harness surface the `mpp-bench` crate uses:
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`] and throughput annotation, the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the plain and
+//! the `name/config/targets` forms), and [`black_box`].
+//!
+//! Statistics are deliberately simple: after a warm-up phase each
+//! benchmark is sampled `sample_size` times, each sample timing a batch
+//! sized so one sample lasts roughly `measurement_time / sample_size`,
+//! and the mean / min per-iteration time is reported on stdout. There
+//! are no HTML reports, no outlier analysis, and no saved baselines —
+//! numbers land on stdout and callers that want machine-readable output
+//! (the engine throughput bench) write their own JSON.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Duration of the untimed warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the timed phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no cleanup needed).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode<'a>,
+}
+
+enum Mode<'a> {
+    /// Calibration: count how many iterations fit in the probe window.
+    Calibrate { iters: u64, deadline: Instant },
+    /// Measurement: run exactly `iters` iterations, record elapsed time.
+    Measure {
+        iters: u64,
+        elapsed: &'a mut Duration,
+    },
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::Calibrate { iters, deadline } => {
+                *iters = 0;
+                loop {
+                    black_box(routine());
+                    *iters += 1;
+                    if Instant::now() >= *deadline {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                **elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up doubles as calibration: count iterations until the warm-up
+    // window closes, giving the iterations-per-sample estimate.
+    let mut cal = Bencher {
+        mode: Mode::Calibrate {
+            iters: 0,
+            deadline: Instant::now() + cfg.warm_up_time,
+        },
+    };
+    f(&mut cal);
+    let Mode::Calibrate {
+        iters: warm_iters, ..
+    } = cal.mode
+    else {
+        unreachable!("calibration mode preserved");
+    };
+    let per_sample_target = cfg.measurement_time.as_secs_f64()
+        / cfg.sample_size as f64
+        / cfg.warm_up_time.as_secs_f64().max(1e-9);
+    let iters_per_sample = ((warm_iters as f64 * per_sample_target).ceil() as u64).max(1);
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..cfg.sample_size {
+        let mut elapsed = Duration::ZERO;
+        let mut b = Bencher {
+            mode: Mode::Measure {
+                iters: iters_per_sample,
+                elapsed: &mut elapsed,
+            },
+        };
+        f(&mut b);
+        let per_iter = elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX).max(1);
+        total += per_iter;
+        best = best.min(per_iter);
+    }
+    let mean = total / u32::try_from(cfg.sample_size).unwrap_or(1).max(1);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  ~{:.3} Melem/s",
+            n as f64 / mean.as_secs_f64().max(1e-12) / 1e6
+        ),
+        Throughput::Bytes(n) => format!(
+            "  ~{:.3} MiB/s",
+            n as f64 / mean.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+        ),
+    });
+    println!(
+        "bench {name:<50} mean {mean:>12?}  best {best:>12?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Builds a function running a list of benchmark targets; both the plain
+/// and the `name = ..; config = ..; targets = ..` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = fast_criterion();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0, "routine must execute at least once");
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+}

@@ -1,0 +1,93 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Bounds on a generated collection's length, mirroring
+/// `proptest::collection::SizeRange` (half-open upper bound).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub min: usize,
+    /// Exclusive upper bound.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy generating vectors of `element` values with a length in
+/// `size` — the shape of `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let v = vec(0u64..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples() {
+        let mut rng = TestRng::new(12);
+        let v = vec((0u64..16, 1u64..200_000), 0..300).generate(&mut rng);
+        for &(s, b) in &v {
+            assert!(s < 16);
+            assert!((1..200_000).contains(&b));
+        }
+    }
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let mut rng = TestRng::new(13);
+        let v = vec(0u64..3, 4usize).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+    }
+}

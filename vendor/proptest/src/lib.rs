@@ -1,0 +1,286 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! implements the subset of proptest this workspace's property tests
+//! use: the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, integer / float
+//! ranges and tuples as strategies, and `prop::collection::vec`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs but
+//!   does not minimise them.
+//! * **Fixed deterministic seeding.** Each test derives its RNG stream
+//!   from the test name and case index (FNV-1a + SplitMix64), so runs
+//!   are reproducible across machines; set `PROPTEST_SEED` to explore a
+//!   different deterministic universe.
+//! * Default case count is 64 (real proptest: 256) to keep CI fast;
+//!   `ProptestConfig::with_cases` overrides per block, as upstream.
+
+use std::fmt;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    // Macros are exported at the crate root via #[macro_export]; a glob
+    // import of this prelude picks them up through the crate itself.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            // Avoid the all-zero fixed point without disturbing other seeds.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping (Lemire); the tiny bias
+        // is irrelevant for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Executes the cases of one `proptest!`-generated test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name so every test gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let user = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRunner {
+            config,
+            base_seed: h ^ user,
+        }
+    }
+
+    /// Number of cases to execute.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// RNG for attempt `attempt` of case `case` (rejected attempts
+    /// retry with fresh inputs, like real proptest).
+    pub fn rng_for(&self, case: u32, attempt: u32) -> TestRng {
+        TestRng::new(
+            self.base_seed
+                .wrapping_add(u64::from(case).wrapping_mul(0x2545_f491_4f6c_dd1d))
+                .wrapping_add(u64::from(attempt).wrapping_mul(0xd6e8_feb8_6659_fd93)),
+        )
+    }
+
+    /// Rejections tolerated per case before the test aborts: a
+    /// `prop_assume!` that rejects this often means the property is no
+    /// longer being exercised, which should be loud, not green.
+    pub const MAX_REJECTS_PER_CASE: u32 = 1024;
+}
+
+/// The `proptest!` macro: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let runner = $crate::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rejected: u32 = 0;
+                    loop {
+                        let mut rng = runner.rng_for(case, rejected);
+                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        let inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| { $body Ok(()) })();
+                        match outcome {
+                            Ok(()) => break,
+                            Err($crate::TestCaseError::Reject(cond)) => {
+                                rejected += 1;
+                                if rejected >= $crate::TestRunner::MAX_REJECTS_PER_CASE {
+                                    panic!(
+                                        "property `{}` case {}: {} consecutive \
+                                         prop_assume! rejections ({}) — the property \
+                                         is no longer being exercised",
+                                        stringify!($name), case, rejected, cond
+                                    );
+                                }
+                            }
+                            Err($crate::TestCaseError::Fail(msg)) => panic!(
+                                "property `{}` failed at case {}:\n  {}\n  inputs: {}",
+                                stringify!($name), case, msg, inputs
+                            ),
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assume!(cond)`: silently skips the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
