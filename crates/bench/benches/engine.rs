@@ -3,16 +3,24 @@
 //!
 //! Two outputs:
 //!
-//! * criterion-style stdout lines for `observe_batch` (per shard
-//!   count) and `predict_batch`;
-//! * `BENCH_engine.json` at the workspace root — events/sec per shard
-//!   count measured directly with `Instant`, so later PRs have a fixed
-//!   perf trajectory file to diff (in the reproducible-benchmarking
-//!   spirit of Hunold & Carpen-Amarie: fixed workload, fixed seeds,
-//!   machine parallelism recorded alongside the numbers).
+//! * criterion-style stdout lines for `observe_batch` (per execution
+//!   mode and shard count) and `predict_batch`;
+//! * `BENCH_engine.json` at the workspace root — events/sec per
+//!   (mode, shard count) measured directly with `Instant`, so later
+//!   PRs have a fixed perf trajectory file to diff (in the
+//!   reproducible-benchmarking spirit of Hunold & Carpen-Amarie:
+//!   fixed workload, fixed seeds, machine parallelism recorded
+//!   alongside the numbers, best-of-`RUNS` to damp scheduler noise).
+//!
+//! The comparison that matters for the persistent-worker design: at
+//! every shard count, `"mode": "persistent"` (long-lived channel-fed
+//! workers) must not lose to `"mode": "scoped"` (threads spawned per
+//! batch) — the JSON records both so the regression is visible.
 
 use criterion::{black_box, criterion_group, Criterion, Throughput};
-use mpp_engine::{Engine, EngineConfig, Observation, Query, StreamKey, StreamKind};
+use mpp_engine::{
+    Engine, EngineConfig, Observation, PersistentEngine, Query, StreamKey, StreamKind,
+};
 use std::time::Instant;
 
 /// Ranks in the synthetic workload.
@@ -21,8 +29,10 @@ const RANKS: u32 = 192;
 const EVENTS_PER_RANK: usize = 96;
 /// Shard counts measured for the JSON trajectory.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-/// Timed batches per shard count.
+/// Timed batches per measurement run.
 const TIMED_BATCHES: usize = 6;
+/// Measurement runs per (mode, shard count); best-of damps noise.
+const RUNS: usize = 3;
 
 /// Deterministic multi-rank workload: every rank carries three periodic
 /// attribute streams with rank-dependent periods, interleaved
@@ -49,18 +59,18 @@ fn synthetic_batch() -> Vec<Observation> {
     out
 }
 
-fn engine_with(shards: usize) -> Engine {
-    Engine::new(EngineConfig {
+fn config_with(shards: usize) -> EngineConfig {
+    EngineConfig {
         // Threshold 0: measure the true parallel path even for the
         // warm-up batch.
         parallel_threshold: 0,
         ..EngineConfig::with_shards(shards)
-    })
+    }
 }
 
-/// Directly measured ingest rate (events/sec) at `shards` shards.
-fn measure_events_per_sec(shards: usize, batch: &[Observation]) -> f64 {
-    let mut engine = engine_with(shards);
+/// Directly measured scoped-mode ingest rate (events/sec).
+fn measure_scoped(shards: usize, batch: &[Observation]) -> f64 {
+    let mut engine = Engine::new(config_with(shards));
     engine.observe_batch(batch); // warm: allocate slots, intern symbols
     let start = Instant::now();
     for _ in 0..TIMED_BATCHES {
@@ -70,17 +80,48 @@ fn measure_events_per_sec(shards: usize, batch: &[Observation]) -> f64 {
     (TIMED_BATCHES * batch.len()) as f64 / secs.max(1e-12)
 }
 
+/// Directly measured persistent-mode ingest rate (events/sec). The
+/// closing metrics round-trip queues behind every batch, so the timed
+/// window covers completed work, not just enqueued work.
+fn measure_persistent(shards: usize, batch: &[Observation]) -> f64 {
+    let engine = PersistentEngine::new(config_with(shards));
+    let client = engine.client();
+    client.observe_batch(batch); // warm: slots, interners, leg buffers
+    client.metrics_total(); // barrier: warm-up fully applied
+    let start = Instant::now();
+    for _ in 0..TIMED_BATCHES {
+        client.observe_batch(batch);
+    }
+    black_box(client.metrics_total().events_ingested);
+    let secs = start.elapsed().as_secs_f64();
+    (TIMED_BATCHES * batch.len()) as f64 / secs.max(1e-12)
+}
+
+fn best_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..runs).map(|_| f()).fold(f64::MIN, f64::max)
+}
+
 fn bench_observe_batch(c: &mut Criterion) {
     let batch = synthetic_batch();
     let mut g = c.benchmark_group("engine_observe_batch");
     g.throughput(Throughput::Elements(batch.len() as u64));
     for shards in SHARD_COUNTS {
-        g.bench_function(format!("{shards}shard"), |b| {
-            let mut engine = engine_with(shards);
+        g.bench_function(format!("scoped/{shards}shard"), |b| {
+            let mut engine = Engine::new(config_with(shards));
             engine.observe_batch(&batch);
             b.iter(|| {
                 engine.observe_batch(black_box(&batch));
                 black_box(engine.metrics_total().events_ingested)
+            });
+        });
+        g.bench_function(format!("persistent/{shards}shard"), |b| {
+            let engine = PersistentEngine::new(config_with(shards));
+            let client = engine.client();
+            client.observe_batch(&batch);
+            client.metrics_total();
+            b.iter(|| {
+                client.observe_batch(black_box(&batch));
+                black_box(client.metrics_total().events_ingested)
             });
         });
     }
@@ -99,8 +140,8 @@ fn bench_predict_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_predict_batch");
     g.throughput(Throughput::Elements(queries.len() as u64));
     for shards in [1usize, 8] {
-        g.bench_function(format!("{shards}shard"), |b| {
-            let mut engine = engine_with(shards);
+        g.bench_function(format!("scoped/{shards}shard"), |b| {
+            let mut engine = Engine::new(config_with(shards));
             for _ in 0..4 {
                 engine.observe_batch(&batch);
             }
@@ -110,30 +151,56 @@ fn bench_predict_batch(c: &mut Criterion) {
                 black_box(out.iter().filter(|p| p.is_some()).count())
             });
         });
+        g.bench_function(format!("persistent/{shards}shard"), |b| {
+            let engine = PersistentEngine::new(config_with(shards));
+            let client = engine.client();
+            for _ in 0..4 {
+                client.observe_batch(&batch);
+            }
+            client.metrics_total();
+            let mut out = Vec::new();
+            b.iter(|| {
+                client.predict_batch(black_box(&queries), &mut out);
+                black_box(out.iter().filter(|p| p.is_some()).count())
+            });
+        });
     }
     g.finish();
 }
 
 /// Writes the events/sec trajectory to `BENCH_engine.json` at the
-/// workspace root.
+/// workspace root. Schema: each `results` entry carries a
+/// `"mode": "persistent"|"scoped"` field; `persistent_vs_scoped`
+/// records the per-shard-count throughput ratio (≥ 1.0 means the
+/// persistent workers win).
 fn write_bench_json() {
     let batch = synthetic_batch();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut results = Vec::new();
+    let mut entries: Vec<String> = Vec::new();
+    let mut ratios: Vec<String> = Vec::new();
+    let mut persistent_rates = Vec::new();
     for shards in SHARD_COUNTS {
-        let eps = measure_events_per_sec(shards, &batch);
-        println!("engine ingest {shards:>2} shard(s): {:>10.0} events/s", eps);
-        results.push((shards, eps));
+        let scoped = best_of(RUNS, || measure_scoped(shards, &batch));
+        let persistent = best_of(RUNS, || measure_persistent(shards, &batch));
+        println!(
+            "engine ingest {shards:>2} shard(s): scoped {scoped:>10.0} ev/s, \
+             persistent {persistent:>10.0} ev/s ({:+.1}%)",
+            100.0 * (persistent / scoped - 1.0)
+        );
+        entries.push(format!(
+            "    {{\"mode\": \"scoped\", \"shards\": {shards}, \"events_per_sec\": {scoped:.0}}}"
+        ));
+        entries.push(format!(
+            "    {{\"mode\": \"persistent\", \"shards\": {shards}, \"events_per_sec\": {persistent:.0}}}"
+        ));
+        ratios.push(format!("    \"{shards}\": {:.3}", persistent / scoped));
+        persistent_rates.push(persistent);
     }
-    let single = results[0].1;
-    let best_multi = results[1..]
+    let single = persistent_rates[0];
+    let best_multi = persistent_rates[1..]
         .iter()
-        .map(|&(_, e)| e)
+        .copied()
         .fold(f64::MIN, f64::max);
-    let entries: Vec<String> = results
-        .iter()
-        .map(|&(s, e)| format!("    {{\"shards\": {s}, \"events_per_sec\": {e:.0}}}"))
-        .collect();
     // Below 4 cores the multi-shard "speedup" is mostly scheduling and
     // cache-locality noise, not scaling evidence — say so in the
     // artifact rather than leaving a misleading baseline.
@@ -146,10 +213,12 @@ fn write_bench_json() {
     let json = format!(
         "{{\n  \"bench\": \"engine_observe_batch\",\n  \"ranks\": {RANKS},\n  \
          \"events_per_batch\": {},\n  \"timed_batches\": {TIMED_BATCHES},\n  \
-         \"cores\": {cores},\n  \"results\": [\n{}\n  ],\n  \
+         \"runs_best_of\": {RUNS},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ],\n  \
+         \"persistent_vs_scoped\": {{\n{}\n  }},\n  \
          \"best_multi_shard_speedup\": {:.3}{note}\n}}\n",
         batch.len(),
         entries.join(",\n"),
+        ratios.join(",\n"),
         best_multi / single.max(1e-12),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -1,5 +1,13 @@
-//! The sharded engine: rank-hash partitioning, batched ingest across
-//! worker threads, and batched prediction serving.
+//! The synchronous sharded engine: rank-hash partitioning, batched
+//! ingest across scoped worker threads, and batched prediction serving.
+//!
+//! This is the *scoped* execution mode: shards live inside the [`Engine`]
+//! value and worker threads are spawned per batch (and joined before
+//! `observe_batch` returns). It is the sequential building block and
+//! reference semantics for the default serving mode, the
+//! [`PersistentEngine`](crate::persistent::PersistentEngine), whose
+//! long-lived shard workers are fed over channels and proven
+//! bit-identical to this engine in `tests/persistence.rs`.
 //!
 //! ## Sharding
 //!
@@ -20,23 +28,42 @@
 //! spawn threshold). No event is boxed or cloned beyond the `Copy` of
 //! the 16-byte [`Observation`]; per-stream state reuses the fixed
 //! [`mpp_core::Ring`] buffers inside each predictor.
+//!
+//! ## Engine time and eviction
+//!
+//! The engine stamps every ingested event with a 1-based global index
+//! ("engine time"). With [`EngineConfig::ttl`] set, streams idle for
+//! more than `ttl` events are logically evicted — predictions return
+//! `None`, the next observation restarts the stream cold — and their
+//! memory is reclaimed by a sweep after each batch (see the
+//! [`Shard`](crate::shard) docs for why sweep timing can never change
+//! results). [`Engine::evict_stream`] / [`Engine::evict_lru`] force
+//! evictions regardless of TTL.
 
 use crate::metrics::{EngineMetrics, ShardMetrics};
 use crate::shard::Shard;
-use crate::types::{Observation, Query, RankId, StreamKey, StreamKind};
+use crate::types::{Observation, Query, RankId, StreamKey};
 use mpp_core::dpd::DpdConfig;
 
-/// Engine construction parameters.
+/// Engine construction parameters (shared by the scoped [`Engine`] and
+/// the persistent-worker
+/// [`PersistentEngine`](crate::persistent::PersistentEngine)).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of shards (worker partitions); must be positive.
     pub shards: usize,
     /// Detector configuration applied to every stream predictor.
     pub dpd: DpdConfig,
-    /// Batches smaller than this are processed inline even with
-    /// multiple shards: scoped-thread spawn costs (~10 µs) would
-    /// dominate tiny batches.
+    /// Scoped mode only: batches smaller than this are processed inline
+    /// even with multiple shards (scoped-thread spawn costs (~10 µs)
+    /// would dominate tiny batches). Persistent workers have no spawn
+    /// cost, so this knob does not apply there.
     pub parallel_threshold: usize,
+    /// Idle-stream TTL in events of engine time: a stream not observed
+    /// for more than this many engine-wide events is evicted (predicts
+    /// `None`, restarts cold, memory reclaimed by sweeps). `None`
+    /// disables eviction.
+    pub ttl: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +72,7 @@ impl Default for EngineConfig {
             shards: 1,
             dpd: DpdConfig::default(),
             parallel_threshold: 1024,
+            ttl: None,
         }
     }
 }
@@ -58,7 +86,13 @@ impl EngineConfig {
         }
     }
 
-    fn validate(&self) {
+    /// Sets the idle-stream TTL (in engine-time events).
+    pub fn with_ttl(mut self, ttl: u64) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    pub(crate) fn validate(&self) {
         assert!(self.shards > 0, "engine needs at least one shard");
     }
 }
@@ -66,17 +100,21 @@ impl EngineConfig {
 /// Fibonacci-multiplicative rank hash: spreads consecutive ranks across
 /// shards without clustering, and is stable across platforms.
 #[inline]
-fn shard_of(rank: RankId, shards: usize) -> usize {
+pub(crate) fn shard_of(rank: RankId, shards: usize) -> usize {
     (u64::from(rank).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards
 }
 
-/// Multi-stream prediction engine. See the [module docs](self).
+/// Multi-stream prediction engine, scoped-thread mode. See the
+/// [module docs](self).
 #[derive(Debug)]
 pub struct Engine {
     cfg: EngineConfig,
     shards: Vec<Shard>,
     /// Per-shard event-index scratch, reused across batches.
     scratch: Vec<Vec<u32>>,
+    /// Engine time: number of events ingested so far (events are
+    /// stamped `1..=clock`).
+    clock: u64,
 }
 
 impl Engine {
@@ -84,13 +122,14 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
         cfg.validate();
         let shards = (0..cfg.shards)
-            .map(|_| Shard::new(cfg.dpd.clone()))
+            .map(|_| Shard::with_ttl(cfg.dpd.clone(), cfg.ttl))
             .collect();
         let scratch = (0..cfg.shards).map(|_| Vec::new()).collect();
         Engine {
             cfg,
             shards,
             scratch,
+            clock: 0,
         }
     }
 
@@ -109,12 +148,24 @@ impl Engine {
         shard_of(rank, self.shards.len())
     }
 
+    /// Engine time: total events ingested so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
     /// Ingests a single observation (convenience path; batch ingest is
     /// the throughput path).
     #[inline]
     pub fn observe(&mut self, key: StreamKey, value: u64) {
         let s = shard_of(key.rank, self.shards.len());
-        self.shards[s].observe(Observation::new(key, value));
+        self.clock += 1;
+        let now = self.clock;
+        let shard = &mut self.shards[s];
+        shard.observe_at(Observation::new(key, value), now);
+        // Per-event ingest must reclaim too, or TTL'd slots would leak
+        // on engines never fed through observe_batch; the throttle
+        // keeps this O(1) in the common case.
+        shard.maybe_sweep(now);
     }
 
     /// Ingests `batch` in order. Events of different ranks may be
@@ -126,9 +177,12 @@ impl Engine {
             batch.len() <= u32::MAX as usize,
             "batch exceeds u32 index space"
         );
+        let base = self.clock;
+        self.clock += batch.len() as u64;
         let nshards = self.shards.len();
         if nshards == 1 {
-            self.shards[0].observe_all(batch);
+            self.shards[0].observe_all_at(batch, base);
+            self.sweep_after_batch();
             return;
         }
         for idxs in &mut self.scratch {
@@ -141,9 +195,10 @@ impl Engine {
         if busy <= 1 || batch.len() < self.cfg.parallel_threshold {
             for (shard, idxs) in self.shards.iter_mut().zip(&self.scratch) {
                 if !idxs.is_empty() {
-                    shard.observe_indexed(batch, idxs);
+                    shard.observe_indexed_at(batch, idxs, base);
                 }
             }
+            self.sweep_after_batch();
             return;
         }
         // The last busy shard runs on the calling thread: N busy shards
@@ -162,19 +217,33 @@ impl Engine {
                 if i == last_busy {
                     own = Some((shard, idxs));
                 } else {
-                    scope.spawn(move || shard.observe_indexed(batch, idxs));
+                    scope.spawn(move || shard.observe_indexed_at(batch, idxs, base));
                 }
             }
             let (shard, idxs) = own.expect("last busy shard present");
-            shard.observe_indexed(batch, idxs);
+            shard.observe_indexed_at(batch, idxs, base);
         });
+        self.sweep_after_batch();
+    }
+
+    /// Reclaims expired streams after a batch when a TTL is configured
+    /// (throttled to roughly twice per TTL so small batches don't pay
+    /// an O(resident-streams) scan each; see [`Shard::maybe_sweep`]).
+    fn sweep_after_batch(&mut self) {
+        if self.cfg.ttl.is_some() {
+            let now = self.clock;
+            for shard in &mut self.shards {
+                shard.maybe_sweep(now);
+            }
+        }
     }
 
     /// Serves one query.
     #[inline]
     pub fn predict(&mut self, key: StreamKey, horizon: u32) -> Option<u64> {
         let s = shard_of(key.rank, self.shards.len());
-        self.shards[s].predict(Query::new(key, horizon))
+        let now = self.clock;
+        self.shards[s].predict_at(Query::new(key, horizon), now)
     }
 
     /// Serves `queries`, writing one entry per query into `out`
@@ -185,9 +254,10 @@ impl Engine {
         out.clear();
         out.reserve(queries.len());
         let nshards = self.shards.len();
+        let now = self.clock;
         for q in queries {
             let s = shard_of(q.key.rank, nshards);
-            out.push(self.shards[s].predict(*q));
+            out.push(self.shards[s].predict_at(*q, now));
         }
     }
 
@@ -199,25 +269,49 @@ impl Engine {
         depth: usize,
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
-        out.clear();
-        out.reserve(depth);
         let s = shard_of(rank, self.shards.len());
-        let shard = &mut self.shards[s];
-        for h in 1..=depth as u32 {
-            let sender = shard.predict(Query::new(StreamKey::new(rank, StreamKind::Sender), h));
-            let size = shard.predict(Query::new(StreamKey::new(rank, StreamKind::Size), h));
-            out.push((sender, size));
-        }
+        let now = self.clock;
+        self.shards[s].forecast_at(rank, depth, now, out);
     }
 
-    /// Detected period of a stream, if locked.
+    /// Detected period of a stream, if locked and not expired.
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        self.shards[shard_of(key.rank, self.shards.len())].period_of(key)
+        self.shards[shard_of(key.rank, self.shards.len())].period_of_at(key, self.clock)
     }
 
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        self.shards[shard_of(key.rank, self.shards.len())].confidence_of(key)
+        self.shards[shard_of(key.rank, self.shards.len())].confidence_of_at(key, self.clock)
+    }
+
+    /// Forcibly evicts one stream, returning whether it was resident.
+    pub fn evict_stream(&mut self, key: StreamKey) -> bool {
+        let s = shard_of(key.rank, self.shards.len());
+        self.shards[s].evict_stream(key)
+    }
+
+    /// Removes every expired stream now (sweeps normally run after each
+    /// batch; this forces one), returning how many were reclaimed.
+    pub fn sweep_expired(&mut self) -> usize {
+        let now = self.clock;
+        self.shards.iter_mut().map(|s| s.sweep_expired(now)).sum()
+    }
+
+    /// Forcibly evicts the `n` least-recently-observed streams across
+    /// all shards (globally LRU by last-observed engine time, ties
+    /// broken by key), returning how many were removed.
+    pub fn evict_lru(&mut self, n: usize) -> usize {
+        let mut candidates: Vec<(u64, StreamKey)> = Vec::new();
+        for shard in &self.shards {
+            candidates.extend(shard.lru_oldest(n));
+        }
+        let mut removed = 0;
+        for (_, key) in crate::shard::select_lru_victims(candidates, n) {
+            if self.evict_stream(key) {
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// Per-shard metrics snapshot.
@@ -236,11 +330,18 @@ impl Engine {
     pub fn stream_count(&self) -> usize {
         self.shards.iter().map(Shard::stream_count).sum()
     }
+
+    /// Tears the engine into its shards (used by the persistent mode to
+    /// hand each shard to its worker thread).
+    pub(crate) fn into_shards(self) -> Vec<Shard> {
+        self.shards
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::StreamKind;
 
     fn skey(rank: u32) -> StreamKey {
         StreamKey::new(rank, StreamKind::Sender)
@@ -359,7 +460,7 @@ mod tests {
         eng.observe_batch(&batch);
         let total = eng.metrics_total();
         assert_eq!(total.events_ingested, batch.len() as u64);
-        assert_eq!(total.streams, 8);
+        assert_eq!(total.resident_streams, 8);
         assert!(total.hits > 0, "periodic streams must eventually hit");
         assert!(total.max_batch_depth > 0);
         let per_shard = eng.metrics();
@@ -382,5 +483,40 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = Engine::new(EngineConfig::with_shards(0));
+    }
+
+    #[test]
+    fn ttl_evicts_idle_streams_and_reclaims_memory() {
+        let mut eng = Engine::new(EngineConfig {
+            ttl: Some(50),
+            ..EngineConfig::with_shards(4)
+        });
+        // Rank 0 trains then goes idle; rank 1 keeps the clock moving.
+        let train = periodic_batch(1, 10, |_| vec![4, 5]);
+        eng.observe_batch(&train);
+        assert_eq!(eng.predict(skey(0), 1), Some(4));
+        let filler: Vec<Observation> = (0..100).map(|i| Observation::new(skey(1), i % 2)).collect();
+        eng.observe_batch(&filler);
+        assert_eq!(eng.predict(skey(0), 1), None, "expired stream");
+        assert_eq!(eng.stream_count(), 1, "sweep reclaimed rank 0");
+        assert_eq!(eng.metrics_total().evicted, 1);
+        // The stream restarts cold on return.
+        eng.observe(skey(0), 4);
+        assert_eq!(eng.period_of(skey(0)), None);
+    }
+
+    #[test]
+    fn forced_eviction_is_global_lru() {
+        let mut eng = Engine::new(EngineConfig::with_shards(4));
+        for r in 0..6u32 {
+            eng.observe(skey(r), 1);
+        }
+        eng.observe(skey(0), 2); // refresh rank 0
+        assert_eq!(eng.evict_lru(2), 2, "ranks 1 and 2 are oldest");
+        assert_eq!(eng.stream_count(), 4);
+        assert!(eng.evict_stream(skey(0)));
+        assert_eq!(eng.stream_count(), 3);
+        assert_eq!(eng.metrics_total().evicted, 3);
+        assert_eq!(eng.sweep_expired(), 0, "no ttl, nothing expires");
     }
 }

@@ -9,56 +9,84 @@
 //! a symbol-interning layer, shards them across worker threads by rank
 //! hash, and exposes batched, zero-allocation observe/predict APIs.
 //!
-//! Two properties are load-bearing and tested:
+//! Two execution modes share one semantics:
 //!
-//! 1. **Prediction equivalence.** For any shard count and batch
-//!    split, the engine's predictions are bit-identical to driving one
-//!    `DpdPredictor` per stream sequentially (`tests/equivalence.rs`).
-//!    Sharding is a throughput device, never a semantics device.
-//! 2. **Zero-allocation steady state.** Batch ingest reuses per-shard
-//!    index scratch; predictors reuse their fixed
-//!    [`Ring`](mpp_core::ring::Ring) buffers; prediction output lands
-//!    in a caller-provided, capacity-reused vector. Allocation happens
-//!    only when a new stream or new raw symbol first appears.
+//! * [`PersistentEngine`] — **the default serving mode**: one
+//!   long-lived worker thread per shard, fed over crossbeam channels
+//!   through per-thread [`EngineClient`]s (lock-free submission,
+//!   epoch-stamped replies, graceful shutdown on drop).
+//! * [`Engine`] — the scoped mode: shards live in the caller's value
+//!   and worker threads are spawned per batch. It doubles as the
+//!   sequential reference the persistent mode is property-tested
+//!   against.
+//!
+//! Three properties are load-bearing and tested:
+//!
+//! 1. **Prediction equivalence.** For any shard count, batch split,
+//!    and execution mode, the engine's predictions are bit-identical
+//!    to driving one `DpdPredictor` per stream sequentially
+//!    (`tests/equivalence.rs`, `tests/persistence.rs`). Sharding and
+//!    worker threads are throughput devices, never semantics devices.
+//! 2. **Deterministic eviction.** Idle streams expire after a
+//!    configurable TTL ([`EngineConfig::ttl`], measured in engine-time
+//!    events) and restart cold — with results independent of *when*
+//!    memory-reclamation sweeps run, so the persistent workers can
+//!    sweep opportunistically (see the [`shard`] docs for the
+//!    argument). Forced eviction is globally LRU by last-observed
+//!    event index.
+//! 3. **Allocation-lean steady state.** On the ingest hot path, the
+//!    scoped engine allocates nothing (preallocated per-shard index
+//!    scratch) and the persistent engine recycles its cross-thread leg
+//!    buffers through a return channel; predictors reuse their fixed
+//!    [`Ring`](mpp_core::ring::Ring) buffers and prediction output
+//!    lands in caller-provided, capacity-reused vectors. Query calls
+//!    on the persistent path do allocate small per-call leg/reply
+//!    structures — they are re-plan-rate, not event-rate.
 //!
 //! ## Module map
 //!
 //! * [`types`] — [`StreamKey`] addressing (`rank` × sender/size/tag),
 //!   plain-old-data [`Observation`] / [`Query`] batch elements.
 //! * [`shard`] — [`Shard`]: single-threaded predictor bank with
-//!   interning, online `+1` hit/miss scoring, and period-churn
-//!   tracking.
-//! * [`engine`] — [`Engine`]: rank-hash sharding, batched
+//!   interning, online `+1` hit/miss scoring, period-churn tracking,
+//!   and the TTL/eviction rule.
+//! * [`engine`] — [`Engine`]: scoped-mode rank-hash sharding, batched
 //!   [`observe_batch`](Engine::observe_batch) /
-//!   [`predict_batch`](Engine::predict_batch), scoped worker threads,
-//!   per-rank (sender, size) forecasts for the runtime policies.
+//!   [`predict_batch`](Engine::predict_batch).
+//! * [`persistent`] — [`PersistentEngine`] / [`EngineClient`]:
+//!   persistent shard workers behind channels.
 //! * [`metrics`] — [`ShardMetrics`] / [`EngineMetrics`]: events
-//!   ingested, hit/miss/abstention, period churn, queue depth.
+//!   ingested, hit/miss/abstention, period churn, resident/evicted
+//!   streams, queue depth.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use mpp_engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind};
+//! use mpp_engine::{EngineConfig, Observation, PersistentEngine, StreamKey, StreamKind};
 //!
-//! let mut engine = Engine::new(EngineConfig::with_shards(4));
+//! let engine = PersistentEngine::new(EngineConfig::with_shards(4));
+//! let client = engine.client();
 //! // Rank 0 receives from senders 7, 1, 4 cyclically.
 //! let key = StreamKey::new(0, StreamKind::Sender);
 //! let batch: Vec<Observation> = (0..30)
 //!     .map(|i| Observation::new(key, [7u64, 1, 4][i % 3]))
 //!     .collect();
-//! engine.observe_batch(&batch);
-//! assert_eq!(engine.predict(key, 1), Some(7));
-//! assert_eq!(engine.predict(key, 2), Some(1));
-//! assert_eq!(engine.period_of(key), Some(3));
-//! assert!(engine.metrics_total().hit_rate().unwrap() > 0.5);
+//! client.observe_batch(&batch);
+//! assert_eq!(client.predict(key, 1), Some(7));
+//! assert_eq!(client.predict(key, 2), Some(1));
+//! assert_eq!(client.period_of(key), Some(3));
+//! assert!(client.metrics_total().hit_rate().unwrap() > 0.5);
+//! // Dropping the last handle/client joins the workers.
 //! ```
 
 pub mod engine;
 pub mod metrics;
+pub mod persistent;
 pub mod shard;
 pub mod types;
 
 pub use engine::{Engine, EngineConfig};
 pub use metrics::{EngineMetrics, ShardMetrics};
+pub use persistent::{EngineClient, PersistentEngine};
 pub use shard::Shard;
 pub use types::{Observation, Query, RankId, StreamKey, StreamKind};

@@ -4,8 +4,9 @@
 //! forecasts tracked reality (scored online: the prediction standing
 //! when the next symbol of the same stream arrives), how often period
 //! locks changed ("churn", a proxy for phase changes in the workload),
-//! and the deepest per-batch queue it has seen (load-balance signal
-//! across shards).
+//! the deepest per-batch queue it has seen (load-balance signal across
+//! shards), and how many streams were evicted by the TTL policy or by
+//! forced eviction.
 
 /// Counters for one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,8 +25,14 @@ pub struct ShardMetrics {
     /// Number of times any stream's detected period changed (including
     /// lock acquisitions and losses).
     pub period_churn: u64,
-    /// Distinct streams resident in this shard's predictor bank.
-    pub streams: u64,
+    /// Distinct streams currently resident in this shard's predictor
+    /// bank. Includes streams past their TTL that no sweep has
+    /// reclaimed yet (they predict `None` and restart cold either way).
+    pub resident_streams: u64,
+    /// Streams reclaimed so far: TTL expiries (counted once, whether
+    /// noticed by a sweep or lazily at the next touch) plus forced
+    /// evictions.
+    pub evicted: u64,
     /// Largest number of events this shard received in a single batch.
     pub max_batch_depth: u64,
 }
@@ -49,7 +56,8 @@ impl ShardMetrics {
         self.misses += other.misses;
         self.abstentions += other.abstentions;
         self.period_churn += other.period_churn;
-        self.streams += other.streams;
+        self.resident_streams += other.resident_streams;
+        self.evicted += other.evicted;
         self.max_batch_depth = self.max_batch_depth.max(other.max_batch_depth);
     }
 }
@@ -92,7 +100,8 @@ mod tests {
             hits: 4,
             misses: 1,
             max_batch_depth: 7,
-            streams: 2,
+            resident_streams: 2,
+            evicted: 1,
             ..Default::default()
         };
         let b = ShardMetrics {
@@ -100,7 +109,8 @@ mod tests {
             hits: 2,
             misses: 2,
             max_batch_depth: 3,
-            streams: 1,
+            resident_streams: 1,
+            evicted: 2,
             ..Default::default()
         };
         let total = EngineMetrics { shards: vec![a, b] }.total();
@@ -108,6 +118,7 @@ mod tests {
         assert_eq!(total.hits, 6);
         assert_eq!(total.misses, 3);
         assert_eq!(total.max_batch_depth, 7);
-        assert_eq!(total.streams, 3);
+        assert_eq!(total.resident_streams, 3);
+        assert_eq!(total.evicted, 3);
     }
 }

@@ -1,0 +1,834 @@
+//! Persistent shard workers: the default serving mode.
+//!
+//! The scoped [`Engine`](crate::Engine) spawns worker threads per batch;
+//! fine for replay loops, wrong shape for a serving layer that ingests
+//! forever. This module keeps one **long-lived worker thread per
+//! shard**, each owning its [`Shard`] outright and fed over a
+//! crossbeam channel:
+//!
+//! ```text
+//!  EngineClient ──sender[0]──▶ worker 0 (owns Shard 0)
+//!      │    └────sender[1]──▶ worker 1 (owns Shard 1)   ...
+//!      └◀─── reply lane (epoch-stamped) ◀── workers
+//! ```
+//!
+//! * **Lock-free submission.** There is no engine mutex anywhere:
+//!   clients partition batches and push commands into per-shard
+//!   channels. Observes are fire-and-forget; queries carry a clone of
+//!   the client's private reply sender plus an **epoch** (a per-client
+//!   sequence number). The client drains its reply lane until the
+//!   epoch matches, so a reply can never be attributed to the wrong
+//!   request even after an aborted collection.
+//! * **Ordering.** Channels are FIFO per sender, and all streams of a
+//!   rank hash to one shard, so a client always observes its own
+//!   writes: a query submitted after an observe of the same rank sees
+//!   that observe. Different clients' commands interleave arbitrarily —
+//!   exactly the guarantee (and non-guarantee) the old mutex gave.
+//! * **Zero-ish allocation.** Batch legs travel in `Vec`s recycled
+//!   back to the submitting client through a return channel, so the
+//!   steady state reuses buffers instead of allocating per batch.
+//! * **Eviction.** With [`EngineConfig::ttl`] set, legs carry per-event
+//!   engine-time stamps (allocated from a shared atomic clock) and each
+//!   worker sweeps its shard after every batch it receives. With a
+//!   single client, sweep timing is semantics-free (see the
+//!   [`Shard`](crate::shard) docs), so idle shards may hold expired
+//!   slots until their next command — or until
+//!   [`EngineClient::sweep_expired`] forces a broadcast sweep. With
+//!   *multiple concurrent clients* and a TTL, stamps are allocated
+//!   before the channel send, so a stream's exact expiry point follows
+//!   command-arrival order rather than stamp order — per-stream
+//!   predictions stay well-formed (streams are single-writer by rank),
+//!   but which side of the TTL boundary a racing gap lands on is
+//!   scheduling-dependent, exactly like the observe/observe races the
+//!   old mutex design had.
+//! * **Shutdown on drop.** Workers exit when every sender to their
+//!   channel is gone. Dropping the last [`PersistentEngine`] /
+//!   [`EngineClient`] clone closes all channels and joins all workers —
+//!   no explicit shutdown call, no leaked threads (stress-tested in
+//!   `tests/stress.rs`).
+//!
+//! Equivalence with driving one `DpdPredictor` per stream sequentially —
+//! including across eviction-and-reload — is property-tested in
+//! `tests/persistence.rs`.
+
+use crate::engine::{shard_of, Engine, EngineConfig};
+use crate::metrics::{EngineMetrics, ShardMetrics};
+use crate::shard::Shard;
+use crate::types::{Observation, Query, RankId, StreamKey};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An observe leg: either raw events (no TTL: stamps are not needed
+/// per-event) or events stamped with their engine-time index.
+enum Leg {
+    Plain(Vec<Observation>),
+    Stamped(Vec<(Observation, u64)>),
+}
+
+/// One command in a shard worker's queue.
+enum ShardCmd {
+    /// Fire-and-forget batch leg. `now` is engine time after the whole
+    /// batch; the emptied buffer is handed back through `recycle`.
+    Observe {
+        leg: Leg,
+        now: u64,
+        recycle: Sender<Leg>,
+    },
+    /// Synchronous request; the worker answers on `reply` echoing
+    /// `epoch` and its shard id.
+    Query {
+        epoch: u64,
+        reply: Sender<Reply>,
+        body: QueryBody,
+    },
+}
+
+enum QueryBody {
+    Predict {
+        queries: Vec<Query>,
+        now: u64,
+    },
+    Forecast {
+        rank: RankId,
+        depth: usize,
+        now: u64,
+    },
+    Metrics,
+    PeriodOf {
+        key: StreamKey,
+        now: u64,
+    },
+    ConfidenceOf {
+        key: StreamKey,
+        now: u64,
+    },
+    EvictStream {
+        key: StreamKey,
+    },
+    LruOldest {
+        n: usize,
+    },
+    Sweep {
+        now: u64,
+    },
+}
+
+/// Epoch-stamped worker answer.
+struct Reply {
+    epoch: u64,
+    shard: u32,
+    body: ReplyBody,
+}
+
+enum ReplyBody {
+    Predictions(Vec<Option<u64>>),
+    Forecast(Vec<(Option<u64>, Option<u64>)>),
+    Metrics(Box<ShardMetrics>),
+    Period(Option<usize>),
+    Confidence(Option<f64>),
+    Evicted(usize),
+    Oldest(Vec<(u64, StreamKey)>),
+}
+
+/// Shared, thread-safe state: config, per-shard senders, the global
+/// engine-time clock, and the worker handles joined on drop.
+struct Inner {
+    cfg: EngineConfig,
+    senders: Vec<Sender<ShardCmd>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Engine time: events stamped `1..=clock` have been submitted.
+    clock: AtomicU64,
+}
+
+impl Drop for Inner {
+    /// Graceful shutdown: closing the command channels makes every
+    /// worker's `recv` fail, ending its loop; joining then reclaims the
+    /// threads. `Inner` only drops once every client is gone, so no
+    /// sender can outlive this point.
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Long-lived worker loop: owns one shard, drains one channel.
+fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ShardCmd::Observe { leg, now, recycle } => {
+                let ttl = shard.ttl().is_some();
+                match &leg {
+                    Leg::Plain(events) => shard.note_batch_depth(events.len() as u64),
+                    Leg::Stamped(events) => shard.note_batch_depth(events.len() as u64),
+                }
+                let empty = match leg {
+                    Leg::Plain(mut events) => {
+                        for obs in events.drain(..) {
+                            // Without a TTL per-event stamps are
+                            // unobservable; batch-end granularity keeps
+                            // the LRU order usable for forced eviction.
+                            shard.observe_at(obs, now);
+                        }
+                        Leg::Plain(events)
+                    }
+                    Leg::Stamped(mut events) => {
+                        for (obs, at) in events.drain(..) {
+                            shard.observe_at(obs, at);
+                        }
+                        Leg::Stamped(events)
+                    }
+                };
+                if ttl {
+                    shard.maybe_sweep(now);
+                }
+                // The submitting client may already be gone; its buffer
+                // is then simply dropped.
+                let _ = recycle.send(empty);
+            }
+            ShardCmd::Query { epoch, reply, body } => {
+                let body = match body {
+                    QueryBody::Predict { queries, now } => ReplyBody::Predictions(
+                        queries.iter().map(|q| shard.predict_at(*q, now)).collect(),
+                    ),
+                    QueryBody::Forecast { rank, depth, now } => {
+                        let mut out = Vec::with_capacity(depth);
+                        shard.forecast_at(rank, depth, now, &mut out);
+                        ReplyBody::Forecast(out)
+                    }
+                    QueryBody::Metrics => ReplyBody::Metrics(Box::new(shard.metrics())),
+                    QueryBody::PeriodOf { key, now } => {
+                        ReplyBody::Period(shard.period_of_at(key, now))
+                    }
+                    QueryBody::ConfidenceOf { key, now } => {
+                        ReplyBody::Confidence(shard.confidence_of_at(key, now))
+                    }
+                    QueryBody::EvictStream { key } => {
+                        ReplyBody::Evicted(usize::from(shard.evict_stream(key)))
+                    }
+                    QueryBody::LruOldest { n } => ReplyBody::Oldest(shard.lru_oldest(n)),
+                    QueryBody::Sweep { now } => ReplyBody::Evicted(shard.sweep_expired(now)),
+                };
+                let _ = reply.send(Reply {
+                    epoch,
+                    shard: shard_id,
+                    body,
+                });
+            }
+        }
+    }
+}
+
+/// Handle to a running persistent-worker engine. Cheap to clone, and
+/// `Send + Sync`: share it freely, then give each thread its own
+/// [`EngineClient`] (via [`PersistentEngine::client`]) for the actual
+/// traffic.
+#[derive(Clone)]
+pub struct PersistentEngine {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for PersistentEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentEngine")
+            .field("shards", &self.inner.senders.len())
+            .field("clock", &self.inner.clock.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PersistentEngine {
+    /// Spawns `cfg.shards` worker threads, each owning one shard.
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate();
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut workers = Vec::with_capacity(cfg.shards);
+        for (id, shard) in Engine::new(cfg.clone())
+            .into_shards()
+            .into_iter()
+            .enumerate()
+        {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("mpp-shard-{id}"))
+                .spawn(move || worker_loop(shard, rx, id as u32))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+        PersistentEngine {
+            inner: Arc::new(Inner {
+                cfg,
+                senders,
+                workers,
+                clock: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.cfg
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// Shard index serving `rank`.
+    pub fn shard_for(&self, rank: RankId) -> usize {
+        shard_of(rank, self.inner.senders.len())
+    }
+
+    /// Engine time: total events submitted so far.
+    pub fn clock(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Creates a client: a private, buffered lane into the engine. One
+    /// per thread; creation is cheap (two channels).
+    pub fn client(&self) -> EngineClient {
+        let (reply_tx, reply_rx) = unbounded();
+        let (recycle_tx, recycle_rx) = unbounded();
+        EngineClient {
+            inner: Arc::clone(&self.inner),
+            reply_tx,
+            reply_rx,
+            recycle_tx,
+            recycle_rx,
+            epoch: Cell::new(0),
+            plain_pool: RefCell::new(Vec::new()),
+            stamped_pool: RefCell::new(Vec::new()),
+            legs_scratch: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+/// A per-thread client of a [`PersistentEngine`]: owns a private reply
+/// lane and buffer pool. `Send` but intentionally not `Sync` — clone
+/// the engine handle and make one client per thread instead of sharing.
+pub struct EngineClient {
+    inner: Arc<Inner>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+    recycle_tx: Sender<Leg>,
+    recycle_rx: Receiver<Leg>,
+    /// Stamp of the most recent request on this lane.
+    epoch: Cell<u64>,
+    plain_pool: RefCell<Vec<Vec<Observation>>>,
+    stamped_pool: RefCell<Vec<Vec<(Observation, u64)>>>,
+    /// Per-shard partition scratch reused across `observe_batch` calls
+    /// (entries are `take`n when sent, leaving `None`s behind).
+    legs_scratch: RefCell<Vec<Option<Leg>>>,
+}
+
+impl std::fmt::Debug for EngineClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineClient")
+            .field("shards", &self.inner.senders.len())
+            .field("epoch", &self.epoch.get())
+            .finish()
+    }
+}
+
+impl EngineClient {
+    /// The engine handle this client talks to.
+    pub fn engine(&self) -> PersistentEngine {
+        PersistentEngine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    fn next_epoch(&self) -> u64 {
+        let e = self.epoch.get() + 1;
+        self.epoch.set(e);
+        e
+    }
+
+    /// Blocks for the next reply on this client's lane. The lane's
+    /// sender side can never fully disconnect (the client itself holds
+    /// a sender), so a worker that panicked mid-query is detected by
+    /// liveness-checking the worker threads whenever the wait stalls —
+    /// the call must fail loudly, not hang forever. Workers only exit
+    /// normally once every client is gone, so a finished worker here is
+    /// always a dead one.
+    fn recv_reply(&self) -> Reply {
+        loop {
+            match self.reply_rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(r) => return r,
+                Err(_timeout) => {
+                    assert!(
+                        !self.inner.workers.iter().any(JoinHandle::is_finished),
+                        "engine worker died while a query was in flight"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Returns returned buffers to the pools.
+    fn drain_recycled(&self) {
+        while let Ok(leg) = self.recycle_rx.try_recv() {
+            match leg {
+                Leg::Plain(buf) => self.plain_pool.borrow_mut().push(buf),
+                Leg::Stamped(buf) => self.stamped_pool.borrow_mut().push(buf),
+            }
+        }
+    }
+
+    /// Submits `batch` for ingestion, fire-and-forget. Returns `false`
+    /// (dropping the events) only if the engine's workers are gone —
+    /// the non-panicking path destructors need.
+    pub fn try_observe_batch(&self, batch: &[Observation]) -> bool {
+        if batch.is_empty() {
+            return true;
+        }
+        let nshards = self.inner.senders.len();
+        let base = self
+            .inner
+            .clock
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let now = base + batch.len() as u64;
+        self.drain_recycled();
+        let stamped = self.inner.cfg.ttl.is_some();
+        let mut legs = self.legs_scratch.borrow_mut();
+        legs.resize_with(nshards, || None);
+        for (i, obs) in batch.iter().enumerate() {
+            let s = shard_of(obs.key.rank, nshards);
+            let leg = legs[s].get_or_insert_with(|| {
+                if stamped {
+                    let mut buf = self.stamped_pool.borrow_mut().pop().unwrap_or_default();
+                    buf.clear();
+                    Leg::Stamped(buf)
+                } else {
+                    let mut buf = self.plain_pool.borrow_mut().pop().unwrap_or_default();
+                    buf.clear();
+                    Leg::Plain(buf)
+                }
+            });
+            match leg {
+                Leg::Plain(buf) => buf.push(*obs),
+                Leg::Stamped(buf) => buf.push((*obs, base + i as u64 + 1)),
+            }
+        }
+        let mut ok = true;
+        for (s, slot) in legs.iter_mut().enumerate() {
+            let Some(leg) = slot.take() else { continue };
+            ok &= self.inner.senders[s]
+                .send(ShardCmd::Observe {
+                    leg,
+                    now,
+                    recycle: self.recycle_tx.clone(),
+                })
+                .is_ok();
+        }
+        ok
+    }
+
+    /// Submits `batch` for ingestion, fire-and-forget. Panics if the
+    /// engine's workers are gone (a worker thread died).
+    pub fn observe_batch(&self, batch: &[Observation]) {
+        assert!(self.try_observe_batch(batch), "engine worker gone");
+    }
+
+    /// Ingests a single observation (convenience; batching is the
+    /// throughput path).
+    pub fn observe(&self, key: StreamKey, value: u64) {
+        self.observe_batch(&[Observation::new(key, value)]);
+    }
+
+    /// Sends one query to `shard` and blocks for its reply, discarding
+    /// stale (earlier-epoch) replies left by any aborted collection.
+    fn call(&self, shard: usize, body: QueryBody) -> ReplyBody {
+        let epoch = self.next_epoch();
+        self.inner.senders[shard]
+            .send(ShardCmd::Query {
+                epoch,
+                reply: self.reply_tx.clone(),
+                body,
+            })
+            .map_err(|_| ())
+            .expect("engine worker gone");
+        loop {
+            let r = self.recv_reply();
+            if r.epoch == epoch {
+                return r.body;
+            }
+        }
+    }
+
+    /// Sends one query per shard (same epoch) and collects the replies
+    /// in shard order.
+    fn broadcast(&self, mut body_for: impl FnMut(usize) -> QueryBody) -> Vec<ReplyBody> {
+        let nshards = self.inner.senders.len();
+        let epoch = self.next_epoch();
+        for (s, tx) in self.inner.senders.iter().enumerate() {
+            tx.send(ShardCmd::Query {
+                epoch,
+                reply: self.reply_tx.clone(),
+                body: body_for(s),
+            })
+            .map_err(|_| ())
+            .expect("engine worker gone");
+        }
+        let mut out: Vec<Option<ReplyBody>> = Vec::new();
+        out.resize_with(nshards, || None);
+        let mut pending = nshards;
+        while pending > 0 {
+            let r = self.recv_reply();
+            if r.epoch != epoch {
+                continue; // stale reply from an aborted collection
+            }
+            let slot = &mut out[r.shard as usize];
+            assert!(slot.is_none(), "duplicate reply from shard {}", r.shard);
+            *slot = Some(r.body);
+            pending -= 1;
+        }
+        out.into_iter()
+            .map(|b| b.expect("all shards replied"))
+            .collect()
+    }
+
+    /// Serves one query.
+    pub fn predict(&self, key: StreamKey, horizon: u32) -> Option<u64> {
+        let s = shard_of(key.rank, self.inner.senders.len());
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        match self.call(
+            s,
+            QueryBody::Predict {
+                queries: vec![Query::new(key, horizon)],
+                now,
+            },
+        ) {
+            ReplyBody::Predictions(mut p) => p.pop().expect("one answer per query"),
+            _ => unreachable!("predict reply shape"),
+        }
+    }
+
+    /// Serves `queries`, writing one entry per query into `out`
+    /// (cleared first). Legs are dispatched to all busy shards before
+    /// any reply is awaited, so shards serve concurrently.
+    pub fn predict_batch(&self, queries: &[Query], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        if queries.is_empty() {
+            return;
+        }
+        out.resize(queries.len(), None);
+        let nshards = self.inner.senders.len();
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        // Partition into per-shard legs, remembering original positions.
+        let mut legs: Vec<(Vec<Query>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); nshards];
+        for (i, q) in queries.iter().enumerate() {
+            let s = shard_of(q.key.rank, nshards);
+            legs[s].0.push(*q);
+            legs[s].1.push(i as u32);
+        }
+        let epoch = self.next_epoch();
+        let mut positions: Vec<Option<Vec<u32>>> = Vec::new();
+        positions.resize_with(nshards, || None);
+        let mut pending = 0usize;
+        for (s, (leg, pos)) in legs.into_iter().enumerate() {
+            if leg.is_empty() {
+                continue;
+            }
+            positions[s] = Some(pos);
+            self.inner.senders[s]
+                .send(ShardCmd::Query {
+                    epoch,
+                    reply: self.reply_tx.clone(),
+                    body: QueryBody::Predict { queries: leg, now },
+                })
+                .map_err(|_| ())
+                .expect("engine worker gone");
+            pending += 1;
+        }
+        while pending > 0 {
+            let r = self.recv_reply();
+            if r.epoch != epoch {
+                continue;
+            }
+            let ReplyBody::Predictions(preds) = r.body else {
+                unreachable!("predict reply shape");
+            };
+            let pos = positions[r.shard as usize]
+                .take()
+                .expect("reply matches a dispatched leg");
+            for (p, i) in preds.into_iter().zip(pos) {
+                out[i as usize] = p;
+            }
+            pending -= 1;
+        }
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank`.
+    pub fn forecast_messages(
+        &self,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        let s = shard_of(rank, self.inner.senders.len());
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        match self.call(s, QueryBody::Forecast { rank, depth, now }) {
+            ReplyBody::Forecast(f) => {
+                out.clear();
+                out.extend(f);
+            }
+            _ => unreachable!("forecast reply shape"),
+        }
+    }
+
+    /// Detected period of a stream, if locked and not expired.
+    pub fn period_of(&self, key: StreamKey) -> Option<usize> {
+        let s = shard_of(key.rank, self.inner.senders.len());
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        match self.call(s, QueryBody::PeriodOf { key, now }) {
+            ReplyBody::Period(p) => p,
+            _ => unreachable!("period reply shape"),
+        }
+    }
+
+    /// Detector confidence of a stream's lock.
+    pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
+        let s = shard_of(key.rank, self.inner.senders.len());
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        match self.call(s, QueryBody::ConfidenceOf { key, now }) {
+            ReplyBody::Confidence(c) => c,
+            _ => unreachable!("confidence reply shape"),
+        }
+    }
+
+    /// Per-shard metrics snapshot. Each shard's snapshot is taken after
+    /// every command this client submitted before the call (FIFO), so a
+    /// single-threaded caller always sees its own writes counted.
+    pub fn metrics(&self) -> EngineMetrics {
+        let shards = self
+            .broadcast(|_| QueryBody::Metrics)
+            .into_iter()
+            .map(|b| match b {
+                ReplyBody::Metrics(m) => *m,
+                _ => unreachable!("metrics reply shape"),
+            })
+            .collect();
+        EngineMetrics { shards }
+    }
+
+    /// Aggregate metrics across shards.
+    pub fn metrics_total(&self) -> ShardMetrics {
+        self.metrics().total()
+    }
+
+    /// Total streams resident across shards.
+    pub fn stream_count(&self) -> usize {
+        self.metrics_total().resident_streams as usize
+    }
+
+    /// Forcibly evicts one stream, returning whether it was resident.
+    pub fn evict_stream(&self, key: StreamKey) -> bool {
+        let s = shard_of(key.rank, self.inner.senders.len());
+        match self.call(s, QueryBody::EvictStream { key }) {
+            ReplyBody::Evicted(n) => n > 0,
+            _ => unreachable!("evict reply shape"),
+        }
+    }
+
+    /// Sweeps every shard now, returning how many expired streams were
+    /// reclaimed (workers sweep their own shard after each batch they
+    /// receive; this also reaches idle shards).
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        self.broadcast(|_| QueryBody::Sweep { now })
+            .into_iter()
+            .map(|b| match b {
+                ReplyBody::Evicted(n) => n,
+                _ => unreachable!("sweep reply shape"),
+            })
+            .sum()
+    }
+
+    /// Forcibly evicts the `n` least-recently-observed streams across
+    /// all shards (globally LRU by last-observed engine time; with a
+    /// TTL unset the order is batch-granular — see the module docs),
+    /// returning how many were removed.
+    pub fn evict_lru(&self, n: usize) -> usize {
+        let candidates: Vec<(u64, StreamKey)> = self
+            .broadcast(|_| QueryBody::LruOldest { n })
+            .into_iter()
+            .flat_map(|b| match b {
+                ReplyBody::Oldest(o) => o,
+                _ => unreachable!("lru reply shape"),
+            })
+            .collect();
+        let mut removed = 0;
+        for (_, key) in crate::shard::select_lru_victims(candidates, n) {
+            if self.evict_stream(key) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamKind;
+
+    fn skey(rank: u32) -> StreamKey {
+        StreamKey::new(rank, StreamKind::Sender)
+    }
+
+    fn engine(shards: usize) -> PersistentEngine {
+        PersistentEngine::new(EngineConfig::with_shards(shards))
+    }
+
+    #[test]
+    fn observe_then_predict_sees_own_writes() {
+        let eng = engine(4);
+        let client = eng.client();
+        let batch: Vec<Observation> = (0..30)
+            .map(|i| Observation::new(skey(0), [7u64, 1, 4][i % 3]))
+            .collect();
+        client.observe_batch(&batch);
+        assert_eq!(client.predict(skey(0), 1), Some(7));
+        assert_eq!(client.predict(skey(0), 2), Some(1));
+        assert_eq!(client.period_of(skey(0)), Some(3));
+        assert!(client.confidence_of(skey(0)).unwrap_or(0.0) > 0.0);
+        assert_eq!(eng.clock(), 30);
+    }
+
+    #[test]
+    fn predict_batch_spans_shards_and_preserves_query_order() {
+        let eng = engine(8);
+        let client = eng.client();
+        for r in 0..16u32 {
+            let batch: Vec<Observation> = (0..20)
+                .map(|i| Observation::new(skey(r), u64::from(r) + (i % 2)))
+                .collect();
+            client.observe_batch(&batch);
+        }
+        let queries: Vec<Query> = (0..16).map(|r| Query::new(skey(r), 1)).collect();
+        let mut out = Vec::new();
+        client.predict_batch(&queries, &mut out);
+        assert_eq!(out.len(), 16);
+        for (r, p) in out.iter().enumerate() {
+            assert_eq!(*p, Some(r as u64), "rank {r} predicts its own pattern");
+        }
+        // Stale-output clearing.
+        client.predict_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn metrics_count_all_submitted_events() {
+        let eng = engine(3);
+        let client = eng.client();
+        let batch: Vec<Observation> = (0..60)
+            .map(|i| Observation::new(skey(i % 6), u64::from(i % 2)))
+            .collect();
+        client.observe_batch(&batch);
+        client.observe(skey(0), 0);
+        let total = client.metrics_total();
+        assert_eq!(total.events_ingested, 61);
+        assert_eq!(total.resident_streams, 6);
+        assert_eq!(client.stream_count(), 6);
+        assert_eq!(client.metrics().shards.len(), 3);
+    }
+
+    #[test]
+    fn multiple_clients_share_one_engine() {
+        let eng = engine(4);
+        let a = eng.client();
+        let b = eng.client();
+        for i in 0..20u64 {
+            a.observe(skey(1), i % 2);
+            b.observe(skey(2), i % 3);
+        }
+        assert_eq!(a.period_of(skey(2)), Some(3), "a sees b's stream");
+        assert_eq!(b.period_of(skey(1)), Some(2), "b sees a's stream");
+        assert_eq!(eng.clock(), 40);
+    }
+
+    #[test]
+    fn forced_eviction_resets_streams() {
+        let eng = engine(2);
+        let client = eng.client();
+        for i in 0..20u64 {
+            client.observe(skey(5), i % 2);
+        }
+        assert!(client.period_of(skey(5)).is_some());
+        assert!(client.evict_stream(skey(5)));
+        assert!(!client.evict_stream(skey(5)), "already evicted");
+        assert_eq!(client.period_of(skey(5)), None);
+        assert_eq!(client.stream_count(), 0);
+        assert_eq!(client.metrics_total().evicted, 1);
+    }
+
+    #[test]
+    fn ttl_sweeps_idle_streams_in_busy_shards_and_on_demand() {
+        let eng = PersistentEngine::new(EngineConfig {
+            ttl: Some(10),
+            ..EngineConfig::with_shards(2)
+        });
+        let client = eng.client();
+        for i in 0..10u64 {
+            client.observe(skey(0), i % 2);
+        }
+        // Push rank 0 past its TTL with traffic on another rank.
+        let filler: Vec<Observation> = (0..30).map(|i| Observation::new(skey(1), i % 2)).collect();
+        client.observe_batch(&filler);
+        assert_eq!(client.predict(skey(0), 1), None, "expired");
+        // rank 0's shard may have been idle; a broadcast sweep always
+        // reclaims (0 if the worker already did during its own batch).
+        client.sweep_expired();
+        assert_eq!(client.stream_count(), 1);
+        assert_eq!(client.metrics_total().evicted, 1, "counted exactly once");
+    }
+
+    #[test]
+    fn evict_lru_takes_globally_oldest() {
+        let eng = engine(4);
+        let client = eng.client();
+        for r in 0..6u32 {
+            client.observe_batch(&[Observation::new(skey(r), 1)]);
+        }
+        client.observe_batch(&[Observation::new(skey(0), 2)]);
+        assert_eq!(client.evict_lru(2), 2);
+        let mut left: Vec<u32> = (0..6)
+            .filter(|&r| client.period_of(skey(r)).is_some() || client.evict_stream(skey(r)))
+            .collect();
+        // ranks 1 and 2 were the oldest; 0 was refreshed.
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drop_joins_workers_without_deadlock() {
+        let eng = engine(8);
+        let client = eng.client();
+        client.observe_batch(
+            &(0..1000)
+                .map(|i| Observation::new(skey(i % 32), u64::from(i % 5)))
+                .collect::<Vec<_>>(),
+        );
+        let second = eng.clone();
+        drop(eng);
+        drop(client);
+        // Workers are still alive through `second`.
+        let c2 = second.client();
+        assert_eq!(c2.metrics_total().events_ingested, 1000);
+        drop(c2);
+        drop(second); // last handle: joins all 8 workers
+    }
+}

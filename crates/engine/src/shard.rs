@@ -12,15 +12,70 @@
 //! only thing the DPD's distance metric consults — is preserved, so the
 //! detected periods and the mapped-back predictions are bit-identical to
 //! running the predictor on raw symbols (property-tested in
-//! `tests/equivalence.rs`). Dense ids keep ring contents small and are
-//! the representation table-indexed predictors (Markov, set) need.
+//! `tests/equivalence.rs`).
+//!
+//! ## Engine time and the TTL rule
+//!
+//! Observations carry a global *engine-time* stamp: the 1-based index of
+//! the event in the engine-wide ingest order. Each slot remembers the
+//! stamp of its latest observation (`last_seen`). With a TTL of `t`
+//! events, a stream whose gap `now − last_seen` exceeds `t` is
+//! **logically evicted**: predictions return `None` and the next
+//! observation restarts it cold (fresh predictor and interner). The rule
+//! is enforced in two ways that are deliberately indistinguishable:
+//!
+//! * lazily, when an expired slot is touched by a new observation
+//!   (reset in place), or consulted by a predict (masked to `None`);
+//! * eagerly, by [`Shard::sweep_expired`], which *removes* expired
+//!   slots to reclaim memory.
+//!
+//! Because a swept stream would have been reset at its next touch
+//! anyway (the gap only grows), sweep timing can never change a
+//! prediction or a scoring counter (hits/misses/abstentions/churn/
+//! events) — sweeps are pure memory reclamation. The reclamation
+//! metrics themselves (`evicted`, `resident_streams`) do reflect sweep
+//! progress: a stream that expires and is never touched again is
+//! counted evicted (and released) only once some sweep reaches it.
+//! The invariant holds whenever the shard's inputs are stamp-monotone
+//! (each `observe_at`/`sweep_expired` call carries a `now`/`at` no
+//! smaller than every stamp already applied), which is guaranteed for
+//! the scoped engine and for any single client of the persistent
+//! engine — and is what lets persistent workers sweep only the shards
+//! that happen to receive traffic while staying bit-identical to the
+//! sequential reference (property-tested in `tests/persistence.rs`).
+//! Concurrent clients racing a TTL relax this to arrival order; see
+//! the [`persistent`](crate::persistent) docs.
 
 use crate::metrics::ShardMetrics;
-use crate::types::{Observation, Query, StreamKey};
+use crate::types::{Observation, Query, RankId, StreamKey, StreamKind};
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
 use mpp_core::predictors::Predictor;
 use mpp_core::stream::SymbolMap;
 use std::collections::HashMap;
+
+/// The single definition of the TTL expiry rule: a stream whose last
+/// observation is more than `ttl` engine-time events before `now` is
+/// logically evicted. The lazy reset in [`Shard::observe_at`], the
+/// predict-time masking, and the sweep's retain condition must stay
+/// exact complements of each other — which is why they all call this.
+#[inline]
+pub(crate) fn is_expired(ttl: Option<u64>, last_seen: u64, now: u64) -> bool {
+    matches!(ttl, Some(t) if now.saturating_sub(last_seen) > t)
+}
+
+/// Orders LRU eviction candidates oldest-first — by last-observed
+/// engine time, ties broken by key so every execution mode picks
+/// identical victims — and keeps the first `n`. The single definition
+/// of the LRU victim order, shared by [`Shard::lru_oldest`],
+/// `Engine::evict_lru` and `EngineClient::evict_lru`.
+pub(crate) fn select_lru_victims(
+    mut candidates: Vec<(u64, StreamKey)>,
+    n: usize,
+) -> Vec<(u64, StreamKey)> {
+    candidates.sort_unstable_by_key(|&(seen, key)| (seen, key.rank, key.kind.index()));
+    candidates.truncate(n);
+    candidates
+}
 
 /// Predictor, interner and score-keeping state for one stream.
 #[derive(Debug, Clone)]
@@ -32,6 +87,8 @@ pub(crate) struct StreamSlot {
     pending_next: Option<u64>,
     /// Period seen after the previous observation, for churn counting.
     last_period: Option<usize>,
+    /// Engine-time stamp of this stream's latest observation.
+    last_seen: u64,
 }
 
 impl StreamSlot {
@@ -41,12 +98,13 @@ impl StreamSlot {
             predictor: DpdPredictor::new(cfg.clone()),
             pending_next: None,
             last_period: None,
+            last_seen: 0,
         }
     }
 
     /// Ingests one raw symbol, updating hit/miss/churn counters.
     #[inline]
-    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics) {
+    fn observe(&mut self, raw: u64, at: u64, metrics: &mut ShardMetrics) {
         let id = u64::from(self.interner.intern(raw));
         match self.pending_next {
             Some(p) if p == id => metrics.hits += 1,
@@ -60,6 +118,7 @@ impl StreamSlot {
             self.last_period = period;
         }
         self.pending_next = self.predictor.predict(1);
+        self.last_seen = at;
         metrics.events_ingested += 1;
     }
 
@@ -87,77 +146,240 @@ impl StreamSlot {
 #[derive(Debug)]
 pub struct Shard {
     cfg: DpdConfig,
+    /// TTL in engine-time events; `None` disables expiry.
+    ttl: Option<u64>,
     slots: HashMap<StreamKey, StreamSlot>,
     metrics: ShardMetrics,
+    /// Highest engine-time stamp this shard has processed (used to
+    /// stamp untimed `observe` calls from standalone/unit-test use).
+    clock: u64,
+    /// Engine time of the last sweep (throttles [`Shard::maybe_sweep`]).
+    last_sweep: u64,
 }
 
 impl Shard {
-    /// Creates an empty shard whose predictors use `cfg`.
+    /// Creates an empty shard whose predictors use `cfg`, with no TTL.
     pub fn new(cfg: DpdConfig) -> Self {
+        Self::with_ttl(cfg, None)
+    }
+
+    /// Creates an empty shard with an idle-stream TTL (in engine-time
+    /// events; see the [module docs](self) for the expiry rule).
+    pub fn with_ttl(cfg: DpdConfig, ttl: Option<u64>) -> Self {
         Shard {
             cfg,
+            ttl,
             slots: HashMap::new(),
             metrics: ShardMetrics::default(),
+            clock: 0,
+            last_sweep: 0,
         }
     }
 
-    /// Ingests one observation.
+    /// Whether `last_seen` has expired as of engine time `now`.
+    #[inline]
+    fn expired(&self, last_seen: u64, now: u64) -> bool {
+        is_expired(self.ttl, last_seen, now)
+    }
+
+    /// Ingests one observation stamped with engine time `at`.
+    #[inline]
+    pub fn observe_at(&mut self, obs: Observation, at: u64) {
+        self.clock = self.clock.max(at);
+        let (cfg, ttl) = (&self.cfg, self.ttl);
+        let slot = self
+            .slots
+            .entry(obs.key)
+            .or_insert_with(|| StreamSlot::new(cfg));
+        // Lazy TTL: an expired slot restarts cold, exactly as if a
+        // sweep had removed it and this observation re-created it.
+        if slot.last_seen > 0 && is_expired(ttl, slot.last_seen, at) {
+            *slot = StreamSlot::new(cfg);
+            self.metrics.evicted += 1;
+        }
+        slot.observe(obs.value, at, &mut self.metrics);
+    }
+
+    /// Ingests one observation, stamping it one tick after the latest
+    /// this shard has seen (standalone use; engines stamp globally).
     #[inline]
     pub fn observe(&mut self, obs: Observation) {
-        let cfg = &self.cfg;
-        self.slots
-            .entry(obs.key)
-            .or_insert_with(|| StreamSlot::new(cfg))
-            .observe(obs.value, &mut self.metrics);
+        self.observe_at(obs, self.clock + 1);
     }
 
-    /// Ingests the subset of `batch` selected by `indices`, in order.
-    /// This is the per-shard leg of `Engine::observe_batch`: `indices`
-    /// is a preallocated scratch buffer owned by the engine, so the
-    /// steady state allocates nothing.
-    pub fn observe_indexed(&mut self, batch: &[Observation], indices: &[u32]) {
-        self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(indices.len() as u64);
+    /// Records a batch-leg size in the `max_batch_depth` high-water
+    /// mark (load-balance signal across shards).
+    #[inline]
+    pub fn note_batch_depth(&mut self, depth: u64) {
+        self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(depth);
+    }
+
+    /// Ingests the subset of `batch` selected by `indices`, in order,
+    /// stamping element `i` of `batch` with engine time `base + i + 1`.
+    /// This is the per-shard leg of a batched ingest: `indices` is a
+    /// preallocated scratch buffer owned by the engine, so the steady
+    /// state allocates nothing.
+    pub fn observe_indexed_at(&mut self, batch: &[Observation], indices: &[u32], base: u64) {
+        self.note_batch_depth(indices.len() as u64);
         for &i in indices {
-            self.observe(batch[i as usize]);
+            self.observe_at(batch[i as usize], base + u64::from(i) + 1);
         }
     }
 
-    /// Ingests every event of `batch`, in order (single-shard fast
-    /// path: no partitioning needed).
-    pub fn observe_all(&mut self, batch: &[Observation]) {
-        self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(batch.len() as u64);
-        for obs in batch {
-            self.observe(*obs);
+    /// Ingests every event of `batch`, in order, stamped from
+    /// `base + 1` (single-shard fast path: no partitioning needed).
+    pub fn observe_all_at(&mut self, batch: &[Observation], base: u64) {
+        self.note_batch_depth(batch.len() as u64);
+        for (i, obs) in batch.iter().enumerate() {
+            self.observe_at(*obs, base + i as u64 + 1);
         }
     }
 
-    /// Serves one query. Returns `None` for unknown streams, horizon 0,
-    /// or streams without a locked period.
+    /// Serves one query at engine time `now`. Returns `None` for
+    /// unknown or expired streams, horizon 0, or streams without a
+    /// locked period.
+    #[inline]
+    pub fn predict_at(&mut self, q: Query, now: u64) -> Option<u64> {
+        self.metrics.predictions_served += 1;
+        let slot = self.slots.get(&q.key)?;
+        if self.expired(slot.last_seen, now) {
+            return None;
+        }
+        slot.predict(q.horizon as usize)
+    }
+
+    /// Serves one query at this shard's own clock (standalone use).
     #[inline]
     pub fn predict(&mut self, q: Query) -> Option<u64> {
-        self.metrics.predictions_served += 1;
-        self.slots.get(&q.key)?.predict(q.horizon as usize)
+        self.predict_at(q, self.clock)
     }
 
-    /// Detected period of a stream, if locked.
+    /// The next `depth` forecast (sender, size) pairs for `rank` — the
+    /// shape the runtime policies (§2 of the paper) consume. Both
+    /// attribute streams of a rank live in the same shard by
+    /// construction.
+    pub fn forecast_at(
+        &mut self,
+        rank: RankId,
+        depth: usize,
+        now: u64,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        out.clear();
+        out.reserve(depth);
+        for h in 1..=depth as u32 {
+            let sender =
+                self.predict_at(Query::new(StreamKey::new(rank, StreamKind::Sender), h), now);
+            let size = self.predict_at(Query::new(StreamKey::new(rank, StreamKind::Size), h), now);
+            out.push((sender, size));
+        }
+    }
+
+    /// Detected period of a stream (`None` if unknown, unlocked, or
+    /// expired at engine time `now`).
+    pub fn period_of_at(&self, key: StreamKey, now: u64) -> Option<usize> {
+        let slot = self.slots.get(&key)?;
+        if self.expired(slot.last_seen, now) {
+            return None;
+        }
+        slot.period()
+    }
+
+    /// Detected period at this shard's own clock (standalone use).
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        self.slots.get(&key)?.period()
+        self.period_of_at(key, self.clock)
     }
 
-    /// Detector confidence of a stream's lock.
+    /// Detector confidence of a stream's lock (expiry-masked like
+    /// [`Shard::period_of_at`]).
+    pub fn confidence_of_at(&self, key: StreamKey, now: u64) -> Option<f64> {
+        let slot = self.slots.get(&key)?;
+        if self.expired(slot.last_seen, now) {
+            return None;
+        }
+        slot.confidence()
+    }
+
+    /// Detector confidence at this shard's own clock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        self.slots.get(&key)?.confidence()
+        self.confidence_of_at(key, self.clock)
     }
 
-    /// Number of resident streams.
+    /// Removes every slot whose stream has expired as of engine time
+    /// `now`, returning how many were reclaimed. Pure memory
+    /// reclamation: cannot change any later prediction or counter (see
+    /// the [module docs](self)).
+    pub fn sweep_expired(&mut self, now: u64) -> usize {
+        let ttl = self.ttl;
+        if ttl.is_none() {
+            return 0;
+        }
+        let before = self.slots.len();
+        self.slots
+            .retain(|_, slot| !is_expired(ttl, slot.last_seen, now));
+        let removed = before - self.slots.len();
+        self.metrics.evicted += removed as u64;
+        self.last_sweep = now;
+        removed
+    }
+
+    /// Sweeps only when the clock has advanced at least half a TTL
+    /// since the last sweep — the per-batch reclamation hook. Safe at
+    /// any frequency by the sweep-timing invariance (module docs);
+    /// throttling keeps the O(resident-streams) scan off the hot path
+    /// for small batches, at the cost of expired slots lingering at
+    /// most an extra ttl/2 events.
+    pub fn maybe_sweep(&mut self, now: u64) -> usize {
+        match self.ttl {
+            Some(t) if now.saturating_sub(self.last_sweep) >= (t / 2).max(1) => {
+                self.sweep_expired(now)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Forcibly evicts one stream, returning whether it was resident.
+    /// The stream restarts cold if observed again.
+    pub fn evict_stream(&mut self, key: StreamKey) -> bool {
+        let hit = self.slots.remove(&key).is_some();
+        if hit {
+            self.metrics.evicted += 1;
+        }
+        hit
+    }
+
+    /// The `n` least-recently-observed resident streams, oldest first
+    /// (ties broken by key for determinism) — the LRU victim order.
+    pub fn lru_oldest(&self, n: usize) -> Vec<(u64, StreamKey)> {
+        let all: Vec<(u64, StreamKey)> =
+            self.slots.iter().map(|(k, s)| (s.last_seen, *k)).collect();
+        select_lru_victims(all, n)
+    }
+
+    /// Forcibly evicts the `n` least-recently-observed streams,
+    /// returning how many were removed.
+    pub fn evict_lru(&mut self, n: usize) -> usize {
+        let victims = self.lru_oldest(n);
+        for (_, key) in &victims {
+            self.evict_stream(*key);
+        }
+        victims.len()
+    }
+
+    /// Number of resident streams (including expired-but-unswept ones).
     pub fn stream_count(&self) -> usize {
         self.slots.len()
     }
 
-    /// Counter snapshot (stream count refreshed on read).
+    /// The configured TTL, if any.
+    pub fn ttl(&self) -> Option<u64> {
+        self.ttl
+    }
+
+    /// Counter snapshot (resident stream count refreshed on read).
     pub fn metrics(&self) -> ShardMetrics {
         let mut m = self.metrics;
-        m.streams = self.slots.len() as u64;
+        m.resident_streams = self.slots.len() as u64;
         m
     }
 
@@ -247,7 +469,7 @@ mod tests {
         assert!(m.hits >= 50, "locked stream should mostly hit: {m:?}");
         assert_eq!(m.misses, 0);
         assert!(m.abstentions >= 2, "cold start abstains");
-        assert_eq!(m.streams, 1);
+        assert_eq!(m.resident_streams, 1);
         let rate = m.hit_rate().unwrap();
         assert!(rate > 0.8, "hit rate {rate}");
     }
@@ -273,10 +495,10 @@ mod tests {
         let mut shard = Shard::new(DpdConfig::default());
         let batch: Vec<Observation> = (0..5).map(|i| Observation::new(key(0), i % 2)).collect();
         let idx: Vec<u32> = (0..5).collect();
-        shard.observe_indexed(&batch, &idx);
+        shard.observe_indexed_at(&batch, &idx, 0);
         assert_eq!(shard.metrics().max_batch_depth, 5);
         assert_eq!(shard.metrics().events_ingested, 5);
-        shard.observe_indexed(&batch, &idx[..2]);
+        shard.observe_indexed_at(&batch, &idx[..2], 5);
         assert_eq!(
             shard.metrics().max_batch_depth,
             5,
@@ -292,6 +514,86 @@ mod tests {
         shard.clear_streams();
         assert_eq!(shard.stream_count(), 0);
         assert_eq!(shard.metrics().events_ingested, ingested);
-        assert_eq!(shard.metrics().streams, 0);
+        assert_eq!(shard.metrics().resident_streams, 0);
+    }
+
+    #[test]
+    fn ttl_masks_predictions_and_restarts_streams_cold() {
+        let mut shard = Shard::with_ttl(DpdConfig::default(), Some(10));
+        feed_pattern(&mut shard, key(0), &[1, 2], 10); // events 1..=20
+        assert_eq!(shard.predict_at(Query::new(key(0), 1), 20), Some(1));
+        // Within TTL the lock still serves.
+        assert_eq!(shard.predict_at(Query::new(key(0), 1), 30), Some(1));
+        // Past the TTL the stream is logically evicted.
+        assert_eq!(shard.predict_at(Query::new(key(0), 1), 31), None);
+        assert_eq!(shard.period_of_at(key(0), 31), None);
+        // A new observation restarts it cold (abstention, no period).
+        let before = shard.metrics();
+        shard.observe_at(Observation::new(key(0), 1), 31);
+        let after = shard.metrics();
+        assert_eq!(after.evicted, before.evicted + 1);
+        assert_eq!(after.abstentions, before.abstentions + 1);
+        assert_eq!(shard.period_of_at(key(0), 31), None, "cold restart");
+    }
+
+    #[test]
+    fn sweep_reclaims_exactly_the_expired_streams() {
+        let mut shard = Shard::with_ttl(DpdConfig::default(), Some(5));
+        shard.observe_at(Observation::new(key(0), 1), 1);
+        shard.observe_at(Observation::new(key(1), 1), 2);
+        assert_eq!(shard.sweep_expired(6), 0, "gap 5 <= ttl keeps key 0");
+        assert_eq!(shard.sweep_expired(7), 1, "gap 6 > ttl evicts key 0");
+        assert_eq!(shard.stream_count(), 1);
+        assert_eq!(shard.metrics().evicted, 1);
+        // Without a TTL, sweeping is a no-op.
+        let mut none = Shard::new(DpdConfig::default());
+        none.observe_at(Observation::new(key(0), 1), 1);
+        assert_eq!(none.sweep_expired(1_000_000), 0);
+    }
+
+    #[test]
+    fn sweep_timing_cannot_change_predictions() {
+        // Same event sequence; one bank sweeps aggressively, one never.
+        let drive = |sweep: bool| -> (Option<u64>, ShardMetrics) {
+            let mut shard = Shard::with_ttl(DpdConfig::default(), Some(4));
+            let mut at = 0;
+            for _ in 0..10 {
+                for v in [3u64, 9] {
+                    at += 1;
+                    shard.observe_at(Observation::new(key(0), v), at);
+                }
+            }
+            at += 20; // long idle gap: the stream expires
+            if sweep {
+                shard.sweep_expired(at);
+            }
+            for v in [3u64, 9, 3, 9, 3, 9] {
+                at += 1;
+                shard.observe_at(Observation::new(key(0), v), at);
+            }
+            (shard.predict_at(Query::new(key(0), 1), at), shard.metrics())
+        };
+        let (swept_p, swept_m) = drive(true);
+        let (lazy_p, lazy_m) = drive(false);
+        assert_eq!(swept_p, lazy_p);
+        assert_eq!(swept_m, lazy_m, "sweeps are metrics-invisible too");
+        assert_eq!(swept_m.evicted, 1);
+    }
+
+    #[test]
+    fn forced_eviction_and_lru_order() {
+        let mut shard = Shard::new(DpdConfig::default());
+        shard.observe_at(Observation::new(key(0), 1), 1);
+        shard.observe_at(Observation::new(key(1), 1), 2);
+        shard.observe_at(Observation::new(key(2), 1), 3);
+        shard.observe_at(Observation::new(key(0), 2), 4); // key 0 refreshed
+        let oldest = shard.lru_oldest(2);
+        assert_eq!(oldest[0].1, key(1), "least recently observed first");
+        assert_eq!(oldest[1].1, key(2));
+        assert_eq!(shard.evict_lru(2), 2);
+        assert_eq!(shard.stream_count(), 1);
+        assert!(shard.evict_stream(key(0)));
+        assert!(!shard.evict_stream(key(0)), "already gone");
+        assert_eq!(shard.metrics().evicted, 3);
     }
 }

@@ -48,6 +48,7 @@ proptest! {
             dpd: cfg.clone(),
             // Exercise the threaded path even on small batches.
             parallel_threshold: 0,
+            ttl: None,
         });
         for chunk in events.chunks(batch_size.max(1)) {
             engine.observe_batch(chunk);
@@ -90,6 +91,7 @@ proptest! {
                 shards,
                 dpd: DpdConfig { window: 64, max_lag: 16, ..DpdConfig::default() },
                 parallel_threshold: 0,
+                ttl: None,
             });
             e.observe_batch(&events);
             e
@@ -110,7 +112,7 @@ proptest! {
         prop_assert_eq!(ta.hits, tb.hits);
         prop_assert_eq!(ta.misses, tb.misses);
         prop_assert_eq!(ta.period_churn, tb.period_churn);
-        prop_assert_eq!(ta.streams, tb.streams);
+        prop_assert_eq!(ta.resident_streams, tb.resident_streams);
     }
 
     /// Batch boundaries are invisible: one big batch equals
@@ -126,6 +128,7 @@ proptest! {
             shards,
             dpd: DpdConfig { window: 32, max_lag: 8, ..DpdConfig::default() },
             parallel_threshold: 0,
+            ttl: None,
         };
         let mut whole = Engine::new(cfg.clone());
         whole.observe_batch(&events);

@@ -1,0 +1,237 @@
+//! The persistent engine's load-bearing property: for ANY interleaving
+//! of observe/predict batches, forced evictions, TTL expiries and
+//! memory-reclamation sweeps, the persistent-worker engine is
+//! bit-identical to (a) the scoped engine fed the same operations and
+//! (b) the sequential reference of one raw-symbol `DpdPredictor` per
+//! stream with the same eviction rule applied by hand — including
+//! across eviction-and-reload of a stream, which must restart cold.
+
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::predictors::Predictor;
+use mpp_engine::{
+    Engine, EngineConfig, Observation, PersistentEngine, Query, StreamKey, StreamKind,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const RANKS: u32 = 6;
+const HORIZONS: u32 = 4;
+
+/// Sequential per-stream reference with the engine's eviction rule:
+/// raw symbols, one predictor per stream, reset on forced eviction or
+/// when the engine-time gap exceeds the TTL.
+struct RefBank {
+    cfg: DpdConfig,
+    ttl: Option<u64>,
+    clock: u64,
+    slots: HashMap<StreamKey, (DpdPredictor, u64)>,
+}
+
+impl RefBank {
+    fn new(cfg: DpdConfig, ttl: Option<u64>) -> Self {
+        RefBank {
+            cfg,
+            ttl,
+            clock: 0,
+            slots: HashMap::new(),
+        }
+    }
+
+    fn expired(&self, last_seen: u64, now: u64) -> bool {
+        matches!(self.ttl, Some(t) if now.saturating_sub(last_seen) > t)
+    }
+
+    fn observe_batch(&mut self, batch: &[Observation]) {
+        for obs in batch {
+            self.clock += 1;
+            let at = self.clock;
+            let cfg = &self.cfg;
+            let ttl = self.ttl;
+            let (predictor, last_seen) = self
+                .slots
+                .entry(obs.key)
+                .or_insert_with(|| (DpdPredictor::new(cfg.clone()), 0));
+            let gap_expired = matches!(ttl, Some(t) if at.saturating_sub(*last_seen) > t);
+            if *last_seen > 0 && gap_expired {
+                *predictor = DpdPredictor::new(cfg.clone());
+            }
+            predictor.observe(obs.value);
+            *last_seen = at;
+        }
+    }
+
+    fn predict(&self, key: StreamKey, horizon: u32) -> Option<u64> {
+        let (predictor, last_seen) = self.slots.get(&key)?;
+        if self.expired(*last_seen, self.clock) {
+            return None;
+        }
+        predictor.predict(horizon as usize)
+    }
+
+    fn evict(&mut self, key: StreamKey) {
+        self.slots.remove(&key);
+    }
+
+    /// Whether `key` holds a live (non-expired) stream.
+    fn live_contains(&self, key: StreamKey) -> bool {
+        self.slots
+            .get(&key)
+            .is_some_and(|(_, seen)| !self.expired(*seen, self.clock))
+    }
+
+    /// Streams still live (not expired) — what the engine must have
+    /// resident after a full sweep.
+    fn live_count(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|(_, seen)| !self.expired(*seen, self.clock))
+            .count()
+    }
+}
+
+/// One generated operation, decoded from a flat integer tuple so the
+/// vendored proptest's strategies (ranges + tuples + vec) suffice.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Ingest a small deterministic batch derived from the seeds.
+    ObserveBatch(Vec<Observation>),
+    /// Compare predictions for one key at all horizons.
+    Predict(StreamKey),
+    /// Forcibly evict one stream everywhere (engine + reference).
+    Evict(StreamKey),
+    /// Memory-reclamation sweep on the engines only: must be invisible.
+    Sweep,
+}
+
+fn decode_key(rank: u32, kind: u8) -> StreamKey {
+    StreamKey::new(rank % RANKS, StreamKind::ALL[kind as usize % 3])
+}
+
+fn decode_op((sel, rank, kind, value, len): (u8, u32, u8, u64, u8)) -> Op {
+    match sel % 8 {
+        // Half the weight on ingest so streams actually train.
+        0..=3 => {
+            let events = (0..u64::from(len) + 1)
+                .map(|j| {
+                    let r = (rank + j as u32) % RANKS;
+                    let k = StreamKind::ALL[((u32::from(kind) + r) % 3) as usize];
+                    // Per-stream periodic-ish values with occasional breaks.
+                    Observation::new(StreamKey::new(r, k), (value + j) % 5)
+                })
+                .collect();
+            Op::ObserveBatch(events)
+        }
+        4 | 5 => Op::Predict(decode_key(rank, kind)),
+        6 => Op::Evict(decode_key(rank, kind)),
+        _ => Op::Sweep,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Any interleaving of observe/predict batches, forced evictions
+    /// and sweeps: persistent == scoped == sequential reference,
+    /// bit-for-bit, for every stream and horizon — under TTL expiry
+    /// and across eviction-and-reload.
+    #[test]
+    fn persistent_matches_scoped_and_sequential_reference(
+        raw_ops in prop::collection::vec(
+            (0u8..8, 0u32..6, 0u8..3, 0u64..5, 0u8..20), 1..50),
+        shards in 1usize..6,
+        ttl_sel in 0u64..60,
+    ) {
+        // A third of the cases run without TTL; the rest with a small
+        // TTL so expiry genuinely fires mid-sequence.
+        let ttl = if ttl_sel < 20 { None } else { Some(ttl_sel) };
+        let cfg = DpdConfig { window: 48, max_lag: 16, ..DpdConfig::default() };
+        let ecfg = EngineConfig {
+            shards,
+            dpd: cfg.clone(),
+            parallel_threshold: 0,
+            ttl,
+        };
+        let persistent = PersistentEngine::new(ecfg.clone());
+        let client = persistent.client();
+        let mut scoped = Engine::new(ecfg);
+        let mut reference = RefBank::new(cfg, ttl);
+        let mut total_events = 0u64;
+
+        let ops: Vec<Op> = raw_ops.into_iter().map(decode_op).collect();
+        for op in &ops {
+            match op {
+                Op::ObserveBatch(events) => {
+                    client.observe_batch(events);
+                    scoped.observe_batch(events);
+                    reference.observe_batch(events);
+                    total_events += events.len() as u64;
+                }
+                Op::Predict(key) => {
+                    for h in 1..=HORIZONS {
+                        let want = reference.predict(*key, h);
+                        prop_assert_eq!(
+                            client.predict(*key, h), want,
+                            "persistent diverged mid-sequence on {:?} +{}", key, h
+                        );
+                        prop_assert_eq!(
+                            scoped.predict(*key, h), want,
+                            "scoped diverged mid-sequence on {:?} +{}", key, h
+                        );
+                    }
+                }
+                Op::Evict(key) => {
+                    // Evicted-and-reloaded streams must restart cold.
+                    // A *live* stream is resident in every mode, so both
+                    // engines must report it evicted; for expired streams
+                    // the return value depends on the sweep schedule
+                    // (scoped sweeps every shard per batch, persistent
+                    // only busy shards), which is legitimately
+                    // mode-dependent and not asserted.
+                    let live = reference.live_contains(*key);
+                    let a = client.evict_stream(*key);
+                    let b = scoped.evict_stream(*key);
+                    if live {
+                        prop_assert!(a && b, "live stream must be resident in both modes");
+                    }
+                    reference.evict(*key);
+                }
+                Op::Sweep => {
+                    // Reclamation must never change anything observable.
+                    client.sweep_expired();
+                    scoped.sweep_expired();
+                }
+            }
+        }
+
+        // Final exhaustive comparison over every possible stream.
+        let mut queries = Vec::new();
+        let mut expected = Vec::new();
+        for rank in 0..RANKS {
+            for kind in StreamKind::ALL {
+                let key = StreamKey::new(rank, kind);
+                for h in 1..=HORIZONS {
+                    queries.push(Query::new(key, h));
+                    expected.push(reference.predict(key, h));
+                }
+            }
+        }
+        let mut got = Vec::new();
+        client.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &expected, "persistent final state diverged");
+        scoped.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &expected, "scoped final state diverged");
+
+        // Metrics: both modes saw every event, and after a full sweep
+        // both hold exactly the reference's live streams.
+        let (pm, sm) = (client.metrics_total(), scoped.metrics_total());
+        prop_assert_eq!(pm.events_ingested, total_events);
+        prop_assert_eq!(sm.events_ingested, total_events);
+        prop_assert_eq!(pm.hits, sm.hits, "scoring diverged between modes");
+        prop_assert_eq!(pm.misses, sm.misses);
+        prop_assert_eq!(pm.abstentions, sm.abstentions);
+        client.sweep_expired();
+        scoped.sweep_expired();
+        prop_assert_eq!(client.stream_count(), reference.live_count());
+        prop_assert_eq!(scoped.stream_count(), reference.live_count());
+    }
+}

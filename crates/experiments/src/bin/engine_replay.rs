@@ -1,93 +1,24 @@
 //! Replays NAS benchmark traces through the `mpp-engine` serving layer
 //! at full speed: every rank's sender/size/tag streams are ingested in
-//! batches, then the engine's online `+1` accuracy, period churn, and
-//! ingest rate are reported per configuration and per shard.
+//! batches, then the engine's online `+1` accuracy, period churn,
+//! eviction counts, and ingest rate are reported per configuration.
 //!
 //! ```text
-//! cargo run -p mpp-experiments --release --bin engine_replay -- [--csv] [--seed N] [--shards K] [bt 9 | cg 8 | ...]
+//! cargo run -p mpp-experiments --release --bin engine_replay -- \
+//!     [--csv] [--seed N] [--shards K] [--ttl N] [--mode persistent|scoped] \
+//!     [bt 9 | cg 8 | ...]
 //! ```
 //!
 //! With no positional arguments, the paper's full configuration roster
 //! is replayed (the Table 1 set), giving an engine-level summary of the
 //! paper's central claim: these streams are predictable enough to serve.
+//! `--mode` selects the persistent-worker engine (default) or the
+//! scoped per-batch-thread engine; `--ttl N` evicts streams idle for
+//! more than `N` engine-time events.
 
-use mpp_core::dpd::DpdConfig;
-use mpp_engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind};
+use mpp_experiments::replay::{replay, EngineMode};
 use mpp_experiments::CliArgs;
-use mpp_nasbench::{paper_configs, run_config, BenchId, BenchmarkConfig, Class};
-use std::time::Instant;
-
-/// Events ingested per `observe_batch` call during replay.
-const REPLAY_BATCH: usize = 8192;
-
-/// Flattens a trace into engine observations, interleaving ranks in
-/// logical-index order (round-robin-ish, like a serving layer ingesting
-/// many ranks' deliveries concurrently).
-fn trace_to_events(trace: &mpp_mpisim::Trace) -> Vec<Observation> {
-    let mut out = Vec::new();
-    let mut cursors: Vec<usize> = vec![0; trace.nprocs()];
-    loop {
-        let mut progressed = false;
-        for rank in 0..trace.nprocs() {
-            let events = trace.receives_of(rank);
-            if cursors[rank] >= events.len() {
-                continue;
-            }
-            let e = &events[cursors[rank]];
-            cursors[rank] += 1;
-            progressed = true;
-            let r = rank as u32;
-            out.push(Observation::new(
-                StreamKey::new(r, StreamKind::Sender),
-                e.src as u64,
-            ));
-            out.push(Observation::new(
-                StreamKey::new(r, StreamKind::Size),
-                e.bytes,
-            ));
-            out.push(Observation::new(
-                StreamKey::new(r, StreamKind::Tag),
-                u64::from(e.tag),
-            ));
-        }
-        if !progressed {
-            return out;
-        }
-    }
-}
-
-struct ReplayReport {
-    label: String,
-    events: usize,
-    streams: u64,
-    hit_rate: f64,
-    churn: u64,
-    events_per_sec: f64,
-}
-
-fn replay(config: &BenchmarkConfig, seed: u64, shards: usize) -> ReplayReport {
-    let trace = run_config(config, seed);
-    let events = trace_to_events(&trace);
-    let mut engine = Engine::new(EngineConfig {
-        shards,
-        dpd: DpdConfig::default(),
-        ..EngineConfig::default()
-    });
-    let start = Instant::now();
-    for chunk in events.chunks(REPLAY_BATCH) {
-        engine.observe_batch(chunk);
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let total = engine.metrics_total();
-    ReplayReport {
-        label: config.label(),
-        events: events.len(),
-        streams: total.streams,
-        hit_rate: total.hit_rate().unwrap_or(0.0),
-        churn: total.period_churn,
-        events_per_sec: events.len() as f64 / secs.max(1e-12),
-    }
-}
+use mpp_nasbench::{paper_configs, BenchId, BenchmarkConfig, Class};
 
 fn parse_bench(name: &str) -> Option<BenchId> {
     match name {
@@ -109,6 +40,20 @@ fn main() {
             std::process::exit(2);
         }),
         None => std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+    };
+    let ttl: Option<u64> = args.take_flag("--ttl").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--ttl needs a positive event count");
+            std::process::exit(2);
+        })
+    });
+    let mode = match args.take_flag("--mode").as_deref() {
+        None | Some("persistent") => EngineMode::Persistent,
+        Some("scoped") => EngineMode::Scoped,
+        Some(other) => {
+            eprintln!("unknown mode {other} (persistent|scoped)");
+            std::process::exit(2);
+        }
     };
     let positional = args.positional;
 
@@ -138,29 +83,45 @@ fn main() {
     };
 
     if args.csv {
-        println!("config,events,streams,hit_rate,period_churn,events_per_sec,shards");
-    } else {
-        println!("engine replay — {shards} shard(s), seed {seed}");
         println!(
-            "{:<14} {:>9} {:>8} {:>9} {:>7} {:>14}",
-            "config", "events", "streams", "hit_rate", "churn", "events/sec"
+            "config,events,streams,hit_rate,period_churn,evicted,events_per_sec,shards,mode,ttl"
+        );
+    } else {
+        let ttl_label = ttl.map_or("off".to_string(), |t| t.to_string());
+        println!(
+            "engine replay — {shards} shard(s), seed {seed}, mode {}, ttl {ttl_label}",
+            mode.label()
+        );
+        println!(
+            "{:<14} {:>9} {:>8} {:>9} {:>7} {:>8} {:>14}",
+            "config", "events", "streams", "hit_rate", "churn", "evicted", "events/sec"
         );
     }
     for config in &configs {
-        let r = replay(config, seed, shards);
+        let r = replay(config, seed, shards, ttl, mode);
         if args.csv {
             println!(
-                "{},{},{},{:.4},{},{:.0},{}",
-                r.label, r.events, r.streams, r.hit_rate, r.churn, r.events_per_sec, shards
+                "{},{},{},{:.4},{},{},{:.0},{},{},{}",
+                r.label,
+                r.events,
+                r.total.resident_streams,
+                r.hit_rate(),
+                r.total.period_churn,
+                r.total.evicted,
+                r.events_per_sec,
+                shards,
+                mode.label(),
+                ttl.map_or("off".to_string(), |t| t.to_string()),
             );
         } else {
             println!(
-                "{:<14} {:>9} {:>8} {:>8.1}% {:>7} {:>14.0}",
+                "{:<14} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>14.0}",
                 r.label,
                 r.events,
-                r.streams,
-                100.0 * r.hit_rate,
-                r.churn,
+                r.total.resident_streams,
+                100.0 * r.hit_rate(),
+                r.total.period_churn,
+                r.total.evicted,
                 r.events_per_sec
             );
         }

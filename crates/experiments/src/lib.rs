@@ -24,6 +24,7 @@
 //! the accuracy sweep used by Figures 3 and 4.
 
 pub mod paper;
+pub mod replay;
 
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
 use mpp_core::eval::{EvalReport, StreamEvaluator};

@@ -1,0 +1,191 @@
+//! Full-speed replay of NAS benchmark traces through the `mpp-engine`
+//! serving layer — shared by the `engine_replay` binary and the
+//! golden-trace regression tests (`tests/golden_replay.rs`) that pin
+//! the paper-level hit rates against later engine refactors.
+
+use mpp_core::dpd::DpdConfig;
+use mpp_engine::{
+    Engine, EngineConfig, Observation, PersistentEngine, ShardMetrics, StreamKey, StreamKind,
+};
+use mpp_nasbench::{run_config, BenchmarkConfig};
+use std::time::Instant;
+
+/// Events ingested per `observe_batch` call during replay.
+pub const REPLAY_BATCH: usize = 8192;
+
+/// Which engine execution mode serves the replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Persistent shard workers behind channels (the default).
+    Persistent,
+    /// Scoped per-batch worker threads.
+    Scoped,
+}
+
+impl EngineMode {
+    /// Lower-case label for reports (matches the `BENCH_engine.json`
+    /// `mode` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Persistent => "persistent",
+            EngineMode::Scoped => "scoped",
+        }
+    }
+}
+
+/// Flattens a trace into engine observations, interleaving ranks in
+/// logical-index order (round-robin-ish, like a serving layer ingesting
+/// many ranks' deliveries concurrently).
+pub fn trace_to_events(trace: &mpp_mpisim::Trace) -> Vec<Observation> {
+    let mut out = Vec::new();
+    let mut cursors: Vec<usize> = vec![0; trace.nprocs()];
+    loop {
+        let mut progressed = false;
+        for rank in 0..trace.nprocs() {
+            let events = trace.receives_of(rank);
+            if cursors[rank] >= events.len() {
+                continue;
+            }
+            let e = &events[cursors[rank]];
+            cursors[rank] += 1;
+            progressed = true;
+            let r = rank as u32;
+            out.push(Observation::new(
+                StreamKey::new(r, StreamKind::Sender),
+                e.src as u64,
+            ));
+            out.push(Observation::new(
+                StreamKey::new(r, StreamKind::Size),
+                e.bytes,
+            ));
+            out.push(Observation::new(
+                StreamKey::new(r, StreamKind::Tag),
+                u64::from(e.tag),
+            ));
+        }
+        if !progressed {
+            return out;
+        }
+    }
+}
+
+/// One replayed configuration's serving-layer summary.
+pub struct ReplayReport {
+    /// Configuration label (paper notation, e.g. `cg.8`).
+    pub label: String,
+    /// Events ingested (3 per traced delivery).
+    pub events: usize,
+    /// Aggregate engine counters after the replay.
+    pub total: ShardMetrics,
+    /// Per-shard counters after the replay.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Ingest rate over the timed replay loop.
+    pub events_per_sec: f64,
+}
+
+impl ReplayReport {
+    /// Online `+1` hit rate (0 when nothing was scored).
+    pub fn hit_rate(&self) -> f64 {
+        self.total.hit_rate().unwrap_or(0.0)
+    }
+}
+
+/// Replays pre-flattened `events` through a fresh engine in `mode`.
+pub fn replay_events(
+    events: &[Observation],
+    shards: usize,
+    ttl: Option<u64>,
+    mode: EngineMode,
+) -> (Vec<ShardMetrics>, f64) {
+    let cfg = EngineConfig {
+        shards,
+        dpd: DpdConfig::default(),
+        ttl,
+        ..EngineConfig::default()
+    };
+    match mode {
+        EngineMode::Scoped => {
+            let mut engine = Engine::new(cfg);
+            let start = Instant::now();
+            for chunk in events.chunks(REPLAY_BATCH) {
+                engine.observe_batch(chunk);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let shards = engine.metrics().shards;
+            (shards, events.len() as f64 / secs.max(1e-12))
+        }
+        EngineMode::Persistent => {
+            let engine = PersistentEngine::new(cfg);
+            let client = engine.client();
+            let start = Instant::now();
+            for chunk in events.chunks(REPLAY_BATCH) {
+                client.observe_batch(chunk);
+            }
+            // The metrics round-trip queues behind every submitted
+            // batch, so it also closes the timing window fairly.
+            let per_shard = client.metrics().shards;
+            let secs = start.elapsed().as_secs_f64();
+            (per_shard, events.len() as f64 / secs.max(1e-12))
+        }
+    }
+}
+
+/// Runs `config` once and replays its trace through the engine.
+pub fn replay(
+    config: &BenchmarkConfig,
+    seed: u64,
+    shards: usize,
+    ttl: Option<u64>,
+    mode: EngineMode,
+) -> ReplayReport {
+    let trace = run_config(config, seed);
+    let events = trace_to_events(&trace);
+    let (per_shard, events_per_sec) = replay_events(&events, shards, ttl, mode);
+    let mut total = ShardMetrics::default();
+    for m in &per_shard {
+        total.merge(m);
+    }
+    ReplayReport {
+        label: config.label(),
+        events: events.len(),
+        total,
+        per_shard,
+        events_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpp_nasbench::{BenchId, Class};
+
+    #[test]
+    fn modes_agree_on_counters_for_a_small_config() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        let a = replay(&cfg, 7, 4, None, EngineMode::Persistent);
+        let b = replay(&cfg, 7, 4, None, EngineMode::Scoped);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total.hits, b.total.hits);
+        assert_eq!(a.total.misses, b.total.misses);
+        assert_eq!(a.total.resident_streams, b.total.resident_streams);
+        assert_eq!(a.per_shard.len(), 4);
+    }
+
+    #[test]
+    fn ttl_replay_evicts_streams_that_go_quiet() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        // A tiny TTL forces evictions during replay (streams interleave,
+        // so gaps larger than a few events are common).
+        let r = replay(&cfg, 7, 2, Some(4), EngineMode::Persistent);
+        assert!(r.total.evicted > 0, "tiny TTL must evict: {:?}", r.total);
+        let loose = replay(&cfg, 7, 2, Some(1_000_000), EngineMode::Persistent);
+        assert_eq!(loose.total.evicted, 0, "huge TTL evicts nothing");
+        assert!(loose.hit_rate() >= r.hit_rate());
+    }
+
+    #[test]
+    fn mode_labels_match_bench_schema() {
+        assert_eq!(EngineMode::Persistent.label(), "persistent");
+        assert_eq!(EngineMode::Scoped.label(), "scoped");
+    }
+}

@@ -1,0 +1,54 @@
+//! Golden-trace regression pins for the engine replay path.
+//!
+//! CHANGES.md records class-A CG/BT replay hit rates of 97.8–100 %
+//! (the paper-level accuracy the serving layer must preserve). These
+//! tests pin the exact rates, measured at the default seed, with a
+//! ±0.1 pt tolerance, so a later engine refactor that silently
+//! degrades accuracy fails loudly instead of shipping. The traces are
+//! deterministic functions of the seed (`tests/determinism.rs`), so
+//! within-tolerance drift can only come from engine-side changes.
+
+use mpp_experiments::replay::{replay, EngineMode};
+use mpp_experiments::DEFAULT_SEED;
+use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+
+/// ±0.1 percentage point, as a rate.
+const TOLERANCE: f64 = 0.001;
+
+/// Golden online `+1` hit rates (default seed 2003, default detector):
+/// measured on the seed engine and re-confirmed on the persistent
+/// engine (bit-identical by `tests/persistence.rs`).
+const GOLDEN: [(BenchId, usize, f64); 2] = [(BenchId::Cg, 8, 0.9982), (BenchId::Bt, 9, 0.9995)];
+
+fn check(mode: EngineMode) {
+    for (id, procs, want) in GOLDEN {
+        let cfg = BenchmarkConfig::new(id, procs, Class::A);
+        let r = replay(&cfg, DEFAULT_SEED, 4, None, mode);
+        let got = r.hit_rate();
+        assert!(
+            (got - want).abs() <= TOLERANCE,
+            "{} ({}) hit rate drifted: got {:.4}, pinned {:.4} ±{:.4}",
+            r.label,
+            mode.label(),
+            got,
+            want,
+            TOLERANCE
+        );
+        // The CHANGES.md envelope for the whole class-A roster.
+        assert!(
+            (0.978..=1.0).contains(&got),
+            "{} left the paper-level accuracy envelope: {got:.4}",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn class_a_hit_rates_stay_pinned_persistent() {
+    check(EngineMode::Persistent);
+}
+
+#[test]
+fn class_a_hit_rates_stay_pinned_scoped() {
+    check(EngineMode::Scoped);
+}

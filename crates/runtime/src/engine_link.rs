@@ -3,104 +3,143 @@
 //! The per-rank [`PredictionAdvisor`](crate::advisor::PredictionAdvisor)
 //! owns two private predictors; fine for one process, wrong shape for a
 //! machine serving every rank of every job. This module rewires the
-//! runtime onto the shared engine:
+//! runtime onto the shared **persistent-worker** engine:
 //!
-//! * [`EngineHandle`] — cloneable, thread-safe handle to one
-//!   [`Engine`]; every simulated rank (each running on its own OS
-//!   thread in `mpp-mpisim`) feeds and queries the same engine.
+//! * [`EngineHandle`] — cloneable, `Send + Sync` handle to one
+//!   [`PersistentEngine`]. There is no mutex behind it: submission
+//!   goes through per-shard channels, replies come back on private
+//!   epoch-stamped lanes. Hot-path users take an
+//!   [`EngineClient`](mpp_engine::EngineClient) via
+//!   [`EngineHandle::client`]; the handle's own convenience methods
+//!   build a transient client per call (fine for setup and
+//!   inspection).
 //! * [`EngineAdvisor`] — the advisor interface backed by engine
-//!   forecasts: `observe` stages sender/size/tag observations,
-//!   `advise` returns the same [`Advice`] type the §2 policies
-//!   already consume.
+//!   forecasts: `observe` feeds sender/size/tag observations through
+//!   its private client, `advise` returns the same [`Advice`] type the
+//!   §2 policies already consume.
 //! * [`EngineOracle`] / [`EngineOracleFactory`] — the §2.3 arrival
 //!   oracle served by the engine. Observations are staged locally and
 //!   flushed through `observe_batch` exactly at re-plan boundaries, so
-//!   the engine sees each rank's stream in logical order while lock
+//!   the engine sees each rank's stream in logical order while channel
 //!   traffic stays one round-trip per `depth` deliveries. Because
 //!   forecasts are only read at re-plan time, this batching produces
 //!   *identical* grants to feeding the engine one event at a time —
 //!   and identical behaviour to the local [`DpdOracle`]
-//!   (`tests/engine_oracle.rs` pins both).
+//!   (`tests/engine_oracle.rs` pins both). The engine's worker threads
+//!   outlive every simulated world that uses them and shut down when
+//!   the last handle drops.
 
 use crate::advisor::Advice;
 use crate::oracle::GrantBook;
 use mpp_core::dpd::DpdConfig;
-use mpp_engine::{Engine, EngineConfig, EngineMetrics, Observation, RankId, StreamKey, StreamKind};
+use mpp_engine::{
+    EngineClient, EngineConfig, EngineMetrics, Observation, PersistentEngine, RankId, StreamKey,
+    StreamKind,
+};
 use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
-use std::sync::{Arc, Mutex};
 
-/// Cloneable handle to a shared prediction engine.
-#[derive(Clone)]
+/// Feeds one delivered message (all three attribute streams) through
+/// `client` — the single place the runtime maps a delivery onto engine
+/// stream keys.
+fn observe_tagged_via(client: &EngineClient, rank: RankId, src: u64, bytes: u64, tag: u64) {
+    client.observe_batch(&[
+        Observation::new(StreamKey::new(rank, StreamKind::Sender), src),
+        Observation::new(StreamKey::new(rank, StreamKind::Size), bytes),
+        Observation::new(StreamKey::new(rank, StreamKind::Tag), tag),
+    ]);
+}
+
+/// Feeds a tagless delivery (sender and size streams only — no
+/// fabricated tag symbol).
+fn observe_pair_via(client: &EngineClient, rank: RankId, src: u64, bytes: u64) {
+    client.observe_batch(&[
+        Observation::new(StreamKey::new(rank, StreamKind::Sender), src),
+        Observation::new(StreamKey::new(rank, StreamKind::Size), bytes),
+    ]);
+}
+
+/// Forecast of the next `depth` (sender, size) pairs for `rank`, in
+/// the runtime's [`Advice`] shape.
+fn advise_via(client: &EngineClient, rank: RankId, depth: usize) -> Advice {
+    let mut messages = Vec::with_capacity(depth);
+    client.forecast_messages(rank, depth, &mut messages);
+    Advice { messages }
+}
+
+/// Cloneable, lock-free handle to a shared persistent prediction
+/// engine. Replaces the former `Arc<Mutex<Engine>>` design: cloning is
+/// an `Arc` bump, and no user of the engine can block another behind a
+/// lock — shard workers serialise their own streams via their command
+/// queues instead.
+#[derive(Clone, Debug)]
 pub struct EngineHandle {
-    inner: Arc<Mutex<Engine>>,
+    engine: PersistentEngine,
 }
 
 impl EngineHandle {
-    /// Wraps `engine` for shared use.
-    pub fn new(engine: Engine) -> Self {
-        EngineHandle {
-            inner: Arc::new(Mutex::new(engine)),
-        }
+    /// Wraps a running persistent engine.
+    pub fn new(engine: PersistentEngine) -> Self {
+        EngineHandle { engine }
     }
 
-    /// Builds an engine from `shards` and a detector config, wrapped.
+    /// Spawns an engine from a full configuration, wrapped.
+    pub fn from_config(cfg: EngineConfig) -> Self {
+        Self::new(PersistentEngine::new(cfg))
+    }
+
+    /// Spawns an engine with `shards` shards and a detector config,
+    /// wrapped.
     pub fn with_config(shards: usize, dpd: DpdConfig) -> Self {
-        Self::new(Engine::new(EngineConfig {
+        Self::from_config(EngineConfig {
             shards,
             dpd,
             ..EngineConfig::default()
-        }))
+        })
     }
 
-    /// Runs `f` with exclusive access to the engine.
-    pub fn with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> R {
-        let mut guard = self.inner.lock().expect("engine lock poisoned");
-        f(&mut guard)
+    /// The underlying engine handle.
+    pub fn engine(&self) -> &PersistentEngine {
+        &self.engine
     }
 
-    /// Like [`EngineHandle::with`], but returns `None` instead of
-    /// panicking when the lock is poisoned — for destructors and other
-    /// paths that must not double-panic.
-    pub fn try_with<R>(&self, f: impl FnOnce(&mut Engine) -> R) -> Option<R> {
-        self.inner.lock().ok().map(|mut guard| f(&mut guard))
-    }
-
-    /// Feeds one delivered message (all three attribute streams).
-    pub fn observe_message(&self, rank: RankId, src: u64, bytes: u64, tag: u64) {
-        self.with(|e| {
-            e.observe(StreamKey::new(rank, StreamKind::Sender), src);
-            e.observe(StreamKey::new(rank, StreamKind::Size), bytes);
-            e.observe(StreamKey::new(rank, StreamKind::Tag), tag);
-        });
-    }
-
-    /// Feeds one delivered message whose tag is unknown (sender and
-    /// size streams only — no fabricated tag symbol).
-    pub fn observe_pair(&self, rank: RankId, src: u64, bytes: u64) {
-        self.with(|e| {
-            e.observe(StreamKey::new(rank, StreamKind::Sender), src);
-            e.observe(StreamKey::new(rank, StreamKind::Size), bytes);
-        });
+    /// A private client lane into the engine — what hot-path users
+    /// (one per thread) should hold.
+    pub fn client(&self) -> EngineClient {
+        self.engine.client()
     }
 
     /// Forecast of the next `depth` (sender, size) pairs for `rank`,
     /// in the runtime's [`Advice`] shape.
     pub fn advise(&self, rank: RankId, depth: usize) -> Advice {
-        let mut messages = Vec::with_capacity(depth);
-        self.with(|e| e.forecast_messages(rank, depth, &mut messages));
-        Advice { messages }
+        advise_via(&self.client(), rank, depth)
     }
 
     /// Per-shard metrics snapshot of the underlying engine.
     pub fn metrics(&self) -> EngineMetrics {
-        self.with(|e| e.metrics())
+        self.client().metrics()
+    }
+
+    /// Total streams resident in the engine.
+    pub fn stream_count(&self) -> usize {
+        self.client().stream_count()
+    }
+
+    /// Detected period of a stream, if locked and not expired.
+    pub fn period_of(&self, key: StreamKey) -> Option<usize> {
+        self.client().period_of(key)
+    }
+
+    /// Detector confidence of a stream's lock.
+    pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
+        self.client().confidence_of(key)
     }
 }
 
 /// Engine-backed replacement for `PredictionAdvisor`: same `observe` /
-/// `advise` contract, predictions served by the shared engine.
+/// `advise` contract, predictions served by the shared engine through
+/// a private client lane.
 pub struct EngineAdvisor {
-    handle: EngineHandle,
+    client: EngineClient,
     rank: RankId,
     depth: usize,
 }
@@ -110,7 +149,7 @@ impl EngineAdvisor {
     pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
         assert!(depth > 0, "advice depth must be positive");
         EngineAdvisor {
-            handle,
+            client: handle.client(),
             rank,
             depth,
         }
@@ -120,17 +159,17 @@ impl EngineAdvisor {
     /// and size streams are fed (fabricating a constant tag would
     /// inflate the engine's stream count and hit-rate metrics).
     pub fn observe(&mut self, sender: u64, size: u64) {
-        self.handle.observe_pair(self.rank, sender, size);
+        observe_pair_via(&self.client, self.rank, sender, size);
     }
 
     /// Records one delivered message including its tag.
     pub fn observe_tagged(&mut self, sender: u64, size: u64, tag: u64) {
-        self.handle.observe_message(self.rank, sender, size, tag);
+        observe_tagged_via(&self.client, self.rank, sender, size, tag);
     }
 
     /// Forecast for the next `depth` messages.
     pub fn advise(&self) -> Advice {
-        self.handle.advise(self.rank, self.depth)
+        advise_via(&self.client, self.rank, self.depth)
     }
 
     /// The configured advice depth.
@@ -141,7 +180,7 @@ impl EngineAdvisor {
 
 /// §2.3 arrival oracle served by the shared engine.
 pub struct EngineOracle {
-    handle: EngineHandle,
+    client: EngineClient,
     rank: RankId,
     depth: usize,
     until_replan: usize,
@@ -157,7 +196,7 @@ impl EngineOracle {
     pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
         assert!(depth > 0, "forecast depth must be positive");
         EngineOracle {
-            handle,
+            client: handle.client(),
             rank,
             depth,
             until_replan: 0,
@@ -168,14 +207,11 @@ impl EngineOracle {
     }
 
     fn flush_and_replan(&mut self) {
-        let rank = self.rank;
-        let depth = self.depth;
-        let staged = &self.staged;
-        let forecast = &mut self.forecast;
-        self.handle.with(|e| {
-            e.observe_batch(staged);
-            e.forecast_messages(rank, depth, forecast);
-        });
+        // FIFO per shard: the forecast request queues behind the staged
+        // observations of this rank, so it sees them applied.
+        self.client.observe_batch(&self.staged);
+        self.client
+            .forecast_messages(self.rank, self.depth, &mut self.forecast);
         self.staged.clear();
         self.grants.refill_pairs(&self.forecast);
         self.until_replan = self.depth;
@@ -185,15 +221,14 @@ impl EngineOracle {
 impl Drop for EngineOracle {
     /// Flushes deliveries staged since the last re-plan, so the engine's
     /// ingest counters match the trace even when a program ends
-    /// mid-window. Skipped while unwinding (and tolerant of a poisoned
-    /// lock): a best-effort counter flush must never escalate a rank
-    /// panic into a double-panic abort.
+    /// mid-window. Best-effort: if the engine's workers are already
+    /// gone (or this rank is unwinding from a panic), the flush is
+    /// dropped rather than escalating.
     fn drop(&mut self) {
         if self.staged.is_empty() || std::thread::panicking() {
             return;
         }
-        let staged = &self.staged;
-        self.handle.try_with(|e| e.observe_batch(staged));
+        let _ = self.client.try_observe_batch(&self.staged);
         self.staged.clear();
     }
 }
@@ -225,6 +260,8 @@ impl ArrivalOracle for EngineOracle {
 
 /// Factory wiring every rank of a [`World`](mpp_mpisim::World) to one
 /// shared engine: `World::with_oracle(EngineOracleFactory::new(..))`.
+/// Each built oracle gets its own client lane, so rank threads never
+/// contend on a lock.
 #[derive(Clone)]
 pub struct EngineOracleFactory {
     handle: EngineHandle,
@@ -281,7 +318,7 @@ mod tests {
             served.observe(i % 2, 64);
         }
         assert_eq!(
-            handle.with(|e| e.stream_count()),
+            handle.stream_count(),
             2,
             "sender and size only — no constant tag stream"
         );
@@ -315,8 +352,8 @@ mod tests {
         assert!(a.expects(5, 70_000));
         assert!(!b.expects(5, 70_000), "rank 1 never saw sender 5");
         // Both ranks' streams are resident in the one engine.
-        let streams = handle.with(|e| e.stream_count());
-        assert_eq!(streams, 6, "2 ranks x 3 attribute streams");
+        drop((a, b)); // flush the staged tails
+        assert_eq!(handle.stream_count(), 6, "2 ranks x 3 attribute streams");
     }
 
     #[test]
@@ -327,7 +364,27 @@ mod tests {
         for i in 0..40u32 {
             o.observe(1, 8, i % 4);
         }
+        drop(o);
         let key = StreamKey::new(3, StreamKind::Tag);
-        assert_eq!(handle.with(|e| e.period_of(key)), Some(4));
+        assert_eq!(handle.period_of(key), Some(4));
+    }
+
+    #[test]
+    fn factory_is_sync_and_oracle_drop_flushes_ingest_counters() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        let handle = EngineHandle::with_config(2, DpdConfig::default());
+        let f = EngineOracleFactory::new(handle.clone(), 4);
+        assert_sync(&f);
+        assert_sync(&handle);
+        let mut o = f.build(0);
+        for i in 0..10 {
+            o.observe(1, 64, i); // 10 deliveries: staged tail not yet flushed
+        }
+        drop(o);
+        assert_eq!(
+            handle.metrics().total().events_ingested,
+            30,
+            "drop must flush the staged tail"
+        );
     }
 }

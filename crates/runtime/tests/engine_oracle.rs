@@ -90,12 +90,12 @@ fn engine_accumulates_streams_for_every_receiving_rank() {
     let total = handle.metrics().total();
     assert_eq!(trace.total_receives(), 120);
     assert_eq!(total.events_ingested, 3 * 120);
-    assert_eq!(total.streams, 4 * 3, "sender/size/tag per rank");
+    assert_eq!(total.resident_streams, 4 * 3, "sender/size/tag per rank");
     // Constant-attribute ring traffic is maximally predictable.
     assert!(total.hit_rate().unwrap_or(0.0) > 0.8);
     // Engine-side stream state is inspectable per rank.
     for rank in 0..4u32 {
-        let p = handle.with(|e| e.period_of(StreamKey::new(rank, StreamKind::Sender)));
+        let p = handle.period_of(StreamKey::new(rank, StreamKind::Sender));
         assert_eq!(p, Some(1), "single-sender stream has period 1");
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Runs the NAS BT.9 (class A) communication skeleton on the simulator, then
 //! ingests *every* rank's receive stream — sender, size and tag — into
-//! one sharded `mpp-engine` instance via the batched API, and prints
-//! per-rank `+1` hit rates plus the engine's per-shard serving metrics.
+//! one persistent-worker `mpp-engine` instance through a client lane,
+//! and prints per-rank `+1` hit rates plus the engine's per-shard
+//! serving metrics.
 //!
 //! ```text
 //! cargo run --release --example engine_replay
@@ -11,7 +12,7 @@
 
 use mpi_predict::bench::{bt::Bt, Class};
 use mpi_predict::core::dpd::DpdConfig;
-use mpi_predict::engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind};
+use mpi_predict::engine::{EngineConfig, Observation, PersistentEngine, StreamKey, StreamKind};
 use mpi_predict::sim::net::JitterNetwork;
 use mpi_predict::sim::{World, WorldConfig};
 
@@ -27,14 +28,17 @@ fn main() {
         trace.total_receives()
     );
 
-    // 2. Replay through a 4-shard engine. Per-rank hit rates are scored
-    //    the strict online way: query the standing +1 forecast *before*
-    //    observing each delivery.
-    let mut engine = Engine::new(EngineConfig {
+    // 2. Replay through a 4-shard persistent engine (one long-lived
+    //    worker thread per shard; this client lane is our lock-free
+    //    door into it). Per-rank hit rates are scored the strict online
+    //    way: query the standing +1 forecast *before* observing each
+    //    delivery.
+    let engine = PersistentEngine::new(EngineConfig {
         shards: 4,
         dpd: DpdConfig::default(),
         ..EngineConfig::default()
     });
+    let client = engine.client();
     println!(
         "{:<6} {:>9} {:>10} {:>10} {:>10}",
         "rank", "events", "sender+1", "size+1", "tag+1"
@@ -53,7 +57,7 @@ fn main() {
         for e in events {
             let actual = [e.src as u64, e.bytes, u64::from(e.tag)];
             for (i, key) in keys.iter().enumerate() {
-                if let Some(p) = engine.predict(*key, 1) {
+                if let Some(p) = client.predict(*key, 1) {
                     scored[i] += 1;
                     if p == actual[i] {
                         hits[i] += 1;
@@ -64,7 +68,7 @@ fn main() {
             for (i, key) in keys.iter().enumerate() {
                 batch.push(Observation::new(*key, actual[i]));
             }
-            engine.observe_batch(&batch);
+            client.observe_batch(&batch);
         }
         let pct = |i: usize| {
             if scored[i] == 0 {
@@ -89,17 +93,17 @@ fn main() {
         "{:<6} {:>9} {:>8} {:>8} {:>8} {:>7}",
         "shard", "ingested", "streams", "hits", "misses", "churn"
     );
-    for (i, m) in engine.metrics().shards.iter().enumerate() {
+    for (i, m) in client.metrics().shards.iter().enumerate() {
         println!(
             "{:<6} {:>9} {:>8} {:>8} {:>8} {:>7}",
-            i, m.events_ingested, m.streams, m.hits, m.misses, m.period_churn
+            i, m.events_ingested, m.resident_streams, m.hits, m.misses, m.period_churn
         );
     }
-    let total = engine.metrics_total();
+    let total = client.metrics_total();
     println!(
         "\ntotal: {} events, {} streams, online +1 hit rate {:.1}%",
         total.events_ingested,
-        total.streams,
+        total.resident_streams,
         100.0 * total.hit_rate().unwrap_or(0.0)
     );
 }

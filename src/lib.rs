@@ -31,5 +31,7 @@ pub use mpp_core::{
     predictors::{Predictor, PredictorKind},
     stream::{Symbol, SymbolMap},
 };
-pub use mpp_engine::{Engine, EngineConfig, Observation, Query, StreamKey, StreamKind};
+pub use mpp_engine::{
+    Engine, EngineClient, EngineConfig, Observation, PersistentEngine, Query, StreamKey, StreamKind,
+};
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};

@@ -4,7 +4,7 @@
 //! untouched.
 
 use mpp_experiments::TracedRun;
-use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
+use mpp_nasbench::{build_program, BenchId, BenchmarkConfig, Class};
 
 fn run(id: BenchId, procs: usize, seed: u64) -> TracedRun {
     TracedRun::execute(BenchmarkConfig::new(id, procs, Class::S), seed)
@@ -55,6 +55,53 @@ fn census_is_seed_independent() {
     let a = run(BenchId::Lu, 8, 10);
     let b = run(BenchId::Lu, 8, 20);
     assert_eq!(a.census, b.census);
+}
+
+/// Runs a NAS config on a jittered world served by the shared
+/// persistent prediction engine (the §2.3 oracle path).
+fn run_with_engine_oracle(
+    id: BenchId,
+    procs: usize,
+    seed: u64,
+    shards: usize,
+) -> mpp_mpisim::Trace {
+    use mpp_mpisim::net::JitterNetwork;
+    use mpp_mpisim::{World, WorldConfig};
+    use mpp_runtime::{EngineHandle, EngineOracleFactory};
+
+    let cfg = BenchmarkConfig::new(id, procs, Class::S);
+    let wcfg = WorldConfig::new(procs).seed(seed);
+    let net = JitterNetwork::from_config(&wcfg);
+    let handle = EngineHandle::with_config(shards, mpp_core::dpd::DpdConfig::default());
+    let program = build_program(&cfg);
+    World::new(wcfg, net)
+        .with_oracle(EngineOracleFactory::new(handle, 4))
+        .run(program.as_ref())
+}
+
+#[test]
+fn engine_backed_oracle_is_seed_deterministic() {
+    // Same seed ⇒ identical makespan and physical streams, even though
+    // every rank talks to shared engine worker threads whose scheduling
+    // the OS controls. Different shard counts must not matter either:
+    // sharding is a throughput device, never a semantics device.
+    let a = run_with_engine_oracle(BenchId::Cg, 4, 42, 4);
+    let b = run_with_engine_oracle(BenchId::Cg, 4, 42, 4);
+    let c = run_with_engine_oracle(BenchId::Cg, 4, 42, 1);
+    assert_eq!(a.makespan(), b.makespan(), "same seed, same makespan");
+    assert_eq!(a.makespan(), c.makespan(), "shard count is invisible");
+    assert_eq!(a.total_receives(), b.total_receives());
+    for rank in 0..4 {
+        let (ra, rb) = (a.receives_of(rank), b.receives_of(rank));
+        assert_eq!(ra.len(), rb.len(), "rank {rank} receive count");
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.src, y.src, "rank {rank} physical sender order");
+            assert_eq!(x.bytes, y.bytes, "rank {rank} physical size order");
+        }
+    }
+    // The seed still matters: a different one moves the physical level.
+    let d = run_with_engine_oracle(BenchId::Cg, 4, 43, 4);
+    assert_ne!(a.makespan(), d.makespan(), "different seed, different run");
 }
 
 #[test]
