@@ -19,7 +19,8 @@
 
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_engine::{
-    Engine, EngineConfig, Observation, PersistentEngine, Query, StreamKey, StreamKind,
+    BackpressurePolicy, Engine, EngineConfig, Observation, PersistentEngine, Query, StreamKey,
+    StreamKind,
 };
 use std::time::Instant;
 
@@ -29,6 +30,11 @@ const RANKS: u32 = 192;
 const EVENTS_PER_RANK: usize = 96;
 /// Shard counts measured for the JSON trajectory.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Observe-lane capacities measured for the bounded-ingest saturation
+/// trajectory (at `BOUNDED_SHARDS` shards, `Block` policy).
+const QUEUE_CAPS: [usize; 3] = [1, 8, 64];
+/// Shard count used for the bounded-lane measurements.
+const BOUNDED_SHARDS: usize = 4;
 /// Timed batches per measurement run.
 const TIMED_BATCHES: usize = 6;
 /// Measurement runs per (mode, shard count); best-of damps noise.
@@ -84,7 +90,18 @@ fn measure_scoped(shards: usize, batch: &[Observation]) -> f64 {
 /// closing metrics round-trip queues behind every batch, so the timed
 /// window covers completed work, not just enqueued work.
 fn measure_persistent(shards: usize, batch: &[Observation]) -> f64 {
-    let engine = PersistentEngine::new(config_with(shards));
+    measure_persistent_cfg(config_with(shards), batch)
+}
+
+/// Persistent-mode ingest rate with bounded observe lanes (`Block`
+/// policy): the saturation throughput the backpressure subsystem
+/// sustains at a given per-shard capacity.
+fn measure_bounded(shards: usize, cap: usize, batch: &[Observation]) -> f64 {
+    measure_persistent_cfg(config_with(shards).with_queue_cap(cap), batch)
+}
+
+fn measure_persistent_cfg(cfg: EngineConfig, batch: &[Observation]) -> f64 {
+    let engine = PersistentEngine::new(cfg);
     let client = engine.client();
     client.observe_batch(batch); // warm: slots, interners, leg buffers
     client.metrics_total(); // barrier: warm-up fully applied
@@ -170,9 +187,13 @@ fn bench_predict_batch(c: &mut Criterion) {
 
 /// Writes the events/sec trajectory to `BENCH_engine.json` at the
 /// workspace root. Schema: each `results` entry carries a
-/// `"mode": "persistent"|"scoped"` field; `persistent_vs_scoped`
-/// records the per-shard-count throughput ratio (≥ 1.0 means the
-/// persistent workers win).
+/// `"mode": "persistent"|"scoped"` field plus the backpressure knobs
+/// (`"queue_cap"`: per-shard lane bound or `null` for unbounded;
+/// `"backpressure"`: full-lane policy label, `null` for the scoped
+/// mode, which has no queues); `persistent_vs_scoped` records the
+/// per-shard-count throughput ratio (≥ 1.0 means the persistent
+/// workers win); `bounded_saturation` records the `Block`-mode
+/// saturation throughput per lane capacity at `BOUNDED_SHARDS` shards.
 fn write_bench_json() {
     let batch = synthetic_batch();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -188,13 +209,29 @@ fn write_bench_json() {
             100.0 * (persistent / scoped - 1.0)
         );
         entries.push(format!(
-            "    {{\"mode\": \"scoped\", \"shards\": {shards}, \"events_per_sec\": {scoped:.0}}}"
+            "    {{\"mode\": \"scoped\", \"shards\": {shards}, \"queue_cap\": null, \
+             \"backpressure\": null, \"events_per_sec\": {scoped:.0}}}"
         ));
         entries.push(format!(
-            "    {{\"mode\": \"persistent\", \"shards\": {shards}, \"events_per_sec\": {persistent:.0}}}"
+            "    {{\"mode\": \"persistent\", \"shards\": {shards}, \"queue_cap\": null, \
+             \"backpressure\": \"block\", \"events_per_sec\": {persistent:.0}}}"
         ));
         ratios.push(format!("    \"{shards}\": {:.3}", persistent / scoped));
         persistent_rates.push(persistent);
+    }
+    let policy = BackpressurePolicy::Block.label();
+    let mut saturation: Vec<String> = Vec::new();
+    for cap in QUEUE_CAPS {
+        let rate = best_of(RUNS, || measure_bounded(BOUNDED_SHARDS, cap, &batch));
+        println!(
+            "engine ingest {BOUNDED_SHARDS:>2} shard(s), lane cap {cap:>3} ({policy}): \
+             {rate:>10.0} ev/s"
+        );
+        entries.push(format!(
+            "    {{\"mode\": \"persistent\", \"shards\": {BOUNDED_SHARDS}, \"queue_cap\": {cap}, \
+             \"backpressure\": \"{policy}\", \"events_per_sec\": {rate:.0}}}"
+        ));
+        saturation.push(format!("    \"{cap}\": {rate:.0}"));
     }
     let single = persistent_rates[0];
     let best_multi = persistent_rates[1..]
@@ -215,10 +252,12 @@ fn write_bench_json() {
          \"events_per_batch\": {},\n  \"timed_batches\": {TIMED_BATCHES},\n  \
          \"runs_best_of\": {RUNS},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ],\n  \
          \"persistent_vs_scoped\": {{\n{}\n  }},\n  \
+         \"bounded_saturation\": {{\n{}\n  }},\n  \
          \"best_multi_shard_speedup\": {:.3}{note}\n}}\n",
         batch.len(),
         entries.join(",\n"),
         ratios.join(",\n"),
+        saturation.join(",\n"),
         best_multi / single.max(1e-12),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -45,6 +45,35 @@ use crate::shard::Shard;
 use crate::types::{Observation, Query, RankId, StreamKey};
 use mpp_core::dpd::DpdConfig;
 
+/// What a persistent-engine client does when a shard's bounded observe
+/// lane ([`EngineConfig::observe_queue_cap`]) is full. Irrelevant for
+/// unbounded lanes and for the scoped [`Engine`], which has no queues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the submitting client until the shard worker drains the
+    /// lane. Every event is delivered, so predictions and metrics are
+    /// bit-identical to unbounded ingestion (property-tested in
+    /// `tests/backpressure.rs`); the cost is submitter latency, counted
+    /// per shard in `ShardMetrics::send_blocked`.
+    #[default]
+    Block,
+    /// Drop the full lane's whole batch leg and move on, counting every
+    /// dropped event in `ShardMetrics::shed_events` and reporting it in
+    /// the call's `ObserveOutcome` — the load-shedding mode for
+    /// saturation experiments. Queries are never shed.
+    Shed,
+}
+
+impl BackpressurePolicy {
+    /// Lower-case label for reports and `BENCH_engine.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::Shed => "shed",
+        }
+    }
+}
+
 /// Engine construction parameters (shared by the scoped [`Engine`] and
 /// the persistent-worker
 /// [`PersistentEngine`](crate::persistent::PersistentEngine)).
@@ -64,6 +93,15 @@ pub struct EngineConfig {
     /// `None`, restarts cold, memory reclaimed by sweeps). `None`
     /// disables eviction.
     pub ttl: Option<u64>,
+    /// Persistent mode only: bounds each shard's command lane to this
+    /// many queued commands (batch legs and queries). `None` leaves the
+    /// lanes unbounded — the pre-backpressure behaviour, where one slow
+    /// shard lets its queue grow without limit. Must be positive when
+    /// set.
+    pub observe_queue_cap: Option<usize>,
+    /// Persistent mode only: what `observe_batch` does when a bounded
+    /// lane is full. Ignored when `observe_queue_cap` is `None`.
+    pub backpressure: BackpressurePolicy,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +111,8 @@ impl Default for EngineConfig {
             dpd: DpdConfig::default(),
             parallel_threshold: 1024,
             ttl: None,
+            observe_queue_cap: None,
+            backpressure: BackpressurePolicy::Block,
         }
     }
 }
@@ -92,8 +132,25 @@ impl EngineConfig {
         self
     }
 
+    /// Bounds each persistent shard's observe lane to `cap` queued
+    /// commands.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.observe_queue_cap = Some(cap);
+        self
+    }
+
+    /// Sets the full-lane policy for bounded observe lanes.
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.shards > 0, "engine needs at least one shard");
+        assert!(
+            self.observe_queue_cap != Some(0),
+            "observe_queue_cap must be positive (use None for unbounded lanes)"
+        );
     }
 }
 

@@ -41,7 +41,17 @@
 //!    [`Ring`](mpp_core::ring::Ring) buffers and prediction output
 //!    lands in caller-provided, capacity-reused vectors. Query calls
 //!    on the persistent path do allocate small per-call leg/reply
-//!    structures — they are re-plan-rate, not event-rate.
+//!    structures — they are re-plan-rate, not event-rate. Client leg
+//!    pools are bounded (entry count and per-buffer capacity), so a
+//!    one-off burst cannot pin its peak footprint forever.
+//! 4. **Deterministic backpressure.** With
+//!    [`EngineConfig::observe_queue_cap`] set, each persistent shard's
+//!    command lane is bounded; a full lane either blocks the submitter
+//!    ([`BackpressurePolicy::Block`] — bit-identical to unbounded
+//!    ingestion, proven in `tests/backpressure.rs`) or sheds the leg
+//!    with exact accounting ([`BackpressurePolicy::Shed`]). Pressure is
+//!    visible per shard (`queue_high_water` / `send_blocked` /
+//!    `shed_events`) and per call ([`ObserveOutcome`]).
 //!
 //! ## Module map
 //!
@@ -85,8 +95,8 @@ pub mod persistent;
 pub mod shard;
 pub mod types;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{BackpressurePolicy, Engine, EngineConfig};
 pub use metrics::{EngineMetrics, ShardMetrics};
-pub use persistent::{EngineClient, PersistentEngine};
+pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 pub use shard::Shard;
 pub use types::{Observation, Query, RankId, StreamKey, StreamKind};

@@ -35,6 +35,18 @@ pub struct ShardMetrics {
     pub evicted: u64,
     /// Largest number of events this shard received in a single batch.
     pub max_batch_depth: u64,
+    /// High-water mark of this shard's command-lane length, sampled
+    /// right after each enqueue (persistent mode; always 0 in scoped
+    /// mode, which has no queues). With a bounded lane this can never
+    /// exceed `observe_queue_cap`.
+    pub queue_high_water: u64,
+    /// Observe submissions that found this shard's bounded lane full
+    /// and blocked until the worker drained it (`Block` policy only).
+    pub send_blocked: u64,
+    /// Events dropped because this shard's bounded lane was full
+    /// (`Shed` policy only). `events_ingested + shed_events` equals the
+    /// events submitted toward this shard.
+    pub shed_events: u64,
 }
 
 impl ShardMetrics {
@@ -59,6 +71,9 @@ impl ShardMetrics {
         self.resident_streams += other.resident_streams;
         self.evicted += other.evicted;
         self.max_batch_depth = self.max_batch_depth.max(other.max_batch_depth);
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.send_blocked += other.send_blocked;
+        self.shed_events += other.shed_events;
     }
 }
 
@@ -102,6 +117,9 @@ mod tests {
             max_batch_depth: 7,
             resident_streams: 2,
             evicted: 1,
+            queue_high_water: 3,
+            send_blocked: 2,
+            shed_events: 5,
             ..Default::default()
         };
         let b = ShardMetrics {
@@ -111,6 +129,9 @@ mod tests {
             max_batch_depth: 3,
             resident_streams: 1,
             evicted: 2,
+            queue_high_water: 9,
+            send_blocked: 1,
+            shed_events: 4,
             ..Default::default()
         };
         let total = EngineMetrics { shards: vec![a, b] }.total();
@@ -120,5 +141,8 @@ mod tests {
         assert_eq!(total.max_batch_depth, 7);
         assert_eq!(total.resident_streams, 3);
         assert_eq!(total.evicted, 3);
+        assert_eq!(total.queue_high_water, 9, "high water aggregates by max");
+        assert_eq!(total.send_blocked, 3);
+        assert_eq!(total.shed_events, 9);
     }
 }

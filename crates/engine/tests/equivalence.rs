@@ -49,6 +49,7 @@ proptest! {
             // Exercise the threaded path even on small batches.
             parallel_threshold: 0,
             ttl: None,
+            ..EngineConfig::default()
         });
         for chunk in events.chunks(batch_size.max(1)) {
             engine.observe_batch(chunk);
@@ -92,6 +93,7 @@ proptest! {
                 dpd: DpdConfig { window: 64, max_lag: 16, ..DpdConfig::default() },
                 parallel_threshold: 0,
                 ttl: None,
+                ..EngineConfig::default()
             });
             e.observe_batch(&events);
             e
@@ -129,6 +131,7 @@ proptest! {
             dpd: DpdConfig { window: 32, max_lag: 8, ..DpdConfig::default() },
             parallel_threshold: 0,
             ttl: None,
+            ..EngineConfig::default()
         };
         let mut whole = Engine::new(cfg.clone());
         whole.observe_batch(&events);

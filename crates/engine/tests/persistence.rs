@@ -150,6 +150,7 @@ proptest! {
             dpd: cfg.clone(),
             parallel_threshold: 0,
             ttl,
+            ..EngineConfig::default()
         };
         let persistent = PersistentEngine::new(ecfg.clone());
         let client = persistent.client();

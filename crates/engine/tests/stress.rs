@@ -55,6 +55,12 @@ fn assert_monotone(a: &EngineMetrics, b: &EngineMetrics) {
             y.predictions_served >= x.predictions_served,
             "shard {i} served"
         );
+        assert!(
+            y.queue_high_water >= x.queue_high_water,
+            "shard {i} high water"
+        );
+        assert!(y.send_blocked >= x.send_blocked, "shard {i} blocked");
+        assert!(y.shed_events >= x.shed_events, "shard {i} shed");
     }
 }
 

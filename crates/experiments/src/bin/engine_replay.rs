@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run -p mpp-experiments --release --bin engine_replay -- \
 //!     [--csv] [--seed N] [--shards K] [--ttl N] [--mode persistent|scoped] \
-//!     [bt 9 | cg 8 | ...]
+//!     [--queue-cap N] [--backpressure block|shed] [bt 9 | cg 8 | ...]
 //! ```
 //!
 //! With no positional arguments, the paper's full configuration roster
@@ -14,9 +14,14 @@
 //! paper's central claim: these streams are predictable enough to serve.
 //! `--mode` selects the persistent-worker engine (default) or the
 //! scoped per-batch-thread engine; `--ttl N` evicts streams idle for
-//! more than `N` engine-time events.
+//! more than `N` engine-time events. `--queue-cap N` bounds each
+//! persistent shard's observe lane to `N` queued commands and
+//! `--backpressure` picks the full-lane policy: `block` (default,
+//! bit-identical results) or `shed` (drop-with-count; the `shed`
+//! column reports the losses).
 
-use mpp_experiments::replay::{replay, EngineMode};
+use mpp_engine::BackpressurePolicy;
+use mpp_experiments::replay::{replay, EngineMode, ReplayOpts};
 use mpp_experiments::CliArgs;
 use mpp_nasbench::{paper_configs, BenchId, BenchmarkConfig, Class};
 
@@ -55,6 +60,32 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let queue_cap: Option<usize> = args.take_flag("--queue-cap").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--queue-cap needs a positive command count");
+            std::process::exit(2);
+        })
+    });
+    let backpressure_flag = args.take_flag("--backpressure");
+    let backpressure = match backpressure_flag.as_deref() {
+        None | Some("block") => BackpressurePolicy::Block,
+        Some("shed") => BackpressurePolicy::Shed,
+        Some(other) => {
+            eprintln!("unknown backpressure policy {other} (block|shed)");
+            std::process::exit(2);
+        }
+    };
+    if queue_cap.is_some() && mode == EngineMode::Scoped {
+        eprintln!("--queue-cap applies to the persistent mode only");
+        std::process::exit(2);
+    }
+    // A policy without a lane bound would be a silent no-op (policies
+    // only apply to full bounded lanes) — reject the misconfiguration
+    // instead of reporting shed=0 on an unbounded run.
+    if backpressure_flag.is_some() && queue_cap.is_none() {
+        eprintln!("--backpressure requires --queue-cap (policies act on bounded lanes only)");
+        std::process::exit(2);
+    }
     let positional = args.positional;
 
     let configs: Vec<BenchmarkConfig> = if positional.is_empty() {
@@ -82,46 +113,60 @@ fn main() {
         vec![BenchmarkConfig::new(id, procs, class)]
     };
 
+    let opts = ReplayOpts::with_shards(shards)
+        .ttl(ttl)
+        .mode(mode)
+        .queue_cap(queue_cap)
+        .backpressure(backpressure);
+
+    let cap_label = queue_cap.map_or("off".to_string(), |c| c.to_string());
     if args.csv {
         println!(
-            "config,events,streams,hit_rate,period_churn,evicted,events_per_sec,shards,mode,ttl"
+            "config,events,streams,hit_rate,period_churn,evicted,shed,events_per_sec,\
+             shards,mode,ttl,queue_cap,backpressure"
         );
     } else {
         let ttl_label = ttl.map_or("off".to_string(), |t| t.to_string());
         println!(
-            "engine replay — {shards} shard(s), seed {seed}, mode {}, ttl {ttl_label}",
-            mode.label()
+            "engine replay — {shards} shard(s), seed {seed}, mode {}, ttl {ttl_label}, \
+             queue cap {cap_label}, backpressure {}",
+            mode.label(),
+            backpressure.label()
         );
         println!(
-            "{:<14} {:>9} {:>8} {:>9} {:>7} {:>8} {:>14}",
-            "config", "events", "streams", "hit_rate", "churn", "evicted", "events/sec"
+            "{:<14} {:>9} {:>8} {:>9} {:>7} {:>8} {:>8} {:>14}",
+            "config", "events", "streams", "hit_rate", "churn", "evicted", "shed", "events/sec"
         );
     }
     for config in &configs {
-        let r = replay(config, seed, shards, ttl, mode);
+        let r = replay(config, seed, &opts);
         if args.csv {
             println!(
-                "{},{},{},{:.4},{},{},{:.0},{},{},{}",
+                "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{}",
                 r.label,
                 r.events,
                 r.total.resident_streams,
                 r.hit_rate(),
                 r.total.period_churn,
                 r.total.evicted,
+                r.total.shed_events,
                 r.events_per_sec,
                 shards,
                 mode.label(),
                 ttl.map_or("off".to_string(), |t| t.to_string()),
+                cap_label,
+                backpressure.label(),
             );
         } else {
             println!(
-                "{:<14} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>14.0}",
+                "{:<14} {:>9} {:>8} {:>8.1}% {:>7} {:>8} {:>8} {:>14.0}",
                 r.label,
                 r.events,
                 r.total.resident_streams,
                 100.0 * r.hit_rate(),
                 r.total.period_churn,
                 r.total.evicted,
+                r.total.shed_events,
                 r.events_per_sec
             );
         }

@@ -5,7 +5,8 @@
 
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
-    Engine, EngineConfig, Observation, PersistentEngine, ShardMetrics, StreamKey, StreamKind,
+    BackpressurePolicy, Engine, EngineConfig, Observation, PersistentEngine, ShardMetrics,
+    StreamKey, StreamKind,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -29,6 +30,79 @@ impl EngineMode {
         match self {
             EngineMode::Persistent => "persistent",
             EngineMode::Scoped => "scoped",
+        }
+    }
+}
+
+/// Engine-side options for one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOpts {
+    /// Shard count.
+    pub shards: usize,
+    /// Idle-stream TTL in engine-time events (`None` disables).
+    pub ttl: Option<u64>,
+    /// Execution mode serving the replay.
+    pub mode: EngineMode,
+    /// Persistent mode: bound on each shard's observe lane (`None`
+    /// leaves lanes unbounded). Ignored in scoped mode.
+    pub queue_cap: Option<usize>,
+    /// Persistent mode: full-lane policy for bounded lanes.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for ReplayOpts {
+    fn default() -> Self {
+        ReplayOpts {
+            shards: 4,
+            ttl: None,
+            mode: EngineMode::Persistent,
+            queue_cap: None,
+            backpressure: BackpressurePolicy::Block,
+        }
+    }
+}
+
+impl ReplayOpts {
+    /// Default options at `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ReplayOpts {
+            shards,
+            ..ReplayOpts::default()
+        }
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the idle-stream TTL.
+    pub fn ttl(mut self, ttl: Option<u64>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Bounds the persistent observe lanes.
+    pub fn queue_cap(mut self, cap: Option<usize>) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the full-lane policy.
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            shards: self.shards,
+            dpd: DpdConfig::default(),
+            ttl: self.ttl,
+            observe_queue_cap: self.queue_cap,
+            backpressure: self.backpressure,
+            ..EngineConfig::default()
         }
     }
 }
@@ -90,20 +164,10 @@ impl ReplayReport {
     }
 }
 
-/// Replays pre-flattened `events` through a fresh engine in `mode`.
-pub fn replay_events(
-    events: &[Observation],
-    shards: usize,
-    ttl: Option<u64>,
-    mode: EngineMode,
-) -> (Vec<ShardMetrics>, f64) {
-    let cfg = EngineConfig {
-        shards,
-        dpd: DpdConfig::default(),
-        ttl,
-        ..EngineConfig::default()
-    };
-    match mode {
+/// Replays pre-flattened `events` through a fresh engine per `opts`.
+pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> (Vec<ShardMetrics>, f64) {
+    let cfg = opts.engine_config();
+    match opts.mode {
         EngineMode::Scoped => {
             let mut engine = Engine::new(cfg);
             let start = Instant::now();
@@ -131,16 +195,10 @@ pub fn replay_events(
 }
 
 /// Runs `config` once and replays its trace through the engine.
-pub fn replay(
-    config: &BenchmarkConfig,
-    seed: u64,
-    shards: usize,
-    ttl: Option<u64>,
-    mode: EngineMode,
-) -> ReplayReport {
+pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayReport {
     let trace = run_config(config, seed);
     let events = trace_to_events(&trace);
-    let (per_shard, events_per_sec) = replay_events(&events, shards, ttl, mode);
+    let (per_shard, events_per_sec) = replay_events(&events, opts);
     let mut total = ShardMetrics::default();
     for m in &per_shard {
         total.merge(m);
@@ -162,8 +220,12 @@ mod tests {
     #[test]
     fn modes_agree_on_counters_for_a_small_config() {
         let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
-        let a = replay(&cfg, 7, 4, None, EngineMode::Persistent);
-        let b = replay(&cfg, 7, 4, None, EngineMode::Scoped);
+        let a = replay(&cfg, 7, &ReplayOpts::with_shards(4));
+        let b = replay(
+            &cfg,
+            7,
+            &ReplayOpts::with_shards(4).mode(EngineMode::Scoped),
+        );
         assert_eq!(a.events, b.events);
         assert_eq!(a.total.hits, b.total.hits);
         assert_eq!(a.total.misses, b.total.misses);
@@ -172,20 +234,37 @@ mod tests {
     }
 
     #[test]
+    fn bounded_block_replay_matches_unbounded_and_sheds_nothing() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        let unbounded = replay(&cfg, 7, &ReplayOpts::with_shards(2));
+        let bounded = replay(&cfg, 7, &ReplayOpts::with_shards(2).queue_cap(Some(2)));
+        assert_eq!(bounded.total.hits, unbounded.total.hits);
+        assert_eq!(bounded.total.misses, unbounded.total.misses);
+        assert_eq!(
+            bounded.total.events_ingested,
+            unbounded.total.events_ingested
+        );
+        assert_eq!(bounded.total.shed_events, 0, "Block mode never sheds");
+        assert!(bounded.total.queue_high_water <= 2, "lane within its cap");
+    }
+
+    #[test]
     fn ttl_replay_evicts_streams_that_go_quiet() {
         let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
         // A tiny TTL forces evictions during replay (streams interleave,
         // so gaps larger than a few events are common).
-        let r = replay(&cfg, 7, 2, Some(4), EngineMode::Persistent);
+        let r = replay(&cfg, 7, &ReplayOpts::with_shards(2).ttl(Some(4)));
         assert!(r.total.evicted > 0, "tiny TTL must evict: {:?}", r.total);
-        let loose = replay(&cfg, 7, 2, Some(1_000_000), EngineMode::Persistent);
+        let loose = replay(&cfg, 7, &ReplayOpts::with_shards(2).ttl(Some(1_000_000)));
         assert_eq!(loose.total.evicted, 0, "huge TTL evicts nothing");
         assert!(loose.hit_rate() >= r.hit_rate());
     }
 
     #[test]
-    fn mode_labels_match_bench_schema() {
+    fn mode_and_policy_labels_match_bench_schema() {
         assert_eq!(EngineMode::Persistent.label(), "persistent");
         assert_eq!(EngineMode::Scoped.label(), "scoped");
+        assert_eq!(BackpressurePolicy::Block.label(), "block");
+        assert_eq!(BackpressurePolicy::Shed.label(), "shed");
     }
 }

@@ -8,7 +8,7 @@
 //! deterministic functions of the seed (`tests/determinism.rs`), so
 //! within-tolerance drift can only come from engine-side changes.
 
-use mpp_experiments::replay::{replay, EngineMode};
+use mpp_experiments::replay::{replay, EngineMode, ReplayOpts};
 use mpp_experiments::DEFAULT_SEED;
 use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
 
@@ -20,19 +20,15 @@ const TOLERANCE: f64 = 0.001;
 /// engine (bit-identical by `tests/persistence.rs`).
 const GOLDEN: [(BenchId, usize, f64); 2] = [(BenchId::Cg, 8, 0.9982), (BenchId::Bt, 9, 0.9995)];
 
-fn check(mode: EngineMode) {
+fn check(opts: &ReplayOpts, label: &str) {
     for (id, procs, want) in GOLDEN {
         let cfg = BenchmarkConfig::new(id, procs, Class::A);
-        let r = replay(&cfg, DEFAULT_SEED, 4, None, mode);
+        let r = replay(&cfg, DEFAULT_SEED, opts);
         let got = r.hit_rate();
         assert!(
             (got - want).abs() <= TOLERANCE,
-            "{} ({}) hit rate drifted: got {:.4}, pinned {:.4} ±{:.4}",
+            "{} ({label}) hit rate drifted: got {got:.4}, pinned {want:.4} ±{TOLERANCE:.4}",
             r.label,
-            mode.label(),
-            got,
-            want,
-            TOLERANCE
         );
         // The CHANGES.md envelope for the whole class-A roster.
         assert!(
@@ -45,10 +41,25 @@ fn check(mode: EngineMode) {
 
 #[test]
 fn class_a_hit_rates_stay_pinned_persistent() {
-    check(EngineMode::Persistent);
+    check(&ReplayOpts::with_shards(4), "persistent");
 }
 
 #[test]
 fn class_a_hit_rates_stay_pinned_scoped() {
-    check(EngineMode::Scoped);
+    check(
+        &ReplayOpts::with_shards(4).mode(EngineMode::Scoped),
+        "scoped",
+    );
+}
+
+/// The backpressure acceptance pin: bounded `Block`-mode lanes must
+/// leave the golden class-A hit rates exactly where the unbounded
+/// engine has them (±0.1 pt by the shared tolerance; bit-identical by
+/// `mpp-engine/tests/backpressure.rs`).
+#[test]
+fn class_a_hit_rates_stay_pinned_bounded_block() {
+    check(
+        &ReplayOpts::with_shards(4).queue_cap(Some(4)),
+        "bounded-block",
+    );
 }

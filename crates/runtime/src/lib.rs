@@ -37,7 +37,9 @@ pub mod protocol;
 pub use advisor::{Advice, PredictionAdvisor};
 pub use buffer::BufferPool;
 pub use credit::{simulate_credits, CreditOutcome, CreditPolicy};
-pub use engine_link::{EngineAdvisor, EngineHandle, EngineOracle, EngineOracleFactory};
+pub use engine_link::{
+    BackpressurePolicy, EngineAdvisor, EngineHandle, EngineOracle, EngineOracleFactory,
+};
 pub use memory::MemoryModel;
 pub use oracle::{DpdOracle, DpdOracleFactory, GrantBook};
 pub use policy::{simulate_buffers, BufferOutcome, BufferPolicy};

@@ -32,6 +32,7 @@ pub use mpp_core::{
     stream::{Symbol, SymbolMap},
 };
 pub use mpp_engine::{
-    Engine, EngineClient, EngineConfig, Observation, PersistentEngine, Query, StreamKey, StreamKind,
+    BackpressurePolicy, Engine, EngineClient, EngineConfig, Observation, ObserveOutcome,
+    PersistentEngine, Query, StreamKey, StreamKind, WorkerGone,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};

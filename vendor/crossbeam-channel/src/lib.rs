@@ -1,20 +1,66 @@
 //! Minimal offline stand-in for the `crossbeam-channel` crate.
 //!
 //! The build environment cannot reach crates.io, so this vendored shim
-//! provides the (small) API surface `mpp-mpisim` actually uses —
-//! [`unbounded`] channels with cloneable senders and a blocking
-//! [`Receiver::recv_timeout`] — implemented on top of
-//! [`std::sync::mpsc`]. Semantics relevant to the simulator (unbounded
-//! FIFO per channel, `Sender: Clone + Send`, `Receiver: Send`) are
-//! identical; only performance characteristics differ, which is
-//! irrelevant because all simulator timing is virtual.
+//! provides the API surface the workspace actually uses — [`unbounded`]
+//! and [`bounded`] MPMC channels with cloneable [`Sender`]s *and*
+//! [`Receiver`]s, blocking/timeout/non-blocking operations on both
+//! halves, and `len`/`is_empty`/`capacity` introspection — implemented
+//! as a `Mutex<VecDeque>` guarded by two condvars (`not_empty` for
+//! receivers, `not_full` for bounded senders).
+//!
+//! Semantics mirror the real crate for the subset provided:
+//!
+//! * one FIFO queue per channel; messages are delivered exactly once
+//!   even with many receivers;
+//! * a bounded channel holds at most `cap` messages: [`Sender::send`]
+//!   blocks while full, [`Sender::try_send`] fails fast with
+//!   [`TrySendError::Full`], [`Sender::send_timeout`] gives up after a
+//!   deadline;
+//! * dropping every receiver fails (and wakes) all senders, including
+//!   ones blocked on a full queue; dropping every sender disconnects
+//!   receivers once the queue drains — buffered messages are still
+//!   delivered first.
+//!
+//! Only performance characteristics differ from the real crate (a
+//! global lock per channel instead of lock-free segments), so swapping
+//! in the real `crossbeam-channel` is a drop-in change. Deliberately
+//! unsupported: zero-capacity rendezvous channels ([`bounded`]`(0)`
+//! panics), `select!`, and the `after`/`tick` constructors.
 
-use std::sync::mpsc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-/// Error returned by [`Sender::send`] when the receiver is gone.
+/// Error returned by [`Sender::send`] when every receiver is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and currently holds `cap` messages.
+    Full(T),
+    /// Every receiver has disconnected.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// Every receiver has disconnected.
+    Disconnected(T),
+}
 
 /// Error returned by [`Receiver::recv`] when all senders are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,67 +84,316 @@ pub enum TryRecvError {
     Disconnected,
 }
 
-/// Sending half of an unbounded channel.
-#[derive(Debug)]
+/// Queue plus liveness bookkeeping, behind the channel's one mutex.
+struct Inner<T> {
+    queue: VecDeque<T>,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+impl<T> Inner<T> {
+    fn is_full(&self) -> bool {
+        matches!(self.cap, Some(c) if self.queue.len() >= c)
+    }
+}
+
+/// State shared by every handle of one channel.
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on every enqueue and on last-sender drop.
+    not_empty: Condvar,
+    /// Signalled on every dequeue and on last-receiver drop.
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().expect("channel mutex poisoned")
+    }
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a bounded FIFO channel holding at most `cap` messages.
+///
+/// # Panics
+///
+/// Panics when `cap == 0`: the real crate's zero-capacity rendezvous
+/// semantics are not provided by this stand-in.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        cap > 0,
+        "zero-capacity rendezvous channels are not supported by this stand-in"
+    );
+    channel(Some(cap))
+}
+
+/// Sending half of a channel. Clonable; the channel disconnects for
+/// receivers when the last clone drops.
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
         Sender {
-            inner: self.inner.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Receivers blocked on an empty queue must wake to observe
+            // the disconnect.
+            drop(inner);
+            self.shared.not_empty.notify_all();
         }
     }
 }
 
 impl<T> Sender<T> {
-    /// Enqueues `msg`; fails only when the receiver was dropped.
+    /// Enqueues `msg`, blocking while a bounded channel is full. Fails
+    /// only when every receiver is gone (even if blocked at the time).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(m)| SendError(m))
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if !inner.is_full() {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .not_full
+                .wait(inner)
+                .expect("channel mutex poisoned");
+        }
+    }
+
+    /// Non-blocking enqueue: fails fast when the channel is full or
+    /// disconnected, handing `msg` back in the error.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.is_full() {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for at most `timeout` waiting for queue space.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if !inner.is_full() {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(SendTimeoutError::Timeout(msg));
+            };
+            let (guard, timed_out) = self
+                .shared
+                .not_full
+                .wait_timeout(inner, left)
+                .expect("channel mutex poisoned");
+            inner = guard;
+            if timed_out.timed_out() && inner.is_full() && inner.receivers > 0 {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.lock().cap
     }
 }
 
-/// Receiving half of an unbounded channel.
-#[derive(Debug)]
+/// Receiving half of a channel. Clonable (MPMC): each message is
+/// delivered to exactly one receiver; the channel disconnects for
+/// senders when the last clone drops.
 pub struct Receiver<T> {
-    inner: mpsc::Receiver<T>,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Senders blocked on a full queue must wake to observe the
+            // disconnect instead of waiting forever.
+            drop(inner);
+            self.shared.not_full.notify_all();
+        }
+    }
 }
 
 impl<T> Receiver<T> {
+    /// Releases the lock after a dequeue and wakes one blocked sender.
+    fn pop(&self, inner: MutexGuard<'_, Inner<T>>, msg: T) -> T {
+        drop(inner);
+        self.shared.not_full.notify_one();
+        msg
+    }
+
     /// Blocks until a message arrives or all senders disconnect.
+    /// Buffered messages are delivered even after disconnection.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv().map_err(|_| RecvError)
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(self.pop(inner, msg));
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .expect("channel mutex poisoned");
+        }
     }
 
     /// Blocks for at most `timeout` waiting for a message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.inner.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-        })
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(self.pop(inner, msg));
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, left)
+                .expect("channel mutex poisoned");
+            inner = guard;
+            if timed_out.timed_out() && inner.queue.is_empty() {
+                return if inner.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => TryRecvError::Empty,
-            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        let mut inner = self.shared.lock();
+        if let Some(msg) = inner.queue.pop_front() {
+            return Ok(self.pop(inner, msg));
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
     }
-}
 
-/// Creates an unbounded FIFO channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.lock().cap
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::Duration;
 
     #[test]
@@ -133,6 +428,11 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        assert_eq!(
+            tx.send_timeout(9, Duration::from_millis(1)),
+            Err(SendTimeoutError::Disconnected(9))
+        );
     }
 
     #[test]
@@ -149,5 +449,125 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_is_empty_and_capacity_track_the_queue() {
+        let (tx, rx) = bounded::<u8>(3);
+        assert!(tx.is_empty() && rx.is_empty());
+        assert_eq!((tx.capacity(), rx.capacity()), (Some(3), Some(3)));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!((tx.len(), rx.len()), (2, 2));
+        assert!(!rx.is_empty());
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+        let (utx, _urx) = unbounded::<u8>();
+        assert_eq!(utx.capacity(), None);
+    }
+
+    #[test]
+    fn try_send_fails_fast_when_full_and_hands_the_message_back() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.try_send(3).unwrap_err().into_inner(), 3);
+        rx.recv().unwrap();
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_timeout_times_out_on_a_full_channel_then_succeeds() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        rx.recv().unwrap();
+        tx.send_timeout(2, Duration::from_millis(10)).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn blocked_send_wakes_when_a_receiver_drains() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sent = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&sent);
+        let h = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks: queue is full
+            flag.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!sent.load(Ordering::SeqCst), "send must block while full");
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(1));
+        h.join().unwrap();
+        assert!(sent.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn dropping_the_receiver_wakes_a_blocked_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let h = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(
+            h.join().unwrap(),
+            Err(SendError(1)),
+            "blocked sender must fail, not hang"
+        );
+    }
+
+    #[test]
+    fn cloned_receivers_deliver_each_message_exactly_once() {
+        let (tx, rx) = unbounded();
+        const N: u64 = 1000;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..N {
+            tx.send(i).unwrap();
+        }
+        drop(tx); // disconnect: consumers drain and exit
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>(), "exactly-once delivery");
+    }
+
+    #[test]
+    fn buffered_messages_survive_sender_disconnect() {
+        let (tx, rx) = bounded(4);
+        tx.send(1u8).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn bounded_zero_is_rejected() {
+        let _ = bounded::<u8>(0);
     }
 }
