@@ -19,8 +19,8 @@
 
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, Observation, PersistentEngine, Query, StreamKey,
-    StreamKind,
+    BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, Observation,
+    PersistentEngine, Query, StreamKey, StreamKind,
 };
 use std::time::Instant;
 
@@ -35,6 +35,15 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const QUEUE_CAPS: [usize; 3] = [1, 8, 64];
 /// Shard count used for the bounded-lane measurements.
 const BOUNDED_SHARDS: usize = 4;
+/// Member counts measured for the federation trajectory.
+const MEMBER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Interleaved job copies in the federation workload (fixed across
+/// member counts so the event stream is identical and only the member
+/// count varies).
+const FED_JOBS: u32 = 4;
+/// Shards per federation member (kept small so total worker threads
+/// stay proportional to the member count).
+const FED_SHARDS: usize = 2;
 /// Timed batches per measurement run.
 const TIMED_BATCHES: usize = 6;
 /// Measurement runs per (mode, shard count); best-of damps noise.
@@ -103,6 +112,45 @@ fn measure_bounded(shards: usize, cap: usize, batch: &[Observation]) -> f64 {
 fn measure_persistent_cfg(cfg: EngineConfig, batch: &[Observation]) -> f64 {
     let engine = PersistentEngine::new(cfg);
     let client = engine.client();
+    client.observe_batch(batch); // warm: slots, interners, leg buffers
+    client.metrics_total(); // barrier: warm-up fully applied
+    let start = Instant::now();
+    for _ in 0..TIMED_BATCHES {
+        client.observe_batch(batch);
+    }
+    black_box(client.metrics_total().events_ingested);
+    let secs = start.elapsed().as_secs_f64();
+    (TIMED_BATCHES * batch.len()) as f64 / secs.max(1e-12)
+}
+
+/// The federation workload: the synthetic batch re-keyed into
+/// `FED_JOBS` interleaved job namespaces.
+fn federated_batch() -> Vec<Observation> {
+    let base = synthetic_batch();
+    let mut out = Vec::with_capacity(base.len() * FED_JOBS as usize);
+    for obs in &base {
+        for job in 0..FED_JOBS {
+            out.push(Observation::new(
+                StreamKey::for_job(job, obs.key.rank, obs.key.kind),
+                obs.value,
+            ));
+        }
+    }
+    out
+}
+
+/// Federated ingest rate (events/sec) at `members` member engines,
+/// `FED_SHARDS` shards each, over the fixed `FED_JOBS`-job workload.
+fn measure_federated(members: usize, batch: &[Observation]) -> f64 {
+    let fed = FederatedEngine::new(FederationConfig {
+        members,
+        member: EngineConfig {
+            parallel_threshold: 0,
+            ..EngineConfig::with_shards(FED_SHARDS)
+        },
+        adaptive: None,
+    });
+    let client = fed.client();
     client.observe_batch(batch); // warm: slots, interners, leg buffers
     client.metrics_total(); // barrier: warm-up fully applied
     let start = Instant::now();
@@ -193,7 +241,10 @@ fn bench_predict_batch(c: &mut Criterion) {
 /// mode, which has no queues); `persistent_vs_scoped` records the
 /// per-shard-count throughput ratio (≥ 1.0 means the persistent
 /// workers win); `bounded_saturation` records the `Block`-mode
-/// saturation throughput per lane capacity at `BOUNDED_SHARDS` shards.
+/// saturation throughput per lane capacity at `BOUNDED_SHARDS` shards;
+/// `federation` records the multi-engine ingest trajectory — events/sec
+/// per member count over a fixed `FED_JOBS`-job interleaved workload
+/// (`FED_SHARDS` shards per member).
 fn write_bench_json() {
     let batch = synthetic_batch();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -233,6 +284,16 @@ fn write_bench_json() {
         ));
         saturation.push(format!("    \"{cap}\": {rate:.0}"));
     }
+    let fed_batch = federated_batch();
+    let mut federation: Vec<String> = Vec::new();
+    for members in MEMBER_COUNTS {
+        let rate = best_of(RUNS, || measure_federated(members, &fed_batch));
+        println!(
+            "engine ingest federation {members} member(s) x {FED_SHARDS} shard(s), \
+             {FED_JOBS} jobs: {rate:>10.0} ev/s"
+        );
+        federation.push(format!("    \"{members}\": {rate:.0}"));
+    }
     let single = persistent_rates[0];
     let best_multi = persistent_rates[1..]
         .iter()
@@ -253,11 +314,14 @@ fn write_bench_json() {
          \"runs_best_of\": {RUNS},\n  \"cores\": {cores},\n  \"results\": [\n{}\n  ],\n  \
          \"persistent_vs_scoped\": {{\n{}\n  }},\n  \
          \"bounded_saturation\": {{\n{}\n  }},\n  \
+         \"federation\": {{\n    \"jobs\": {FED_JOBS},\n    \"shards_per_member\": {FED_SHARDS},\n    \
+         \"events_per_sec\": {{\n{}\n    }}\n  }},\n  \
          \"best_multi_shard_speedup\": {:.3}{note}\n}}\n",
         batch.len(),
         entries.join(",\n"),
         ratios.join(",\n"),
         saturation.join(",\n"),
+        federation.join(",\n"),
         best_multi / single.max(1e-12),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

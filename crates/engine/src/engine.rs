@@ -12,12 +12,13 @@
 //! ## Sharding
 //!
 //! Streams are partitioned by a multiplicative hash of their owning
-//! rank, so all three attribute streams of a rank live in the same
-//! shard (per-rank advice needs them together) and consecutive ranks
-//! spread across shards instead of clustering. Because predictors are
-//! per-stream and a stream never leaves its shard, any shard count
-//! produces bit-identical predictions — parallelism changes wall-clock
-//! only, never results (property-tested in `tests/equivalence.rs`).
+//! `(job, rank)`, so all three attribute streams of a rank live in the
+//! same shard (per-rank advice needs them together) and consecutive
+//! ranks — and co-resident jobs — spread across shards instead of
+//! clustering. Because predictors are per-stream and a stream never
+//! leaves its shard, any shard count produces bit-identical predictions
+//! — parallelism changes wall-clock only, never results
+//! (property-tested in `tests/equivalence.rs`).
 //!
 //! ## Hot path
 //!
@@ -26,7 +27,7 @@
 //! then drives each non-empty shard on its own scoped worker thread
 //! (sequentially when only one shard has work or the batch is below the
 //! spawn threshold). No event is boxed or cloned beyond the `Copy` of
-//! the 16-byte [`Observation`]; per-stream state reuses the fixed
+//! the 24-byte [`Observation`]; per-stream state reuses the fixed
 //! [`mpp_core::Ring`] buffers inside each predictor.
 //!
 //! ## Engine time and eviction
@@ -40,9 +41,9 @@
 //! results). [`Engine::evict_stream`] / [`Engine::evict_lru`] force
 //! evictions regardless of TTL.
 
-use crate::metrics::{EngineMetrics, ShardMetrics};
+use crate::metrics::{EngineMetrics, JobMetrics, ShardMetrics};
 use crate::shard::Shard;
-use crate::types::{Observation, Query, RankId, StreamKey};
+use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use mpp_core::dpd::DpdConfig;
 
 /// What a persistent-engine client does when a shard's bounded observe
@@ -154,11 +155,22 @@ impl EngineConfig {
     }
 }
 
-/// Fibonacci-multiplicative rank hash: spreads consecutive ranks across
-/// shards without clustering, and is stable across platforms.
+/// Fibonacci-multiplicative `(job, rank)` hash: spreads consecutive
+/// ranks across shards without clustering, mixes the job namespace into
+/// the high input bits so co-resident jobs spread too, and is stable
+/// across platforms. For job [`DEFAULT_JOB`] (0) it reduces exactly to
+/// the pre-namespace rank hash, so single-job shard layouts are
+/// unchanged.
 #[inline]
-pub(crate) fn shard_of(rank: RankId, shards: usize) -> usize {
-    (u64::from(rank).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards
+pub(crate) fn shard_of(job: JobId, rank: RankId, shards: usize) -> usize {
+    let x = u64::from(rank) ^ (u64::from(job) << 32);
+    (x.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards
+}
+
+/// Shard index serving `key` (all kinds of a `(job, rank)` colocate).
+#[inline]
+pub(crate) fn shard_of_key(key: StreamKey, shards: usize) -> usize {
+    shard_of(key.job, key.rank, shards)
 }
 
 /// Multi-stream prediction engine, scoped-thread mode. See the
@@ -200,9 +212,14 @@ impl Engine {
         self.shards.len()
     }
 
-    /// Shard index serving `rank`.
+    /// Shard index serving `rank` of the default job.
     pub fn shard_for(&self, rank: RankId) -> usize {
-        shard_of(rank, self.shards.len())
+        self.shard_for_job(DEFAULT_JOB, rank)
+    }
+
+    /// Shard index serving `rank` of `job`.
+    pub fn shard_for_job(&self, job: JobId, rank: RankId) -> usize {
+        shard_of(job, rank, self.shards.len())
     }
 
     /// Engine time: total events ingested so far.
@@ -214,7 +231,7 @@ impl Engine {
     /// the throughput path).
     #[inline]
     pub fn observe(&mut self, key: StreamKey, value: u64) {
-        let s = shard_of(key.rank, self.shards.len());
+        let s = shard_of_key(key, self.shards.len());
         self.clock += 1;
         let now = self.clock;
         let shard = &mut self.shards[s];
@@ -246,7 +263,7 @@ impl Engine {
             idxs.clear();
         }
         for (i, obs) in batch.iter().enumerate() {
-            self.scratch[shard_of(obs.key.rank, nshards)].push(i as u32);
+            self.scratch[shard_of_key(obs.key, nshards)].push(i as u32);
         }
         let busy = self.scratch.iter().filter(|s| !s.is_empty()).count();
         if busy <= 1 || batch.len() < self.cfg.parallel_threshold {
@@ -298,7 +315,7 @@ impl Engine {
     /// Serves one query.
     #[inline]
     pub fn predict(&mut self, key: StreamKey, horizon: u32) -> Option<u64> {
-        let s = shard_of(key.rank, self.shards.len());
+        let s = shard_of_key(key, self.shards.len());
         let now = self.clock;
         self.shards[s].predict_at(Query::new(key, horizon), now)
     }
@@ -313,37 +330,50 @@ impl Engine {
         let nshards = self.shards.len();
         let now = self.clock;
         for q in queries {
-            let s = shard_of(q.key.rank, nshards);
+            let s = shard_of_key(q.key, nshards);
             out.push(self.shards[s].predict_at(*q, now));
         }
     }
 
-    /// The next `depth` forecast (sender, size) pairs for `rank` — the
-    /// shape the runtime policies (§2 of the paper) consume.
+    /// The next `depth` forecast (sender, size) pairs for `rank` of the
+    /// default job — the shape the runtime policies (§2 of the paper)
+    /// consume.
     pub fn forecast_messages(
         &mut self,
         rank: RankId,
         depth: usize,
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
-        let s = shard_of(rank, self.shards.len());
+        self.forecast_messages_for_job(DEFAULT_JOB, rank, depth, out);
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank` inside
+    /// `job`'s namespace.
+    pub fn forecast_messages_for_job(
+        &mut self,
+        job: JobId,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        let s = shard_of(job, rank, self.shards.len());
         let now = self.clock;
-        self.shards[s].forecast_at(rank, depth, now, out);
+        self.shards[s].forecast_at(job, rank, depth, now, out);
     }
 
     /// Detected period of a stream, if locked and not expired.
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        self.shards[shard_of(key.rank, self.shards.len())].period_of_at(key, self.clock)
+        self.shards[shard_of_key(key, self.shards.len())].period_of_at(key, self.clock)
     }
 
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        self.shards[shard_of(key.rank, self.shards.len())].confidence_of_at(key, self.clock)
+        self.shards[shard_of_key(key, self.shards.len())].confidence_of_at(key, self.clock)
     }
 
     /// Forcibly evicts one stream, returning whether it was resident.
     pub fn evict_stream(&mut self, key: StreamKey) -> bool {
-        let s = shard_of(key.rank, self.shards.len());
+        let s = shard_of_key(key, self.shards.len());
         self.shards[s].evict_stream(key)
     }
 
@@ -369,6 +399,26 @@ impl Engine {
             }
         }
         removed
+    }
+
+    /// Forcibly evicts every resident stream of `job` across all
+    /// shards, returning how many were removed. The job's metric
+    /// rollups survive; returning streams restart cold.
+    pub fn evict_job(&mut self, job: JobId) -> usize {
+        self.shards.iter_mut().map(|s| s.evict_job(job)).sum()
+    }
+
+    /// Jobs with at least one resident stream, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self.shards.iter().flat_map(Shard::resident_jobs).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Per-job scoring rollups summed across shards, ascending by job.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        crate::metrics::merge_job_rollups(self.shards.iter().map(Shard::job_metrics).collect())
     }
 
     /// Per-shard metrics snapshot.
@@ -505,6 +555,60 @@ mod tests {
             used >= 6,
             "64 ranks should populate most of 8 shards, got {used}"
         );
+    }
+
+    #[test]
+    fn job_hash_reduces_to_rank_hash_for_job_zero_and_spreads_jobs() {
+        for shards in [1usize, 2, 5, 8] {
+            for r in 0..64u32 {
+                assert_eq!(
+                    shard_of(0, r, shards),
+                    (u64::from(r).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % shards,
+                    "job 0 must keep the pre-namespace layout"
+                );
+            }
+        }
+        // One rank across many jobs must not pile into one shard.
+        let mut seen = [false; 8];
+        for job in 0..64u32 {
+            seen[shard_of(job, 0, 8)] = true;
+        }
+        assert!(
+            seen.iter().filter(|&&b| b).count() >= 6,
+            "64 jobs of one rank should populate most of 8 shards"
+        );
+    }
+
+    #[test]
+    fn jobs_namespace_streams_and_roll_up_separately() {
+        let mut eng = Engine::new(EngineConfig::with_shards(4));
+        let ka = StreamKey::for_job(1, 0, StreamKind::Sender);
+        let kb = StreamKey::for_job(2, 0, StreamKind::Sender);
+        for _ in 0..10 {
+            for v in [3u64, 9] {
+                eng.observe(ka, v);
+            }
+            eng.observe(kb, 5);
+        }
+        // Same rank + kind, different jobs: independent predictors.
+        assert_eq!(eng.predict(ka, 1), Some(3));
+        assert_eq!(eng.predict(kb, 1), Some(5));
+        assert_eq!(eng.period_of(ka), Some(2));
+        assert_eq!(eng.period_of(kb), Some(1));
+        assert_eq!(eng.resident_jobs(), vec![1, 2]);
+        let jobs = eng.job_metrics();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].1.events_ingested, 20);
+        assert_eq!(jobs[1].1.events_ingested, 10);
+        // Per-job forecasts come from the job's own namespace.
+        let mut advice = Vec::new();
+        eng.forecast_messages_for_job(2, 0, 1, &mut advice);
+        assert_eq!(advice, vec![(Some(5), None)]);
+        // Evicting job 1 leaves job 2 untouched.
+        assert_eq!(eng.evict_job(1), 1);
+        assert_eq!(eng.resident_jobs(), vec![2]);
+        assert_eq!(eng.predict(ka, 1), None, "evicted job restarts cold");
+        assert_eq!(eng.predict(kb, 1), Some(5));
     }
 
     #[test]

@@ -1,0 +1,974 @@
+//! Multi-engine federation: job-partitioned routing over N persistent
+//! engines.
+//!
+//! One [`PersistentEngine`](crate::PersistentEngine) scales across
+//! cores; serving *many concurrent MPI jobs* needs the next layer up —
+//! more than one engine, with each job's `(rank, kind)` streams living
+//! in exactly one member so tenants never collide. [`FederatedEngine`]
+//! is that router:
+//!
+//! ```text
+//!  FederatedClient ──job h(j)=0──▶ member 0 (PersistentEngine, S shards)
+//!        │      └────job h(j)=1──▶ member 1 (PersistentEngine, S shards)
+//!        └─ per-member EngineClient lanes            ...
+//! ```
+//!
+//! * **Deterministic routing.** A job is served by member
+//!   `hash(job) % members` (the same stable Fibonacci hash the shards
+//!   use), overridable per job with the explicit pinning API
+//!   ([`FederatedEngine::pin_job`]). Routing is a pure function of
+//!   `(job, pins, member count)` — never of load or timing — so a
+//!   replayed workload always lands on the same members and replays
+//!   bit-identically (`tests/federation.rs`).
+//! * **Job isolation.** Keys carry their [`JobId`], so two jobs never
+//!   share a predictor, an interner slot, or a scoring counter.
+//!   Evicting or flooding job A cannot change job B's predictions or
+//!   its [`JobMetrics`] rollup (property-tested). One caveat is
+//!   inherited from engine time: [`EngineConfig::ttl`] counts a
+//!   *member-wide* event clock, so with a TTL configured, a co-resident
+//!   job's traffic advances the clock that expires idle streams —
+//!   namespaces isolate state and scores, not the shared notion of
+//!   time.
+//! * **Per-job operations.** [`FederatedEngine::evict_job`] reclaims
+//!   one tenant across every member, [`FederatedEngine::resident_jobs`]
+//!   lists live tenants, and [`FederatedEngine::job_metrics`] rolls
+//!   each job's scoring counters up across shards and members.
+//! * **Adaptive capacity.** With [`AdaptiveCapacity`] configured,
+//!   [`FederatedEngine::end_epoch`] reads each member's per-epoch
+//!   observe-lane high-water marks and re-bounds its lanes to
+//!   `clamp(next_pow2(headroom × high_water), min, max)` — queues track
+//!   real pressure instead of a hand-tuned constant. The policy is
+//!   restricted by construction to [`BackpressurePolicy::Block`]
+//!   members, where lane capacity is *proven* semantics-free
+//!   (`tests/backpressure.rs`), and the target is a pure function of
+//!   the observed high water — so adaptation can change wall-clock and
+//!   pressure metrics, never predictions, and replay results cannot
+//!   change.
+//! * **Failure attribution.** A dead shard worker inside a member
+//!   surfaces as [`FederationWorkerGone`] carrying the job whose leg
+//!   hit the dead lane, the member index, and the underlying
+//!   [`WorkerGone`] — while other jobs (and other members) keep
+//!   serving.
+//!
+//! The single-member federation is the compatibility mode:
+//! [`FederatedEngine::from_members`] with one engine routes every job
+//! to it, and job-0 traffic through a [`FederatedClient`] takes a
+//! copy-free fast path straight into the member's
+//! [`EngineClient`](crate::EngineClient) — bit-identical to using the
+//! engine directly.
+
+use crate::engine::{BackpressurePolicy, EngineConfig};
+use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
+use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Stable job→member hash (the Fibonacci multiplicative hash shared
+/// with the shard router). Pure and platform-independent: routing can
+/// never depend on load or timing.
+#[inline]
+fn member_hash(job: JobId, members: usize) -> usize {
+    (u64::from(job).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % members
+}
+
+/// Deterministic epoch policy auto-sizing each member's observe-lane
+/// capacity from its observed queue pressure. See the [module
+/// docs](self) for why it is restricted to `Block`-mode members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveCapacity {
+    /// Lower bound on any computed capacity (also the capacity chosen
+    /// for idle members). Must be positive.
+    pub min_cap: usize,
+    /// Upper bound on any computed capacity. Must be ≥ `min_cap`.
+    pub max_cap: usize,
+    /// Pressure multiplier: the next epoch's capacity targets
+    /// `headroom ×` the worst per-shard high water seen this epoch
+    /// (rounded up to a power of two), so a lane that just filled gets
+    /// slack rather than staying saturated. Must be positive.
+    pub headroom: u32,
+}
+
+impl Default for AdaptiveCapacity {
+    fn default() -> Self {
+        AdaptiveCapacity {
+            min_cap: 4,
+            max_cap: 1 << 16,
+            headroom: 2,
+        }
+    }
+}
+
+impl AdaptiveCapacity {
+    fn validate(&self) {
+        assert!(self.min_cap > 0, "adaptive min_cap must be positive");
+        assert!(
+            self.max_cap >= self.min_cap,
+            "adaptive max_cap must be >= min_cap"
+        );
+        assert!(self.headroom > 0, "adaptive headroom must be positive");
+    }
+
+    /// The capacity the policy assigns after observing `high_water` —
+    /// a pure function, so epoch decisions are replayable.
+    pub fn target_cap(&self, high_water: u64) -> usize {
+        let want = high_water
+            .saturating_mul(u64::from(self.headroom))
+            .max(self.min_cap as u64)
+            .min(self.max_cap as u64) as usize;
+        want.next_power_of_two().clamp(self.min_cap, self.max_cap)
+    }
+}
+
+/// Construction parameters for a [`FederatedEngine`].
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Number of member engines; must be positive.
+    pub members: usize,
+    /// Configuration applied to every member engine.
+    pub member: EngineConfig,
+    /// Optional adaptive observe-lane capacity policy, applied at
+    /// [`FederatedEngine::end_epoch`]. Requires the member config to
+    /// use bounded lanes under [`BackpressurePolicy::Block`].
+    pub adaptive: Option<AdaptiveCapacity>,
+}
+
+impl FederationConfig {
+    /// A federation of `members` engines with `shards` shards each and
+    /// default detector settings.
+    pub fn new(members: usize, shards: usize) -> Self {
+        FederationConfig {
+            members,
+            member: EngineConfig::with_shards(shards),
+            adaptive: None,
+        }
+    }
+
+    /// Replaces the per-member engine configuration.
+    pub fn member_config(mut self, member: EngineConfig) -> Self {
+        self.member = member;
+        self
+    }
+
+    /// Enables the adaptive observe-lane capacity policy.
+    pub fn adaptive(mut self, policy: AdaptiveCapacity) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.members > 0, "federation needs at least one member");
+        if let Some(policy) = &self.adaptive {
+            policy.validate();
+            assert!(
+                self.member.observe_queue_cap.is_some(),
+                "adaptive capacity needs bounded observe lanes \
+                 (set EngineConfig::observe_queue_cap)"
+            );
+            assert!(
+                self.member.backpressure == BackpressurePolicy::Block,
+                "adaptive capacity requires BackpressurePolicy::Block, where lane \
+                 capacity is proven semantics-free; resizing Shed lanes would let \
+                 the adaptation change which events are dropped"
+            );
+        }
+    }
+}
+
+/// Error surfaced when a member engine's shard worker is gone,
+/// attributed to the job whose batch leg hit the dead lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationWorkerGone {
+    /// Job whose traffic found the dead worker.
+    pub job: JobId,
+    /// Federation member serving that job.
+    pub member: usize,
+    /// The member-level error (which shard worker died).
+    pub gone: WorkerGone,
+    /// What the call still accomplished: events dispatched to *other*
+    /// (healthy) members' jobs in the same batch. Legs inside an
+    /// erring member are not counted (its internal dispatch is
+    /// opaque once its lane errs), and the per-shard metrics remain
+    /// the exact source of truth either way — this field exists so a
+    /// caller never retries events that already landed elsewhere.
+    pub outcome: ObserveOutcome,
+}
+
+impl std::fmt::Display for FederationWorkerGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "federation member {} serving job {}: {}",
+            self.member, self.job, self.gone
+        )
+    }
+}
+
+impl std::error::Error for FederationWorkerGone {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.gone)
+    }
+}
+
+/// One member's entry in an [`FederatedEngine::end_epoch`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCapacity {
+    /// Member index.
+    pub member: usize,
+    /// Worst per-shard observe-lane high water the member saw this
+    /// epoch (epoch counters reset on read).
+    pub queue_high_water: u64,
+    /// Observe-lane capacity in force after the epoch (`None` when the
+    /// member runs unbounded lanes and no adaptive policy applies).
+    pub observe_queue_cap: Option<usize>,
+}
+
+/// Shared federation state.
+struct FedInner {
+    members: Vec<PersistentEngine>,
+    /// Explicit job→member overrides; consulted before the hash.
+    pins: RwLock<HashMap<JobId, usize>>,
+    adaptive: Option<AdaptiveCapacity>,
+    /// Completed adaptation epochs.
+    epoch: AtomicU64,
+}
+
+impl FedInner {
+    /// The single definition of the routing rule: pin first, then the
+    /// stable hash. A one-member federation routes everything to
+    /// member 0 without touching the pins lock, so the default
+    /// single-engine `EngineHandle` path pays no shared-lock cost on
+    /// the hot path.
+    fn member_of(&self, job: JobId) -> usize {
+        if self.members.len() == 1 {
+            return 0;
+        }
+        let pins = self.pins.read().expect("pins lock poisoned");
+        match pins.get(&job) {
+            Some(&m) => m,
+            None => member_hash(job, self.members.len()),
+        }
+    }
+}
+
+/// Router over N persistent member engines, partitioning traffic by
+/// job. Cheap to clone (`Arc` bump) and `Send + Sync`; hot-path users
+/// take a per-thread [`FederatedClient`] via
+/// [`FederatedEngine::client`]. See the [module docs](self).
+#[derive(Clone)]
+pub struct FederatedEngine {
+    inner: Arc<FedInner>,
+}
+
+impl std::fmt::Debug for FederatedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedEngine")
+            .field("members", &self.inner.members.len())
+            .field("epoch", &self.inner.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FederatedEngine {
+    /// Spawns `cfg.members` member engines. Panics with the
+    /// [`SpawnError`] message if the OS refuses a worker thread.
+    pub fn new(cfg: FederationConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor. Members already spawned when a later one
+    /// fails are shut down by drop before the error returns.
+    pub fn try_new(cfg: FederationConfig) -> Result<Self, SpawnError> {
+        cfg.validate();
+        let members = (0..cfg.members)
+            .map(|_| PersistentEngine::try_new(cfg.member.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(members, cfg.adaptive))
+    }
+
+    /// Wraps already-running engines as federation members (member `i`
+    /// is `members[i]`). The one-element case is the compatibility
+    /// wrapper: every job routes to the lone engine, and job-0 traffic
+    /// is bit-identical to driving the engine directly.
+    pub fn from_members(members: Vec<PersistentEngine>) -> Self {
+        assert!(!members.is_empty(), "federation needs at least one member");
+        Self::assemble(members, None)
+    }
+
+    /// A single-member federation over a freshly spawned engine.
+    pub fn single(cfg: EngineConfig) -> Self {
+        Self::from_members(vec![PersistentEngine::new(cfg)])
+    }
+
+    fn assemble(members: Vec<PersistentEngine>, adaptive: Option<AdaptiveCapacity>) -> Self {
+        FederatedEngine {
+            inner: Arc::new(FedInner {
+                members,
+                pins: RwLock::new(HashMap::new()),
+                adaptive,
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of member engines.
+    pub fn member_count(&self) -> usize {
+        self.inner.members.len()
+    }
+
+    /// Direct handle to member `i` (post-run inspection, tests, and
+    /// chaos injection).
+    pub fn member(&self, i: usize) -> &PersistentEngine {
+        &self.inner.members[i]
+    }
+
+    /// The member serving `job`: its pin if one is set, otherwise the
+    /// stable hash (single-member federations always answer 0).
+    pub fn member_of(&self, job: JobId) -> usize {
+        self.inner.member_of(job)
+    }
+
+    /// Pins `job` to `member`, overriding the hash route. Pin before
+    /// serving the job's traffic: pinning a job that already has
+    /// resident streams strands that state on the old member (new
+    /// traffic restarts cold on the new one; reclaim the remnant with
+    /// [`FederatedEngine::evict_job`], which reaches every member).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `member` is out of range.
+    pub fn pin_job(&self, job: JobId, member: usize) {
+        assert!(
+            member < self.inner.members.len(),
+            "pin target {member} out of range ({} members)",
+            self.inner.members.len()
+        );
+        self.inner
+            .pins
+            .write()
+            .expect("pins lock poisoned")
+            .insert(job, member);
+    }
+
+    /// Removes `job`'s pin, returning it to the hash route.
+    pub fn unpin_job(&self, job: JobId) {
+        self.inner
+            .pins
+            .write()
+            .expect("pins lock poisoned")
+            .remove(&job);
+    }
+
+    /// Creates a client: one private lane into every member. One per
+    /// thread.
+    pub fn client(&self) -> FederatedClient {
+        FederatedClient {
+            inner: Arc::clone(&self.inner),
+            clients: self
+                .inner
+                .members
+                .iter()
+                .map(PersistentEngine::client)
+                .collect(),
+            job_scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Forcibly evicts every resident stream of `job` on every member
+    /// (pinned-away remnants included), returning how many streams were
+    /// removed. The job's metric rollups survive.
+    pub fn evict_job(&self, job: JobId) -> usize {
+        self.client().evict_job(job)
+    }
+
+    /// Jobs with at least one resident stream anywhere in the
+    /// federation, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        self.client().resident_jobs()
+    }
+
+    /// Per-job scoring rollups summed across every member's shards,
+    /// ascending by job.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        self.client().job_metrics()
+    }
+
+    /// One job's rollup summed across the federation (zeros for a job
+    /// never seen).
+    pub fn job_metrics_of(&self, job: JobId) -> JobMetrics {
+        self.client().job_metrics_of(job)
+    }
+
+    /// Per-member, per-shard metrics snapshot.
+    pub fn metrics(&self) -> FederationMetrics {
+        self.client().metrics()
+    }
+
+    /// Aggregate counters across every member's shards.
+    pub fn metrics_total(&self) -> ShardMetrics {
+        self.metrics().total()
+    }
+
+    /// Total streams resident across the federation.
+    pub fn stream_count(&self) -> usize {
+        self.client().stream_count()
+    }
+
+    /// Total events submitted across the federation (sum of member
+    /// clocks; members keep independent engine-time domains).
+    pub fn clock(&self) -> u64 {
+        self.inner.members.iter().map(PersistentEngine::clock).sum()
+    }
+
+    /// Completed adaptation epochs.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Closes one adaptation epoch: reads (and resets) every member's
+    /// per-epoch observe-lane high-water marks and — when an
+    /// [`AdaptiveCapacity`] policy is configured — re-bounds each
+    /// member's lanes to the policy's target for the pressure that
+    /// member actually saw. Returns one report entry per member either
+    /// way. Deterministic by construction: the target is a pure
+    /// function of the observed high water, and only `Block`-mode
+    /// members may carry a policy, so resizing can never change
+    /// predictions or replay results (see the [module docs](self)).
+    pub fn end_epoch(&self) -> Vec<EpochCapacity> {
+        let report = self
+            .inner
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let high = m
+                    .take_epoch_queue_high_water()
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                let cap = match &self.inner.adaptive {
+                    Some(policy) => {
+                        let target = policy.target_cap(high);
+                        m.set_observe_queue_caps(target);
+                        Some(target)
+                    }
+                    None => m.observe_queue_caps().into_iter().flatten().max(),
+                };
+                EpochCapacity {
+                    member: i,
+                    queue_high_water: high,
+                    observe_queue_cap: cap,
+                }
+            })
+            .collect();
+        self.inner.epoch.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+}
+
+/// Per-member, per-shard metrics snapshot of a federation.
+#[derive(Debug, Clone, Default)]
+pub struct FederationMetrics {
+    /// Per-member engine snapshots, indexed by member id.
+    pub members: Vec<EngineMetrics>,
+}
+
+impl FederationMetrics {
+    /// Sum of every member's shard counters (`max_batch_depth` and
+    /// `queue_high_water` aggregate by max).
+    pub fn total(&self) -> ShardMetrics {
+        let mut out = ShardMetrics::default();
+        for m in &self.members {
+            out.merge(&m.total());
+        }
+        out
+    }
+}
+
+/// A per-thread client of a [`FederatedEngine`]: one private
+/// [`EngineClient`] lane per member plus the job-partitioning scratch.
+/// `Send` but not `Sync` — clone the federation handle and make one
+/// client per thread, exactly like [`EngineClient`].
+pub struct FederatedClient {
+    inner: Arc<FedInner>,
+    clients: Vec<EngineClient>,
+    /// Per-job partition scratch reused across `observe_batch` calls
+    /// (job list and event buffers keep their capacity).
+    job_scratch: RefCell<Vec<(JobId, Vec<Observation>)>>,
+}
+
+impl std::fmt::Debug for FederatedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedClient")
+            .field("members", &self.clients.len())
+            .finish()
+    }
+}
+
+impl FederatedClient {
+    /// The federation handle this client talks to.
+    pub fn federation(&self) -> FederatedEngine {
+        FederatedEngine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of member engines.
+    pub fn member_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The member serving `job` (pin, then hash; single-member
+    /// federations always answer 0, without touching the pins lock).
+    pub fn member_of(&self, job: JobId) -> usize {
+        self.inner.member_of(job)
+    }
+
+    /// The member client serving `key`'s job.
+    fn client_of(&self, job: JobId) -> &EngineClient {
+        &self.clients[self.member_of(job)]
+    }
+
+    /// Submits `batch` for ingestion, routing each event to its job's
+    /// member, reporting the summed backpressure outcome. Errs with
+    /// job/member attribution if a member's shard worker is gone; legs
+    /// for healthy members are still dispatched first, and the error
+    /// carries what they enqueued/shed so callers never blind-retry
+    /// events that already landed. Single-job batches (the common
+    /// serving shape) are forwarded without copying.
+    pub fn try_observe_batch(
+        &self,
+        batch: &[Observation],
+    ) -> Result<ObserveOutcome, FederationWorkerGone> {
+        let mut outcome = ObserveOutcome::default();
+        let Some(first) = batch.first() else {
+            return Ok(outcome);
+        };
+        // Fast path: one job in the whole batch — no partitioning copy.
+        if batch.iter().all(|o| o.key.job == first.key.job) {
+            let job = first.key.job;
+            let member = self.member_of(job);
+            return self.clients[member]
+                .try_observe_batch(batch)
+                .map_err(|gone| FederationWorkerGone {
+                    job,
+                    member,
+                    gone,
+                    outcome: ObserveOutcome::default(),
+                });
+        }
+        // Partition by job (first-appearance order), reusing scratch
+        // buffers across calls. Job counts per batch are small, so the
+        // linear job lookup beats hashing.
+        let mut scratch = self.job_scratch.borrow_mut();
+        let mut active = 0usize;
+        for obs in batch {
+            let job = obs.key.job;
+            let slot = match scratch[..active].iter().position(|&(j, _)| j == job) {
+                Some(i) => i,
+                None => {
+                    if active == scratch.len() {
+                        scratch.push((job, Vec::new()));
+                    } else {
+                        scratch[active].0 = job;
+                        scratch[active].1.clear();
+                    }
+                    active += 1;
+                    active - 1
+                }
+            };
+            scratch[slot].1.push(*obs);
+        }
+        let mut err: Option<FederationWorkerGone> = None;
+        for (job, events) in &mut scratch[..active] {
+            let member = self.member_of(*job);
+            match self.clients[member].try_observe_batch(events) {
+                Ok(o) => {
+                    outcome.enqueued += o.enqueued;
+                    outcome.shed += o.shed;
+                }
+                // Keep serving the healthy members' legs; report the
+                // first dead lane once everything is dispatched.
+                Err(gone) => {
+                    err = err.or(Some(FederationWorkerGone {
+                        job: *job,
+                        member,
+                        gone,
+                        outcome: ObserveOutcome::default(),
+                    }));
+                }
+            }
+            events.clear();
+        }
+        match err {
+            // The healthy members' accounting rides along on the error.
+            Some(mut e) => {
+                e.outcome = outcome;
+                Err(e)
+            }
+            None => Ok(outcome),
+        }
+    }
+
+    /// Submits `batch` for ingestion, panicking with job/member
+    /// attribution if a member's shard worker is gone.
+    pub fn observe_batch(&self, batch: &[Observation]) -> ObserveOutcome {
+        self.try_observe_batch(batch)
+            .unwrap_or_else(|gone| panic!("{gone}"))
+    }
+
+    /// Ingests a single observation (convenience; batching is the
+    /// throughput path).
+    pub fn observe(&self, key: StreamKey, value: u64) {
+        self.observe_batch(&[Observation::new(key, value)]);
+    }
+
+    /// Serves one query from the member owning `key`'s job.
+    pub fn predict(&self, key: StreamKey, horizon: u32) -> Option<u64> {
+        self.client_of(key.job).predict(key, horizon)
+    }
+
+    /// Serves `queries`, writing one entry per query into `out`
+    /// (cleared first), routing each query to its job's member.
+    pub fn predict_batch(&self, queries: &[Query], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        let Some(first) = queries.first() else {
+            return;
+        };
+        if queries.iter().all(|q| q.key.job == first.key.job) {
+            self.client_of(first.key.job).predict_batch(queries, out);
+            return;
+        }
+        out.resize(queries.len(), None);
+        let mut legs: Vec<(Vec<Query>, Vec<u32>)> = vec![Default::default(); self.clients.len()];
+        for (i, q) in queries.iter().enumerate() {
+            let m = self.member_of(q.key.job);
+            legs[m].0.push(*q);
+            legs[m].1.push(i as u32);
+        }
+        let mut answers = Vec::new();
+        for (m, (leg, pos)) in legs.into_iter().enumerate() {
+            if leg.is_empty() {
+                continue;
+            }
+            self.clients[m].predict_batch(&leg, &mut answers);
+            for (p, i) in answers.iter().zip(pos) {
+                out[i as usize] = *p;
+            }
+        }
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank` of
+    /// the default job.
+    pub fn forecast_messages(
+        &self,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        self.forecast_messages_for_job(DEFAULT_JOB, rank, depth, out);
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank`
+    /// inside `job`'s namespace.
+    pub fn forecast_messages_for_job(
+        &self,
+        job: JobId,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        self.client_of(job)
+            .forecast_messages_for_job(job, rank, depth, out);
+    }
+
+    /// Detected period of a stream, if locked and not expired.
+    pub fn period_of(&self, key: StreamKey) -> Option<usize> {
+        self.client_of(key.job).period_of(key)
+    }
+
+    /// Detector confidence of a stream's lock.
+    pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
+        self.client_of(key.job).confidence_of(key)
+    }
+
+    /// Forcibly evicts one stream wherever it is resident (the owning
+    /// member plus any pinned-away remnant), returning whether any
+    /// member held it.
+    pub fn evict_stream(&self, key: StreamKey) -> bool {
+        let mut hit = false;
+        for c in &self.clients {
+            hit |= c.evict_stream(key);
+        }
+        hit
+    }
+
+    /// Forcibly evicts every resident stream of `job` on every member,
+    /// returning how many streams were removed.
+    pub fn evict_job(&self, job: JobId) -> usize {
+        self.clients.iter().map(|c| c.evict_job(job)).sum()
+    }
+
+    /// Sweeps every member now, returning how many expired streams
+    /// were reclaimed.
+    pub fn sweep_expired(&self) -> usize {
+        self.clients.iter().map(EngineClient::sweep_expired).sum()
+    }
+
+    /// Jobs with at least one resident stream anywhere, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self
+            .clients
+            .iter()
+            .flat_map(EngineClient::resident_jobs)
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Per-job scoring rollups summed across members, ascending by job.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        merge_job_rollups(self.clients.iter().map(EngineClient::job_metrics).collect())
+    }
+
+    /// One job's rollup summed across the federation.
+    pub fn job_metrics_of(&self, job: JobId) -> JobMetrics {
+        self.job_metrics()
+            .into_iter()
+            .find(|&(j, _)| j == job)
+            .map(|(_, m)| m)
+            .unwrap_or_default()
+    }
+
+    /// Per-member, per-shard metrics snapshot.
+    pub fn metrics(&self) -> FederationMetrics {
+        FederationMetrics {
+            members: self.clients.iter().map(EngineClient::metrics).collect(),
+        }
+    }
+
+    /// Aggregate counters across every member's shards.
+    pub fn metrics_total(&self) -> ShardMetrics {
+        self.metrics().total()
+    }
+
+    /// Total streams resident across the federation.
+    pub fn stream_count(&self) -> usize {
+        self.clients.iter().map(EngineClient::stream_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamKind;
+
+    fn jkey(job: u32, rank: u32) -> StreamKey {
+        StreamKey::for_job(job, rank, StreamKind::Sender)
+    }
+
+    fn train(client: &FederatedClient, key: StreamKey, pattern: &[u64], cycles: usize) {
+        let batch: Vec<Observation> = (0..cycles)
+            .flat_map(|_| pattern.iter().map(move |&v| Observation::new(key, v)))
+            .collect();
+        client.observe_batch(&batch);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_pins_override_the_hash() {
+        let fed = FederatedEngine::new(FederationConfig::new(4, 2));
+        for job in 0..64u32 {
+            assert_eq!(fed.member_of(job), member_hash(job, 4));
+            assert!(fed.member_of(job) < 4);
+        }
+        let hashed = fed.member_of(7);
+        let target = (hashed + 1) % 4;
+        fed.pin_job(7, target);
+        assert_eq!(fed.member_of(7), target);
+        assert_eq!(fed.client().member_of(7), target, "clients see pins");
+        fed.unpin_job(7);
+        assert_eq!(fed.member_of(7), hashed);
+        // Jobs spread over members rather than clustering.
+        let mut seen = [false; 4];
+        for job in 0..64u32 {
+            seen[fed.member_of(job)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "64 jobs must reach all 4 members");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pinning_to_a_missing_member_panics() {
+        FederatedEngine::new(FederationConfig::new(2, 1)).pin_job(0, 2);
+    }
+
+    #[test]
+    fn jobs_land_on_their_member_and_namespaces_do_not_collide() {
+        let fed = FederatedEngine::new(FederationConfig::new(3, 2));
+        let client = fed.client();
+        // Same rank, same kind, three jobs, three different patterns.
+        train(&client, jkey(0, 5), &[1, 2], 10);
+        train(&client, jkey(1, 5), &[8, 9, 7], 10);
+        train(&client, jkey(2, 5), &[4], 10);
+        assert_eq!(client.period_of(jkey(0, 5)), Some(2));
+        assert_eq!(client.period_of(jkey(1, 5)), Some(3));
+        assert_eq!(client.period_of(jkey(2, 5)), Some(1));
+        assert_eq!(client.predict(jkey(1, 5), 1), Some(8));
+        // Streams are resident only on their job's member.
+        for job in 0..3u32 {
+            let owner = fed.member_of(job);
+            for m in 0..fed.member_count() {
+                let resident = fed.member(m).client().resident_jobs().contains(&job);
+                assert_eq!(resident, m == owner, "job {job} on member {m}");
+            }
+        }
+        assert_eq!(fed.resident_jobs(), vec![0, 1, 2]);
+        assert_eq!(fed.stream_count(), 3);
+        assert_eq!(fed.metrics_total().events_ingested, 20 + 30 + 10);
+        assert_eq!(fed.job_metrics_of(1).events_ingested, 30);
+    }
+
+    #[test]
+    fn mixed_job_batches_split_and_sum_outcomes() {
+        let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+        let client = fed.client();
+        let batch: Vec<Observation> = (0..60)
+            .map(|i| Observation::new(jkey(i % 3, 0), u64::from(i % 2)))
+            .collect();
+        let outcome = client.observe_batch(&batch);
+        assert_eq!(outcome.enqueued, 60);
+        assert!(outcome.complete());
+        let jobs = client.job_metrics();
+        assert_eq!(jobs.len(), 3);
+        assert!(jobs.iter().all(|(_, m)| m.events_ingested == 20));
+        // predict_batch routes mixed-job queries home again.
+        let queries: Vec<Query> = (0..3).map(|j| Query::new(jkey(j, 0), 1)).collect();
+        let mut out = Vec::new();
+        client.predict_batch(&queries, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Option::is_some), "trained period-2 streams");
+    }
+
+    #[test]
+    fn evict_job_reaches_every_member_and_spares_others() {
+        let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+        let client = fed.client();
+        train(&client, jkey(0, 0), &[1, 2], 8);
+        train(&client, jkey(1, 0), &[5, 6], 8);
+        // Pin job 0 away and retrain: state now lives on two members.
+        let old = fed.member_of(0);
+        fed.pin_job(0, (old + 1) % 2);
+        train(&client, jkey(0, 0), &[1, 2], 8);
+        assert_eq!(fed.evict_job(0), 2, "remnant + pinned state both go");
+        assert_eq!(fed.resident_jobs(), vec![1]);
+        assert_eq!(client.predict(jkey(1, 0), 1), Some(5), "job 1 untouched");
+    }
+
+    #[test]
+    fn single_member_federation_matches_direct_engine_use() {
+        let cfg = EngineConfig::with_shards(3);
+        let fed = FederatedEngine::single(cfg.clone());
+        let fclient = fed.client();
+        let direct = PersistentEngine::new(cfg);
+        let dclient = direct.client();
+        let batch: Vec<Observation> = (0..120)
+            .map(|i| Observation::new(StreamKey::new(i % 5, StreamKind::Sender), u64::from(i % 3)))
+            .collect();
+        assert_eq!(fclient.observe_batch(&batch), dclient.observe_batch(&batch));
+        for r in 0..5 {
+            for h in 1..=4 {
+                let key = StreamKey::new(r, StreamKind::Sender);
+                assert_eq!(fclient.predict(key, h), dclient.predict(key, h));
+            }
+        }
+        let (f, d) = (fclient.metrics_total(), dclient.metrics_total());
+        assert_eq!(f.events_ingested, d.events_ingested);
+        assert_eq!(f.hits, d.hits);
+        assert_eq!(f.misses, d.misses);
+        assert_eq!(f.abstentions, d.abstentions);
+        assert_eq!(fed.clock(), direct.clock());
+    }
+
+    #[test]
+    fn adaptive_capacity_tracks_pressure_deterministically() {
+        let policy = AdaptiveCapacity {
+            min_cap: 2,
+            max_cap: 64,
+            headroom: 2,
+        };
+        // Pure, replayable targets.
+        assert_eq!(policy.target_cap(0), 2, "idle member floors at min");
+        assert_eq!(policy.target_cap(1), 2);
+        assert_eq!(policy.target_cap(3), 8, "2x3 rounds up to a power of two");
+        assert_eq!(policy.target_cap(1000), 64, "ceiling holds");
+
+        let fed = FederatedEngine::new(
+            FederationConfig::new(2, 1)
+                .member_config(EngineConfig::with_shards(1).with_queue_cap(8))
+                .adaptive(policy),
+        );
+        let client = fed.client();
+        // Stall member 0's lone worker so its lane genuinely queues.
+        let busy_job = (0..8u32).find(|&j| fed.member_of(j) == 0).unwrap();
+        fed.member(0)
+            .debug_throttle_worker(0, std::time::Duration::from_millis(5));
+        for i in 0..6u64 {
+            client.observe_batch(&[Observation::new(jkey(busy_job, 0), i % 2)]);
+        }
+        fed.member(0)
+            .debug_throttle_worker(0, std::time::Duration::ZERO);
+        client.metrics_total(); // drain
+        let report = fed.end_epoch();
+        assert_eq!(report.len(), 2);
+        assert!(report[0].queue_high_water > 0, "stalled lane saw pressure");
+        assert_eq!(
+            report[0].observe_queue_cap,
+            Some(policy.target_cap(report[0].queue_high_water)),
+            "cap applied is exactly the pure policy target"
+        );
+        assert_eq!(report[1].queue_high_water, 0, "idle member saw none");
+        assert_eq!(
+            report[1].observe_queue_cap,
+            Some(2),
+            "idle member shrinks to min"
+        );
+        assert_eq!(
+            fed.member(1).observe_queue_caps(),
+            vec![Some(2)],
+            "lane capacity was actually re-bounded"
+        );
+        assert_eq!(fed.epoch(), 1);
+        // Epoch counters reset: a quiet second epoch floors everyone.
+        let report = fed.end_epoch();
+        assert!(report.iter().all(|r| r.queue_high_water == 0));
+        assert!(report.iter().all(|r| r.observe_queue_cap == Some(2)));
+        assert_eq!(fed.epoch(), 2);
+        // The engine still ingests and serves after re-bounding.
+        train(&client, jkey(busy_job, 1), &[3, 4], 10);
+        assert_eq!(client.predict(jkey(busy_job, 1), 1), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive capacity requires BackpressurePolicy::Block")]
+    fn adaptive_capacity_rejects_shed_members() {
+        FederationConfig::new(1, 1)
+            .member_config(
+                EngineConfig::with_shards(1)
+                    .with_queue_cap(4)
+                    .with_backpressure(BackpressurePolicy::Shed),
+            )
+            .adaptive(AdaptiveCapacity::default())
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded observe lanes")]
+    fn adaptive_capacity_rejects_unbounded_members() {
+        FederationConfig::new(1, 1)
+            .adaptive(AdaptiveCapacity::default())
+            .validate();
+    }
+}

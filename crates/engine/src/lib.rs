@@ -55,19 +55,25 @@
 //!
 //! ## Module map
 //!
-//! * [`types`] — [`StreamKey`] addressing (`rank` × sender/size/tag),
-//!   plain-old-data [`Observation`] / [`Query`] batch elements.
+//! * [`types`] — [`StreamKey`] addressing (`job` × `rank` ×
+//!   sender/size/tag), plain-old-data [`Observation`] / [`Query`]
+//!   batch elements.
 //! * [`shard`] — [`Shard`]: single-threaded predictor bank with
 //!   interning, online `+1` hit/miss scoring, period-churn tracking,
-//!   and the TTL/eviction rule.
-//! * [`engine`] — [`Engine`]: scoped-mode rank-hash sharding, batched
-//!   [`observe_batch`](Engine::observe_batch) /
+//!   per-job rollups, and the TTL/eviction rule.
+//! * [`engine`] — [`Engine`]: scoped-mode `(job, rank)`-hash sharding,
+//!   batched [`observe_batch`](Engine::observe_batch) /
 //!   [`predict_batch`](Engine::predict_batch).
 //! * [`persistent`] — [`PersistentEngine`] / [`EngineClient`]:
 //!   persistent shard workers behind channels.
-//! * [`metrics`] — [`ShardMetrics`] / [`EngineMetrics`]: events
-//!   ingested, hit/miss/abstention, period churn, resident/evicted
-//!   streams, queue depth.
+//! * [`federation`] — [`FederatedEngine`] / [`FederatedClient`]:
+//!   multi-engine router partitioning traffic by job, with
+//!   deterministic pinning, per-job eviction/metrics across members,
+//!   and the adaptive observe-lane capacity policy.
+//! * [`metrics`] — [`ShardMetrics`] / [`JobMetrics`] /
+//!   [`EngineMetrics`]: events ingested, hit/miss/abstention, period
+//!   churn, resident/evicted streams, queue depth — per shard and per
+//!   job.
 //!
 //! ## Quick start
 //!
@@ -90,13 +96,18 @@
 //! ```
 
 pub mod engine;
+pub mod federation;
 pub mod metrics;
 pub mod persistent;
 pub mod shard;
 pub mod types;
 
 pub use engine::{BackpressurePolicy, Engine, EngineConfig};
-pub use metrics::{EngineMetrics, ShardMetrics};
+pub use federation::{
+    AdaptiveCapacity, EpochCapacity, FederatedClient, FederatedEngine, FederationConfig,
+    FederationMetrics, FederationWorkerGone,
+};
+pub use metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 pub use shard::Shard;
-pub use types::{Observation, Query, RankId, StreamKey, StreamKind};
+pub use types::{JobId, Observation, Query, RankId, StreamKey, StreamKind, DEFAULT_JOB};

@@ -1,4 +1,4 @@
-//! Per-shard and aggregate serving metrics.
+//! Per-shard, per-job and aggregate serving metrics.
 //!
 //! Every shard tracks how much work it ingested, how well its `+1`
 //! forecasts tracked reality (scored online: the prediction standing
@@ -7,6 +7,15 @@
 //! the deepest per-batch queue it has seen (load-balance signal across
 //! shards), and how many streams were evicted by the TTL policy or by
 //! forced eviction.
+//!
+//! Alongside the per-shard counters, each shard keeps a per-**job**
+//! rollup ([`JobMetrics`]) of the scoring counters, so a multi-tenant
+//! deployment can answer "how is job 7 predicting?" without touching
+//! any other tenant's numbers. Job rollups survive eviction (history is
+//! not erased when a tenant's streams are reclaimed) and are summed
+//! across shards — and across federation members — on read.
+
+use crate::types::JobId;
 
 /// Counters for one shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,6 +86,66 @@ impl ShardMetrics {
     }
 }
 
+/// Scoring counters rolled up for one job (one tenant's namespace).
+/// A strict subset of [`ShardMetrics`]: the lane/queue fields are
+/// per-shard transport properties and have no per-job meaning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Stream elements of this job ingested via observe paths.
+    pub events_ingested: u64,
+    /// Predictions served for this job's keys (including `None`s).
+    pub predictions_served: u64,
+    /// `+1` forecasts on this job's streams that matched.
+    pub hits: u64,
+    /// `+1` forecasts on this job's streams that did not match.
+    pub misses: u64,
+    /// Observations with no standing `+1` forecast.
+    pub abstentions: u64,
+    /// Period-lock changes across this job's streams.
+    pub period_churn: u64,
+    /// This job's streams currently resident (refreshed on read).
+    pub resident_streams: u64,
+    /// This job's streams reclaimed so far (TTL + forced evictions).
+    pub evicted: u64,
+}
+
+impl JobMetrics {
+    /// Online `+1` hit rate over scored observations; `None` before any
+    /// forecast was scored.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let scored = self.hits + self.misses;
+        if scored == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / scored as f64)
+    }
+
+    /// Adds `other`'s counters into `self` (cross-shard/member rollup).
+    pub fn merge(&mut self, other: &JobMetrics) {
+        self.events_ingested += other.events_ingested;
+        self.predictions_served += other.predictions_served;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.abstentions += other.abstentions;
+        self.period_churn += other.period_churn;
+        self.resident_streams += other.resident_streams;
+        self.evicted += other.evicted;
+    }
+}
+
+/// Merges per-job rollup lists (as returned by shards or federation
+/// members) into one job-sorted list, summing counters of the same job.
+pub fn merge_job_rollups(lists: Vec<Vec<(JobId, JobMetrics)>>) -> Vec<(JobId, JobMetrics)> {
+    let mut by_job: std::collections::BTreeMap<JobId, JobMetrics> =
+        std::collections::BTreeMap::new();
+    for list in lists {
+        for (job, m) in list {
+            by_job.entry(job).or_default().merge(&m);
+        }
+    }
+    by_job.into_iter().collect()
+}
+
 /// Aggregate view across all shards.
 #[derive(Debug, Clone, Default)]
 pub struct EngineMetrics {
@@ -106,6 +175,45 @@ mod tests {
         m.hits = 3;
         m.misses = 1;
         assert_eq!(m.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn job_rollups_merge_by_job_and_stay_sorted() {
+        let a = vec![
+            (
+                3u32,
+                JobMetrics {
+                    hits: 2,
+                    misses: 1,
+                    events_ingested: 5,
+                    ..Default::default()
+                },
+            ),
+            (
+                7,
+                JobMetrics {
+                    hits: 1,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let b = vec![(
+            3u32,
+            JobMetrics {
+                hits: 4,
+                evicted: 2,
+                ..Default::default()
+            },
+        )];
+        let merged = merge_job_rollups(vec![a, b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].0, 3, "sorted by job id");
+        assert_eq!(merged[0].1.hits, 6);
+        assert_eq!(merged[0].1.evicted, 2);
+        assert_eq!(merged[0].1.events_ingested, 5);
+        assert_eq!(merged[1].0, 7);
+        assert_eq!(merged[0].1.hit_rate(), Some(6.0 / 7.0));
+        assert_eq!(JobMetrics::default().hit_rate(), None);
     }
 
     #[test]

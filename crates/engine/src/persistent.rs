@@ -86,10 +86,10 @@
 //! including across eviction-and-reload — is property-tested in
 //! `tests/persistence.rs`.
 
-use crate::engine::{shard_of, BackpressurePolicy, Engine, EngineConfig};
-use crate::metrics::{EngineMetrics, ShardMetrics};
+use crate::engine::{shard_of, shard_of_key, BackpressurePolicy, Engine, EngineConfig};
+use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 use crate::shard::Shard;
-use crate::types::{Observation, Query, RankId, StreamKey};
+use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,6 +172,22 @@ struct LaneStats {
     queue_high_water: AtomicU64,
     send_blocked: AtomicU64,
     shed_events: AtomicU64,
+    /// High-water mark since the last adaptive-capacity epoch read
+    /// ([`PersistentEngine::take_epoch_queue_high_water`]); unlike
+    /// `queue_high_water` this one resets, so epochs see their own
+    /// pressure rather than an all-time maximum. Sampled on observe
+    /// legs only — queries ride the same lane but are re-plan-rate,
+    /// not ingest pressure, and must not inflate the capacity signal.
+    epoch_high_water: AtomicU64,
+}
+
+impl LaneStats {
+    /// Samples the lane length after an observe-leg enqueue into both
+    /// the all-time and the per-epoch high-water marks.
+    fn note_observe_high_water(&self, len: u64) {
+        self.queue_high_water.fetch_max(len, Ordering::Relaxed);
+        self.epoch_high_water.fetch_max(len, Ordering::Relaxed);
+    }
 }
 
 /// Per-buffer retention bound for the client leg pools, in events
@@ -231,11 +247,17 @@ enum QueryBody {
         now: u64,
     },
     Forecast {
+        job: JobId,
         rank: RankId,
         depth: usize,
         now: u64,
     },
     Metrics,
+    JobMetrics,
+    ResidentJobs,
+    EvictJob {
+        job: JobId,
+    },
     PeriodOf {
         key: StreamKey,
         now: u64,
@@ -266,6 +288,8 @@ enum ReplyBody {
     Predictions(Vec<Option<u64>>),
     Forecast(Vec<(Option<u64>, Option<u64>)>),
     Metrics(Box<ShardMetrics>),
+    JobRollups(Vec<(JobId, JobMetrics)>),
+    Jobs(Vec<JobId>),
     Period(Option<usize>),
     Confidence(Option<f64>),
     Evicted(usize),
@@ -349,12 +373,20 @@ fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
                     QueryBody::Predict { queries, now } => ReplyBody::Predictions(
                         queries.iter().map(|q| shard.predict_at(*q, now)).collect(),
                     ),
-                    QueryBody::Forecast { rank, depth, now } => {
+                    QueryBody::Forecast {
+                        job,
+                        rank,
+                        depth,
+                        now,
+                    } => {
                         let mut out = Vec::with_capacity(depth);
-                        shard.forecast_at(rank, depth, now, &mut out);
+                        shard.forecast_at(job, rank, depth, now, &mut out);
                         ReplyBody::Forecast(out)
                     }
                     QueryBody::Metrics => ReplyBody::Metrics(Box::new(shard.metrics())),
+                    QueryBody::JobMetrics => ReplyBody::JobRollups(shard.job_metrics()),
+                    QueryBody::ResidentJobs => ReplyBody::Jobs(shard.resident_jobs()),
+                    QueryBody::EvictJob { job } => ReplyBody::Evicted(shard.evict_job(job)),
                     QueryBody::PeriodOf { key, now } => {
                         ReplyBody::Period(shard.period_of_at(key, now))
                     }
@@ -488,14 +520,58 @@ impl PersistentEngine {
         self.inner.senders.len()
     }
 
-    /// Shard index serving `rank`.
+    /// Shard index serving `rank` of the default job.
     pub fn shard_for(&self, rank: RankId) -> usize {
-        shard_of(rank, self.inner.senders.len())
+        self.shard_for_job(DEFAULT_JOB, rank)
+    }
+
+    /// Shard index serving `rank` of `job`.
+    pub fn shard_for_job(&self, job: JobId, rank: RankId) -> usize {
+        shard_of(job, rank, self.inner.senders.len())
     }
 
     /// Engine time: total events submitted so far.
     pub fn clock(&self) -> u64 {
         self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard observe-lane high-water marks accumulated since the
+    /// previous call, resetting the epoch counters to zero — the
+    /// pressure signal the federation's adaptive capacity policy reads
+    /// between epochs. The all-time `queue_high_water` metric is
+    /// unaffected.
+    pub fn take_epoch_queue_high_water(&self) -> Vec<u64> {
+        self.inner
+            .lanes
+            .iter()
+            .map(|l| l.epoch_high_water.swap(0, Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Current per-shard observe-lane capacities (`None` = unbounded).
+    pub fn observe_queue_caps(&self) -> Vec<Option<usize>> {
+        self.inner.senders.iter().map(Sender::capacity).collect()
+    }
+
+    /// Re-bounds every shard's observe lane to `cap` queued commands —
+    /// the application point of the adaptive capacity policy. Only
+    /// meaningful on engines built with a bounded lane
+    /// ([`EngineConfig::observe_queue_cap`]) under
+    /// [`BackpressurePolicy::Block`], where lane capacity is proven
+    /// semantics-free (`tests/backpressure.rs`): resizing can change
+    /// wall-clock and pressure metrics, never predictions. Callers are
+    /// responsible for not resizing `Shed` engines mid-run (capacity
+    /// would then decide which events are dropped); the federation's
+    /// adaptive policy enforces that by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero.
+    pub fn set_observe_queue_caps(&self, cap: usize) {
+        assert!(cap > 0, "observe lane capacity must be positive");
+        for tx in &self.inner.senders {
+            tx.set_capacity(Some(cap));
+        }
     }
 
     /// Creates a client: a private, buffered lane into the engine. One
@@ -633,8 +709,7 @@ impl EngineClient {
         };
         let cmd = match tx.try_send(cmd) {
             Ok(()) => {
-                lane.queue_high_water
-                    .fetch_max(tx.len() as u64, Ordering::Relaxed);
+                lane.note_observe_high_water(tx.len() as u64);
                 return Ok(true);
             }
             Err(TrySendError::Disconnected(_)) => return Err(WorkerGone { shard: s }),
@@ -647,8 +722,7 @@ impl EngineClient {
                 // receiver disconnects the lane, which wakes blocked
                 // senders with an error.
                 tx.send(cmd).map_err(|_| WorkerGone { shard: s })?;
-                lane.queue_high_water
-                    .fetch_max(tx.len() as u64, Ordering::Relaxed);
+                lane.note_observe_high_water(tx.len() as u64);
                 Ok(true)
             }
             BackpressurePolicy::Shed => {
@@ -682,7 +756,7 @@ impl EngineClient {
         let mut legs = self.legs_scratch.borrow_mut();
         legs.resize_with(nshards, || None);
         for (i, obs) in batch.iter().enumerate() {
-            let s = shard_of(obs.key.rank, nshards);
+            let s = shard_of_key(obs.key, nshards);
             let leg = legs[s].get_or_insert_with(|| {
                 if stamped {
                     let mut buf = self.stamped_pool.borrow_mut().pop().unwrap_or_default();
@@ -745,6 +819,7 @@ impl EngineClient {
         if sent.is_err() {
             panic!("{}", WorkerGone { shard });
         }
+        // Queries sample the all-time mark only (see `epoch_high_water`).
         self.inner.lanes[shard]
             .queue_high_water
             .fetch_max(tx.len() as u64, Ordering::Relaxed);
@@ -791,7 +866,7 @@ impl EngineClient {
 
     /// Serves one query.
     pub fn predict(&self, key: StreamKey, horizon: u32) -> Option<u64> {
-        let s = shard_of(key.rank, self.inner.senders.len());
+        let s = shard_of_key(key, self.inner.senders.len());
         let now = self.inner.clock.load(Ordering::Relaxed);
         match self.call(
             s,
@@ -819,7 +894,7 @@ impl EngineClient {
         // Partition into per-shard legs, remembering original positions.
         let mut legs: Vec<(Vec<Query>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); nshards];
         for (i, q) in queries.iter().enumerate() {
-            let s = shard_of(q.key.rank, nshards);
+            let s = shard_of_key(q.key, nshards);
             legs[s].0.push(*q);
             legs[s].1.push(i as u32);
         }
@@ -853,16 +928,37 @@ impl EngineClient {
         }
     }
 
-    /// The next `depth` forecast (sender, size) pairs for `rank`.
+    /// The next `depth` forecast (sender, size) pairs for `rank` of
+    /// the default job.
     pub fn forecast_messages(
         &self,
         rank: RankId,
         depth: usize,
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
-        let s = shard_of(rank, self.inner.senders.len());
+        self.forecast_messages_for_job(DEFAULT_JOB, rank, depth, out);
+    }
+
+    /// The next `depth` forecast (sender, size) pairs for `rank` inside
+    /// `job`'s namespace.
+    pub fn forecast_messages_for_job(
+        &self,
+        job: JobId,
+        rank: RankId,
+        depth: usize,
+        out: &mut Vec<(Option<u64>, Option<u64>)>,
+    ) {
+        let s = shard_of(job, rank, self.inner.senders.len());
         let now = self.inner.clock.load(Ordering::Relaxed);
-        match self.call(s, QueryBody::Forecast { rank, depth, now }) {
+        match self.call(
+            s,
+            QueryBody::Forecast {
+                job,
+                rank,
+                depth,
+                now,
+            },
+        ) {
             ReplyBody::Forecast(f) => {
                 out.clear();
                 out.extend(f);
@@ -873,7 +969,7 @@ impl EngineClient {
 
     /// Detected period of a stream, if locked and not expired.
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        let s = shard_of(key.rank, self.inner.senders.len());
+        let s = shard_of_key(key, self.inner.senders.len());
         let now = self.inner.clock.load(Ordering::Relaxed);
         match self.call(s, QueryBody::PeriodOf { key, now }) {
             ReplyBody::Period(p) => p,
@@ -883,7 +979,7 @@ impl EngineClient {
 
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        let s = shard_of(key.rank, self.inner.senders.len());
+        let s = shard_of_key(key, self.inner.senders.len());
         let now = self.inner.clock.load(Ordering::Relaxed);
         match self.call(s, QueryBody::ConfidenceOf { key, now }) {
             ReplyBody::Confidence(c) => c,
@@ -928,11 +1024,52 @@ impl EngineClient {
 
     /// Forcibly evicts one stream, returning whether it was resident.
     pub fn evict_stream(&self, key: StreamKey) -> bool {
-        let s = shard_of(key.rank, self.inner.senders.len());
+        let s = shard_of_key(key, self.inner.senders.len());
         match self.call(s, QueryBody::EvictStream { key }) {
             ReplyBody::Evicted(n) => n > 0,
             _ => unreachable!("evict reply shape"),
         }
+    }
+
+    /// Forcibly evicts every resident stream of `job` across all
+    /// shards, returning how many were removed. The job's metric
+    /// rollups survive; returning streams restart cold.
+    pub fn evict_job(&self, job: JobId) -> usize {
+        self.broadcast(|_| QueryBody::EvictJob { job })
+            .into_iter()
+            .map(|b| match b {
+                ReplyBody::Evicted(n) => n,
+                _ => unreachable!("evict-job reply shape"),
+            })
+            .sum()
+    }
+
+    /// Jobs with at least one resident stream, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self
+            .broadcast(|_| QueryBody::ResidentJobs)
+            .into_iter()
+            .flat_map(|b| match b {
+                ReplyBody::Jobs(j) => j,
+                _ => unreachable!("resident-jobs reply shape"),
+            })
+            .collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Per-job scoring rollups summed across shards, ascending by job.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        merge_job_rollups(
+            self.broadcast(|_| QueryBody::JobMetrics)
+                .into_iter()
+                .map(|b| match b {
+                    ReplyBody::JobRollups(j) => j,
+                    _ => unreachable!("job-metrics reply shape"),
+                })
+                .collect(),
+        )
     }
 
     /// Sweeps every shard now, returning how many expired streams were

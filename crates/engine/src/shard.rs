@@ -46,8 +46,8 @@
 //! Concurrent clients racing a TTL relax this to arrival order; see
 //! the [`persistent`](crate::persistent) docs.
 
-use crate::metrics::ShardMetrics;
-use crate::types::{Observation, Query, RankId, StreamKey, StreamKind};
+use crate::metrics::{JobMetrics, ShardMetrics};
+use crate::types::{JobId, Observation, Query, RankId, StreamKey, StreamKind};
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
 use mpp_core::predictors::Predictor;
 use mpp_core::stream::SymbolMap;
@@ -102,24 +102,36 @@ impl StreamSlot {
         }
     }
 
-    /// Ingests one raw symbol, updating hit/miss/churn counters.
+    /// Ingests one raw symbol, updating the shard's and the owning
+    /// job's hit/miss/churn counters in lockstep.
     #[inline]
-    fn observe(&mut self, raw: u64, at: u64, metrics: &mut ShardMetrics) {
+    fn observe(&mut self, raw: u64, at: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) {
         let id = u64::from(self.interner.intern(raw));
         match self.pending_next {
-            Some(p) if p == id => metrics.hits += 1,
-            Some(_) => metrics.misses += 1,
-            None => metrics.abstentions += 1,
+            Some(p) if p == id => {
+                metrics.hits += 1;
+                job.hits += 1;
+            }
+            Some(_) => {
+                metrics.misses += 1;
+                job.misses += 1;
+            }
+            None => {
+                metrics.abstentions += 1;
+                job.abstentions += 1;
+            }
         }
         self.predictor.observe(id);
         let period = self.predictor.period();
         if period != self.last_period {
             metrics.period_churn += 1;
+            job.period_churn += 1;
             self.last_period = period;
         }
         self.pending_next = self.predictor.predict(1);
         self.last_seen = at;
         metrics.events_ingested += 1;
+        job.events_ingested += 1;
     }
 
     /// Predicts the raw symbol `horizon` steps ahead.
@@ -150,6 +162,10 @@ pub struct Shard {
     ttl: Option<u64>,
     slots: HashMap<StreamKey, StreamSlot>,
     metrics: ShardMetrics,
+    /// Per-job scoring rollups. Entries outlive their job's streams
+    /// (history survives eviction); `resident_streams` is refreshed
+    /// from `slots` on read.
+    jobs: HashMap<JobId, JobMetrics>,
     /// Highest engine-time stamp this shard has processed (used to
     /// stamp untimed `observe` calls from standalone/unit-test use).
     clock: u64,
@@ -171,6 +187,7 @@ impl Shard {
             ttl,
             slots: HashMap::new(),
             metrics: ShardMetrics::default(),
+            jobs: HashMap::new(),
             clock: 0,
             last_sweep: 0,
         }
@@ -187,6 +204,7 @@ impl Shard {
     pub fn observe_at(&mut self, obs: Observation, at: u64) {
         self.clock = self.clock.max(at);
         let (cfg, ttl) = (&self.cfg, self.ttl);
+        let job = self.jobs.entry(obs.key.job).or_default();
         let slot = self
             .slots
             .entry(obs.key)
@@ -196,8 +214,9 @@ impl Shard {
         if slot.last_seen > 0 && is_expired(ttl, slot.last_seen, at) {
             *slot = StreamSlot::new(cfg);
             self.metrics.evicted += 1;
+            job.evicted += 1;
         }
-        slot.observe(obs.value, at, &mut self.metrics);
+        slot.observe(obs.value, at, &mut self.metrics, job);
     }
 
     /// Ingests one observation, stamping it one tick after the latest
@@ -241,6 +260,12 @@ impl Shard {
     #[inline]
     pub fn predict_at(&mut self, q: Query, now: u64) -> Option<u64> {
         self.metrics.predictions_served += 1;
+        // Only jobs that have ingested get a rollup: materialising an
+        // entry per *queried* job would let wrong/stale job ids grow
+        // the map without bound and report phantom tenants.
+        if let Some(job) = self.jobs.get_mut(&q.key.job) {
+            job.predictions_served += 1;
+        }
         let slot = self.slots.get(&q.key)?;
         if self.expired(slot.last_seen, now) {
             return None;
@@ -254,12 +279,13 @@ impl Shard {
         self.predict_at(q, self.clock)
     }
 
-    /// The next `depth` forecast (sender, size) pairs for `rank` — the
-    /// shape the runtime policies (§2 of the paper) consume. Both
-    /// attribute streams of a rank live in the same shard by
-    /// construction.
+    /// The next `depth` forecast (sender, size) pairs for `rank` of
+    /// `job` — the shape the runtime policies (§2 of the paper)
+    /// consume. Both attribute streams of a `(job, rank)` live in the
+    /// same shard by construction.
     pub fn forecast_at(
         &mut self,
+        job: JobId,
         rank: RankId,
         depth: usize,
         now: u64,
@@ -268,9 +294,14 @@ impl Shard {
         out.clear();
         out.reserve(depth);
         for h in 1..=depth as u32 {
-            let sender =
-                self.predict_at(Query::new(StreamKey::new(rank, StreamKind::Sender), h), now);
-            let size = self.predict_at(Query::new(StreamKey::new(rank, StreamKind::Size), h), now);
+            let sender = self.predict_at(
+                Query::new(StreamKey::for_job(job, rank, StreamKind::Sender), h),
+                now,
+            );
+            let size = self.predict_at(
+                Query::new(StreamKey::for_job(job, rank, StreamKind::Size), h),
+                now,
+            );
             out.push((sender, size));
         }
     }
@@ -315,8 +346,14 @@ impl Shard {
             return 0;
         }
         let before = self.slots.len();
-        self.slots
-            .retain(|_, slot| !is_expired(ttl, slot.last_seen, now));
+        let jobs = &mut self.jobs;
+        self.slots.retain(|key, slot| {
+            let keep = !is_expired(ttl, slot.last_seen, now);
+            if !keep {
+                jobs.entry(key.job).or_default().evicted += 1;
+            }
+            keep
+        });
         let removed = before - self.slots.len();
         self.metrics.evicted += removed as u64;
         self.last_sweep = now;
@@ -344,8 +381,55 @@ impl Shard {
         let hit = self.slots.remove(&key).is_some();
         if hit {
             self.metrics.evicted += 1;
+            self.jobs.entry(key.job).or_default().evicted += 1;
         }
         hit
+    }
+
+    /// Forcibly evicts every resident stream of `job`, returning how
+    /// many were removed. The job's rollup counters survive (only its
+    /// predictor state is reclaimed); returning streams restart cold.
+    pub fn evict_job(&mut self, job: JobId) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|key, _| key.job != job);
+        let removed = before - self.slots.len();
+        self.metrics.evicted += removed as u64;
+        if removed > 0 {
+            // A resident stream implies its job has a rollup; never
+            // materialise one for a job this shard has not ingested.
+            self.jobs.entry(job).or_default().evicted += removed as u64;
+        }
+        removed
+    }
+
+    /// Jobs with at least one resident stream, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self.slots.keys().map(|k| k.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs
+    }
+
+    /// Per-job scoring rollups, ascending by job id, with each job's
+    /// resident-stream count refreshed from the live slot table. Jobs
+    /// whose streams were all evicted keep their history here.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        let mut out: Vec<(JobId, JobMetrics)> = self
+            .jobs
+            .iter()
+            .map(|(&job, m)| {
+                let mut m = *m;
+                m.resident_streams = 0;
+                (job, m)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(job, _)| job);
+        for key in self.slots.keys() {
+            if let Ok(i) = out.binary_search_by_key(&key.job, |&(job, _)| job) {
+                out[i].1.resident_streams += 1;
+            }
+        }
+        out
     }
 
     /// The `n` least-recently-observed resident streams, oldest first
@@ -578,6 +662,76 @@ mod tests {
         assert_eq!(swept_p, lazy_p);
         assert_eq!(swept_m, lazy_m, "sweeps are metrics-invisible too");
         assert_eq!(swept_m.evicted, 1);
+    }
+
+    #[test]
+    fn job_rollups_track_each_namespace_separately() {
+        let mut shard = Shard::new(DpdConfig::default());
+        let ka = StreamKey::for_job(1, 0, StreamKind::Sender);
+        let kb = StreamKey::for_job(2, 0, StreamKind::Sender);
+        feed_pattern(&mut shard, ka, &[1, 2], 10);
+        feed_pattern(&mut shard, kb, &[5, 6, 7], 4);
+        shard.predict(Query::new(ka, 1));
+        assert_eq!(shard.resident_jobs(), vec![1, 2]);
+        let jobs = shard.job_metrics();
+        assert_eq!(jobs.len(), 2);
+        let (ja, ma) = jobs[0];
+        let (jb, mb) = jobs[1];
+        assert_eq!((ja, jb), (1, 2));
+        assert_eq!(ma.events_ingested, 20);
+        assert_eq!(mb.events_ingested, 12);
+        assert_eq!(ma.resident_streams, 1);
+        assert_eq!(ma.predictions_served, 1);
+        assert_eq!(mb.predictions_served, 0);
+        assert!(ma.hits > mb.hits, "longer training, more hits");
+        // Shard totals equal the sum of the job rollups.
+        let total = shard.metrics();
+        assert_eq!(
+            total.events_ingested,
+            ma.events_ingested + mb.events_ingested
+        );
+        assert_eq!(total.hits, ma.hits + mb.hits);
+        assert_eq!(total.abstentions, ma.abstentions + mb.abstentions);
+    }
+
+    #[test]
+    fn evict_job_reclaims_only_that_namespace_and_keeps_history() {
+        let mut shard = Shard::new(DpdConfig::default());
+        feed_pattern(
+            &mut shard,
+            StreamKey::for_job(1, 0, StreamKind::Sender),
+            &[1, 2],
+            5,
+        );
+        feed_pattern(
+            &mut shard,
+            StreamKey::for_job(1, 0, StreamKind::Size),
+            &[64],
+            5,
+        );
+        feed_pattern(
+            &mut shard,
+            StreamKey::for_job(2, 0, StreamKind::Sender),
+            &[9],
+            5,
+        );
+        assert_eq!(shard.evict_job(1), 2);
+        assert_eq!(shard.evict_job(1), 0, "already gone");
+        assert_eq!(shard.stream_count(), 1);
+        assert_eq!(shard.resident_jobs(), vec![2]);
+        let jobs = shard.job_metrics();
+        assert_eq!(jobs[0].0, 1, "evicted job keeps its rollup history");
+        assert_eq!(jobs[0].1.events_ingested, 15);
+        assert_eq!(jobs[0].1.evicted, 2);
+        assert_eq!(jobs[0].1.resident_streams, 0);
+        // TTL sweeps attribute evictions to the owning job too.
+        let mut ttl_shard = Shard::with_ttl(DpdConfig::default(), Some(2));
+        ttl_shard.observe_at(
+            Observation::new(StreamKey::for_job(4, 0, StreamKind::Tag), 1),
+            1,
+        );
+        assert_eq!(ttl_shard.sweep_expired(10), 1);
+        assert_eq!(ttl_shard.job_metrics()[0].1.evicted, 1);
     }
 
     #[test]

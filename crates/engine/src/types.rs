@@ -1,16 +1,31 @@
 //! Stream addressing and batched request/response records.
 //!
-//! The engine serves one predictor per `(rank, stream-kind)` pair. A
-//! receiving MPI process exposes three predictable attribute streams —
-//! the sequence of sending ranks, of message sizes, and of tags (§3.1 of
-//! the paper tracks sender and size; tags ride along for free and are
-//! what the tag-cycle baseline consumes). [`StreamKey`] names one such
-//! stream; [`Observation`] and [`Query`] are the plain-old-data batch
-//! elements (no boxing) the hot path moves around.
+//! The engine serves one predictor per `(job, rank, stream-kind)`
+//! triple. A receiving MPI process exposes three predictable attribute
+//! streams — the sequence of sending ranks, of message sizes, and of
+//! tags (§3.1 of the paper tracks sender and size; tags ride along for
+//! free and are what the tag-cycle baseline consumes). [`StreamKey`]
+//! names one such stream; [`Observation`] and [`Query`] are the
+//! plain-old-data batch elements (no boxing) the hot path moves around.
+//!
+//! The **job** dimension is the multi-tenant namespace: a serving
+//! deployment ingests many concurrent MPI jobs, and rank 0 of job 7 must
+//! never collide with rank 0 of job 8. Every key carries its [`JobId`];
+//! single-job callers use [`DEFAULT_JOB`] (0) through the two-argument
+//! [`StreamKey::new`] and see exactly the pre-namespace behaviour.
 
 /// Identity of a simulated/served process. `u32` keeps keys small; the
 /// north-star scale (millions of streams) fits comfortably.
 pub type RankId = u32;
+
+/// Identity of one MPI job (one tenant's stream namespace). Keys of
+/// different jobs never address the same predictor, shard together only
+/// by hash, and roll up into separate per-job metrics.
+pub type JobId = u32;
+
+/// The implicit namespace of single-job callers: every pre-federation
+/// API routes to job 0.
+pub const DEFAULT_JOB: JobId = 0;
 
 /// Which attribute stream of a rank is addressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,17 +65,27 @@ impl StreamKind {
 /// Addresses one predictor-served stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamKey {
-    /// Owning (receiving) rank.
+    /// Owning job (stream namespace).
+    pub job: JobId,
+    /// Owning (receiving) rank within the job.
     pub rank: RankId,
     /// Attribute stream of that rank.
     pub kind: StreamKind,
 }
 
 impl StreamKey {
-    /// Convenience constructor.
+    /// Single-job convenience constructor (job [`DEFAULT_JOB`]) — the
+    /// pre-namespace API, unchanged for every existing caller.
     #[inline]
     pub fn new(rank: RankId, kind: StreamKind) -> Self {
-        StreamKey { rank, kind }
+        StreamKey::for_job(DEFAULT_JOB, rank, kind)
+    }
+
+    /// Fully-qualified constructor addressing a stream inside `job`'s
+    /// namespace.
+    #[inline]
+    pub fn for_job(job: JobId, rank: RankId, kind: StreamKind) -> Self {
+        StreamKey { job, rank, kind }
     }
 }
 
@@ -103,10 +128,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn observation_is_16_bytes() {
-        // The hot-path docs lean on events being small Copy records.
-        assert_eq!(std::mem::size_of::<Observation>(), 16);
-        assert_eq!(std::mem::size_of::<Query>(), 12);
+    fn observation_stays_a_small_copy_record() {
+        // The hot-path docs lean on events being small Copy records;
+        // the job namespace costs one u32 per key.
+        assert_eq!(std::mem::size_of::<StreamKey>(), 12);
+        assert_eq!(std::mem::size_of::<Observation>(), 24);
+        assert_eq!(std::mem::size_of::<Query>(), 16);
     }
 
     #[test]
@@ -136,5 +163,15 @@ mod tests {
         assert_ne!(a, c);
         let set: HashSet<StreamKey> = [a, b, c].into_iter().collect();
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn job_dimension_separates_namespaces() {
+        let solo = StreamKey::new(3, StreamKind::Sender);
+        assert_eq!(solo.job, DEFAULT_JOB, "two-arg keys live in job 0");
+        assert_eq!(solo, StreamKey::for_job(0, 3, StreamKind::Sender));
+        let other = StreamKey::for_job(9, 3, StreamKind::Sender);
+        assert_ne!(solo, other, "same rank+kind, different job");
+        assert_eq!(other.job, 9);
     }
 }

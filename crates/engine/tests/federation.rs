@@ -1,0 +1,345 @@
+//! The federation's load-bearing properties.
+//!
+//! * **Cross-engine equivalence.** A K-job interleaved workload served
+//!   through a [`FederatedEngine`] is bit-identical to K *independent*
+//!   sequential references (one raw-symbol `DpdPredictor` per stream,
+//!   one bank per job) — for any member count, shard count, batch
+//!   split, queue capacity and pinning. Federation, like sharding, is
+//!   a throughput device, never a semantics device. The per-job metric
+//!   rollups equal a single scoped engine fed the same sequence.
+//! * **Job isolation.** Flooding and then evicting job A changes
+//!   *nothing* observable about job B: predictions, periods,
+//!   confidence and B's `JobMetrics` rollup are all unchanged. (Run
+//!   without a TTL: engine time is member-wide by design, so with a
+//!   TTL a co-tenant's traffic legitimately advances the expiry clock
+//!   — see the `federation` module docs.)
+//! * **Chaos: dead member workers fail loudly with attribution.** A
+//!   killed shard worker inside one member surfaces
+//!   [`FederationWorkerGone`] naming the job, member and shard, while
+//!   jobs on other members — and legs dispatched to healthy members in
+//!   the same batch — keep serving.
+
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::predictors::Predictor;
+use mpp_engine::{
+    Engine, EngineConfig, FederatedEngine, FederationConfig, FederationWorkerGone, JobId,
+    Observation, ObserveOutcome, Query, StreamKey, StreamKind, WorkerGone,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const RANKS: u32 = 6;
+const HORIZONS: u32 = 4;
+
+fn jkey(job: u32, rank: u32, kind: StreamKind) -> StreamKey {
+    StreamKey::for_job(job, rank, kind)
+}
+
+/// Per-job variation of a base event so the K references genuinely
+/// differ: each job sees its own rank/value transformation of the
+/// generated sequence.
+fn job_variant(job: u32, rank: u32, kind: u8, value: u64) -> Observation {
+    let kind = StreamKind::ALL[((u32::from(kind) + job) % 3) as usize];
+    let rank = (rank + job) % RANKS;
+    Observation::new(jkey(job, rank, kind), (value + u64::from(job)) % 6)
+}
+
+/// One raw-symbol predictor per stream, fed sequentially — the
+/// independent reference for one job's namespace.
+fn reference_bank(events: &[Observation], cfg: &DpdConfig) -> HashMap<StreamKey, DpdPredictor> {
+    let mut bank: HashMap<StreamKey, DpdPredictor> = HashMap::new();
+    for obs in events {
+        bank.entry(obs.key)
+            .or_insert_with(|| DpdPredictor::new(cfg.clone()))
+            .observe(obs.value);
+    }
+    bank
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance property: for any member count, shard count,
+    /// batch split, queue capacity and pin, a K-job interleaved
+    /// workload through the federation is bit-identical to K
+    /// independent sequential references, and the per-job rollups
+    /// equal a single scoped engine fed the same interleaved sequence.
+    #[test]
+    fn k_job_federated_replay_is_bit_identical_to_k_references(
+        raw in prop::collection::vec((0u32..RANKS, 0u8..3, 0u64..6), 0..240),
+        jobs in 1u32..4,
+        members in 1usize..4,
+        shards in 1usize..4,
+        batch_size in 1usize..48,
+        cap_sel in 0usize..4,
+        pin_sel in 0u32..8,
+    ) {
+        let dpd = DpdConfig { window: 48, max_lag: 16, ..DpdConfig::default() };
+        let member_cfg = EngineConfig {
+            shards,
+            dpd: dpd.clone(),
+            parallel_threshold: 0,
+            ttl: None,
+            ..EngineConfig::default()
+        };
+        // cap_sel 0 = unbounded lanes; otherwise a tiny Block-mode cap.
+        let member_cfg = match cap_sel {
+            0 => member_cfg,
+            c => member_cfg.with_queue_cap(c),
+        };
+        let fed = FederatedEngine::new(FederationConfig {
+            members,
+            member: member_cfg.clone(),
+            adaptive: None,
+        });
+        // Exercise the explicit pinning API: one job is pinned to an
+        // arbitrary member before any traffic flows.
+        fed.pin_job(pin_sel % jobs, (pin_sel as usize) % members);
+        let client = fed.client();
+
+        // K interleaved job variants of the generated sequence.
+        let events: Vec<Observation> = raw
+            .iter()
+            .flat_map(|&(r, k, v)| (0..jobs).map(move |j| job_variant(j, r, k, v)))
+            .collect();
+        for chunk in events.chunks(batch_size) {
+            let outcome = client.observe_batch(chunk);
+            prop_assert_eq!(outcome.shed, 0, "Block lanes never shed");
+            prop_assert_eq!(outcome.enqueued, chunk.len() as u64);
+        }
+
+        // One independent reference bank per job, fed only its events.
+        let mut scoped = Engine::new(EngineConfig { shards: 1, ..member_cfg });
+        scoped.observe_batch(&events);
+        for job in 0..jobs {
+            let own: Vec<Observation> =
+                events.iter().copied().filter(|o| o.key.job == job).collect();
+            let bank = reference_bank(&own, &dpd);
+            let mut queries = Vec::new();
+            let mut expected = Vec::new();
+            for rank in 0..RANKS {
+                for kind in StreamKind::ALL {
+                    let key = jkey(job, rank, kind);
+                    let reference = bank.get(&key);
+                    prop_assert_eq!(
+                        client.period_of(key),
+                        reference.and_then(|p| p.period()),
+                        "period diverged on {:?}", key
+                    );
+                    for h in 1..=HORIZONS {
+                        queries.push(Query::new(key, h));
+                        expected.push(reference.and_then(|p| p.predict(h as usize)));
+                    }
+                }
+            }
+            let mut got = Vec::new();
+            client.predict_batch(&queries, &mut got);
+            prop_assert_eq!(&got, &expected, "job {} diverged from its reference", job);
+            // Scoring rollups: federated == single scoped engine.
+            let fed_roll = client
+                .job_metrics()
+                .into_iter()
+                .find(|&(j, _)| j == job)
+                .map(|(_, m)| m);
+            let scoped_roll = scoped
+                .job_metrics()
+                .into_iter()
+                .find(|&(j, _)| j == job)
+                .map(|(_, m)| m);
+            prop_assert_eq!(
+                fed_roll.map(|m| (m.events_ingested, m.hits, m.misses, m.abstentions,
+                                  m.period_churn, m.resident_streams)),
+                scoped_roll.map(|m| (m.events_ingested, m.hits, m.misses, m.abstentions,
+                                     m.period_churn, m.resident_streams)),
+                "job {} rollup diverged from the scoped reference", job
+            );
+            prop_assert_eq!(
+                fed_roll.map_or(0, |m| m.resident_streams) as usize,
+                bank.len(),
+                "job {} resident streams", job
+            );
+        }
+        // Nothing was lost or double-counted across members.
+        prop_assert_eq!(
+            fed.metrics_total().events_ingested,
+            events.len() as u64
+        );
+    }
+}
+
+/// Flooding then evicting job A leaves job B's predictions, periods,
+/// confidence and metrics rollup exactly unchanged.
+#[test]
+fn evicting_and_flooding_one_job_never_changes_another() {
+    let fed = FederatedEngine::new(FederationConfig::new(2, 4));
+    let client = fed.client();
+    const A: JobId = 1;
+    const B: JobId = 2;
+
+    // Train job B on periodic streams across several ranks.
+    let mut train_b = Vec::new();
+    for _ in 0..12 {
+        for r in 0..RANKS {
+            train_b.push(Observation::new(
+                jkey(B, r, StreamKind::Sender),
+                u64::from(r % 3),
+            ));
+            train_b.push(Observation::new(jkey(B, r, StreamKind::Size), 64));
+        }
+    }
+    client.observe_batch(&train_b);
+
+    // Snapshot everything observable about B.
+    let keys: Vec<StreamKey> = (0..RANKS)
+        .flat_map(|r| {
+            [
+                jkey(B, r, StreamKind::Sender),
+                jkey(B, r, StreamKind::Size),
+                jkey(B, r, StreamKind::Tag),
+            ]
+        })
+        .collect();
+    let snapshot = |client: &mpp_engine::FederatedClient| {
+        let mut out = Vec::new();
+        for &k in &keys {
+            for h in 1..=HORIZONS {
+                out.push(client.predict(k, h));
+            }
+            out.push(client.period_of(k).map(|p| p as u64));
+            out.push(client.confidence_of(k).map(|c| c.to_bits()));
+        }
+        out
+    };
+    let before_preds = snapshot(&client);
+    let mut before_roll = client.job_metrics_of(B);
+
+    // Flood job A: same ranks and kinds, lots of noisy traffic, on
+    // both its hash member and (via pin changes) everywhere.
+    let mut flood = Vec::new();
+    for i in 0..5_000u64 {
+        flood.push(Observation::new(
+            jkey(
+                A,
+                (i % u64::from(RANKS)) as u32,
+                StreamKind::ALL[(i % 3) as usize],
+            ),
+            i * 7919 % 13,
+        ));
+    }
+    client.observe_batch(&flood);
+    fed.pin_job(A, (fed.member_of(A) + 1) % 2); // strand state, retrain
+    client.observe_batch(&flood);
+    assert!(fed.evict_job(A) > 0, "flooded job had resident streams");
+    client.sweep_expired();
+
+    // B is untouched: predictions, periods, confidence, rollup.
+    let after_preds = snapshot(&client);
+    assert_eq!(before_preds, after_preds, "job B's predictions changed");
+    let after_roll = client.job_metrics_of(B);
+    // The snapshots themselves served predictions; account for exactly
+    // those and require everything else identical.
+    before_roll.predictions_served = after_roll.predictions_served;
+    assert_eq!(before_roll, after_roll, "job B's rollup changed");
+    assert_eq!(
+        after_roll.evicted, 0,
+        "evicting A must not evict any of B's streams"
+    );
+    assert!(fed.resident_jobs().contains(&B));
+    assert!(!fed.resident_jobs().contains(&A), "A fully reclaimed");
+}
+
+/// Chaos: a shard worker killed inside one member mid-run surfaces
+/// `FederationWorkerGone` with exact job/member/shard attribution,
+/// while jobs served by other members — including legs in the same
+/// mixed batch — keep flowing.
+#[test]
+fn dead_member_worker_attributes_job_and_member_and_spares_other_jobs() {
+    let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+    let client = fed.client();
+
+    // Two jobs on two different members.
+    let job_a = (0..32u32)
+        .find(|&j| fed.member_of(j) == 0)
+        .expect("job on member 0");
+    let job_b = (0..32u32)
+        .find(|&j| fed.member_of(j) == 1)
+        .expect("job on member 1");
+    let ka = jkey(job_a, 0, StreamKind::Sender);
+    let kb = jkey(job_b, 0, StreamKind::Sender);
+    for i in 0..20u64 {
+        client.observe_batch(&[Observation::new(ka, i % 2), Observation::new(kb, i % 3)]);
+    }
+    assert_eq!(client.period_of(ka), Some(2));
+    assert_eq!(client.period_of(kb), Some(3));
+
+    // Kill the worker serving job A's rank inside member 0.
+    let dead_shard = fed.member(0).shard_for_job(job_a, 0);
+    fed.member(0).debug_kill_worker(dead_shard, true);
+
+    // Mid-run submission: the mixed batch errs with job A / member 0 /
+    // the dead shard — and job B's leg was still dispatched first.
+    // (Federation-wide metrics would broadcast into the dead member
+    // and fail loudly — correct behaviour — so B's rollup is read from
+    // its own, healthy member.)
+    let b_rollup = || {
+        fed.member(1)
+            .client()
+            .job_metrics()
+            .into_iter()
+            .find(|&(j, _)| j == job_b)
+            .map(|(_, m)| m)
+            .unwrap_or_default()
+    };
+    let b_before = b_rollup().events_ingested;
+    let err = client
+        .try_observe_batch(&[
+            Observation::new(ka, 0),
+            Observation::new(kb, 20 % 3), // continues B's period-3 pattern
+        ])
+        .expect_err("dead lane must surface");
+    assert_eq!(
+        err,
+        FederationWorkerGone {
+            job: job_a,
+            member: 0,
+            gone: WorkerGone { shard: dead_shard },
+            // Job B's leg landed on its healthy member and the error
+            // accounts for it, so callers never blind-retry it.
+            outcome: ObserveOutcome {
+                enqueued: 1,
+                shed: 0
+            },
+        }
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("member 0") && msg.contains(&format!("job {job_a}")),
+        "attribution missing from message: {msg}"
+    );
+    assert_eq!(
+        b_rollup().events_ingested,
+        b_before + 1,
+        "healthy member's leg in the failing batch still ingested"
+    );
+
+    // Job B keeps serving end to end (pattern continues from i = 21).
+    for i in 21..30u64 {
+        assert!(client
+            .try_observe_batch(&[Observation::new(kb, i % 3)])
+            .expect("member 1 is healthy")
+            .complete());
+    }
+    assert_eq!(client.predict(kb, 1), Some(0), "last value was 29 % 3 = 2");
+    assert_eq!(client.period_of(kb), Some(3));
+
+    // Single-job fast path gets the same attribution.
+    let err = client
+        .try_observe_batch(&[Observation::new(ka, 1)])
+        .expect_err("dead lane again");
+    assert_eq!((err.job, err.member), (job_a, 0));
+    assert_eq!(
+        err.outcome,
+        ObserveOutcome::default(),
+        "nothing landed on a healthy member in a single-job batch"
+    );
+}

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run -p mpp-experiments --release --bin engine_replay -- \
 //!     [--csv] [--seed N] [--shards K] [--ttl N] [--mode persistent|scoped] \
-//!     [--queue-cap N] [--backpressure block|shed] [bt 9 | cg 8 | ...]
+//!     [--queue-cap N] [--backpressure block|shed] \
+//!     [--jobs K] [--engines E] [bt 9 | cg 8 | ...]
 //! ```
 //!
 //! With no positional arguments, the paper's full configuration roster
@@ -79,6 +80,22 @@ fn main() {
         eprintln!("--queue-cap applies to the persistent mode only");
         std::process::exit(2);
     }
+    let jobs: usize = args.take_flag("--jobs").map_or(1, |v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--jobs needs a positive job count");
+            std::process::exit(2);
+        })
+    });
+    let engines: usize = args.take_flag("--engines").map_or(1, |v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--engines needs a positive engine count");
+            std::process::exit(2);
+        })
+    });
+    if engines > 1 && mode == EngineMode::Scoped {
+        eprintln!("--engines applies to the persistent mode only (federation members)");
+        std::process::exit(2);
+    }
     // A policy without a lane bound would be a silent no-op (policies
     // only apply to full bounded lanes) — reject the misconfiguration
     // instead of reporting shed=0 on an unbounded run.
@@ -117,19 +134,21 @@ fn main() {
         .ttl(ttl)
         .mode(mode)
         .queue_cap(queue_cap)
-        .backpressure(backpressure);
+        .backpressure(backpressure)
+        .jobs(jobs)
+        .engines(engines);
 
     let cap_label = queue_cap.map_or("off".to_string(), |c| c.to_string());
     if args.csv {
         println!(
             "config,events,streams,hit_rate,period_churn,evicted,shed,events_per_sec,\
-             shards,mode,ttl,queue_cap,backpressure"
+             shards,mode,ttl,queue_cap,backpressure,jobs,engines"
         );
     } else {
         let ttl_label = ttl.map_or("off".to_string(), |t| t.to_string());
         println!(
             "engine replay — {shards} shard(s), seed {seed}, mode {}, ttl {ttl_label}, \
-             queue cap {cap_label}, backpressure {}",
+             queue cap {cap_label}, backpressure {}, {jobs} job(s), {engines} engine(s)",
             mode.label(),
             backpressure.label()
         );
@@ -142,7 +161,7 @@ fn main() {
         let r = replay(config, seed, &opts);
         if args.csv {
             println!(
-                "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{}",
+                "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{},{},{}",
                 r.label,
                 r.events,
                 r.total.resident_streams,
@@ -156,6 +175,8 @@ fn main() {
                 ttl.map_or("off".to_string(), |t| t.to_string()),
                 cap_label,
                 backpressure.label(),
+                jobs,
+                engines,
             );
         } else {
             println!(
@@ -169,6 +190,16 @@ fn main() {
                 r.total.shed_events,
                 r.events_per_sec
             );
+            if jobs > 1 {
+                for &(job, m) in &r.per_job {
+                    println!(
+                        "  job {job:<4} {:>15} {:>8} {:>8.1}%",
+                        m.events_ingested,
+                        m.resident_streams,
+                        100.0 * m.hit_rate().unwrap_or(0.0),
+                    );
+                }
+            }
         }
     }
 }

@@ -5,8 +5,8 @@
 
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, Observation, PersistentEngine, ShardMetrics,
-    StreamKey, StreamKind,
+    BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, JobId, JobMetrics,
+    Observation, ShardMetrics, StreamKey, StreamKind,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -37,7 +37,7 @@ impl EngineMode {
 /// Engine-side options for one replay run.
 #[derive(Debug, Clone)]
 pub struct ReplayOpts {
-    /// Shard count.
+    /// Shard count (per federation member).
     pub shards: usize,
     /// Idle-stream TTL in engine-time events (`None` disables).
     pub ttl: Option<u64>,
@@ -48,6 +48,12 @@ pub struct ReplayOpts {
     pub queue_cap: Option<usize>,
     /// Persistent mode: full-lane policy for bounded lanes.
     pub backpressure: BackpressurePolicy,
+    /// Interleaved job copies of the trace to replay (job ids
+    /// `0..jobs`); 1 is the single-tenant replay.
+    pub jobs: usize,
+    /// Persistent mode: federation member engines serving the replay;
+    /// 1 wraps a single engine (bit-identical to direct use).
+    pub engines: usize,
 }
 
 impl Default for ReplayOpts {
@@ -58,6 +64,8 @@ impl Default for ReplayOpts {
             mode: EngineMode::Persistent,
             queue_cap: None,
             backpressure: BackpressurePolicy::Block,
+            jobs: 1,
+            engines: 1,
         }
     }
 }
@@ -92,6 +100,18 @@ impl ReplayOpts {
     /// Sets the full-lane policy.
     pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
         self.backpressure = policy;
+        self
+    }
+
+    /// Sets the number of interleaved job copies.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the number of federation member engines.
+    pub fn engines(mut self, engines: usize) -> Self {
+        self.engines = engines;
         self
     }
 
@@ -147,12 +167,15 @@ pub fn trace_to_events(trace: &mpp_mpisim::Trace) -> Vec<Observation> {
 pub struct ReplayReport {
     /// Configuration label (paper notation, e.g. `cg.8`).
     pub label: String,
-    /// Events ingested (3 per traced delivery).
+    /// Events ingested (3 per traced delivery, × job copies).
     pub events: usize,
-    /// Aggregate engine counters after the replay.
+    /// Aggregate engine counters after the replay (all members).
     pub total: ShardMetrics,
-    /// Per-shard counters after the replay.
+    /// Per-shard counters after the replay (members concatenated in
+    /// member order for federated runs).
     pub per_shard: Vec<ShardMetrics>,
+    /// Per-job scoring rollups, ascending by job id.
+    pub per_job: Vec<(JobId, JobMetrics)>,
     /// Ingest rate over the timed replay loop.
     pub events_per_sec: f64,
 }
@@ -162,43 +185,97 @@ impl ReplayReport {
     pub fn hit_rate(&self) -> f64 {
         self.total.hit_rate().unwrap_or(0.0)
     }
+
+    /// One job's online `+1` hit rate (0 when nothing was scored).
+    pub fn job_hit_rate(&self, job: JobId) -> f64 {
+        self.per_job
+            .iter()
+            .find(|&&(j, _)| j == job)
+            .and_then(|(_, m)| m.hit_rate())
+            .unwrap_or(0.0)
+    }
 }
 
-/// Replays pre-flattened `events` through a fresh engine per `opts`.
-pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> (Vec<ShardMetrics>, f64) {
+/// Re-keys `events` into `jobs` interleaved job copies: source event
+/// `i` becomes events `i*jobs ..` for jobs `0..jobs`, so the engine
+/// sees all tenants' identical streams arriving concurrently. Each
+/// job's subsequence equals the original sequence, so per-job results
+/// must match the single-tenant replay bit for bit (the federated
+/// golden pin relies on this).
+pub fn interleave_jobs(events: &[Observation], jobs: usize) -> Vec<Observation> {
+    assert!(jobs > 0, "at least one job copy");
+    if jobs == 1 {
+        return events.to_vec();
+    }
+    let mut out = Vec::with_capacity(events.len() * jobs);
+    for e in events {
+        for j in 0..jobs {
+            let key = StreamKey::for_job(j as JobId, e.key.rank, e.key.kind);
+            out.push(Observation::new(key, e.value));
+        }
+    }
+    out
+}
+
+/// Per-shard counters, per-job rollups and ingest rate of one replay.
+type ReplaySummary = (Vec<ShardMetrics>, Vec<(JobId, JobMetrics)>, f64);
+
+/// Replays pre-flattened `events` through a fresh engine (or
+/// federation) per `opts`. The persistent mode always serves through a
+/// [`FederatedEngine`] — single-member for `engines == 1`, which is
+/// bit-identical to driving the engine directly (pinned by the golden
+/// replays and `mpp-engine/tests/federation.rs`).
+pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary {
+    assert!(opts.engines > 0, "at least one engine");
     let cfg = opts.engine_config();
     match opts.mode {
         EngineMode::Scoped => {
+            assert!(
+                opts.engines == 1,
+                "federation (--engines > 1) is a persistent-mode feature"
+            );
             let mut engine = Engine::new(cfg);
             let start = Instant::now();
             for chunk in events.chunks(REPLAY_BATCH) {
                 engine.observe_batch(chunk);
             }
             let secs = start.elapsed().as_secs_f64();
+            let per_job = engine.job_metrics();
             let shards = engine.metrics().shards;
-            (shards, events.len() as f64 / secs.max(1e-12))
+            (shards, per_job, events.len() as f64 / secs.max(1e-12))
         }
         EngineMode::Persistent => {
-            let engine = PersistentEngine::new(cfg);
-            let client = engine.client();
+            let fed = FederatedEngine::new(FederationConfig {
+                members: opts.engines,
+                member: cfg,
+                adaptive: None,
+            });
+            let client = fed.client();
             let start = Instant::now();
             for chunk in events.chunks(REPLAY_BATCH) {
                 client.observe_batch(chunk);
             }
             // The metrics round-trip queues behind every submitted
             // batch, so it also closes the timing window fairly.
-            let per_shard = client.metrics().shards;
+            let per_shard: Vec<ShardMetrics> = client
+                .metrics()
+                .members
+                .into_iter()
+                .flat_map(|m| m.shards)
+                .collect();
             let secs = start.elapsed().as_secs_f64();
-            (per_shard, events.len() as f64 / secs.max(1e-12))
+            let per_job = client.job_metrics();
+            (per_shard, per_job, events.len() as f64 / secs.max(1e-12))
         }
     }
 }
 
-/// Runs `config` once and replays its trace through the engine.
+/// Runs `config` once and replays its trace (interleaved into
+/// `opts.jobs` job copies) through the engine.
 pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayReport {
     let trace = run_config(config, seed);
-    let events = trace_to_events(&trace);
-    let (per_shard, events_per_sec) = replay_events(&events, opts);
+    let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
+    let (per_shard, per_job, events_per_sec) = replay_events(&events, opts);
     let mut total = ShardMetrics::default();
     for m in &per_shard {
         total.merge(m);
@@ -208,6 +285,7 @@ pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayR
         events: events.len(),
         total,
         per_shard,
+        per_job,
         events_per_sec,
     }
 }
@@ -258,6 +336,55 @@ mod tests {
         let loose = replay(&cfg, 7, &ReplayOpts::with_shards(2).ttl(Some(1_000_000)));
         assert_eq!(loose.total.evicted, 0, "huge TTL evicts nothing");
         assert!(loose.hit_rate() >= r.hit_rate());
+    }
+
+    #[test]
+    fn interleave_preserves_each_jobs_subsequence() {
+        let events = vec![
+            Observation::new(StreamKey::new(0, StreamKind::Sender), 1),
+            Observation::new(StreamKey::new(0, StreamKind::Size), 64),
+            Observation::new(StreamKey::new(1, StreamKind::Sender), 2),
+        ];
+        assert_eq!(interleave_jobs(&events, 1), events);
+        let tripled = interleave_jobs(&events, 3);
+        assert_eq!(tripled.len(), 9);
+        for job in 0..3u32 {
+            let sub: Vec<_> = tripled.iter().filter(|o| o.key.job == job).collect();
+            assert_eq!(sub.len(), events.len());
+            for (got, want) in sub.iter().zip(&events) {
+                assert_eq!(got.key.rank, want.key.rank);
+                assert_eq!(got.key.kind, want.key.kind);
+                assert_eq!(got.value, want.value);
+            }
+        }
+    }
+
+    #[test]
+    fn federated_multi_job_replay_matches_single_tenant_per_job() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        let solo = replay(&cfg, 7, &ReplayOpts::with_shards(2));
+        let fed = replay(&cfg, 7, &ReplayOpts::with_shards(2).jobs(3).engines(2));
+        assert_eq!(fed.events, 3 * solo.events);
+        assert_eq!(fed.per_job.len(), 3);
+        for &(job, m) in &fed.per_job {
+            assert_eq!(m.events_ingested, solo.total.events_ingested, "job {job}");
+            assert_eq!(m.hits, solo.total.hits, "job {job} hits");
+            assert_eq!(m.misses, solo.total.misses, "job {job} misses");
+            assert_eq!(
+                m.resident_streams, solo.total.resident_streams,
+                "job {job} streams"
+            );
+        }
+        // Members concatenate in the per-shard view: 2 engines x 2 shards.
+        assert_eq!(fed.per_shard.len(), 4);
+        // The scoped engine replays multi-job workloads too (one engine,
+        // namespaced keys) with the same per-job rollups.
+        let scoped = replay(
+            &cfg,
+            7,
+            &ReplayOpts::with_shards(2).jobs(3).mode(EngineMode::Scoped),
+        );
+        assert_eq!(scoped.per_job, fed.per_job);
     }
 
     #[test]

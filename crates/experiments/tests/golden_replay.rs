@@ -63,3 +63,33 @@ fn class_a_hit_rates_stay_pinned_bounded_block() {
         "bounded-block",
     );
 }
+
+/// The federation acceptance pin: 2 engines × 2 interleaved job copies
+/// of each class-A config must leave every job's hit rate exactly where
+/// the single-engine, single-job run has it (±0.1 pt by the shared
+/// tolerance; per-job bit-identity by `mpp-engine/tests/federation.rs`).
+#[test]
+fn class_a_hit_rates_stay_pinned_federated_per_job() {
+    const JOBS: usize = 2;
+    let opts = ReplayOpts::with_shards(2).jobs(JOBS).engines(2);
+    for (id, procs, want) in GOLDEN {
+        let cfg = BenchmarkConfig::new(id, procs, Class::A);
+        let r = replay(&cfg, DEFAULT_SEED, &opts);
+        assert_eq!(r.per_job.len(), JOBS, "one rollup per job copy");
+        for job in 0..JOBS as u32 {
+            let got = r.job_hit_rate(job);
+            assert!(
+                (got - want).abs() <= TOLERANCE,
+                "{} job {job} (federated 2x2) hit rate drifted: got {got:.4}, \
+                 pinned {want:.4} ±{TOLERANCE:.4}",
+                r.label,
+            );
+        }
+        // All job copies replay the same trace: bit-identical rollups.
+        assert!(
+            r.per_job.windows(2).all(|w| w[0].1 == w[1].1),
+            "{}: identical job copies must produce identical rollups",
+            r.label
+        );
+    }
+}

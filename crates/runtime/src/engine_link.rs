@@ -5,11 +5,14 @@
 //! machine serving every rank of every job. This module rewires the
 //! runtime onto the shared **persistent-worker** engine:
 //!
-//! * [`EngineHandle`] — cloneable, `Send + Sync` handle to one
-//!   [`PersistentEngine`]. There is no mutex behind it: submission
-//!   goes through per-shard channels, replies come back on private
-//!   epoch-stamped lanes. Hot-path users take an
-//!   [`EngineClient`](mpp_engine::EngineClient) via
+//! * [`EngineHandle`] — cloneable, `Send + Sync` handle to a
+//!   [`FederatedEngine`]: one or more persistent engines partitioned
+//!   by job. Handles built from a single [`PersistentEngine`] (the
+//!   historical constructors) wrap a one-member federation and behave
+//!   bit-identically to driving that engine directly. There is no
+//!   mutex behind it: submission goes through per-shard channels,
+//!   replies come back on private epoch-stamped lanes. Hot-path users
+//!   take a [`FederatedClient`](mpp_engine::FederatedClient) via
 //!   [`EngineHandle::client`]; the handle's own convenience methods
 //!   build a transient client per call (fine for setup and
 //!   inspection).
@@ -28,42 +31,59 @@
 //!   (`tests/engine_oracle.rs` pins both). The engine's worker threads
 //!   outlive every simulated world that uses them and shut down when
 //!   the last handle drops.
+//!
+//! **Job namespaces.** Every advisor/oracle carries a [`JobId`]
+//! (default [`DEFAULT_JOB`]). The historical constructors bake in the
+//! default job — that was the latent single-job assumption: two
+//! default-job oracles for the same rank on one handle *do* share
+//! streams. Multi-tenant callers must use the `for_job` constructors
+//! ([`EngineOracle::for_job`], [`EngineAdvisor::for_job`],
+//! [`EngineOracleFactory::for_job`]); oracles with different jobs on
+//! one handle never share streams, because every key they stage or
+//! query carries their job (pinned in `tests/engine_oracle.rs`).
 
 use crate::advisor::Advice;
 use crate::oracle::GrantBook;
 use mpp_core::dpd::DpdConfig;
-pub use mpp_engine::BackpressurePolicy;
+pub use mpp_engine::{BackpressurePolicy, JobId, DEFAULT_JOB};
 use mpp_engine::{
-    EngineClient, EngineConfig, EngineMetrics, Observation, PersistentEngine, RankId, StreamKey,
-    StreamKind,
+    EngineConfig, FederatedClient, FederatedEngine, FederationConfig, FederationMetrics,
+    JobMetrics, Observation, PersistentEngine, RankId, StreamKey, StreamKind,
 };
 use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
 
 /// Feeds one delivered message (all three attribute streams) through
-/// `client` — the single place the runtime maps a delivery onto engine
-/// stream keys.
-fn observe_tagged_via(client: &EngineClient, rank: RankId, src: u64, bytes: u64, tag: u64) {
+/// `client` into `job`'s namespace — the single place the runtime maps
+/// a delivery onto engine stream keys.
+fn observe_tagged_via(
+    client: &FederatedClient,
+    job: JobId,
+    rank: RankId,
+    src: u64,
+    bytes: u64,
+    tag: u64,
+) {
     client.observe_batch(&[
-        Observation::new(StreamKey::new(rank, StreamKind::Sender), src),
-        Observation::new(StreamKey::new(rank, StreamKind::Size), bytes),
-        Observation::new(StreamKey::new(rank, StreamKind::Tag), tag),
+        Observation::new(StreamKey::for_job(job, rank, StreamKind::Sender), src),
+        Observation::new(StreamKey::for_job(job, rank, StreamKind::Size), bytes),
+        Observation::new(StreamKey::for_job(job, rank, StreamKind::Tag), tag),
     ]);
 }
 
 /// Feeds a tagless delivery (sender and size streams only — no
 /// fabricated tag symbol).
-fn observe_pair_via(client: &EngineClient, rank: RankId, src: u64, bytes: u64) {
+fn observe_pair_via(client: &FederatedClient, job: JobId, rank: RankId, src: u64, bytes: u64) {
     client.observe_batch(&[
-        Observation::new(StreamKey::new(rank, StreamKind::Sender), src),
-        Observation::new(StreamKey::new(rank, StreamKind::Size), bytes),
+        Observation::new(StreamKey::for_job(job, rank, StreamKind::Sender), src),
+        Observation::new(StreamKey::for_job(job, rank, StreamKind::Size), bytes),
     ]);
 }
 
-/// Forecast of the next `depth` (sender, size) pairs for `rank`, in
-/// the runtime's [`Advice`] shape.
-fn advise_via(client: &EngineClient, rank: RankId, depth: usize) -> Advice {
+/// Forecast of the next `depth` (sender, size) pairs for `rank` of
+/// `job`, in the runtime's [`Advice`] shape.
+fn advise_via(client: &FederatedClient, job: JobId, rank: RankId, depth: usize) -> Advice {
     let mut messages = Vec::with_capacity(depth);
-    client.forecast_messages(rank, depth, &mut messages);
+    client.forecast_messages_for_job(job, rank, depth, &mut messages);
     Advice { messages }
 }
 
@@ -74,13 +94,27 @@ fn advise_via(client: &EngineClient, rank: RankId, depth: usize) -> Advice {
 /// queues instead.
 #[derive(Clone, Debug)]
 pub struct EngineHandle {
-    engine: PersistentEngine,
+    fed: FederatedEngine,
 }
 
 impl EngineHandle {
-    /// Wraps a running persistent engine.
+    /// Wraps a running persistent engine as a single-member federation
+    /// — bit-identical to driving the engine directly (every job routes
+    /// to the lone member, and single-job batches are forwarded without
+    /// copying).
     pub fn new(engine: PersistentEngine) -> Self {
-        EngineHandle { engine }
+        Self::federated(FederatedEngine::from_members(vec![engine]))
+    }
+
+    /// Wraps a running multi-engine federation.
+    pub fn federated(fed: FederatedEngine) -> Self {
+        EngineHandle { fed }
+    }
+
+    /// Spawns a federation from a full federation configuration,
+    /// wrapped.
+    pub fn from_federation_config(cfg: FederationConfig) -> Self {
+        Self::federated(FederatedEngine::new(cfg))
     }
 
     /// Spawns an engine from a full configuration, wrapped.
@@ -121,26 +155,52 @@ impl EngineHandle {
         )
     }
 
-    /// The underlying engine handle.
+    /// The underlying federation handle.
+    pub fn federation(&self) -> &FederatedEngine {
+        &self.fed
+    }
+
+    /// The first federation member (the whole engine for handles built
+    /// from a single `PersistentEngine`).
     pub fn engine(&self) -> &PersistentEngine {
-        &self.engine
+        self.fed.member(0)
     }
 
-    /// A private client lane into the engine — what hot-path users
+    /// A private client lane into the federation — what hot-path users
     /// (one per thread) should hold.
-    pub fn client(&self) -> EngineClient {
-        self.engine.client()
+    pub fn client(&self) -> FederatedClient {
+        self.fed.client()
     }
 
-    /// Forecast of the next `depth` (sender, size) pairs for `rank`,
-    /// in the runtime's [`Advice`] shape.
+    /// Forecast of the next `depth` (sender, size) pairs for `rank` of
+    /// the default job, in the runtime's [`Advice`] shape.
     pub fn advise(&self, rank: RankId, depth: usize) -> Advice {
-        advise_via(&self.client(), rank, depth)
+        advise_via(&self.client(), DEFAULT_JOB, rank, depth)
     }
 
-    /// Per-shard metrics snapshot of the underlying engine.
-    pub fn metrics(&self) -> EngineMetrics {
+    /// Forecast for `rank` inside `job`'s namespace.
+    pub fn advise_for_job(&self, job: JobId, rank: RankId, depth: usize) -> Advice {
+        advise_via(&self.client(), job, rank, depth)
+    }
+
+    /// Per-member, per-shard metrics snapshot of the federation.
+    pub fn metrics(&self) -> FederationMetrics {
         self.client().metrics()
+    }
+
+    /// Per-job scoring rollups across the federation.
+    pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
+        self.client().job_metrics()
+    }
+
+    /// Jobs with at least one resident stream, ascending.
+    pub fn resident_jobs(&self) -> Vec<JobId> {
+        self.client().resident_jobs()
+    }
+
+    /// Evicts every resident stream of `job` across the federation.
+    pub fn evict_job(&self, job: JobId) -> usize {
+        self.fed.evict_job(job)
     }
 
     /// Total streams resident in the engine.
@@ -163,17 +223,25 @@ impl EngineHandle {
 /// `advise` contract, predictions served by the shared engine through
 /// a private client lane.
 pub struct EngineAdvisor {
-    client: EngineClient,
+    client: FederatedClient,
+    job: JobId,
     rank: RankId,
     depth: usize,
 }
 
 impl EngineAdvisor {
-    /// Creates an advisor for `rank` forecasting `depth` ahead.
+    /// Creates an advisor for `rank` of the default job, forecasting
+    /// `depth` ahead.
     pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
+        Self::for_job(handle, DEFAULT_JOB, rank, depth)
+    }
+
+    /// Creates an advisor for `rank` inside `job`'s namespace.
+    pub fn for_job(handle: EngineHandle, job: JobId, rank: RankId, depth: usize) -> Self {
         assert!(depth > 0, "advice depth must be positive");
         EngineAdvisor {
             client: handle.client(),
+            job,
             rank,
             depth,
         }
@@ -183,17 +251,17 @@ impl EngineAdvisor {
     /// and size streams are fed (fabricating a constant tag would
     /// inflate the engine's stream count and hit-rate metrics).
     pub fn observe(&mut self, sender: u64, size: u64) {
-        observe_pair_via(&self.client, self.rank, sender, size);
+        observe_pair_via(&self.client, self.job, self.rank, sender, size);
     }
 
     /// Records one delivered message including its tag.
     pub fn observe_tagged(&mut self, sender: u64, size: u64, tag: u64) {
-        observe_tagged_via(&self.client, self.rank, sender, size, tag);
+        observe_tagged_via(&self.client, self.job, self.rank, sender, size, tag);
     }
 
     /// Forecast for the next `depth` messages.
     pub fn advise(&self) -> Advice {
-        advise_via(&self.client, self.rank, self.depth)
+        advise_via(&self.client, self.job, self.rank, self.depth)
     }
 
     /// The configured advice depth.
@@ -204,7 +272,8 @@ impl EngineAdvisor {
 
 /// §2.3 arrival oracle served by the shared engine.
 pub struct EngineOracle {
-    client: EngineClient,
+    client: FederatedClient,
+    job: JobId,
     rank: RankId,
     depth: usize,
     until_replan: usize,
@@ -220,11 +289,22 @@ pub struct EngineOracle {
 }
 
 impl EngineOracle {
-    /// Creates the oracle for `rank` with forecast depth `depth`.
+    /// Creates the oracle for `rank` of the default job with forecast
+    /// depth `depth`.
     pub fn new(handle: EngineHandle, rank: RankId, depth: usize) -> Self {
+        Self::for_job(handle, DEFAULT_JOB, rank, depth)
+    }
+
+    /// Creates the oracle for `rank` inside `job`'s namespace. Two
+    /// oracles with different jobs on one handle never share streams:
+    /// every staged key carries the job, so their observations train —
+    /// and their forecasts read — disjoint predictors
+    /// (`tests/engine_oracle.rs` pins this).
+    pub fn for_job(handle: EngineHandle, job: JobId, rank: RankId, depth: usize) -> Self {
         assert!(depth > 0, "forecast depth must be positive");
         EngineOracle {
             client: handle.client(),
+            job,
             rank,
             depth,
             until_replan: 0,
@@ -247,7 +327,7 @@ impl EngineOracle {
         // observations of this rank, so it sees them applied.
         self.shed += self.client.observe_batch(&self.staged).shed;
         self.client
-            .forecast_messages(self.rank, self.depth, &mut self.forecast);
+            .forecast_messages_for_job(self.job, self.rank, self.depth, &mut self.forecast);
         self.staged.clear();
         self.grants.refill_pairs(&self.forecast);
         self.until_replan = self.depth;
@@ -272,15 +352,15 @@ impl Drop for EngineOracle {
 impl ArrivalOracle for EngineOracle {
     fn observe(&mut self, src: Rank, bytes: u64, tag: Tag) {
         self.staged.push(Observation::new(
-            StreamKey::new(self.rank, StreamKind::Sender),
+            StreamKey::for_job(self.job, self.rank, StreamKind::Sender),
             src as u64,
         ));
         self.staged.push(Observation::new(
-            StreamKey::new(self.rank, StreamKind::Size),
+            StreamKey::for_job(self.job, self.rank, StreamKind::Size),
             bytes,
         ));
         self.staged.push(Observation::new(
-            StreamKey::new(self.rank, StreamKind::Tag),
+            StreamKey::for_job(self.job, self.rank, StreamKind::Tag),
             u64::from(tag),
         ));
         if self.until_replan == 0 {
@@ -301,14 +381,22 @@ impl ArrivalOracle for EngineOracle {
 #[derive(Clone)]
 pub struct EngineOracleFactory {
     handle: EngineHandle,
+    job: JobId,
     depth: usize,
 }
 
 impl EngineOracleFactory {
-    /// Creates a factory serving oracles from `handle`.
+    /// Creates a factory serving default-job oracles from `handle`.
     pub fn new(handle: EngineHandle, depth: usize) -> Self {
+        Self::for_job(handle, DEFAULT_JOB, depth)
+    }
+
+    /// Creates a factory whose oracles live inside `job`'s namespace —
+    /// what lets many simulated worlds share one federation without
+    /// stream collisions (one job per world).
+    pub fn for_job(handle: EngineHandle, job: JobId, depth: usize) -> Self {
         assert!(depth > 0, "forecast depth must be positive");
-        EngineOracleFactory { handle, depth }
+        EngineOracleFactory { handle, job, depth }
     }
 
     /// The shared engine handle (for post-run metrics inspection).
@@ -319,8 +407,9 @@ impl EngineOracleFactory {
 
 impl OracleFactory for EngineOracleFactory {
     fn build(&self, rank: Rank) -> Box<dyn ArrivalOracle> {
-        Box::new(EngineOracle::new(
+        Box::new(EngineOracle::for_job(
             self.handle.clone(),
+            self.job,
             u32::try_from(rank).expect("rank fits u32"),
             self.depth,
         ))
@@ -431,6 +520,90 @@ mod tests {
         let total = bounded.metrics().total();
         assert_eq!(total.shed_events, 0, "Block mode never sheds");
         assert!(total.queue_high_water <= 4, "lane within its cap");
+    }
+
+    #[test]
+    fn oracles_with_different_jobs_on_one_handle_never_share_streams() {
+        // The latent single-job assumption, fixed: same rank, same
+        // handle, two jobs — the namespaces must be fully disjoint.
+        let handle = EngineHandle::with_config(4, DpdConfig::default());
+        let mut a = EngineOracle::for_job(handle.clone(), 1, 0, 4);
+        let mut b = EngineOracle::for_job(handle.clone(), 2, 0, 4);
+        for _ in 0..30 {
+            for (s, by) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
+                a.observe(s, by, 5);
+            }
+            b.observe(9, 16, 7); // constant, trivially predictable
+        }
+        // Job 1's well-trained pattern grants; job 2 never saw it.
+        assert!(a.expects(1, 100_000));
+        assert!(!b.expects(1, 100_000), "job 2 must not see job 1's model");
+        assert!(b.expects(9, 16));
+        drop((a, b));
+        // Per-job rollups are disjoint and keys are namespaced.
+        let jobs = handle.job_metrics();
+        assert_eq!(jobs.iter().map(|&(j, _)| j).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            jobs[0].1.events_ingested, 360,
+            "30x4 deliveries x 3 streams"
+        );
+        assert_eq!(jobs[1].1.events_ingested, 90);
+        assert_eq!(
+            handle.period_of(StreamKey::for_job(1, 0, StreamKind::Sender)),
+            Some(4)
+        );
+        assert_eq!(
+            handle.period_of(StreamKey::for_job(2, 0, StreamKind::Sender)),
+            Some(1)
+        );
+        assert_eq!(
+            handle.period_of(StreamKey::new(0, StreamKind::Sender)),
+            None,
+            "the default job never saw traffic"
+        );
+        // Evicting job 1 leaves job 2 serving.
+        assert_eq!(handle.evict_job(1), 3);
+        assert_eq!(handle.resident_jobs(), vec![2]);
+        assert_eq!(
+            handle.period_of(StreamKey::for_job(2, 0, StreamKind::Sender)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn job_scoped_factories_share_a_federation_without_collisions() {
+        use mpp_engine::FederationConfig;
+        let handle = EngineHandle::from_federation_config(FederationConfig::new(2, 2));
+        // Two "worlds" (jobs), same ranks, different traffic.
+        let fa = EngineOracleFactory::for_job(handle.clone(), 10, 3);
+        let fb = EngineOracleFactory::for_job(handle.clone(), 11, 3);
+        let mut a = fa.build(0);
+        let mut b = fb.build(0);
+        for _ in 0..30 {
+            a.observe(5, 70_000, 1);
+            b.observe(6, 10, 2);
+        }
+        assert!(a.expects(5, 70_000));
+        assert!(!b.expects(5, 70_000), "job 11 never saw sender 5");
+        drop((a, b));
+        assert_eq!(handle.resident_jobs(), vec![10, 11]);
+        assert_eq!(handle.federation().member_count(), 2);
+        // Advisors namespace the same way.
+        let advice = handle.advise_for_job(11, 0, 1);
+        assert_eq!(advice.messages, vec![(Some(6), Some(10))]);
+        assert_eq!(handle.advise_for_job(12, 0, 1).messages, vec![(None, None)]);
+        // Querying a job that never ingested must not materialise a
+        // phantom rollup (wrong/stale job ids would otherwise grow the
+        // metrics maps without bound).
+        assert_eq!(
+            handle
+                .job_metrics()
+                .iter()
+                .map(|&(j, _)| j)
+                .collect::<Vec<_>>(),
+            vec![10, 11],
+            "queried-only job 12 must not appear in the rollups"
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //!
 //! * [`core`] — DPD periodicity detection, predictors, evaluation.
 //! * [`engine`] — sharded multi-stream prediction serving engine
-//!   (batched zero-allocation observe/predict over per-rank
-//!   sender/size/tag streams).
+//!   (batched zero-allocation observe/predict over per-job, per-rank
+//!   sender/size/tag streams), plus the multi-engine federation layer
+//!   with job-scoped namespaces.
 //! * [`sim`] — deterministic MPI simulator with logical and
 //!   physical trace capture.
 //! * [`bench`](mod@bench) — NAS BT/CG/LU/IS and Sweep3D communication
@@ -32,7 +33,8 @@ pub use mpp_core::{
     stream::{Symbol, SymbolMap},
 };
 pub use mpp_engine::{
-    BackpressurePolicy, Engine, EngineClient, EngineConfig, Observation, ObserveOutcome,
-    PersistentEngine, Query, StreamKey, StreamKind, WorkerGone,
+    AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, FederatedClient,
+    FederatedEngine, FederationConfig, FederationWorkerGone, JobId, JobMetrics, Observation,
+    ObserveOutcome, PersistentEngine, Query, StreamKey, StreamKind, WorkerGone, DEFAULT_JOB,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};

@@ -23,7 +23,9 @@
 //!
 //! Only performance characteristics differ from the real crate (a
 //! global lock per channel instead of lock-free segments), so swapping
-//! in the real `crossbeam-channel` is a drop-in change. Deliberately
+//! in the real `crossbeam-channel` is a drop-in change — with one
+//! exception: [`Sender::set_capacity`] is an extension the real crate
+//! does not offer (see its docs for the migration note). Deliberately
 //! unsupported: zero-capacity rendezvous channels ([`bounded`]`(0)`
 //! panics), `select!`, and the `after`/`tick` constructors.
 
@@ -267,6 +269,31 @@ impl<T> Sender<T> {
     /// The channel's capacity (`None` for unbounded).
     pub fn capacity(&self) -> Option<usize> {
         self.shared.lock().cap
+    }
+
+    /// **Extension beyond the real crate:** re-bounds the channel to
+    /// `cap` messages (`None` removes the bound). Already-queued
+    /// messages above a shrunken bound stay queued — the bound gates
+    /// new sends only — and senders blocked on a full queue re-check
+    /// after a raise. The real `crossbeam-channel` has no capacity
+    /// resizing; swapping it in requires routing around this method
+    /// (it exists for the engine's adaptive capacity policy, which is
+    /// only applied where capacity is provably semantics-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == Some(0)` (rendezvous unsupported, as in
+    /// [`bounded`]).
+    pub fn set_capacity(&self, cap: Option<usize>) {
+        assert!(
+            cap != Some(0),
+            "zero-capacity rendezvous channels are not supported by this stand-in"
+        );
+        let mut inner = self.shared.lock();
+        inner.cap = cap;
+        drop(inner);
+        // A raised (or removed) bound may unblock waiting senders.
+        self.shared.not_full.notify_all();
     }
 }
 
@@ -569,5 +596,40 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn bounded_zero_is_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn set_capacity_zero_is_rejected() {
+        let (tx, _rx) = bounded::<u8>(1);
+        tx.set_capacity(Some(0));
+    }
+
+    #[test]
+    fn set_capacity_rebounds_and_wakes_blocked_senders() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        assert_eq!(tx.try_send(1), Err(TrySendError::Full(1)));
+        // Raising the bound unblocks a parked sender without a recv.
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.set_capacity(Some(4));
+        h.join().unwrap().unwrap();
+        assert_eq!((tx.len(), tx.capacity()), (2, Some(4)));
+        // Shrinking below the current length keeps queued messages but
+        // gates new sends.
+        tx.set_capacity(Some(1));
+        assert_eq!(tx.try_send(9), Err(TrySendError::Full(9)));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.recv(), Ok(9));
+        // Removing the bound makes the channel unbounded.
+        tx.set_capacity(None);
+        for i in 0..100 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.capacity(), None);
     }
 }
