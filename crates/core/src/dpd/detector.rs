@@ -137,6 +137,12 @@ pub struct PeriodicityDetector {
     history: Ring,
     /// `lags[i]` tracks lag `min_lag + i`.
     lags: Vec<LagState>,
+    /// Precomputed evidence thresholds:
+    /// `needs[i] = max(⌈(min_lag + i)·evidence_factor⌉, min_comparisons)`.
+    /// The formula is a pure function of the immutable config, and
+    /// recomputing the float ceil per lag per event was measurable on
+    /// the ingest hot path.
+    needs: Vec<usize>,
     current: Option<usize>,
     observations: u64,
 }
@@ -148,9 +154,13 @@ impl PeriodicityDetector {
         let lags = (cfg.min_lag..=cfg.max_lag)
             .map(|_| LagState::new(cfg.window))
             .collect();
+        let needs = (cfg.min_lag..=cfg.max_lag)
+            .map(|m| ((m as f64 * cfg.evidence_factor).ceil() as usize).max(cfg.min_comparisons))
+            .collect();
         PeriodicityDetector {
             history: Ring::with_capacity(cfg.window + cfg.max_lag),
             lags,
+            needs,
             current: None,
             cfg,
             observations: 0,
@@ -174,13 +184,20 @@ impl PeriodicityDetector {
 
     /// Feeds one stream symbol and updates the detected period.
     pub fn observe(&mut self, v: Symbol) {
-        for i in 0..self.lags.len() {
-            let m = self.cfg.min_lag + i;
-            // x[t-m] relative to the incoming sample: m-1 steps back from
-            // the newest stored symbol (v is not yet pushed).
-            if let Some(prev) = self.history.recent(m - 1) {
-                self.lags[i].record(prev != v);
-            }
+        // Lag `m = min_lag + i` compares `v` against x[t-m]: `m - 1`
+        // steps back from the newest stored symbol (v is not yet
+        // pushed). Walking the history newest-first and zipping it onto
+        // the lag states visits the same (lag, partner) pairs as
+        // indexing `recent(m - 1)` per lag, but as two contiguous slice
+        // scans — no per-lag index arithmetic; lags whose partner is
+        // not stored yet simply fall off the end of the zip.
+        let skip = self.cfg.min_lag - 1;
+        for (lag, prev) in self
+            .lags
+            .iter_mut()
+            .zip(self.history.iter_recent().skip(skip))
+        {
+            lag.record(prev != v);
         }
         self.history.push(v);
         self.observations += 1;
@@ -245,9 +262,7 @@ impl PeriodicityDetector {
             None => return false,
         };
         let n = st.comparisons();
-        let need =
-            ((m as f64 * self.cfg.evidence_factor).ceil() as usize).max(self.cfg.min_comparisons);
-        if n < need {
+        if n < self.needs[m - self.cfg.min_lag] {
             return false;
         }
         st.mismatches as f64 <= self.cfg.tolerance * n as f64

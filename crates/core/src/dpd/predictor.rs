@@ -10,10 +10,10 @@
 use super::detector::{DpdConfig, PeriodicityDetector};
 use crate::predictors::Predictor;
 use crate::stream::Symbol;
-use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Predictor wrapping a [`PeriodicityDetector`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DpdPredictor {
     det: PeriodicityDetector,
     /// When `true`, predictions are the majority vote over all stored
@@ -21,6 +21,27 @@ pub struct DpdPredictor {
     /// recent instance. This is an ablation variant (more robust to a
     /// transient reordering that landed inside the last period).
     vote: bool,
+    /// Reusable `(symbol, count)` tally for [`DpdPredictor::predict_vote`].
+    /// The alphabet at one phase is tiny (usually 1–2 symbols), so a
+    /// linear-scan vector beats a hash map *and* lets the scratch be
+    /// reused across calls — `predict` stays `&self` (the scoring path
+    /// calls it per observed event) via interior mutability, and the
+    /// steady state allocates nothing. A `Mutex` (uncontended: one lock
+    /// per vote-variant predict, off the hot path) rather than a
+    /// `RefCell`, so the predictor keeps its `Sync` auto-trait —
+    /// read-only prediction may still be shared across threads.
+    vote_scratch: Mutex<Vec<(Symbol, u32)>>,
+}
+
+impl Clone for DpdPredictor {
+    fn clone(&self) -> Self {
+        DpdPredictor {
+            det: self.det.clone(),
+            vote: self.vote,
+            // Scratch holds no state between calls; a clone starts empty.
+            vote_scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl DpdPredictor {
@@ -29,6 +50,7 @@ impl DpdPredictor {
         DpdPredictor {
             det: PeriodicityDetector::new(cfg),
             vote: false,
+            vote_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -37,6 +59,7 @@ impl DpdPredictor {
         DpdPredictor {
             det: PeriodicityDetector::new(cfg),
             vote: true,
+            vote_scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -61,7 +84,19 @@ impl DpdPredictor {
     /// short. This is the "several future values" interface of §4.2 that
     /// the buffer pre-allocation use case (§2.1) consumes.
     pub fn predict_next(&self, horizons: usize) -> Vec<Option<Symbol>> {
-        (1..=horizons).map(|h| self.predict(h)).collect()
+        let mut out = Vec::new();
+        self.predict_next_into(horizons, &mut out);
+        out
+    }
+
+    /// [`DpdPredictor::predict_next`] into a caller-provided buffer:
+    /// `out` is cleared and refilled, so its capacity is reused across
+    /// calls and the serving engine's forecast path stays allocation-free
+    /// in steady state.
+    pub fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<Symbol>>) {
+        out.clear();
+        out.reserve(horizons);
+        out.extend((1..=horizons).map(|h| self.predict(h)));
     }
 
     fn predict_copy(&self, horizon: usize) -> Option<Symbol> {
@@ -76,24 +111,36 @@ impl DpdPredictor {
     fn predict_vote(&self, horizon: usize) -> Option<Symbol> {
         let p = self.det.period()?;
         let hist = self.det.history();
-        let mut counts: HashMap<Symbol, u32> = HashMap::new();
+        let mut counts = self
+            .vote_scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        counts.clear();
         let mut k = horizon.div_ceil(p);
         loop {
             let back = k * p - horizon;
             match hist.recent(back) {
-                Some(v) => *counts.entry(v).or_insert(0) += 1,
+                Some(v) => match counts.iter_mut().find(|(s, _)| *s == v) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((v, 1)),
+                },
                 None => break,
             }
             k += 1;
         }
         // Majority vote; ties broken toward the most recent instance so the
         // vote variant degrades gracefully to the copy variant.
-        let best = counts.iter().map(|(_, &c)| c).max()?;
+        let best = counts.iter().map(|&(_, c)| c).max()?;
         let mut k = horizon.div_ceil(p);
         loop {
             let back = k * p - horizon;
             let v = hist.recent(back)?;
-            if counts[&v] == best {
+            let c = counts
+                .iter()
+                .find(|&&(s, _)| s == v)
+                .map(|&(_, c)| c)
+                .expect("every stored instance was tallied");
+            if c == best {
                 return Some(v);
             }
             k += 1;
@@ -187,6 +234,35 @@ mod tests {
     }
 
     #[test]
+    fn predict_next_into_reuses_the_buffer() {
+        let p = trained(&[4, 9], 10);
+        let mut out = vec![Some(777); 32]; // stale contents must vanish
+        p.predict_next_into(3, &mut out);
+        assert_eq!(out, p.predict_next(3));
+        assert_eq!(out.len(), 3);
+        let cap = out.capacity();
+        p.predict_next_into(3, &mut out);
+        assert_eq!(out.capacity(), cap, "steady state reuses capacity");
+    }
+
+    #[test]
+    fn vote_scratch_reuse_keeps_answers_stable() {
+        // Repeated vote predictions must agree with themselves (the
+        // tally scratch is cleared per call, not accumulated).
+        let mut p = DpdPredictor::with_vote(DpdConfig::default());
+        for _ in 0..10 {
+            for v in [1u64, 2, 3, 4] {
+                p.observe(v);
+            }
+        }
+        let first = p.predict(2);
+        for _ in 0..5 {
+            assert_eq!(p.predict(2), first);
+        }
+        assert_eq!(first, Some(2));
+    }
+
+    #[test]
     fn no_prediction_without_periodicity() {
         let mut p = DpdPredictor::new(DpdConfig {
             max_lag: 8,
@@ -237,6 +313,15 @@ mod tests {
         p.reset();
         assert_eq!(p.predict(1), None);
         assert_eq!(p.period(), None);
+    }
+
+    #[test]
+    fn predictor_stays_send_and_sync() {
+        // The vote scratch uses a Mutex precisely so shared read-only
+        // prediction across threads keeps compiling; losing either
+        // auto-trait is an unversioned API break.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DpdPredictor>();
     }
 
     #[test]

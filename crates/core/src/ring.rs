@@ -85,10 +85,37 @@ impl Ring {
         if back >= self.len {
             return None;
         }
-        // head is one past the most recent element.
+        // head is one past the most recent element. `back < len <= cap`
+        // keeps the unwrapped index below 2·cap, so one conditional
+        // subtract replaces the modulo — an integer division the
+        // detector would otherwise pay per lag per event.
         let cap = self.buf.len();
-        let idx = (self.head + cap - 1 - back) % cap;
+        let mut idx = self.head + cap - 1 - back;
+        if idx >= cap {
+            idx -= cap;
+        }
         Some(self.buf[idx])
+    }
+
+    /// Iterates stored symbols newest-first (`recent(0)`, `recent(1)`,
+    /// …) without per-element index arithmetic: the ring is walked as
+    /// two contiguous slices. This is the detector's per-event scan —
+    /// one comparison partner per candidate lag.
+    #[inline]
+    pub fn iter_recent(&self) -> impl Iterator<Item = Symbol> + '_ {
+        // Newest-first: positions head-1 .. 0, then (wrapped) cap-1 ..
+        // head. Before the first wrap head == len, so the second slice
+        // is empty.
+        let wrapped = if self.len == self.buf.len() {
+            &self.buf[self.head..]
+        } else {
+            &self.buf[..0]
+        };
+        self.buf[..self.head]
+            .iter()
+            .rev()
+            .chain(wrapped.iter().rev())
+            .copied()
     }
 
     /// The `i`-th oldest stored value (`oldest(0)` is the oldest).
@@ -185,6 +212,21 @@ mod tests {
         assert_eq!(r.total_pushed(), 2);
         r.push(9);
         assert_eq!(r.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn iter_recent_matches_indexed_access() {
+        // Below capacity, at capacity, and after wrapping.
+        for pushes in [0usize, 2, 5, 9] {
+            let mut r = Ring::with_capacity(5);
+            for v in 0..pushes as u64 {
+                r.push(v);
+            }
+            let walked: Vec<Symbol> = r.iter_recent().collect();
+            let indexed: Vec<Symbol> = (0..r.len()).map(|b| r.recent(b).unwrap()).collect();
+            assert_eq!(walked, indexed, "after {pushes} pushes");
+            assert_eq!(walked.len(), r.len());
+        }
     }
 
     #[test]

@@ -8,15 +8,20 @@
 //! (how many distinct and how many *frequently appearing* senders/sizes a
 //! stream contains).
 
+use fxhash::FxHashMap;
 use std::collections::HashMap;
 
 /// A stream element: a sender rank or a message size in bytes.
 pub type Symbol = u64;
 
 /// Bidirectional mapping between raw symbols and dense ids `0..n`.
+///
+/// The forward map hashes with [`fxhash`] rather than SipHash: interning
+/// happens once per *observed event* on the engine's ingest hot path,
+/// and the keys are internal symbols, never attacker-controlled input.
 #[derive(Debug, Default, Clone)]
 pub struct SymbolMap {
-    to_id: HashMap<Symbol, u32>,
+    to_id: FxHashMap<Symbol, u32>,
     to_symbol: Vec<Symbol>,
 }
 

@@ -58,6 +58,11 @@
 //! * [`types`] — [`StreamKey`] addressing (`job` × `rank` ×
 //!   sender/size/tag), plain-old-data [`Observation`] / [`Query`]
 //!   batch elements.
+//! * [`stream_table`] — [`StreamTable`]: the slab-backed key→slot
+//!   layer (fxhash-interned keys, free-list slot reuse, intrusive
+//!   last-seen-sorted LRU) that keeps per-event bookkeeping to at most
+//!   one cheap hash and makes eviction cost independent of the
+//!   resident-set size.
 //! * [`shard`] — [`Shard`]: single-threaded predictor bank with
 //!   interning, online `+1` hit/miss scoring, period-churn tracking,
 //!   per-job rollups, and the TTL/eviction rule.
@@ -100,6 +105,7 @@ pub mod federation;
 pub mod metrics;
 pub mod persistent;
 pub mod shard;
+pub mod stream_table;
 pub mod types;
 
 pub use engine::{BackpressurePolicy, Engine, EngineConfig};
@@ -110,4 +116,5 @@ pub use federation::{
 pub use metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 pub use shard::Shard;
+pub use stream_table::{SlotId, StreamTable};
 pub use types::{JobId, Observation, Query, RankId, StreamKey, StreamKind, DEFAULT_JOB};

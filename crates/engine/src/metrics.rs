@@ -18,12 +18,35 @@
 use crate::types::JobId;
 
 /// Counters for one shard.
+///
+/// ## Prediction-serving semantics
+///
+/// Two distinct serving shapes are counted separately so neither
+/// inflates the other:
+///
+/// * `predictions_served` counts **explicit predict queries** — one per
+///   [`Query`](crate::Query) answered by `predict`/`predict_at`/
+///   `predict_batch`, including `None` answers.
+/// * `forecasts_served` counts **depth-k forecasts** — one per
+///   `forecast_messages`/`forecast_at` call, however deep. The
+///   per-stream work inside a forecast (sender + size, `depth` horizons
+///   each) is reported explicitly in `forecast_predictions`
+///   (`2 × depth` per call) rather than being folded into
+///   `predictions_served` — a depth-5 forecast is one serving decision,
+///   not ten queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardMetrics {
     /// Stream elements ingested via observe paths.
     pub events_ingested: u64,
-    /// Predictions returned from predict paths (including `None`s).
+    /// Explicit predict queries answered (including `None`s); forecast
+    /// calls are counted in `forecasts_served` instead.
     pub predictions_served: u64,
+    /// Depth-k (sender, size) forecasts served: one per
+    /// `forecast_messages`/`forecast_at` call.
+    pub forecasts_served: u64,
+    /// Per-stream forecast predictions evaluated inside forecasts
+    /// (2 streams × depth per call).
+    pub forecast_predictions: u64,
     /// `+1` forecasts that matched the subsequently observed symbol.
     pub hits: u64,
     /// `+1` forecasts that existed but did not match the next symbol.
@@ -73,6 +96,8 @@ impl ShardMetrics {
     pub fn merge(&mut self, other: &ShardMetrics) {
         self.events_ingested += other.events_ingested;
         self.predictions_served += other.predictions_served;
+        self.forecasts_served += other.forecasts_served;
+        self.forecast_predictions += other.forecast_predictions;
         self.hits += other.hits;
         self.misses += other.misses;
         self.abstentions += other.abstentions;
@@ -93,8 +118,15 @@ impl ShardMetrics {
 pub struct JobMetrics {
     /// Stream elements of this job ingested via observe paths.
     pub events_ingested: u64,
-    /// Predictions served for this job's keys (including `None`s).
+    /// Explicit predict queries served for this job's keys (including
+    /// `None`s); forecasts are counted separately, as on
+    /// [`ShardMetrics`].
     pub predictions_served: u64,
+    /// Depth-k forecasts served for this job's ranks.
+    pub forecasts_served: u64,
+    /// Per-stream forecast predictions evaluated for this job
+    /// (2 streams × depth per forecast).
+    pub forecast_predictions: u64,
     /// `+1` forecasts on this job's streams that matched.
     pub hits: u64,
     /// `+1` forecasts on this job's streams that did not match.
@@ -124,6 +156,8 @@ impl JobMetrics {
     pub fn merge(&mut self, other: &JobMetrics) {
         self.events_ingested += other.events_ingested;
         self.predictions_served += other.predictions_served;
+        self.forecasts_served += other.forecasts_served;
+        self.forecast_predictions += other.forecast_predictions;
         self.hits += other.hits;
         self.misses += other.misses;
         self.abstentions += other.abstentions;
@@ -222,6 +256,8 @@ mod tests {
             events_ingested: 10,
             hits: 4,
             misses: 1,
+            forecasts_served: 2,
+            forecast_predictions: 20,
             max_batch_depth: 7,
             resident_streams: 2,
             evicted: 1,
@@ -234,6 +270,8 @@ mod tests {
             events_ingested: 5,
             hits: 2,
             misses: 2,
+            forecasts_served: 1,
+            forecast_predictions: 4,
             max_batch_depth: 3,
             resident_streams: 1,
             evicted: 2,
@@ -246,6 +284,8 @@ mod tests {
         assert_eq!(total.events_ingested, 15);
         assert_eq!(total.hits, 6);
         assert_eq!(total.misses, 3);
+        assert_eq!(total.forecasts_served, 3);
+        assert_eq!(total.forecast_predictions, 24);
         assert_eq!(total.max_batch_depth, 7);
         assert_eq!(total.resident_streams, 3);
         assert_eq!(total.evicted, 3);

@@ -14,6 +14,22 @@
 //! running the predictor on raw symbols (property-tested in
 //! `tests/equivalence.rs`).
 //!
+//! ## The slab-backed stream table
+//!
+//! Per-stream state lives in a [`StreamTable`]: keys are interned once
+//! into stable slot ids (fxhash-fronted map, contiguous slab, free-list
+//! reuse) and an intrusive last-seen-sorted LRU list is threaded through
+//! the slots. The ingest hot path therefore costs **at most one cheap
+//! hash per event** (zero on runs of the same stream, thanks to
+//! batch-local memoization in [`Shard::observe_indexed_at`] /
+//! [`Shard::observe_all_at`]), TTL sweeps pop expired slots off the
+//! list head in O(reclaimed), and LRU victim selection reads a bounded
+//! window instead of sorting the resident set — with victims provably
+//! identical to the old collect-and-sort (see [`select_lru_victims`]
+//! and `tests/stream_table.rs`). Each slot also carries a dense index
+//! into the shard's per-job rollup vector, so per-event job accounting
+//! is an array access, not a second map probe.
+//!
 //! ## Engine time and the TTL rule
 //!
 //! Observations carry a global *engine-time* stamp: the 1-based index of
@@ -44,19 +60,22 @@
 //! that happen to receive traffic while staying bit-identical to the
 //! sequential reference (property-tested in `tests/persistence.rs`).
 //! Concurrent clients racing a TTL relax this to arrival order; see
-//! the [`persistent`](crate::persistent) docs.
+//! the [`persistent`](crate::persistent) docs. (Stamp-monotone inputs
+//! are also what keep the LRU list's O(1) touch fast path hot; a racy
+//! out-of-order stamp merely pays a short sorted re-insertion.)
 
 use crate::metrics::{JobMetrics, ShardMetrics};
+use crate::stream_table::{SlotId, StreamTable};
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, StreamKind};
+use fxhash::FxHashMap;
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
 use mpp_core::predictors::Predictor;
 use mpp_core::stream::SymbolMap;
-use std::collections::HashMap;
 
 /// The single definition of the TTL expiry rule: a stream whose last
 /// observation is more than `ttl` engine-time events before `now` is
 /// logically evicted. The lazy reset in [`Shard::observe_at`], the
-/// predict-time masking, and the sweep's retain condition must stay
+/// predict-time masking, and the sweep's pop condition must stay
 /// exact complements of each other — which is why they all call this.
 #[inline]
 pub(crate) fn is_expired(ttl: Option<u64>, last_seen: u64, now: u64) -> bool {
@@ -67,7 +86,10 @@ pub(crate) fn is_expired(ttl: Option<u64>, last_seen: u64, now: u64) -> bool {
 /// engine time, ties broken by key so every execution mode picks
 /// identical victims — and keeps the first `n`. The single definition
 /// of the LRU victim order, shared by [`Shard::lru_oldest`],
-/// `Engine::evict_lru` and `EngineClient::evict_lru`.
+/// `Engine::evict_lru` and `EngineClient::evict_lru`. The shard feeds
+/// it a bounded [`StreamTable::oldest_window`] rather than the whole
+/// resident set; because the window provably contains every entry that
+/// can rank among the first `n`, the selected victims are identical.
 pub(crate) fn select_lru_victims(
     mut candidates: Vec<(u64, StreamKey)>,
     n: usize,
@@ -77,7 +99,10 @@ pub(crate) fn select_lru_victims(
     candidates
 }
 
-/// Predictor, interner and score-keeping state for one stream.
+/// Predictor, interner and score-keeping state for one stream. The
+/// recency stamp (`last_seen`) lives in the owning [`StreamTable`],
+/// which needs it for LRU order; the slot carries the prediction state
+/// plus a dense index into the shard's per-job rollups.
 #[derive(Debug, Clone)]
 pub(crate) struct StreamSlot {
     interner: SymbolMap,
@@ -87,25 +112,26 @@ pub(crate) struct StreamSlot {
     pending_next: Option<u64>,
     /// Period seen after the previous observation, for churn counting.
     last_period: Option<usize>,
-    /// Engine-time stamp of this stream's latest observation.
-    last_seen: u64,
+    /// Index of this stream's job in the shard's rollup vector —
+    /// per-event job accounting without hashing the job id.
+    job_idx: u32,
 }
 
 impl StreamSlot {
-    fn new(cfg: &DpdConfig) -> Self {
+    fn new(cfg: &DpdConfig, job_idx: u32) -> Self {
         StreamSlot {
             interner: SymbolMap::new(),
             predictor: DpdPredictor::new(cfg.clone()),
             pending_next: None,
             last_period: None,
-            last_seen: 0,
+            job_idx,
         }
     }
 
     /// Ingests one raw symbol, updating the shard's and the owning
     /// job's hit/miss/churn counters in lockstep.
     #[inline]
-    fn observe(&mut self, raw: u64, at: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) {
+    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) {
         let id = u64::from(self.interner.intern(raw));
         match self.pending_next {
             Some(p) if p == id => {
@@ -129,7 +155,6 @@ impl StreamSlot {
             self.last_period = period;
         }
         self.pending_next = self.predictor.predict(1);
-        self.last_seen = at;
         metrics.events_ingested += 1;
         job.events_ingested += 1;
     }
@@ -138,11 +163,25 @@ impl StreamSlot {
     #[inline]
     fn predict(&self, horizon: usize) -> Option<u64> {
         let id = self.predictor.predict(horizon)?;
-        let raw = self
-            .interner
+        Some(self.raw_of(id))
+    }
+
+    /// Predicts the next `horizons` raw symbols into `out` (cleared and
+    /// refilled; capacity reused) — the forecast path's allocation-free
+    /// bulk variant, built on [`DpdPredictor::predict_next_into`].
+    fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<u64>>) {
+        self.predictor.predict_next_into(horizons, out);
+        for v in out.iter_mut() {
+            *v = v.map(|id| self.raw_of(id));
+        }
+    }
+
+    /// Maps a predicted dense id back to its raw symbol.
+    #[inline]
+    fn raw_of(&self, id: u64) -> u64 {
+        self.interner
             .symbol(u32::try_from(id).expect("dense ids fit u32"))
-            .expect("predicted id was interned");
-        Some(raw)
+            .expect("predicted id was interned")
     }
 
     fn period(&self) -> Option<usize> {
@@ -160,17 +199,26 @@ pub struct Shard {
     cfg: DpdConfig,
     /// TTL in engine-time events; `None` disables expiry.
     ttl: Option<u64>,
-    slots: HashMap<StreamKey, StreamSlot>,
+    /// The slab-backed stream table (see the [module docs](self)).
+    table: StreamTable<StreamSlot>,
     metrics: ShardMetrics,
-    /// Per-job scoring rollups. Entries outlive their job's streams
-    /// (history survives eviction); `resident_streams` is refreshed
-    /// from `slots` on read.
-    jobs: HashMap<JobId, JobMetrics>,
+    /// Per-job scoring rollups, in first-ingest order (sorted on read).
+    /// Entries outlive their job's streams (history survives eviction);
+    /// each entry's `resident_streams` is maintained incrementally on
+    /// slot creation/removal, so metrics reads never scan the slots.
+    jobs: Vec<(JobId, JobMetrics)>,
+    /// Job id → index into `jobs`, consulted only off the per-event
+    /// path (slot creation, predict/forecast rollups).
+    job_index: FxHashMap<JobId, u32>,
     /// Highest engine-time stamp this shard has processed (used to
     /// stamp untimed `observe` calls from standalone/unit-test use).
     clock: u64,
     /// Engine time of the last sweep (throttles [`Shard::maybe_sweep`]).
     last_sweep: u64,
+    /// Forecast scratch columns (sender / size), reused across
+    /// [`Shard::forecast_at`] calls.
+    fc_sender: Vec<Option<u64>>,
+    fc_size: Vec<Option<u64>>,
 }
 
 impl Shard {
@@ -185,11 +233,14 @@ impl Shard {
         Shard {
             cfg,
             ttl,
-            slots: HashMap::new(),
+            table: StreamTable::new(),
             metrics: ShardMetrics::default(),
-            jobs: HashMap::new(),
+            jobs: Vec::new(),
+            job_index: FxHashMap::default(),
             clock: 0,
             last_sweep: 0,
+            fc_sender: Vec::new(),
+            fc_size: Vec::new(),
         }
     }
 
@@ -199,24 +250,58 @@ impl Shard {
         is_expired(self.ttl, last_seen, now)
     }
 
+    /// Index of `job`'s rollup entry, creating it on first ingest.
+    #[inline]
+    fn job_entry(&mut self, job: JobId) -> u32 {
+        if let Some(&i) = self.job_index.get(&job) {
+            return i;
+        }
+        let i = u32::try_from(self.jobs.len()).expect("job count fits u32");
+        self.job_index.insert(job, i);
+        self.jobs.push((job, JobMetrics::default()));
+        i
+    }
+
+    /// The slot serving `key`, interning it (and its job) on first
+    /// sight. `at` stamps a freshly created slot; existing slots keep
+    /// their stamp until [`Shard::observe_slot`] touches them.
+    #[inline]
+    fn slot_for(&mut self, key: StreamKey, at: u64) -> SlotId {
+        if let Some(id) = self.table.get(key) {
+            return id;
+        }
+        let job_idx = self.job_entry(key.job);
+        self.jobs[job_idx as usize].1.resident_streams += 1;
+        self.table
+            .insert(key, at, StreamSlot::new(&self.cfg, job_idx))
+    }
+
+    /// The per-event ingest step shared by every observe path: lazy TTL
+    /// reset, scoring, and the O(1) LRU touch.
+    #[inline]
+    fn observe_slot(&mut self, id: SlotId, raw: u64, at: u64) {
+        let seen = self.table.last_seen(id);
+        // Lazy TTL: an expired slot restarts cold, exactly as if a
+        // sweep had removed it and this observation re-created it.
+        if seen > 0 && is_expired(self.ttl, seen, at) {
+            let slot = self.table.payload_mut(id);
+            let job_idx = slot.job_idx;
+            *slot = StreamSlot::new(&self.cfg, job_idx);
+            self.metrics.evicted += 1;
+            self.jobs[job_idx as usize].1.evicted += 1;
+        }
+        let slot = self.table.payload_mut(id);
+        let job = &mut self.jobs[slot.job_idx as usize].1;
+        slot.observe(raw, &mut self.metrics, job);
+        self.table.touch(id, at);
+    }
+
     /// Ingests one observation stamped with engine time `at`.
     #[inline]
     pub fn observe_at(&mut self, obs: Observation, at: u64) {
         self.clock = self.clock.max(at);
-        let (cfg, ttl) = (&self.cfg, self.ttl);
-        let job = self.jobs.entry(obs.key.job).or_default();
-        let slot = self
-            .slots
-            .entry(obs.key)
-            .or_insert_with(|| StreamSlot::new(cfg));
-        // Lazy TTL: an expired slot restarts cold, exactly as if a
-        // sweep had removed it and this observation re-created it.
-        if slot.last_seen > 0 && is_expired(ttl, slot.last_seen, at) {
-            *slot = StreamSlot::new(cfg);
-            self.metrics.evicted += 1;
-            job.evicted += 1;
-        }
-        slot.observe(obs.value, at, &mut self.metrics, job);
+        let id = self.slot_for(obs.key, at);
+        self.observe_slot(id, obs.value, at);
     }
 
     /// Ingests one observation, stamping it one tick after the latest
@@ -233,44 +318,74 @@ impl Shard {
         self.metrics.max_batch_depth = self.metrics.max_batch_depth.max(depth);
     }
 
+    /// The memoized batch-ingest loop shared by both batch entry
+    /// points. NAS traces repeat the same stream in consecutive events,
+    /// so the loop memoizes the last `(key, slot)` pair and skips even
+    /// the fxhash probe on runs. The memo is sound because no observe
+    /// path frees a slot (lazy TTL resets in place), so a batch-local
+    /// id stays valid for the whole run.
+    fn observe_run(&mut self, events: impl Iterator<Item = (Observation, u64)>) {
+        let mut memo: Option<(StreamKey, SlotId)> = None;
+        for (obs, at) in events {
+            self.clock = self.clock.max(at);
+            let id = match memo {
+                Some((key, id)) if key == obs.key => id,
+                _ => {
+                    let id = self.slot_for(obs.key, at);
+                    memo = Some((obs.key, id));
+                    id
+                }
+            };
+            self.observe_slot(id, obs.value, at);
+        }
+    }
+
     /// Ingests the subset of `batch` selected by `indices`, in order,
     /// stamping element `i` of `batch` with engine time `base + i + 1`.
     /// This is the per-shard leg of a batched ingest: `indices` is a
     /// preallocated scratch buffer owned by the engine, so the steady
-    /// state allocates nothing.
+    /// state allocates nothing (same-stream runs are memoized — see
+    /// [`Shard::observe_run`]).
     pub fn observe_indexed_at(&mut self, batch: &[Observation], indices: &[u32], base: u64) {
         self.note_batch_depth(indices.len() as u64);
-        for &i in indices {
-            self.observe_at(batch[i as usize], base + u64::from(i) + 1);
-        }
+        self.observe_run(
+            indices
+                .iter()
+                .map(|&i| (batch[i as usize], base + u64::from(i) + 1)),
+        );
     }
 
     /// Ingests every event of `batch`, in order, stamped from
     /// `base + 1` (single-shard fast path: no partitioning needed).
+    /// Memoized like [`Shard::observe_indexed_at`].
     pub fn observe_all_at(&mut self, batch: &[Observation], base: u64) {
         self.note_batch_depth(batch.len() as u64);
-        for (i, obs) in batch.iter().enumerate() {
-            self.observe_at(*obs, base + i as u64 + 1);
-        }
+        self.observe_run(
+            batch
+                .iter()
+                .enumerate()
+                .map(|(i, obs)| (*obs, base + i as u64 + 1)),
+        );
     }
 
     /// Serves one query at engine time `now`. Returns `None` for
     /// unknown or expired streams, horizon 0, or streams without a
-    /// locked period.
+    /// locked period. Counts toward `predictions_served` (the forecast
+    /// path has its own counters — see [`crate::metrics`]).
     #[inline]
     pub fn predict_at(&mut self, q: Query, now: u64) -> Option<u64> {
         self.metrics.predictions_served += 1;
         // Only jobs that have ingested get a rollup: materialising an
         // entry per *queried* job would let wrong/stale job ids grow
         // the map without bound and report phantom tenants.
-        if let Some(job) = self.jobs.get_mut(&q.key.job) {
-            job.predictions_served += 1;
+        if let Some(&ji) = self.job_index.get(&q.key.job) {
+            self.jobs[ji as usize].1.predictions_served += 1;
         }
-        let slot = self.slots.get(&q.key)?;
-        if self.expired(slot.last_seen, now) {
+        let id = self.table.get(q.key)?;
+        if self.expired(self.table.last_seen(id), now) {
             return None;
         }
-        slot.predict(q.horizon as usize)
+        self.table.payload(id).predict(q.horizon as usize)
     }
 
     /// Serves one query at this shard's own clock (standalone use).
@@ -279,10 +394,37 @@ impl Shard {
         self.predict_at(q, self.clock)
     }
 
+    /// Fills `out` with one stream's `+1..=+depth` forecasts (all
+    /// `None` for unknown/expired streams) without touching any
+    /// metric counter — the internal predict path forecasts ride on.
+    fn predict_stream_into(
+        &self,
+        key: StreamKey,
+        depth: usize,
+        now: u64,
+        out: &mut Vec<Option<u64>>,
+    ) {
+        out.clear();
+        match self.table.get(key) {
+            Some(id) if !self.expired(self.table.last_seen(id), now) => {
+                self.table.payload(id).predict_next_into(depth, out);
+            }
+            _ => out.resize(depth, None),
+        }
+    }
+
     /// The next `depth` forecast (sender, size) pairs for `rank` of
     /// `job` — the shape the runtime policies (§2 of the paper)
     /// consume. Both attribute streams of a `(job, rank)` live in the
     /// same shard by construction.
+    ///
+    /// Metrics: one call counts as **one** served forecast
+    /// (`forecasts_served`) plus `2 × depth` per-stream forecast
+    /// predictions (`forecast_predictions`); it does **not** inflate
+    /// `predictions_served`, which counts explicit predict queries
+    /// (see [`crate::metrics`]). Costs two fxhash probes and zero
+    /// allocations in steady state (scratch columns and `out` reuse
+    /// their capacity).
     pub fn forecast_at(
         &mut self,
         job: JobId,
@@ -292,28 +434,41 @@ impl Shard {
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
         out.clear();
-        out.reserve(depth);
-        for h in 1..=depth as u32 {
-            let sender = self.predict_at(
-                Query::new(StreamKey::for_job(job, rank, StreamKind::Sender), h),
-                now,
-            );
-            let size = self.predict_at(
-                Query::new(StreamKey::for_job(job, rank, StreamKind::Size), h),
-                now,
-            );
-            out.push((sender, size));
+        self.metrics.forecasts_served += 1;
+        self.metrics.forecast_predictions += 2 * depth as u64;
+        if let Some(&ji) = self.job_index.get(&job) {
+            let jm = &mut self.jobs[ji as usize].1;
+            jm.forecasts_served += 1;
+            jm.forecast_predictions += 2 * depth as u64;
         }
+        let mut sender_col = std::mem::take(&mut self.fc_sender);
+        let mut size_col = std::mem::take(&mut self.fc_size);
+        self.predict_stream_into(
+            StreamKey::for_job(job, rank, StreamKind::Sender),
+            depth,
+            now,
+            &mut sender_col,
+        );
+        self.predict_stream_into(
+            StreamKey::for_job(job, rank, StreamKind::Size),
+            depth,
+            now,
+            &mut size_col,
+        );
+        out.reserve(depth);
+        out.extend(sender_col.iter().copied().zip(size_col.iter().copied()));
+        self.fc_sender = sender_col;
+        self.fc_size = size_col;
     }
 
     /// Detected period of a stream (`None` if unknown, unlocked, or
     /// expired at engine time `now`).
     pub fn period_of_at(&self, key: StreamKey, now: u64) -> Option<usize> {
-        let slot = self.slots.get(&key)?;
-        if self.expired(slot.last_seen, now) {
+        let id = self.table.get(key)?;
+        if self.expired(self.table.last_seen(id), now) {
             return None;
         }
-        slot.period()
+        self.table.payload(id).period()
     }
 
     /// Detected period at this shard's own clock (standalone use).
@@ -324,11 +479,11 @@ impl Shard {
     /// Detector confidence of a stream's lock (expiry-masked like
     /// [`Shard::period_of_at`]).
     pub fn confidence_of_at(&self, key: StreamKey, now: u64) -> Option<f64> {
-        let slot = self.slots.get(&key)?;
-        if self.expired(slot.last_seen, now) {
+        let id = self.table.get(key)?;
+        if self.expired(self.table.last_seen(id), now) {
             return None;
         }
-        slot.confidence()
+        self.table.payload(id).confidence()
     }
 
     /// Detector confidence at this shard's own clock.
@@ -339,22 +494,25 @@ impl Shard {
     /// Removes every slot whose stream has expired as of engine time
     /// `now`, returning how many were reclaimed. Pure memory
     /// reclamation: cannot change any later prediction or counter (see
-    /// the [module docs](self)).
+    /// the [module docs](self)). The LRU list is sorted by `last_seen`,
+    /// so the sweep pops expired slots off the head and stops at the
+    /// first live one — O(reclaimed), not O(resident).
     pub fn sweep_expired(&mut self, now: u64) -> usize {
         let ttl = self.ttl;
         if ttl.is_none() {
             return 0;
         }
-        let before = self.slots.len();
-        let jobs = &mut self.jobs;
-        self.slots.retain(|key, slot| {
-            let keep = !is_expired(ttl, slot.last_seen, now);
-            if !keep {
-                jobs.entry(key.job).or_default().evicted += 1;
+        let mut removed = 0usize;
+        while let Some(id) = self.table.oldest() {
+            if !is_expired(ttl, self.table.last_seen(id), now) {
+                break;
             }
-            keep
-        });
-        let removed = before - self.slots.len();
+            let (_, slot) = self.table.remove(id);
+            let jm = &mut self.jobs[slot.job_idx as usize].1;
+            jm.evicted += 1;
+            jm.resident_streams -= 1;
+            removed += 1;
+        }
         self.metrics.evicted += removed as u64;
         self.last_sweep = now;
         removed
@@ -362,10 +520,10 @@ impl Shard {
 
     /// Sweeps only when the clock has advanced at least half a TTL
     /// since the last sweep — the per-batch reclamation hook. Safe at
-    /// any frequency by the sweep-timing invariance (module docs);
-    /// throttling keeps the O(resident-streams) scan off the hot path
-    /// for small batches, at the cost of expired slots lingering at
-    /// most an extra ttl/2 events.
+    /// any frequency by the sweep-timing invariance (module docs); the
+    /// head-pop sweep is already O(reclaimed), so the throttle now only
+    /// saves the per-batch call overhead, at the cost of expired slots
+    /// lingering at most an extra ttl/2 events.
     pub fn maybe_sweep(&mut self, now: u64) -> usize {
         match self.ttl {
             Some(t) if now.saturating_sub(self.last_sweep) >= (t / 2).max(1) => {
@@ -378,70 +536,75 @@ impl Shard {
     /// Forcibly evicts one stream, returning whether it was resident.
     /// The stream restarts cold if observed again.
     pub fn evict_stream(&mut self, key: StreamKey) -> bool {
-        let hit = self.slots.remove(&key).is_some();
-        if hit {
-            self.metrics.evicted += 1;
-            self.jobs.entry(key.job).or_default().evicted += 1;
-        }
-        hit
+        let Some(id) = self.table.get(key) else {
+            return false;
+        };
+        let (_, slot) = self.table.remove(id);
+        self.metrics.evicted += 1;
+        let jm = &mut self.jobs[slot.job_idx as usize].1;
+        jm.evicted += 1;
+        jm.resident_streams -= 1;
+        true
     }
 
     /// Forcibly evicts every resident stream of `job`, returning how
     /// many were removed. The job's rollup counters survive (only its
     /// predictor state is reclaimed); returning streams restart cold.
     pub fn evict_job(&mut self, job: JobId) -> usize {
-        let before = self.slots.len();
-        self.slots.retain(|key, _| key.job != job);
-        let removed = before - self.slots.len();
+        let jobs = &mut self.jobs;
+        let removed = self.table.retain(|key, slot| {
+            let keep = key.job != job;
+            if !keep {
+                jobs[slot.job_idx as usize].1.resident_streams -= 1;
+            }
+            keep
+        });
         self.metrics.evicted += removed as u64;
         if removed > 0 {
             // A resident stream implies its job has a rollup; never
             // materialise one for a job this shard has not ingested.
-            self.jobs.entry(job).or_default().evicted += removed as u64;
+            let ji = self.job_index[&job] as usize;
+            self.jobs[ji].1.evicted += removed as u64;
         }
         removed
     }
 
-    /// Jobs with at least one resident stream, ascending.
+    /// Jobs with at least one resident stream, ascending. Reads the
+    /// maintained per-job resident counters — O(jobs), never a scan of
+    /// the stream table.
     pub fn resident_jobs(&self) -> Vec<JobId> {
-        let mut jobs: Vec<JobId> = self.slots.keys().map(|k| k.job).collect();
+        let mut jobs: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, m)| m.resident_streams > 0)
+            .map(|&(job, _)| job)
+            .collect();
         jobs.sort_unstable();
-        jobs.dedup();
         jobs
     }
 
-    /// Per-job scoring rollups, ascending by job id, with each job's
-    /// resident-stream count refreshed from the live slot table. Jobs
-    /// whose streams were all evicted keep their history here.
+    /// Per-job scoring rollups, ascending by job id. Jobs whose streams
+    /// were all evicted keep their history here; `resident_streams` is
+    /// maintained incrementally, so this is O(jobs log jobs) regardless
+    /// of the resident-stream count.
     pub fn job_metrics(&self) -> Vec<(JobId, JobMetrics)> {
-        let mut out: Vec<(JobId, JobMetrics)> = self
-            .jobs
-            .iter()
-            .map(|(&job, m)| {
-                let mut m = *m;
-                m.resident_streams = 0;
-                (job, m)
-            })
-            .collect();
+        let mut out = self.jobs.clone();
         out.sort_unstable_by_key(|&(job, _)| job);
-        for key in self.slots.keys() {
-            if let Ok(i) = out.binary_search_by_key(&key.job, |&(job, _)| job) {
-                out[i].1.resident_streams += 1;
-            }
-        }
         out
     }
 
     /// The `n` least-recently-observed resident streams, oldest first
     /// (ties broken by key for determinism) — the LRU victim order.
+    /// Reads a bounded window off the recency list (O(n + ties)); the
+    /// victims are identical to sorting the whole resident set.
     pub fn lru_oldest(&self, n: usize) -> Vec<(u64, StreamKey)> {
-        let all: Vec<(u64, StreamKey)> =
-            self.slots.iter().map(|(k, s)| (s.last_seen, *k)).collect();
-        select_lru_victims(all, n)
+        select_lru_victims(self.table.oldest_window(n), n)
     }
 
     /// Forcibly evicts the `n` least-recently-observed streams,
-    /// returning how many were removed.
+    /// returning how many were removed. O(n + ties) in the resident
+    /// set: victim selection reads the LRU window and each eviction is
+    /// a constant-time slab removal.
     pub fn evict_lru(&mut self, n: usize) -> usize {
         let victims = self.lru_oldest(n);
         for (_, key) in &victims {
@@ -452,7 +615,7 @@ impl Shard {
 
     /// Number of resident streams (including expired-but-unswept ones).
     pub fn stream_count(&self) -> usize {
-        self.slots.len()
+        self.table.len()
     }
 
     /// The configured TTL, if any.
@@ -463,13 +626,16 @@ impl Shard {
     /// Counter snapshot (resident stream count refreshed on read).
     pub fn metrics(&self) -> ShardMetrics {
         let mut m = self.metrics;
-        m.resident_streams = self.slots.len() as u64;
+        m.resident_streams = self.table.len() as u64;
         m
     }
 
     /// Drops all stream state, keeping configuration and counters.
     pub fn clear_streams(&mut self) {
-        self.slots.clear();
+        self.table.clear();
+        for (_, m) in &mut self.jobs {
+            m.resident_streams = 0;
+        }
     }
 }
 
@@ -591,6 +757,40 @@ mod tests {
     }
 
     #[test]
+    fn memoized_batch_ingest_equals_per_event_ingest() {
+        // Runs of one stream (memo hits) interleaved with switches
+        // (memo misses): both ingest paths must agree exactly.
+        let mut batch = Vec::new();
+        for i in 0..120u64 {
+            let r = if i % 10 < 7 { 0 } else { (i % 3) as u32 + 1 };
+            batch.push(Observation::new(key(r), i % 4));
+        }
+        let mut batched = Shard::new(DpdConfig::default());
+        batched.observe_all_at(&batch, 0);
+        let mut single = Shard::new(DpdConfig::default());
+        for (i, obs) in batch.iter().enumerate() {
+            single.observe_at(*obs, i as u64 + 1);
+        }
+        for r in 0..4 {
+            for h in 1..=4 {
+                assert_eq!(
+                    batched.predict_at(Query::new(key(r), h), 120),
+                    single.predict_at(Query::new(key(r), h), 120),
+                    "rank {r} horizon {h}"
+                );
+            }
+        }
+        // Identical scoring; only the batch-depth high-water mark may
+        // differ between one big batch and per-event ingestion.
+        let mut bm = batched.metrics();
+        bm.max_batch_depth = 0;
+        let mut sm = single.metrics();
+        sm.max_batch_depth = 0;
+        assert_eq!(bm, sm);
+        assert_eq!(batched.lru_oldest(4), single.lru_oldest(4));
+    }
+
+    #[test]
     fn clear_streams_keeps_counters() {
         let mut shard = Shard::new(DpdConfig::default());
         feed_pattern(&mut shard, key(0), &[1, 2], 5);
@@ -599,6 +799,7 @@ mod tests {
         assert_eq!(shard.stream_count(), 0);
         assert_eq!(shard.metrics().events_ingested, ingested);
         assert_eq!(shard.metrics().resident_streams, 0);
+        assert_eq!(shard.resident_jobs(), Vec::<JobId>::new());
     }
 
     #[test]
@@ -695,6 +896,42 @@ mod tests {
     }
 
     #[test]
+    fn forecast_counts_one_served_forecast_not_per_horizon_predicts() {
+        let mut shard = Shard::new(DpdConfig::default());
+        let job = 3u32;
+        for _ in 0..15 {
+            shard.observe(Observation::new(
+                StreamKey::for_job(job, 0, StreamKind::Sender),
+                7,
+            ));
+            shard.observe(Observation::new(
+                StreamKey::for_job(job, 0, StreamKind::Size),
+                512,
+            ));
+        }
+        let mut out = Vec::new();
+        shard.forecast_at(job, 0, 4, shard.clock, &mut out);
+        assert_eq!(out, vec![(Some(7), Some(512)); 4]);
+        let m = shard.metrics();
+        assert_eq!(m.forecasts_served, 1, "one forecast call, one count");
+        assert_eq!(m.forecast_predictions, 8, "2 streams x depth 4");
+        assert_eq!(
+            m.predictions_served, 0,
+            "forecasts do not inflate the explicit-query counter"
+        );
+        let jm = shard.job_metrics();
+        assert_eq!(jm[0].1.forecasts_served, 1);
+        assert_eq!(jm[0].1.forecast_predictions, 8);
+        assert_eq!(jm[0].1.predictions_served, 0);
+        // Unknown-job forecasts count on the shard but materialise no
+        // phantom rollup entry.
+        shard.forecast_at(99, 0, 2, shard.clock, &mut out);
+        assert_eq!(out, vec![(None, None); 2]);
+        assert_eq!(shard.metrics().forecasts_served, 2);
+        assert_eq!(shard.job_metrics().len(), 1);
+    }
+
+    #[test]
     fn evict_job_reclaims_only_that_namespace_and_keeps_history() {
         let mut shard = Shard::new(DpdConfig::default());
         feed_pattern(
@@ -749,5 +986,40 @@ mod tests {
         assert!(shard.evict_stream(key(0)));
         assert!(!shard.evict_stream(key(0)), "already gone");
         assert_eq!(shard.metrics().evicted, 3);
+    }
+
+    #[test]
+    fn lru_order_survives_re_observation_and_slot_reuse() {
+        // Satellite pin: re-observing moves a stream to the back of the
+        // victim order, and a stream re-created into a *reused* slab
+        // slot is ordered by its new stamp, not its slot index.
+        let mut shard = Shard::new(DpdConfig::default());
+        shard.observe_at(Observation::new(key(0), 1), 1);
+        shard.observe_at(Observation::new(key(1), 1), 2);
+        shard.observe_at(Observation::new(key(2), 1), 3);
+        // Re-observe the oldest: victim order rotates.
+        shard.observe_at(Observation::new(key(0), 1), 4);
+        assert_eq!(
+            shard
+                .lru_oldest(3)
+                .iter()
+                .map(|&(_, k)| k)
+                .collect::<Vec<_>>(),
+            vec![key(1), key(2), key(0)]
+        );
+        // Evict + re-create: key 1's slot is freed and reused, but its
+        // recency is the fresh stamp.
+        assert!(shard.evict_stream(key(1)));
+        shard.observe_at(Observation::new(key(3), 1), 5); // reuses the freed slot
+        shard.observe_at(Observation::new(key(1), 1), 6); // grows or reuses
+        assert_eq!(
+            shard
+                .lru_oldest(4)
+                .iter()
+                .map(|&(_, k)| k)
+                .collect::<Vec<_>>(),
+            vec![key(2), key(0), key(3), key(1)]
+        );
+        assert_eq!(shard.stream_count(), 4);
     }
 }

@@ -1,0 +1,503 @@
+//! Slab-backed stream table: the shard's key→slot layer.
+//!
+//! A [`Shard`](crate::Shard) used to keep its per-stream state in a
+//! `HashMap<StreamKey, StreamSlot>`, which put two SipHash probes on
+//! every ingested event and made LRU eviction collect-and-sort the whole
+//! resident set. This module replaces that with a **dense slab**:
+//!
+//! * every [`StreamKey`] is interned once into a stable [`SlotId`]
+//!   (`u32` index into a contiguous `Vec`), fronted by an
+//!   [`fxhash`]-hashed map — SipHash's DoS resistance buys nothing for
+//!   internal keys, and the multiply-xor hash is several times cheaper
+//!   on 12-byte keys;
+//! * freed slots are chained into a **free list** and reused, so a
+//!   stream table churning through evictions reaches a steady state
+//!   with zero slab growth;
+//! * an **intrusive doubly-linked LRU list** is threaded through the
+//!   slab (`prev`/`next` per slot), kept **sorted by `last_seen`**
+//!   (oldest at the head, ties in touch order). A touch with a
+//!   monotone stamp — the only case on the single-writer ingest path —
+//!   is an O(1) unlink + tail append; out-of-order stamps (possible
+//!   only with concurrent clients racing a TTL, where eviction timing
+//!   is already arrival-order-dependent) walk back from the tail to
+//!   their sorted position.
+//!
+//! The sortedness invariant is what turns the two expensive scans into
+//! bounded walks:
+//!
+//! * **TTL sweeps** pop expired entries off the head until the first
+//!   live one — O(reclaimed), not O(resident);
+//! * **LRU victim selection** reads an [`StreamTable::oldest_window`]
+//!   of `n` entries plus the tie group at the cutoff stamp — O(n +
+//!   ties), not collect-all + O(n log n) sort. The caller still applies
+//!   the canonical `(last_seen, rank, kind)` victim order to the
+//!   window, so forced-eviction victims are bit-identical to the old
+//!   full sort (property-tested in `tests/stream_table.rs`).
+//!
+//! The table is generic over its payload `T` (the shard stores its
+//! predictor slots; tests differential-test the table against a
+//! `HashMap` reference model with trivial payloads) and intentionally
+//! knows nothing about TTL policy, metrics, or jobs — it owns exactly
+//! the key interning, recency order, and slot storage.
+
+use crate::types::StreamKey;
+use fxhash::FxHashMap;
+
+/// Sentinel index terminating the LRU list and the free list.
+const NIL: u32 = u32::MAX;
+
+/// Stable handle to one occupied slot. Ids are reused after
+/// [`StreamTable::remove`] (free-list), so a `SlotId` is only valid
+/// while its stream stays resident — exactly the lifetime of the
+/// batch-local memoization the shard's ingest loop uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(u32);
+
+impl SlotId {
+    /// The raw slab index (diagnostics and tests; slot reuse makes this
+    /// meaningless as a long-lived identity).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    key: StreamKey,
+    /// Engine-time stamp of the latest touch; the LRU sort key.
+    last_seen: u64,
+    /// LRU neighbours (occupied slots); `next` doubles as the free-list
+    /// link for freed slots.
+    prev: u32,
+    next: u32,
+    /// `None` marks a freed slot awaiting reuse.
+    payload: Option<T>,
+}
+
+/// Dense slab of per-stream state with interned keys and an intrusive
+/// last-seen-sorted LRU list. See the [module docs](self).
+#[derive(Debug)]
+pub struct StreamTable<T> {
+    map: FxHashMap<StreamKey, u32>,
+    slots: Vec<Slot<T>>,
+    /// Head of the free list (chained through `next`).
+    free: u32,
+    /// Oldest occupied slot (LRU list head).
+    head: u32,
+    /// Newest occupied slot (LRU list tail).
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for StreamTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StreamTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StreamTable {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            free: NIL,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of resident streams.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no stream is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the slot serving `key` (one fxhash probe).
+    #[inline]
+    pub fn get(&self, key: StreamKey) -> Option<SlotId> {
+        self.map.get(&key).map(|&i| SlotId(i))
+    }
+
+    /// The key a slot serves.
+    #[inline]
+    pub fn key_of(&self, id: SlotId) -> StreamKey {
+        self.slots[id.index()].key
+    }
+
+    /// The slot's latest touch stamp.
+    #[inline]
+    pub fn last_seen(&self, id: SlotId) -> u64 {
+        self.slots[id.index()].last_seen
+    }
+
+    /// Read access to a slot's payload.
+    #[inline]
+    pub fn payload(&self, id: SlotId) -> &T {
+        self.slots[id.index()]
+            .payload
+            .as_ref()
+            .expect("SlotId addresses an occupied slot")
+    }
+
+    /// Write access to a slot's payload.
+    #[inline]
+    pub fn payload_mut(&mut self, id: SlotId) -> &mut T {
+        self.slots[id.index()]
+            .payload
+            .as_mut()
+            .expect("SlotId addresses an occupied slot")
+    }
+
+    /// Interns `key`, storing `payload` stamped `at`, and returns the
+    /// new slot's id. Reuses a freed slot when one is available; the
+    /// slab only grows when the free list is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already resident (callers route through
+    /// [`StreamTable::get`] first — the double hash that would imply is
+    /// exactly what the shard's memoized ingest loop avoids).
+    pub fn insert(&mut self, key: StreamKey, at: u64, payload: T) -> SlotId {
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            self.free = self.slots[idx as usize].next;
+            let slot = &mut self.slots[idx as usize];
+            slot.key = key;
+            slot.last_seen = at;
+            slot.payload = Some(payload);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab index fits u32");
+            assert!(idx != NIL, "stream table slab is full");
+            self.slots.push(Slot {
+                key,
+                last_seen: at,
+                prev: NIL,
+                next: NIL,
+                payload: Some(payload),
+            });
+            idx
+        };
+        let prior = self.map.insert(key, idx);
+        assert!(prior.is_none(), "key was already resident: {key:?}");
+        self.len += 1;
+        self.link_sorted(idx, at);
+        SlotId(idx)
+    }
+
+    /// Re-stamps a slot to `at` and moves it to its sorted LRU
+    /// position. Monotone stamps (`at` ≥ the tail's stamp — the
+    /// single-writer ingest case) relink in O(1); an out-of-order stamp
+    /// walks back from the tail to keep the list sorted.
+    #[inline]
+    pub fn touch(&mut self, id: SlotId, at: u64) {
+        let idx = id.0;
+        self.slots[idx as usize].last_seen = at;
+        // Already the newest and still sorted: nothing to move.
+        if self.tail == idx {
+            let prev = self.slots[idx as usize].prev;
+            if prev == NIL || self.slots[prev as usize].last_seen <= at {
+                return;
+            }
+        }
+        self.unlink(idx);
+        self.link_sorted(idx, at);
+    }
+
+    /// Removes a slot, returning its key and payload; the slot joins
+    /// the free list for reuse.
+    pub fn remove(&mut self, id: SlotId) -> (StreamKey, T) {
+        let idx = id.0;
+        self.unlink(idx);
+        let slot = &mut self.slots[idx as usize];
+        let key = slot.key;
+        let payload = slot.payload.take().expect("removing an occupied slot");
+        slot.next = self.free;
+        self.free = idx;
+        self.len -= 1;
+        let mapped = self.map.remove(&key);
+        debug_assert_eq!(mapped, Some(idx), "map and slab stay in sync");
+        (key, payload)
+    }
+
+    /// Removes the slot serving `key`, if resident.
+    pub fn remove_key(&mut self, key: StreamKey) -> Option<T> {
+        let id = self.get(key)?;
+        Some(self.remove(id).1)
+    }
+
+    /// The least-recently-touched resident slot (LRU head) — the sweep
+    /// loop's cursor: pop while expired, stop at the first live slot.
+    #[inline]
+    pub fn oldest(&self) -> Option<SlotId> {
+        (self.head != NIL).then_some(SlotId(self.head))
+    }
+
+    /// Iterates resident slots oldest-first (the LRU order).
+    pub fn iter(&self) -> impl Iterator<Item = SlotId> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = SlotId(cur);
+            cur = self.slots[cur as usize].next;
+            Some(id)
+        })
+    }
+
+    /// The candidate window for selecting the `n` LRU victims: the
+    /// first `n` entries in last-seen order **plus the whole tie group
+    /// at the cutoff stamp**, so a caller applying the canonical
+    /// `(last_seen, key)` victim order to the window provably picks the
+    /// same victims it would have picked from the full resident set.
+    /// O(n + ties), independent of the resident-set size.
+    pub fn oldest_window(&self, n: usize) -> Vec<(u64, StreamKey)> {
+        let mut out: Vec<(u64, StreamKey)> = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        let mut cur = self.head;
+        while cur != NIL {
+            let slot = &self.slots[cur as usize];
+            if out.len() >= n && slot.last_seen != out[n - 1].0 {
+                break;
+            }
+            out.push((slot.last_seen, slot.key));
+            cur = slot.next;
+        }
+        out
+    }
+
+    /// Keeps only the slots `f` approves of, walking oldest→newest;
+    /// returns how many were removed. `f` sees each key and payload.
+    pub fn retain(&mut self, mut f: impl FnMut(StreamKey, &mut T) -> bool) -> usize {
+        let mut removed = 0;
+        let mut cur = self.head;
+        while cur != NIL {
+            let slot = &mut self.slots[cur as usize];
+            let next = slot.next;
+            let key = slot.key;
+            let keep = f(key, slot.payload.as_mut().expect("walking occupied slots"));
+            if !keep {
+                self.remove(SlotId(cur));
+                removed += 1;
+            }
+            cur = next;
+        }
+        removed
+    }
+
+    /// Drops every resident slot (the slab's capacity is kept; all
+    /// slots join the free list).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        let mut cur = self.head;
+        while cur != NIL {
+            let slot = &mut self.slots[cur as usize];
+            let next = slot.next;
+            slot.payload = None;
+            slot.next = self.free;
+            self.free = cur;
+            cur = next;
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+    }
+
+    /// Unlinks `idx` from the LRU list (it must be linked).
+    #[inline]
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let slot = &self.slots[idx as usize];
+            (slot.prev, slot.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    /// Links `idx` (currently unlinked, stamped `at`) at its sorted
+    /// position: after every slot with `last_seen <= at`, walking back
+    /// from the tail. The monotone fast path appends in O(1).
+    #[inline]
+    fn link_sorted(&mut self, idx: u32, at: u64) {
+        // Find the insertion predecessor.
+        let mut after = self.tail;
+        while after != NIL && self.slots[after as usize].last_seen > at {
+            after = self.slots[after as usize].prev;
+        }
+        let before = if after == NIL {
+            self.head
+        } else {
+            self.slots[after as usize].next
+        };
+        {
+            let slot = &mut self.slots[idx as usize];
+            slot.prev = after;
+            slot.next = before;
+        }
+        if after == NIL {
+            self.head = idx;
+        } else {
+            self.slots[after as usize].next = idx;
+        }
+        if before == NIL {
+            self.tail = idx;
+        } else {
+            self.slots[before as usize].prev = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamKind;
+
+    fn key(rank: u32) -> StreamKey {
+        StreamKey::new(rank, StreamKind::Sender)
+    }
+
+    fn order<T>(t: &StreamTable<T>) -> Vec<StreamKey> {
+        t.iter().map(|id| t.key_of(id)).collect()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t: StreamTable<u64> = StreamTable::new();
+        assert!(t.is_empty());
+        let a = t.insert(key(0), 1, 10);
+        let b = t.insert(key(1), 2, 20);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(key(0)), Some(a));
+        assert_eq!(t.get(key(1)), Some(b));
+        assert_eq!(t.get(key(2)), None);
+        assert_eq!(*t.payload(a), 10);
+        *t.payload_mut(a) = 11;
+        assert_eq!(*t.payload(a), 11);
+        assert_eq!(t.key_of(b), key(1));
+        assert_eq!(t.last_seen(b), 2);
+        assert_eq!(t.remove(a), (key(0), 11));
+        assert_eq!(t.get(key(0)), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove_key(key(1)), Some(20));
+        assert!(t.is_empty());
+        assert_eq!(t.oldest(), None);
+    }
+
+    #[test]
+    fn touch_keeps_the_list_sorted_and_is_lru() {
+        let mut t: StreamTable<()> = StreamTable::new();
+        for r in 0..4 {
+            t.insert(key(r), u64::from(r) + 1, ());
+        }
+        assert_eq!(order(&t), vec![key(0), key(1), key(2), key(3)]);
+        // Touching the oldest makes it the newest.
+        let a = t.get(key(0)).unwrap();
+        t.touch(a, 9);
+        assert_eq!(order(&t), vec![key(1), key(2), key(3), key(0)]);
+        assert_eq!(t.oldest(), t.get(key(1)));
+        // An out-of-order (smaller) stamp files back into place.
+        let d = t.get(key(3)).unwrap();
+        t.touch(d, 0);
+        assert_eq!(order(&t), vec![key(3), key(1), key(2), key(0)]);
+    }
+
+    #[test]
+    fn ties_keep_touch_order() {
+        let mut t: StreamTable<()> = StreamTable::new();
+        t.insert(key(0), 5, ());
+        t.insert(key(1), 5, ());
+        let a = t.get(key(0)).unwrap();
+        t.touch(a, 5); // same stamp: moves after its tie
+        assert_eq!(order(&t), vec![key(1), key(0)]);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut t: StreamTable<u32> = StreamTable::new();
+        let a = t.insert(key(0), 1, 0);
+        let b = t.insert(key(1), 2, 0);
+        t.remove(a);
+        t.remove(b);
+        // LIFO reuse: the most recently freed slot comes back first.
+        let c = t.insert(key(2), 3, 0);
+        assert_eq!(c.index(), b.index(), "freed slot reused");
+        let d = t.insert(key(3), 4, 0);
+        assert_eq!(d.index(), a.index());
+        let e = t.insert(key(4), 5, 0);
+        assert_eq!(e.index(), 2, "slab grows only when the free list is dry");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn oldest_window_includes_the_tie_group() {
+        let mut t: StreamTable<()> = StreamTable::new();
+        t.insert(key(0), 1, ());
+        t.insert(key(1), 2, ());
+        t.insert(key(2), 2, ());
+        t.insert(key(3), 2, ());
+        t.insert(key(4), 7, ());
+        assert_eq!(t.oldest_window(0), vec![]);
+        assert_eq!(t.oldest_window(1), vec![(1, key(0))]);
+        // n = 2 cuts inside the stamp-2 tie group: all of it is returned.
+        assert_eq!(
+            t.oldest_window(2),
+            vec![(1, key(0)), (2, key(1)), (2, key(2)), (2, key(3))]
+        );
+        assert_eq!(t.oldest_window(99).len(), 5);
+    }
+
+    #[test]
+    fn retain_removes_and_counts() {
+        let mut t: StreamTable<u32> = StreamTable::new();
+        for r in 0..6 {
+            t.insert(key(r), u64::from(r), r);
+        }
+        let removed = t.retain(|_, v| *v % 2 == 0);
+        assert_eq!(removed, 3);
+        assert_eq!(order(&t), vec![key(0), key(2), key(4)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn clear_frees_everything_for_reuse() {
+        let mut t: StreamTable<()> = StreamTable::new();
+        for r in 0..4 {
+            t.insert(key(r), u64::from(r), ());
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.oldest(), None);
+        assert_eq!(t.get(key(1)), None);
+        // All four slots are on the free list: re-inserting grows nothing.
+        for r in 10..14 {
+            t.insert(key(r), u64::from(r), ());
+        }
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|id| id.index() < 4), "slab did not grow");
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut t: StreamTable<()> = StreamTable::new();
+        t.insert(key(0), 1, ());
+        t.insert(key(0), 2, ());
+    }
+}

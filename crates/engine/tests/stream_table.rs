@@ -1,0 +1,342 @@
+//! Differential proptests for the slab-backed stream table: the slab +
+//! intrusive-LRU implementation must be observably identical to the
+//! plain `HashMap` bookkeeping it replaced — under TTL expiry, forced
+//! (LRU) eviction, job eviction, re-observation (touch order), and
+//! free-list slot reuse.
+//!
+//! Two layers are pinned:
+//!
+//! * [`StreamTable`] directly against a `HashMap<StreamKey, u64>`
+//!   recency model (insert/touch/remove/retain/window ops, including
+//!   out-of-order stamps, which exercise the sorted re-insertion path);
+//! * [`Shard`] against a per-stream reference bank implementing the old
+//!   semantics by hand (lazy TTL reset, collect-and-sort LRU victims,
+//!   per-job eviction accounting).
+
+use mpp_core::dpd::{DpdConfig, DpdPredictor};
+use mpp_core::predictors::Predictor;
+use mpp_engine::{JobId, Observation, Query, Shard, StreamKey, StreamKind, StreamTable};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The canonical LRU victim order (the one the engine sorts by):
+/// oldest stamp first, ties broken by `(rank, kind)`. Keys here are
+/// single-job, so the order is total.
+fn reference_victims(
+    all: impl Iterator<Item = (u64, StreamKey)>,
+    n: usize,
+) -> Vec<(u64, StreamKey)> {
+    let mut v: Vec<(u64, StreamKey)> = all.collect();
+    v.sort_unstable_by_key(|&(seen, key)| (seen, key.rank, key.kind.index()));
+    v.truncate(n);
+    v
+}
+
+fn decode_key(rank: u32, kind: u8) -> StreamKey {
+    StreamKey::new(rank % 8, StreamKind::ALL[kind as usize % 3])
+}
+
+fn decode_job_key(job: u32, rank: u32, kind: u8) -> StreamKey {
+    StreamKey::for_job(job % 3, rank % 4, StreamKind::ALL[kind as usize % 3])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// StreamTable == HashMap recency model for any op sequence,
+    /// including out-of-order stamps and heavy slot reuse.
+    #[test]
+    fn table_matches_hashmap_model(
+        raw_ops in prop::collection::vec(
+            (0u8..8, 0u32..8, 0u8..3, 0u64..5, 0u8..6), 1..120),
+    ) {
+        let mut table: StreamTable<u64> = StreamTable::new();
+        let mut model: HashMap<StreamKey, (u64, u64)> = HashMap::new(); // key -> (last_seen, payload)
+        let mut clock = 0u64;
+        let mut next_payload = 0u64;
+
+        for &(sel, rank, kind, jitter, n) in &raw_ops {
+            let key = decode_key(rank, kind);
+            match sel {
+                // Touch-or-insert with a mostly-monotone stamp; the
+                // jitter occasionally files a touch *behind* the tail,
+                // exercising the sorted re-insertion path.
+                0..=4 => {
+                    clock += 1;
+                    let at = clock.saturating_sub(jitter * 2);
+                    match table.get(key) {
+                        Some(id) => {
+                            table.touch(id, at);
+                            model.get_mut(&key).expect("model in sync").0 = at;
+                        }
+                        None => {
+                            next_payload += 1;
+                            table.insert(key, at, next_payload);
+                            model.insert(key, (at, next_payload));
+                        }
+                    }
+                }
+                5 => {
+                    let got = table.remove_key(key);
+                    let want = model.remove(&key).map(|(_, p)| p);
+                    prop_assert_eq!(got, want, "remove disagrees on {:?}", key);
+                }
+                6 => {
+                    // Drop every stream of one kind, both sides.
+                    let kind = StreamKind::ALL[usize::from(n) % 3];
+                    let removed = table.retain(|k, _| k.kind != kind);
+                    let before = model.len();
+                    model.retain(|k, _| k.kind != kind);
+                    prop_assert_eq!(removed, before - model.len());
+                }
+                _ => {
+                    // Victim-window probe: canonical selection over the
+                    // bounded window == canonical selection over all.
+                    let window = table.oldest_window(usize::from(n));
+                    let got = reference_victims(window.into_iter(), usize::from(n));
+                    let want = reference_victims(
+                        model.iter().map(|(k, &(seen, _))| (seen, *k)),
+                        usize::from(n),
+                    );
+                    prop_assert_eq!(got, want, "victim selection diverged");
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+
+        // Final exhaustive checks: payloads, stamps, and recency order.
+        for (key, &(seen, payload)) in &model {
+            let id = table.get(*key).expect("every model key resident");
+            prop_assert_eq!(table.last_seen(id), seen);
+            prop_assert_eq!(*table.payload(id), payload);
+            prop_assert_eq!(table.key_of(id), *key);
+        }
+        let stamps: Vec<u64> = table.iter().map(|id| table.last_seen(id)).collect();
+        prop_assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "LRU list must stay sorted by last_seen: {:?}", stamps
+        );
+        let full = reference_victims(
+            model.iter().map(|(k, &(seen, _))| (seen, *k)),
+            model.len(),
+        );
+        let windowed = reference_victims(
+            table.oldest_window(model.len()).into_iter(),
+            model.len(),
+        );
+        prop_assert_eq!(windowed, full);
+    }
+}
+
+/// Per-stream reference slot implementing the pre-slab semantics.
+struct RefSlot {
+    predictor: DpdPredictor,
+    last_seen: u64,
+}
+
+/// Reference bank: raw-symbol predictors in a `HashMap`, lazy TTL
+/// reset, collect-and-sort LRU, per-job eviction counters — the old
+/// `Shard` bookkeeping spelled out by hand.
+struct RefBank {
+    cfg: DpdConfig,
+    ttl: Option<u64>,
+    slots: HashMap<StreamKey, RefSlot>,
+    evicted_by_job: HashMap<JobId, u64>,
+    evicted_total: u64,
+}
+
+impl RefBank {
+    fn new(cfg: DpdConfig, ttl: Option<u64>) -> Self {
+        RefBank {
+            cfg,
+            ttl,
+            slots: HashMap::new(),
+            evicted_by_job: HashMap::new(),
+            evicted_total: 0,
+        }
+    }
+
+    fn expired(&self, last_seen: u64, now: u64) -> bool {
+        matches!(self.ttl, Some(t) if now.saturating_sub(last_seen) > t)
+    }
+
+    fn observe(&mut self, obs: Observation, at: u64) {
+        let cfg = &self.cfg;
+        let ttl = self.ttl;
+        let slot = self.slots.entry(obs.key).or_insert_with(|| RefSlot {
+            predictor: DpdPredictor::new(cfg.clone()),
+            last_seen: 0,
+        });
+        if slot.last_seen > 0 && matches!(ttl, Some(t) if at.saturating_sub(slot.last_seen) > t) {
+            slot.predictor = DpdPredictor::new(cfg.clone());
+            self.evicted_total += 1;
+            *self.evicted_by_job.entry(obs.key.job).or_default() += 1;
+        }
+        slot.predictor.observe(obs.value);
+        slot.last_seen = at;
+    }
+
+    fn predict(&self, key: StreamKey, horizon: u32, now: u64) -> Option<u64> {
+        let slot = self.slots.get(&key)?;
+        if self.expired(slot.last_seen, now) {
+            return None;
+        }
+        slot.predictor.predict(horizon as usize)
+    }
+
+    fn note_evicted(&mut self, job: JobId, n: u64) {
+        self.evicted_total += n;
+        if n > 0 {
+            *self.evicted_by_job.entry(job).or_default() += n;
+        }
+    }
+
+    fn evict_stream(&mut self, key: StreamKey) -> bool {
+        let hit = self.slots.remove(&key).is_some();
+        if hit {
+            self.note_evicted(key.job, 1);
+        }
+        hit
+    }
+
+    fn evict_job(&mut self, job: JobId) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|k, _| k.job != job);
+        let removed = before - self.slots.len();
+        self.note_evicted(job, removed as u64);
+        removed
+    }
+
+    fn sweep(&mut self, now: u64) -> usize {
+        let ttl = self.ttl;
+        let mut removed_jobs: Vec<JobId> = Vec::new();
+        self.slots.retain(|k, s| {
+            let keep = !matches!(ttl, Some(t) if now.saturating_sub(s.last_seen) > t);
+            if !keep {
+                removed_jobs.push(k.job);
+            }
+            keep
+        });
+        for job in &removed_jobs {
+            self.note_evicted(*job, 1);
+        }
+        removed_jobs.len()
+    }
+
+    fn lru_oldest(&self, n: usize) -> Vec<(u64, StreamKey)> {
+        reference_victims(self.slots.iter().map(|(k, s)| (s.last_seen, *k)), n)
+    }
+
+    fn resident_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<JobId> = self.slots.keys().map(|k| k.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Shard == hand-written HashMap reference under interleaved
+    /// observations (unique monotone stamps), TTL expiry, sweeps,
+    /// forced single-stream eviction, LRU eviction, and job eviction —
+    /// predictions, victim choices, per-job eviction accounting and
+    /// residency all bit-identical.
+    #[test]
+    fn shard_matches_hashmap_reference(
+        raw_ops in prop::collection::vec(
+            (0u8..12, 0u32..3, 0u32..4, 0u8..3, 0u64..4, 0u8..5), 1..150),
+        ttl_sel in 0u64..40,
+    ) {
+        let ttl = if ttl_sel < 10 { None } else { Some(ttl_sel) };
+        let cfg = DpdConfig { window: 32, max_lag: 8, ..DpdConfig::default() };
+        let mut shard = Shard::with_ttl(cfg.clone(), ttl);
+        let mut reference = RefBank::new(cfg, ttl);
+        let mut clock = 0u64;
+
+        for &(sel, job, rank, kind, value, n) in &raw_ops {
+            let key = decode_job_key(job, rank, kind);
+            match sel {
+                // Observation-heavy mix so streams train and expire.
+                0..=6 => {
+                    // Occasional large stamp jumps push streams past
+                    // their TTL mid-sequence.
+                    clock += 1 + u64::from(n) * ttl_sel / 3;
+                    shard.observe_at(Observation::new(key, value), clock);
+                    reference.observe(Observation::new(key, value), clock);
+                }
+                7 => {
+                    prop_assert_eq!(
+                        shard.evict_stream(key),
+                        reference.evict_stream(key),
+                        "evict_stream diverged on {:?}", key
+                    );
+                }
+                8 => {
+                    prop_assert_eq!(
+                        shard.evict_job(key.job),
+                        reference.evict_job(key.job),
+                        "evict_job diverged on job {}", key.job
+                    );
+                }
+                9 => {
+                    prop_assert_eq!(shard.sweep_expired(clock), reference.sweep(clock));
+                }
+                10 => {
+                    let k = usize::from(n);
+                    prop_assert_eq!(
+                        shard.lru_oldest(k),
+                        reference.lru_oldest(k),
+                        "LRU victim order diverged"
+                    );
+                    let removed = shard.evict_lru(k);
+                    let victims = reference.lru_oldest(k);
+                    for (_, vkey) in &victims {
+                        reference.evict_stream(*vkey);
+                    }
+                    prop_assert_eq!(removed, victims.len());
+                }
+                _ => {
+                    for h in 1..=3u32 {
+                        prop_assert_eq!(
+                            shard.predict_at(Query::new(key, h), clock),
+                            reference.predict(key, h, clock),
+                            "prediction diverged on {:?} +{}", key, h
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(shard.stream_count(), reference.slots.len());
+        }
+
+        // Final exhaustive comparison: predictions, LRU order over the
+        // whole resident set, residency, and eviction accounting.
+        for job in 0..3u32 {
+            for rank in 0..4u32 {
+                for kind in StreamKind::ALL {
+                    let key = StreamKey::for_job(job, rank, kind);
+                    for h in 1..=3u32 {
+                        prop_assert_eq!(
+                            shard.predict_at(Query::new(key, h), clock),
+                            reference.predict(key, h, clock)
+                        );
+                    }
+                }
+            }
+        }
+        let all = shard.stream_count();
+        prop_assert_eq!(shard.lru_oldest(all), reference.lru_oldest(all));
+        prop_assert_eq!(shard.resident_jobs(), reference.resident_jobs());
+        prop_assert_eq!(shard.metrics().evicted, reference.evicted_total);
+        for (job, m) in shard.job_metrics() {
+            prop_assert_eq!(
+                m.evicted,
+                reference.evicted_by_job.get(&job).copied().unwrap_or(0),
+                "per-job eviction accounting diverged on job {}", job
+            );
+            let resident = reference.slots.keys().filter(|k| k.job == job).count() as u64;
+            prop_assert_eq!(m.resident_streams, resident);
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub use mpp_core::{
 pub use mpp_engine::{
     AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, FederatedClient,
     FederatedEngine, FederationConfig, FederationWorkerGone, JobId, JobMetrics, Observation,
-    ObserveOutcome, PersistentEngine, Query, StreamKey, StreamKind, WorkerGone, DEFAULT_JOB,
+    ObserveOutcome, PersistentEngine, Query, SlotId, StreamKey, StreamKind, StreamTable,
+    WorkerGone, DEFAULT_JOB,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};

@@ -1,0 +1,177 @@
+//! Minimal offline stand-in for the `fxhash` / `rustc-hash` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored shim
+//! implements the multiply-xor hash rustc uses internally (Firefox's
+//! "FxHash"): per 8-byte block, `hash = (hash.rotate_left(5) ^ block)
+//! .wrapping_mul(K)`. It is several times cheaper than SipHash on the
+//! short fixed-size keys the prediction engine hashes per event
+//! ([`StreamKey`]-sized records, raw `u64` symbols) and has no DoS
+//! resistance — which buys nothing for *internal* keys that never cross
+//! a trust boundary. Do not use it on attacker-controlled input.
+//!
+//! Provided surface: [`FxHasher`], the [`FxBuildHasher`] alias, and the
+//! [`FxHashMap`]/[`FxHashSet`] type aliases — the subset `mpp-core` and
+//! `mpp-engine` use. Swapping in the real crate is a rename.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fibonacci-ish multiplier of the FxHash mixing step (the 64-bit
+/// golden-ratio constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Zero-sized builder producing default (zero-state) [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiply-xor streaming hasher. One rotate, one xor and one
+/// multiply per 8-byte block; short writes are widened to one block.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(1u32, 2u32, 3u8)), hash_of(&(1u32, 2u32, 3u8)));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        // Not a statistical test — just that nearby internal keys do
+        // not collapse onto one bucket chain.
+        let mut seen = FxHashSet::default();
+        for v in 0u64..1024 {
+            seen.insert(hash_of(&v));
+        }
+        assert_eq!(seen.len(), 1024, "1024 consecutive u64s must not collide");
+    }
+
+    #[test]
+    fn byte_writes_match_blockwise_widening() {
+        // A short write is widened to one zero-padded block; the same
+        // bytes written as one block must agree.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 0, 0, 0, 0, 0]));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.len(), 2);
+        let s: FxHashSet<u32> = [1, 2, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_write_is_identity() {
+        let mut h = FxHasher::default();
+        h.write(&[]);
+        assert_eq!(h.finish(), 0, "no blocks mixed, state untouched");
+    }
+}
