@@ -33,7 +33,7 @@ use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
     BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, Observation,
-    PersistentEngine, Query, StreamKey, StreamKind,
+    PersistentEngine, Query, StreamKey, StreamKind, TelemetryConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -180,7 +180,11 @@ fn best_batch_rate(events: usize, batch_times: impl Iterator<Item = Duration>) -
 
 /// Directly measured scoped-mode ingest rate (events/sec).
 fn measure_scoped(shards: usize, batch: &[Observation], tb: usize) -> f64 {
-    let mut engine = Engine::new(config_with(shards));
+    measure_scoped_cfg(config_with(shards), batch, tb)
+}
+
+fn measure_scoped_cfg(cfg: EngineConfig, batch: &[Observation], tb: usize) -> f64 {
+    let mut engine = Engine::new(cfg);
     engine.observe_batch(batch); // warm: allocate slots, intern symbols
     best_batch_rate(
         batch.len(),
@@ -441,8 +445,11 @@ fn bench_predict_batch(c: &mut Criterion) {
 /// member); `churn` records the eviction-heavy numbers (TTL-churn
 /// ingest, per-event latency percentiles, `evict_lru` ns/victim at two
 /// resident-set sizes — flat means O(victims), not O(resident));
-/// `baseline_pr4` embeds the pre-slab PR 4 numbers and
-/// `speedup_vs_baseline_pr4` the single-shard before/after ratios.
+/// `telemetry_overhead` records the single-shard telemetry off/on A/B
+/// (both modes, interleaved arms; the ≤3% ingest-overhead budget the
+/// telemetry layer is held to); `baseline_pr4` embeds the pre-slab PR 4
+/// numbers and `speedup_vs_baseline_pr4` the single-shard before/after
+/// ratios.
 fn write_bench_json(p: &Params) {
     let batch = synthetic_batch();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -501,6 +508,41 @@ fn write_bench_json(p: &Params) {
              {FED_JOBS} jobs: {rate:>10.0} ev/s"
         );
         federation.push(format!("    \"{members}\": {rate:.0}"));
+    }
+
+    // Telemetry A/B: the identical single-shard workload with the
+    // telemetry layer off and on, both modes. One shard keeps the
+    // per-event instrumentation cost undiluted by parallelism, so the
+    // measured overhead is the worst case. The interleaved off/on
+    // pairing inside each best-of run keeps container drift from
+    // biasing one arm.
+    let mut tel = [(0.0f64, 0.0f64); 2]; // [scoped, persistent] (off, on)
+    for _ in 0..p.runs {
+        let on_cfg = || config_with(1).with_telemetry(TelemetryConfig::enabled());
+        let samples = [
+            (
+                measure_scoped(1, &batch, p.timed_batches),
+                measure_scoped_cfg(on_cfg(), &batch, p.timed_batches),
+            ),
+            (
+                measure_persistent(1, &batch, p.timed_batches),
+                measure_persistent_cfg(on_cfg(), &batch, p.timed_batches),
+            ),
+        ];
+        for (slot, (off, on)) in tel.iter_mut().zip(samples) {
+            slot.0 = slot.0.max(off);
+            slot.1 = slot.1.max(on);
+        }
+    }
+    let overhead_pct = |(off, on): (f64, f64)| 100.0 * (off / on.max(1e-12) - 1.0);
+    for (label, pair) in ["scoped", "persistent"].into_iter().zip(tel) {
+        println!(
+            "engine ingest  1 shard(s), telemetry A/B ({label}): \
+             off {:>10.0} ev/s, on {:>10.0} ev/s ({:+.2}% overhead)",
+            pair.0,
+            pair.1,
+            overhead_pct(pair)
+        );
     }
 
     // Churn section: eviction-heavy ingest, latency percentiles, and
@@ -564,6 +606,18 @@ fn write_bench_json(p: &Params) {
          from a bounded LRU-head window, never a full collect-and-sort (which scaled \
          with the resident set); residual growth is key-map cache pressure\"\n    \
          }}\n  }},\n  \
+         \"telemetry_overhead\": {{\n    \"shards\": 1,\n    \
+         \"events_per_sec\": {{\n      \
+         \"scoped\": {{\"off\": {:.0}, \"on\": {:.0}}},\n      \
+         \"persistent\": {{\"off\": {:.0}, \"on\": {:.0}}}\n    }},\n    \
+         \"overhead_pct\": {{\"scoped\": {:.2}, \"persistent\": {:.2}}},\n    \
+         \"budget_pct\": 3.0,\n    \
+         \"method\": \"same fixed workload and min estimator as results, 1 shard \
+         (per-event instrumentation cost undiluted by parallelism); off/on arms \
+         interleaved within each best-of run so container drift cannot bias one arm; \
+         overhead_pct = off_rate/on_rate - 1; the instrumented hot path costs one \
+         clock pair and one bucketed record_n per shard-batch (per-batch means, \
+         never per-event clock reads) and must stay within budget_pct\"\n  }},\n  \
          \"baseline_pr4\": {BASELINE_PR4},\n  \
          \"speedup_vs_baseline_pr4\": {{\n    \"scoped_1shard\": {:.3},\n    \
          \"persistent_1shard\": {:.3}\n  }},\n  \
@@ -579,6 +633,12 @@ fn write_bench_json(p: &Params) {
         p.evict_rounds,
         evict_entries.join(",\n"),
         evict_costs[1] / evict_costs[0].max(1e-12),
+        tel[0].0,
+        tel[0].1,
+        tel[1].0,
+        tel[1].1,
+        overhead_pct(tel[0]),
+        overhead_pct(tel[1]),
         scoped_1shard / BASELINE_PR4_SCOPED_1SHARD,
         single / BASELINE_PR4_PERSISTENT_1SHARD,
         best_multi / single.max(1e-12),

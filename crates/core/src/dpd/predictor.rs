@@ -31,6 +31,18 @@ pub struct DpdPredictor {
     /// `RefCell`, so the predictor keeps its `Sync` auto-trait —
     /// read-only prediction may still be shared across threads.
     vote_scratch: Mutex<Vec<(Symbol, u32)>>,
+    /// Observations consumed so far (monotone).
+    obs_seen: u64,
+    /// Number of times the detected period changed (including gaining or
+    /// losing a lock).
+    period_changes: u64,
+    /// `obs_seen` at the most recent period change (0 before any).
+    last_change_at: u64,
+    /// Length in observations of the run ended by the most recent period
+    /// change (0 before any change). Telemetry records this into a
+    /// histogram at churn time — the distribution of how long locks
+    /// survive.
+    ended_run_len: u64,
 }
 
 impl Clone for DpdPredictor {
@@ -40,6 +52,10 @@ impl Clone for DpdPredictor {
             vote: self.vote,
             // Scratch holds no state between calls; a clone starts empty.
             vote_scratch: Mutex::new(Vec::new()),
+            obs_seen: self.obs_seen,
+            period_changes: self.period_changes,
+            last_change_at: self.last_change_at,
+            ended_run_len: self.ended_run_len,
         }
     }
 }
@@ -51,16 +67,18 @@ impl DpdPredictor {
             det: PeriodicityDetector::new(cfg),
             vote: false,
             vote_scratch: Mutex::new(Vec::new()),
+            obs_seen: 0,
+            period_changes: 0,
+            last_change_at: 0,
+            ended_run_len: 0,
         }
     }
 
     /// Creates the majority-vote variant (see [`DpdPredictor::new`]).
     pub fn with_vote(cfg: DpdConfig) -> Self {
-        DpdPredictor {
-            det: PeriodicityDetector::new(cfg),
-            vote: true,
-            vote_scratch: Mutex::new(Vec::new()),
-        }
+        let mut p = DpdPredictor::new(cfg);
+        p.vote = true;
+        p
     }
 
     /// Currently detected period, if any.
@@ -77,6 +95,32 @@ impl DpdPredictor {
     /// Read access to the underlying detector.
     pub fn detector(&self) -> &PeriodicityDetector {
         &self.det
+    }
+
+    /// Observations consumed so far.
+    pub fn observations(&self) -> u64 {
+        self.obs_seen
+    }
+
+    /// How many times the detected period has changed (gaining or
+    /// losing a lock counts; a serving layer can histogram run lengths
+    /// at each change via [`DpdPredictor::ended_run_len`]).
+    pub fn period_changes(&self) -> u64 {
+        self.period_changes
+    }
+
+    /// Observations since the most recent period change — how long the
+    /// current lock (or lock-less stretch) has survived.
+    pub fn lock_run_len(&self) -> u64 {
+        self.obs_seen - self.last_change_at
+    }
+
+    /// Length in observations of the run ended by the most recent
+    /// period change (0 before any change). Stable between changes, so
+    /// a churn observer can read it *after* the observation that
+    /// changed the period.
+    pub fn ended_run_len(&self) -> u64 {
+        self.ended_run_len
     }
 
     /// Predicts the next `horizons` values in one call: index 0 is `+1`.
@@ -158,7 +202,14 @@ impl Predictor for DpdPredictor {
     }
 
     fn observe(&mut self, v: Symbol) {
+        let before = self.det.period();
         self.det.observe(v);
+        self.obs_seen += 1;
+        if self.det.period() != before {
+            self.period_changes += 1;
+            self.ended_run_len = self.obs_seen - 1 - self.last_change_at;
+            self.last_change_at = self.obs_seen;
+        }
     }
 
     fn predict(&self, horizon: usize) -> Option<Symbol> {
@@ -174,6 +225,10 @@ impl Predictor for DpdPredictor {
 
     fn reset(&mut self) {
         self.det.reset();
+        self.obs_seen = 0;
+        self.period_changes = 0;
+        self.last_change_at = 0;
+        self.ended_run_len = 0;
     }
 }
 
@@ -322,6 +377,49 @@ mod tests {
         // auto-trait is an unversioned API break.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DpdPredictor>();
+    }
+
+    #[test]
+    fn churn_hooks_track_period_run_lengths() {
+        let mut p = DpdPredictor::new(DpdConfig::default());
+        assert_eq!(p.period_changes(), 0);
+        assert_eq!(p.lock_run_len(), 0);
+        // Train a clean period-4 pattern: exactly one change (None ->
+        // Some(4)) is expected, and the ended run is the warm-up.
+        for _ in 0..10 {
+            for v in [10u64, 20, 30, 40] {
+                p.observe(v);
+            }
+        }
+        assert_eq!(p.period(), Some(4));
+        assert_eq!(p.period_changes(), 1);
+        assert_eq!(p.observations(), 40);
+        let warmup = p.ended_run_len();
+        assert_eq!(p.lock_run_len(), 40 - warmup - 1);
+        // An aperiodic tail eventually breaks the lock: the ended run
+        // is at least the stable stretch observed above.
+        for v in 1000u64..1200 {
+            p.observe(v);
+        }
+        assert_eq!(p.period(), None);
+        assert!(p.period_changes() >= 2);
+        // Reset forgets the counters alongside the pattern.
+        p.reset();
+        assert_eq!(
+            (p.observations(), p.period_changes(), p.lock_run_len()),
+            (0, 0, 0)
+        );
+        assert_eq!(p.ended_run_len(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_churn_counters() {
+        let mut p = trained(&[7, 8, 9], 10);
+        p.observe(7);
+        let c = p.clone();
+        assert_eq!(c.observations(), p.observations());
+        assert_eq!(c.period_changes(), p.period_changes());
+        assert_eq!(c.lock_run_len(), p.lock_run_len());
     }
 
     #[test]

@@ -45,6 +45,7 @@ use crate::metrics::{EngineMetrics, JobMetrics, ShardMetrics};
 use crate::shard::Shard;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use mpp_core::dpd::DpdConfig;
+use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 
 /// What a persistent-engine client does when a shard's bounded observe
 /// lane ([`EngineConfig::observe_queue_cap`]) is full. Irrelevant for
@@ -103,6 +104,10 @@ pub struct EngineConfig {
     /// Persistent mode only: what `observe_batch` does when a bounded
     /// lane is full. Ignored when `observe_queue_cap` is `None`.
     pub backpressure: BackpressurePolicy,
+    /// Latency histograms + flight recorder; disabled by default (the
+    /// hot path then takes no clock readings and records nothing). See
+    /// [`mpp_telemetry::TelemetryConfig`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +119,7 @@ impl Default for EngineConfig {
             ttl: None,
             observe_queue_cap: None,
             backpressure: BackpressurePolicy::Block,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -143,6 +149,12 @@ impl EngineConfig {
     /// Sets the full-lane policy for bounded observe lanes.
     pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
         self.backpressure = policy;
+        self
+    }
+
+    /// Sets the telemetry configuration (histograms + flight recorder).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -191,7 +203,11 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
         cfg.validate();
         let shards = (0..cfg.shards)
-            .map(|_| Shard::with_ttl(cfg.dpd.clone(), cfg.ttl))
+            .map(|i| {
+                let mut s = Shard::with_ttl(cfg.dpd.clone(), cfg.ttl);
+                s.enable_telemetry(&cfg.telemetry, i as u32);
+                s
+            })
             .collect();
         let scratch = (0..cfg.shards).map(|_| Vec::new()).collect();
         Engine {
@@ -431,6 +447,22 @@ impl Engine {
     /// Aggregate metrics across shards.
     pub fn metrics_total(&self) -> ShardMetrics {
         self.metrics().total()
+    }
+
+    /// The engine's merged telemetry snapshot (per-shard histograms
+    /// summed name-wise, flight rings interleaved by engine time), or
+    /// `None` when [`EngineConfig::telemetry`] is disabled.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        if !self.cfg.telemetry.enabled {
+            return None;
+        }
+        let mut total = TelemetrySnapshot::new();
+        for shard in &self.shards {
+            if let Some(s) = shard.telemetry_snapshot() {
+                total.merge(&s);
+            }
+        }
+        Some(total)
     }
 
     /// Total streams resident across shards.

@@ -61,10 +61,12 @@ use crate::engine::{BackpressurePolicy, EngineConfig};
 use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
+use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Stable job→member hash (the Fibonacci multiplicative hash shared
 /// with the shard router). Pure and platform-independent: routing can
@@ -225,6 +227,26 @@ pub struct EpochCapacity {
     pub observe_queue_cap: Option<usize>,
 }
 
+/// Federation-level telemetry: the routing view the members cannot see.
+/// Present only when every member engine was built with telemetry
+/// enabled (heterogeneous federations disable the federation layer's
+/// own telemetry rather than reporting an incomparable subset).
+struct FedTelemetry {
+    /// Per-member routing latency: wall time of one member-level
+    /// observe dispatch (the member's whole `try_observe_batch`,
+    /// including any blocked sends inside it).
+    route_ns: Vec<Histogram>,
+    /// Federation flight ring: worker-gone sightings with job + member
+    /// attribution, and adaptive-capacity re-bounds.
+    flight: Mutex<FlightRecorder>,
+}
+
+impl FedTelemetry {
+    fn push_flight(&self, ev: FlightEvent) {
+        self.flight.lock().unwrap().push(ev);
+    }
+}
+
 /// Shared federation state.
 struct FedInner {
     members: Vec<PersistentEngine>,
@@ -233,6 +255,9 @@ struct FedInner {
     adaptive: Option<AdaptiveCapacity>,
     /// Completed adaptation epochs.
     epoch: AtomicU64,
+    /// Federation-level telemetry; `None` unless every member has
+    /// telemetry enabled.
+    telemetry: Option<FedTelemetry>,
 }
 
 impl FedInner {
@@ -303,12 +328,22 @@ impl FederatedEngine {
     }
 
     fn assemble(members: Vec<PersistentEngine>, adaptive: Option<AdaptiveCapacity>) -> Self {
+        let telemetry = members
+            .iter()
+            .all(|m| m.config().telemetry.enabled)
+            .then(|| FedTelemetry {
+                route_ns: members.iter().map(|_| Histogram::new()).collect(),
+                flight: Mutex::new(FlightRecorder::new(
+                    members[0].config().telemetry.flight_capacity,
+                )),
+            });
         FederatedEngine {
             inner: Arc::new(FedInner {
                 members,
                 pins: RwLock::new(HashMap::new()),
                 adaptive,
                 epoch: AtomicU64::new(0),
+                telemetry,
             }),
         }
     }
@@ -416,6 +451,13 @@ impl FederatedEngine {
         self.client().stream_count()
     }
 
+    /// The federation-wide telemetry snapshot (see
+    /// [`FederatedClient::telemetry`]); `None` unless every member has
+    /// telemetry enabled.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.client().telemetry()
+    }
+
     /// Total events submitted across the federation (sum of member
     /// clocks; members keep independent engine-time domains).
     pub fn clock(&self) -> u64 {
@@ -452,6 +494,17 @@ impl FederatedEngine {
                     Some(policy) => {
                         let target = policy.target_cap(high);
                         m.set_observe_queue_caps(target);
+                        if let Some(tel) = self.inner.telemetry.as_ref() {
+                            tel.push_flight(FlightEvent {
+                                at: m.clock(),
+                                kind: FlightKind::EpochRebound,
+                                member: i as u32,
+                                shard: 0,
+                                job: DEFAULT_JOB,
+                                a: high,
+                                b: target as u64,
+                            });
+                        }
                         Some(target)
                     }
                     None => m.observe_queue_caps().into_iter().flatten().max(),
@@ -531,6 +584,29 @@ impl FederatedClient {
         &self.clients[self.member_of(job)]
     }
 
+    /// Records a member's routing latency sample (telemetry only).
+    fn note_route(&self, member: usize, t0: Option<Instant>) {
+        if let (Some(t0), Some(tel)) = (t0, self.inner.telemetry.as_ref()) {
+            tel.route_ns[member].record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Records a worker-gone sighting with full job + member + shard
+    /// attribution in the federation flight ring.
+    fn note_worker_gone(&self, job: JobId, member: usize, gone: WorkerGone, events: u64) {
+        if let Some(tel) = self.inner.telemetry.as_ref() {
+            tel.push_flight(FlightEvent {
+                at: self.clients[member].engine_time(),
+                kind: FlightKind::WorkerGone,
+                member: member as u32,
+                shard: gone.shard as u32,
+                job,
+                a: events,
+                b: 0,
+            });
+        }
+    }
+
     /// Submits `batch` for ingestion, routing each event to its job's
     /// member, reporting the summed backpressure outcome. Errs with
     /// job/member attribution if a member's shard worker is gone; legs
@@ -550,14 +626,18 @@ impl FederatedClient {
         if batch.iter().all(|o| o.key.job == first.key.job) {
             let job = first.key.job;
             let member = self.member_of(job);
-            return self.clients[member]
-                .try_observe_batch(batch)
-                .map_err(|gone| FederationWorkerGone {
+            let t0 = self.inner.telemetry.as_ref().map(|_| Instant::now());
+            let res = self.clients[member].try_observe_batch(batch);
+            self.note_route(member, t0);
+            return res.map_err(|gone| {
+                self.note_worker_gone(job, member, gone, batch.len() as u64);
+                FederationWorkerGone {
                     job,
                     member,
                     gone,
                     outcome: ObserveOutcome::default(),
-                });
+                }
+            });
         }
         // Partition by job (first-appearance order), reusing scratch
         // buffers across calls. Job counts per batch are small, so the
@@ -584,7 +664,10 @@ impl FederatedClient {
         let mut err: Option<FederationWorkerGone> = None;
         for (job, events) in &mut scratch[..active] {
             let member = self.member_of(*job);
-            match self.clients[member].try_observe_batch(events) {
+            let t0 = self.inner.telemetry.as_ref().map(|_| Instant::now());
+            let res = self.clients[member].try_observe_batch(events);
+            self.note_route(member, t0);
+            match res {
                 Ok(o) => {
                     outcome.enqueued += o.enqueued;
                     outcome.shed += o.shed;
@@ -592,6 +675,7 @@ impl FederatedClient {
                 // Keep serving the healthy members' legs; report the
                 // first dead lane once everything is dispatched.
                 Err(gone) => {
+                    self.note_worker_gone(*job, member, gone, events.len() as u64);
                     err = err.or(Some(FederationWorkerGone {
                         job: *job,
                         member,
@@ -758,6 +842,36 @@ impl FederatedClient {
     /// Total streams resident across the federation.
     pub fn stream_count(&self) -> usize {
         self.clients.iter().map(EngineClient::stream_count).sum()
+    }
+
+    /// The federation-wide telemetry snapshot: every member engine's
+    /// snapshot (flight events stamped with the member index) merged
+    /// with the routing layer's own telemetry — the merged
+    /// `route_observe_ns` histogram plus a per-member
+    /// `route_observe_ns_m{i}` breakdown, and the federation flight
+    /// ring (worker-gone sightings with job/member attribution,
+    /// adaptive-capacity re-bounds). Returns `None` unless every
+    /// member engine was built with telemetry enabled.
+    ///
+    /// Flight stamps are each member's own engine time; the merged log
+    /// interleaves those independent domains by stamp value.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let tel = self.inner.telemetry.as_ref()?;
+        let mut total = TelemetrySnapshot::new();
+        for (m, c) in self.clients.iter().enumerate() {
+            if let Some(mut snap) = c.telemetry() {
+                snap.set_flight_member(m as u32);
+                total.merge(&snap);
+            }
+        }
+        for (m, h) in tel.route_ns.iter().enumerate() {
+            let snap = h.snapshot();
+            total.merge_histogram("route_observe_ns", snap.clone());
+            total.merge_histogram(&format!("route_observe_ns_m{m}"), snap);
+        }
+        total.extend_flight(tel.flight.lock().unwrap().dump());
+        total.sort_flight();
+        Some(total)
     }
 }
 

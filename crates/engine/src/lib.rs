@@ -106,6 +106,7 @@ pub mod metrics;
 pub mod persistent;
 pub mod shard;
 pub mod stream_table;
+pub(crate) mod telemetry;
 pub mod types;
 
 pub use engine::{BackpressurePolicy, Engine, EngineConfig};
@@ -118,3 +119,8 @@ pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError,
 pub use shard::Shard;
 pub use stream_table::{SlotId, StreamTable};
 pub use types::{JobId, Observation, Query, RankId, StreamKey, StreamKind, DEFAULT_JOB};
+// Telemetry vocabulary re-exported so engine consumers need not depend
+// on mpp-telemetry directly.
+pub use mpp_telemetry::{
+    FlightEvent, FlightKind, HistogramSnapshot, TelemetryConfig, TelemetrySnapshot,
+};

@@ -14,6 +14,30 @@
 //! any other tenant's numbers. Job rollups survive eviction (history is
 //! not erased when a tenant's streams are reclaimed) and are summed
 //! across shards — and across federation members — on read.
+//!
+//! ## Gauges vs counters
+//!
+//! Almost every field here is a **counter**: monotone, never
+//! decremented, summed freely across shards, members, and time.
+//! `resident_streams` is the one **gauge** — an instantaneous level
+//! that goes down on eviction. It still aggregates by *sum* (each
+//! shard owns a disjoint stream population, so the shard-level sum IS
+//! the engine-level level at snapshot time), but unlike a counter the
+//! sum is only meaningful for snapshots taken together — see
+//! [`EngineMetrics::total`]. `max_batch_depth` and `queue_high_water`
+//! are high-water marks and aggregate by max.
+//!
+//! ## Counters vs telemetry
+//!
+//! These metrics answer *how much / how well*: exact totals cheap
+//! enough to maintain unconditionally on every event. Latency
+//! distributions, queue-wait quantiles, and the flight-recorder event
+//! log answer *how long / what happened* and cost clock reads, so they
+//! live behind the opt-in telemetry layer
+//! ([`EngineConfig::telemetry`](crate::EngineConfig)) and are exported
+//! through [`TelemetrySnapshot`](mpp_telemetry::TelemetrySnapshot) —
+//! which embeds these counter totals on export so the two surfaces can
+//! always be cross-checked.
 
 use crate::types::JobId;
 
@@ -188,7 +212,24 @@ pub struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    /// Sum of all shard counters (`max_batch_depth` is the max).
+    /// Sum of all shard counters (`max_batch_depth` and
+    /// `queue_high_water` aggregate by max).
+    ///
+    /// ## The sum-of-gauges contract
+    ///
+    /// `resident_streams` is a *gauge* (it decreases on eviction), yet
+    /// this total sums it like the counters. That is sound because the
+    /// shards partition the stream population: no stream is ever
+    /// resident in two shards, so the sum of per-shard levels equals
+    /// the engine-wide level *for snapshots taken at one point in
+    /// time*. The contract is that `total()` is only called on the
+    /// per-shard snapshots of a single `metrics()` collection — never
+    /// on snapshots from different moments, whose gauge levels are not
+    /// comparable. Scoped and persistent engines both honour it (their
+    /// post-eviction totals agree exactly; see
+    /// `tests/telemetry.rs::resident_streams_gauge_sums_exactly_after_eviction`),
+    /// and [`TelemetrySnapshot`](mpp_telemetry::TelemetrySnapshot)
+    /// merges its gauges under the same rule.
     pub fn total(&self) -> ShardMetrics {
         let mut out = ShardMetrics::default();
         for s in &self.shards {

@@ -91,11 +91,12 @@ use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics}
 use crate::shard::Shard;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Error surfaced when a shard worker's lane is found closed — the
 /// worker thread panicked, was induced to exit, or the engine is being
@@ -213,16 +214,31 @@ impl Leg {
             Leg::Stamped(events) => events.len(),
         }
     }
+
+    /// Job of the leg's first event — the attribution used for lane
+    /// flight events. Legs are per-shard and may interleave jobs; the
+    /// first event's job is the best single attribution available
+    /// without per-job sub-legs.
+    fn first_job(&self) -> JobId {
+        match self {
+            Leg::Plain(events) => events.first().map_or(DEFAULT_JOB, |o| o.key.job),
+            Leg::Stamped(events) => events.first().map_or(DEFAULT_JOB, |(o, _)| o.key.job),
+        }
+    }
 }
 
 /// One command in a shard worker's queue.
 enum ShardCmd {
     /// Fire-and-forget batch leg. `now` is engine time after the whole
     /// batch; the emptied buffer is handed back through `recycle`.
+    /// `sent_at` is set only when telemetry is enabled: the worker turns
+    /// it into the leg's `queue_wait_ns` sample on drain (submit→drain,
+    /// so a `Block`-mode park on a full lane is included in the wait).
     Observe {
         leg: Leg,
         now: u64,
         recycle: Sender<Leg>,
+        sent_at: Option<Instant>,
     },
     /// Synchronous request; the worker answers on `reply` echoing
     /// `epoch` and its shard id.
@@ -275,6 +291,7 @@ enum QueryBody {
     Sweep {
         now: u64,
     },
+    Telemetry,
 }
 
 /// Epoch-stamped worker answer.
@@ -294,6 +311,31 @@ enum ReplyBody {
     Confidence(Option<f64>),
     Evicted(usize),
     Oldest(Vec<(u64, StreamKey)>),
+    Telemetry(Box<TelemetrySnapshot>),
+}
+
+/// Engine-level (client-side) telemetry: what the shard workers cannot
+/// see. Present only when [`EngineConfig::telemetry`] is enabled.
+struct EngineTelemetry {
+    /// Wall time a `Block`-mode observe submission spent parked on a
+    /// full lane (one sample per blocked send).
+    send_block_ns: Histogram,
+    /// Client-side flight ring: backpressure blocks/sheds and
+    /// worker-gone sightings, stamped with engine time at submission.
+    flight: Mutex<FlightRecorder>,
+    /// Last-words slots, one per shard: a worker that exits its loop
+    /// (orderly shutdown or an induced kill) parks its final telemetry
+    /// snapshot here so [`EngineClient::telemetry`] can still report a
+    /// dead shard's history. A hard panic skips the slot — the
+    /// worker-side ring dies with the thread, but the client-side ring
+    /// above still records the `WorkerGone` sighting.
+    morgue: Arc<Vec<Mutex<Option<TelemetrySnapshot>>>>,
+}
+
+impl EngineTelemetry {
+    fn push_flight(&self, ev: FlightEvent) {
+        self.flight.lock().unwrap().push(ev);
+    }
 }
 
 /// Shared, thread-safe state: config, per-shard senders, the global
@@ -309,6 +351,8 @@ struct Inner {
     /// for why that contract is sufficient (the clock allocates stamps;
     /// it never carries cross-thread visibility).
     clock: AtomicU64,
+    /// Client-side telemetry state; `None` when telemetry is disabled.
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl Drop for Inner {
@@ -324,10 +368,18 @@ impl Drop for Inner {
     }
 }
 
-/// Long-lived worker loop: owns one shard, drains one channel.
-fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
+/// Long-lived worker loop: owns one shard, drains one channel. On any
+/// loop exit (channel closed or induced [`ShardCmd::Exit`]) the shard's
+/// final telemetry snapshot — if telemetry is enabled — is parked in
+/// its morgue slot for [`EngineClient::telemetry`] to recover.
+fn worker_loop(
+    mut shard: Shard,
+    rx: Receiver<ShardCmd>,
+    shard_id: u32,
+    morgue: Option<Arc<Vec<Mutex<Option<TelemetrySnapshot>>>>>,
+) {
     let mut throttle: Option<Duration> = None;
-    while let Ok(cmd) = rx.recv() {
+    'serve: while let Ok(cmd) = rx.recv() {
         if let Some(delay) = throttle {
             std::thread::sleep(delay);
         }
@@ -337,13 +389,22 @@ fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
             }
             // Dropping `rx` mid-queue is exactly what a worker panic
             // does; clients must then error loudly, never hang.
-            ShardCmd::Exit => return,
-            ShardCmd::Observe { leg, now, recycle } => {
-                let ttl = shard.ttl().is_some();
-                match &leg {
-                    Leg::Plain(events) => shard.note_batch_depth(events.len() as u64),
-                    Leg::Stamped(events) => shard.note_batch_depth(events.len() as u64),
+            ShardCmd::Exit => break 'serve,
+            ShardCmd::Observe {
+                leg,
+                now,
+                recycle,
+                sent_at,
+            } => {
+                if let (Some(sent), Some(tel)) = (sent_at, shard.telemetry()) {
+                    tel.queue_wait_ns.record(sent.elapsed().as_nanos() as u64);
                 }
+                let ttl = shard.ttl().is_some();
+                let events_in_leg = leg.len();
+                shard.note_batch_depth(events_in_leg as u64);
+                // The per-event drain below bypasses the scoped batch
+                // entry points, so the worker times its own leg.
+                let t0 = shard.telemetry().map(|_| Instant::now());
                 let empty = match leg {
                     Leg::Plain(mut events) => {
                         for obs in events.drain(..) {
@@ -361,6 +422,9 @@ fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
                         Leg::Stamped(events)
                     }
                 };
+                if let (Some(t0), Some(tel)) = (t0, shard.telemetry()) {
+                    tel.note_batch(t0.elapsed().as_nanos() as u64, events_in_leg);
+                }
                 if ttl {
                     shard.maybe_sweep(now);
                 }
@@ -398,6 +462,9 @@ fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
                     }
                     QueryBody::LruOldest { n } => ReplyBody::Oldest(shard.lru_oldest(n)),
                     QueryBody::Sweep { now } => ReplyBody::Evicted(shard.sweep_expired(now)),
+                    QueryBody::Telemetry => ReplyBody::Telemetry(Box::new(
+                        shard.telemetry_snapshot().unwrap_or_default(),
+                    )),
                 };
                 let _ = reply.send(Reply {
                     epoch,
@@ -406,6 +473,11 @@ fn worker_loop(mut shard: Shard, rx: Receiver<ShardCmd>, shard_id: u32) {
                 });
             }
         }
+    }
+    // Last words: park the final snapshot so a dead shard's histograms
+    // and flight ring stay reachable through `telemetry()`.
+    if let (Some(morgue), Some(snap)) = (morgue, shard.telemetry_snapshot()) {
+        *morgue[shard_id as usize].lock().unwrap() = Some(snap);
     }
 }
 
@@ -445,6 +517,11 @@ impl PersistentEngine {
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         let lanes = (0..cfg.shards).map(|_| LaneStats::default()).collect();
+        let telemetry = cfg.telemetry.enabled.then(|| EngineTelemetry {
+            send_block_ns: Histogram::new(),
+            flight: Mutex::new(FlightRecorder::new(cfg.telemetry.flight_capacity)),
+            morgue: Arc::new((0..cfg.shards).map(|_| Mutex::new(None)).collect()),
+        });
         for (id, shard) in Engine::new(cfg.clone())
             .into_shards()
             .into_iter()
@@ -454,9 +531,10 @@ impl PersistentEngine {
                 Some(cap) => bounded(cap),
                 None => unbounded(),
             };
+            let morgue = telemetry.as_ref().map(|t| Arc::clone(&t.morgue));
             let spawned = std::thread::Builder::new()
                 .name(format!("mpp-shard-{id}"))
-                .spawn(move || worker_loop(shard, rx, id as u32));
+                .spawn(move || worker_loop(shard, rx, id as u32, morgue));
             match spawned {
                 Ok(handle) => {
                     senders.push(tx);
@@ -479,6 +557,7 @@ impl PersistentEngine {
                 workers,
                 lanes,
                 clock: AtomicU64::new(0),
+                telemetry,
             }),
         })
     }
@@ -694,6 +773,22 @@ impl EngineClient {
         }
     }
 
+    /// Records a worker-gone sighting in the client-side flight ring
+    /// (the dead worker can no longer record anything itself).
+    fn note_worker_gone(&self, s: usize, events: u64, job: JobId, at: u64) {
+        if let Some(tel) = self.inner.telemetry.as_ref() {
+            tel.push_flight(FlightEvent {
+                at,
+                kind: FlightKind::WorkerGone,
+                member: 0,
+                shard: s as u32,
+                job,
+                a: events,
+                b: 0,
+            });
+        }
+    }
+
     /// Sends one observe leg to shard `s`, applying the backpressure
     /// policy when the lane is bounded and full. `Ok(true)` means the
     /// leg was enqueued, `Ok(false)` that it was shed (counted, buffer
@@ -702,31 +797,64 @@ impl EngineClient {
         let tx = &self.inner.senders[s];
         let lane = &self.inner.lanes[s];
         let events = leg.len() as u64;
+        let job = leg.first_job();
         let cmd = ShardCmd::Observe {
             leg,
             now,
             recycle: self.recycle_tx.clone(),
+            sent_at: self.inner.telemetry.as_ref().map(|_| Instant::now()),
         };
         let cmd = match tx.try_send(cmd) {
             Ok(()) => {
                 lane.note_observe_high_water(tx.len() as u64);
                 return Ok(true);
             }
-            Err(TrySendError::Disconnected(_)) => return Err(WorkerGone { shard: s }),
+            Err(TrySendError::Disconnected(_)) => {
+                self.note_worker_gone(s, events, job, now);
+                return Err(WorkerGone { shard: s });
+            }
             Err(TrySendError::Full(cmd)) => cmd,
         };
         match self.inner.cfg.backpressure {
             BackpressurePolicy::Block => {
                 lane.send_blocked.fetch_add(1, Ordering::Relaxed);
+                let t0 = self.inner.telemetry.as_ref().map(|_| Instant::now());
                 // A dead worker cannot park us forever: its dropped
                 // receiver disconnects the lane, which wakes blocked
                 // senders with an error.
-                tx.send(cmd).map_err(|_| WorkerGone { shard: s })?;
+                tx.send(cmd).map_err(|_| {
+                    self.note_worker_gone(s, events, job, now);
+                    WorkerGone { shard: s }
+                })?;
+                if let (Some(t0), Some(tel)) = (t0, self.inner.telemetry.as_ref()) {
+                    let blocked = t0.elapsed().as_nanos() as u64;
+                    tel.send_block_ns.record(blocked);
+                    tel.push_flight(FlightEvent {
+                        at: now,
+                        kind: FlightKind::BackpressureBlock,
+                        member: 0,
+                        shard: s as u32,
+                        job,
+                        a: events,
+                        b: blocked,
+                    });
+                }
                 lane.note_observe_high_water(tx.len() as u64);
                 Ok(true)
             }
             BackpressurePolicy::Shed => {
                 lane.shed_events.fetch_add(events, Ordering::Relaxed);
+                if let Some(tel) = self.inner.telemetry.as_ref() {
+                    tel.push_flight(FlightEvent {
+                        at: now,
+                        kind: FlightKind::BackpressureShed,
+                        member: 0,
+                        shard: s as u32,
+                        job,
+                        a: events,
+                        b: 0,
+                    });
+                }
                 let ShardCmd::Observe { leg, .. } = cmd else {
                     unreachable!("shed command is the observe we built")
                 };
@@ -823,6 +951,34 @@ impl EngineClient {
         self.inner.lanes[shard]
             .queue_high_water
             .fetch_max(tx.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Like [`EngineClient::call`] but tolerant of a dead worker:
+    /// returns `None` when the shard's lane is already closed or its
+    /// worker exits while the query is in flight, instead of
+    /// panicking. Telemetry collection uses this so one dead shard
+    /// cannot take down the snapshot of the healthy ones.
+    fn try_call(&self, shard: usize, body: QueryBody) -> Option<ReplyBody> {
+        let epoch = self.next_epoch();
+        let sent = self.inner.senders[shard].send(ShardCmd::Query {
+            epoch,
+            reply: self.reply_tx.clone(),
+            body,
+        });
+        sent.ok()?;
+        loop {
+            match self.reply_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(r) if r.epoch == epoch => return Some(r.body),
+                Ok(_stale) => continue,
+                Err(_timeout) => {
+                    // A finished worker here died (or was killed) with
+                    // our query still queued; it will never answer.
+                    if self.inner.workers[shard].is_finished() {
+                        return None;
+                    }
+                }
+            }
+        }
     }
 
     /// Sends one query to `shard` and blocks for its reply, discarding
@@ -1020,6 +1176,50 @@ impl EngineClient {
     /// Total streams resident across shards.
     pub fn stream_count(&self) -> usize {
         self.metrics_total().resident_streams as usize
+    }
+
+    /// Engine time as submitted so far — the stamp domain of telemetry
+    /// flight events.
+    pub(crate) fn engine_time(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// The engine-wide telemetry snapshot: every shard's histograms,
+    /// counters, and flight ring merged with the client-side lane
+    /// telemetry (`send_blocked` / `shed_events` counters, the
+    /// `send_block_ns` histogram, and the submission-side flight ring).
+    /// Returns `None` when the engine was built without telemetry
+    /// ([`EngineConfig::telemetry`] disabled).
+    ///
+    /// Collection is fault-tolerant: a dead shard worker contributes
+    /// its last-words snapshot (parked on orderly exit) instead of
+    /// failing the whole call; a shard that hard-panicked loses its
+    /// worker-side ring, but the client-side ring still carries the
+    /// `worker_gone` sighting.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        let tel = self.inner.telemetry.as_ref()?;
+        let mut total = TelemetrySnapshot::new();
+        for s in 0..self.inner.senders.len() {
+            let snap = match self.try_call(s, QueryBody::Telemetry) {
+                Some(ReplyBody::Telemetry(snap)) => Some(*snap),
+                Some(_) => unreachable!("telemetry reply shape"),
+                None => tel.morgue[s].lock().unwrap().clone(),
+            };
+            if let Some(snap) = snap {
+                total.merge(&snap);
+            }
+        }
+        let (mut blocked, mut shed) = (0u64, 0u64);
+        for lane in &self.inner.lanes {
+            blocked += lane.send_blocked.load(Ordering::Relaxed);
+            shed += lane.shed_events.load(Ordering::Relaxed);
+        }
+        total.add_counter("send_blocked", blocked);
+        total.add_counter("shed_events", shed);
+        total.merge_histogram("send_block_ns", tel.send_block_ns.snapshot());
+        total.extend_flight(tel.flight.lock().unwrap().dump());
+        total.sort_flight();
+        Some(total)
     }
 
     /// Forcibly evicts one stream, returning whether it was resident.

@@ -66,11 +66,14 @@
 
 use crate::metrics::{JobMetrics, ShardMetrics};
 use crate::stream_table::{SlotId, StreamTable};
+use crate::telemetry::ShardTelemetry;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, StreamKind};
 use fxhash::FxHashMap;
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
 use mpp_core::predictors::Predictor;
 use mpp_core::stream::SymbolMap;
+use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
+use std::time::Instant;
 
 /// The single definition of the TTL expiry rule: a stream whose last
 /// observation is more than `ttl` engine-time events before `now` is
@@ -129,9 +132,10 @@ impl StreamSlot {
     }
 
     /// Ingests one raw symbol, updating the shard's and the owning
-    /// job's hit/miss/churn counters in lockstep.
+    /// job's hit/miss/churn counters in lockstep. Returns whether the
+    /// detected period changed (the caller's flight-recorder hook).
     #[inline]
-    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) {
+    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) -> bool {
         let id = u64::from(self.interner.intern(raw));
         match self.pending_next {
             Some(p) if p == id => {
@@ -149,7 +153,8 @@ impl StreamSlot {
         }
         self.predictor.observe(id);
         let period = self.predictor.period();
-        if period != self.last_period {
+        let churned = period != self.last_period;
+        if churned {
             metrics.period_churn += 1;
             job.period_churn += 1;
             self.last_period = period;
@@ -157,6 +162,7 @@ impl StreamSlot {
         self.pending_next = self.predictor.predict(1);
         metrics.events_ingested += 1;
         job.events_ingested += 1;
+        churned
     }
 
     /// Predicts the raw symbol `horizon` steps ahead.
@@ -219,6 +225,10 @@ pub struct Shard {
     /// [`Shard::forecast_at`] calls.
     fc_sender: Vec<Option<u64>>,
     fc_size: Vec<Option<u64>>,
+    /// Latency histograms + flight recorder; `None` (the default) keeps
+    /// the hot path free of clock reads. Boxed to keep the disabled
+    /// shard small.
+    telemetry: Option<Box<ShardTelemetry>>,
 }
 
 impl Shard {
@@ -241,7 +251,29 @@ impl Shard {
             last_sweep: 0,
             fc_sender: Vec::new(),
             fc_size: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches telemetry state (histograms + flight ring) to this
+    /// shard. A no-op when `cfg.enabled` is false.
+    pub fn enable_telemetry(&mut self, cfg: &TelemetryConfig, shard_id: u32) {
+        if cfg.enabled {
+            self.telemetry = Some(Box::new(ShardTelemetry::new(cfg, shard_id)));
+        }
+    }
+
+    /// The shard's telemetry state, if enabled (recording handles take
+    /// `&self`; used by the persistent worker's queue-wait hook).
+    #[inline]
+    pub(crate) fn telemetry(&self) -> Option<&ShardTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// The shard's exportable telemetry snapshot (histograms, flight
+    /// ring, counter totals), or `None` when telemetry is disabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.snapshot(&self.metrics()))
     }
 
     /// Whether `last_seen` has expired as of engine time `now`.
@@ -289,10 +321,22 @@ impl Shard {
             *slot = StreamSlot::new(&self.cfg, job_idx);
             self.metrics.evicted += 1;
             self.jobs[job_idx as usize].1.evicted += 1;
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                let key = self.table.key_of(id);
+                tel.note_eviction(at, key.job, key.rank, seen);
+            }
         }
         let slot = self.table.payload_mut(id);
         let job = &mut self.jobs[slot.job_idx as usize].1;
-        slot.observe(raw, &mut self.metrics, job);
+        let churned = slot.observe(raw, &mut self.metrics, job);
+        if churned {
+            // Off the steady-state path: churn means a lock transition.
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                let key = self.table.key_of(id);
+                let ended = self.table.payload(id).predictor.ended_run_len();
+                tel.note_churn(at, key.job, key.rank, ended);
+            }
+        }
         self.table.touch(id, at);
     }
 
@@ -347,18 +391,23 @@ impl Shard {
     /// state allocates nothing (same-stream runs are memoized — see
     /// [`Shard::observe_run`]).
     pub fn observe_indexed_at(&mut self, batch: &[Observation], indices: &[u32], base: u64) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
         self.note_batch_depth(indices.len() as u64);
         self.observe_run(
             indices
                 .iter()
                 .map(|&i| (batch[i as usize], base + u64::from(i) + 1)),
         );
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.as_deref()) {
+            tel.note_batch(t0.elapsed().as_nanos() as u64, indices.len());
+        }
     }
 
     /// Ingests every event of `batch`, in order, stamped from
     /// `base + 1` (single-shard fast path: no partitioning needed).
     /// Memoized like [`Shard::observe_indexed_at`].
     pub fn observe_all_at(&mut self, batch: &[Observation], base: u64) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
         self.note_batch_depth(batch.len() as u64);
         self.observe_run(
             batch
@@ -366,6 +415,9 @@ impl Shard {
                 .enumerate()
                 .map(|(i, obs)| (*obs, base + i as u64 + 1)),
         );
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.as_deref()) {
+            tel.note_batch(t0.elapsed().as_nanos() as u64, batch.len());
+        }
     }
 
     /// Serves one query at engine time `now`. Returns `None` for
@@ -433,6 +485,7 @@ impl Shard {
         now: u64,
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
         out.clear();
         self.metrics.forecasts_served += 1;
         self.metrics.forecast_predictions += 2 * depth as u64;
@@ -459,6 +512,9 @@ impl Shard {
         out.extend(sender_col.iter().copied().zip(size_col.iter().copied()));
         self.fc_sender = sender_col;
         self.fc_size = size_col;
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.as_deref()) {
+            tel.note_forecast(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Detected period of a stream (`None` if unknown, unlocked, or
@@ -504,14 +560,18 @@ impl Shard {
         }
         let mut removed = 0usize;
         while let Some(id) = self.table.oldest() {
-            if !is_expired(ttl, self.table.last_seen(id), now) {
+            let seen = self.table.last_seen(id);
+            if !is_expired(ttl, seen, now) {
                 break;
             }
-            let (_, slot) = self.table.remove(id);
+            let (key, slot) = self.table.remove(id);
             let jm = &mut self.jobs[slot.job_idx as usize].1;
             jm.evicted += 1;
             jm.resident_streams -= 1;
             removed += 1;
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                tel.note_eviction(now, key.job, key.rank, seen);
+            }
         }
         self.metrics.evicted += removed as u64;
         self.last_sweep = now;
@@ -539,11 +599,15 @@ impl Shard {
         let Some(id) = self.table.get(key) else {
             return false;
         };
+        let seen = self.table.last_seen(id);
         let (_, slot) = self.table.remove(id);
         self.metrics.evicted += 1;
         let jm = &mut self.jobs[slot.job_idx as usize].1;
         jm.evicted += 1;
         jm.resident_streams -= 1;
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.note_eviction(self.clock, key.job, key.rank, seen);
+        }
         true
     }
 
@@ -552,10 +616,15 @@ impl Shard {
     /// predictor state is reclaimed); returning streams restart cold.
     pub fn evict_job(&mut self, job: JobId) -> usize {
         let jobs = &mut self.jobs;
+        let mut tel = self.telemetry.as_deref_mut();
+        let clock = self.clock;
         let removed = self.table.retain(|key, slot| {
             let keep = key.job != job;
             if !keep {
                 jobs[slot.job_idx as usize].1.resident_streams -= 1;
+                if let Some(t) = tel.as_deref_mut() {
+                    t.note_eviction(clock, key.job, key.rank, 0);
+                }
             }
             keep
         });

@@ -1,7 +1,11 @@
 //! Steady-state allocation audit: once slots, interners and scratch
 //! buffers are warm, repeated `observe_batch` + `forecast_at` rounds on
 //! the scoped engine must allocate **nothing** — the "cheap enough for
-//! the MPI critical path" claim (§2.1) made checkable.
+//! the MPI critical path" claim (§2.1) made checkable. The audit runs
+//! twice: with telemetry disabled and with it enabled, because the
+//! telemetry layer's zero-cost claim is precisely that recording into
+//! its fixed atomic histogram buckets and pre-allocated flight ring
+//! adds clock reads, never allocations.
 //!
 //! A counting global allocator tallies every `alloc`/`realloc`. The
 //! binary contains exactly this one test, so no concurrent test thread
@@ -12,7 +16,7 @@
 //! that path is documented as re-plan-rate, not event-rate, in the
 //! crate docs.
 
-use mpp_engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind};
+use mpp_engine::{Engine, EngineConfig, Observation, StreamKey, StreamKind, TelemetryConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -63,10 +67,11 @@ fn batch(ranks: u32) -> Vec<Observation> {
     out
 }
 
-#[test]
-fn steady_state_observe_and_forecast_allocate_nothing() {
+/// Runs the warmup + measured rounds on one engine configuration and
+/// asserts the measured rounds allocated exactly zero times.
+fn audit_steady_state(telemetry: bool) {
     let events = batch(32);
-    let mut engine = Engine::new(EngineConfig {
+    let mut cfg = EngineConfig {
         shards: 2,
         // Inline execution: scoped thread spawns allocate by design.
         parallel_threshold: usize::MAX,
@@ -75,7 +80,11 @@ fn steady_state_observe_and_forecast_allocate_nothing() {
         // ever actually reclaimed mid-measurement.
         ttl: Some(1_000_000),
         ..EngineConfig::with_shards(2)
-    });
+    };
+    if telemetry {
+        cfg = cfg.with_telemetry(TelemetryConfig::enabled());
+    }
+    let mut engine = Engine::new(cfg);
     let mut forecast = Vec::new();
 
     // Warm-up: create slots, grow interners, size every scratch buffer.
@@ -98,7 +107,8 @@ fn steady_state_observe_and_forecast_allocate_nothing() {
     assert_eq!(
         after - before,
         0,
-        "steady-state observe_batch + forecast_at must not allocate"
+        "steady-state observe_batch + forecast_at must not allocate \
+         (telemetry={telemetry})"
     );
 
     // Sanity: the engine really did the work.
@@ -106,4 +116,24 @@ fn steady_state_observe_and_forecast_allocate_nothing() {
     assert_eq!(total.events_ingested, 8 * events.len() as u64);
     assert_eq!(total.forecasts_served, 8 * 32);
     assert!(total.hits > 0);
+    if telemetry {
+        let snap = engine.telemetry().expect("telemetry enabled");
+        let h = snap.histogram("observe_batch_ns").expect("batch latency");
+        assert!(h.count() >= 16, "both shards timed all 8 rounds");
+        assert!(
+            snap.histogram("forecast_ns")
+                .expect("forecast latency")
+                .count()
+                >= 8 * 32,
+            "every forecast call was timed"
+        );
+    }
+}
+
+#[test]
+fn steady_state_observe_and_forecast_allocate_nothing() {
+    // Sequential phases inside one test: the counting allocator is
+    // global, so the two audits must never run concurrently.
+    audit_steady_state(false);
+    audit_steady_state(true);
 }

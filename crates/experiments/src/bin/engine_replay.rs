@@ -7,7 +7,8 @@
 //! cargo run -p mpp-experiments --release --bin engine_replay -- \
 //!     [--csv] [--seed N] [--shards K] [--ttl N] [--mode persistent|scoped] \
 //!     [--queue-cap N] [--backpressure block|shed] \
-//!     [--jobs K] [--engines E] [bt 9 | cg 8 | ...]
+//!     [--jobs K] [--engines E] \
+//!     [--telemetry-json PATH] [--stats-every N] [bt 9 | cg 8 | ...]
 //! ```
 //!
 //! With no positional arguments, the paper's full configuration roster
@@ -20,11 +21,71 @@
 //! `--backpressure` picks the full-lane policy: `block` (default,
 //! bit-identical results) or `shed` (drop-with-count; the `shed`
 //! column reports the losses).
+//!
+//! Either telemetry flag enables the engine's telemetry layer (latency
+//! histograms, counters, flight recorder). `--telemetry-json PATH`
+//! writes one JSON document covering every replayed configuration —
+//! per-config engine counters next to the full telemetry snapshot, so
+//! the `telemetry_check` binary can cross-validate them. `--stats-every
+//! N` captures a cumulative snapshot every `N` ingest batches and (in
+//! table mode) prints ingest/queue-wait latency progress lines; the
+//! extra snapshot round-trips perturb `events/sec`, so keep it off when
+//! measuring rate. Telemetry also adds three CSV columns: ingest p50 /
+//! p99 and queue-wait p99 (empty when telemetry is off).
 
-use mpp_engine::BackpressurePolicy;
-use mpp_experiments::replay::{replay, EngineMode, ReplayOpts};
+use mpp_engine::{BackpressurePolicy, TelemetrySnapshot};
+use mpp_experiments::replay::{replay, EngineMode, ReplayOpts, ReplayReport};
 use mpp_experiments::CliArgs;
 use mpp_nasbench::{paper_configs, BenchId, BenchmarkConfig, Class};
+
+/// The three latency columns appended to CSV rows (empty without
+/// telemetry): ingest-batch p50/p99 and queue-wait p99, nanoseconds.
+fn telemetry_csv_fields(snap: Option<&TelemetrySnapshot>) -> String {
+    match snap {
+        Some(s) => {
+            let q = |name: &str, quantile: f64| {
+                s.histogram(name)
+                    .map_or(String::new(), |h| h.quantile(quantile).to_string())
+            };
+            format!(
+                "{},{},{}",
+                q("observe_batch_ns", 0.5),
+                q("observe_batch_ns", 0.99),
+                q("queue_wait_ns", 0.99)
+            )
+        }
+        None => ",,".to_string(),
+    }
+}
+
+/// One config's entry in the `--telemetry-json` document: the engine's
+/// counter rollup next to the telemetry snapshot, so `telemetry_check`
+/// can cross-validate the two without re-running the replay.
+fn telemetry_json_entry(out: &mut String, r: &ReplayReport, snap: &TelemetrySnapshot) {
+    let t = &r.total;
+    out.push_str(&format!(
+        "{{\"config\":\"{}\",\"events\":{},\"metrics\":{{\
+         \"events_ingested\":{},\"predictions_served\":{},\
+         \"forecasts_served\":{},\"forecast_predictions\":{},\
+         \"hits\":{},\"misses\":{},\"abstentions\":{},\
+         \"period_churn\":{},\"evicted\":{},\"resident_streams\":{}}},\
+         \"telemetry\":",
+        r.label,
+        r.events,
+        t.events_ingested,
+        t.predictions_served,
+        t.forecasts_served,
+        t.forecast_predictions,
+        t.hits,
+        t.misses,
+        t.abstentions,
+        t.period_churn,
+        t.evicted,
+        t.resident_streams,
+    ));
+    snap.write_json(out);
+    out.push('}');
+}
 
 fn parse_bench(name: &str) -> Option<BenchId> {
     match name {
@@ -96,6 +157,15 @@ fn main() {
         eprintln!("--engines applies to the persistent mode only (federation members)");
         std::process::exit(2);
     }
+    let telemetry_json = args.take_flag("--telemetry-json");
+    let stats_every: Option<usize> = args.take_flag("--stats-every").map(|v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--stats-every needs a positive batch count");
+            std::process::exit(2);
+        })
+    });
+    // Either flag opts the replay into the telemetry layer.
+    let telemetry = telemetry_json.is_some() || stats_every.is_some();
     // A policy without a lane bound would be a silent no-op (policies
     // only apply to full bounded lanes) — reject the misconfiguration
     // instead of reporting shed=0 on an unbounded run.
@@ -136,13 +206,16 @@ fn main() {
         .queue_cap(queue_cap)
         .backpressure(backpressure)
         .jobs(jobs)
-        .engines(engines);
+        .engines(engines)
+        .telemetry(telemetry)
+        .stats_every(stats_every);
 
     let cap_label = queue_cap.map_or("off".to_string(), |c| c.to_string());
     if args.csv {
         println!(
             "config,events,streams,hit_rate,period_churn,evicted,shed,events_per_sec,\
-             shards,mode,ttl,queue_cap,backpressure,jobs,engines"
+             shards,mode,ttl,queue_cap,backpressure,jobs,engines,\
+             observe_p50_ns,observe_p99_ns,queue_wait_p99_ns"
         );
     } else {
         let ttl_label = ttl.map_or("off".to_string(), |t| t.to_string());
@@ -157,11 +230,12 @@ fn main() {
             "config", "events", "streams", "hit_rate", "churn", "evicted", "shed", "events/sec"
         );
     }
+    let mut json_entries = String::new();
     for config in &configs {
         let r = replay(config, seed, &opts);
         if args.csv {
             println!(
-                "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{},{},{}",
+                "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{},{},{},{}",
                 r.label,
                 r.events,
                 r.total.resident_streams,
@@ -177,6 +251,7 @@ fn main() {
                 backpressure.label(),
                 jobs,
                 engines,
+                telemetry_csv_fields(r.telemetry.as_ref()),
             );
         } else {
             println!(
@@ -190,16 +265,47 @@ fn main() {
                 r.total.shed_events,
                 r.events_per_sec
             );
-            if jobs > 1 {
-                for &(job, m) in &r.per_job {
-                    println!(
-                        "  job {job:<4} {:>15} {:>8} {:>8.1}%",
-                        m.events_ingested,
-                        m.resident_streams,
-                        100.0 * m.hit_rate().unwrap_or(0.0),
-                    );
-                }
+            for iv in &r.intervals {
+                let q = |name: &str, quantile: f64| {
+                    iv.snapshot
+                        .histogram(name)
+                        .map_or(0, |h| h.quantile(quantile))
+                };
+                println!(
+                    "  [stats] events {:>9}  ingest p50 {:>8}ns p99 {:>8}ns  \
+                     queue-wait p99 {:>8}ns  flight {:>4}",
+                    iv.events,
+                    q("observe_batch_ns", 0.5),
+                    q("observe_batch_ns", 0.99),
+                    q("queue_wait_ns", 0.99),
+                    iv.snapshot.flight().len(),
+                );
             }
+            // Always printed — a single-tenant replay is job 0's row,
+            // so the per-job and total views can be eyeballed against
+            // each other in every run.
+            for &(job, m) in &r.per_job {
+                println!(
+                    "  job {job:<4} {:>15} {:>8} {:>8.1}%",
+                    m.events_ingested,
+                    m.resident_streams,
+                    100.0 * m.hit_rate().unwrap_or(0.0),
+                );
+            }
+        }
+        if telemetry_json.is_some() {
+            let snap = r.telemetry.as_ref().expect("telemetry was enabled");
+            if !json_entries.is_empty() {
+                json_entries.push(',');
+            }
+            telemetry_json_entry(&mut json_entries, &r, snap);
+        }
+    }
+    if let Some(path) = telemetry_json {
+        let doc = format!("{{\"configs\":[{json_entries}]}}");
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -23,6 +23,7 @@
 //! the standard predictor configuration ([`experiment_dpd_config`]), and
 //! the accuracy sweep used by Figures 3 and 4.
 
+pub mod json;
 pub mod paper;
 pub mod replay;
 

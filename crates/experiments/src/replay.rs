@@ -6,7 +6,7 @@
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
     BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, JobId, JobMetrics,
-    Observation, ShardMetrics, StreamKey, StreamKind,
+    Observation, ShardMetrics, StreamKey, StreamKind, TelemetryConfig, TelemetrySnapshot,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -54,6 +54,14 @@ pub struct ReplayOpts {
     /// Persistent mode: federation member engines serving the replay;
     /// 1 wraps a single engine (bit-identical to direct use).
     pub engines: usize,
+    /// Enables the engine telemetry layer (latency histograms, flight
+    /// recorder); the final snapshot lands on the report.
+    pub telemetry: bool,
+    /// With telemetry enabled: capture a cumulative snapshot every `N`
+    /// ingest batches ([`REPLAY_BATCH`] events each). The snapshot
+    /// round-trips a query through every shard, so interval capture
+    /// perturbs `events_per_sec` — leave it off for rate measurements.
+    pub stats_every: Option<usize>,
 }
 
 impl Default for ReplayOpts {
@@ -66,6 +74,8 @@ impl Default for ReplayOpts {
             backpressure: BackpressurePolicy::Block,
             jobs: 1,
             engines: 1,
+            telemetry: false,
+            stats_every: None,
         }
     }
 }
@@ -115,14 +125,32 @@ impl ReplayOpts {
         self
     }
 
+    /// Enables or disables the telemetry layer.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Captures a cumulative telemetry snapshot every `n` batches
+    /// (implies nothing unless telemetry is enabled).
+    pub fn stats_every(mut self, n: Option<usize>) -> Self {
+        self.stats_every = n;
+        self
+    }
+
     fn engine_config(&self) -> EngineConfig {
-        EngineConfig {
+        let cfg = EngineConfig {
             shards: self.shards,
             dpd: DpdConfig::default(),
             ttl: self.ttl,
             observe_queue_cap: self.queue_cap,
             backpressure: self.backpressure,
             ..EngineConfig::default()
+        };
+        if self.telemetry {
+            cfg.with_telemetry(TelemetryConfig::enabled())
+        } else {
+            cfg
         }
     }
 }
@@ -178,6 +206,19 @@ pub struct ReplayReport {
     pub per_job: Vec<(JobId, JobMetrics)>,
     /// Ingest rate over the timed replay loop.
     pub events_per_sec: f64,
+    /// Final telemetry snapshot (`None` unless `opts.telemetry`).
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// Cumulative mid-replay snapshots taken every
+    /// [`ReplayOpts::stats_every`] batches, in capture order.
+    pub intervals: Vec<ReplayInterval>,
+}
+
+/// One mid-replay telemetry capture.
+pub struct ReplayInterval {
+    /// Events submitted when the snapshot was taken.
+    pub events: usize,
+    /// Cumulative telemetry at that point.
+    pub snapshot: TelemetrySnapshot,
 }
 
 impl ReplayReport {
@@ -217,17 +258,32 @@ pub fn interleave_jobs(events: &[Observation], jobs: usize) -> Vec<Observation> 
     out
 }
 
-/// Per-shard counters, per-job rollups and ingest rate of one replay.
-type ReplaySummary = (Vec<ShardMetrics>, Vec<(JobId, JobMetrics)>, f64);
+/// Engine-side outcome of one replay: per-shard counters, per-job
+/// rollups, ingest rate, and (telemetry-enabled runs) the final plus
+/// mid-replay snapshots.
+pub struct ReplayOutcome {
+    /// Per-shard counters, members concatenated in member order.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Per-job scoring rollups, ascending by job id.
+    pub per_job: Vec<(JobId, JobMetrics)>,
+    /// Ingest rate over the timed replay loop.
+    pub events_per_sec: f64,
+    /// Final telemetry snapshot (`None` unless `opts.telemetry`).
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// Cumulative mid-replay snapshots (`opts.stats_every`).
+    pub intervals: Vec<ReplayInterval>,
+}
 
 /// Replays pre-flattened `events` through a fresh engine (or
 /// federation) per `opts`. The persistent mode always serves through a
 /// [`FederatedEngine`] — single-member for `engines == 1`, which is
 /// bit-identical to driving the engine directly (pinned by the golden
 /// replays and `mpp-engine/tests/federation.rs`).
-pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary {
+pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplayOutcome {
     assert!(opts.engines > 0, "at least one engine");
     let cfg = opts.engine_config();
+    let every = opts.stats_every.filter(|_| opts.telemetry);
+    let mut intervals = Vec::new();
     match opts.mode {
         EngineMode::Scoped => {
             assert!(
@@ -236,13 +292,30 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary
             );
             let mut engine = Engine::new(cfg);
             let start = Instant::now();
-            for chunk in events.chunks(REPLAY_BATCH) {
+            let mut submitted = 0usize;
+            for (i, chunk) in events.chunks(REPLAY_BATCH).enumerate() {
                 engine.observe_batch(chunk);
+                submitted += chunk.len();
+                if every.is_some_and(|n| (i + 1) % n == 0) {
+                    if let Some(snapshot) = engine.telemetry() {
+                        intervals.push(ReplayInterval {
+                            events: submitted,
+                            snapshot,
+                        });
+                    }
+                }
             }
             let secs = start.elapsed().as_secs_f64();
             let per_job = engine.job_metrics();
+            let telemetry = opts.telemetry.then(|| engine.telemetry()).flatten();
             let shards = engine.metrics().shards;
-            (shards, per_job, events.len() as f64 / secs.max(1e-12))
+            ReplayOutcome {
+                per_shard: shards,
+                per_job,
+                events_per_sec: events.len() as f64 / secs.max(1e-12),
+                telemetry,
+                intervals,
+            }
         }
         EngineMode::Persistent => {
             let fed = FederatedEngine::new(FederationConfig {
@@ -252,8 +325,21 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary
             });
             let client = fed.client();
             let start = Instant::now();
-            for chunk in events.chunks(REPLAY_BATCH) {
+            let mut submitted = 0usize;
+            for (i, chunk) in events.chunks(REPLAY_BATCH).enumerate() {
                 client.observe_batch(chunk);
+                submitted += chunk.len();
+                if every.is_some_and(|n| (i + 1) % n == 0) {
+                    // The snapshot query queues behind the submitted
+                    // batches, so each interval reflects fully-ingested
+                    // prefixes only.
+                    if let Some(snapshot) = client.telemetry() {
+                        intervals.push(ReplayInterval {
+                            events: submitted,
+                            snapshot,
+                        });
+                    }
+                }
             }
             // The metrics round-trip queues behind every submitted
             // batch, so it also closes the timing window fairly.
@@ -265,7 +351,14 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary
                 .collect();
             let secs = start.elapsed().as_secs_f64();
             let per_job = client.job_metrics();
-            (per_shard, per_job, events.len() as f64 / secs.max(1e-12))
+            let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
+            ReplayOutcome {
+                per_shard,
+                per_job,
+                events_per_sec: events.len() as f64 / secs.max(1e-12),
+                telemetry,
+                intervals,
+            }
         }
     }
 }
@@ -275,18 +368,20 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplaySummary
 pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayReport {
     let trace = run_config(config, seed);
     let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
-    let (per_shard, per_job, events_per_sec) = replay_events(&events, opts);
+    let outcome = replay_events(&events, opts);
     let mut total = ShardMetrics::default();
-    for m in &per_shard {
+    for m in &outcome.per_shard {
         total.merge(m);
     }
     ReplayReport {
         label: config.label(),
         events: events.len(),
         total,
-        per_shard,
-        per_job,
-        events_per_sec,
+        per_shard: outcome.per_shard,
+        per_job: outcome.per_job,
+        events_per_sec: outcome.events_per_sec,
+        telemetry: outcome.telemetry,
+        intervals: outcome.intervals,
     }
 }
 
@@ -385,6 +480,46 @@ mod tests {
             &ReplayOpts::with_shards(2).jobs(3).mode(EngineMode::Scoped),
         );
         assert_eq!(scoped.per_job, fed.per_job);
+    }
+
+    #[test]
+    fn telemetry_replay_snapshots_mirror_the_counter_rollup() {
+        let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+        let plain = replay(&cfg, 7, &ReplayOpts::with_shards(2));
+        assert!(plain.telemetry.is_none(), "telemetry is opt-in");
+        let opts = ReplayOpts::with_shards(2)
+            .telemetry(true)
+            .stats_every(Some(1));
+        let r = replay(&cfg, 7, &opts);
+        // Telemetry must not change what the engine computes.
+        assert_eq!(r.total.hits, plain.total.hits);
+        assert_eq!(r.total.misses, plain.total.misses);
+        let snap = r.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(
+            snap.counter("events_ingested"),
+            Some(r.total.events_ingested)
+        );
+        assert_eq!(
+            snap.gauge("resident_streams"),
+            Some(r.total.resident_streams)
+        );
+        let h = snap.histogram("observe_batch_ns").expect("batch latency");
+        assert!(h.count() > 0);
+        // One cumulative capture per batch, ending at the full event
+        // count; each capture's ingested prefix is complete.
+        assert_eq!(r.intervals.len(), r.events.div_ceil(REPLAY_BATCH));
+        let last = r.intervals.last().unwrap();
+        assert_eq!(last.events, r.events);
+        assert_eq!(
+            last.snapshot.counter("events_ingested"),
+            Some(r.total.events_ingested)
+        );
+        // The scoped mode snapshots the same counters.
+        let s = replay(&cfg, 7, &opts.clone().mode(EngineMode::Scoped));
+        assert_eq!(
+            s.telemetry.unwrap().counter("events_ingested"),
+            Some(r.total.events_ingested)
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ use mpp_core::dpd::DpdConfig;
 pub use mpp_engine::{BackpressurePolicy, JobId, DEFAULT_JOB};
 use mpp_engine::{
     EngineConfig, FederatedClient, FederatedEngine, FederationConfig, FederationMetrics,
-    JobMetrics, Observation, PersistentEngine, RankId, StreamKey, StreamKind,
+    JobMetrics, Observation, PersistentEngine, RankId, StreamKey, StreamKind, TelemetrySnapshot,
 };
 use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
 
@@ -216,6 +216,14 @@ impl EngineHandle {
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
         self.client().confidence_of(key)
+    }
+
+    /// The federation-wide telemetry snapshot (latency histograms,
+    /// counters, flight-recorder log); `None` unless every member
+    /// engine was built with telemetry enabled
+    /// ([`EngineConfig::with_telemetry`]).
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.client().telemetry()
     }
 }
 
@@ -623,5 +631,37 @@ mod tests {
             30,
             "drop must flush the staged tail"
         );
+    }
+
+    #[test]
+    fn handle_exposes_telemetry_when_enabled_and_none_otherwise() {
+        use mpp_engine::TelemetryConfig;
+        let plain = EngineHandle::with_config(2, DpdConfig::default());
+        assert!(plain.telemetry().is_none(), "telemetry is opt-in");
+
+        let handle = EngineHandle::from_config(
+            EngineConfig {
+                shards: 2,
+                ..EngineConfig::default()
+            }
+            .with_telemetry(TelemetryConfig::enabled()),
+        );
+        let mut o = EngineOracle::new(handle.clone(), 0, 4);
+        for _ in 0..30 {
+            for (s, b) in [(1usize, 100_000u64), (2, 8), (1, 100_000), (3, 8)] {
+                o.observe(s, b, 5);
+            }
+        }
+        assert!(o.expects(1, 100_000));
+        drop(o);
+        let snap = handle.telemetry().expect("enabled end to end");
+        assert_eq!(
+            snap.counter("events_ingested"),
+            Some(handle.metrics().total().events_ingested),
+            "telemetry counters mirror the metrics rollup"
+        );
+        let h = snap.histogram("observe_batch_ns").expect("batch latency");
+        assert!(h.count() > 0, "ingest batches were timed");
+        assert!(h.quantile(0.99) <= h.max().max(1));
     }
 }

@@ -1,0 +1,172 @@
+//! A registry of named metrics with lock-free recording handles.
+//!
+//! Registration (naming a metric) takes a short mutex hold; recording
+//! through the returned [`Counter`], [`Gauge`], and
+//! [`std::sync::Arc<Histogram>`] handles is entirely lock-free and
+//! allocation-free. Registering the same name twice returns a handle to
+//! the same underlying metric, so shards and clients can rendezvous on
+//! well-known names.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// A monotone counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A point-in-time level (resident streams, queue depth, ...).
+/// Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raises the level to at least `v` (high-water tracking).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+/// Named counters, gauges, and histograms with lock-free recording.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &g.counters.len())
+            .field("gauges", &g.gauges.len())
+            .field("histograms", &g.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, c)) = g.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        g.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, x)) = g.gauges.iter().find(|(n, _)| n == name) {
+            return x.clone();
+        }
+        let x = Gauge::default();
+        g.gauges.push((name.to_string(), x.clone()));
+        x
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.inner.lock().unwrap();
+        if let Some((_, h)) = g.histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        g.histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let g = self.inner.lock().unwrap();
+        let mut snap = TelemetrySnapshot::default();
+        for (name, c) in &g.counters {
+            snap.add_counter(name, c.get());
+        }
+        for (name, x) in &g.gauges {
+            snap.add_gauge(name, x.get());
+        }
+        for (name, h) in &g.histograms {
+            snap.merge_histogram(name, h.snapshot());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_metric() {
+        let r = Registry::new();
+        r.counter("x").add(3);
+        r.counter("x").inc();
+        assert_eq!(r.counter("x").get(), 4);
+        r.gauge("g").set(9);
+        r.gauge("g").raise(4); // lower than current -> no change
+        assert_eq!(r.gauge("g").get(), 9);
+        r.histogram("h").record(5);
+        assert_eq!(r.histogram("h").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_all_metrics() {
+        let r = Registry::new();
+        r.counter("c").add(2);
+        r.gauge("g").set(7);
+        r.histogram("h").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(2));
+        assert_eq!(s.gauge("g"), Some(7));
+        assert_eq!(s.histogram("h").map(|h| h.count()), Some(1));
+        assert_eq!(s.counter("missing"), None);
+    }
+}

@@ -34,8 +34,9 @@ pub use mpp_core::{
 };
 pub use mpp_engine::{
     AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, FederatedClient,
-    FederatedEngine, FederationConfig, FederationWorkerGone, JobId, JobMetrics, Observation,
-    ObserveOutcome, PersistentEngine, Query, SlotId, StreamKey, StreamKind, StreamTable,
-    WorkerGone, DEFAULT_JOB,
+    FederatedEngine, FederationConfig, FederationWorkerGone, FlightEvent, FlightKind,
+    HistogramSnapshot, JobId, JobMetrics, Observation, ObserveOutcome, PersistentEngine, Query,
+    SlotId, StreamKey, StreamKind, StreamTable, TelemetryConfig, TelemetrySnapshot, WorkerGone,
+    DEFAULT_JOB,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};
