@@ -25,7 +25,7 @@ use crate::ring::Ring;
 use crate::stream::Symbol;
 
 /// Tuning knobs for the detector.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpdConfig {
     /// `N`: number of recent comparisons (per lag) forming the window of
     /// equation (1).
@@ -170,6 +170,41 @@ impl PeriodicityDetector {
     /// The active configuration.
     pub fn config(&self) -> &DpdConfig {
         &self.cfg
+    }
+
+    /// Rebuilds a detector from a serialized history window — the
+    /// snapshot/restore path.
+    ///
+    /// `history` is the retained ring contents oldest-first (at most
+    /// `window + max_lag` symbols), `observations` the original
+    /// lifetime observation count, and `history_total` the original
+    /// ring's lifetime push count. Replaying the retained window is
+    /// *exact*, not approximate: the ring keeps `window + max_lag`
+    /// symbols, so for every lag `m` the replay regenerates at least
+    /// the last `window` comparisons at that lag — precisely the
+    /// comparisons the original [`BitWindow`]s held — and the mismatch
+    /// counters, the locked period, and all future behaviour recompute
+    /// bit-identically. Only the two lifetime counters need explicit
+    /// fix-up, which this constructor applies.
+    pub fn hydrate(
+        cfg: DpdConfig,
+        history: &[Symbol],
+        observations: u64,
+        history_total: u64,
+    ) -> Self {
+        let mut det = PeriodicityDetector::new(cfg);
+        assert!(
+            history.len() <= det.history.capacity(),
+            "hydrate history ({} symbols) exceeds the ring capacity ({})",
+            history.len(),
+            det.history.capacity()
+        );
+        for &v in history {
+            det.observe(v);
+        }
+        det.observations = observations;
+        det.history.set_total_pushed(history_total);
+        det
     }
 
     /// Total number of observations fed so far.
@@ -502,6 +537,74 @@ mod tests {
             evidence_factor: 0.0,
             ..DpdConfig::default()
         });
+    }
+
+    #[test]
+    fn hydrate_reproduces_the_detector_exactly() {
+        // Long stream (history saturated and wrapped), awkward window
+        // sizes, and a mid-pattern cut: the hydrated detector must
+        // agree with the original on every observable *and* on all
+        // future behaviour.
+        let cfg = DpdConfig {
+            window: 24,
+            max_lag: 7,
+            tolerance: 0.2,
+            ..DpdConfig::default()
+        };
+        let mut orig = PeriodicityDetector::new(cfg.clone());
+        for i in 0..500u64 {
+            orig.observe(if i % 31 == 0 { 99 } else { i % 5 });
+        }
+        let mut copy = PeriodicityDetector::hydrate(
+            cfg.clone(),
+            &orig.history().to_vec(),
+            orig.observations(),
+            orig.history().total_pushed(),
+        );
+        assert_eq!(copy.period(), orig.period());
+        assert_eq!(copy.confidence(), orig.confidence());
+        assert_eq!(copy.observations(), orig.observations());
+        assert_eq!(copy.history().total_pushed(), orig.history().total_pushed());
+        assert_eq!(copy.history().to_vec(), orig.history().to_vec());
+        for m in 1..=cfg.max_lag {
+            assert_eq!(copy.mismatch_ratio(m), orig.mismatch_ratio(m), "lag {m}");
+        }
+        // Continued observation stays bit-identical.
+        for i in 0..200u64 {
+            let v = i % 5;
+            orig.observe(v);
+            copy.observe(v);
+            assert_eq!(copy.period(), orig.period(), "step {i}");
+            assert_eq!(copy.confidence(), orig.confidence(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn hydrate_short_stream_keeps_full_history() {
+        let mut orig = PeriodicityDetector::new(DpdConfig::default());
+        for v in [1u64, 2, 1, 2, 1] {
+            orig.observe(v);
+        }
+        let copy = PeriodicityDetector::hydrate(
+            DpdConfig::default(),
+            &orig.history().to_vec(),
+            orig.observations(),
+            orig.history().total_pushed(),
+        );
+        assert_eq!(copy.period(), orig.period());
+        assert_eq!(copy.observations(), 5);
+        assert_eq!(copy.history().to_vec(), vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the ring capacity")]
+    fn hydrate_rejects_oversized_history() {
+        let cfg = DpdConfig {
+            window: 2,
+            max_lag: 2,
+            ..DpdConfig::default()
+        };
+        let _ = PeriodicityDetector::hydrate(cfg, &[1, 2, 3, 4, 5], 5, 5);
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod predictor;
 
 pub use detector::{DpdConfig, PeriodicityDetector};
 pub use distance::{distance_sign, mismatch_profile, BitWindow};
-pub use predictor::DpdPredictor;
+pub use predictor::{DpdPredictor, DpdPredictorState};

@@ -12,6 +12,33 @@ use crate::predictors::Predictor;
 use crate::stream::Symbol;
 use std::sync::Mutex;
 
+/// Serializable state of a [`DpdPredictor`], for snapshot/restore.
+///
+/// The detector itself is not dumped field-by-field: its retained
+/// history window (`window + max_lag` symbols) is sufficient to
+/// regenerate every lag's comparison state bit-identically via
+/// [`PeriodicityDetector::hydrate`], so the state is the window plus
+/// the handful of lifetime counters that replay cannot recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpdPredictorState {
+    /// Majority-vote variant flag.
+    pub vote: bool,
+    /// Retained history window, oldest first.
+    pub history: Vec<Symbol>,
+    /// Detector's lifetime observation count.
+    pub det_observations: u64,
+    /// Ring's lifetime push counter (≥ `history.len()`).
+    pub history_total: u64,
+    /// Predictor-level observation count.
+    pub obs_seen: u64,
+    /// Lifetime period-change count.
+    pub period_changes: u64,
+    /// `obs_seen` at the most recent period change.
+    pub last_change_at: u64,
+    /// Length of the run ended by the most recent period change.
+    pub ended_run_len: u64,
+}
+
 /// Predictor wrapping a [`PeriodicityDetector`].
 #[derive(Debug)]
 pub struct DpdPredictor {
@@ -79,6 +106,47 @@ impl DpdPredictor {
         let mut p = DpdPredictor::new(cfg);
         p.vote = true;
         p
+    }
+
+    /// Exports everything [`DpdPredictor::from_state`] needs to rebuild
+    /// this predictor bit-identically (given the same [`DpdConfig`]).
+    pub fn export_state(&self) -> DpdPredictorState {
+        DpdPredictorState {
+            vote: self.vote,
+            history: self.det.history().to_vec(),
+            det_observations: self.det.observations(),
+            history_total: self.det.history().total_pushed(),
+            obs_seen: self.obs_seen,
+            period_changes: self.period_changes,
+            last_change_at: self.last_change_at,
+            ended_run_len: self.ended_run_len,
+        }
+    }
+
+    /// Rebuilds a predictor from exported state — the snapshot/restore
+    /// path. The detector is hydrated by replaying the retained window
+    /// (exact; see [`PeriodicityDetector::hydrate`]), then the churn
+    /// counters are set directly so the replay does not perturb them.
+    ///
+    /// # Panics
+    /// Panics if `state.history` does not fit `cfg`'s ring capacity —
+    /// i.e. the snapshot was taken under a different detector config.
+    pub fn from_state(cfg: DpdConfig, state: &DpdPredictorState) -> Self {
+        let det = PeriodicityDetector::hydrate(
+            cfg,
+            &state.history,
+            state.det_observations,
+            state.history_total,
+        );
+        DpdPredictor {
+            det,
+            vote: state.vote,
+            vote_scratch: Mutex::new(Vec::new()),
+            obs_seen: state.obs_seen,
+            period_changes: state.period_changes,
+            last_change_at: state.last_change_at,
+            ended_run_len: state.ended_run_len,
+        }
     }
 
     /// Currently detected period, if any.
@@ -420,6 +488,55 @@ mod tests {
         assert_eq!(c.observations(), p.observations());
         assert_eq!(c.period_changes(), p.period_changes());
         assert_eq!(c.lock_run_len(), p.lock_run_len());
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let cfg = DpdConfig {
+            window: 48,
+            max_lag: 9,
+            tolerance: 0.1,
+            ..DpdConfig::default()
+        };
+        let mut orig = DpdPredictor::new(cfg.clone());
+        // Long enough for the window to wrap, with a churn event inside.
+        for i in 0..400u64 {
+            orig.observe(if i < 200 { i % 3 } else { i % 7 });
+        }
+        let state = orig.export_state();
+        let mut copy = DpdPredictor::from_state(cfg, &state);
+        assert_eq!(copy.period(), orig.period());
+        assert_eq!(copy.confidence(), orig.confidence());
+        assert_eq!(copy.observations(), orig.observations());
+        assert_eq!(copy.period_changes(), orig.period_changes());
+        assert_eq!(copy.lock_run_len(), orig.lock_run_len());
+        assert_eq!(copy.ended_run_len(), orig.ended_run_len());
+        for h in 1..=10 {
+            assert_eq!(copy.predict(h), orig.predict(h), "horizon {h}");
+        }
+        // The restored predictor keeps evolving identically.
+        for i in 0..300u64 {
+            let v = i % 7;
+            orig.observe(v);
+            copy.observe(v);
+            assert_eq!(copy.predict(1), orig.predict(1), "step {i}");
+            assert_eq!(copy.period_changes(), orig.period_changes(), "step {i}");
+        }
+        // Round-tripping the copy yields the same state again.
+        assert_eq!(copy.export_state(), orig.export_state());
+    }
+
+    #[test]
+    fn state_preserves_vote_variant() {
+        let mut p = DpdPredictor::with_vote(DpdConfig::default());
+        for _ in 0..10 {
+            for v in [1u64, 2, 3, 4] {
+                p.observe(v);
+            }
+        }
+        let copy = DpdPredictor::from_state(DpdConfig::default(), &p.export_state());
+        assert_eq!(copy.name(), "dpd-vote");
+        assert_eq!(copy.predict(2), p.predict(2));
     }
 
     #[test]

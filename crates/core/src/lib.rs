@@ -60,7 +60,7 @@ pub mod predictors;
 pub mod ring;
 pub mod stream;
 
-pub use dpd::{DpdConfig, DpdPredictor, PeriodicityDetector};
+pub use dpd::{DpdConfig, DpdPredictor, DpdPredictorState, PeriodicityDetector};
 pub use eval::{AccuracyTracker, EvalReport, SetEvaluator, StreamEvaluator};
 pub use predictors::{Predictor, PredictorKind};
 pub use ring::Ring;

@@ -142,6 +142,19 @@ impl Ring {
         self.head = 0;
         self.len = 0;
     }
+
+    /// Overrides the lifetime push counter. Snapshot restore rebuilds a
+    /// ring by replaying only the *retained* window, which leaves
+    /// `total` short by however many symbols had already slid out; this
+    /// sets the counter back to the original stream position.
+    pub(crate) fn set_total_pushed(&mut self, total: u64) {
+        debug_assert!(
+            total >= self.len as u64,
+            "total pushed ({total}) cannot be below the retained length ({})",
+            self.len
+        );
+        self.total = total;
+    }
 }
 
 #[cfg(test)]

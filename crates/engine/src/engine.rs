@@ -30,11 +30,16 @@
 //! the 24-byte [`Observation`]; per-stream state reuses the fixed
 //! [`mpp_core::Ring`] buffers inside each predictor.
 //!
-//! ## Engine time and eviction
+//! ## Time domains and eviction
 //!
-//! The engine stamps every ingested event with a 1-based global index
-//! ("engine time"). With [`EngineConfig::ttl`] set, streams idle for
-//! more than `ttl` events are logically evicted — predictions return
+//! Without a TTL, the engine stamps every ingested event with a 1-based
+//! global index ("engine time") that only orders LRU eviction. With
+//! [`EngineConfig::ttl`] set, **every job gets its own time domain**:
+//! events are stamped from the owning job's clock (the 1-based index in
+//! that job's ingest order), so a stream's idle age is measured
+//! exclusively in its own tenant's traffic and one job's flood can
+//! never expire another job's streams. Streams idle for more than `ttl`
+//! events *of their own job* are logically evicted — predictions return
 //! `None`, the next observation restarts the stream cold — and their
 //! memory is reclaimed by a sweep after each batch (see the
 //! [`Shard`](crate::shard) docs for why sweep timing can never change
@@ -43,7 +48,12 @@
 
 use crate::metrics::{EngineMetrics, JobMetrics, ShardMetrics};
 use crate::shard::Shard;
+use crate::snapshot::{
+    decode_engine, decode_job, encode_engine, encode_job, EngineSnapshot, JobSnapshot,
+    SnapshotError, StreamState,
+};
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
+use fxhash::FxHashMap;
 use mpp_core::dpd::DpdConfig;
 use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 
@@ -90,10 +100,12 @@ pub struct EngineConfig {
     /// would dominate tiny batches). Persistent workers have no spawn
     /// cost, so this knob does not apply there.
     pub parallel_threshold: usize,
-    /// Idle-stream TTL in events of engine time: a stream not observed
-    /// for more than this many engine-wide events is evicted (predicts
-    /// `None`, restarts cold, memory reclaimed by sweeps). `None`
-    /// disables eviction.
+    /// Idle-stream TTL in events of the owning job's time: a stream not
+    /// observed for more than this many of *its own job's* events is
+    /// evicted (predicts `None`, restarts cold, memory reclaimed by
+    /// sweeps). Jobs are isolated time domains — co-resident tenants'
+    /// traffic never ages another job's streams. `None` disables
+    /// eviction.
     pub ttl: Option<u64>,
     /// Persistent mode only: bounds each shard's command lane to this
     /// many queued commands (batch legs and queries). `None` leaves the
@@ -133,7 +145,9 @@ impl EngineConfig {
         }
     }
 
-    /// Sets the idle-stream TTL (in engine-time events).
+    /// Sets the idle-stream TTL, in events of the owning job's clock
+    /// (engine time is a per-job event count — a co-tenant's traffic
+    /// never ages another job's streams).
     pub fn with_ttl(mut self, ttl: u64) -> Self {
         self.ttl = Some(ttl);
         self
@@ -193,9 +207,17 @@ pub struct Engine {
     shards: Vec<Shard>,
     /// Per-shard event-index scratch, reused across batches.
     scratch: Vec<Vec<u32>>,
-    /// Engine time: number of events ingested so far (events are
-    /// stamped `1..=clock`).
+    /// Engine time: number of events ingested so far. Without a TTL,
+    /// events are stamped `1..=clock`; with one, stamps come from
+    /// `job_clocks` and this only totals ingest (sweep throttling,
+    /// telemetry).
     clock: u64,
+    /// Per-job clocks (events ingested per job) — the stamp source and
+    /// query-time `now` when a TTL is configured; unused otherwise.
+    job_clocks: FxHashMap<JobId, u64>,
+    /// Per-event stamp column (parallel to the batch), reused across
+    /// batches on the TTL path.
+    stamp_scratch: Vec<u64>,
 }
 
 impl Engine {
@@ -215,6 +237,8 @@ impl Engine {
             shards,
             scratch,
             clock: 0,
+            job_clocks: FxHashMap::default(),
+            stamp_scratch: Vec::new(),
         }
     }
 
@@ -243,6 +267,33 @@ impl Engine {
         self.clock
     }
 
+    /// The current time of `job`'s domain: its own event count when a
+    /// TTL partitions time per job, the global clock otherwise (where
+    /// `now` only orders LRU, not expiry). This is the `now` every
+    /// query on one of `job`'s streams is served at.
+    #[inline]
+    pub fn job_now(&self, job: JobId) -> u64 {
+        if self.cfg.ttl.is_some() {
+            self.job_clocks.get(&job).copied().unwrap_or(0)
+        } else {
+            self.clock
+        }
+    }
+
+    /// Allocates the next stamp for one event of `job`: the job's own
+    /// clock under a TTL, the global clock otherwise. `self.clock` must
+    /// already count the event.
+    #[inline]
+    fn next_stamp(&mut self, job: JobId) -> u64 {
+        if self.cfg.ttl.is_some() {
+            let c = self.job_clocks.entry(job).or_insert(0);
+            *c += 1;
+            *c
+        } else {
+            self.clock
+        }
+    }
+
     /// Ingests a single observation (convenience path; batch ingest is
     /// the throughput path).
     #[inline]
@@ -250,12 +301,41 @@ impl Engine {
         let s = shard_of_key(key, self.shards.len());
         self.clock += 1;
         let now = self.clock;
+        let at = self.next_stamp(key.job);
         let shard = &mut self.shards[s];
-        shard.observe_at(Observation::new(key, value), now);
+        shard.observe_at(Observation::new(key, value), at);
         // Per-event ingest must reclaim too, or TTL'd slots would leak
         // on engines never fed through observe_batch; the throttle
         // keeps this O(1) in the common case.
         shard.maybe_sweep(now);
+    }
+
+    /// Fills the per-event stamp column for the TTL path: event `i` of
+    /// `batch` gets the next tick of *its job's* clock, in batch order.
+    /// Runs of one job (the common trace shape) are memoized so the
+    /// steady state pays one hash per job switch, not per event.
+    fn fill_stamps(&mut self, batch: &[Observation]) {
+        self.stamp_scratch.clear();
+        self.stamp_scratch.reserve(batch.len());
+        let mut memo: Option<(JobId, u64)> = None;
+        for obs in batch {
+            let job = obs.key.job;
+            let clock = match memo {
+                Some((j, c)) if j == job => c,
+                _ => {
+                    if let Some((j, c)) = memo {
+                        self.job_clocks.insert(j, c);
+                    }
+                    self.job_clocks.get(&job).copied().unwrap_or(0)
+                }
+            };
+            let next = clock + 1;
+            memo = Some((job, next));
+            self.stamp_scratch.push(next);
+        }
+        if let Some((j, c)) = memo {
+            self.job_clocks.insert(j, c);
+        }
     }
 
     /// Ingests `batch` in order. Events of different ranks may be
@@ -269,9 +349,20 @@ impl Engine {
         );
         let base = self.clock;
         self.clock += batch.len() as u64;
+        // Per-job stamps only exist under a TTL; without one, global
+        // stamps are cheaper (no column write) and expiry never reads
+        // them.
+        let stamped = self.cfg.ttl.is_some();
+        if stamped {
+            self.fill_stamps(batch);
+        }
         let nshards = self.shards.len();
         if nshards == 1 {
-            self.shards[0].observe_all_at(batch, base);
+            if stamped {
+                self.shards[0].observe_all_stamped(batch, &self.stamp_scratch);
+            } else {
+                self.shards[0].observe_all_at(batch, base);
+            }
             self.sweep_after_batch();
             return;
         }
@@ -285,7 +376,11 @@ impl Engine {
         if busy <= 1 || batch.len() < self.cfg.parallel_threshold {
             for (shard, idxs) in self.shards.iter_mut().zip(&self.scratch) {
                 if !idxs.is_empty() {
-                    shard.observe_indexed_at(batch, idxs, base);
+                    if stamped {
+                        shard.observe_indexed_stamped(batch, idxs, &self.stamp_scratch);
+                    } else {
+                        shard.observe_indexed_at(batch, idxs, base);
+                    }
                 }
             }
             self.sweep_after_batch();
@@ -298,6 +393,7 @@ impl Engine {
             .iter()
             .rposition(|s| !s.is_empty())
             .expect("busy > 1");
+        let stamps = &self.stamp_scratch;
         std::thread::scope(|scope| {
             let mut own: Option<(&mut Shard, &Vec<u32>)> = None;
             for (i, (shard, idxs)) in self.shards.iter_mut().zip(&self.scratch).enumerate() {
@@ -306,12 +402,18 @@ impl Engine {
                 }
                 if i == last_busy {
                     own = Some((shard, idxs));
+                } else if stamped {
+                    scope.spawn(move || shard.observe_indexed_stamped(batch, idxs, stamps));
                 } else {
                     scope.spawn(move || shard.observe_indexed_at(batch, idxs, base));
                 }
             }
             let (shard, idxs) = own.expect("last busy shard present");
-            shard.observe_indexed_at(batch, idxs, base);
+            if stamped {
+                shard.observe_indexed_stamped(batch, idxs, stamps);
+            } else {
+                shard.observe_indexed_at(batch, idxs, base);
+            }
         });
         self.sweep_after_batch();
     }
@@ -319,10 +421,16 @@ impl Engine {
     /// Reclaims expired streams after a batch when a TTL is configured
     /// (throttled to roughly twice per TTL so small batches don't pay
     /// an O(resident-streams) scan each; see [`Shard::maybe_sweep`]).
+    /// The engine's per-job clocks are folded into every shard's
+    /// watermarks first, so streams of a job whose traffic stopped
+    /// landing on a shard still age there.
     fn sweep_after_batch(&mut self) {
         if self.cfg.ttl.is_some() {
             let now = self.clock;
             for shard in &mut self.shards {
+                for (&job, &jnow) in &self.job_clocks {
+                    shard.fold_job_now(job, jnow);
+                }
                 shard.maybe_sweep(now);
             }
         }
@@ -332,7 +440,7 @@ impl Engine {
     #[inline]
     pub fn predict(&mut self, key: StreamKey, horizon: u32) -> Option<u64> {
         let s = shard_of_key(key, self.shards.len());
-        let now = self.clock;
+        let now = self.job_now(key.job);
         self.shards[s].predict_at(Query::new(key, horizon), now)
     }
 
@@ -344,9 +452,9 @@ impl Engine {
         out.clear();
         out.reserve(queries.len());
         let nshards = self.shards.len();
-        let now = self.clock;
         for q in queries {
             let s = shard_of_key(q.key, nshards);
+            let now = self.job_now(q.key.job);
             out.push(self.shards[s].predict_at(*q, now));
         }
     }
@@ -373,18 +481,19 @@ impl Engine {
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
         let s = shard_of(job, rank, self.shards.len());
-        let now = self.clock;
+        let now = self.job_now(job);
         self.shards[s].forecast_at(job, rank, depth, now, out);
     }
 
     /// Detected period of a stream, if locked and not expired.
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        self.shards[shard_of_key(key, self.shards.len())].period_of_at(key, self.clock)
+        self.shards[shard_of_key(key, self.shards.len())].period_of_at(key, self.job_now(key.job))
     }
 
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        self.shards[shard_of_key(key, self.shards.len())].confidence_of_at(key, self.clock)
+        self.shards[shard_of_key(key, self.shards.len())]
+            .confidence_of_at(key, self.job_now(key.job))
     }
 
     /// Forcibly evicts one stream, returning whether it was resident.
@@ -397,6 +506,11 @@ impl Engine {
     /// batch; this forces one), returning how many were reclaimed.
     pub fn sweep_expired(&mut self) -> usize {
         let now = self.clock;
+        for shard in &mut self.shards {
+            for (&job, &jnow) in &self.job_clocks {
+                shard.fold_job_now(job, jnow);
+            }
+        }
         self.shards.iter_mut().map(|s| s.sweep_expired(now)).sum()
     }
 
@@ -468,6 +582,124 @@ impl Engine {
     /// Total streams resident across shards.
     pub fn stream_count(&self) -> usize {
         self.shards.iter().map(Shard::stream_count).sum()
+    }
+
+    /// Serializes the engine's complete predictive state into a
+    /// versioned, checksummed snapshot (see [`crate::snapshot`] for the
+    /// format and the exact bit-identity contract). Telemetry and
+    /// transport configuration are deliberately excluded.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut job_clocks: Vec<(JobId, u64)> =
+            self.job_clocks.iter().map(|(&j, &c)| (j, c)).collect();
+        job_clocks.sort_unstable_by_key(|&(j, _)| j);
+        encode_engine(&EngineSnapshot {
+            shards: u32::try_from(self.shards.len()).expect("shard count fits u32"),
+            ttl: self.cfg.ttl,
+            dpd: self.cfg.dpd.clone(),
+            clock: self.clock,
+            job_clocks,
+            shard_states: self.shards.iter().map(Shard::export_state).collect(),
+        })
+    }
+
+    /// Rebuilds an engine from a [`Engine::snapshot`] blob. `cfg` must
+    /// match the snapshot's shard count, TTL, and DPD parameters
+    /// ([`SnapshotError::ConfigMismatch`] otherwise — stream placement
+    /// and predictor behaviour hang off them); transport knobs
+    /// (threshold, queue caps, telemetry) are free to differ. The
+    /// restored engine continues bit-identically to the one snapshot:
+    /// every later prediction, metric, and eviction decision matches an
+    /// uninterrupted run over the same events.
+    pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Engine, SnapshotError> {
+        let snap = decode_engine(bytes)?;
+        crate::snapshot::check_config(
+            Some(snap.shards),
+            snap.ttl,
+            &snap.dpd,
+            cfg.shards,
+            cfg.ttl,
+            &cfg.dpd,
+        )?;
+        let mut eng = Engine::new(cfg);
+        eng.clock = snap.clock;
+        eng.job_clocks = snap.job_clocks.iter().copied().collect();
+        for (shard, st) in eng.shards.iter_mut().zip(&snap.shard_states) {
+            shard.restore_state(st);
+        }
+        Ok(eng)
+    }
+
+    /// Serializes one job's slice of the engine — streams, summed
+    /// rollup history, and job clock — into a snapshot that restores
+    /// into an engine of **any** shard count (streams re-partition on
+    /// restore); only TTL and DPD parameters must match. This is the
+    /// live-migration payload.
+    pub fn snapshot_job(&self, job: JobId) -> Vec<u8> {
+        let mut metrics = JobMetrics::default();
+        let mut clock = self.job_now(job);
+        let mut streams = Vec::new();
+        for shard in &self.shards {
+            let (jm, wm, ss) = shard.export_job_state(job);
+            if let Some(jm) = jm {
+                metrics.merge(&jm);
+            }
+            clock = clock.max(wm);
+            streams.extend(ss);
+        }
+        // Deterministic and recency-ordered: every target shard's
+        // domain list receives its subsequence oldest-first.
+        streams.sort_unstable_by_key(|s| (s.last_seen, s.key.rank, s.key.kind.index()));
+        encode_job(&JobSnapshot {
+            job,
+            ttl: self.cfg.ttl,
+            dpd: self.cfg.dpd.clone(),
+            clock,
+            metrics,
+            streams,
+        })
+    }
+
+    /// Restores a job from an [`Engine::snapshot_job`] blob, replacing
+    /// any state this engine already held for it, and returns the job
+    /// id and how many streams were installed. Streams are partitioned
+    /// by *this* engine's shard count.
+    pub fn restore_job(&mut self, bytes: &[u8]) -> Result<(JobId, usize), SnapshotError> {
+        let snap = decode_job(bytes)?;
+        crate::snapshot::check_config(
+            None,
+            snap.ttl,
+            &snap.dpd,
+            self.shards.len(),
+            self.cfg.ttl,
+            &self.cfg.dpd,
+        )?;
+        let job = snap.job;
+        for shard in &mut self.shards {
+            shard.extract_job(job);
+        }
+        let nshards = self.shards.len();
+        let mut legs: Vec<Vec<StreamState>> = vec![Vec::new(); nshards];
+        let mut max_seen = 0u64;
+        for s in &snap.streams {
+            max_seen = max_seen.max(s.last_seen);
+            legs[shard_of(job, s.key.rank, nshards)].push(s.clone());
+        }
+        let installed = snap.streams.len();
+        for (shard, leg) in self.shards.iter_mut().zip(&legs) {
+            if !leg.is_empty() {
+                shard.restore_job_streams(job, leg, snap.clock);
+            }
+        }
+        self.shards[0].restore_job_history(job, &snap.metrics);
+        if self.cfg.ttl.is_some() {
+            let c = self.job_clocks.entry(job).or_insert(0);
+            *c = (*c).max(snap.clock);
+        } else {
+            // Keep global stamping monotone past the imported recency
+            // stamps so LRU touch stays on its O(1) fast path.
+            self.clock = self.clock.max(max_seen);
+        }
+        Ok((job, installed))
     }
 
     /// Tears the engine into its shards (used by the persistent mode to

@@ -23,12 +23,18 @@
 //! * **Job isolation.** Keys carry their [`JobId`], so two jobs never
 //!   share a predictor, an interner slot, or a scoring counter.
 //!   Evicting or flooding job A cannot change job B's predictions or
-//!   its [`JobMetrics`] rollup (property-tested). One caveat is
-//!   inherited from engine time: [`EngineConfig::ttl`] counts a
-//!   *member-wide* event clock, so with a TTL configured, a co-resident
-//!   job's traffic advances the clock that expires idle streams —
-//!   namespaces isolate state and scores, not the shared notion of
-//!   time.
+//!   its [`JobMetrics`] rollup (property-tested). Time is isolated
+//!   too: with [`EngineConfig::ttl`] configured, each job ages on its
+//!   *own* event clock — only a job's own traffic advances the clock
+//!   that expires its idle streams, so a chatty co-resident tenant can
+//!   never age a quiet one out (`tests/persistence.rs`,
+//!   `ttl_is_isolated_per_job_on_one_member`).
+//! * **Live migration.** [`FederatedEngine::migrate_job`] moves one
+//!   quiesced job between members: snapshot on the source, restore on
+//!   the target, extract the source copy, repin the route — with the
+//!   job's predictions bit-identical across the cut and its per-job
+//!   clock carried along (differential-tested in
+//!   `tests/federation.rs`).
 //! * **Per-job operations.** [`FederatedEngine::evict_job`] reclaims
 //!   one tenant across every member, [`FederatedEngine::resident_jobs`]
 //!   lists live tenants, and [`FederatedEngine::job_metrics`] rolls
@@ -60,6 +66,7 @@
 use crate::engine::{BackpressurePolicy, EngineConfig};
 use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+use crate::snapshot::SnapshotError;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
 use std::cell::RefCell;
@@ -394,6 +401,71 @@ impl FederatedEngine {
             .write()
             .expect("pins lock poisoned")
             .remove(&job);
+    }
+
+    /// Migrates `job` live from member `from` to member `to`,
+    /// returning how many resident streams moved. The sequence is
+    /// snapshot-on-source → restore-on-target → extract-on-source →
+    /// pin, so routing always points at a member that holds the state:
+    /// queries served mid-migration see the source copy until the
+    /// moment the route flips. The job's predictor states, symbol
+    /// histories, scoring rollup, and per-job time-domain clock all
+    /// move, so predictions after the cut are bit-identical to an
+    /// uninterrupted run (differential-tested in
+    /// `tests/federation.rs`).
+    ///
+    /// The caller must quiesce the job's *ingest* first: stop
+    /// submitting its observations and flush every submitting client
+    /// (any query on a client drains its lanes, FIFO). Events still
+    /// in flight on another client's lanes when the snapshot is cut
+    /// land on the source after extraction and are lost with it.
+    ///
+    /// Errs with [`SnapshotError::ConfigMismatch`] — before touching
+    /// either member's state — when the two members run incompatible
+    /// configurations (different TTL or detector settings; shard
+    /// counts may differ, the streams re-partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from` or `to` is out of range, or when `from` is
+    /// not the member currently serving `job`.
+    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, SnapshotError> {
+        let members = self.inner.members.len();
+        assert!(
+            from < members,
+            "source member {from} out of range ({members} members)"
+        );
+        assert!(
+            to < members,
+            "target member {to} out of range ({members} members)"
+        );
+        let serving = self.member_of(job);
+        assert_eq!(
+            serving, from,
+            "job {job} is served by member {serving}, not {from}"
+        );
+        if from == to {
+            return Ok(0);
+        }
+        let src = self.inner.members[from].client();
+        let snap = src.snapshot_job(job);
+        // Restore on the target before extracting from the source: a
+        // config mismatch fails here with both members unchanged.
+        let (_, moved) = self.inner.members[to].client().restore_job(&snap)?;
+        src.extract_job(job);
+        self.pin_job(job, to);
+        if let Some(tel) = self.inner.telemetry.as_ref() {
+            tel.push_flight(FlightEvent {
+                at: self.inner.members[to].clock(),
+                kind: FlightKind::JobMigrated,
+                member: from as u32,
+                shard: 0,
+                job,
+                a: moved as u64,
+                b: to as u64,
+            });
+        }
+        Ok(moved)
     }
 
     /// Creates a client: one private lane into every member. One per

@@ -105,6 +105,7 @@ pub mod federation;
 pub mod metrics;
 pub mod persistent;
 pub mod shard;
+pub mod snapshot;
 pub mod stream_table;
 pub(crate) mod telemetry;
 pub mod types;
@@ -117,6 +118,7 @@ pub use federation::{
 pub use metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 pub use shard::Shard;
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stream_table::{SlotId, StreamTable};
 pub use types::{JobId, Observation, Query, RankId, StreamKey, StreamKind, DEFAULT_JOB};
 // Telemetry vocabulary re-exported so engine consumers need not depend

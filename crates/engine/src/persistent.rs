@@ -28,19 +28,25 @@
 //!   back to the submitting client through a return channel, so the
 //!   steady state reuses buffers instead of allocating per batch.
 //! * **Eviction.** With [`EngineConfig::ttl`] set, legs carry per-event
-//!   engine-time stamps (allocated from a shared atomic clock) and each
-//!   worker sweeps its shard after every batch it receives. With a
-//!   single client, sweep timing is semantics-free (see the
-//!   [`Shard`](crate::shard) docs), so idle shards may hold expired
+//!   stamps drawn from **per-job atomic clocks** in a shared registry: a
+//!   batch reserves one contiguous stamp range per job it touches (one
+//!   `fetch_add` per job, not per event) and assigns the stamps in batch
+//!   order. Every job therefore ages only under its *own* traffic — a
+//!   chatty tenant can never expire a quiet tenant's streams (the
+//!   cross-tenant TTL bug the per-job time domains fix; see the
+//!   [`Shard`](crate::shard) docs). Queries against a TTL engine carry
+//!   the queried job's current clock as `now`. Each worker sweeps its
+//!   shard after every batch it receives; idle shards may hold expired
 //!   slots until their next command — or until
-//!   [`EngineClient::sweep_expired`] forces a broadcast sweep. With
-//!   *multiple concurrent clients* and a TTL, stamps are allocated
-//!   before the channel send, so a stream's exact expiry point follows
-//!   command-arrival order rather than stamp order — per-stream
-//!   predictions stay well-formed (streams are single-writer by rank),
-//!   but which side of the TTL boundary a racing gap lands on is
-//!   scheduling-dependent, exactly like the observe/observe races the
-//!   old mutex design had.
+//!   [`EngineClient::sweep_expired`] forces a broadcast sweep, which
+//!   ships the registry's current job clocks so every shard's per-job
+//!   watermarks catch up. With *multiple concurrent clients* and a TTL,
+//!   stamps are allocated before the channel send, so a stream's exact
+//!   expiry point follows command-arrival order rather than stamp
+//!   order — per-stream predictions stay well-formed (streams are
+//!   single-writer by rank), but which side of the TTL boundary a
+//!   racing gap lands on is scheduling-dependent, exactly like the
+//!   observe/observe races the old mutex design had.
 //! * **Bounded lanes and backpressure.** With
 //!   [`EngineConfig::observe_queue_cap`] set, every shard's command
 //!   lane is a *bounded* channel: a slow shard can hold at most `cap`
@@ -89,12 +95,17 @@
 use crate::engine::{shard_of, shard_of_key, BackpressurePolicy, Engine, EngineConfig};
 use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
 use crate::shard::Shard;
+use crate::snapshot::{
+    check_config, decode_engine, decode_job, encode_engine, encode_job, EngineSnapshot,
+    JobSnapshot, ShardState, SnapshotError, StreamState,
+};
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use fxhash::FxHashMap;
 use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -260,7 +271,9 @@ enum ShardCmd {
 enum QueryBody {
     Predict {
         queries: Vec<Query>,
-        now: u64,
+        /// Per-query `now`, parallel to `queries`: with a TTL each
+        /// query is served in its own job's time domain.
+        nows: Vec<u64>,
     },
     Forecast {
         job: JobId,
@@ -290,8 +303,36 @@ enum QueryBody {
     },
     Sweep {
         now: u64,
+        /// Current per-job clocks from the registry, folded into the
+        /// shard's watermarks before the sweep so streams of jobs whose
+        /// traffic no longer reaches this shard still age.
+        job_nows: Vec<(JobId, u64)>,
     },
     Telemetry,
+    /// Export the shard's complete predictive state (snapshotting).
+    Snapshot,
+    /// Export one job's slice of this shard (migration payload).
+    SnapshotJob {
+        job: JobId,
+    },
+    /// Replace the shard's predictive state (whole-engine restore).
+    Restore(Box<ShardState>),
+    /// Re-home one job's streams into this shard, replacing any state
+    /// it already held for the job. `history` rides on exactly one
+    /// shard (the job's historical counters must not multiply by the
+    /// shard count).
+    RestoreJob {
+        job: JobId,
+        streams: Vec<StreamState>,
+        history: Option<Box<JobMetrics>>,
+        watermark: u64,
+    },
+    /// Remove every trace of a job — streams, rollup history, watermark
+    /// — as a *move* (nothing counted evicted; see
+    /// [`Shard::extract_job`]).
+    ExtractJob {
+        job: JobId,
+    },
 }
 
 /// Epoch-stamped worker answer.
@@ -312,6 +353,12 @@ enum ReplyBody {
     Evicted(usize),
     Oldest(Vec<(u64, StreamKey)>),
     Telemetry(Box<TelemetrySnapshot>),
+    State(Box<ShardState>),
+    JobSlice {
+        metrics: Option<JobMetrics>,
+        watermark: u64,
+        streams: Vec<StreamState>,
+    },
 }
 
 /// Engine-level (client-side) telemetry: what the shard workers cannot
@@ -351,6 +398,12 @@ struct Inner {
     /// for why that contract is sufficient (the clock allocates stamps;
     /// it never carries cross-thread visibility).
     clock: AtomicU64,
+    /// Per-job stamp clocks (TTL engines only — empty otherwise): the
+    /// registry behind the per-job time domains. The map is append-only
+    /// in practice (a job's clock lives as long as the engine); clients
+    /// cache the `Arc`s so the steady state never touches the lock.
+    /// Same `Relaxed` contract as `clock`.
+    job_clocks: RwLock<FxHashMap<JobId, Arc<AtomicU64>>>,
     /// Client-side telemetry state; `None` when telemetry is disabled.
     telemetry: Option<EngineTelemetry>,
 }
@@ -434,8 +487,12 @@ fn worker_loop(
             }
             ShardCmd::Query { epoch, reply, body } => {
                 let body = match body {
-                    QueryBody::Predict { queries, now } => ReplyBody::Predictions(
-                        queries.iter().map(|q| shard.predict_at(*q, now)).collect(),
+                    QueryBody::Predict { queries, nows } => ReplyBody::Predictions(
+                        queries
+                            .iter()
+                            .zip(&nows)
+                            .map(|(q, &now)| shard.predict_at(*q, now))
+                            .collect(),
                     ),
                     QueryBody::Forecast {
                         job,
@@ -461,10 +518,45 @@ fn worker_loop(
                         ReplyBody::Evicted(usize::from(shard.evict_stream(key)))
                     }
                     QueryBody::LruOldest { n } => ReplyBody::Oldest(shard.lru_oldest(n)),
-                    QueryBody::Sweep { now } => ReplyBody::Evicted(shard.sweep_expired(now)),
+                    QueryBody::Sweep { now, job_nows } => {
+                        for (job, jnow) in job_nows {
+                            shard.fold_job_now(job, jnow);
+                        }
+                        ReplyBody::Evicted(shard.sweep_expired(now))
+                    }
                     QueryBody::Telemetry => ReplyBody::Telemetry(Box::new(
                         shard.telemetry_snapshot().unwrap_or_default(),
                     )),
+                    QueryBody::Snapshot => ReplyBody::State(Box::new(shard.export_state())),
+                    QueryBody::SnapshotJob { job } => {
+                        let (metrics, watermark, streams) = shard.export_job_state(job);
+                        ReplyBody::JobSlice {
+                            metrics,
+                            watermark,
+                            streams,
+                        }
+                    }
+                    QueryBody::Restore(st) => {
+                        shard.restore_state(&st);
+                        ReplyBody::Evicted(st.streams.len())
+                    }
+                    QueryBody::RestoreJob {
+                        job,
+                        streams,
+                        history,
+                        watermark,
+                    } => {
+                        shard.extract_job(job);
+                        if !streams.is_empty() {
+                            shard.restore_job_streams(job, &streams, watermark);
+                        }
+                        if let Some(h) = history {
+                            shard.restore_job_history(job, &h);
+                            shard.fold_job_now(job, watermark);
+                        }
+                        ReplyBody::Evicted(streams.len())
+                    }
+                    QueryBody::ExtractJob { job } => ReplyBody::Evicted(shard.extract_job(job)),
                 };
                 let _ = reply.send(Reply {
                     epoch,
@@ -557,6 +649,7 @@ impl PersistentEngine {
                 workers,
                 lanes,
                 clock: AtomicU64::new(0),
+                job_clocks: RwLock::new(FxHashMap::default()),
                 telemetry,
             }),
         })
@@ -653,6 +746,42 @@ impl PersistentEngine {
         }
     }
 
+    /// Rebuilds a running engine from an
+    /// [`EngineClient::snapshot`] / [`crate::Engine::snapshot`] blob:
+    /// spawns the workers, seeds the global clock and the per-job clock
+    /// registry, then ships each worker its shard's serialized state.
+    /// `cfg` must match the snapshot's shard count, TTL, and DPD
+    /// parameters ([`SnapshotError::ConfigMismatch`] otherwise);
+    /// transport knobs are free to differ. Panics like
+    /// [`PersistentEngine::new`] if a worker thread cannot be spawned.
+    pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let snap = decode_engine(bytes)?;
+        check_config(
+            Some(snap.shards),
+            snap.ttl,
+            &snap.dpd,
+            cfg.shards,
+            cfg.ttl,
+            &cfg.dpd,
+        )?;
+        let eng = Self::new(cfg);
+        eng.inner.clock.store(snap.clock, Ordering::Relaxed);
+        {
+            let mut registry = eng.inner.job_clocks.write().unwrap();
+            for &(job, c) in &snap.job_clocks {
+                registry.insert(job, Arc::new(AtomicU64::new(c)));
+            }
+        }
+        let client = eng.client();
+        let mut states: Vec<Option<Box<ShardState>>> = snap
+            .shard_states
+            .into_iter()
+            .map(|s| Some(Box::new(s)))
+            .collect();
+        client.broadcast(|s| QueryBody::Restore(states[s].take().expect("one state per shard")));
+        Ok(eng)
+    }
+
     /// Creates a client: a private, buffered lane into the engine. One
     /// per thread; creation is cheap (two channels).
     pub fn client(&self) -> EngineClient {
@@ -668,6 +797,8 @@ impl PersistentEngine {
             plain_pool: RefCell::new(Vec::new()),
             stamped_pool: RefCell::new(Vec::new()),
             legs_scratch: RefCell::new(Vec::new()),
+            job_clock_cache: RefCell::new(FxHashMap::default()),
+            stamp_cursors: RefCell::new(Vec::new()),
         }
     }
 }
@@ -688,6 +819,14 @@ pub struct EngineClient {
     /// Per-shard partition scratch reused across `observe_batch` calls
     /// (entries are `take`n when sent, leaving `None`s behind).
     legs_scratch: RefCell<Vec<Option<Leg>>>,
+    /// Private cache of the registry's per-job clock `Arc`s so the
+    /// ingest hot path allocates stamps without taking the registry
+    /// lock (TTL engines only; stays empty otherwise).
+    job_clock_cache: RefCell<FxHashMap<JobId, Arc<AtomicU64>>>,
+    /// Per-batch stamping scratch: `(job, cursor)` pairs reused across
+    /// `observe_batch` calls (batches touch a handful of jobs, so a
+    /// linear scan beats hashing here).
+    stamp_cursors: RefCell<Vec<(JobId, u64)>>,
 }
 
 impl std::fmt::Debug for EngineClient {
@@ -716,6 +855,51 @@ impl EngineClient {
         let e = self.epoch.get() + 1;
         self.epoch.set(e);
         e
+    }
+
+    /// The registry clock of `job`, interned on first use and cached so
+    /// subsequent batches never take the registry lock.
+    fn job_clock(&self, job: JobId) -> Arc<AtomicU64> {
+        if let Some(c) = self.job_clock_cache.borrow().get(&job) {
+            return Arc::clone(c);
+        }
+        let existing = self
+            .inner
+            .job_clocks
+            .read()
+            .unwrap()
+            .get(&job)
+            .map(Arc::clone);
+        let clock = existing.unwrap_or_else(|| {
+            let mut clocks = self.inner.job_clocks.write().unwrap();
+            Arc::clone(
+                clocks
+                    .entry(job)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        });
+        self.job_clock_cache
+            .borrow_mut()
+            .insert(job, Arc::clone(&clock));
+        clock
+    }
+
+    /// `now` in `job`'s time domain: the job's registry clock under a
+    /// TTL (0 for a job never observed — nothing of it can be expired),
+    /// the global engine clock otherwise. Read-only: never interns.
+    fn job_now(&self, job: JobId) -> u64 {
+        if self.inner.cfg.ttl.is_none() {
+            return self.inner.clock.load(Ordering::Relaxed);
+        }
+        if let Some(c) = self.job_clock_cache.borrow().get(&job) {
+            return c.load(Ordering::Relaxed);
+        }
+        self.inner
+            .job_clocks
+            .read()
+            .unwrap()
+            .get(&job)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Blocks for the next reply on this client's lane. The lane's
@@ -881,9 +1065,28 @@ impl EngineClient {
         let now = base + batch.len() as u64;
         self.drain_recycled();
         let stamped = self.inner.cfg.ttl.is_some();
+        // Per-job stamp allocation: count each job's events, reserve one
+        // contiguous stamp range per job from its registry clock (a
+        // single `fetch_add` each), then hand the stamps out in batch
+        // order — concurrent clients get disjoint ranges, and a job's
+        // clock only ever advances under its own traffic.
+        let mut cursors = self.stamp_cursors.borrow_mut();
+        cursors.clear();
+        if stamped {
+            for obs in batch {
+                match cursors.iter_mut().find(|(j, _)| *j == obs.key.job) {
+                    Some((_, n)) => *n += 1,
+                    None => cursors.push((obs.key.job, 1)),
+                }
+            }
+            for (job, n) in cursors.iter_mut() {
+                let job_base = self.job_clock(*job).fetch_add(*n, Ordering::Relaxed);
+                *n = job_base + 1; // repurposed: next stamp to assign
+            }
+        }
         let mut legs = self.legs_scratch.borrow_mut();
         legs.resize_with(nshards, || None);
-        for (i, obs) in batch.iter().enumerate() {
+        for obs in batch {
             let s = shard_of_key(obs.key, nshards);
             let leg = legs[s].get_or_insert_with(|| {
                 if stamped {
@@ -898,7 +1101,14 @@ impl EngineClient {
             });
             match leg {
                 Leg::Plain(buf) => buf.push(*obs),
-                Leg::Stamped(buf) => buf.push((*obs, base + i as u64 + 1)),
+                Leg::Stamped(buf) => {
+                    let (_, cursor) = cursors
+                        .iter_mut()
+                        .find(|(j, _)| *j == obs.key.job)
+                        .expect("job counted in the stamping pass");
+                    buf.push((*obs, *cursor));
+                    *cursor += 1;
+                }
             }
         }
         let mut err = None;
@@ -1023,12 +1233,12 @@ impl EngineClient {
     /// Serves one query.
     pub fn predict(&self, key: StreamKey, horizon: u32) -> Option<u64> {
         let s = shard_of_key(key, self.inner.senders.len());
-        let now = self.inner.clock.load(Ordering::Relaxed);
+        let now = self.job_now(key.job);
         match self.call(
             s,
             QueryBody::Predict {
                 queries: vec![Query::new(key, horizon)],
-                now,
+                nows: vec![now],
             },
         ) {
             ReplyBody::Predictions(mut p) => p.pop().expect("one answer per query"),
@@ -1046,24 +1256,26 @@ impl EngineClient {
         }
         out.resize(queries.len(), None);
         let nshards = self.inner.senders.len();
-        let now = self.inner.clock.load(Ordering::Relaxed);
         // Partition into per-shard legs, remembering original positions.
-        let mut legs: Vec<(Vec<Query>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); nshards];
+        // Each query carries its own job's `now` (per-job time domains).
+        type PredictLeg = (Vec<Query>, Vec<u64>, Vec<u32>);
+        let mut legs: Vec<PredictLeg> = vec![(Vec::new(), Vec::new(), Vec::new()); nshards];
         for (i, q) in queries.iter().enumerate() {
             let s = shard_of_key(q.key, nshards);
             legs[s].0.push(*q);
-            legs[s].1.push(i as u32);
+            legs[s].1.push(self.job_now(q.key.job));
+            legs[s].2.push(i as u32);
         }
         let epoch = self.next_epoch();
         let mut positions: Vec<Option<Vec<u32>>> = Vec::new();
         positions.resize_with(nshards, || None);
         let mut pending = 0usize;
-        for (s, (leg, pos)) in legs.into_iter().enumerate() {
+        for (s, (leg, nows, pos)) in legs.into_iter().enumerate() {
             if leg.is_empty() {
                 continue;
             }
             positions[s] = Some(pos);
-            self.send_query(s, epoch, QueryBody::Predict { queries: leg, now });
+            self.send_query(s, epoch, QueryBody::Predict { queries: leg, nows });
             pending += 1;
         }
         while pending > 0 {
@@ -1105,7 +1317,7 @@ impl EngineClient {
         out: &mut Vec<(Option<u64>, Option<u64>)>,
     ) {
         let s = shard_of(job, rank, self.inner.senders.len());
-        let now = self.inner.clock.load(Ordering::Relaxed);
+        let now = self.job_now(job);
         match self.call(
             s,
             QueryBody::Forecast {
@@ -1126,7 +1338,7 @@ impl EngineClient {
     /// Detected period of a stream, if locked and not expired.
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
         let s = shard_of_key(key, self.inner.senders.len());
-        let now = self.inner.clock.load(Ordering::Relaxed);
+        let now = self.job_now(key.job);
         match self.call(s, QueryBody::PeriodOf { key, now }) {
             ReplyBody::Period(p) => p,
             _ => unreachable!("period reply shape"),
@@ -1136,7 +1348,7 @@ impl EngineClient {
     /// Detector confidence of a stream's lock.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
         let s = shard_of_key(key, self.inner.senders.len());
-        let now = self.inner.clock.load(Ordering::Relaxed);
+        let now = self.job_now(key.job);
         match self.call(s, QueryBody::ConfidenceOf { key, now }) {
             ReplyBody::Confidence(c) => c,
             _ => unreachable!("confidence reply shape"),
@@ -1277,13 +1489,24 @@ impl EngineClient {
     /// receive; this also reaches idle shards).
     pub fn sweep_expired(&self) -> usize {
         let now = self.inner.clock.load(Ordering::Relaxed);
-        self.broadcast(|_| QueryBody::Sweep { now })
-            .into_iter()
-            .map(|b| match b {
-                ReplyBody::Evicted(n) => n,
-                _ => unreachable!("sweep reply shape"),
-            })
-            .sum()
+        let job_nows: Vec<(JobId, u64)> = self
+            .inner
+            .job_clocks
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&job, clock)| (job, clock.load(Ordering::Relaxed)))
+            .collect();
+        self.broadcast(|_| QueryBody::Sweep {
+            now,
+            job_nows: job_nows.clone(),
+        })
+        .into_iter()
+        .map(|b| match b {
+            ReplyBody::Evicted(n) => n,
+            _ => unreachable!("sweep reply shape"),
+        })
+        .sum()
     }
 
     /// Forcibly evicts the `n` least-recently-observed streams across
@@ -1306,6 +1529,139 @@ impl EngineClient {
             }
         }
         removed
+    }
+
+    /// Serializes the engine's complete predictive state into a
+    /// versioned, checksummed snapshot (see [`crate::snapshot`]).
+    /// Command lanes are FIFO, so the snapshot reflects everything
+    /// *this client* submitted before the call; with other clients
+    /// concurrently ingesting, their in-flight legs land on whichever
+    /// side of the cut the channels ordered them — quiesce other
+    /// clients first when an exact cut matters (the migration path
+    /// does).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let shard_states = self
+            .broadcast(|_| QueryBody::Snapshot)
+            .into_iter()
+            .map(|b| match b {
+                ReplyBody::State(st) => *st,
+                _ => unreachable!("snapshot reply shape"),
+            })
+            .collect();
+        let mut job_clocks: Vec<(JobId, u64)> = self
+            .inner
+            .job_clocks
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(&job, clock)| (job, clock.load(Ordering::Relaxed)))
+            .collect();
+        job_clocks.sort_unstable_by_key(|&(j, _)| j);
+        encode_engine(&EngineSnapshot {
+            shards: u32::try_from(self.inner.senders.len()).expect("shard count fits u32"),
+            ttl: self.inner.cfg.ttl,
+            dpd: self.inner.cfg.dpd.clone(),
+            clock: self.inner.clock.load(Ordering::Relaxed),
+            job_clocks,
+            shard_states,
+        })
+    }
+
+    /// Serializes one job's slice of the engine — streams, summed
+    /// rollup history, and job clock — restorable into an engine of
+    /// any shard count whose TTL and DPD parameters match (the
+    /// live-migration payload). Same single-client consistency contract
+    /// as [`EngineClient::snapshot`].
+    pub fn snapshot_job(&self, job: JobId) -> Vec<u8> {
+        let mut metrics = JobMetrics::default();
+        let mut clock = self.job_now(job);
+        let mut streams = Vec::new();
+        for b in self.broadcast(|_| QueryBody::SnapshotJob { job }) {
+            match b {
+                ReplyBody::JobSlice {
+                    metrics: jm,
+                    watermark,
+                    streams: ss,
+                } => {
+                    if let Some(jm) = jm {
+                        metrics.merge(&jm);
+                    }
+                    clock = clock.max(watermark);
+                    streams.extend(ss);
+                }
+                _ => unreachable!("snapshot-job reply shape"),
+            }
+        }
+        streams.sort_unstable_by_key(|s| (s.last_seen, s.key.rank, s.key.kind.index()));
+        encode_job(&JobSnapshot {
+            job,
+            ttl: self.inner.cfg.ttl,
+            dpd: self.inner.cfg.dpd.clone(),
+            clock,
+            metrics,
+            streams,
+        })
+    }
+
+    /// Restores a job from a [`EngineClient::snapshot_job`] /
+    /// [`crate::Engine::snapshot_job`] blob, replacing any state the
+    /// engine already held for it, and returns the job id and how many
+    /// streams were installed. Streams re-partition by *this* engine's
+    /// shard count; only TTL and DPD parameters must match.
+    pub fn restore_job(&self, bytes: &[u8]) -> Result<(JobId, usize), SnapshotError> {
+        let snap = decode_job(bytes)?;
+        check_config(
+            None,
+            snap.ttl,
+            &snap.dpd,
+            self.inner.senders.len(),
+            self.inner.cfg.ttl,
+            &self.inner.cfg.dpd,
+        )?;
+        let job = snap.job;
+        let nshards = self.inner.senders.len();
+        let mut legs: Vec<Vec<StreamState>> = vec![Vec::new(); nshards];
+        let mut max_seen = 0u64;
+        for s in &snap.streams {
+            max_seen = max_seen.max(s.last_seen);
+            legs[shard_of(job, s.key.rank, nshards)].push(s.clone());
+        }
+        let installed = snap.streams.len();
+        let mut legs: Vec<Option<Vec<StreamState>>> = legs.into_iter().map(Some).collect();
+        self.broadcast(|s| QueryBody::RestoreJob {
+            job,
+            streams: legs[s].take().expect("one leg per shard"),
+            // The job's historical counters live on exactly one shard
+            // (0): replicating them would multiply federation rollups.
+            history: (s == 0).then(|| Box::new(snap.metrics)),
+            watermark: snap.clock,
+        });
+        if self.inner.cfg.ttl.is_some() {
+            self.job_clock(job).fetch_max(snap.clock, Ordering::Relaxed);
+        } else {
+            // Keep global stamping monotone past the imported recency
+            // stamps so LRU touch stays on its O(1) fast path.
+            self.inner.clock.fetch_max(max_seen, Ordering::Relaxed);
+        }
+        Ok((job, installed))
+    }
+
+    /// Removes every trace of `job` — streams, rollup history, and
+    /// watermarks — returning how many streams left. This is the
+    /// *move-out* half of a migration: unlike
+    /// [`EngineClient::evict_job`] nothing counts as evicted and the
+    /// job's history leaves with it (it lives in the snapshot taken
+    /// first). The registry clock entry survives (the registry is
+    /// append-only); a job returning to this engine resumes from its
+    /// old clock, which is monotone and therefore safe.
+    pub fn extract_job(&self, job: JobId) -> usize {
+        self.broadcast(|_| QueryBody::ExtractJob { job })
+            .into_iter()
+            .map(|b| match b {
+                ReplyBody::Evicted(n) => n,
+                _ => unreachable!("extract reply shape"),
+            })
+            .sum()
     }
 }
 

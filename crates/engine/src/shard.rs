@@ -30,41 +30,62 @@
 //! into the shard's per-job rollup vector, so per-event job accounting
 //! is an array access, not a second map probe.
 //!
-//! ## Engine time and the TTL rule
+//! ## Per-job time domains and the TTL rule
 //!
-//! Observations carry a global *engine-time* stamp: the 1-based index of
-//! the event in the engine-wide ingest order. Each slot remembers the
-//! stamp of its latest observation (`last_seen`). With a TTL of `t`
-//! events, a stream whose gap `now − last_seen` exceeds `t` is
-//! **logically evicted**: predictions return `None` and the next
-//! observation restarts it cold (fresh predictor and interner). The rule
-//! is enforced in two ways that are deliberately indistinguishable:
+//! Observations carry a *time-domain* stamp. Without a TTL, the stamp
+//! is global engine time (the 1-based index of the event in the
+//! engine-wide ingest order) and only orders LRU eviction. **With a TTL
+//! configured, stamps are allocated from the owning job's own clock** —
+//! the 1-based index of the event in *that job's* ingest order — so a
+//! stream's age is measured exclusively in its own tenant's traffic.
+//! This is the cross-tenant isolation rule: a co-resident job's flood
+//! can never advance the clock that expires another job's idle streams
+//! (regression-pinned in `tests/persistence.rs`).
+//!
+//! Each slot remembers the stamp of its latest observation
+//! (`last_seen`). With a TTL of `t` events, a stream whose gap
+//! `now − last_seen` exceeds `t` — with `now` the *same job's* current
+//! time — is **logically evicted**: predictions return `None` and the
+//! next observation restarts it cold (fresh predictor and interner).
+//! The rule is enforced in two ways that are deliberately
+//! indistinguishable:
 //!
 //! * lazily, when an expired slot is touched by a new observation
-//!   (reset in place), or consulted by a predict (masked to `None`);
+//!   (reset in place; the incoming stamp is the job's exact `now`), or
+//!   consulted by a predict (masked to `None` against the caller's
+//!   job-time `now`);
 //! * eagerly, by [`Shard::sweep_expired`], which *removes* expired
-//!   slots to reclaim memory.
+//!   slots to reclaim memory. The sweep walks each job's domain list
+//!   against that job's **watermark** — the highest stamp the shard has
+//!   applied for the job ([`Shard::job_now`]), a conservative lower
+//!   bound of the job's global clock that callers can tighten via
+//!   [`Shard::fold_job_now`] (the engine's explicit-sweep path snapshots
+//!   its per-job clocks and folds them in, so fully idle jobs still get
+//!   reclaimed).
 //!
 //! Because a swept stream would have been reset at its next touch
-//! anyway (the gap only grows), sweep timing can never change a
-//! prediction or a scoring counter (hits/misses/abstentions/churn/
-//! events) — sweeps are pure memory reclamation. The reclamation
-//! metrics themselves (`evicted`, `resident_streams`) do reflect sweep
-//! progress: a stream that expires and is never touched again is
-//! counted evicted (and released) only once some sweep reaches it.
-//! The invariant holds whenever the shard's inputs are stamp-monotone
-//! (each `observe_at`/`sweep_expired` call carries a `now`/`at` no
-//! smaller than every stamp already applied), which is guaranteed for
-//! the scoped engine and for any single client of the persistent
-//! engine — and is what lets persistent workers sweep only the shards
-//! that happen to receive traffic while staying bit-identical to the
-//! sequential reference (property-tested in `tests/persistence.rs`).
-//! Concurrent clients racing a TTL relax this to arrival order; see
-//! the [`persistent`](crate::persistent) docs. (Stamp-monotone inputs
-//! are also what keep the LRU list's O(1) touch fast path hot; a racy
-//! out-of-order stamp merely pays a short sorted re-insertion.)
+//! anyway (the job-time gap only grows), sweep timing can never change
+//! a prediction or a scoring counter (hits/misses/abstentions/churn/
+//! events) — sweeps are pure memory reclamation, and sweeping against a
+//! *lower bound* of job time only delays reclamation, never mis-expires.
+//! The reclamation metrics themselves (`evicted`, `resident_streams`)
+//! do reflect sweep progress: a stream that expires and is never
+//! touched again is counted evicted (and released) only once some sweep
+//! reaches it. The invariant holds whenever the shard's inputs are
+//! stamp-monotone **per job** (each job's stamps arrive no smaller than
+//! that job's watermark), which is guaranteed for the scoped engine and
+//! for any single client of the persistent engine — and is what lets
+//! persistent workers sweep only the shards that happen to receive
+//! traffic while staying bit-identical to the sequential reference
+//! (property-tested in `tests/persistence.rs`). Concurrent clients
+//! racing on one job relax this to arrival order; see the
+//! [`persistent`](crate::persistent) docs. (Per-job stamp-monotone
+//! inputs are also what keep the LRU list's O(1) touch fast path hot; a
+//! racy out-of-order stamp merely pays a short sorted re-insertion in
+//! its own domain.)
 
 use crate::metrics::{JobMetrics, ShardMetrics};
+use crate::snapshot::{ShardState, StreamState};
 use crate::stream_table::{SlotId, StreamTable};
 use crate::telemetry::ShardTelemetry;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, StreamKind};
@@ -76,28 +97,47 @@ use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use std::time::Instant;
 
 /// The single definition of the TTL expiry rule: a stream whose last
-/// observation is more than `ttl` engine-time events before `now` is
-/// logically evicted. The lazy reset in [`Shard::observe_at`], the
-/// predict-time masking, and the sweep's pop condition must stay
-/// exact complements of each other — which is why they all call this.
+/// observation is more than `ttl` time-domain events before `now` —
+/// both in the owning job's time base — is logically evicted. The lazy
+/// reset in [`Shard::observe_at`], the predict-time masking, and the
+/// sweep's pop condition must stay exact complements of each other —
+/// which is why they all call this.
+///
+/// **Out-of-order stamps are a contract, not an accident:** the age is
+/// `now.saturating_sub(last_seen)`, so a `now` *behind* `last_seen` —
+/// possible only when concurrent clients race stamp allocation against
+/// a query — saturates to age 0 and reports the stream **fresh**. That
+/// is the intended resolution: the stream demonstrably has an
+/// observation at `last_seen`, so a stale reader must never expire it;
+/// under racing writers the freshest information wins. A `u64`
+/// subtraction that wrapped would instead report an astronomically old
+/// stream and evict live state. Pinned by the `racy_stamps_*` proptest
+/// in `tests/stream_table.rs`.
 #[inline]
 pub(crate) fn is_expired(ttl: Option<u64>, last_seen: u64, now: u64) -> bool {
     matches!(ttl, Some(t) if now.saturating_sub(last_seen) > t)
 }
 
 /// Orders LRU eviction candidates oldest-first — by last-observed
-/// engine time, ties broken by key so every execution mode picks
-/// identical victims — and keeps the first `n`. The single definition
-/// of the LRU victim order, shared by [`Shard::lru_oldest`],
+/// stamp, ties broken by `(job, rank, kind)` so every execution mode
+/// picks identical victims — and keeps the first `n`. The single
+/// definition of the LRU victim order, shared by [`Shard::lru_oldest`],
 /// `Engine::evict_lru` and `EngineClient::evict_lru`. The shard feeds
 /// it a bounded [`StreamTable::oldest_window`] rather than the whole
 /// resident set; because the window provably contains every entry that
 /// can rank among the first `n`, the selected victims are identical.
+///
+/// Under per-job time domains (TTL configured), stamps of different
+/// jobs count different tenants' events, so the forced-eviction order
+/// compares **job-local ages**: the victim is the stream least recently
+/// touched *in its own job's time*, with the deterministic key
+/// tie-break arbitrating across jobs. With one shared clock (no TTL)
+/// this is exactly the historical global LRU order.
 pub(crate) fn select_lru_victims(
     mut candidates: Vec<(u64, StreamKey)>,
     n: usize,
 ) -> Vec<(u64, StreamKey)> {
-    candidates.sort_unstable_by_key(|&(seen, key)| (seen, key.rank, key.kind.index()));
+    candidates.sort_unstable_by_key(|&(seen, key)| (seen, key.job, key.rank, key.kind.index()));
     candidates.truncate(n);
     candidates
 }
@@ -203,7 +243,7 @@ impl StreamSlot {
 #[derive(Debug)]
 pub struct Shard {
     cfg: DpdConfig,
-    /// TTL in engine-time events; `None` disables expiry.
+    /// TTL in events of the owning job's clock; `None` disables expiry.
     ttl: Option<u64>,
     /// The slab-backed stream table (see the [module docs](self)).
     table: StreamTable<StreamSlot>,
@@ -216,8 +256,15 @@ pub struct Shard {
     /// Job id → index into `jobs`, consulted only off the per-event
     /// path (slot creation, predict/forecast rollups).
     job_index: FxHashMap<JobId, u32>,
-    /// Highest engine-time stamp this shard has processed (used to
-    /// stamp untimed `observe` calls from standalone/unit-test use).
+    /// Per-job time watermarks, parallel to `jobs`: the highest stamp
+    /// this shard has applied for each job, tightened further by
+    /// [`Shard::fold_job_now`]. With a TTL configured this is the
+    /// shard's (conservative) view of each job's current time — the
+    /// sweep's `now` (see the [module docs](self)).
+    job_clocks: Vec<u64>,
+    /// Highest stamp this shard has processed across all jobs (used to
+    /// stamp untimed `observe` calls from standalone/unit-test use and
+    /// to throttle sweeps).
     clock: u64,
     /// Engine time of the last sweep (throttles [`Shard::maybe_sweep`]).
     last_sweep: u64,
@@ -247,6 +294,7 @@ impl Shard {
             metrics: ShardMetrics::default(),
             jobs: Vec::new(),
             job_index: FxHashMap::default(),
+            job_clocks: Vec::new(),
             clock: 0,
             last_sweep: 0,
             fc_sender: Vec::new(),
@@ -291,7 +339,35 @@ impl Shard {
         let i = u32::try_from(self.jobs.len()).expect("job count fits u32");
         self.job_index.insert(job, i);
         self.jobs.push((job, JobMetrics::default()));
+        self.job_clocks.push(0);
         i
+    }
+
+    /// The shard's watermark of `job`'s current time: the highest stamp
+    /// applied for the job, tightened by [`Shard::fold_job_now`]. 0 for
+    /// a job this shard has never ingested (such a job has no streams
+    /// here, so every lookup misses regardless of the time used).
+    #[inline]
+    pub fn job_now(&self, job: JobId) -> u64 {
+        self.job_index
+            .get(&job)
+            .map_or(0, |&i| self.job_clocks[i as usize])
+    }
+
+    /// Advances `job`'s watermark to at least `now` — the hook for a
+    /// caller that knows the job's clock has moved past what this
+    /// shard's own traffic shows (the engine's explicit-sweep path).
+    /// Monotone (never moves a watermark backwards) and a no-op for
+    /// jobs this shard has never ingested; always safe because the
+    /// caller only passes true job-clock readings, and reclamation
+    /// against any lower bound of job time is prediction-invisible
+    /// (see the [module docs](self)).
+    #[inline]
+    pub fn fold_job_now(&mut self, job: JobId, now: u64) {
+        if let Some(&i) = self.job_index.get(&job) {
+            let wm = &mut self.job_clocks[i as usize];
+            *wm = (*wm).max(now);
+        }
     }
 
     /// The slot serving `key`, interning it (and its job) on first
@@ -327,7 +403,10 @@ impl Shard {
             }
         }
         let slot = self.table.payload_mut(id);
-        let job = &mut self.jobs[slot.job_idx as usize].1;
+        let job_idx = slot.job_idx as usize;
+        let wm = &mut self.job_clocks[job_idx];
+        *wm = (*wm).max(at);
+        let job = &mut self.jobs[job_idx].1;
         let churned = slot.observe(raw, &mut self.metrics, job);
         if churned {
             // Off the steady-state path: churn means a lock transition.
@@ -403,6 +482,42 @@ impl Shard {
         }
     }
 
+    /// Like [`Shard::observe_indexed_at`], but with explicit per-event
+    /// stamps: `stamps[i]` (parallel to `batch`, not to `indices`)
+    /// stamps `batch[i]`. This is the per-job time-domain ingest path —
+    /// the engine allocates each event's stamp from its job's clock and
+    /// hands the whole column down, so the shard never needs to know
+    /// the clock-allocation policy.
+    pub fn observe_indexed_stamped(
+        &mut self,
+        batch: &[Observation],
+        indices: &[u32],
+        stamps: &[u64],
+    ) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
+        self.note_batch_depth(indices.len() as u64);
+        self.observe_run(
+            indices
+                .iter()
+                .map(|&i| (batch[i as usize], stamps[i as usize])),
+        );
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.as_deref()) {
+            tel.note_batch(t0.elapsed().as_nanos() as u64, indices.len());
+        }
+    }
+
+    /// Like [`Shard::observe_all_at`], but with explicit per-event
+    /// stamps (`stamps[i]` stamps `batch[i]`) — the single-shard fast
+    /// path of the per-job time-domain ingest.
+    pub fn observe_all_stamped(&mut self, batch: &[Observation], stamps: &[u64]) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
+        self.note_batch_depth(batch.len() as u64);
+        self.observe_run(batch.iter().zip(stamps).map(|(obs, &at)| (*obs, at)));
+        if let (Some(t0), Some(tel)) = (t0, self.telemetry.as_deref()) {
+            tel.note_batch(t0.elapsed().as_nanos() as u64, batch.len());
+        }
+    }
+
     /// Ingests every event of `batch`, in order, stamped from
     /// `base + 1` (single-shard fast path: no partitioning needed).
     /// Memoized like [`Shard::observe_indexed_at`].
@@ -440,10 +555,12 @@ impl Shard {
         self.table.payload(id).predict(q.horizon as usize)
     }
 
-    /// Serves one query at this shard's own clock (standalone use).
+    /// Serves one query at the queried job's own current time
+    /// (standalone use; engines pass the job-time `now` explicitly).
     #[inline]
     pub fn predict(&mut self, q: Query) -> Option<u64> {
-        self.predict_at(q, self.clock)
+        let now = self.job_now(q.key.job);
+        self.predict_at(q, now)
     }
 
     /// Fills `out` with one stream's `+1..=+depth` forecasts (all
@@ -527,9 +644,9 @@ impl Shard {
         self.table.payload(id).period()
     }
 
-    /// Detected period at this shard's own clock (standalone use).
+    /// Detected period at the key's job time (standalone use).
     pub fn period_of(&self, key: StreamKey) -> Option<usize> {
-        self.period_of_at(key, self.clock)
+        self.period_of_at(key, self.job_now(key.job))
     }
 
     /// Detector confidence of a stream's lock (expiry-masked like
@@ -542,35 +659,43 @@ impl Shard {
         self.table.payload(id).confidence()
     }
 
-    /// Detector confidence at this shard's own clock.
+    /// Detector confidence at the key's job time.
     pub fn confidence_of(&self, key: StreamKey) -> Option<f64> {
-        self.confidence_of_at(key, self.clock)
+        self.confidence_of_at(key, self.job_now(key.job))
     }
 
-    /// Removes every slot whose stream has expired as of engine time
-    /// `now`, returning how many were reclaimed. Pure memory
+    /// Removes every slot whose stream has expired in its own job's
+    /// time, returning how many were reclaimed. Pure memory
     /// reclamation: cannot change any later prediction or counter (see
-    /// the [module docs](self)). The LRU list is sorted by `last_seen`,
-    /// so the sweep pops expired slots off the head and stops at the
-    /// first live one — O(reclaimed), not O(resident).
+    /// the [module docs](self)). Each job's domain list is sorted by
+    /// `last_seen`, so the sweep pops expired slots off each domain
+    /// head — comparing against **that job's watermark**
+    /// ([`Shard::job_now`]) — and stops at the first live one:
+    /// O(domains + reclaimed), not O(resident). `now` is the shard's
+    /// engine-scale clock, used only to reset the sweep throttle and
+    /// stamp telemetry events; callers with fresher job clocks fold
+    /// them in first ([`Shard::fold_job_now`]).
     pub fn sweep_expired(&mut self, now: u64) -> usize {
         let ttl = self.ttl;
         if ttl.is_none() {
             return 0;
         }
         let mut removed = 0usize;
-        while let Some(id) = self.table.oldest() {
-            let seen = self.table.last_seen(id);
-            if !is_expired(ttl, seen, now) {
-                break;
-            }
-            let (key, slot) = self.table.remove(id);
-            let jm = &mut self.jobs[slot.job_idx as usize].1;
-            jm.evicted += 1;
-            jm.resident_streams -= 1;
-            removed += 1;
-            if let Some(tel) = self.telemetry.as_deref_mut() {
-                tel.note_eviction(now, key.job, key.rank, seen);
+        for d in 0..self.table.domain_count() {
+            let job_now = self.job_now(self.table.domain_job(d));
+            while let Some(id) = self.table.domain_oldest(d) {
+                let seen = self.table.last_seen(id);
+                if !is_expired(ttl, seen, job_now) {
+                    break;
+                }
+                let (key, slot) = self.table.remove(id);
+                let jm = &mut self.jobs[slot.job_idx as usize].1;
+                jm.evicted += 1;
+                jm.resident_streams -= 1;
+                removed += 1;
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.note_eviction(now, key.job, key.rank, seen);
+                }
             }
         }
         self.metrics.evicted += removed as u64;
@@ -706,6 +831,208 @@ impl Shard {
             m.resident_streams = 0;
         }
     }
+
+    // --- snapshot / restore / migration (see [`crate::snapshot`]) ---
+
+    /// Serializes one stream's complete state. Symbols are dumped in
+    /// dense-id order so re-interning them in order rebuilds the exact
+    /// `raw → id` mapping; the predictor exports through
+    /// [`DpdPredictor::export_state`].
+    fn export_stream(&self, id: SlotId) -> StreamState {
+        let slot = self.table.payload(id);
+        let symbols = (0..u32::try_from(slot.interner.len()).expect("dense ids fit u32"))
+            .map(|i| slot.interner.symbol(i).expect("dense ids are contiguous"))
+            .collect();
+        StreamState {
+            key: self.table.key_of(id),
+            last_seen: self.table.last_seen(id),
+            symbols,
+            predictor: slot.predictor.export_state(),
+            pending_next: slot.pending_next,
+            last_period: slot.last_period.map(|p| p as u64),
+        }
+    }
+
+    /// Rebuilds a slot from its serialized state, bit-identical to the
+    /// one [`Shard::export_stream`] read.
+    fn rebuild_slot(&self, s: &StreamState, job_idx: u32) -> StreamSlot {
+        let mut interner = SymbolMap::new();
+        for &sym in &s.symbols {
+            interner.intern(sym);
+        }
+        StreamSlot {
+            interner,
+            predictor: DpdPredictor::from_state(self.cfg.clone(), &s.predictor),
+            pending_next: s.pending_next,
+            last_period: s.last_period.map(|p| p as usize),
+            job_idx,
+        }
+    }
+
+    /// Serializes the shard's complete predictive state: counters,
+    /// clocks, per-job rollups with their watermarks (in first-ingest
+    /// order — the order the rollup vector and the table's domains
+    /// intern in), and every resident stream in per-domain LRU order.
+    pub(crate) fn export_state(&self) -> ShardState {
+        let mut streams = Vec::with_capacity(self.table.len());
+        for d in 0..self.table.domain_count() {
+            for id in self.table.domain_iter(d) {
+                streams.push(self.export_stream(id));
+            }
+        }
+        ShardState {
+            metrics: self.metrics(),
+            clock: self.clock,
+            last_sweep: self.last_sweep,
+            jobs: self
+                .jobs
+                .iter()
+                .zip(&self.job_clocks)
+                .map(|(&(job, m), &wm)| (job, m, wm))
+                .collect(),
+            streams,
+        }
+    }
+
+    /// Replaces the shard's predictive state with `st`, keeping its
+    /// configuration, TTL, and telemetry. Jobs (and their table
+    /// domains) are re-interned in serialized order *before* streams
+    /// are inserted, reproducing the source's domain order — the
+    /// cross-domain LRU tie-break — and every slot's `job_idx`; each
+    /// stream list arrives in per-domain LRU order, so every insert is
+    /// an O(1) tail append.
+    pub(crate) fn restore_state(&mut self, st: &ShardState) {
+        self.table = StreamTable::new();
+        self.metrics = st.metrics;
+        self.clock = st.clock;
+        self.last_sweep = st.last_sweep;
+        self.jobs.clear();
+        self.job_index.clear();
+        self.job_clocks.clear();
+        for &(job, m, wm) in &st.jobs {
+            let i = u32::try_from(self.jobs.len()).expect("job count fits u32");
+            self.job_index.insert(job, i);
+            self.jobs.push((job, m));
+            self.job_clocks.push(wm);
+            self.table.ensure_domain(job);
+        }
+        for s in &st.streams {
+            let job_idx = self.job_index[&s.key.job];
+            let slot = self.rebuild_slot(s, job_idx);
+            self.table.insert(s.key, s.last_seen, slot);
+        }
+    }
+
+    /// Serializes one job's slice of this shard: its rollup (if the
+    /// job ever ingested here), its time watermark, and its resident
+    /// streams in LRU order.
+    pub(crate) fn export_job_state(
+        &self,
+        job: JobId,
+    ) -> (Option<JobMetrics>, u64, Vec<StreamState>) {
+        let metrics = self.job_index.get(&job).map(|&i| self.jobs[i as usize].1);
+        let mut streams = Vec::new();
+        if let Some(d) = self.table.domain_for_job(job) {
+            streams.reserve(self.table.domain_len(d));
+            for id in self.table.domain_iter(d) {
+                streams.push(self.export_stream(id));
+            }
+        }
+        (metrics, self.job_now(job), streams)
+    }
+
+    /// Removes every trace of `job` from this shard — streams, rollup
+    /// history, and watermark — returning how many streams left. Unlike
+    /// [`Shard::evict_job`] this is a *move*, not an eviction: nothing
+    /// counts toward `evicted`, and the job's historical counters are
+    /// subtracted from the shard totals (they travel with the job), so
+    /// shard totals stay the sum of the remaining rollups.
+    pub(crate) fn extract_job(&mut self, job: JobId) -> usize {
+        let Some(&ji) = self.job_index.get(&job) else {
+            return 0;
+        };
+        let mut removed = 0;
+        if let Some(d) = self.table.domain_for_job(job) {
+            while let Some(id) = self.table.domain_oldest(d) {
+                self.table.remove(id);
+                removed += 1;
+            }
+        }
+        let jm = std::mem::take(&mut self.jobs[ji as usize].1);
+        self.job_clocks[ji as usize] = 0;
+        subtract_job_counters(&mut self.metrics, &jm);
+        removed
+    }
+
+    /// Re-homes `job`'s streams into this shard: interns the rollup
+    /// entry, folds the job clock up to `watermark`, and inserts the
+    /// streams (arriving in LRU order — O(1) tail appends). The rollup's
+    /// `resident_streams` grows by exactly the streams inserted *here*,
+    /// so per-shard residency accounting (sweeps, evictions) stays
+    /// exact; historical counters arrive separately via
+    /// [`Shard::restore_job_history`].
+    pub(crate) fn restore_job_streams(
+        &mut self,
+        job: JobId,
+        streams: &[StreamState],
+        watermark: u64,
+    ) {
+        if streams.is_empty() && watermark == 0 {
+            return;
+        }
+        let ji = self.job_entry(job);
+        self.job_clocks[ji as usize] = self.job_clocks[ji as usize].max(watermark);
+        for s in streams {
+            debug_assert_eq!(s.key.job, job, "stream routed to the wrong job");
+            let slot = self.rebuild_slot(s, ji);
+            self.table.insert(s.key, s.last_seen, slot);
+            self.clock = self.clock.max(s.last_seen);
+        }
+        self.jobs[ji as usize].1.resident_streams += streams.len() as u64;
+        self.metrics.resident_streams = self.table.len() as u64;
+    }
+
+    /// Folds `job`'s historical counters (minus residency, which
+    /// [`Shard::restore_job_streams`] accounts per shard) into its
+    /// rollup and the shard totals — the single-shard home for a
+    /// migrated job's history, keeping federation-wide rollup sums
+    /// exact across the move.
+    pub(crate) fn restore_job_history(&mut self, job: JobId, metrics: &JobMetrics) {
+        let ji = self.job_entry(job) as usize;
+        let mut hist = *metrics;
+        hist.resident_streams = 0;
+        self.jobs[ji].1.merge(&hist);
+        add_job_counters(&mut self.metrics, &hist);
+    }
+}
+
+/// Adds a job rollup's counters into shard totals (residency excluded —
+/// it is tracked per shard by stream insertion/removal; transport
+/// high-water marks have no per-job component).
+fn add_job_counters(m: &mut ShardMetrics, j: &JobMetrics) {
+    m.events_ingested += j.events_ingested;
+    m.predictions_served += j.predictions_served;
+    m.forecasts_served += j.forecasts_served;
+    m.forecast_predictions += j.forecast_predictions;
+    m.hits += j.hits;
+    m.misses += j.misses;
+    m.abstentions += j.abstentions;
+    m.period_churn += j.period_churn;
+    m.evicted += j.evicted;
+}
+
+/// Inverse of [`add_job_counters`]: a migrating job takes its history
+/// with it.
+fn subtract_job_counters(m: &mut ShardMetrics, j: &JobMetrics) {
+    m.events_ingested -= j.events_ingested;
+    m.predictions_served -= j.predictions_served;
+    m.forecasts_served -= j.forecasts_served;
+    m.forecast_predictions -= j.forecast_predictions;
+    m.hits -= j.hits;
+    m.misses -= j.misses;
+    m.abstentions -= j.abstentions;
+    m.period_churn -= j.period_churn;
+    m.evicted -= j.evicted;
 }
 
 #[cfg(test)]
@@ -892,17 +1219,55 @@ mod tests {
 
     #[test]
     fn sweep_reclaims_exactly_the_expired_streams() {
+        use crate::types::DEFAULT_JOB;
         let mut shard = Shard::with_ttl(DpdConfig::default(), Some(5));
         shard.observe_at(Observation::new(key(0), 1), 1);
         shard.observe_at(Observation::new(key(1), 1), 2);
+        // The sweep ages streams against the job's watermark, which the
+        // caller advances with its fresher reading of the job clock.
+        shard.fold_job_now(DEFAULT_JOB, 6);
         assert_eq!(shard.sweep_expired(6), 0, "gap 5 <= ttl keeps key 0");
+        shard.fold_job_now(DEFAULT_JOB, 7);
         assert_eq!(shard.sweep_expired(7), 1, "gap 6 > ttl evicts key 0");
         assert_eq!(shard.stream_count(), 1);
         assert_eq!(shard.metrics().evicted, 1);
+        // Folding never moves a watermark backwards.
+        shard.fold_job_now(DEFAULT_JOB, 3);
+        assert_eq!(shard.job_now(DEFAULT_JOB), 7);
+        // Unknown jobs have no watermark to fold into.
+        shard.fold_job_now(42, 100);
+        assert_eq!(shard.job_now(42), 0);
         // Without a TTL, sweeping is a no-op.
         let mut none = Shard::new(DpdConfig::default());
         none.observe_at(Observation::new(key(0), 1), 1);
+        none.fold_job_now(DEFAULT_JOB, 1_000_000);
         assert_eq!(none.sweep_expired(1_000_000), 0);
+    }
+
+    #[test]
+    fn sweeps_age_each_job_in_its_own_time() {
+        // The cross-tenant TTL bug, pinned at the shard level: job A
+        // floods while job B sits idle. B's streams must survive any
+        // amount of A-traffic — only B's own clock can expire them.
+        let ka = StreamKey::for_job(1, 0, StreamKind::Sender);
+        let kb = StreamKey::for_job(2, 0, StreamKind::Sender);
+        let mut shard = Shard::with_ttl(DpdConfig::default(), Some(10));
+        shard.observe_at(Observation::new(kb, 5), 1); // B's job time: 1
+                                                      // A floods: 10_000 events of job-A time.
+        for t in 1..=10_000u64 {
+            shard.observe_at(Observation::new(ka, t % 4), t);
+        }
+        assert_eq!(shard.sweep_expired(10_000), 0, "A's flood expires nothing");
+        assert_eq!(shard.stream_count(), 2);
+        // B is still servable in its own time...
+        assert_eq!(shard.period_of_at(kb, shard.job_now(2)), None); // 1 obs: no lock yet
+        assert!(shard.table.get(kb).is_some());
+        // ...until B's *own* clock moves past the TTL.
+        shard.fold_job_now(2, 12);
+        assert_eq!(shard.sweep_expired(10_000), 1, "B expires in B-time only");
+        assert_eq!(shard.stream_count(), 1);
+        assert!(shard.table.get(kb).is_none());
+        assert!(shard.table.get(ka).is_some(), "A was never touched");
     }
 
     #[test]
@@ -919,6 +1284,7 @@ mod tests {
             }
             at += 20; // long idle gap: the stream expires
             if sweep {
+                shard.fold_job_now(crate::types::DEFAULT_JOB, at);
                 shard.sweep_expired(at);
             }
             for v in [3u64, 9, 3, 9, 3, 9] {
@@ -1036,6 +1402,7 @@ mod tests {
             Observation::new(StreamKey::for_job(4, 0, StreamKind::Tag), 1),
             1,
         );
+        ttl_shard.fold_job_now(4, 10);
         assert_eq!(ttl_shard.sweep_expired(10), 1);
         assert_eq!(ttl_shard.job_metrics()[0].1.evicted, 1);
     }

@@ -9,10 +9,16 @@
 //!   rollups equal a single scoped engine fed the same sequence.
 //! * **Job isolation.** Flooding and then evicting job A changes
 //!   *nothing* observable about job B: predictions, periods,
-//!   confidence and B's `JobMetrics` rollup are all unchanged. (Run
-//!   without a TTL: engine time is member-wide by design, so with a
-//!   TTL a co-tenant's traffic legitimately advances the expiry clock
-//!   — see the `federation` module docs.)
+//!   confidence and B's `JobMetrics` rollup are all unchanged. Time
+//!   is per-job too — a co-tenant's traffic never advances the clock
+//!   that expires another job's idle streams (see
+//!   `ttl_is_isolated_per_job_on_one_member` in
+//!   `tests/persistence.rs` and the `federation` module docs).
+//! * **Live migration is invisible.** Migrating a job between members
+//!   mid-workload — snapshot, restore, extract, repin — leaves its
+//!   predictions and scoring rollup bit-identical to a run that never
+//!   migrated, moves its residency wholesale, and leaves every other
+//!   job untouched.
 //! * **Chaos: dead member workers fail loudly with attribution.** A
 //!   killed shard worker inside one member surfaces
 //!   [`FederationWorkerGone`] naming the job, member and shard, while
@@ -165,6 +171,168 @@ proptest! {
             events.len() as u64
         );
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Live migration is invisible: for any workload, cut point,
+    /// member/shard count, TTL and target member, a federation that
+    /// migrates one job mid-workload serves predictions and per-job
+    /// rollups bit-identical to one that never migrates — and the
+    /// migrated job's residency moves wholesale.
+    #[test]
+    fn live_migration_is_bit_identical_to_never_migrating(
+        raw in prop::collection::vec((0u32..RANKS, 0u8..3, 0u64..6), 1..160),
+        jobs in 1u32..4,
+        members in 2usize..4,
+        shards in 1usize..3,
+        cut_sel in 0usize..480,
+        mig_sel in 0u32..8,
+        target_sel in 0usize..4,
+        ttl_sel in 0u64..40,
+    ) {
+        let ttl = if ttl_sel < 15 { None } else { Some(ttl_sel) };
+        let dpd = DpdConfig { window: 48, max_lag: 16, ..DpdConfig::default() };
+        let member_cfg = EngineConfig {
+            shards,
+            dpd,
+            parallel_threshold: 0,
+            ttl,
+            ..EngineConfig::default()
+        };
+        let fed_of = || FederatedEngine::new(FederationConfig {
+            members,
+            member: member_cfg.clone(),
+            adaptive: None,
+        });
+        let control = fed_of();
+        let trial = fed_of();
+        let ctl = control.client();
+        let tri = trial.client();
+
+        let events: Vec<Observation> = raw
+            .iter()
+            .flat_map(|&(r, k, v)| (0..jobs).map(move |j| job_variant(j, r, k, v)))
+            .collect();
+        let cut = cut_sel % (events.len() + 1);
+        let job = mig_sel % jobs;
+
+        for chunk in events[..cut].chunks(7) {
+            ctl.observe_batch(chunk);
+            tri.observe_batch(chunk);
+        }
+
+        // Quiesce the submitting client (a query drains its lanes,
+        // FIFO), then migrate the chosen job on the trial federation.
+        tri.metrics_total();
+        let from = trial.member_of(job);
+        let to = (from + 1 + target_sel) % members; // sometimes == from: a no-op migration
+        let moved = trial.migrate_job(job, from, to)
+            .expect("identically configured members must accept the snapshot");
+        if from != to {
+            prop_assert_eq!(trial.member_of(job), to, "route repinned");
+            prop_assert!(
+                !trial.member(from).client().resident_jobs().contains(&job),
+                "no remnant on the source"
+            );
+            prop_assert_eq!(
+                trial.member(to).client().resident_jobs().contains(&job),
+                moved > 0,
+                "moved streams are resident on the target"
+            );
+        } else {
+            prop_assert_eq!(moved, 0, "self-migration is a no-op");
+        }
+
+        for chunk in events[cut..].chunks(7) {
+            ctl.observe_batch(chunk);
+            tri.observe_batch(chunk);
+        }
+
+        // Every job, every stream, every horizon: bit-identical.
+        let mut queries = Vec::new();
+        for j in 0..jobs {
+            for rank in 0..RANKS {
+                for kind in StreamKind::ALL {
+                    for h in 1..=HORIZONS {
+                        queries.push(Query::new(jkey(j, rank, kind), h));
+                    }
+                }
+            }
+        }
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        ctl.predict_batch(&queries, &mut want);
+        tri.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &want, "migration changed a prediction");
+
+        // Rollups match too. `predictions_served` is counted only on
+        // shards that ingested the job, and migration plants the
+        // job's history on the target's shard 0 — a layout detail —
+        // so it is normalized out.
+        let normalize = |mut rolls: Vec<(JobId, mpp_engine::JobMetrics)>| {
+            for (_, m) in &mut rolls { m.predictions_served = 0; }
+            rolls
+        };
+        prop_assert_eq!(
+            normalize(ctl.job_metrics()),
+            normalize(tri.job_metrics()),
+            "migration changed a job rollup"
+        );
+        prop_assert_eq!(
+            control.metrics_total().events_ingested,
+            trial.metrics_total().events_ingested
+        );
+    }
+}
+
+/// Members with different configurations refuse a migration with a
+/// typed error — before either member's state is touched.
+#[test]
+fn migrating_between_incompatible_members_fails_cleanly() {
+    let base = EngineConfig::with_shards(2);
+    let with_ttl = EngineConfig {
+        ttl: Some(64),
+        ..EngineConfig::with_shards(2)
+    };
+    let fed = FederatedEngine::from_members(vec![
+        mpp_engine::PersistentEngine::new(base),
+        mpp_engine::PersistentEngine::new(with_ttl),
+    ]);
+    let client = fed.client();
+    let job = (0..32u32)
+        .find(|&j| fed.member_of(j) == 0)
+        .expect("a job routed to member 0");
+    let key = jkey(job, 0, StreamKind::Sender);
+    for i in 0..20u64 {
+        client.observe(key, i % 2);
+    }
+    let before = client.predict(key, 1);
+    assert!(before.is_some());
+
+    match fed.migrate_job(job, 0, 1) {
+        Err(mpp_engine::SnapshotError::ConfigMismatch(msg)) => {
+            assert!(msg.contains("TTL"), "mismatch names the field: {msg}")
+        }
+        other => panic!("expected ConfigMismatch, got {other:?}"),
+    }
+    // Nothing moved: still served by member 0, predictions intact.
+    assert_eq!(fed.member_of(job), 0);
+    assert!(fed.member(0).client().resident_jobs().contains(&job));
+    assert!(!fed.member(1).client().resident_jobs().contains(&job));
+    assert_eq!(client.predict(key, 1), before);
+}
+
+/// Migrating a job its caller mis-attributes panics loudly rather
+/// than silently moving someone else's tenant.
+#[test]
+#[should_panic(expected = "is served by member")]
+fn migrating_from_the_wrong_member_panics() {
+    let fed = FederatedEngine::new(FederationConfig::new(2, 1));
+    let job = (0..32u32)
+        .find(|&j| fed.member_of(j) == 0)
+        .expect("a job routed to member 0");
+    let _ = fed.migrate_job(job, 1, 0);
 }
 
 /// Flooding then evicting job A leaves job B's predictions, periods,

@@ -127,6 +127,83 @@ fn decode_op((sel, rank, kind, value, len): (u8, u32, u8, u64, u8)) -> Op {
     }
 }
 
+/// Regression for the cross-tenant TTL bug: engine time used to be a
+/// single member-wide event clock, so a chatty co-resident job's
+/// traffic advanced the clock that expired a quiet job's idle
+/// streams. Time is per-job now — only a job's own events age its
+/// streams — so a tenant flood can never expire another tenant's
+/// state. (This test fails on the old shared-clock semantics: the
+/// flood pushes the global clock far past the quiet job's TTL.)
+#[test]
+fn ttl_is_isolated_per_job_on_one_member() {
+    const TTL: u64 = 50;
+    const QUIET: u32 = 1;
+    const CHATTY: u32 = 2;
+    let ecfg = EngineConfig {
+        shards: 4,
+        ttl: Some(TTL),
+        parallel_threshold: 0,
+        ..EngineConfig::default()
+    };
+    let persistent = PersistentEngine::new(ecfg.clone());
+    let client = persistent.client();
+    let mut scoped = Engine::new(ecfg);
+
+    // Train the quiet tenant, then leave it idle.
+    let quiet_key = StreamKey::for_job(QUIET, 0, StreamKind::Sender);
+    let train: Vec<Observation> = (0..20)
+        .map(|i| Observation::new(quiet_key, i % 2))
+        .collect();
+    client.observe_batch(&train);
+    scoped.observe_batch(&train);
+    let before = client.predict(quiet_key, 1);
+    assert!(before.is_some(), "quiet stream trained to a lock");
+    assert_eq!(scoped.predict(quiet_key, 1), before);
+
+    // Flood the chatty tenant far past the quiet tenant's TTL.
+    let flood: Vec<Observation> = (0..TTL * 40)
+        .map(|i| {
+            Observation::new(
+                StreamKey::for_job(CHATTY, (i % 4) as u32, StreamKind::ALL[(i % 3) as usize]),
+                i % 7,
+            )
+        })
+        .collect();
+    client.observe_batch(&flood);
+    scoped.observe_batch(&flood);
+
+    // The quiet tenant aged 0 events on its own clock: still live,
+    // still predicting the same value, and a sweep reclaims nothing
+    // of it.
+    client.sweep_expired();
+    scoped.sweep_expired();
+    assert_eq!(
+        client.predict(quiet_key, 1),
+        before,
+        "flood expired a co-tenant"
+    );
+    assert_eq!(
+        scoped.predict(quiet_key, 1),
+        before,
+        "flood expired a co-tenant (scoped)"
+    );
+    assert!(client.resident_jobs().contains(&QUIET));
+    assert!(scoped.resident_jobs().contains(&QUIET));
+
+    // Per-job time still expires: the quiet tenant's own next event
+    // arrives after a gap beyond its TTL on its own clock — the
+    // stream restarts cold (lazy reset), proving expiry works without
+    // the shared clock.
+    let idle: Vec<Observation> = (0..TTL + 1)
+        .map(|i| Observation::new(StreamKey::for_job(QUIET, 9, StreamKind::Tag), i % 3))
+        .collect();
+    client.observe_batch(&idle);
+    scoped.observe_batch(&idle);
+    let cold = client.predict(quiet_key, 1);
+    assert_eq!(cold, None, "a job's own gap past TTL must still expire it");
+    assert_eq!(scoped.predict(quiet_key, 1), None);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 

@@ -128,6 +128,48 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Out-of-order stamps are a contract, not an accident: when a
+    /// reader's `now` trails a stream's `last_seen` (possible only
+    /// when concurrent clients race stamp allocation against a
+    /// query), the age saturates to 0 and the stream reads **fresh**
+    /// — exactly what a reader at the stream's own stamp would see. A
+    /// wrapping subtraction would instead report an astronomically
+    /// old stream and expire live state. Pins `is_expired` (see
+    /// `shard.rs`).
+    #[test]
+    fn racy_stamps_where_now_trails_last_seen_read_fresh(
+        stamp in 1_000u64..u64::MAX / 2,
+        behind in 0u64..1_000_000,
+        ttl in 0u64..1_000,
+        train in 4u64..24,
+    ) {
+        let cfg = DpdConfig { window: 32, max_lag: 8, ..DpdConfig::default() };
+        let mut shard = Shard::with_ttl(cfg, Some(ttl));
+        let key = StreamKey::new(0, StreamKind::Sender);
+        // Train a period-2 stream whose last observation lands at
+        // exactly `stamp`.
+        for i in 0..train {
+            shard.observe_at(Observation::new(key, i % 2), stamp - train + 1 + i);
+        }
+        let fresh = shard.predict_at(Query::new(key, 1), stamp);
+        // A reader arbitrarily far *behind* the stamp sees the fresh
+        // view — never an expiry the stream's own timeline refutes.
+        let racy = shard.predict_at(Query::new(key, 1), stamp.saturating_sub(behind));
+        prop_assert_eq!(racy, fresh, "stale reader diverged from fresh view");
+        // The boundary is exact: age == ttl is still live, age ==
+        // ttl + 1 is expired (the rule is `age > ttl`).
+        prop_assert_eq!(shard.predict_at(Query::new(key, 1), stamp + ttl), fresh);
+        prop_assert_eq!(
+            shard.predict_at(Query::new(key, 1), stamp + ttl + 1),
+            None,
+            "a genuinely idle stream must still expire"
+        );
+    }
+}
+
 /// Per-stream reference slot implementing the pre-slab semantics.
 struct RefSlot {
     predictor: DpdPredictor,
@@ -281,6 +323,14 @@ proptest! {
                     );
                 }
                 9 => {
+                    // The reference models a single shared time domain;
+                    // folding the driver clock into every job's
+                    // watermark opts the shard into the same view
+                    // (exactly what `Engine::sweep_expired` does with
+                    // its job clocks before sweeping).
+                    for j in 0..3u32 {
+                        shard.fold_job_now(j, clock);
+                    }
                     prop_assert_eq!(shard.sweep_expired(clock), reference.sweep(clock));
                 }
                 10 => {

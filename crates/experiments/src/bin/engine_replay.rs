@@ -32,9 +32,20 @@
 //! extra snapshot round-trips perturb `events/sec`, so keep it off when
 //! measuring rate. Telemetry also adds three CSV columns: ingest p50 /
 //! p99 and queue-wait p99 (empty when telemetry is off).
+//!
+//! `--snapshot PATH` replays a single configuration to its midpoint
+//! (half the trace, rounded down to a whole ingest batch), writes the
+//! engine's versioned snapshot to `PATH`, and exits. `--restore PATH`
+//! boots the engine from a snapshot written with the same
+//! configuration and replays only the remaining events — the report
+//! covers the whole trace, with `restored`/`replayed` splitting the
+//! events carried in from the snapshot from those ingested live. Both
+//! flags require exactly one configuration and `--engines 1`.
 
 use mpp_engine::{BackpressurePolicy, TelemetrySnapshot};
-use mpp_experiments::replay::{replay, EngineMode, ReplayOpts, ReplayReport};
+use mpp_experiments::replay::{
+    replay, replay_from_snapshot, replay_to_snapshot, EngineMode, ReplayOpts, ReplayReport,
+};
 use mpp_experiments::CliArgs;
 use mpp_nasbench::{paper_configs, BenchId, BenchmarkConfig, Class};
 
@@ -64,7 +75,8 @@ fn telemetry_csv_fields(snap: Option<&TelemetrySnapshot>) -> String {
 fn telemetry_json_entry(out: &mut String, r: &ReplayReport, snap: &TelemetrySnapshot) {
     let t = &r.total;
     out.push_str(&format!(
-        "{{\"config\":\"{}\",\"events\":{},\"metrics\":{{\
+        "{{\"config\":\"{}\",\"events\":{},\
+         \"restored_events\":{},\"replayed_events\":{},\"metrics\":{{\
          \"events_ingested\":{},\"predictions_served\":{},\
          \"forecasts_served\":{},\"forecast_predictions\":{},\
          \"hits\":{},\"misses\":{},\"abstentions\":{},\
@@ -72,6 +84,8 @@ fn telemetry_json_entry(out: &mut String, r: &ReplayReport, snap: &TelemetrySnap
          \"telemetry\":",
         r.label,
         r.events,
+        r.restored_events,
+        r.replayed_events,
         t.events_ingested,
         t.predictions_served,
         t.forecasts_served,
@@ -157,6 +171,16 @@ fn main() {
         eprintln!("--engines applies to the persistent mode only (federation members)");
         std::process::exit(2);
     }
+    let snapshot_path = args.take_flag("--snapshot");
+    let restore_path = args.take_flag("--restore");
+    if snapshot_path.is_some() && restore_path.is_some() {
+        eprintln!("--snapshot and --restore are mutually exclusive (write, then restore)");
+        std::process::exit(2);
+    }
+    if (snapshot_path.is_some() || restore_path.is_some()) && engines > 1 {
+        eprintln!("snapshots capture a single engine (--engines 1)");
+        std::process::exit(2);
+    }
     let telemetry_json = args.take_flag("--telemetry-json");
     let stats_every: Option<usize> = args.take_flag("--stats-every").map(|v| {
         v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
@@ -210,6 +234,29 @@ fn main() {
         .telemetry(telemetry)
         .stats_every(stats_every);
 
+    if (snapshot_path.is_some() || restore_path.is_some()) && configs.len() != 1 {
+        eprintln!("--snapshot/--restore need exactly one configuration (e.g. `cg 8 A`)");
+        std::process::exit(2);
+    }
+    if let Some(path) = &snapshot_path {
+        let (bytes, halted) = replay_to_snapshot(&configs[0], seed, &opts, None);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote snapshot {path}: {halted} events ingested, {} bytes",
+            bytes.len()
+        );
+        return;
+    }
+    let restore_bytes = restore_path.map(|path| {
+        std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     let cap_label = queue_cap.map_or("off".to_string(), |c| c.to_string());
     if args.csv {
         println!(
@@ -232,7 +279,13 @@ fn main() {
     }
     let mut json_entries = String::new();
     for config in &configs {
-        let r = replay(config, seed, &opts);
+        let r = match &restore_bytes {
+            Some(bytes) => replay_from_snapshot(config, seed, &opts, bytes).unwrap_or_else(|e| {
+                eprintln!("failed to restore snapshot: {e}");
+                std::process::exit(1);
+            }),
+            None => replay(config, seed, &opts),
+        };
         if args.csv {
             println!(
                 "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{},{},{},{}",
@@ -265,6 +318,12 @@ fn main() {
                 r.total.shed_events,
                 r.events_per_sec
             );
+            if r.restored_events > 0 {
+                println!(
+                    "  [restore] {} events carried in from the snapshot, {} replayed live",
+                    r.restored_events, r.replayed_events
+                );
+            }
             for iv in &r.intervals {
                 let q = |name: &str, quantile: f64| {
                     iv.snapshot

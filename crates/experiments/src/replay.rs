@@ -6,7 +6,8 @@
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
     BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, JobId, JobMetrics,
-    Observation, ShardMetrics, StreamKey, StreamKind, TelemetryConfig, TelemetrySnapshot,
+    Observation, PersistentEngine, ShardMetrics, SnapshotError, StreamKey, StreamKind,
+    TelemetryConfig, TelemetrySnapshot,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -197,6 +198,12 @@ pub struct ReplayReport {
     pub label: String,
     /// Events ingested (3 per traced delivery, × job copies).
     pub events: usize,
+    /// Events the engine carried in from a restored snapshot (0 for a
+    /// cold replay). `restored + replayed == events`.
+    pub restored_events: u64,
+    /// Events this process actually submitted (`events` for a cold
+    /// replay; the post-cut tail for a restored one).
+    pub replayed_events: u64,
     /// Aggregate engine counters after the replay (all members).
     pub total: ShardMetrics,
     /// Per-shard counters after the replay (members concatenated in
@@ -369,13 +376,26 @@ pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayR
     let trace = run_config(config, seed);
     let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
     let outcome = replay_events(&events, opts);
+    report_of(config, events.len(), 0, outcome)
+}
+
+fn report_of(
+    config: &BenchmarkConfig,
+    events: usize,
+    restored: u64,
+    outcome: ReplayOutcome,
+) -> ReplayReport {
     let mut total = ShardMetrics::default();
     for m in &outcome.per_shard {
         total.merge(m);
     }
     ReplayReport {
         label: config.label(),
-        events: events.len(),
+        events,
+        restored_events: restored,
+        // Derived from what the engine actually ingested, not the trace
+        // length: under `shed` backpressure some events never land.
+        replayed_events: total.events_ingested - restored,
         total,
         per_shard: outcome.per_shard,
         per_job: outcome.per_job,
@@ -383,6 +403,130 @@ pub fn replay(config: &BenchmarkConfig, seed: u64, opts: &ReplayOpts) -> ReplayR
         telemetry: outcome.telemetry,
         intervals: outcome.intervals,
     }
+}
+
+/// The cut point `--snapshot` halts at: the midpoint, rounded down to
+/// a [`REPLAY_BATCH`] boundary so the head replays whole batches. For
+/// traces shorter than two batches the raw midpoint is used — a
+/// rounded cut would be 0 and the snapshot would capture nothing.
+pub fn snapshot_cut(events: usize) -> usize {
+    let aligned = events / 2 / REPLAY_BATCH * REPLAY_BATCH;
+    if aligned == 0 {
+        events / 2
+    } else {
+        aligned
+    }
+}
+
+/// Runs `config`, replays the first `halt_at` events (default: the
+/// [`snapshot_cut`] midpoint; clamped to the trace), and returns the
+/// engine's versioned snapshot bytes plus the halt point. Restricted
+/// to one engine: a snapshot captures one engine's state (`jobs > 1`
+/// is fine — tenants ride inside it).
+pub fn replay_to_snapshot(
+    config: &BenchmarkConfig,
+    seed: u64,
+    opts: &ReplayOpts,
+    halt_at: Option<usize>,
+) -> (Vec<u8>, usize) {
+    assert!(
+        opts.engines == 1,
+        "snapshot replay captures a single engine (--engines 1)"
+    );
+    let trace = run_config(config, seed);
+    let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
+    let halt = halt_at
+        .unwrap_or_else(|| snapshot_cut(events.len()))
+        .min(events.len());
+    let cfg = opts.engine_config();
+    let bytes = match opts.mode {
+        EngineMode::Scoped => {
+            let mut engine = Engine::new(cfg);
+            for chunk in events[..halt].chunks(REPLAY_BATCH) {
+                engine.observe_batch(chunk);
+            }
+            engine.snapshot()
+        }
+        EngineMode::Persistent => {
+            let engine = PersistentEngine::new(cfg);
+            let client = engine.client();
+            for chunk in events[..halt].chunks(REPLAY_BATCH) {
+                client.observe_batch(chunk);
+            }
+            client.snapshot()
+        }
+    };
+    (bytes, halt)
+}
+
+/// Runs `config`, restores the engine from `bytes`, and replays
+/// exactly the events the snapshot had not yet ingested (the skip
+/// count is read back from the restored engine's own
+/// `events_ingested`, so resumption is deterministic — no sidecar
+/// cursor file). The report's `restored_events` / `replayed_events`
+/// split lets validators reason about which counters predate this
+/// process (`telemetry_check` pins `events_ingested == restored +
+/// replayed` and that the ingest histograms timed only the replayed
+/// tail).
+pub fn replay_from_snapshot(
+    config: &BenchmarkConfig,
+    seed: u64,
+    opts: &ReplayOpts,
+    bytes: &[u8],
+) -> Result<ReplayReport, SnapshotError> {
+    assert!(
+        opts.engines == 1,
+        "snapshot replay restores a single engine (--engines 1)"
+    );
+    let trace = run_config(config, seed);
+    let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
+    let cfg = opts.engine_config();
+    let (restored, outcome) = match opts.mode {
+        EngineMode::Scoped => {
+            let mut engine = Engine::restore(cfg, bytes)?;
+            let restored = (engine.metrics_total().events_ingested as usize).min(events.len());
+            let start = Instant::now();
+            for chunk in events[restored..].chunks(REPLAY_BATCH) {
+                engine.observe_batch(chunk);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let per_job = engine.job_metrics();
+            let telemetry = opts.telemetry.then(|| engine.telemetry()).flatten();
+            let outcome = ReplayOutcome {
+                per_shard: engine.metrics().shards,
+                per_job,
+                events_per_sec: (events.len() - restored) as f64 / secs.max(1e-12),
+                telemetry,
+                intervals: Vec::new(),
+            };
+            (restored, outcome)
+        }
+        EngineMode::Persistent => {
+            let engine = PersistentEngine::restore(cfg, bytes)?;
+            let client = engine.client();
+            let restored = (client.metrics_total().events_ingested as usize).min(events.len());
+            let start = Instant::now();
+            for chunk in events[restored..].chunks(REPLAY_BATCH) {
+                client.observe_batch(chunk);
+            }
+            // The metrics round-trip queues behind every submitted
+            // batch, closing the timing window fairly (as in
+            // `replay_events`).
+            let per_shard: Vec<ShardMetrics> = client.metrics().shards;
+            let secs = start.elapsed().as_secs_f64();
+            let per_job = client.job_metrics();
+            let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
+            let outcome = ReplayOutcome {
+                per_shard,
+                per_job,
+                events_per_sec: (events.len() - restored) as f64 / secs.max(1e-12),
+                telemetry,
+                intervals: Vec::new(),
+            };
+            (restored, outcome)
+        }
+    };
+    Ok(report_of(config, events.len(), restored as u64, outcome))
 }
 
 #[cfg(test)]

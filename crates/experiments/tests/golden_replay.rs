@@ -8,7 +8,10 @@
 //! deterministic functions of the seed (`tests/determinism.rs`), so
 //! within-tolerance drift can only come from engine-side changes.
 
-use mpp_experiments::replay::{replay, EngineMode, ReplayOpts};
+use mpp_engine::{SnapshotError, SNAPSHOT_VERSION};
+use mpp_experiments::replay::{
+    replay, replay_from_snapshot, replay_to_snapshot, EngineMode, ReplayOpts,
+};
 use mpp_experiments::DEFAULT_SEED;
 use mpp_nasbench::{BenchId, BenchmarkConfig, Class};
 
@@ -91,5 +94,76 @@ fn class_a_hit_rates_stay_pinned_federated_per_job() {
             "{}: identical job copies must produce identical rollups",
             r.label
         );
+    }
+}
+
+/// The snapshot acceptance pin: replaying each golden class-A config
+/// to its midpoint, snapshotting, restoring, and replaying the rest is
+/// not merely within tolerance of the uninterrupted run — the scoring
+/// counters are *exactly* equal (±0 pt), in both execution modes. The
+/// report's `restored`/`replayed` split must cover the whole trace.
+#[test]
+fn class_a_snapshot_restore_continue_is_exact() {
+    for mode in [EngineMode::Persistent, EngineMode::Scoped] {
+        let opts = ReplayOpts::with_shards(4).mode(mode);
+        for (id, procs, want) in GOLDEN {
+            let cfg = BenchmarkConfig::new(id, procs, Class::A);
+            let full = replay(&cfg, DEFAULT_SEED, &opts);
+            let (bytes, cut) = replay_to_snapshot(&cfg, DEFAULT_SEED, &opts, None);
+            assert!(cut > 0, "{}: midpoint cut captured nothing", full.label);
+            let r = replay_from_snapshot(&cfg, DEFAULT_SEED, &opts, &bytes)
+                .expect("a snapshot this replay just wrote must restore");
+            assert_eq!(r.restored_events, cut as u64, "{}", full.label);
+            assert_eq!(
+                r.restored_events + r.replayed_events,
+                full.events as u64,
+                "{}",
+                full.label
+            );
+            let (f, t) = (&full.total, &r.total);
+            assert_eq!(
+                (
+                    f.events_ingested,
+                    f.hits,
+                    f.misses,
+                    f.abstentions,
+                    f.period_churn
+                ),
+                (
+                    t.events_ingested,
+                    t.hits,
+                    t.misses,
+                    t.abstentions,
+                    t.period_churn
+                ),
+                "{} ({}): restore-and-continue must score identically",
+                full.label,
+                mode.label(),
+            );
+            let got = r.hit_rate();
+            assert!(
+                (got - want).abs() <= TOLERANCE,
+                "{} (restored) hit rate drifted: got {got:.4}, pinned {want:.4}",
+                full.label,
+            );
+        }
+    }
+}
+
+/// A snapshot stamped with a future format version is refused at the
+/// replay level with the typed error, not misparsed into a bad engine.
+#[test]
+fn restoring_a_future_version_snapshot_fails_typed() {
+    let cfg = BenchmarkConfig::new(BenchId::Cg, 4, Class::S);
+    let opts = ReplayOpts::with_shards(2);
+    let (mut bytes, _) = replay_to_snapshot(&cfg, DEFAULT_SEED, &opts, None);
+    bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    match replay_from_snapshot(&cfg, DEFAULT_SEED, &opts, &bytes) {
+        Err(SnapshotError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        Err(other) => panic!("expected VersionMismatch, got {other:?}"),
+        Ok(_) => panic!("a future-version snapshot must not restore"),
     }
 }

@@ -48,7 +48,8 @@ use mpp_core::dpd::DpdConfig;
 pub use mpp_engine::{BackpressurePolicy, JobId, DEFAULT_JOB};
 use mpp_engine::{
     EngineConfig, FederatedClient, FederatedEngine, FederationConfig, FederationMetrics,
-    JobMetrics, Observation, PersistentEngine, RankId, StreamKey, StreamKind, TelemetrySnapshot,
+    JobMetrics, Observation, PersistentEngine, RankId, SnapshotError, StreamKey, StreamKind,
+    TelemetrySnapshot,
 };
 use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
 
@@ -201,6 +202,15 @@ impl EngineHandle {
     /// Evicts every resident stream of `job` across the federation.
     pub fn evict_job(&self, job: JobId) -> usize {
         self.fed.evict_job(job)
+    }
+
+    /// Moves `job`'s live state from federation member `from` to `to`
+    /// and repins its routing, with predictions bit-identical across
+    /// the cut ([`FederatedEngine::migrate_job`]). Flush any client
+    /// that submitted `job`'s events (e.g. via a metrics round-trip)
+    /// before migrating — in-flight lane traffic is not dragged along.
+    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, SnapshotError> {
+        self.fed.migrate_job(job, from, to)
     }
 
     /// Total streams resident in the engine.

@@ -30,6 +30,9 @@ pub enum FlightKind {
     /// Federation epoch maintenance re-bounded a member's lanes.
     /// `a` = observed queue high water, `b` = the new capacity.
     EpochRebound,
+    /// A job was migrated live between federation members. `member` is
+    /// the source, `a` = streams moved, `b` = the destination member.
+    JobMigrated,
 }
 
 impl FlightKind {
@@ -42,6 +45,7 @@ impl FlightKind {
             FlightKind::WorkerGone => "worker_gone",
             FlightKind::PeriodChurn => "period_churn",
             FlightKind::EpochRebound => "epoch_rebound",
+            FlightKind::JobMigrated => "job_migrated",
         }
     }
 }

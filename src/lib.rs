@@ -36,7 +36,7 @@ pub use mpp_engine::{
     AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, FederatedClient,
     FederatedEngine, FederationConfig, FederationWorkerGone, FlightEvent, FlightKind,
     HistogramSnapshot, JobId, JobMetrics, Observation, ObserveOutcome, PersistentEngine, Query,
-    SlotId, StreamKey, StreamKind, StreamTable, TelemetryConfig, TelemetrySnapshot, WorkerGone,
-    DEFAULT_JOB,
+    SlotId, SnapshotError, StreamKey, StreamKind, StreamTable, TelemetryConfig, TelemetrySnapshot,
+    WorkerGone, DEFAULT_JOB, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};
