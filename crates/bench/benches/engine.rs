@@ -32,8 +32,8 @@
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, Observation,
-    PersistentEngine, Query, StreamKey, StreamKind, TelemetryConfig,
+    BackpressurePolicy, Engine, EngineConfig, EnsembleConfig, FederatedEngine, FederationConfig,
+    Observation, PersistentEngine, Query, StreamKey, StreamKind, TelemetryConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -447,7 +447,10 @@ fn bench_predict_batch(c: &mut Criterion) {
 /// resident-set sizes — flat means O(victims), not O(resident));
 /// `telemetry_overhead` records the single-shard telemetry off/on A/B
 /// (both modes, interleaved arms; the ≤3% ingest-overhead budget the
-/// telemetry layer is held to); `baseline_pr4` embeds the pre-slab PR 4
+/// telemetry layer is held to); `ensemble_overhead` records the same
+/// A/B shape for the DPD-only default vs the standard
+/// champion/challenger roster — the honest price of online model
+/// selection, not a near-zero budget; `baseline_pr4` embeds the pre-slab PR 4
 /// numbers and `speedup_vs_baseline_pr4` the single-shard before/after
 /// ratios.
 fn write_bench_json(p: &Params) {
@@ -545,6 +548,44 @@ fn write_bench_json(p: &Params) {
         );
     }
 
+    // Ensemble A/B: the identical single-shard workload with the
+    // DPD-only default vs the standard champion/challenger roster
+    // (last-value, stride, markov-1). Unlike telemetry, the ensemble
+    // is real extra work — every challenger observes and scores each
+    // event — so this records the *price* of model selection rather
+    // than holding it to a near-zero budget. Same interleaved arms and
+    // min estimator as the telemetry A/B.
+    let mut ens = [(0.0f64, 0.0f64); 2]; // [scoped, persistent] (off, on)
+    for _ in 0..p.runs {
+        let on_cfg = || EngineConfig {
+            ensemble: EnsembleConfig::standard(),
+            ..config_with(1)
+        };
+        let samples = [
+            (
+                measure_scoped(1, &batch, p.timed_batches),
+                measure_scoped_cfg(on_cfg(), &batch, p.timed_batches),
+            ),
+            (
+                measure_persistent(1, &batch, p.timed_batches),
+                measure_persistent_cfg(on_cfg(), &batch, p.timed_batches),
+            ),
+        ];
+        for (slot, (off, on)) in ens.iter_mut().zip(samples) {
+            slot.0 = slot.0.max(off);
+            slot.1 = slot.1.max(on);
+        }
+    }
+    for (label, pair) in ["scoped", "persistent"].into_iter().zip(ens) {
+        println!(
+            "engine ingest  1 shard(s), ensemble A/B ({label}): \
+             dpd-only {:>10.0} ev/s, standard roster {:>10.0} ev/s ({:+.2}% overhead)",
+            pair.0,
+            pair.1,
+            overhead_pct(pair)
+        );
+    }
+
     // Churn section: eviction-heavy ingest, latency percentiles, and
     // the evict_lru cost sweep over resident-set sizes.
     let churn_rate = best_of(p.runs, || measure_ttl_churn(&batch, p.timed_batches));
@@ -618,6 +659,17 @@ fn write_bench_json(p: &Params) {
          overhead_pct = off_rate/on_rate - 1; the instrumented hot path costs one \
          clock pair and one bucketed record_n per shard-batch (per-batch means, \
          never per-event clock reads) and must stay within budget_pct\"\n  }},\n  \
+         \"ensemble_overhead\": {{\n    \"shards\": 1,\n    \
+         \"roster\": [\"dpd\", \"last-value\", \"stride\", \"markov1\"],\n    \
+         \"events_per_sec\": {{\n      \
+         \"scoped\": {{\"dpd_only\": {:.0}, \"standard_roster\": {:.0}}},\n      \
+         \"persistent\": {{\"dpd_only\": {:.0}, \"standard_roster\": {:.0}}}\n    }},\n    \
+         \"overhead_pct\": {{\"scoped\": {:.2}, \"persistent\": {:.2}}},\n    \
+         \"method\": \"same fixed workload, interleaved arms and min estimator as \
+         telemetry_overhead; the on arm runs EnsembleConfig::standard() (3 \
+         always-predicting challengers observing and scoring every event on top of \
+         the DPD bank), so overhead_pct is the honest price of online model \
+         selection, not a near-zero instrumentation budget\"\n  }},\n  \
          \"baseline_pr4\": {BASELINE_PR4},\n  \
          \"speedup_vs_baseline_pr4\": {{\n    \"scoped_1shard\": {:.3},\n    \
          \"persistent_1shard\": {:.3}\n  }},\n  \
@@ -639,6 +691,12 @@ fn write_bench_json(p: &Params) {
         tel[1].1,
         overhead_pct(tel[0]),
         overhead_pct(tel[1]),
+        ens[0].0,
+        ens[0].1,
+        ens[1].0,
+        ens[1].1,
+        overhead_pct(ens[0]),
+        overhead_pct(ens[1]),
         scoped_1shard / BASELINE_PR4_SCOPED_1SHARD,
         single / BASELINE_PR4_PERSISTENT_1SHARD,
         best_multi / single.max(1e-12),

@@ -8,7 +8,7 @@
 //! related work.
 
 use super::detector::{DpdConfig, PeriodicityDetector};
-use crate::predictors::Predictor;
+use crate::predictors::{push_flag, HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 use std::sync::Mutex;
 
@@ -297,6 +297,49 @@ impl Predictor for DpdPredictor {
         self.period_changes = 0;
         self.last_change_at = 0;
         self.ended_run_len = 0;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        let state = self.export_state();
+        push_flag(out, state.vote);
+        out.push(state.history.len() as u64);
+        out.extend_from_slice(&state.history);
+        out.push(state.det_observations);
+        out.push(state.history_total);
+        out.push(state.obs_seen);
+        out.push(state.period_changes);
+        out.push(state.last_change_at);
+        out.push(state.ended_run_len);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        let vote = cur.flag()?;
+        if vote != self.vote {
+            return Err(HydrateError("dpd vote variant disagrees with config"));
+        }
+        let n = cur.next_len()?;
+        if n > self.det.history().capacity() {
+            return Err(HydrateError("dpd history exceeds the ring capacity"));
+        }
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            history.push(cur.word()?);
+        }
+        let state = DpdPredictorState {
+            vote,
+            history,
+            det_observations: cur.word()?,
+            history_total: cur.word()?,
+            obs_seen: cur.word()?,
+            period_changes: cur.word()?,
+            last_change_at: cur.word()?,
+            ended_run_len: cur.word()?,
+        };
+        if state.history_total < state.history.len() as u64 {
+            return Err(HydrateError("dpd history total below window length"));
+        }
+        *self = DpdPredictor::from_state(self.det.config().clone(), &state);
+        Ok(())
     }
 }
 

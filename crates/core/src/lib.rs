@@ -62,6 +62,10 @@ pub mod stream;
 
 pub use dpd::{DpdConfig, DpdPredictor, DpdPredictorState, PeriodicityDetector};
 pub use eval::{AccuracyTracker, EvalReport, SetEvaluator, StreamEvaluator};
-pub use predictors::{Predictor, PredictorKind};
+pub use predictors::{
+    FrequencyPredictor, HybridPredictor, HydrateError, LastValuePredictor, MarkovPredictor, Model,
+    Predictor, PredictorKind, SetPrediction, SetPredictor, SingleCyclePredictor, StridePredictor,
+    TagPredictor, WordCursor,
+};
 pub use ring::Ring;
 pub use stream::{Symbol, SymbolMap};

@@ -9,7 +9,7 @@
 //! pattern (BT's 18-message pattern contains the same sender several
 //! times, at different distances).
 
-use super::Predictor;
+use super::{HydrateError, Predictor, WordCursor};
 use crate::ring::Ring;
 use crate::stream::Symbol;
 
@@ -64,6 +64,50 @@ impl Predictor for SingleCyclePredictor {
     fn reset(&mut self) {
         self.history.clear();
         self.cycle = None;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        out.push(self.history.capacity() as u64);
+        out.push(self.history.total_pushed());
+        out.push(self.history.len() as u64);
+        for v in self.history.iter() {
+            out.push(v);
+        }
+        match self.cycle {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                out.push(c as u64);
+            }
+        }
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        let cap = cur.next_len()?;
+        if cap != self.history.capacity() {
+            return Err(HydrateError("single-cycle depth disagrees with config"));
+        }
+        let total = cur.word()?;
+        let len = cur.next_len()?;
+        if len > cap || (total as u128) < len as u128 {
+            return Err(HydrateError("single-cycle history length out of range"));
+        }
+        self.history.clear();
+        for _ in 0..len {
+            self.history.push(cur.word()?);
+        }
+        self.history.set_total_pushed(total);
+        self.cycle = match cur.flag()? {
+            false => None,
+            true => {
+                let c = cur.next_len()?;
+                if c == 0 || c > len {
+                    return Err(HydrateError("single-cycle length out of range"));
+                }
+                Some(c)
+            }
+        };
+        Ok(())
     }
 }
 

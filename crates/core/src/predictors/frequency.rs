@@ -5,7 +5,7 @@
 //! locality (NAS codes use 2–3 sizes, Kim & Lilja 1998) but is blind to
 //! temporal order, so its `+1` accuracy is bounded by the mode frequency.
 
-use super::Predictor;
+use super::{HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 use std::collections::HashMap;
 
@@ -57,6 +57,51 @@ impl Predictor for FrequencyPredictor {
     fn reset(&mut self) {
         self.counts.clear();
         self.mode = None;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        // Counts in sorted symbol order for deterministic bytes. The
+        // cached mode is exported explicitly: its first-seen-wins
+        // tie-break depends on arrival order, which the counts alone
+        // cannot reconstruct.
+        let mut pairs: Vec<(Symbol, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        pairs.sort_unstable();
+        out.push(pairs.len() as u64);
+        for (v, c) in pairs {
+            out.push(v);
+            out.push(c);
+        }
+        match self.mode {
+            None => out.push(0),
+            Some((v, c)) => {
+                out.push(1);
+                out.push(v);
+                out.push(c);
+            }
+        }
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.counts.clear();
+        let n = cur.next_len()?;
+        self.counts.reserve(n);
+        for _ in 0..n {
+            let v = cur.word()?;
+            let c = cur.word()?;
+            if self.counts.insert(v, c).is_some() {
+                return Err(HydrateError("duplicate frequency symbol"));
+            }
+        }
+        self.mode = match cur.flag()? {
+            false => None,
+            true => Some((cur.word()?, cur.word()?)),
+        };
+        if let Some((v, c)) = self.mode {
+            if self.counts.get(&v) != Some(&c) {
+                return Err(HydrateError("frequency mode disagrees with counts"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -9,11 +9,12 @@
 //! unpredictable streams it degrades to the fallback instead of to
 //! silence.
 
-use super::Predictor;
+use super::{HydrateError, Predictor, WordCursor};
 use crate::dpd::{DpdConfig, DpdPredictor};
 use crate::stream::Symbol;
 
 /// DPD with a fallback predictor for un-locked stretches.
+#[derive(Debug, Clone)]
 pub struct HybridPredictor<F> {
     dpd: DpdPredictor,
     fallback: F,
@@ -68,6 +69,23 @@ impl<F: Predictor> Predictor for HybridPredictor<F> {
         self.fallback.reset();
         self.dpd_answers = 0;
         self.fallback_answers = 0;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        // Both components dump into one shared stream; hydrate reads
+        // them back through the same cursor in the same order.
+        self.dpd.export_words(out);
+        self.fallback.export_words(out);
+        out.push(self.dpd_answers);
+        out.push(self.fallback_answers);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.dpd.hydrate_words(cur)?;
+        self.fallback.hydrate_words(cur)?;
+        self.dpd_answers = cur.word()?;
+        self.fallback_answers = cur.word()?;
+        Ok(())
     }
 }
 

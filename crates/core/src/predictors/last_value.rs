@@ -5,7 +5,7 @@
 //! and collapses on round-robin patterns (BT's face exchanges) — which is
 //! precisely the contrast the ablation experiment quantifies.
 
-use super::Predictor;
+use super::{push_opt, HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 
 /// Predicts every future value to equal the most recent observation.
@@ -39,6 +39,15 @@ impl Predictor for LastValuePredictor {
 
     fn reset(&mut self) {
         self.last = None;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        push_opt(out, self.last);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.last = cur.opt()?;
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@
 //! that family: full transition counts with most-likely-successor
 //! prediction, and deep horizons served by greedy chain walking.
 
-use super::Predictor;
+use super::{HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 use std::collections::HashMap;
 
@@ -100,6 +100,69 @@ impl Predictor for MarkovPredictor {
     fn reset(&mut self) {
         self.table.clear();
         self.recent.clear();
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        out.push(self.order as u64);
+        out.push(self.recent.len() as u64);
+        out.extend_from_slice(&self.recent);
+        // Contexts sorted (Option<u64> is Ord), successors sorted.
+        let mut ctxs: Vec<&Context> = self.table.keys().collect();
+        ctxs.sort_unstable();
+        out.push(ctxs.len() as u64);
+        for ctx in ctxs {
+            out.push(ctx.0);
+            match ctx.1 {
+                None => out.push(0),
+                Some(b) => {
+                    out.push(1);
+                    out.push(b);
+                }
+            }
+            let succ = &self.table[ctx];
+            let mut pairs: Vec<(Symbol, u64)> = succ.iter().map(|(&s, &c)| (s, c)).collect();
+            pairs.sort_unstable();
+            out.push(pairs.len() as u64);
+            for (s, c) in pairs {
+                out.push(s);
+                out.push(c);
+            }
+        }
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        let order = cur.next_len()?;
+        if order != self.order {
+            return Err(HydrateError("markov order disagrees with config"));
+        }
+        let n = cur.next_len()?;
+        if n > self.order {
+            return Err(HydrateError("markov context longer than its order"));
+        }
+        self.recent.clear();
+        for _ in 0..n {
+            self.recent.push(cur.word()?);
+        }
+        self.table.clear();
+        let ctxs = cur.next_len()?;
+        self.table.reserve(ctxs);
+        for _ in 0..ctxs {
+            let a = cur.word()?;
+            let b = cur.opt()?;
+            let succs = cur.next_len()?;
+            let mut succ = HashMap::with_capacity(succs);
+            for _ in 0..succs {
+                let s = cur.word()?;
+                let c = cur.word()?;
+                if succ.insert(s, c).is_some() {
+                    return Err(HydrateError("duplicate markov successor"));
+                }
+            }
+            if self.table.insert((a, b), succ).is_some() {
+                return Err(HydrateError("duplicate markov context"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -20,7 +20,9 @@ mod frequency;
 mod hybrid;
 mod last_value;
 mod markov;
+mod model;
 mod set;
+mod state;
 mod stride;
 mod tag;
 
@@ -29,7 +31,9 @@ pub use frequency::FrequencyPredictor;
 pub use hybrid::HybridPredictor;
 pub use last_value::LastValuePredictor;
 pub use markov::MarkovPredictor;
+pub use model::Model;
 pub use set::{SetPrediction, SetPredictor};
+pub use state::{push_flag, push_opt, HydrateError, WordCursor};
 pub use stride::StridePredictor;
 pub use tag::TagPredictor;
 
@@ -52,6 +56,33 @@ pub trait Predictor {
 
     /// Clears all learned state.
     fn reset(&mut self);
+
+    /// Writes the forecast for horizons `1..=horizons` into `out`
+    /// (cleared first) — the bulk shape the engine's forecast path
+    /// uses. The default simply iterates [`Predictor::predict`];
+    /// implementations with a cheaper bulk form may override.
+    fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<Symbol>>) {
+        out.clear();
+        out.reserve(horizons);
+        out.extend((1..=horizons).map(|h| self.predict(h)));
+    }
+
+    /// Appends this predictor's complete learned state to `out` as a
+    /// flat word stream (see [`state`](self) module docs for the codec
+    /// contract). The default exports nothing — correct only for
+    /// genuinely stateless predictors; every roster predictor
+    /// overrides it.
+    fn export_words(&self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    /// Rebuilds this predictor's state from words previously written
+    /// by [`Predictor::export_words`]. The default accepts the empty
+    /// stream (matching the default export).
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        let _ = cur;
+        Ok(())
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for Box<P> {
@@ -69,6 +100,18 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn reset(&mut self) {
         (**self).reset();
+    }
+
+    fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<Symbol>>) {
+        (**self).predict_next_into(horizons, out);
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        (**self).export_words(out);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        (**self).hydrate_words(cur)
     }
 }
 
@@ -133,6 +176,22 @@ impl PredictorKind {
                 MarkovPredictor::order1(),
             )),
         }
+    }
+
+    /// Stable wire tag (the index into [`PredictorKind::ALL`]), used
+    /// by snapshot encodings. Appending new kinds keeps old tags
+    /// valid; reordering `ALL` would break old snapshots.
+    pub fn tag(self) -> u8 {
+        PredictorKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL") as u8
+    }
+
+    /// Inverse of [`PredictorKind::tag`]; `None` for unknown tags
+    /// (a snapshot from a newer roster).
+    pub fn from_tag(tag: u8) -> Option<PredictorKind> {
+        PredictorKind::ALL.get(tag as usize).copied()
     }
 
     /// Stable identifier matching [`Predictor::name`].

@@ -1,0 +1,237 @@
+//! Concrete-sized roster predictor, for engines that hold challengers
+//! by value.
+//!
+//! [`PredictorKind::build`](super::PredictorKind::build) returns a
+//! `Box<dyn Predictor + Send>` — fine for experiment sweeps, but the
+//! engine's stream slots derive `Debug + Clone` and snapshot their
+//! contents, which a trait object cannot satisfy. [`Model`] is the
+//! same roster as a plain enum: every variant is the real predictor,
+//! dispatch is a `match`, and `Debug`/`Clone` and the word codec all
+//! compose structurally.
+
+use super::{
+    FrequencyPredictor, HybridPredictor, HydrateError, LastValuePredictor, MarkovPredictor,
+    Predictor, PredictorKind, SingleCyclePredictor, StridePredictor, TagPredictor, WordCursor,
+};
+use crate::dpd::{DpdConfig, DpdPredictor};
+use crate::stream::Symbol;
+
+/// The roster implementations behind [`Model`]. `DpdVote` shares the
+/// `Dpd` variant (same type, vote flag set) and `Markov1`/`Markov2`
+/// share `Markov` (same type, different order) — the [`Model::kind`]
+/// field keeps the distinction.
+#[derive(Debug, Clone)]
+enum Imp {
+    Dpd(DpdPredictor),
+    LastValue(LastValuePredictor),
+    Frequency(FrequencyPredictor),
+    Stride(StridePredictor),
+    SingleCycle(SingleCyclePredictor),
+    Tag(TagPredictor),
+    Markov(MarkovPredictor),
+    Hybrid(HybridPredictor<MarkovPredictor>),
+}
+
+/// One roster predictor held by value, tagged with its
+/// [`PredictorKind`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    kind: PredictorKind,
+    imp: Imp,
+}
+
+impl Model {
+    /// Instantiates `kind` exactly as [`PredictorKind::build`] would,
+    /// but sized. `dpd_cfg` parameterizes the DPD variants, the
+    /// single-cycle search depth, and the hybrid's DPD bank.
+    pub fn build(kind: PredictorKind, dpd_cfg: &DpdConfig) -> Self {
+        let imp = match kind {
+            PredictorKind::Dpd => Imp::Dpd(DpdPredictor::new(dpd_cfg.clone())),
+            PredictorKind::DpdVote => Imp::Dpd(DpdPredictor::with_vote(dpd_cfg.clone())),
+            PredictorKind::LastValue => Imp::LastValue(LastValuePredictor::new()),
+            PredictorKind::Frequency => Imp::Frequency(FrequencyPredictor::new()),
+            PredictorKind::Stride => Imp::Stride(StridePredictor::new()),
+            PredictorKind::SingleCycle => {
+                Imp::SingleCycle(SingleCyclePredictor::new(dpd_cfg.window + dpd_cfg.max_lag))
+            }
+            PredictorKind::Tag => Imp::Tag(TagPredictor::new()),
+            PredictorKind::Markov1 => Imp::Markov(MarkovPredictor::order1()),
+            PredictorKind::Markov2 => Imp::Markov(MarkovPredictor::order2()),
+            PredictorKind::Hybrid => Imp::Hybrid(HybridPredictor::new(
+                dpd_cfg.clone(),
+                MarkovPredictor::order1(),
+            )),
+        };
+        Model { kind, imp }
+    }
+
+    /// Which roster entry this is.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    fn imp(&self) -> &dyn Predictor {
+        match &self.imp {
+            Imp::Dpd(p) => p,
+            Imp::LastValue(p) => p,
+            Imp::Frequency(p) => p,
+            Imp::Stride(p) => p,
+            Imp::SingleCycle(p) => p,
+            Imp::Tag(p) => p,
+            Imp::Markov(p) => p,
+            Imp::Hybrid(p) => p,
+        }
+    }
+
+    fn imp_mut(&mut self) -> &mut dyn Predictor {
+        match &mut self.imp {
+            Imp::Dpd(p) => p,
+            Imp::LastValue(p) => p,
+            Imp::Frequency(p) => p,
+            Imp::Stride(p) => p,
+            Imp::SingleCycle(p) => p,
+            Imp::Tag(p) => p,
+            Imp::Markov(p) => p,
+            Imp::Hybrid(p) => p,
+        }
+    }
+}
+
+impl Predictor for Model {
+    fn name(&self) -> &'static str {
+        self.imp().name()
+    }
+
+    fn observe(&mut self, v: Symbol) {
+        self.imp_mut().observe(v);
+    }
+
+    fn predict(&self, horizon: usize) -> Option<Symbol> {
+        self.imp().predict(horizon)
+    }
+
+    fn reset(&mut self) {
+        self.imp_mut().reset();
+    }
+
+    fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<Symbol>>) {
+        self.imp().predict_next_into(horizons, out);
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        self.imp().export_words(out);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.imp_mut().hydrate_words(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mixed-pattern training stream: a periodic phase, a strided
+    /// phase, and some aperiodic churn, so every predictor ends up
+    /// with non-trivial internal state.
+    fn training_stream() -> Vec<Symbol> {
+        let mut s = Vec::new();
+        for _ in 0..12 {
+            s.extend_from_slice(&[3, 1, 4, 1, 5]);
+        }
+        for i in 0..20u64 {
+            s.push(100 + 7 * i);
+        }
+        for i in 0..20u64 {
+            s.push(i.wrapping_mul(0x9E37_79B9) % 13);
+        }
+        s
+    }
+
+    #[test]
+    fn model_matches_boxed_factory_behaviour() {
+        let cfg = DpdConfig::default();
+        let stream = training_stream();
+        for kind in PredictorKind::ALL {
+            let mut model = Model::build(kind, &cfg);
+            let mut boxed = kind.build(&cfg);
+            assert_eq!(model.kind(), kind);
+            assert_eq!(model.name(), kind.label());
+            for &v in &stream {
+                model.observe(v);
+                boxed.observe(v);
+            }
+            for h in 1..=6 {
+                assert_eq!(model.predict(h), boxed.predict(h), "{kind:?} at +{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn export_hydrate_is_bit_exact_for_every_kind() {
+        let cfg = DpdConfig {
+            window: 48,
+            max_lag: 16,
+            ..DpdConfig::default()
+        };
+        let stream = training_stream();
+        for kind in PredictorKind::ALL {
+            let mut orig = Model::build(kind, &cfg);
+            for &v in &stream {
+                orig.observe(v);
+            }
+            let mut words = Vec::new();
+            orig.export_words(&mut words);
+
+            let mut copy = Model::build(kind, &cfg);
+            let mut cur = WordCursor::new(&words);
+            copy.hydrate_words(&mut cur).unwrap_or_else(|e| {
+                panic!("{kind:?} hydrate failed: {e}");
+            });
+            cur.finish().expect("codec must consume its own words");
+
+            // Re-export is the identical word stream...
+            let mut words2 = Vec::new();
+            copy.export_words(&mut words2);
+            assert_eq!(words, words2, "{kind:?} re-export diverged");
+
+            // ...and future behaviour is identical too.
+            for (i, &v) in stream.iter().enumerate() {
+                assert_eq!(
+                    copy.predict(1),
+                    orig.predict(1),
+                    "{kind:?} diverged before continuation step {i}"
+                );
+                copy.observe(v);
+                orig.observe(v);
+            }
+            for h in 1..=6 {
+                assert_eq!(copy.predict(h), orig.predict(h), "{kind:?} at +{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn hydrate_rejects_mismatched_config() {
+        let cfg = DpdConfig::default();
+        let mut m1 = Model::build(PredictorKind::Markov1, &cfg);
+        m1.observe(1);
+        m1.observe(2);
+        let mut words = Vec::new();
+        m1.export_words(&mut words);
+        let mut m2 = Model::build(PredictorKind::Markov2, &cfg);
+        let mut cur = WordCursor::new(&words);
+        assert!(m2.hydrate_words(&mut cur).is_err(), "order mismatch");
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(
+            PredictorKind::from_tag(PredictorKind::ALL.len() as u8),
+            None
+        );
+    }
+}

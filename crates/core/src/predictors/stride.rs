@@ -7,7 +7,7 @@
 //! point measurable, and it wins on the one stream family where sizes grow
 //! linearly (pipelined scatter/gather fragments).
 
-use super::Predictor;
+use super::{push_flag, push_opt, HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 
 /// Two-delta stride predictor with confirmation.
@@ -65,6 +65,39 @@ impl Predictor for StridePredictor {
         self.last = None;
         self.delta = None;
         self.confirmed = false;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        push_opt(out, self.last);
+        // The i128 delta is two words: the low/high halves of its
+        // two's-complement bit pattern.
+        match self.delta {
+            None => out.push(0),
+            Some(d) => {
+                let bits = d as u128;
+                out.push(1);
+                out.push(bits as u64);
+                out.push((bits >> 64) as u64);
+            }
+        }
+        push_flag(out, self.confirmed);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.last = cur.opt()?;
+        self.delta = match cur.flag()? {
+            false => None,
+            true => {
+                let lo = cur.word()? as u128;
+                let hi = cur.word()? as u128;
+                Some(((hi << 64) | lo) as i128)
+            }
+        };
+        self.confirmed = cur.flag()?;
+        if self.confirmed && self.delta.is_none() {
+            return Err(HydrateError("stride confirmed without a delta"));
+        }
+        Ok(())
     }
 }
 

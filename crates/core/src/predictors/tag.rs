@@ -6,7 +6,7 @@
 //! thrashes when a symbol is followed by different successors in
 //! different phases of a long pattern.
 
-use super::Predictor;
+use super::{push_opt, HydrateError, Predictor, WordCursor};
 use crate::stream::Symbol;
 use std::collections::HashMap;
 
@@ -51,6 +51,32 @@ impl Predictor for TagPredictor {
     fn reset(&mut self) {
         self.next_of.clear();
         self.last = None;
+    }
+
+    fn export_words(&self, out: &mut Vec<u64>) {
+        let mut pairs: Vec<(Symbol, Symbol)> = self.next_of.iter().map(|(&f, &t)| (f, t)).collect();
+        pairs.sort_unstable();
+        out.push(pairs.len() as u64);
+        for (f, t) in pairs {
+            out.push(f);
+            out.push(t);
+        }
+        push_opt(out, self.last);
+    }
+
+    fn hydrate_words(&mut self, cur: &mut WordCursor<'_>) -> Result<(), HydrateError> {
+        self.next_of.clear();
+        let n = cur.next_len()?;
+        self.next_of.reserve(n);
+        for _ in 0..n {
+            let f = cur.word()?;
+            let t = cur.word()?;
+            if self.next_of.insert(f, t).is_some() {
+                return Err(HydrateError("duplicate tag transition"));
+            }
+        }
+        self.last = cur.opt()?;
+        Ok(())
     }
 }
 

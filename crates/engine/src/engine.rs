@@ -46,7 +46,7 @@
 //! results). [`Engine::evict_stream`] / [`Engine::evict_lru`] force
 //! evictions regardless of TTL.
 
-use crate::metrics::{EngineMetrics, JobMetrics, ShardMetrics};
+use crate::metrics::{EngineMetrics, JobMetrics, ModelStats, ShardMetrics};
 use crate::shard::Shard;
 use crate::snapshot::{
     decode_engine, decode_job, encode_engine, encode_job, EngineSnapshot, JobSnapshot,
@@ -55,6 +55,7 @@ use crate::snapshot::{
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use fxhash::FxHashMap;
 use mpp_core::dpd::DpdConfig;
+use mpp_core::PredictorKind;
 use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 
 /// What a persistent-engine client does when a shard's bounded observe
@@ -82,6 +83,108 @@ impl BackpressurePolicy {
         match self {
             BackpressurePolicy::Block => "block",
             BackpressurePolicy::Shed => "shed",
+        }
+    }
+}
+
+/// Champion/challenger ensemble configuration: which roster predictors
+/// shadow the primary DPD on every stream, and when a sustained
+/// accuracy lead promotes one to serve.
+///
+/// With an empty challenger list (the default) the engine is exactly
+/// the classic DPD-only engine: stream slots carry no ensemble state,
+/// no extra predictor runs, and predictions are bit-identical to every
+/// pre-ensemble build (pinned by the equivalence/persistence suites and
+/// the zero-allocation test, all of which run with the default config).
+///
+/// With challengers configured, every observation of a stream feeds the
+/// primary DPD **and** each challenger; every member's standing `+1`
+/// forecast is scored against each arrival. Accuracy is compared over
+/// tumbling windows of [`EnsembleConfig::window`] observations per
+/// stream: at each window boundary, the member with the most window
+/// hits (ties → lowest member index, the primary first) becomes the
+/// serving champion **only if** it leads the incumbent by at least
+/// [`EnsembleConfig::min_lead`] hits — hysteresis that makes swaps
+/// rare, sustained, and deterministic (a pure function of the stream's
+/// symbols, so every shard count and execution mode swaps identically).
+///
+/// The champion serves `predict`/`forecast`; `period_of` and
+/// `confidence_of` always read the primary DPD (challengers have no
+/// period notion). Challengers observe and predict **raw** symbols —
+/// a stride extrapolation can name a symbol the stream has never
+/// carried, which the primary's interned-id space cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleConfig {
+    /// Challenger roster, shadowing the primary DPD. Member index `i`
+    /// of all per-model reporting is `challengers[i - 1]` (index 0 is
+    /// the primary). Empty disables the ensemble.
+    pub challengers: Vec<PredictorKind>,
+    /// Tumbling per-stream scoring window, in observations of that
+    /// stream. Swap decisions happen only at window boundaries.
+    pub window: u32,
+    /// Minimum window-hit lead over the incumbent champion required to
+    /// swap. Hysteresis: equal-or-slightly-better challengers never
+    /// flap the serving model.
+    pub min_lead: u32,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            challengers: Vec::new(),
+            window: 64,
+            min_lead: 8,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// Whether any challenger is configured (the ensemble machinery is
+    /// entirely inert otherwise).
+    pub fn enabled(&self) -> bool {
+        !self.challengers.is_empty()
+    }
+
+    /// Number of scored members: the primary DPD plus the challengers
+    /// (0 when disabled — per-model vectors are empty then).
+    pub fn roster_len(&self) -> usize {
+        if self.enabled() {
+            self.challengers.len() + 1
+        } else {
+            0
+        }
+    }
+
+    /// The standard challenger roster used by `engine_replay
+    /// --ensemble`: the cheap baselines most likely to beat a DPD on
+    /// non-periodic streams (last-value for slowly-moving values,
+    /// stride for arithmetic ramps, order-1 Markov for repeating
+    /// transition structure), with the default window and hysteresis.
+    pub fn standard() -> Self {
+        EnsembleConfig {
+            challengers: vec![
+                PredictorKind::LastValue,
+                PredictorKind::Stride,
+                PredictorKind::Markov1,
+            ],
+            ..EnsembleConfig::default()
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        if !self.enabled() {
+            return;
+        }
+        assert!(self.window > 0, "ensemble window must be positive");
+        assert!(
+            self.challengers.len() < 256,
+            "challenger roster must fit a byte of member indices"
+        );
+        for (i, a) in self.challengers.iter().enumerate() {
+            assert!(
+                !self.challengers[..i].contains(a),
+                "duplicate ensemble challenger {a:?}"
+            );
         }
     }
 }
@@ -120,6 +223,9 @@ pub struct EngineConfig {
     /// hot path then takes no clock readings and records nothing). See
     /// [`mpp_telemetry::TelemetryConfig`].
     pub telemetry: TelemetryConfig,
+    /// Champion/challenger ensemble; disabled by default (DPD-only,
+    /// bit-identical to pre-ensemble builds). See [`EnsembleConfig`].
+    pub ensemble: EnsembleConfig,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +238,7 @@ impl Default for EngineConfig {
             observe_queue_cap: None,
             backpressure: BackpressurePolicy::Block,
             telemetry: TelemetryConfig::default(),
+            ensemble: EnsembleConfig::default(),
         }
     }
 }
@@ -172,12 +279,19 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the champion/challenger ensemble configuration.
+    pub fn with_ensemble(mut self, ensemble: EnsembleConfig) -> Self {
+        self.ensemble = ensemble;
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.shards > 0, "engine needs at least one shard");
         assert!(
             self.observe_queue_cap != Some(0),
             "observe_queue_cap must be positive (use None for unbounded lanes)"
         );
+        self.ensemble.validate();
     }
 }
 
@@ -226,7 +340,7 @@ impl Engine {
         cfg.validate();
         let shards = (0..cfg.shards)
             .map(|i| {
-                let mut s = Shard::with_ttl(cfg.dpd.clone(), cfg.ttl);
+                let mut s = Shard::with_ensemble(cfg.dpd.clone(), cfg.ttl, cfg.ensemble.clone());
                 s.enable_telemetry(&cfg.telemetry, i as u32);
                 s
             })
@@ -551,6 +665,22 @@ impl Engine {
         crate::metrics::merge_job_rollups(self.shards.iter().map(Shard::job_metrics).collect())
     }
 
+    /// Per-model ensemble counters summed across shards, positional
+    /// over the roster (index 0 = the primary DPD, `i > 0` =
+    /// `ensemble.challengers[i - 1]`). Empty when the ensemble is
+    /// disabled.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        crate::metrics::merge_model_stats(self.shards.iter().map(Shard::model_stats))
+    }
+
+    /// Per-job, per-model ensemble counters summed across shards,
+    /// ascending by job. Empty when the ensemble is disabled.
+    pub fn job_model_stats(&self) -> Vec<(JobId, Vec<ModelStats>)> {
+        crate::metrics::merge_job_model_rollups(
+            self.shards.iter().map(Shard::job_model_stats).collect(),
+        )
+    }
+
     /// Per-shard metrics snapshot.
     pub fn metrics(&self) -> EngineMetrics {
         EngineMetrics {
@@ -596,6 +726,7 @@ impl Engine {
             shards: u32::try_from(self.shards.len()).expect("shard count fits u32"),
             ttl: self.cfg.ttl,
             dpd: self.cfg.dpd.clone(),
+            ensemble: self.cfg.ensemble.clone(),
             clock: self.clock,
             job_clocks,
             shard_states: self.shards.iter().map(Shard::export_state).collect(),
@@ -613,12 +744,18 @@ impl Engine {
     pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Engine, SnapshotError> {
         let snap = decode_engine(bytes)?;
         crate::snapshot::check_config(
-            Some(snap.shards),
-            snap.ttl,
-            &snap.dpd,
-            cfg.shards,
-            cfg.ttl,
-            &cfg.dpd,
+            &crate::snapshot::ConfigKey {
+                shards: Some(snap.shards),
+                ttl: snap.ttl,
+                dpd: &snap.dpd,
+                ensemble: &snap.ensemble,
+            },
+            &crate::snapshot::ConfigKey {
+                shards: Some(cfg.shards as u32),
+                ttl: cfg.ttl,
+                dpd: &cfg.dpd,
+                ensemble: &cfg.ensemble,
+            },
         )?;
         let mut eng = Engine::new(cfg);
         eng.clock = snap.clock;
@@ -636,13 +773,15 @@ impl Engine {
     /// live-migration payload.
     pub fn snapshot_job(&self, job: JobId) -> Vec<u8> {
         let mut metrics = JobMetrics::default();
+        let mut models = Vec::new();
         let mut clock = self.job_now(job);
         let mut streams = Vec::new();
         for shard in &self.shards {
-            let (jm, wm, ss) = shard.export_job_state(job);
+            let (jm, jmodels, wm, ss) = shard.export_job_state(job);
             if let Some(jm) = jm {
                 metrics.merge(&jm);
             }
+            models = crate::metrics::merge_model_stats([models, jmodels]);
             clock = clock.max(wm);
             streams.extend(ss);
         }
@@ -653,8 +792,10 @@ impl Engine {
             job,
             ttl: self.cfg.ttl,
             dpd: self.cfg.dpd.clone(),
+            ensemble: self.cfg.ensemble.clone(),
             clock,
             metrics,
+            models,
             streams,
         })
     }
@@ -666,12 +807,18 @@ impl Engine {
     pub fn restore_job(&mut self, bytes: &[u8]) -> Result<(JobId, usize), SnapshotError> {
         let snap = decode_job(bytes)?;
         crate::snapshot::check_config(
-            None,
-            snap.ttl,
-            &snap.dpd,
-            self.shards.len(),
-            self.cfg.ttl,
-            &self.cfg.dpd,
+            &crate::snapshot::ConfigKey {
+                shards: None,
+                ttl: snap.ttl,
+                dpd: &snap.dpd,
+                ensemble: &snap.ensemble,
+            },
+            &crate::snapshot::ConfigKey {
+                shards: Some(self.shards.len() as u32),
+                ttl: self.cfg.ttl,
+                dpd: &self.cfg.dpd,
+                ensemble: &self.cfg.ensemble,
+            },
         )?;
         let job = snap.job;
         for shard in &mut self.shards {
@@ -690,7 +837,7 @@ impl Engine {
                 shard.restore_job_streams(job, leg, snap.clock);
             }
         }
-        self.shards[0].restore_job_history(job, &snap.metrics);
+        self.shards[0].restore_job_history(job, &snap.metrics, &snap.models);
         if self.cfg.ttl.is_some() {
             let c = self.job_clocks.entry(job).or_insert(0);
             *c = (*c).max(snap.clock);

@@ -64,7 +64,10 @@
 //! engine directly.
 
 use crate::engine::{BackpressurePolicy, EngineConfig};
-use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
+use crate::metrics::{
+    merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
+    ModelStats, ShardMetrics,
+};
 use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 use crate::snapshot::SnapshotError;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
@@ -897,6 +900,24 @@ impl FederatedClient {
             .find(|&(j, _)| j == job)
             .map(|(_, m)| m)
             .unwrap_or_default()
+    }
+
+    /// Per-model champion/challenger counters summed across members,
+    /// positional over the ensemble roster (index 0 = primary DPD).
+    /// Empty when no member runs an ensemble.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        merge_model_stats(self.clients.iter().map(EngineClient::model_stats))
+    }
+
+    /// Per-job per-model counters summed across members, ascending by
+    /// job — the per-model analogue of [`FederatedClient::job_metrics`].
+    pub fn job_model_stats(&self) -> Vec<(JobId, Vec<ModelStats>)> {
+        merge_job_model_rollups(
+            self.clients
+                .iter()
+                .map(EngineClient::job_model_stats)
+                .collect(),
+        )
     }
 
     /// Per-member, per-shard metrics snapshot.

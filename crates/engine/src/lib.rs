@@ -110,12 +110,15 @@ pub mod stream_table;
 pub(crate) mod telemetry;
 pub mod types;
 
-pub use engine::{BackpressurePolicy, Engine, EngineConfig};
+pub use engine::{BackpressurePolicy, Engine, EngineConfig, EnsembleConfig};
 pub use federation::{
     AdaptiveCapacity, EpochCapacity, FederatedClient, FederatedEngine, FederationConfig,
     FederationMetrics, FederationWorkerGone,
 };
-pub use metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
+pub use metrics::{
+    merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
+    ModelStats, ShardMetrics,
+};
 pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
 pub use shard::Shard;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -191,6 +191,70 @@ impl JobMetrics {
     }
 }
 
+/// Per-model scoring counters for one ensemble member (the primary DPD
+/// or one challenger). Positional: index 0 of a model-stats vector is
+/// always the primary DPD, index `i > 0` is
+/// `EnsembleConfig::challengers[i - 1]`
+/// ([`crate::EnsembleConfig`]). Empty vectors mean the ensemble is
+/// disabled — per-model accounting costs nothing on the DPD-only path.
+///
+/// Unlike [`ShardMetrics`], every member is scored on **every**
+/// observation (that is the whole point of running challengers), so
+/// `hits + misses + abstentions` equals the stream's event count for
+/// each member, while `champion_events` records how many of those
+/// observations this member was the serving champion for — the
+/// model-mix split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// `+1` forecasts by this member that matched the next symbol.
+    pub hits: u64,
+    /// `+1` forecasts by this member that did not match.
+    pub misses: u64,
+    /// Observations at which this member had no standing forecast.
+    pub abstentions: u64,
+    /// Observations scored while this member was the serving champion.
+    pub champion_events: u64,
+    /// Times this member was promoted to champion by a window decision.
+    pub swaps_in: u64,
+}
+
+impl ModelStats {
+    /// Online `+1` hit rate of this member over its scored
+    /// observations; `None` before any forecast was scored.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let scored = self.hits + self.misses;
+        if scored == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / scored as f64)
+    }
+
+    /// Adds `other`'s counters into `self` (cross-shard/member rollup).
+    pub fn merge(&mut self, other: &ModelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.abstentions += other.abstentions;
+        self.champion_events += other.champion_events;
+        self.swaps_in += other.swaps_in;
+    }
+}
+
+/// Merges positional per-model stat vectors (one per shard or member)
+/// element-wise. Vectors of different lengths merge to the longest —
+/// in practice all non-empty inputs share the roster length.
+pub fn merge_model_stats(lists: impl IntoIterator<Item = Vec<ModelStats>>) -> Vec<ModelStats> {
+    let mut out: Vec<ModelStats> = Vec::new();
+    for list in lists {
+        if list.len() > out.len() {
+            out.resize(list.len(), ModelStats::default());
+        }
+        for (acc, m) in out.iter_mut().zip(&list) {
+            acc.merge(m);
+        }
+    }
+    out
+}
+
 /// Merges per-job rollup lists (as returned by shards or federation
 /// members) into one job-sorted list, summing counters of the same job.
 pub fn merge_job_rollups(lists: Vec<Vec<(JobId, JobMetrics)>>) -> Vec<(JobId, JobMetrics)> {
@@ -199,6 +263,22 @@ pub fn merge_job_rollups(lists: Vec<Vec<(JobId, JobMetrics)>>) -> Vec<(JobId, Jo
     for list in lists {
         for (job, m) in list {
             by_job.entry(job).or_default().merge(&m);
+        }
+    }
+    by_job.into_iter().collect()
+}
+
+/// Merges per-job model-stat lists (one per shard or member) into one
+/// job-sorted list, merging same-job vectors element-wise.
+pub fn merge_job_model_rollups(
+    lists: Vec<Vec<(JobId, Vec<ModelStats>)>>,
+) -> Vec<(JobId, Vec<ModelStats>)> {
+    let mut by_job: std::collections::BTreeMap<JobId, Vec<ModelStats>> =
+        std::collections::BTreeMap::new();
+    for list in lists {
+        for (job, models) in list {
+            let entry = by_job.entry(job).or_default();
+            *entry = merge_model_stats([std::mem::take(entry), models]);
         }
     }
     by_job.into_iter().collect()
@@ -289,6 +369,40 @@ mod tests {
         assert_eq!(merged[1].0, 7);
         assert_eq!(merged[0].1.hit_rate(), Some(6.0 / 7.0));
         assert_eq!(JobMetrics::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn model_stats_merge_elementwise_and_by_job() {
+        let a = ModelStats {
+            hits: 4,
+            misses: 1,
+            abstentions: 2,
+            champion_events: 7,
+            swaps_in: 1,
+        };
+        let b = ModelStats {
+            hits: 1,
+            misses: 3,
+            ..ModelStats::default()
+        };
+        assert_eq!(a.hit_rate(), Some(0.8));
+        assert_eq!(ModelStats::default().hit_rate(), None);
+        let merged = merge_model_stats([vec![a], vec![a, b]]);
+        assert_eq!(merged.len(), 2, "longest roster wins");
+        assert_eq!(merged[0].hits, 8);
+        assert_eq!(merged[0].champion_events, 14);
+        assert_eq!(merged[1], b, "missing entries merge as zero");
+        assert!(merge_model_stats(Vec::<Vec<ModelStats>>::new()).is_empty());
+
+        let by_job = merge_job_model_rollups(vec![
+            vec![(3u32, vec![a]), (7, vec![b])],
+            vec![(3, vec![b])],
+        ]);
+        assert_eq!(by_job.len(), 2);
+        assert_eq!(by_job[0].0, 3, "sorted by job id");
+        assert_eq!(by_job[0].1[0].hits, 5);
+        assert_eq!(by_job[1].0, 7);
+        assert_eq!(by_job[1].1[0].misses, 3);
     }
 
     #[test]

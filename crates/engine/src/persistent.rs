@@ -93,10 +93,13 @@
 //! `tests/persistence.rs`.
 
 use crate::engine::{shard_of, shard_of_key, BackpressurePolicy, Engine, EngineConfig};
-use crate::metrics::{merge_job_rollups, EngineMetrics, JobMetrics, ShardMetrics};
+use crate::metrics::{
+    merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
+    ModelStats, ShardMetrics,
+};
 use crate::shard::Shard;
 use crate::snapshot::{
-    check_config, decode_engine, decode_job, encode_engine, encode_job, EngineSnapshot,
+    check_config, decode_engine, decode_job, encode_engine, encode_job, ConfigKey, EngineSnapshot,
     JobSnapshot, ShardState, SnapshotError, StreamState,
 };
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
@@ -283,6 +286,10 @@ enum QueryBody {
     },
     Metrics,
     JobMetrics,
+    /// Shard-level per-model counters (champion/challenger scoreboard).
+    ModelStats,
+    /// Per-job per-model counters.
+    JobModelStats,
     ResidentJobs,
     EvictJob {
         job: JobId,
@@ -325,6 +332,9 @@ enum QueryBody {
         job: JobId,
         streams: Vec<StreamState>,
         history: Option<Box<JobMetrics>>,
+        /// Per-model history, riding with `history` on the same single
+        /// shard (empty otherwise, and on DPD-only engines).
+        models: Vec<ModelStats>,
         watermark: u64,
     },
     /// Remove every trace of a job — streams, rollup history, watermark
@@ -347,6 +357,8 @@ enum ReplyBody {
     Forecast(Vec<(Option<u64>, Option<u64>)>),
     Metrics(Box<ShardMetrics>),
     JobRollups(Vec<(JobId, JobMetrics)>),
+    Models(Vec<ModelStats>),
+    JobModels(Vec<(JobId, Vec<ModelStats>)>),
     Jobs(Vec<JobId>),
     Period(Option<usize>),
     Confidence(Option<f64>),
@@ -356,6 +368,7 @@ enum ReplyBody {
     State(Box<ShardState>),
     JobSlice {
         metrics: Option<JobMetrics>,
+        models: Vec<ModelStats>,
         watermark: u64,
         streams: Vec<StreamState>,
     },
@@ -506,6 +519,8 @@ fn worker_loop(
                     }
                     QueryBody::Metrics => ReplyBody::Metrics(Box::new(shard.metrics())),
                     QueryBody::JobMetrics => ReplyBody::JobRollups(shard.job_metrics()),
+                    QueryBody::ModelStats => ReplyBody::Models(shard.model_stats()),
+                    QueryBody::JobModelStats => ReplyBody::JobModels(shard.job_model_stats()),
                     QueryBody::ResidentJobs => ReplyBody::Jobs(shard.resident_jobs()),
                     QueryBody::EvictJob { job } => ReplyBody::Evicted(shard.evict_job(job)),
                     QueryBody::PeriodOf { key, now } => {
@@ -529,9 +544,10 @@ fn worker_loop(
                     )),
                     QueryBody::Snapshot => ReplyBody::State(Box::new(shard.export_state())),
                     QueryBody::SnapshotJob { job } => {
-                        let (metrics, watermark, streams) = shard.export_job_state(job);
+                        let (metrics, models, watermark, streams) = shard.export_job_state(job);
                         ReplyBody::JobSlice {
                             metrics,
+                            models,
                             watermark,
                             streams,
                         }
@@ -544,6 +560,7 @@ fn worker_loop(
                         job,
                         streams,
                         history,
+                        models,
                         watermark,
                     } => {
                         shard.extract_job(job);
@@ -551,7 +568,7 @@ fn worker_loop(
                             shard.restore_job_streams(job, &streams, watermark);
                         }
                         if let Some(h) = history {
-                            shard.restore_job_history(job, &h);
+                            shard.restore_job_history(job, &h, &models);
                             shard.fold_job_now(job, watermark);
                         }
                         ReplyBody::Evicted(streams.len())
@@ -757,12 +774,18 @@ impl PersistentEngine {
     pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Self, SnapshotError> {
         let snap = decode_engine(bytes)?;
         check_config(
-            Some(snap.shards),
-            snap.ttl,
-            &snap.dpd,
-            cfg.shards,
-            cfg.ttl,
-            &cfg.dpd,
+            &ConfigKey {
+                shards: Some(snap.shards),
+                ttl: snap.ttl,
+                dpd: &snap.dpd,
+                ensemble: &snap.ensemble,
+            },
+            &ConfigKey {
+                shards: Some(cfg.shards as u32),
+                ttl: cfg.ttl,
+                dpd: &cfg.dpd,
+                ensemble: &cfg.ensemble,
+            },
         )?;
         let eng = Self::new(cfg);
         eng.inner.clock.store(snap.clock, Ordering::Relaxed);
@@ -1484,6 +1507,34 @@ impl EngineClient {
         )
     }
 
+    /// Per-model champion/challenger counters summed across shards,
+    /// positional over the roster (index 0 = primary DPD). Empty on
+    /// DPD-only engines.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        merge_model_stats(
+            self.broadcast(|_| QueryBody::ModelStats)
+                .into_iter()
+                .map(|b| match b {
+                    ReplyBody::Models(m) => m,
+                    _ => unreachable!("model-stats reply shape"),
+                }),
+        )
+    }
+
+    /// Per-job per-model counters summed across shards, ascending by
+    /// job (the per-model analogue of [`EngineClient::job_metrics`]).
+    pub fn job_model_stats(&self) -> Vec<(JobId, Vec<ModelStats>)> {
+        merge_job_model_rollups(
+            self.broadcast(|_| QueryBody::JobModelStats)
+                .into_iter()
+                .map(|b| match b {
+                    ReplyBody::JobModels(j) => j,
+                    _ => unreachable!("job-model-stats reply shape"),
+                })
+                .collect(),
+        )
+    }
+
     /// Sweeps every shard now, returning how many expired streams were
     /// reclaimed (workers sweep their own shard after each batch they
     /// receive; this also reaches idle shards).
@@ -1561,6 +1612,7 @@ impl EngineClient {
             shards: u32::try_from(self.inner.senders.len()).expect("shard count fits u32"),
             ttl: self.inner.cfg.ttl,
             dpd: self.inner.cfg.dpd.clone(),
+            ensemble: self.inner.cfg.ensemble.clone(),
             clock: self.inner.clock.load(Ordering::Relaxed),
             job_clocks,
             shard_states,
@@ -1574,18 +1626,21 @@ impl EngineClient {
     /// as [`EngineClient::snapshot`].
     pub fn snapshot_job(&self, job: JobId) -> Vec<u8> {
         let mut metrics = JobMetrics::default();
+        let mut models: Vec<ModelStats> = Vec::new();
         let mut clock = self.job_now(job);
         let mut streams = Vec::new();
         for b in self.broadcast(|_| QueryBody::SnapshotJob { job }) {
             match b {
                 ReplyBody::JobSlice {
                     metrics: jm,
+                    models: ms,
                     watermark,
                     streams: ss,
                 } => {
                     if let Some(jm) = jm {
                         metrics.merge(&jm);
                     }
+                    models = merge_model_stats([models, ms]);
                     clock = clock.max(watermark);
                     streams.extend(ss);
                 }
@@ -1597,8 +1652,10 @@ impl EngineClient {
             job,
             ttl: self.inner.cfg.ttl,
             dpd: self.inner.cfg.dpd.clone(),
+            ensemble: self.inner.cfg.ensemble.clone(),
             clock,
             metrics,
+            models,
             streams,
         })
     }
@@ -1611,12 +1668,18 @@ impl EngineClient {
     pub fn restore_job(&self, bytes: &[u8]) -> Result<(JobId, usize), SnapshotError> {
         let snap = decode_job(bytes)?;
         check_config(
-            None,
-            snap.ttl,
-            &snap.dpd,
-            self.inner.senders.len(),
-            self.inner.cfg.ttl,
-            &self.inner.cfg.dpd,
+            &ConfigKey {
+                shards: None,
+                ttl: snap.ttl,
+                dpd: &snap.dpd,
+                ensemble: &snap.ensemble,
+            },
+            &ConfigKey {
+                shards: Some(self.inner.senders.len() as u32),
+                ttl: self.inner.cfg.ttl,
+                dpd: &self.inner.cfg.dpd,
+                ensemble: &self.inner.cfg.ensemble,
+            },
         )?;
         let job = snap.job;
         let nshards = self.inner.senders.len();
@@ -1634,6 +1697,11 @@ impl EngineClient {
             // The job's historical counters live on exactly one shard
             // (0): replicating them would multiply federation rollups.
             history: (s == 0).then(|| Box::new(snap.metrics)),
+            models: if s == 0 {
+                snap.models.clone()
+            } else {
+                Vec::new()
+            },
             watermark: snap.clock,
         });
         if self.inner.cfg.ttl.is_some() {

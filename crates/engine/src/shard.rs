@@ -84,14 +84,15 @@
 //! racy out-of-order stamp merely pays a short sorted re-insertion in
 //! its own domain.)
 
-use crate::metrics::{JobMetrics, ShardMetrics};
-use crate::snapshot::{ShardState, StreamState};
+use crate::engine::EnsembleConfig;
+use crate::metrics::{JobMetrics, ModelStats, ShardMetrics};
+use crate::snapshot::{EnsembleStreamState, MemberState, ShardState, StreamState};
 use crate::stream_table::{SlotId, StreamTable};
 use crate::telemetry::ShardTelemetry;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, StreamKind};
 use fxhash::FxHashMap;
 use mpp_core::dpd::{DpdConfig, DpdPredictor};
-use mpp_core::predictors::Predictor;
+use mpp_core::predictors::{Model, Predictor, PredictorKind, WordCursor};
 use mpp_core::stream::SymbolMap;
 use mpp_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use std::time::Instant;
@@ -142,6 +143,59 @@ pub(crate) fn select_lru_victims(
     candidates
 }
 
+/// One challenger of a stream's ensemble: a roster predictor observing
+/// the **raw** symbol stream (challengers like the stride predictor
+/// extrapolate values that were never interned, so the dense-id domain
+/// would be wrong for them) plus its standing `+1` forecast.
+#[derive(Debug, Clone)]
+pub(crate) struct ChallengerSlot {
+    model: Model,
+    /// Standing `+1` forecast in raw symbol space.
+    pending: Option<u64>,
+}
+
+/// Per-stream champion/challenger state: who serves, the in-flight
+/// scoring window, and the challenger bank. Boxed inside the slot so
+/// DPD-only engines pay one `None` niche, not the roster's footprint.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotEnsemble {
+    /// Serving member index: 0 = primary DPD, `i > 0` = challenger
+    /// `i - 1`. Swaps only at window boundaries, with hysteresis.
+    champion: u32,
+    /// Observations scored in the current window.
+    window_seen: u32,
+    /// Per-member hits in the current window (index 0 = primary).
+    window_hits: Vec<u32>,
+    challengers: Vec<ChallengerSlot>,
+}
+
+impl SlotEnsemble {
+    fn new(ens: &EnsembleConfig, cfg: &DpdConfig) -> Self {
+        SlotEnsemble {
+            champion: 0,
+            window_seen: 0,
+            window_hits: vec![0; ens.roster_len()],
+            challengers: ens
+                .challengers
+                .iter()
+                .map(|&k| ChallengerSlot {
+                    model: Model::build(k, cfg),
+                    pending: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// [`PredictorKind::tag`] of member `m` (0 = the primary DPD).
+    fn member_tag(&self, m: usize) -> u8 {
+        if m == 0 {
+            PredictorKind::Dpd.tag()
+        } else {
+            self.challengers[m - 1].model.kind().tag()
+        }
+    }
+}
+
 /// Predictor, interner and score-keeping state for one stream. The
 /// recency stamp (`last_seen`) lives in the owning [`StreamTable`],
 /// which needs it for LRU order; the slot carries the prediction state
@@ -158,37 +212,130 @@ pub(crate) struct StreamSlot {
     /// Index of this stream's job in the shard's rollup vector —
     /// per-event job accounting without hashing the job id.
     job_idx: u32,
+    /// Champion/challenger state; `None` on DPD-only engines, which
+    /// keeps the default hot path byte-for-byte what it was.
+    ensemble: Option<Box<SlotEnsemble>>,
 }
 
 impl StreamSlot {
-    fn new(cfg: &DpdConfig, job_idx: u32) -> Self {
+    fn new(cfg: &DpdConfig, ens: &EnsembleConfig, job_idx: u32) -> Self {
         StreamSlot {
             interner: SymbolMap::new(),
             predictor: DpdPredictor::new(cfg.clone()),
             pending_next: None,
             last_period: None,
             job_idx,
+            ensemble: ens.enabled().then(|| Box::new(SlotEnsemble::new(ens, cfg))),
         }
     }
 
     /// Ingests one raw symbol, updating the shard's and the owning
-    /// job's hit/miss/churn counters in lockstep. Returns whether the
-    /// detected period changed (the caller's flight-recorder hook).
+    /// job's hit/miss/churn counters in lockstep. With an ensemble,
+    /// every member is scored against its standing forecast (the
+    /// serving champion's outcome drives the legacy hit/miss counters)
+    /// and the champion may swap at a window boundary. Returns whether
+    /// the detected period changed, plus `(from_tag, to_tag)` if the
+    /// champion swapped (the caller's flight-recorder hooks).
     #[inline]
-    fn observe(&mut self, raw: u64, metrics: &mut ShardMetrics, job: &mut JobMetrics) -> bool {
+    fn observe(
+        &mut self,
+        raw: u64,
+        metrics: &mut ShardMetrics,
+        job: &mut JobMetrics,
+        ens_cfg: &EnsembleConfig,
+        shard_models: &mut [ModelStats],
+        job_models: &mut [ModelStats],
+    ) -> (bool, Option<(u8, u8)>) {
         let id = u64::from(self.interner.intern(raw));
-        match self.pending_next {
-            Some(p) if p == id => {
-                metrics.hits += 1;
-                job.hits += 1;
+        let mut swap = None;
+        if let Some(ens) = self.ensemble.as_deref_mut() {
+            // Score every member on this arrival. Member 0 (the primary
+            // DPD) forecasts in dense-id space; challengers in raw
+            // space. Identical comparisons either way — interning is
+            // injective — so the scoreboard is domain-agnostic.
+            for m in 0..ens.window_hits.len() {
+                let (pending, expected) = if m == 0 {
+                    (self.pending_next, id)
+                } else {
+                    (ens.challengers[m - 1].pending, raw)
+                };
+                let is_champion = m as u32 == ens.champion;
+                let (sm, jm) = (&mut shard_models[m], &mut job_models[m]);
+                match pending {
+                    Some(p) if p == expected => {
+                        sm.hits += 1;
+                        jm.hits += 1;
+                        ens.window_hits[m] += 1;
+                        if is_champion {
+                            metrics.hits += 1;
+                            job.hits += 1;
+                        }
+                    }
+                    Some(_) => {
+                        sm.misses += 1;
+                        jm.misses += 1;
+                        if is_champion {
+                            metrics.misses += 1;
+                            job.misses += 1;
+                        }
+                    }
+                    None => {
+                        sm.abstentions += 1;
+                        jm.abstentions += 1;
+                        if is_champion {
+                            metrics.abstentions += 1;
+                            job.abstentions += 1;
+                        }
+                    }
+                }
+                if is_champion {
+                    sm.champion_events += 1;
+                    jm.champion_events += 1;
+                }
             }
-            Some(_) => {
-                metrics.misses += 1;
-                job.misses += 1;
+            ens.window_seen += 1;
+            for c in &mut ens.challengers {
+                c.model.observe(raw);
+                c.pending = c.model.predict(1);
             }
-            None => {
-                metrics.abstentions += 1;
-                job.abstentions += 1;
+            // Window boundary: promote the strict-argmax member (ties
+            // keep the lowest index) only if it leads the incumbent by
+            // the hysteresis margin — sustained lead, not noise.
+            if ens.window_seen >= ens_cfg.window {
+                let champ = ens.champion as usize;
+                let mut best = 0usize;
+                for i in 1..ens.window_hits.len() {
+                    if ens.window_hits[i] > ens.window_hits[best] {
+                        best = i;
+                    }
+                }
+                if best != champ
+                    && ens.window_hits[best] >= ens.window_hits[champ] + ens_cfg.min_lead
+                {
+                    let from = ens.member_tag(champ);
+                    let to = ens.member_tag(best);
+                    ens.champion = best as u32;
+                    shard_models[best].swaps_in += 1;
+                    job_models[best].swaps_in += 1;
+                    swap = Some((from, to));
+                }
+                ens.window_seen = 0;
+                ens.window_hits.iter_mut().for_each(|h| *h = 0);
+            }
+        } else {
+            match self.pending_next {
+                Some(p) if p == id => {
+                    metrics.hits += 1;
+                    job.hits += 1;
+                }
+                Some(_) => {
+                    metrics.misses += 1;
+                    job.misses += 1;
+                }
+                None => {
+                    metrics.abstentions += 1;
+                    job.abstentions += 1;
+                }
             }
         }
         self.predictor.observe(id);
@@ -202,12 +349,20 @@ impl StreamSlot {
         self.pending_next = self.predictor.predict(1);
         metrics.events_ingested += 1;
         job.events_ingested += 1;
-        churned
+        (churned, swap)
     }
 
-    /// Predicts the raw symbol `horizon` steps ahead.
+    /// Predicts the raw symbol `horizon` steps ahead — served by the
+    /// stream's champion (challengers already predict in raw space).
     #[inline]
     fn predict(&self, horizon: usize) -> Option<u64> {
+        if let Some(ens) = self.ensemble.as_deref() {
+            if ens.champion > 0 {
+                return ens.challengers[ens.champion as usize - 1]
+                    .model
+                    .predict(horizon);
+            }
+        }
         let id = self.predictor.predict(horizon)?;
         Some(self.raw_of(id))
     }
@@ -215,7 +370,16 @@ impl StreamSlot {
     /// Predicts the next `horizons` raw symbols into `out` (cleared and
     /// refilled; capacity reused) — the forecast path's allocation-free
     /// bulk variant, built on [`DpdPredictor::predict_next_into`].
+    /// Served by the champion, like [`StreamSlot::predict`].
     fn predict_next_into(&self, horizons: usize, out: &mut Vec<Option<u64>>) {
+        if let Some(ens) = self.ensemble.as_deref() {
+            if ens.champion > 0 {
+                ens.challengers[ens.champion as usize - 1]
+                    .model
+                    .predict_next_into(horizons, out);
+                return;
+            }
+        }
         self.predictor.predict_next_into(horizons, out);
         for v in out.iter_mut() {
             *v = v.map(|id| self.raw_of(id));
@@ -243,6 +407,9 @@ impl StreamSlot {
 #[derive(Debug)]
 pub struct Shard {
     cfg: DpdConfig,
+    /// Champion/challenger roster + selection policy. The default
+    /// (no challengers) keeps every slot ensemble-free.
+    ensemble: EnsembleConfig,
     /// TTL in events of the owning job's clock; `None` disables expiry.
     ttl: Option<u64>,
     /// The slab-backed stream table (see the [module docs](self)).
@@ -256,6 +423,13 @@ pub struct Shard {
     /// Job id → index into `jobs`, consulted only off the per-event
     /// path (slot creation, predict/forecast rollups).
     job_index: FxHashMap<JobId, u32>,
+    /// Shard-level per-model counters, positional over the roster
+    /// (index 0 = primary DPD). Empty — and never allocated — when the
+    /// ensemble is off.
+    model_stats: Vec<ModelStats>,
+    /// Per-job per-model counters, parallel to `jobs` (inner vectors
+    /// empty when the ensemble is off).
+    job_models: Vec<Vec<ModelStats>>,
     /// Per-job time watermarks, parallel to `jobs`: the highest stamp
     /// this shard has applied for each job, tightened further by
     /// [`Shard::fold_job_now`]. With a TTL configured this is the
@@ -287,13 +461,29 @@ impl Shard {
     /// Creates an empty shard with an idle-stream TTL (in engine-time
     /// events; see the [module docs](self) for the expiry rule).
     pub fn with_ttl(cfg: DpdConfig, ttl: Option<u64>) -> Self {
+        Self::with_ensemble(cfg, ttl, EnsembleConfig::default())
+    }
+
+    /// Creates an empty shard with an idle-stream TTL and a
+    /// champion/challenger ensemble. With no challengers this is
+    /// exactly [`Shard::with_ttl`]: slots stay ensemble-free and no
+    /// per-model state is allocated.
+    pub fn with_ensemble(cfg: DpdConfig, ttl: Option<u64>, ensemble: EnsembleConfig) -> Self {
+        let model_stats = if ensemble.enabled() {
+            vec![ModelStats::default(); ensemble.roster_len()]
+        } else {
+            Vec::new()
+        };
         Shard {
             cfg,
+            ensemble,
             ttl,
             table: StreamTable::new(),
             metrics: ShardMetrics::default(),
             jobs: Vec::new(),
             job_index: FxHashMap::default(),
+            model_stats,
+            job_models: Vec::new(),
             job_clocks: Vec::new(),
             clock: 0,
             last_sweep: 0,
@@ -321,7 +511,9 @@ impl Shard {
     /// The shard's exportable telemetry snapshot (histograms, flight
     /// ring, counter totals), or `None` when telemetry is disabled.
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
-        self.telemetry.as_ref().map(|t| t.snapshot(&self.metrics()))
+        self.telemetry
+            .as_ref()
+            .map(|t| t.snapshot(&self.metrics(), &self.ensemble, &self.model_stats))
     }
 
     /// Whether `last_seen` has expired as of engine time `now`.
@@ -339,6 +531,9 @@ impl Shard {
         let i = u32::try_from(self.jobs.len()).expect("job count fits u32");
         self.job_index.insert(job, i);
         self.jobs.push((job, JobMetrics::default()));
+        // `vec![x; 0]` when the ensemble is off: no allocation.
+        self.job_models
+            .push(vec![ModelStats::default(); self.model_stats.len()]);
         self.job_clocks.push(0);
         i
     }
@@ -381,7 +576,7 @@ impl Shard {
         let job_idx = self.job_entry(key.job);
         self.jobs[job_idx as usize].1.resident_streams += 1;
         self.table
-            .insert(key, at, StreamSlot::new(&self.cfg, job_idx))
+            .insert(key, at, StreamSlot::new(&self.cfg, &self.ensemble, job_idx))
     }
 
     /// The per-event ingest step shared by every observe path: lazy TTL
@@ -394,7 +589,7 @@ impl Shard {
         if seen > 0 && is_expired(self.ttl, seen, at) {
             let slot = self.table.payload_mut(id);
             let job_idx = slot.job_idx;
-            *slot = StreamSlot::new(&self.cfg, job_idx);
+            *slot = StreamSlot::new(&self.cfg, &self.ensemble, job_idx);
             self.metrics.evicted += 1;
             self.jobs[job_idx as usize].1.evicted += 1;
             if let Some(tel) = self.telemetry.as_deref_mut() {
@@ -407,13 +602,26 @@ impl Shard {
         let wm = &mut self.job_clocks[job_idx];
         *wm = (*wm).max(at);
         let job = &mut self.jobs[job_idx].1;
-        let churned = slot.observe(raw, &mut self.metrics, job);
+        let (churned, swap) = slot.observe(
+            raw,
+            &mut self.metrics,
+            job,
+            &self.ensemble,
+            &mut self.model_stats,
+            &mut self.job_models[job_idx],
+        );
         if churned {
             // Off the steady-state path: churn means a lock transition.
             if let Some(tel) = self.telemetry.as_deref_mut() {
                 let key = self.table.key_of(id);
                 let ended = self.table.payload(id).predictor.ended_run_len();
                 tel.note_churn(at, key.job, key.rank, ended);
+            }
+        }
+        if let Some((from, to)) = swap {
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                let key = self.table.key_of(id);
+                tel.note_champion_swap(at, key, from, to);
             }
         }
         self.table.touch(id, at);
@@ -817,6 +1025,31 @@ impl Shard {
         self.ttl
     }
 
+    /// The champion/challenger configuration this shard runs.
+    pub fn ensemble(&self) -> &EnsembleConfig {
+        &self.ensemble
+    }
+
+    /// Shard-level per-model counters, positional over the roster
+    /// (index 0 = primary DPD). Empty when the ensemble is off.
+    pub fn model_stats(&self) -> Vec<ModelStats> {
+        self.model_stats.clone()
+    }
+
+    /// Per-job per-model counters, ascending by job id (the per-model
+    /// analogue of [`Shard::job_metrics`]; inner vectors empty when the
+    /// ensemble is off).
+    pub fn job_model_stats(&self) -> Vec<(JobId, Vec<ModelStats>)> {
+        let mut out: Vec<(JobId, Vec<ModelStats>)> = self
+            .jobs
+            .iter()
+            .zip(&self.job_models)
+            .map(|(&(job, _), models)| (job, models.clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(job, _)| job);
+        out
+    }
+
     /// Counter snapshot (resident stream count refreshed on read).
     pub fn metrics(&self) -> ShardMetrics {
         let mut m = self.metrics;
@@ -850,22 +1083,61 @@ impl Shard {
             predictor: slot.predictor.export_state(),
             pending_next: slot.pending_next,
             last_period: slot.last_period.map(|p| p as u64),
+            ensemble: slot.ensemble.as_deref().map(|ens| EnsembleStreamState {
+                champion: ens.champion,
+                window_seen: ens.window_seen,
+                window_hits: ens.window_hits.clone(),
+                members: ens
+                    .challengers
+                    .iter()
+                    .map(|c| {
+                        let mut words = Vec::new();
+                        c.model.export_words(&mut words);
+                        MemberState {
+                            kind_tag: c.model.kind().tag(),
+                            pending: c.pending,
+                            words,
+                        }
+                    })
+                    .collect(),
+            }),
         }
     }
 
     /// Rebuilds a slot from its serialized state, bit-identical to the
-    /// one [`Shard::export_stream`] read.
+    /// one [`Shard::export_stream`] read. The ensemble members hydrate
+    /// through their word codecs; `check_config` has already matched
+    /// the roster, and the payload survived the frame checksum, so a
+    /// hydrate failure here means the snapshot lied about itself.
     fn rebuild_slot(&self, s: &StreamState, job_idx: u32) -> StreamSlot {
         let mut interner = SymbolMap::new();
         for &sym in &s.symbols {
             interner.intern(sym);
         }
+        let ensemble = s.ensemble.as_ref().map(|es| {
+            let mut ens = SlotEnsemble::new(&self.ensemble, &self.cfg);
+            debug_assert_eq!(es.members.len(), ens.challengers.len());
+            ens.champion = es.champion;
+            ens.window_seen = es.window_seen;
+            ens.window_hits.clone_from(&es.window_hits);
+            for (c, m) in ens.challengers.iter_mut().zip(&es.members) {
+                debug_assert_eq!(c.model.kind().tag(), m.kind_tag);
+                let mut cur = WordCursor::new(&m.words);
+                c.model
+                    .hydrate_words(&mut cur)
+                    .expect("checksummed member state hydrates");
+                cur.finish().expect("member state fully consumed");
+                c.pending = m.pending;
+            }
+            Box::new(ens)
+        });
         StreamSlot {
             interner,
             predictor: DpdPredictor::from_state(self.cfg.clone(), &s.predictor),
             pending_next: s.pending_next,
             last_period: s.last_period.map(|p| p as usize),
             job_idx,
+            ensemble,
         }
     }
 
@@ -890,6 +1162,8 @@ impl Shard {
                 .zip(&self.job_clocks)
                 .map(|(&(job, m), &wm)| (job, m, wm))
                 .collect(),
+            model_stats: self.model_stats.clone(),
+            job_models: self.job_models.clone(),
             streams,
         }
     }
@@ -916,6 +1190,8 @@ impl Shard {
             self.job_clocks.push(wm);
             self.table.ensure_domain(job);
         }
+        self.model_stats.clone_from(&st.model_stats);
+        self.job_models.clone_from(&st.job_models);
         for s in &st.streams {
             let job_idx = self.job_index[&s.key.job];
             let slot = self.rebuild_slot(s, job_idx);
@@ -923,14 +1199,19 @@ impl Shard {
         }
     }
 
-    /// Serializes one job's slice of this shard: its rollup (if the
-    /// job ever ingested here), its time watermark, and its resident
-    /// streams in LRU order.
+    /// Serializes one job's slice of this shard: its rollup and
+    /// per-model counters (if the job ever ingested here), its time
+    /// watermark, and its resident streams in LRU order.
     pub(crate) fn export_job_state(
         &self,
         job: JobId,
-    ) -> (Option<JobMetrics>, u64, Vec<StreamState>) {
+    ) -> (Option<JobMetrics>, Vec<ModelStats>, u64, Vec<StreamState>) {
         let metrics = self.job_index.get(&job).map(|&i| self.jobs[i as usize].1);
+        let models = self
+            .job_index
+            .get(&job)
+            .map(|&i| self.job_models[i as usize].clone())
+            .unwrap_or_default();
         let mut streams = Vec::new();
         if let Some(d) = self.table.domain_for_job(job) {
             streams.reserve(self.table.domain_len(d));
@@ -938,7 +1219,7 @@ impl Shard {
                 streams.push(self.export_stream(id));
             }
         }
-        (metrics, self.job_now(job), streams)
+        (metrics, models, self.job_now(job), streams)
     }
 
     /// Removes every trace of `job` from this shard — streams, rollup
@@ -961,6 +1242,19 @@ impl Shard {
         let jm = std::mem::take(&mut self.jobs[ji as usize].1);
         self.job_clocks[ji as usize] = 0;
         subtract_job_counters(&mut self.metrics, &jm);
+        // Per-model history travels with the job too: zero the job's
+        // slab entry and subtract it from the shard totals.
+        let models = std::mem::replace(
+            &mut self.job_models[ji as usize],
+            vec![ModelStats::default(); self.model_stats.len()],
+        );
+        for (tot, m) in self.model_stats.iter_mut().zip(&models) {
+            tot.hits -= m.hits;
+            tot.misses -= m.misses;
+            tot.abstentions -= m.abstentions;
+            tot.champion_events -= m.champion_events;
+            tot.swaps_in -= m.swaps_in;
+        }
         removed
     }
 
@@ -997,12 +1291,32 @@ impl Shard {
     /// rollup and the shard totals — the single-shard home for a
     /// migrated job's history, keeping federation-wide rollup sums
     /// exact across the move.
-    pub(crate) fn restore_job_history(&mut self, job: JobId, metrics: &JobMetrics) {
+    pub(crate) fn restore_job_history(
+        &mut self,
+        job: JobId,
+        metrics: &JobMetrics,
+        models: &[ModelStats],
+    ) {
         let ji = self.job_entry(job) as usize;
         let mut hist = *metrics;
         hist.resident_streams = 0;
         self.jobs[ji].1.merge(&hist);
         add_job_counters(&mut self.metrics, &hist);
+        // check_config matched the rosters, so positions line up; the
+        // resize only defends against a shorter local slab.
+        if !models.is_empty() {
+            let jm = &mut self.job_models[ji];
+            if jm.len() < models.len() {
+                jm.resize(models.len(), ModelStats::default());
+            }
+            if self.model_stats.len() < models.len() {
+                self.model_stats.resize(models.len(), ModelStats::default());
+            }
+            for (i, m) in models.iter().enumerate() {
+                jm[i].merge(m);
+                self.model_stats[i].merge(m);
+            }
+        }
     }
 }
 
@@ -1422,6 +1736,76 @@ mod tests {
         assert!(shard.evict_stream(key(0)));
         assert!(!shard.evict_stream(key(0)), "already gone");
         assert_eq!(shard.metrics().evicted, 3);
+    }
+
+    #[test]
+    fn default_shard_has_no_ensemble_state() {
+        let mut shard = Shard::new(DpdConfig::default());
+        feed_pattern(&mut shard, key(0), &[1, 2], 10);
+        assert!(shard.model_stats().is_empty());
+        assert_eq!(shard.job_model_stats().len(), 1);
+        assert!(shard.job_model_stats()[0].1.is_empty());
+        assert!(!shard.ensemble().enabled());
+    }
+
+    #[test]
+    fn ensemble_swaps_to_a_better_challenger_and_serves_it() {
+        // An arithmetic stream: every value is new, so the DPD (which
+        // needs repeats) can never lock, while the stride challenger
+        // nails every step. The champion must swap to stride and
+        // serve its raw-space extrapolations.
+        let ens = EnsembleConfig {
+            challengers: vec![PredictorKind::Stride],
+            window: 16,
+            min_lead: 4,
+        };
+        let mut shard = Shard::with_ensemble(DpdConfig::default(), None, ens);
+        for i in 0..200u64 {
+            shard.observe(Observation::new(key(0), 1000 + 10 * i));
+        }
+        // Stride extrapolates a value never observed (and never
+        // interned) — only a raw-space challenger can produce it.
+        assert_eq!(shard.predict(Query::new(key(0), 1)), Some(1000 + 10 * 200));
+        let ms = shard.model_stats();
+        assert_eq!(ms.len(), 2, "primary + one challenger");
+        assert_eq!(ms[1].swaps_in, 1, "one sustained-lead swap");
+        assert!(ms[1].hits > ms[0].hits, "stride outscores the DPD");
+        // Every member is scored on every event.
+        for m in &ms {
+            assert_eq!(m.hits + m.misses + m.abstentions, 200);
+        }
+        // Champion-event split covers the whole stream: the DPD served
+        // the first window, stride everything after the swap.
+        assert_eq!(ms[0].champion_events + ms[1].champion_events, 200);
+        assert!(ms[1].champion_events > ms[0].champion_events);
+        // The per-job rollup mirrors the shard slab (one job here).
+        assert_eq!(shard.job_model_stats()[0].1, ms);
+    }
+
+    #[test]
+    fn ensemble_with_dpd_champion_scores_like_the_legacy_path() {
+        // On a periodic stream the DPD stays champion (challenger list
+        // has no sustained lead), and the legacy hit/miss counters must
+        // be driven by the same primary outcomes as a DPD-only shard.
+        let ens = EnsembleConfig {
+            challengers: vec![PredictorKind::Frequency],
+            window: 32,
+            min_lead: 8,
+        };
+        let mut with_ens = Shard::with_ensemble(DpdConfig::default(), None, ens);
+        let mut plain = Shard::new(DpdConfig::default());
+        for s in [&mut with_ens, &mut plain] {
+            feed_pattern(s, key(0), &[7, 1, 4], 20);
+        }
+        let (me, mp) = (with_ens.metrics(), plain.metrics());
+        assert_eq!(me.hits, mp.hits);
+        assert_eq!(me.misses, mp.misses);
+        assert_eq!(me.abstentions, mp.abstentions);
+        assert_eq!(
+            with_ens.predict(Query::new(key(0), 1)),
+            plain.predict(Query::new(key(0), 1))
+        );
+        assert_eq!(with_ens.model_stats()[0].swaps_in, 0);
     }
 
     #[test]

@@ -6,15 +6,25 @@
 //! choice after a snapshot→restore cut equals the uninterrupted run
 //! (differential-tested in `tests/snapshot.rs`).
 //!
-//! ## Wire format (version 1)
+//! ## Wire format (version 2)
 //!
 //! ```text
 //! magic    8 B   b"MPPSNAP\0"
-//! version  4 B   u32 LE (currently 1)
+//! version  4 B   u32 LE (currently 2)
 //! length   8 B   u64 LE — payload byte count
 //! payload  …     scope tag (engine | job) + scope-specific body
 //! checksum 8 B   u64 LE — FNV-1a over the payload
 //! ```
+//!
+//! Version 2 added the champion/challenger ensemble: the config
+//! fingerprint grew the [`EnsembleConfig`] (challenger roster, scoring
+//! window, swap hysteresis), per-stream state grew each member's word
+//! codec + standing forecast + window counters, and shard/job state
+//! grew positional per-model counter rollups. Version-1 blobs are
+//! rejected with [`SnapshotError::VersionMismatch`] — the predictor
+//! abstraction changed underneath, so silently restoring v1 bits would
+//! forfeit the bit-identity contract the version field exists to
+//! protect.
 //!
 //! All integers little-endian; `Option`s are a one-byte tag plus the
 //! value; `f64`s travel as raw IEEE bits (config equality is exact).
@@ -47,16 +57,17 @@
 //! (queue caps, backpressure, parallelism thresholds — free to differ
 //! across the cut).
 
-use crate::metrics::{JobMetrics, ShardMetrics};
+use crate::engine::EnsembleConfig;
+use crate::metrics::{JobMetrics, ModelStats, ShardMetrics};
 use crate::types::{JobId, StreamKey, StreamKind};
 use mpp_core::dpd::DpdConfig;
-use mpp_core::DpdPredictorState;
+use mpp_core::{DpdPredictorState, PredictorKind};
 
 /// Leading magic of every snapshot frame.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MPPSNAP\0";
 
 /// The format version this build writes and the only one it reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SCOPE_ENGINE: u8 = 0;
 const SCOPE_JOB: u8 = 1;
@@ -151,6 +162,37 @@ pub struct StreamState {
     pub(crate) pending_next: Option<u64>,
     /// Last seen period, for churn accounting continuity.
     pub(crate) last_period: Option<u64>,
+    /// Champion/challenger state; `None` on DPD-only engines.
+    pub(crate) ensemble: Option<EnsembleStreamState>,
+}
+
+/// Serialized champion/challenger state of one stream: the serving
+/// champion, the in-flight scoring window, and each challenger's full
+/// predictor state through its deterministic word codec
+/// ([`mpp_core::Predictor::export_words`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStreamState {
+    /// Serving member index: 0 = primary DPD, `i > 0` = challenger
+    /// `i - 1`.
+    pub(crate) champion: u32,
+    /// Observations scored in the current (incomplete) window.
+    pub(crate) window_seen: u32,
+    /// Per-member hits in the current window (index 0 = primary).
+    pub(crate) window_hits: Vec<u32>,
+    /// The challengers, in roster order.
+    pub(crate) members: Vec<MemberState>,
+}
+
+/// Serialized state of one challenger: its roster kind, its standing
+/// raw-symbol `+1` forecast, and its word-codec state dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberState {
+    /// [`PredictorKind::tag`] of this challenger.
+    pub(crate) kind_tag: u8,
+    /// Standing `+1` forecast in raw symbol space.
+    pub(crate) pending: Option<u64>,
+    /// The member's [`mpp_core::Predictor::export_words`] dump.
+    pub(crate) words: Vec<u64>,
 }
 
 /// Serialized state of one shard: counters, clocks, per-job rollups
@@ -165,6 +207,11 @@ pub struct ShardState {
     /// both the rollup vector and the stream-table domains intern in,
     /// which restore must reproduce for identical LRU tie-breaks.
     pub(crate) jobs: Vec<(JobId, JobMetrics, u64)>,
+    /// Shard-level per-model counters (empty when the ensemble is off).
+    pub(crate) model_stats: Vec<ModelStats>,
+    /// Per-job per-model counters, parallel to `jobs` (every inner
+    /// vector is empty when the ensemble is off).
+    pub(crate) job_models: Vec<Vec<ModelStats>>,
     pub(crate) streams: Vec<StreamState>,
 }
 
@@ -174,6 +221,7 @@ pub(crate) struct EngineSnapshot {
     pub(crate) shards: u32,
     pub(crate) ttl: Option<u64>,
     pub(crate) dpd: DpdConfig,
+    pub(crate) ensemble: EnsembleConfig,
     pub(crate) clock: u64,
     /// Per-job clocks, ascending by job (empty without a TTL).
     pub(crate) job_clocks: Vec<(JobId, u64)>,
@@ -186,11 +234,14 @@ pub(crate) struct JobSnapshot {
     pub(crate) job: JobId,
     pub(crate) ttl: Option<u64>,
     pub(crate) dpd: DpdConfig,
+    pub(crate) ensemble: EnsembleConfig,
     /// The job's clock at the cut (its watermark maximum when the
     /// source had no registry — always ≥ every stream's `last_seen`).
     pub(crate) clock: u64,
     /// The job's rollup summed across the source shards.
     pub(crate) metrics: JobMetrics,
+    /// The job's per-model counters summed across the source shards.
+    pub(crate) models: Vec<ModelStats>,
     /// All of the job's streams, ascending by `(last_seen, rank,
     /// kind)` — deterministic and already in recency order for the
     /// target's domain lists.
@@ -277,6 +328,26 @@ impl Writer {
         self.u8(key.kind.index() as u8);
     }
 
+    fn ensemble_cfg(&mut self, cfg: &EnsembleConfig) {
+        self.len(cfg.challengers.len());
+        for &k in &cfg.challengers {
+            self.u8(k.tag());
+        }
+        self.u32(cfg.window);
+        self.u32(cfg.min_lead);
+    }
+
+    fn model_stats(&mut self, models: &[ModelStats]) {
+        self.len(models.len());
+        for m in models {
+            self.u64(m.hits);
+            self.u64(m.misses);
+            self.u64(m.abstentions);
+            self.u64(m.champion_events);
+            self.u64(m.swaps_in);
+        }
+    }
+
     fn stream(&mut self, s: &StreamState) {
         self.key(s.key);
         self.u64(s.last_seen);
@@ -291,6 +362,24 @@ impl Writer {
         self.u64(s.predictor.ended_run_len);
         self.opt_u64(s.pending_next);
         self.opt_u64(s.last_period);
+        match &s.ensemble {
+            None => self.u8(0),
+            Some(es) => {
+                self.u8(1);
+                self.u32(es.champion);
+                self.u32(es.window_seen);
+                self.len(es.window_hits.len());
+                for &h in &es.window_hits {
+                    self.u32(h);
+                }
+                self.len(es.members.len());
+                for m in &es.members {
+                    self.u8(m.kind_tag);
+                    self.opt_u64(m.pending);
+                    self.u64_slice(&m.words);
+                }
+            }
+        }
     }
 
     fn shard_metrics(&mut self, m: &ShardMetrics) {
@@ -341,6 +430,11 @@ impl Writer {
             self.job_metrics(jm);
             self.u64(*wm);
         }
+        self.model_stats(&s.model_stats);
+        self.len(s.job_models.len());
+        for jm in &s.job_models {
+            self.model_stats(jm);
+        }
         self.len(s.streams.len());
         for stream in &s.streams {
             self.stream(stream);
@@ -366,6 +460,7 @@ pub(crate) fn encode_engine(snap: &EngineSnapshot) -> Vec<u8> {
     w.u32(snap.shards);
     w.opt_u64(snap.ttl);
     w.dpd(&snap.dpd);
+    w.ensemble_cfg(&snap.ensemble);
     w.u64(snap.clock);
     w.len(snap.job_clocks.len());
     for (job, clock) in &snap.job_clocks {
@@ -385,8 +480,10 @@ pub(crate) fn encode_job(snap: &JobSnapshot) -> Vec<u8> {
     w.u32(snap.job);
     w.opt_u64(snap.ttl);
     w.dpd(&snap.dpd);
+    w.ensemble_cfg(&snap.ensemble);
     w.u64(snap.clock);
     w.job_metrics(&snap.metrics);
+    w.model_stats(&snap.models);
     w.len(snap.streams.len());
     for s in &snap.streams {
         w.stream(s);
@@ -487,6 +584,80 @@ impl<'a> Reader<'a> {
         Ok(StreamKey::for_job(job, rank, StreamKind::ALL[kind]))
     }
 
+    fn ensemble_cfg(&mut self) -> Result<EnsembleConfig, SnapshotError> {
+        let n = self.len()?;
+        let mut challengers = Vec::with_capacity(n.min(1 << 8));
+        for _ in 0..n {
+            let tag = self.u8()?;
+            let kind = PredictorKind::from_tag(tag)
+                .ok_or(SnapshotError::Malformed("predictor kind tag out of range"))?;
+            challengers.push(kind);
+        }
+        Ok(EnsembleConfig {
+            challengers,
+            window: self.u32()?,
+            min_lead: self.u32()?,
+        })
+    }
+
+    fn model_stats(&mut self) -> Result<Vec<ModelStats>, SnapshotError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n.min(1 << 8));
+        for _ in 0..n {
+            out.push(ModelStats {
+                hits: self.u64()?,
+                misses: self.u64()?,
+                abstentions: self.u64()?,
+                champion_events: self.u64()?,
+                swaps_in: self.u64()?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn stream_ensemble(&mut self) -> Result<Option<EnsembleStreamState>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let champion = self.u32()?;
+                let window_seen = self.u32()?;
+                let nh = self.len()?;
+                let mut window_hits = Vec::with_capacity(nh.min(1 << 8));
+                for _ in 0..nh {
+                    window_hits.push(self.u32()?);
+                }
+                let nm = self.len()?;
+                if nm + 1 != window_hits.len() {
+                    return Err(SnapshotError::Malformed(
+                        "ensemble window counters disagree with member count",
+                    ));
+                }
+                if champion as usize >= window_hits.len() {
+                    return Err(SnapshotError::Malformed("champion index out of range"));
+                }
+                let mut members = Vec::with_capacity(nm.min(1 << 8));
+                for _ in 0..nm {
+                    let kind_tag = self.u8()?;
+                    if PredictorKind::from_tag(kind_tag).is_none() {
+                        return Err(SnapshotError::Malformed("predictor kind tag out of range"));
+                    }
+                    members.push(MemberState {
+                        kind_tag,
+                        pending: self.opt_u64()?,
+                        words: self.u64_vec()?,
+                    });
+                }
+                Ok(Some(EnsembleStreamState {
+                    champion,
+                    window_seen,
+                    window_hits,
+                    members,
+                }))
+            }
+            _ => Err(SnapshotError::Malformed("ensemble tag out of range")),
+        }
+    }
+
     fn stream(&mut self) -> Result<StreamState, SnapshotError> {
         Ok(StreamState {
             key: self.key()?,
@@ -504,6 +675,7 @@ impl<'a> Reader<'a> {
             },
             pending_next: self.opt_u64()?,
             last_period: self.opt_u64()?,
+            ensemble: self.stream_ensemble()?,
         })
     }
 
@@ -553,6 +725,17 @@ impl<'a> Reader<'a> {
             let wm = self.u64()?;
             jobs.push((job, jm, wm));
         }
+        let model_stats = self.model_stats()?;
+        let njm = self.len()?;
+        if njm != jobs.len() {
+            return Err(SnapshotError::Malformed(
+                "per-job model rollup count disagrees with job count",
+            ));
+        }
+        let mut job_models = Vec::with_capacity(njm.min(1 << 16));
+        for _ in 0..njm {
+            job_models.push(self.model_stats()?);
+        }
         let nstreams = self.len()?;
         let mut streams = Vec::with_capacity(nstreams.min(1 << 16));
         for _ in 0..nstreams {
@@ -563,6 +746,8 @@ impl<'a> Reader<'a> {
             clock,
             last_sweep,
             jobs,
+            model_stats,
+            job_models,
             streams,
         })
     }
@@ -611,6 +796,7 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<EngineSnapshot, SnapshotErro
     let shards = r.u32()?;
     let ttl = r.opt_u64()?;
     let dpd = r.dpd()?;
+    let ensemble = r.ensemble_cfg()?;
     let clock = r.u64()?;
     let njobs = r.len()?;
     let mut job_clocks = Vec::with_capacity(njobs.min(1 << 16));
@@ -638,6 +824,7 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<EngineSnapshot, SnapshotErro
         shards,
         ttl,
         dpd,
+        ensemble,
         clock,
         job_clocks,
         shard_states,
@@ -658,8 +845,10 @@ pub(crate) fn decode_job(bytes: &[u8]) -> Result<JobSnapshot, SnapshotError> {
     let job = r.u32()?;
     let ttl = r.opt_u64()?;
     let dpd = r.dpd()?;
+    let ensemble = r.ensemble_cfg()?;
     let clock = r.u64()?;
     let metrics = r.job_metrics()?;
+    let models = r.model_stats()?;
     let nstreams = r.len()?;
     let mut streams = Vec::with_capacity(nstreams.min(1 << 16));
     for _ in 0..nstreams {
@@ -674,38 +863,48 @@ pub(crate) fn decode_job(bytes: &[u8]) -> Result<JobSnapshot, SnapshotError> {
         job,
         ttl,
         dpd,
+        ensemble,
         clock,
         metrics,
+        models,
         streams,
     })
 }
 
+/// The predictive-state parts of one side of a config comparison — a
+/// snapshot header or a live engine's config. `shards` is `None` for
+/// job-scoped snapshots, which re-partition freely on restore.
+pub(crate) struct ConfigKey<'a> {
+    pub shards: Option<u32>,
+    pub ttl: Option<u64>,
+    pub dpd: &'a DpdConfig,
+    pub ensemble: &'a EnsembleConfig,
+}
+
 /// Compares the predictive-state parts of two configs, naming the first
-/// difference. `shards` is checked only for whole-engine restores
-/// (`expect_shards`).
-pub(crate) fn check_config(
-    snap_shards: Option<u32>,
-    snap_ttl: Option<u64>,
-    snap_dpd: &DpdConfig,
-    cfg_shards: usize,
-    cfg_ttl: Option<u64>,
-    cfg_dpd: &DpdConfig,
-) -> Result<(), SnapshotError> {
-    if let Some(s) = snap_shards {
-        if s as usize != cfg_shards {
+/// difference. Shard counts are checked only when both sides carry one.
+pub(crate) fn check_config(snap: &ConfigKey, cfg: &ConfigKey) -> Result<(), SnapshotError> {
+    if let (Some(s), Some(c)) = (snap.shards, cfg.shards) {
+        if s != c {
             return Err(SnapshotError::ConfigMismatch(format!(
-                "snapshot has {s} shards, engine has {cfg_shards}"
+                "snapshot has {s} shards, engine has {c}"
             )));
         }
     }
-    if snap_ttl != cfg_ttl {
+    if snap.ttl != cfg.ttl {
         return Err(SnapshotError::ConfigMismatch(format!(
-            "snapshot TTL {snap_ttl:?}, engine TTL {cfg_ttl:?}"
+            "snapshot TTL {:?}, engine TTL {:?}",
+            snap.ttl, cfg.ttl
         )));
     }
-    if snap_dpd != cfg_dpd {
+    if snap.dpd != cfg.dpd {
         return Err(SnapshotError::ConfigMismatch(
             "DPD parameters differ between snapshot and engine".into(),
+        ));
+    }
+    if snap.ensemble != cfg.ensemble {
+        return Err(SnapshotError::ConfigMismatch(
+            "ensemble roster/window differ between snapshot and engine".into(),
         ));
     }
     Ok(())
@@ -732,6 +931,16 @@ mod tests {
             },
             pending_next: Some(1),
             last_period: Some(3),
+            ensemble: Some(EnsembleStreamState {
+                champion: 1,
+                window_seen: 17,
+                window_hits: vec![9, 12],
+                members: vec![MemberState {
+                    kind_tag: PredictorKind::LastValue.tag(),
+                    pending: Some(1024),
+                    words: vec![7, 1024, 3],
+                }],
+            }),
         };
         let jm = JobMetrics {
             events_ingested: 40,
@@ -754,12 +963,49 @@ mod tests {
             clock: 41,
             last_sweep: 20,
             jobs: vec![(2, jm, 41)],
+            model_stats: vec![
+                ModelStats {
+                    hits: 30,
+                    misses: 6,
+                    abstentions: 4,
+                    champion_events: 23,
+                    swaps_in: 0,
+                },
+                ModelStats {
+                    hits: 33,
+                    misses: 5,
+                    abstentions: 2,
+                    champion_events: 17,
+                    swaps_in: 1,
+                },
+            ],
+            job_models: vec![vec![
+                ModelStats {
+                    hits: 30,
+                    misses: 6,
+                    abstentions: 4,
+                    champion_events: 23,
+                    swaps_in: 0,
+                },
+                ModelStats {
+                    hits: 33,
+                    misses: 5,
+                    abstentions: 2,
+                    champion_events: 17,
+                    swaps_in: 1,
+                },
+            ]],
             streams: vec![stream],
         };
         EngineSnapshot {
             shards: 2,
             ttl: Some(100),
             dpd: DpdConfig::default(),
+            ensemble: EnsembleConfig {
+                challengers: vec![PredictorKind::LastValue],
+                window: 32,
+                min_lead: 4,
+            },
             clock: 41,
             job_clocks: vec![(2, 41)],
             shard_states: vec![
@@ -769,6 +1015,8 @@ mod tests {
                     clock: 0,
                     last_sweep: 0,
                     jobs: Vec::new(),
+                    model_stats: Vec::new(),
+                    job_models: Vec::new(),
                     streams: Vec::new(),
                 },
             ],
@@ -791,11 +1039,13 @@ mod tests {
                 window: 24,
                 ..DpdConfig::default()
             },
+            ensemble: EnsembleConfig::default(),
             clock: 999,
             metrics: JobMetrics {
                 events_ingested: 999,
                 ..JobMetrics::default()
             },
+            models: Vec::new(),
             streams: vec![StreamState {
                 key: StreamKey::for_job(5, 0, StreamKind::Sender),
                 last_seen: 999,
@@ -812,6 +1062,7 @@ mod tests {
                 },
                 pending_next: None,
                 last_period: None,
+                ensemble: None,
             }],
         };
         let bytes = encode_job(&snap);
@@ -888,16 +1139,31 @@ mod tests {
     #[test]
     fn config_check_names_the_difference() {
         let dpd = DpdConfig::default();
-        assert!(check_config(Some(4), None, &dpd, 4, None, &dpd).is_ok());
-        let e = check_config(Some(4), None, &dpd, 8, None, &dpd).unwrap_err();
+        let ens = EnsembleConfig::default();
+        let side = |shards: Option<u32>, ttl: Option<u64>, dpd, ensemble| ConfigKey {
+            shards,
+            ttl,
+            dpd,
+            ensemble,
+        };
+        let engine4 = side(Some(4), None, &dpd, &ens);
+        assert!(check_config(&side(Some(4), None, &dpd, &ens), &engine4).is_ok());
+        let engine8 = side(Some(8), None, &dpd, &ens);
+        let e = check_config(&side(Some(4), None, &dpd, &ens), &engine8).unwrap_err();
         assert!(e.to_string().contains("4 shards"), "{e}");
-        let e = check_config(None, Some(10), &dpd, 4, None, &dpd).unwrap_err();
+        let e = check_config(&side(None, Some(10), &dpd, &ens), &engine4).unwrap_err();
         assert!(e.to_string().contains("TTL"), "{e}");
         let other = DpdConfig {
             window: 99,
             ..DpdConfig::default()
         };
-        let e = check_config(None, None, &other, 4, None, &dpd).unwrap_err();
+        let e = check_config(&side(None, None, &other, &ens), &engine4).unwrap_err();
         assert!(e.to_string().contains("DPD"), "{e}");
+        let other_ens = EnsembleConfig {
+            challengers: vec![PredictorKind::Stride],
+            ..EnsembleConfig::default()
+        };
+        let e = check_config(&side(None, None, &dpd, &other_ens), &engine4).unwrap_err();
+        assert!(e.to_string().contains("ensemble"), "{e}");
     }
 }

@@ -21,8 +21,10 @@
 //! ≤ 3 % overhead budget for a precision the batch mean already
 //! captures.
 
-use crate::metrics::ShardMetrics;
-use crate::types::{JobId, RankId};
+use crate::engine::EnsembleConfig;
+use crate::metrics::{ModelStats, ShardMetrics};
+use crate::types::{JobId, RankId, StreamKey};
+use mpp_core::PredictorKind;
 use mpp_telemetry::{
     FlightEvent, FlightKind, FlightRecorder, Histogram, Registry, TelemetryConfig,
     TelemetrySnapshot,
@@ -105,10 +107,33 @@ impl ShardTelemetry {
         });
     }
 
+    /// Records a champion swap on one stream: exact `(job, rank, kind)`
+    /// attribution in the flight ring, with the predictor handoff
+    /// packed into `b` (see [`FlightKind::ChampionSwapped`]).
+    pub(crate) fn note_champion_swap(&mut self, at: u64, key: StreamKey, from: u8, to: u8) {
+        self.flight.push(FlightEvent {
+            at,
+            kind: FlightKind::ChampionSwapped,
+            member: 0,
+            shard: self.shard_id,
+            job: key.job,
+            a: ((key.kind.index() as u64) << 32) | u64::from(key.rank),
+            b: (u64::from(from) << 8) | u64::from(to),
+        });
+    }
+
     /// The shard's exportable snapshot: registry metrics, the flight
     /// ring, and the shard's counter totals (so telemetry consumers can
     /// cross-check against [`ShardMetrics`] without a second query).
-    pub(crate) fn snapshot(&self, m: &ShardMetrics) -> TelemetrySnapshot {
+    /// With an ensemble, the model-mix counters report how the served
+    /// events split across the roster (`model_mix_<label>` = events the
+    /// member served as champion) plus the total swap count.
+    pub(crate) fn snapshot(
+        &self,
+        m: &ShardMetrics,
+        ensemble: &EnsembleConfig,
+        models: &[ModelStats],
+    ) -> TelemetrySnapshot {
         let mut s = self.registry.snapshot();
         s.add_counter("events_ingested", m.events_ingested);
         s.add_counter("predictions_served", m.predictions_served);
@@ -120,6 +145,17 @@ impl ShardTelemetry {
         s.add_counter("period_churn", m.period_churn);
         s.add_counter("evicted", m.evicted);
         s.add_gauge("resident_streams", m.resident_streams);
+        if !models.is_empty() {
+            s.add_counter("champion_swaps", models.iter().map(|ms| ms.swaps_in).sum());
+            for (i, ms) in models.iter().enumerate() {
+                let label = if i == 0 {
+                    PredictorKind::Dpd.label()
+                } else {
+                    ensemble.challengers[i - 1].label()
+                };
+                s.add_counter(&format!("model_mix_{label}"), ms.champion_events);
+            }
+        }
         s.extend_flight(self.flight.dump());
         s
     }

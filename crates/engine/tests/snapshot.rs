@@ -15,8 +15,8 @@
 
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
-    Engine, EngineConfig, Observation, PersistentEngine, Query, SnapshotError, StreamKey,
-    StreamKind, SNAPSHOT_VERSION,
+    Engine, EngineConfig, EnsembleConfig, Observation, PersistentEngine, Query, SnapshotError,
+    StreamKey, StreamKind, SNAPSHOT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -184,6 +184,89 @@ proptest! {
             })
         };
         prop_assert_eq!(roll_of(control.job_metrics()), roll_of(fresh.job_metrics()));
+    }
+
+    /// The ensemble extension of the acceptance property: with a full
+    /// challenger roster running (including mid-window champion scores
+    /// and challenger predictor state), snapshot → restore → continue
+    /// is still bit-identical to never stopping — predictions, legacy
+    /// counters, per-model rollups, and the final snapshot bytes all
+    /// survive the cut, in and across both execution modes.
+    #[test]
+    fn ensemble_snapshot_restore_continue_is_bit_identical(
+        raw in prop::collection::vec((0u32..JOBS, 0u32..RANKS, 0u8..3, 0u64..6), 1..250),
+        cut_sel in 0usize..250,
+        shards in 1usize..5,
+        window in 4u32..24,
+        min_lead in 1u32..5,
+    ) {
+        // A short window so cuts land mid-window often, exercising the
+        // partial window_seen/window_hits round-trip.
+        let cfg = EngineConfig {
+            shards,
+            dpd: DpdConfig { window: 48, max_lag: 16, ..DpdConfig::default() },
+            parallel_threshold: 0,
+            ensemble: EnsembleConfig { window, min_lead, ..EnsembleConfig::standard() },
+            ..EngineConfig::default()
+        };
+        let events: Vec<Observation> = raw
+            .iter()
+            .map(|&(j, r, k, v)| decode_event(j, r, k, v))
+            .collect();
+        let cut = cut_sel % (events.len() + 1);
+
+        let mut control = Engine::new(cfg.clone());
+        for e in &events {
+            control.observe_batch(std::slice::from_ref(e));
+        }
+
+        let mut head = Engine::new(cfg.clone());
+        for e in &events[..cut] {
+            head.observe_batch(std::slice::from_ref(e));
+        }
+        let bytes = head.snapshot();
+        let mut tail = Engine::restore(cfg.clone(), &bytes)
+            .expect("ensemble snapshot must restore");
+        for e in &events[cut..] {
+            tail.observe_batch(std::slice::from_ref(e));
+        }
+        prop_assert_eq!(
+            tail.snapshot(),
+            control.snapshot(),
+            "ensemble restored run's final snapshot diverged"
+        );
+
+        // Cross-mode: the scoped snapshot boots a persistent fleet.
+        let ptail = PersistentEngine::restore(cfg.clone(), &bytes)
+            .expect("cross-mode ensemble restore");
+        let pclient = ptail.client();
+        for e in &events[cut..] {
+            pclient.observe_batch(std::slice::from_ref(e));
+        }
+
+        let queries = all_queries();
+        let mut want = Vec::new();
+        control.predict_batch(&queries, &mut want);
+        let mut got = Vec::new();
+        tail.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &want, "scoped ensemble restore diverged");
+        pclient.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &want, "persistent ensemble restore diverged");
+
+        // Per-model rollups survive the cut exactly, in both modes.
+        prop_assert_eq!(control.model_stats(), tail.model_stats());
+        prop_assert_eq!(control.model_stats(), pclient.model_stats());
+        prop_assert_eq!(control.job_model_stats(), tail.job_model_stats());
+        prop_assert_eq!(control.job_model_stats(), pclient.job_model_stats());
+        prop_assert_eq!(control.job_metrics(), tail.job_metrics());
+
+        // An ensemble snapshot binds to its roster: restoring into a
+        // DPD-only engine is a typed ConfigMismatch, never a misparse.
+        let plain = EngineConfig { ensemble: EnsembleConfig::default(), ..cfg };
+        prop_assert!(matches!(
+            Engine::restore(plain, &bytes),
+            Err(SnapshotError::ConfigMismatch(_))
+        ));
     }
 }
 

@@ -7,8 +7,8 @@
 //! cargo run -p mpp-experiments --release --bin engine_replay -- \
 //!     [--csv] [--seed N] [--shards K] [--ttl N] [--mode persistent|scoped] \
 //!     [--queue-cap N] [--backpressure block|shed] \
-//!     [--jobs K] [--engines E] \
-//!     [--telemetry-json PATH] [--stats-every N] [bt 9 | cg 8 | ...]
+//!     [--jobs K] [--engines E] [--ensemble] \
+//!     [--telemetry-json PATH] [--stats-every N] [bt 9 | cg 8 | ring 8 | pp 8 | ...]
 //! ```
 //!
 //! With no positional arguments, the paper's full configuration roster
@@ -32,6 +32,15 @@
 //! extra snapshot round-trips perturb `events/sec`, so keep it off when
 //! measuring rate. Telemetry also adds three CSV columns: ingest p50 /
 //! p99 and queue-wait p99 (empty when telemetry is off).
+//!
+//! `--ensemble` swaps the DPD-only predictor bank for the standard
+//! champion/challenger roster: every stream scores a last-value,
+//! stride and first-order-Markov challenger next to the primary DPD
+//! and serves from whichever holds the championship. Table mode gains
+//! one `[model]` row per roster member (win rate = share of events
+//! served as champion, plus the member's own `+1` hit rate), and
+//! telemetry snapshots carry `model_mix_*`/`champion_swaps` counters
+//! and `champion_swapped` flight events.
 //!
 //! `--snapshot PATH` replays a single configuration to its midpoint
 //! (half the trace, rounded down to a whole ingest batch), writes the
@@ -108,6 +117,8 @@ fn parse_bench(name: &str) -> Option<BenchId> {
         "lu" => Some(BenchId::Lu),
         "is" => Some(BenchId::Is),
         "sw" | "sweep3d" => Some(BenchId::Sweep3d),
+        "ring" => Some(BenchId::Ring),
+        "pp" | "pingpong" => Some(BenchId::PingPong),
         _ => None,
     }
 }
@@ -171,6 +182,7 @@ fn main() {
         eprintln!("--engines applies to the persistent mode only (federation members)");
         std::process::exit(2);
     }
+    let ensemble = args.take_bool_flag("--ensemble");
     let snapshot_path = args.take_flag("--snapshot");
     let restore_path = args.take_flag("--restore");
     if snapshot_path.is_some() && restore_path.is_some() {
@@ -231,6 +243,7 @@ fn main() {
         .backpressure(backpressure)
         .jobs(jobs)
         .engines(engines)
+        .ensemble(ensemble)
         .telemetry(telemetry)
         .stats_every(stats_every);
 
@@ -338,6 +351,16 @@ fn main() {
                     q("observe_batch_ns", 0.99),
                     q("queue_wait_ns", 0.99),
                     iv.snapshot.flight().len(),
+                );
+            }
+            // Ensemble replays: one row per roster member — its share
+            // of served events (win rate) and its own scoring rate.
+            for &(label, m) in &r.models {
+                println!(
+                    "  [model] {label:<10} win {:>5.1}%  hit {:>5.1}%  swaps-in {:>5}",
+                    100.0 * r.model_win_rate(label),
+                    100.0 * m.hit_rate().unwrap_or(0.0),
+                    m.swaps_in,
                 );
             }
             // Always printed — a single-tenant replay is job 0's row,

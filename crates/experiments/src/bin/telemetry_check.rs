@@ -48,7 +48,7 @@ const COUNTERS: [&str; 9] = [
 const CORE_HISTOGRAMS: [&str; 3] = ["observe_batch_ns", "observe_event_ns", "forecast_ns"];
 
 /// Flight-recorder kind labels the engine can emit.
-const FLIGHT_KINDS: [&str; 7] = [
+const FLIGHT_KINDS: [&str; 8] = [
     "eviction",
     "backpressure_block",
     "backpressure_shed",
@@ -56,6 +56,7 @@ const FLIGHT_KINDS: [&str; 7] = [
     "period_churn",
     "epoch_rebound",
     "job_migrated",
+    "champion_swapped",
 ];
 
 struct Checker {
@@ -191,6 +192,34 @@ impl Checker {
                 "{label}: observe_event_ns timed {event_count} events, {replayed} replayed live"
             ),
         );
+
+        // Ensemble replays: the model-mix counters partition the served
+        // events — every event has exactly one champion, so the
+        // per-member championship counters must sum to the engine's own
+        // ingest count, and the swap counter must ride along.
+        let counters = entry
+            .path(&["telemetry", "counters"])
+            .and_then(Json::members)
+            .unwrap_or(&[]);
+        let mix: Vec<(&String, u64)> = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("model_mix_"))
+            .map(|(k, v)| (k, v.as_u64().unwrap_or(0)))
+            .collect();
+        if !mix.is_empty() {
+            let served: u64 = mix.iter().map(|&(_, v)| v).sum();
+            self.claim(
+                served == ingested,
+                &format!(
+                    "{label}: model_mix_* counters sum to {served}, \
+                     {ingested} events ingested"
+                ),
+            );
+            self.claim(
+                counters.iter().any(|(k, _)| k == "champion_swaps"),
+                &format!("{label}: model-mix counters without champion_swaps"),
+            );
+        }
 
         // Flight events: fully attributed, known kinds, stamp-sorted.
         let flight = entry

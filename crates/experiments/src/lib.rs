@@ -224,6 +224,18 @@ impl CliArgs {
         self.positional.remove(i);
         Some(value)
     }
+
+    /// Extracts a valueless `--name` switch from the positional
+    /// leftovers, returning whether it was present.
+    pub fn take_bool_flag(&mut self, name: &str) -> bool {
+        match self.positional.iter().position(|a| a == name) {
+            Some(i) => {
+                self.positional.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,10 +4,11 @@
 //! the paper-level hit rates against later engine refactors.
 
 use mpp_core::dpd::DpdConfig;
+use mpp_core::PredictorKind;
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, FederatedEngine, FederationConfig, JobId, JobMetrics,
-    Observation, PersistentEngine, ShardMetrics, SnapshotError, StreamKey, StreamKind,
-    TelemetryConfig, TelemetrySnapshot,
+    BackpressurePolicy, Engine, EngineConfig, EnsembleConfig, FederatedEngine, FederationConfig,
+    JobId, JobMetrics, ModelStats, Observation, PersistentEngine, ShardMetrics, SnapshotError,
+    StreamKey, StreamKind, TelemetryConfig, TelemetrySnapshot,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -55,6 +56,10 @@ pub struct ReplayOpts {
     /// Persistent mode: federation member engines serving the replay;
     /// 1 wraps a single engine (bit-identical to direct use).
     pub engines: usize,
+    /// Runs the champion/challenger ensemble
+    /// ([`EnsembleConfig::standard`]) instead of the DPD-only default;
+    /// the report gains per-predictor win-rate rows.
+    pub ensemble: bool,
     /// Enables the engine telemetry layer (latency histograms, flight
     /// recorder); the final snapshot lands on the report.
     pub telemetry: bool,
@@ -75,6 +80,7 @@ impl Default for ReplayOpts {
             backpressure: BackpressurePolicy::Block,
             jobs: 1,
             engines: 1,
+            ensemble: false,
             telemetry: false,
             stats_every: None,
         }
@@ -126,6 +132,12 @@ impl ReplayOpts {
         self
     }
 
+    /// Enables or disables the standard challenger ensemble.
+    pub fn ensemble(mut self, on: bool) -> Self {
+        self.ensemble = on;
+        self
+    }
+
     /// Enables or disables the telemetry layer.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
@@ -146,6 +158,11 @@ impl ReplayOpts {
             ttl: self.ttl,
             observe_queue_cap: self.queue_cap,
             backpressure: self.backpressure,
+            ensemble: if self.ensemble {
+                EnsembleConfig::standard()
+            } else {
+                EnsembleConfig::default()
+            },
             ..EngineConfig::default()
         };
         if self.telemetry {
@@ -211,6 +228,10 @@ pub struct ReplayReport {
     pub per_shard: Vec<ShardMetrics>,
     /// Per-job scoring rollups, ascending by job id.
     pub per_job: Vec<(JobId, JobMetrics)>,
+    /// Per-predictor ensemble columns, in roster order (index 0 = the
+    /// primary DPD): predictor label plus its scoring/championship
+    /// counters. Empty for DPD-only replays.
+    pub models: Vec<(&'static str, ModelStats)>,
     /// Ingest rate over the timed replay loop.
     pub events_per_sec: f64,
     /// Final telemetry snapshot (`None` unless `opts.telemetry`).
@@ -242,6 +263,40 @@ impl ReplayReport {
             .and_then(|(_, m)| m.hit_rate())
             .unwrap_or(0.0)
     }
+
+    /// One roster member's *win rate*: the share of all ingested events
+    /// it served as the stream's champion (0 outside ensemble replays;
+    /// the shares sum to 1 within one).
+    pub fn model_win_rate(&self, label: &str) -> f64 {
+        let total: u64 = self.models.iter().map(|(_, m)| m.champion_events).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.models
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0.0, |(_, m)| m.champion_events as f64 / total as f64)
+    }
+
+    /// One roster member's own online `+1` hit rate across every event
+    /// (scored whether or not it was champion; 0 outside ensemble
+    /// replays).
+    pub fn model_hit_rate(&self, label: &str) -> f64 {
+        self.models
+            .iter()
+            .find(|(l, _)| *l == label)
+            .and_then(|(_, m)| m.hit_rate())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Display labels for an ensemble roster, in member order (index 0 =
+/// the primary DPD).
+pub fn roster_labels(ens: &EnsembleConfig) -> Vec<&'static str> {
+    let mut out = Vec::with_capacity(ens.roster_len());
+    out.push(PredictorKind::Dpd.label());
+    out.extend(ens.challengers.iter().map(|k| k.label()));
+    out
 }
 
 /// Re-keys `events` into `jobs` interleaved job copies: source event
@@ -273,6 +328,8 @@ pub struct ReplayOutcome {
     pub per_shard: Vec<ShardMetrics>,
     /// Per-job scoring rollups, ascending by job id.
     pub per_job: Vec<(JobId, JobMetrics)>,
+    /// Labelled per-predictor rollup (empty for DPD-only replays).
+    pub models: Vec<(&'static str, ModelStats)>,
     /// Ingest rate over the timed replay loop.
     pub events_per_sec: f64,
     /// Final telemetry snapshot (`None` unless `opts.telemetry`).
@@ -289,6 +346,7 @@ pub struct ReplayOutcome {
 pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplayOutcome {
     assert!(opts.engines > 0, "at least one engine");
     let cfg = opts.engine_config();
+    let labels = roster_labels(&cfg.ensemble);
     let every = opts.stats_every.filter(|_| opts.telemetry);
     let mut intervals = Vec::new();
     match opts.mode {
@@ -314,11 +372,13 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplayOutcome
             }
             let secs = start.elapsed().as_secs_f64();
             let per_job = engine.job_metrics();
+            let models = labels.iter().copied().zip(engine.model_stats()).collect();
             let telemetry = opts.telemetry.then(|| engine.telemetry()).flatten();
             let shards = engine.metrics().shards;
             ReplayOutcome {
                 per_shard: shards,
                 per_job,
+                models,
                 events_per_sec: events.len() as f64 / secs.max(1e-12),
                 telemetry,
                 intervals,
@@ -358,10 +418,12 @@ pub fn replay_events(events: &[Observation], opts: &ReplayOpts) -> ReplayOutcome
                 .collect();
             let secs = start.elapsed().as_secs_f64();
             let per_job = client.job_metrics();
+            let models = labels.iter().copied().zip(client.model_stats()).collect();
             let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
             ReplayOutcome {
                 per_shard,
                 per_job,
+                models,
                 events_per_sec: events.len() as f64 / secs.max(1e-12),
                 telemetry,
                 intervals,
@@ -399,6 +461,7 @@ fn report_of(
         total,
         per_shard: outcome.per_shard,
         per_job: outcome.per_job,
+        models: outcome.models,
         events_per_sec: outcome.events_per_sec,
         telemetry: outcome.telemetry,
         intervals: outcome.intervals,
@@ -481,6 +544,7 @@ pub fn replay_from_snapshot(
     let trace = run_config(config, seed);
     let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
     let cfg = opts.engine_config();
+    let labels = roster_labels(&cfg.ensemble);
     let (restored, outcome) = match opts.mode {
         EngineMode::Scoped => {
             let mut engine = Engine::restore(cfg, bytes)?;
@@ -491,10 +555,12 @@ pub fn replay_from_snapshot(
             }
             let secs = start.elapsed().as_secs_f64();
             let per_job = engine.job_metrics();
+            let models = labels.iter().copied().zip(engine.model_stats()).collect();
             let telemetry = opts.telemetry.then(|| engine.telemetry()).flatten();
             let outcome = ReplayOutcome {
                 per_shard: engine.metrics().shards,
                 per_job,
+                models,
                 events_per_sec: (events.len() - restored) as f64 / secs.max(1e-12),
                 telemetry,
                 intervals: Vec::new(),
@@ -515,10 +581,12 @@ pub fn replay_from_snapshot(
             let per_shard: Vec<ShardMetrics> = client.metrics().shards;
             let secs = start.elapsed().as_secs_f64();
             let per_job = client.job_metrics();
+            let models = labels.iter().copied().zip(client.model_stats()).collect();
             let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
             let outcome = ReplayOutcome {
                 per_shard,
                 per_job,
+                models,
                 events_per_sec: (events.len() - restored) as f64 / secs.max(1e-12),
                 telemetry,
                 intervals: Vec::new(),

@@ -167,3 +167,107 @@ fn restoring_a_future_version_snapshot_fails_typed() {
         Ok(_) => panic!("a future-version snapshot must not restore"),
     }
 }
+
+/// Golden per-predictor *win rates* (share of ingested events each
+/// roster member served as champion) for ensemble replays of the two
+/// golden class-A configs plus the two synthetic workloads, default
+/// seed, standard roster. Champion selection is a deterministic
+/// per-stream function of the event sequence, so these are invariant
+/// across shard counts and execution modes (asserted below); drift
+/// within a mode means the selection rule itself changed.
+type WinRatePins = [(&'static str, f64); 4];
+
+const GOLDEN_WIN_RATES: [(BenchId, usize, WinRatePins); 4] = [
+    (
+        BenchId::Cg,
+        8,
+        [
+            ("dpd", 0.2242),
+            ("last-value", 0.4483),
+            ("stride", 0.0),
+            ("markov1", 0.3275),
+        ],
+    ),
+    (
+        BenchId::Bt,
+        9,
+        [
+            ("dpd", 0.9201),
+            ("last-value", 0.0537),
+            ("stride", 0.0),
+            ("markov1", 0.0262),
+        ],
+    ),
+    (
+        BenchId::Ring,
+        8,
+        [
+            ("dpd", 0.6738),
+            ("last-value", 0.0116),
+            ("stride", 0.0),
+            ("markov1", 0.3147),
+        ],
+    ),
+    (
+        BenchId::PingPong,
+        8,
+        [
+            ("dpd", 0.9667),
+            ("last-value", 0.0333),
+            ("stride", 0.0),
+            ("markov1", 0.0),
+        ],
+    ),
+];
+
+/// The ensemble acceptance pin: per-predictor championship shares on
+/// the golden configs and the synthetic ring / ping-pong workloads
+/// stay where they were measured (±0.1 pt), the shares partition the
+/// event stream, and the scoped engine agrees with the persistent one
+/// bit for bit.
+#[test]
+fn ensemble_win_rates_stay_pinned() {
+    for (id, procs, pins) in GOLDEN_WIN_RATES {
+        let cfg = BenchmarkConfig::new(id, procs, Class::A);
+        let r = replay(
+            &cfg,
+            DEFAULT_SEED,
+            &ReplayOpts::with_shards(4).ensemble(true),
+        );
+        let s = replay(
+            &cfg,
+            DEFAULT_SEED,
+            &ReplayOpts::with_shards(2)
+                .ensemble(true)
+                .mode(EngineMode::Scoped),
+        );
+        assert_eq!(
+            r.models.len(),
+            4,
+            "{}: dpd + 3 standard challengers",
+            r.label
+        );
+        for (label, want) in pins {
+            let got = r.model_win_rate(label);
+            assert!(
+                (got - want).abs() <= TOLERANCE,
+                "{} {label} win rate drifted: got {got:.4}, pinned {want:.4} ±{TOLERANCE:.4}",
+                r.label,
+            );
+            assert_eq!(
+                r.models.iter().find(|(l, _)| *l == label).unwrap().1,
+                s.models.iter().find(|(l, _)| *l == label).unwrap().1,
+                "{} {label}: per-model counters differ between execution modes",
+                r.label,
+            );
+        }
+        // Every event has exactly one champion: the shares partition
+        // the stream.
+        let served: u64 = r.models.iter().map(|(_, m)| m.champion_events).sum();
+        assert_eq!(
+            served, r.total.events_ingested,
+            "{}: championship shares must partition the events",
+            r.label
+        );
+    }
+}

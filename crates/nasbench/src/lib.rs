@@ -46,6 +46,8 @@ pub fn build_program(cfg: &BenchmarkConfig) -> Box<dyn RankProgram> {
         BenchId::Lu => Box::new(lu::Lu::new(cfg.procs, cfg.class)),
         BenchId::Is => Box::new(is::Is::new(cfg.procs, cfg.class)),
         BenchId::Sweep3d => Box::new(sweep3d::Sweep3d::new(cfg.procs, cfg.class)),
+        BenchId::Ring => Box::new(synthetic::RandomRing::new(cfg.class)),
+        BenchId::PingPong => Box::new(synthetic::PingPongSweep::new(cfg.class)),
     }
 }
 

@@ -38,6 +38,12 @@ pub enum BenchId {
     Lu,
     Is,
     Sweep3d,
+    /// Synthetic randomized ring traffic ([`crate::synthetic::RandomRing`];
+    /// not part of the paper's Table 1 roster).
+    Ring,
+    /// Synthetic staged ping-pong sweep
+    /// ([`crate::synthetic::PingPongSweep`]; not in Table 1 either).
+    PingPong,
 }
 
 impl BenchId {
@@ -49,15 +55,20 @@ impl BenchId {
             BenchId::Lu => "lu",
             BenchId::Is => "is",
             BenchId::Sweep3d => "sw",
+            BenchId::Ring => "ring",
+            BenchId::PingPong => "pp",
         }
     }
 
-    /// The process counts Table 1 lists for this benchmark.
+    /// The process counts Table 1 lists for this benchmark (canonical
+    /// small/medium/large worlds for the synthetics, which postdate the
+    /// paper).
     pub fn paper_proc_counts(self) -> &'static [usize] {
         match self {
             BenchId::Bt => &[4, 9, 16, 25],
             BenchId::Cg | BenchId::Lu | BenchId::Is => &[4, 8, 16, 32],
             BenchId::Sweep3d => &[6, 16, 32],
+            BenchId::Ring | BenchId::PingPong => &[4, 8, 16],
         }
     }
 }

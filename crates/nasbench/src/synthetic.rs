@@ -4,8 +4,23 @@
 //! can be asserted exactly: pure periodic patterns, periodic patterns
 //! with controlled corruption (modelling the physical level's "random
 //! effects"), and memoryless random streams as a floor.
+//!
+//! Two full [`RankProgram`] workloads also live here — trace-level
+//! synthetics modelled on common MPI micro-benchmarks, replayable
+//! through `engine_replay` next to the NAS skeletons:
+//!
+//! * [`RandomRing`] — every rank walks its ring of peers (`rank+1`,
+//!   `rank+2`, … wrapping, self excluded) round-robin, with each
+//!   message's size drawn 50/40/10 % from three large buckets. The
+//!   sender stream is perfectly periodic (period `procs−1`); the size
+//!   stream is memoryless over three symbols — a workload where the
+//!   frequency-class challengers beat the periodicity detector.
+//! * [`PingPongSweep`] — the lower half of the world receives, the
+//!   upper half sends; each pair sweeps a fixed ladder of message
+//!   sizes, several rounds per stage. Both sender and size streams are
+//!   long constant runs with staged switches — last-value territory.
 
-use mpp_mpisim::det;
+use mpp_mpisim::{det, Comm, Rank, RankProgram, Tag};
 
 /// A reproducible synthetic symbol stream.
 #[derive(Debug, Clone)]
@@ -101,6 +116,153 @@ pub fn pattern_switch(a: &[u64], b: &[u64], len: usize, switch_at: usize) -> Syn
     }
 }
 
+/// Tag shared by both synthetic workloads' data messages.
+const TAG_DATA: Tag = 60;
+/// Tag of the ping-pong acknowledgement leg.
+const TAG_ACK: Tag = 61;
+
+/// Randomized ring traffic: iteration `i` shifts the whole world by
+/// `k = 1 + i mod (procs−1)`, so every rank sends to `rank+k` and
+/// receives from `rank−k` (wrapping) — each iteration is a permutation
+/// and the receive side needs no bookkeeping beyond the shift. Message
+/// sizes are drawn per `(sender, iteration)`: 50 % → 16 MB, 40 % →
+/// 32 MB, 10 % → 64 MB.
+#[derive(Debug, Clone)]
+pub struct RandomRing {
+    msgs: usize,
+    seed: u64,
+}
+
+/// The ring's three size buckets (bytes), smallest first.
+pub const RING_SIZES: [u64; 3] = [16 << 20, 32 << 20, 64 << 20];
+
+impl RandomRing {
+    /// A ring sending `msgs` messages per rank, class-scaled like the
+    /// NAS skeletons (S is test-sized).
+    pub fn new(class: crate::params::Class) -> Self {
+        use crate::params::Class;
+        let msgs = match class {
+            Class::S => 120,
+            Class::A => 3_000,
+            Class::B => 9_000,
+        };
+        RandomRing {
+            msgs,
+            seed: 0x5249_4E47, // "RING"
+        }
+    }
+
+    /// Overrides the size-draw seed (the default is a fixed constant so
+    /// a configuration's trace is deterministic).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Messages each rank sends (= receives) over the run.
+    pub fn msgs(&self) -> usize {
+        self.msgs
+    }
+
+    /// The size bucket rank `src` draws at iteration `i`.
+    pub fn size_of(&self, src: Rank, i: usize) -> u64 {
+        let draw = det::mix(self.seed, &[src as u64, i as u64]) % 100;
+        if draw < 50 {
+            RING_SIZES[0]
+        } else if draw < 90 {
+            RING_SIZES[1]
+        } else {
+            RING_SIZES[2]
+        }
+    }
+}
+
+impl RankProgram for RandomRing {
+    fn run(&self, c: &mut Comm) {
+        let n = c.size();
+        if n < 2 {
+            return;
+        }
+        let rank = c.rank();
+        for i in 0..self.msgs {
+            let k = 1 + i % (n - 1);
+            let dst = (rank + k) % n;
+            let src = (rank + n - k) % n;
+            // Sends never block in the simulator, so send-then-receive
+            // is deadlock-free even though every rank sends first.
+            c.send(dst, TAG_DATA, self.size_of(rank, i), i as u64);
+            c.recv(src, TAG_DATA);
+            c.compute(2_000);
+        }
+    }
+}
+
+/// Staged ping-pong latency sweep: rank `r < procs/2` receives from its
+/// partner `r + procs/2` and acks each message; the partner sweeps the
+/// size ladder, `rounds` messages per stage. Odd worlds leave the last
+/// rank idle.
+#[derive(Debug, Clone)]
+pub struct PingPongSweep {
+    rounds: usize,
+}
+
+/// The sweep's size ladder (bytes per stage), smallest first.
+pub const PINGPONG_SIZES: [u64; 8] = [32, 256, 1024, 4096, 16384, 65536, 262144, 1048576];
+
+/// Bytes of the acknowledgement leg.
+pub const PINGPONG_ACK_BYTES: u64 = 4;
+
+impl PingPongSweep {
+    /// A sweep running class-scaled rounds per ladder stage.
+    pub fn new(class: crate::params::Class) -> Self {
+        use crate::params::Class;
+        let rounds = match class {
+            Class::S => 4,
+            Class::A => 10,
+            Class::B => 20,
+        };
+        PingPongSweep { rounds }
+    }
+
+    /// Rounds per ladder stage.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Messages each receiver-side rank gets over the run.
+    pub fn msgs_per_receiver(&self) -> usize {
+        PINGPONG_SIZES.len() * self.rounds
+    }
+}
+
+impl RankProgram for PingPongSweep {
+    fn run(&self, c: &mut Comm) {
+        let half = c.size() / 2;
+        if half == 0 {
+            return;
+        }
+        let rank = c.rank();
+        if rank < half {
+            let partner = rank + half;
+            for _ in &PINGPONG_SIZES {
+                for _ in 0..self.rounds {
+                    c.recv(partner, TAG_DATA);
+                    c.send(partner, TAG_ACK, PINGPONG_ACK_BYTES, 0);
+                }
+            }
+        } else if rank < 2 * half {
+            let partner = rank - half;
+            for &bytes in &PINGPONG_SIZES {
+                for round in 0..self.rounds {
+                    c.send(partner, TAG_DATA, bytes, round as u64);
+                    c.recv(partner, TAG_ACK);
+                }
+            }
+        }
+        // An odd world's last rank has no partner and sits out.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +335,95 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_pattern_panics() {
         let _ = periodic(&[], 10);
+    }
+
+    use crate::params::Class;
+    use mpp_mpisim::{World, WorldConfig};
+
+    #[test]
+    fn random_ring_is_deterministic_and_periodic_in_senders() {
+        let ring = RandomRing::new(Class::S);
+        let world = WorldConfig::new(4).seed(7);
+        let a = World::new(
+            world.clone(),
+            mpp_mpisim::net::JitterNetwork::from_config(&world),
+        )
+        .run(&ring);
+        let b = World::new(
+            world.clone(),
+            mpp_mpisim::net::JitterNetwork::from_config(&world),
+        )
+        .run(&ring);
+        // Every rank receives exactly `msgs` messages, identically
+        // across runs.
+        for rank in 0..4 {
+            let ra = a.receives_of(rank);
+            assert_eq!(ra.len(), ring.msgs(), "rank {rank}");
+            assert_eq!(ra, b.receives_of(rank), "rank {rank} trace drifted");
+            // Sender stream is periodic with period procs−1: iteration
+            // i's message comes from (rank − 1 − i mod 3) wrapping.
+            for (i, e) in ra.iter().enumerate() {
+                let k = 1 + i % 3;
+                assert_eq!(e.src, (rank + 4 - k) % 4, "rank {rank} iter {i}");
+                assert!(RING_SIZES.contains(&e.bytes), "rank {rank} iter {i}");
+            }
+        }
+        // The stochastic sizes hit all three buckets at the documented
+        // 50/40/10 split (loose band over 4 × 120 draws).
+        let mut counts = [0usize; 3];
+        for rank in 0..4 {
+            for e in a.receives_of(rank) {
+                counts[RING_SIZES.iter().position(|&s| s == e.bytes).unwrap()] += 1;
+            }
+        }
+        let total = counts.iter().sum::<usize>() as f64;
+        assert!((counts[0] as f64 / total - 0.5).abs() < 0.1, "{counts:?}");
+        assert!((counts[1] as f64 / total - 0.4).abs() < 0.1, "{counts:?}");
+        assert!(counts[2] > 0, "{counts:?}");
+        // A different size seed moves the draws but not the partners.
+        let reseeded = RandomRing::new(Class::S).with_seed(99);
+        let c = World::new(
+            world.clone(),
+            mpp_mpisim::net::JitterNetwork::from_config(&world),
+        )
+        .run(&reseeded);
+        assert!(
+            (0..4).any(|r| {
+                a.receives_of(r)
+                    .iter()
+                    .zip(c.receives_of(r))
+                    .any(|(x, y)| x.bytes != y.bytes)
+            }),
+            "reseeding must change some size draw"
+        );
+    }
+
+    #[test]
+    fn pingpong_sweep_stages_the_size_ladder() {
+        let pp = PingPongSweep::new(Class::S);
+        let world = WorldConfig::new(6).seed(7);
+        let t = World::new(
+            world.clone(),
+            mpp_mpisim::net::JitterNetwork::from_config(&world),
+        )
+        .run(&pp);
+        for rank in 0..3 {
+            let rx = t.receives_of(rank);
+            assert_eq!(rx.len(), pp.msgs_per_receiver(), "receiver {rank}");
+            for (i, e) in rx.iter().enumerate() {
+                assert_eq!(e.src, rank + 3, "receiver {rank} msg {i}");
+                assert_eq!(
+                    e.bytes,
+                    PINGPONG_SIZES[i / pp.rounds()],
+                    "receiver {rank} msg {i} off its ladder stage"
+                );
+            }
+        }
+        // Senders receive only the fixed-size acks.
+        for rank in 3..6 {
+            let rx = t.receives_of(rank);
+            assert_eq!(rx.len(), pp.msgs_per_receiver(), "sender {rank}");
+            assert!(rx.iter().all(|e| e.bytes == PINGPONG_ACK_BYTES));
+        }
     }
 }

@@ -33,6 +33,10 @@ pub enum FlightKind {
     /// A job was migrated live between federation members. `member` is
     /// the source, `a` = streams moved, `b` = the destination member.
     JobMigrated,
+    /// A stream's serving champion swapped to a challenger with a
+    /// sustained scoring lead. `a` = `(stream-kind index << 32) | rank`,
+    /// `b` = `(old champion's predictor tag << 8) | new champion's tag`.
+    ChampionSwapped,
 }
 
 impl FlightKind {
@@ -46,6 +50,7 @@ impl FlightKind {
             FlightKind::PeriodChurn => "period_churn",
             FlightKind::EpochRebound => "epoch_rebound",
             FlightKind::JobMigrated => "job_migrated",
+            FlightKind::ChampionSwapped => "champion_swapped",
         }
     }
 }

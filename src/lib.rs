@@ -7,8 +7,9 @@
 //! * [`core`] — DPD periodicity detection, predictors, evaluation.
 //! * [`engine`] — sharded multi-stream prediction serving engine
 //!   (batched zero-allocation observe/predict over per-job, per-rank
-//!   sender/size/tag streams), plus the multi-engine federation layer
-//!   with job-scoped namespaces.
+//!   sender/size/tag streams), champion/challenger predictor ensembles
+//!   with online model selection, plus the multi-engine federation
+//!   layer with job-scoped namespaces.
 //! * [`sim`] — deterministic MPI simulator with logical and
 //!   physical trace capture.
 //! * [`bench`](mod@bench) — NAS BT/CG/LU/IS and Sweep3D communication
@@ -29,14 +30,17 @@ pub use mpp_runtime as runtime;
 pub use mpp_core::{
     dpd::{DpdConfig, DpdPredictor, PeriodicityDetector},
     eval::{evaluate_stream, SetEvaluator, StreamEvaluator},
-    predictors::{Predictor, PredictorKind},
+    predictors::{
+        FrequencyPredictor, HybridPredictor, LastValuePredictor, MarkovPredictor, Model, Predictor,
+        PredictorKind, SingleCyclePredictor, StridePredictor, TagPredictor,
+    },
     stream::{Symbol, SymbolMap},
 };
 pub use mpp_engine::{
-    AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, FederatedClient,
-    FederatedEngine, FederationConfig, FederationWorkerGone, FlightEvent, FlightKind,
-    HistogramSnapshot, JobId, JobMetrics, Observation, ObserveOutcome, PersistentEngine, Query,
-    SlotId, SnapshotError, StreamKey, StreamKind, StreamTable, TelemetryConfig, TelemetrySnapshot,
-    WorkerGone, DEFAULT_JOB, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    AdaptiveCapacity, BackpressurePolicy, Engine, EngineClient, EngineConfig, EnsembleConfig,
+    FederatedClient, FederatedEngine, FederationConfig, FederationWorkerGone, FlightEvent,
+    FlightKind, HistogramSnapshot, JobId, JobMetrics, ModelStats, Observation, ObserveOutcome,
+    PersistentEngine, Query, SlotId, SnapshotError, StreamKey, StreamKind, StreamTable,
+    TelemetryConfig, TelemetrySnapshot, WorkerGone, DEFAULT_JOB, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use mpp_runtime::{EngineHandle, EngineOracleFactory};
