@@ -33,7 +33,7 @@ use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
     BackpressurePolicy, Engine, EngineConfig, EnsembleConfig, FederatedEngine, FederationConfig,
-    Observation, PersistentEngine, Query, StreamKey, StreamKind, TelemetryConfig,
+    Observation, PersistentEngine, Query, RebalanceConfig, StreamKey, StreamKind, TelemetryConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -57,6 +57,9 @@ const FED_JOBS: u32 = 4;
 /// Shards per federation member (kept small so total worker threads
 /// stay proportional to the member count).
 const FED_SHARDS: usize = 2;
+/// Member count for the rebalance A/B (the smallest federation where
+/// placement matters).
+const REBALANCE_MEMBERS: usize = 2;
 /// Timed batches per measurement run.
 const TIMED_BATCHES: usize = 6;
 /// Measurement runs per (mode, shard count); best-of damps noise. On
@@ -344,6 +347,7 @@ fn measure_federated(members: usize, batch: &[Observation], tb: usize) -> f64 {
             ..EngineConfig::with_shards(FED_SHARDS)
         },
         adaptive: None,
+        rebalance: None,
     });
     let client = fed.client();
     client.observe_batch(batch); // warm: slots, interners, leg buffers
@@ -353,6 +357,61 @@ fn measure_federated(members: usize, batch: &[Observation], tb: usize) -> f64 {
         (0..tb).map(|_| {
             let start = Instant::now();
             client.observe_batch(batch);
+            black_box(client.metrics_total().events_ingested);
+            start.elapsed()
+        }),
+    )
+}
+
+/// The rebalance workload: a skewed hot/cold job mix — job `j` keeps
+/// every `(j + 1)`-th event of the synthetic batch, so job 0 is ~4×
+/// hotter than job 3 and hash placement starts imbalanced.
+fn skewed_federated_batch() -> Vec<Observation> {
+    let base = synthetic_batch();
+    let mut out = Vec::new();
+    for (i, obs) in base.iter().enumerate() {
+        for job in 0..FED_JOBS {
+            if i % (job as usize + 1) == 0 {
+                out.push(Observation::new(
+                    StreamKey::for_job(job, obs.key.rank, obs.key.kind),
+                    obs.value,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Ingest rate over the skewed hot/cold mix at [`REBALANCE_MEMBERS`]
+/// members, rebalancer off or on. The on arm closes a rebalance epoch
+/// after every timed batch *inside* the timing window, so its number
+/// carries the full cost of metric collection, planning, and any
+/// migrations the plan triggers.
+fn measure_rebalance(rebalance: bool, batch: &[Observation], tb: usize) -> f64 {
+    let fed = FederatedEngine::new(FederationConfig {
+        members: REBALANCE_MEMBERS,
+        member: EngineConfig {
+            parallel_threshold: 0,
+            ..EngineConfig::with_shards(FED_SHARDS)
+        },
+        adaptive: None,
+        rebalance: rebalance.then_some(RebalanceConfig {
+            headroom: 10,
+            max_moves_per_epoch: 2,
+            min_dwell_epochs: 1,
+        }),
+    });
+    let client = fed.client();
+    client.observe_batch(batch); // warm: slots, interners, leg buffers
+    client.metrics_total(); // barrier: warm-up fully applied
+    best_batch_rate(
+        batch.len(),
+        (0..tb).map(|_| {
+            let start = Instant::now();
+            client.observe_batch(batch);
+            if rebalance {
+                black_box(fed.rebalance_epoch().moved);
+            }
             black_box(client.metrics_total().events_ingested);
             start.elapsed()
         }),
@@ -442,7 +501,10 @@ fn bench_predict_batch(c: &mut Criterion) {
 /// `BOUNDED_SHARDS` shards; `federation` records the multi-engine
 /// ingest trajectory — events/sec per member count over a fixed
 /// `FED_JOBS`-job interleaved workload (`FED_SHARDS` shards per
-/// member); `churn` records the eviction-heavy numbers (TTL-churn
+/// member); `rebalance` records the load-aware rebalancer A/B — the
+/// fixed skewed hot/cold mix ingested with the rebalancer off and on
+/// (epoch closed every batch, so the on arm bounds the cost from
+/// above); `churn` records the eviction-heavy numbers (TTL-churn
 /// ingest, per-event latency percentiles, `evict_lru` ns/victim at two
 /// resident-set sizes — flat means O(victims), not O(resident));
 /// `telemetry_overhead` records the single-shard telemetry off/on A/B
@@ -512,6 +574,25 @@ fn write_bench_json(p: &Params) {
         );
         federation.push(format!("    \"{members}\": {rate:.0}"));
     }
+
+    // Rebalance A/B: the fixed skewed hot/cold mix with the load-aware
+    // rebalancer off and on, interleaved arms like the other A/Bs. The
+    // on arm pays for an epoch close (metrics broadcast + plan + any
+    // migrations) every batch — the worst-case cadence, far hotter than
+    // production epochs.
+    let skewed = skewed_federated_batch();
+    let mut rb = (0.0f64, 0.0f64); // (off, on)
+    for _ in 0..p.runs {
+        rb.0 = rb.0.max(measure_rebalance(false, &skewed, p.timed_batches));
+        rb.1 = rb.1.max(measure_rebalance(true, &skewed, p.timed_batches));
+    }
+    println!(
+        "engine ingest rebalance A/B {REBALANCE_MEMBERS} member(s) x {FED_SHARDS} shard(s), \
+         skewed {FED_JOBS} jobs: off {:>10.0} ev/s, on {:>10.0} ev/s ({:+.2}% overhead)",
+        rb.0,
+        rb.1,
+        100.0 * (rb.0 / rb.1.max(1e-12) - 1.0)
+    );
 
     // Telemetry A/B: the identical single-shard workload with the
     // telemetry layer off and on, both modes. One shard keeps the
@@ -635,6 +716,17 @@ fn write_bench_json(p: &Params) {
          \"bounded_saturation\": {{\n{}\n  }},\n  \
          \"federation\": {{\n    \"jobs\": {FED_JOBS},\n    \"shards_per_member\": {FED_SHARDS},\n    \
          \"events_per_sec\": {{\n{}\n    }}\n  }},\n  \
+         \"rebalance\": {{\n    \"members\": {REBALANCE_MEMBERS},\n    \
+         \"shards_per_member\": {FED_SHARDS},\n    \"jobs\": {FED_JOBS},\n    \
+         \"workload\": \"skewed hot/cold mix: job j keeps every (j+1)-th event, so job 0 \
+         is ~4x hotter than job 3 and hash placement starts imbalanced\",\n    \
+         \"events_per_sec\": {{\"off\": {:.0}, \"on\": {:.0}}},\n    \
+         \"overhead_pct\": {:.2},\n    \
+         \"method\": \"same min estimator and interleaved off/on arms as the other A/Bs; \
+         the on arm closes a rebalance epoch (metrics broadcast + pure plan + any quiesce \
+         and migrate legs) after every timed batch inside the timing window — a per-batch \
+         cadence far hotter than production epochs, so this bounds the steady-state cost \
+         from above\"\n  }},\n  \
          \"churn\": {{\n    \"ttl_churn_events_per_sec\": {churn_rate:.0},\n    \
          \"observe_latency_ns_per_event\": {{\"p50\": {p50:.0}, \"p99\": {p99:.0}, \
          \"batches\": {}, \"granularity\": \"percentiles of per-batch means \
@@ -681,6 +773,9 @@ fn write_bench_json(p: &Params) {
         ratios.join(",\n"),
         saturation.join(",\n"),
         federation.join(",\n"),
+        rb.0,
+        rb.1,
+        100.0 * (rb.0 / rb.1.max(1e-12) - 1.0),
         p.latency_batches,
         p.evict_rounds,
         evict_entries.join(",\n"),

@@ -171,6 +171,29 @@ impl EnsembleConfig {
         }
     }
 
+    /// The full challenger roster (`engine_replay --ensemble-full`):
+    /// [`EnsembleConfig::standard`]'s trio plus the remaining wired
+    /// predictor families — frequency (modal symbol), single-cycle
+    /// (fixed-period repetition), tag (context-keyed last value), and
+    /// the hybrid cascade. Costlier per event than the standard trio
+    /// (seven shadow models score every observation); use it to find
+    /// which families matter on a workload, then serve with a trimmed
+    /// roster.
+    pub fn full() -> Self {
+        EnsembleConfig {
+            challengers: vec![
+                PredictorKind::LastValue,
+                PredictorKind::Stride,
+                PredictorKind::Markov1,
+                PredictorKind::Frequency,
+                PredictorKind::SingleCycle,
+                PredictorKind::Tag,
+                PredictorKind::Hybrid,
+            ],
+            ..EnsembleConfig::default()
+        }
+    }
+
     pub(crate) fn validate(&self) {
         if !self.enabled() {
             return;

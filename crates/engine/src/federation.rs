@@ -69,6 +69,7 @@ use crate::metrics::{
     ModelStats, ShardMetrics,
 };
 use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+use crate::rebalance::{MemberLoad, RebalanceConfig, RebalancePlan, Rebalancer};
 use crate::snapshot::SnapshotError;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
@@ -145,6 +146,12 @@ pub struct FederationConfig {
     /// [`FederatedEngine::end_epoch`]. Requires the member config to
     /// use bounded lanes under [`BackpressurePolicy::Block`].
     pub adaptive: Option<AdaptiveCapacity>,
+    /// Optional load-aware placement policy, applied at
+    /// [`FederatedEngine::rebalance_epoch`]: hot jobs migrate off
+    /// overloaded members (see [`crate::rebalance`]). Placement can
+    /// change latency only, never results — migration is bit-identical
+    /// across the cut.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl FederationConfig {
@@ -155,6 +162,7 @@ impl FederationConfig {
             members,
             member: EngineConfig::with_shards(shards),
             adaptive: None,
+            rebalance: None,
         }
     }
 
@@ -170,8 +178,17 @@ impl FederationConfig {
         self
     }
 
+    /// Enables epoch-driven load-aware placement.
+    pub fn rebalance(mut self, policy: RebalanceConfig) -> Self {
+        self.rebalance = Some(policy);
+        self
+    }
+
     fn validate(&self) {
         assert!(self.members > 0, "federation needs at least one member");
+        if let Some(policy) = &self.rebalance {
+            policy.validate();
+        }
         if let Some(policy) = &self.adaptive {
             policy.validate();
             assert!(
@@ -224,6 +241,67 @@ impl std::error::Error for FederationWorkerGone {
     }
 }
 
+/// Typed failure of [`FederatedEngine::migrate_job`] /
+/// [`FederatedEngine::try_pin_job`]. A rebalancer acting on a metrics
+/// snapshot races concurrent pins and membership views: by the time it
+/// executes a planned move the route may be stale. That is a
+/// *recoverable* condition — skip the move, replan next epoch — so it
+/// must surface as an error value, never a library panic. Every
+/// variant leaves both members' state untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// A member index is outside the federation.
+    MemberOutOfRange {
+        /// The offending index.
+        member: usize,
+        /// Members in the federation.
+        members: usize,
+    },
+    /// `from` is not the member currently serving the job — the route
+    /// moved (concurrent pin, earlier migration) after the caller's
+    /// snapshot was cut.
+    NotServing {
+        /// The job whose route was stale.
+        job: JobId,
+        /// The member actually serving it.
+        serving: usize,
+        /// The member the caller believed was serving it.
+        from: usize,
+    },
+    /// The snapshot/restore leg failed (config mismatch between
+    /// members, or a corrupt payload).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::MemberOutOfRange { member, members } => {
+                write!(f, "member {member} out of range ({members} members)")
+            }
+            MigrateError::NotServing { job, serving, from } => {
+                write!(f, "job {job} is served by member {serving}, not {from}")
+            }
+            MigrateError::Snapshot(e) => write!(f, "migration snapshot leg failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MigrateError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for MigrateError {
+    fn from(e: SnapshotError) -> Self {
+        MigrateError::Snapshot(e)
+    }
+}
+
 /// One member's entry in an [`FederatedEngine::end_epoch`] report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochCapacity {
@@ -247,8 +325,17 @@ struct FedTelemetry {
     /// including any blocked sends inside it).
     route_ns: Vec<Histogram>,
     /// Federation flight ring: worker-gone sightings with job + member
-    /// attribution, and adaptive-capacity re-bounds.
+    /// attribution, adaptive-capacity re-bounds, and job migrations.
     flight: Mutex<FlightRecorder>,
+    /// Rebalance epochs closed via
+    /// [`FederatedEngine::rebalance_epoch`].
+    rebalance_epochs: AtomicU64,
+    /// Planned migrations executed successfully.
+    rebalance_moves: AtomicU64,
+    /// Planned migrations skipped because `migrate_job` returned a
+    /// typed error (stale route, concurrent pin) — the recoverable
+    /// path the [`MigrateError`] bugfix exists for.
+    rebalance_skipped: AtomicU64,
 }
 
 impl FedTelemetry {
@@ -263,6 +350,8 @@ struct FedInner {
     /// Explicit job→member overrides; consulted before the hash.
     pins: RwLock<HashMap<JobId, usize>>,
     adaptive: Option<AdaptiveCapacity>,
+    /// Load-aware placement state; present only when configured.
+    rebalance: Option<Mutex<Rebalancer>>,
     /// Completed adaptation epochs.
     epoch: AtomicU64,
     /// Federation-level telemetry; `None` unless every member has
@@ -320,7 +409,7 @@ impl FederatedEngine {
         let members = (0..cfg.members)
             .map(|_| PersistentEngine::try_new(cfg.member.clone()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::assemble(members, cfg.adaptive))
+        Ok(Self::assemble(members, cfg.adaptive, cfg.rebalance))
     }
 
     /// Wraps already-running engines as federation members (member `i`
@@ -329,7 +418,7 @@ impl FederatedEngine {
     /// is bit-identical to driving the engine directly.
     pub fn from_members(members: Vec<PersistentEngine>) -> Self {
         assert!(!members.is_empty(), "federation needs at least one member");
-        Self::assemble(members, None)
+        Self::assemble(members, None, None)
     }
 
     /// A single-member federation over a freshly spawned engine.
@@ -337,7 +426,11 @@ impl FederatedEngine {
         Self::from_members(vec![PersistentEngine::new(cfg)])
     }
 
-    fn assemble(members: Vec<PersistentEngine>, adaptive: Option<AdaptiveCapacity>) -> Self {
+    fn assemble(
+        members: Vec<PersistentEngine>,
+        adaptive: Option<AdaptiveCapacity>,
+        rebalance: Option<RebalanceConfig>,
+    ) -> Self {
         let telemetry = members
             .iter()
             .all(|m| m.config().telemetry.enabled)
@@ -346,12 +439,16 @@ impl FederatedEngine {
                 flight: Mutex::new(FlightRecorder::new(
                     members[0].config().telemetry.flight_capacity,
                 )),
+                rebalance_epochs: AtomicU64::new(0),
+                rebalance_moves: AtomicU64::new(0),
+                rebalance_skipped: AtomicU64::new(0),
             });
         FederatedEngine {
             inner: Arc::new(FedInner {
                 members,
                 pins: RwLock::new(HashMap::new()),
                 adaptive,
+                rebalance: rebalance.map(|cfg| Mutex::new(Rebalancer::new(cfg))),
                 epoch: AtomicU64::new(0),
                 telemetry,
             }),
@@ -381,20 +478,34 @@ impl FederatedEngine {
     /// traffic restarts cold on the new one; reclaim the remnant with
     /// [`FederatedEngine::evict_job`], which reaches every member).
     ///
-    /// # Panics
-    ///
-    /// Panics when `member` is out of range.
-    pub fn pin_job(&self, job: JobId, member: usize) {
-        assert!(
-            member < self.inner.members.len(),
-            "pin target {member} out of range ({} members)",
-            self.inner.members.len()
-        );
+    /// Errs with [`MigrateError::MemberOutOfRange`] — without touching
+    /// the pin table — when `member` is outside the federation, so
+    /// automated callers (the rebalancer) racing a stale membership
+    /// view recover instead of panicking.
+    pub fn try_pin_job(&self, job: JobId, member: usize) -> Result<(), MigrateError> {
+        let members = self.inner.members.len();
+        if member >= members {
+            return Err(MigrateError::MemberOutOfRange { member, members });
+        }
         self.inner
             .pins
             .write()
             .expect("pins lock poisoned")
             .insert(job, member);
+        Ok(())
+    }
+
+    /// Panicking convenience over [`FederatedEngine::try_pin_job`] for
+    /// hand-written call sites where an out-of-range member is a
+    /// caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `member` is out of range.
+    pub fn pin_job(&self, job: JobId, member: usize) {
+        self.try_pin_job(job, member).unwrap_or_else(|e| {
+            panic!("pin target out of range: {e}");
+        });
     }
 
     /// Removes `job`'s pin, returning it to the hash route.
@@ -406,51 +517,75 @@ impl FederatedEngine {
             .remove(&job);
     }
 
+    /// Quiesces `job`'s already-submitted ingest: blocks until every
+    /// command enqueued on the serving member's shard lanes — by *any*
+    /// client — has been processed. Command lanes are shared per shard
+    /// and FIFO, so after this returns, every observation whose
+    /// `observe_batch` call had completed before the quiesce is fully
+    /// ingested and will be captured by a subsequent
+    /// [`FederatedEngine::migrate_job`] snapshot. Only a client still
+    /// *inside* an observe call for this job can land events after the
+    /// barrier; concurrent ingest to jobs on *other* members is
+    /// unaffected and always safe (pinned in `tests/federation.rs`).
+    pub fn quiesce_job(&self, job: JobId) {
+        self.inner.members[self.member_of(job)].client().drain();
+    }
+
     /// Migrates `job` live from member `from` to member `to`,
     /// returning how many resident streams moved. The sequence is
-    /// snapshot-on-source → restore-on-target → extract-on-source →
-    /// pin, so routing always points at a member that holds the state:
-    /// queries served mid-migration see the source copy until the
-    /// moment the route flips. The job's predictor states, symbol
-    /// histories, scoring rollup, and per-job time-domain clock all
-    /// move, so predictions after the cut are bit-identical to an
-    /// uninterrupted run (differential-tested in
+    /// drain-source → snapshot-on-source → restore-on-target →
+    /// extract-on-source → pin, so routing always points at a member
+    /// that holds the state: queries served mid-migration see the
+    /// source copy until the moment the route flips. The job's
+    /// predictor states, symbol histories, scoring rollup, and per-job
+    /// time-domain clock all move, so predictions after the cut are
+    /// bit-identical to an uninterrupted run (differential-tested in
     /// `tests/federation.rs`).
     ///
-    /// The caller must quiesce the job's *ingest* first: stop
-    /// submitting its observations and flush every submitting client
-    /// (any query on a client drains its lanes, FIFO). Events still
-    /// in flight on another client's lanes when the snapshot is cut
-    /// land on the source after extraction and are lost with it.
+    /// The source member is drained first (the
+    /// [`FederatedEngine::quiesce_job`] barrier), so every observation
+    /// whose submission completed before this call is captured by the
+    /// snapshot — fully-submitted events are never lost at the cut.
+    /// The caller's only remaining duty is to stop *new* submissions
+    /// for this job for the duration: a client still mid-call when the
+    /// drain runs can land events between snapshot and extraction,
+    /// and those land on the source and leave with it.
     ///
-    /// Errs with [`SnapshotError::ConfigMismatch`] — before touching
-    /// either member's state — when the two members run incompatible
-    /// configurations (different TTL or detector settings; shard
-    /// counts may differ, the streams re-partition).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `from` or `to` is out of range, or when `from` is
-    /// not the member currently serving `job`.
-    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, SnapshotError> {
+    /// Errs — with both members' state untouched — when:
+    /// * `from` or `to` is out of range
+    ///   ([`MigrateError::MemberOutOfRange`]),
+    /// * `from` no longer serves `job` (stale route after a concurrent
+    ///   pin or migration; [`MigrateError::NotServing`]),
+    /// * the members run incompatible configurations (different TTL,
+    ///   detector, or ensemble settings;
+    ///   [`MigrateError::Snapshot`] wrapping
+    ///   [`SnapshotError::ConfigMismatch`] — shard counts may differ,
+    ///   the streams re-partition).
+    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, MigrateError> {
         let members = self.inner.members.len();
-        assert!(
-            from < members,
-            "source member {from} out of range ({members} members)"
-        );
-        assert!(
-            to < members,
-            "target member {to} out of range ({members} members)"
-        );
+        if from >= members {
+            return Err(MigrateError::MemberOutOfRange {
+                member: from,
+                members,
+            });
+        }
+        if to >= members {
+            return Err(MigrateError::MemberOutOfRange {
+                member: to,
+                members,
+            });
+        }
         let serving = self.member_of(job);
-        assert_eq!(
-            serving, from,
-            "job {job} is served by member {serving}, not {from}"
-        );
+        if serving != from {
+            return Err(MigrateError::NotServing { job, serving, from });
+        }
         if from == to {
             return Ok(0);
         }
         let src = self.inner.members[from].client();
+        // Quiesce: everything submitted before this call is ingested
+        // before the snapshot cut.
+        src.drain();
         let snap = src.snapshot_job(job);
         // Restore on the target before extracting from the source: a
         // config mismatch fails here with both members unchanged.
@@ -594,6 +729,114 @@ impl FederatedEngine {
         self.inner.epoch.fetch_add(1, Ordering::Relaxed);
         report
     }
+
+    /// Closes one epoch *and* runs the load-aware rebalancer over it:
+    /// internally calls [`FederatedEngine::end_epoch`] (one epoch close
+    /// feeds both the adaptive-capacity policy and the rebalance
+    /// snapshot — the resetting high-water counters are read exactly
+    /// once), builds a [`crate::rebalance::RebalanceSnapshot`] from the
+    /// per-job rollups, computes the pure placement plan, and executes
+    /// it via [`FederatedEngine::quiesce_job`] →
+    /// [`FederatedEngine::migrate_job`]. A move that fails with a typed
+    /// [`MigrateError`] (stale route after a concurrent pin) is counted
+    /// as skipped and replanned next epoch — never a panic.
+    ///
+    /// Migration is bit-identical across the cut, so rebalancing can
+    /// change latency only, never predictions (golden ±0 pin in
+    /// `mpp-experiments`). Without a configured
+    /// [`FederationConfig::rebalance`] policy this degrades to plain
+    /// `end_epoch` with an empty plan.
+    pub fn rebalance_epoch(&self) -> RebalanceReport {
+        let capacities = self.end_epoch();
+        let Some(reb) = self.inner.rebalance.as_ref() else {
+            return RebalanceReport {
+                capacities,
+                plan: RebalancePlan::default(),
+                moved: 0,
+                skipped: 0,
+            };
+        };
+        let mut reb = reb.lock().expect("rebalancer lock poisoned");
+        let members: Vec<MemberLoad> = capacities
+            .iter()
+            .map(|c| MemberLoad {
+                member: c.member,
+                queue_high_water: c.queue_high_water,
+            })
+            .collect();
+        // Ensemble volatility per job (cumulative): events served by
+        // challenger champions plus champion swaps. Zero on DPD-only
+        // members.
+        let mix: HashMap<JobId, u64> = self
+            .client()
+            .job_model_stats()
+            .into_iter()
+            .map(|(job, ms)| {
+                let churn = ms.iter().skip(1).map(|m| m.champion_events).sum::<u64>()
+                    + ms.iter().map(|m| m.swaps_in).sum::<u64>();
+                (job, churn)
+            })
+            .collect();
+        let jobs: Vec<(JobId, usize, u64, u64)> = self
+            .job_metrics()
+            .into_iter()
+            .map(|(job, m)| {
+                (
+                    job,
+                    self.member_of(job),
+                    m.events_ingested,
+                    mix.get(&job).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let snap = reb.observe_epoch(members, jobs);
+        let plan = reb.plan(&snap);
+        let (mut moved, mut skipped) = (0usize, 0usize);
+        for mv in &plan.moves {
+            // Belt and braces: migrate_job drains the source again
+            // before its snapshot, but quiescing here keeps the
+            // barrier explicit at the orchestration layer.
+            self.quiesce_job(mv.job);
+            match self.migrate_job(mv.job, mv.from, mv.to) {
+                Ok(_) => {
+                    moved += 1;
+                    reb.note_moved(mv.job, snap.epoch);
+                }
+                // Stale route (concurrent pin/migration since the
+                // snapshot): recoverable by design — skip, replan next
+                // epoch.
+                Err(_) => skipped += 1,
+            }
+        }
+        if let Some(tel) = self.inner.telemetry.as_ref() {
+            tel.rebalance_epochs.fetch_add(1, Ordering::Relaxed);
+            tel.rebalance_moves
+                .fetch_add(moved as u64, Ordering::Relaxed);
+            tel.rebalance_skipped
+                .fetch_add(skipped as u64, Ordering::Relaxed);
+        }
+        RebalanceReport {
+            capacities,
+            plan,
+            moved,
+            skipped,
+        }
+    }
+}
+
+/// Report of one [`FederatedEngine::rebalance_epoch`] call.
+#[derive(Debug, Clone)]
+pub struct RebalanceReport {
+    /// Per-member epoch report from the embedded
+    /// [`FederatedEngine::end_epoch`] close.
+    pub capacities: Vec<EpochCapacity>,
+    /// The placement plan computed for this epoch (empty when no
+    /// policy is configured or the federation is already balanced).
+    pub plan: RebalancePlan,
+    /// Planned moves executed successfully.
+    pub moved: usize,
+    /// Planned moves skipped on a typed [`MigrateError`].
+    pub skipped: usize,
 }
 
 /// Per-member, per-shard metrics snapshot of a federation.
@@ -961,6 +1204,20 @@ impl FederatedClient {
             let snap = h.snapshot();
             total.merge_histogram("route_observe_ns", snap.clone());
             total.merge_histogram(&format!("route_observe_ns_m{m}"), snap);
+        }
+        if self.inner.rebalance.is_some() {
+            total.add_counter(
+                "rebalance_epochs",
+                tel.rebalance_epochs.load(Ordering::Relaxed),
+            );
+            total.add_counter(
+                "rebalance_moves",
+                tel.rebalance_moves.load(Ordering::Relaxed),
+            );
+            total.add_counter(
+                "rebalance_skipped",
+                tel.rebalance_skipped.load(Ordering::Relaxed),
+            );
         }
         total.extend_flight(tel.flight.lock().unwrap().dump());
         total.sort_flight();

@@ -104,6 +104,7 @@ pub mod engine;
 pub mod federation;
 pub mod metrics;
 pub mod persistent;
+pub mod rebalance;
 pub mod shard;
 pub mod snapshot;
 pub mod stream_table;
@@ -113,13 +114,16 @@ pub mod types;
 pub use engine::{BackpressurePolicy, Engine, EngineConfig, EnsembleConfig};
 pub use federation::{
     AdaptiveCapacity, EpochCapacity, FederatedClient, FederatedEngine, FederationConfig,
-    FederationMetrics, FederationWorkerGone,
+    FederationMetrics, FederationWorkerGone, MigrateError, RebalanceReport,
 };
 pub use metrics::{
     merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
     ModelStats, ShardMetrics,
 };
 pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+pub use rebalance::{
+    JobLoad, MemberLoad, PlannedMove, RebalanceConfig, RebalancePlan, RebalanceSnapshot, Rebalancer,
+};
 pub use shard::Shard;
 pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stream_table::{SlotId, StreamTable};

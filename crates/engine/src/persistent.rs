@@ -343,6 +343,12 @@ enum QueryBody {
     ExtractJob {
         job: JobId,
     },
+    /// Pure barrier: does nothing shard-side, but command lanes are
+    /// FIFO, so the reply proves every command enqueued on this shard's
+    /// lane — by *any* client — before this query was submitted has
+    /// been fully processed (the quiesce primitive under
+    /// [`crate::FederatedEngine::quiesce_job`]).
+    Drain,
 }
 
 /// Epoch-stamped worker answer.
@@ -574,6 +580,7 @@ fn worker_loop(
                         ReplyBody::Evicted(streams.len())
                     }
                     QueryBody::ExtractJob { job } => ReplyBody::Evicted(shard.extract_job(job)),
+                    QueryBody::Drain => ReplyBody::Evicted(0),
                 };
                 let _ = reply.send(Reply {
                     epoch,
@@ -1730,6 +1737,18 @@ impl EngineClient {
                 _ => unreachable!("extract reply shape"),
             })
             .sum()
+    }
+
+    /// Drains the engine: blocks until every command already enqueued
+    /// on every shard lane — by *any* client, not just this one — has
+    /// been processed. Command lanes are shared per shard and FIFO, so
+    /// when this returns, all observations whose `observe_batch`/
+    /// `try_observe_batch` call had returned before `drain` was invoked
+    /// are fully ingested and visible to snapshots. A client still
+    /// *inside* an observe call may land legs after the barrier; only
+    /// completed submissions are covered.
+    pub fn drain(&self) {
+        self.broadcast(|_| QueryBody::Drain);
     }
 }
 

@@ -1,0 +1,481 @@
+//! Load-aware placement: the epoch-driven rebalancer over a
+//! [`FederatedEngine`](crate::FederatedEngine).
+//!
+//! Static hash+pin routing spreads *jobs* evenly, not *load*: one hot
+//! tenant can saturate its member while the others idle. This module
+//! closes the loop using only rollups the engine already keeps:
+//!
+//! * per-job event counts ([`JobMetrics::events_ingested`]) — the raw
+//!   per-epoch load signal,
+//! * per-member observe-lane high water
+//!   (`take_epoch_queue_high_water`, via
+//!   [`FederatedEngine::end_epoch`](crate::FederatedEngine::end_epoch))
+//!   — the pressure tie-breaker,
+//! * per-job model mix ([`ModelStats`](crate::ModelStats)) — jobs
+//!   whose streams keep electing challenger predictors (or churning
+//!   champions) pay the full ensemble scoring cost per event, so they
+//!   weigh heavier than their raw event count (the *Future-based
+//!   Static Analysis* idea of treating predicted communication
+//!   structure as a placement prior).
+//!
+//! The split is deliberate:
+//!
+//! * [`plan`] is a **pure function** of a [`RebalanceSnapshot`] —
+//!   integer arithmetic only, deterministic tie-breaks, no clocks, no
+//!   randomness — so placement decisions are replayable and
+//!   unit/property-testable without threads
+//!   (`tests/rebalance.rs`).
+//! * [`Rebalancer`] is the thin stateful shell: it turns cumulative
+//!   rollups into per-epoch deltas and tracks per-job dwell so a job
+//!   is never ping-ponged between members on adjacent epochs.
+//! * Execution lives in
+//!   [`FederatedEngine::rebalance_epoch`](crate::FederatedEngine::rebalance_epoch):
+//!   quiesce → `migrate_job` per planned move. Migration is proven
+//!   bit-identical across the cut (PR 7), so the rebalancer can change
+//!   *latency only, never results* — the golden ±0 pin in
+//!   `mpp-experiments` holds a rebalanced replay to exactly the
+//!   non-rebalanced counters.
+//!
+//! [`JobMetrics::events_ingested`]: crate::JobMetrics::events_ingested
+
+use crate::types::JobId;
+use std::collections::HashMap;
+
+/// Fixed-point scale for job weights: a job's weight is
+/// `events × (WEIGHT_SCALE + mix_penalty)` with the penalty capped at
+/// `WEIGHT_SCALE`, so model-mix churn can at most double a job's
+/// weight relative to its raw event count. Integer throughout —
+/// placement must be a pure, platform-independent function of the
+/// snapshot.
+pub const WEIGHT_SCALE: u64 = 16;
+
+/// Tuning for the epoch-driven rebalancer. All decisions derived from
+/// these fields are pure functions of the metrics snapshot (see
+/// [`plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceConfig {
+    /// Percent of the mean weighted load a member may run above before
+    /// it is considered a donor: with `headroom = 25`, a member is
+    /// left alone while its load ≤ 1.25 × mean. Slack prevents
+    /// migration thrash on noise-level imbalance.
+    pub headroom: u32,
+    /// Upper bound on migrations per epoch; bounds the per-epoch
+    /// quiesce cost. Must be positive.
+    pub max_moves_per_epoch: usize,
+    /// Epochs a job must have stayed put before it may move again
+    /// (also the warm-up before a fresh job's first move). Damps
+    /// oscillation.
+    pub min_dwell_epochs: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            headroom: 25,
+            max_moves_per_epoch: 2,
+            min_dwell_epochs: 2,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.max_moves_per_epoch > 0,
+            "rebalance max_moves_per_epoch must be positive"
+        );
+    }
+}
+
+/// One member's pressure reading in a [`RebalanceSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberLoad {
+    /// Member index.
+    pub member: usize,
+    /// Worst per-shard observe-lane high water this epoch (the
+    /// [`EpochCapacity::queue_high_water`](crate::EpochCapacity)
+    /// reading) — used only as a donor/receiver tie-breaker.
+    pub queue_high_water: u64,
+}
+
+/// One job's per-epoch load in a [`RebalanceSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLoad {
+    /// The job.
+    pub job: JobId,
+    /// Member serving it when the snapshot was cut.
+    pub member: usize,
+    /// Events ingested this epoch (delta, not cumulative).
+    pub events: u64,
+    /// Ensemble volatility this epoch: events served by challenger
+    /// champions plus champion swaps (delta). Zero on DPD-only
+    /// engines.
+    pub mix_churn: u64,
+    /// Epochs since this job last migrated (or since the rebalancer
+    /// started, for jobs that never moved).
+    pub dwell_epochs: u64,
+}
+
+impl JobLoad {
+    /// The job's placement weight: events scaled up by ensemble
+    /// volatility (capped at 2×). Pure and integer.
+    pub fn weight(&self) -> u64 {
+        // Churn per WEIGHT_SCALE events, capped at WEIGHT_SCALE: a job
+        // churning on every event doubles its weight.
+        let penalty = self
+            .mix_churn
+            .saturating_mul(WEIGHT_SCALE)
+            .checked_div(self.events)
+            .unwrap_or(0)
+            .min(WEIGHT_SCALE);
+        self.events.saturating_mul(WEIGHT_SCALE + penalty)
+    }
+}
+
+/// Everything [`plan`] is allowed to look at: a value, so plans can be
+/// recorded, replayed, and property-tested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceSnapshot {
+    /// Rebalancer epoch this snapshot closed (1-based).
+    pub epoch: u64,
+    /// One entry per member, indexed by member id.
+    pub members: Vec<MemberLoad>,
+    /// Per-job loads, ascending by job id.
+    pub jobs: Vec<JobLoad>,
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// Job to migrate.
+    pub job: JobId,
+    /// Member serving it in the snapshot.
+    pub from: usize,
+    /// Destination member.
+    pub to: usize,
+    /// The job's weight when the move was chosen.
+    pub weight: u64,
+}
+
+/// The placement plan for one epoch: an ordered list of moves
+/// (executed in order; later moves assume earlier ones applied).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Planned migrations, in execution order.
+    pub moves: Vec<PlannedMove>,
+}
+
+/// Computes the placement plan for one epoch — a **pure function** of
+/// `(cfg, snap)`: integer arithmetic, deterministic tie-breaks, no
+/// ambient state (property-pinned in `tests/rebalance.rs`).
+///
+/// Greedy descent on the max weighted member load:
+///
+/// 1. Donor = member with the highest load (ties: higher queue high
+///    water, then lower index). Stop when the donor is within
+///    `headroom` percent of the mean — the federation is balanced.
+/// 2. Receiver = member with the lowest load (ties: lower queue high
+///    water, then lower index).
+/// 3. Move the heaviest donor job that (a) has dwelt at least
+///    `min_dwell_epochs`, (b) was not already moved this plan, and
+///    (c) is strictly smaller than the donor–receiver gap, so every
+///    move strictly reduces the pairwise imbalance (no oscillation
+///    within a plan). Ties break to the lower job id.
+/// 4. Repeat up to `max_moves_per_epoch` times.
+pub fn plan(cfg: &RebalanceConfig, snap: &RebalanceSnapshot) -> RebalancePlan {
+    let n = snap.members.len();
+    let mut out = RebalancePlan::default();
+    if n < 2 {
+        return out;
+    }
+    let mut load = vec![0u64; n];
+    // Local copy so applied moves update job→member for later rounds.
+    let mut jobs: Vec<JobLoad> = snap.jobs.iter().filter(|j| j.member < n).copied().collect();
+    for j in &jobs {
+        load[j.member] = load[j.member].saturating_add(j.weight());
+    }
+    let total: u64 = load.iter().fold(0, |a, &b| a.saturating_add(b));
+    let mean = total / n as u64;
+    let qhw = |m: usize| snap.members[m].queue_high_water;
+    for _ in 0..cfg.max_moves_per_epoch {
+        let donor = (0..n)
+            .max_by_key(|&m| (load[m], qhw(m), std::cmp::Reverse(m)))
+            .expect("n >= 2");
+        // Balanced within headroom: load ≤ mean × (100 + headroom)%.
+        if u128::from(load[donor]) * 100
+            <= u128::from(mean) * (100 + u64::from(cfg.headroom)) as u128
+        {
+            break;
+        }
+        let receiver = (0..n)
+            .min_by_key(|&m| (load[m], qhw(m), m))
+            .expect("n >= 2");
+        if receiver == donor {
+            break;
+        }
+        let gap = load[donor] - load[receiver];
+        let moved: Vec<JobId> = out.moves.iter().map(|m| m.job).collect();
+        let Some(pick) = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                j.member == donor
+                    && !moved.contains(&j.job)
+                    && j.dwell_epochs >= cfg.min_dwell_epochs
+                    && j.weight() > 0
+                    && j.weight() < gap
+            })
+            .max_by_key(|(_, j)| (j.weight(), std::cmp::Reverse(j.job)))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let w = jobs[pick].weight();
+        out.moves.push(PlannedMove {
+            job: jobs[pick].job,
+            from: donor,
+            to: receiver,
+            weight: w,
+        });
+        jobs[pick].member = receiver;
+        load[donor] -= w;
+        load[receiver] = load[receiver].saturating_add(w);
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct JobBaseline {
+    events: u64,
+    mix_churn: u64,
+}
+
+/// The stateful shell around [`plan`]: holds per-job cumulative
+/// baselines (the engine's rollups are all-time counters; the plan
+/// wants per-epoch deltas) and per-job last-moved epochs (dwell).
+/// Driven by
+/// [`FederatedEngine::rebalance_epoch`](crate::FederatedEngine::rebalance_epoch);
+/// usable directly in tests.
+#[derive(Debug)]
+pub struct Rebalancer {
+    cfg: RebalanceConfig,
+    baseline: HashMap<JobId, JobBaseline>,
+    last_moved: HashMap<JobId, u64>,
+    epoch: u64,
+}
+
+impl Rebalancer {
+    /// A fresh rebalancer. Panics if `cfg` is invalid
+    /// (`max_moves_per_epoch == 0`).
+    pub fn new(cfg: RebalanceConfig) -> Self {
+        cfg.validate();
+        Rebalancer {
+            cfg,
+            baseline: HashMap::new(),
+            last_moved: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RebalanceConfig {
+        &self.cfg
+    }
+
+    /// Completed rebalancer epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Closes one rebalancer epoch: takes *cumulative* per-job rollups
+    /// `(job, serving member, events_ingested, mix_churn)` plus the
+    /// member pressure readings, subtracts the baselines recorded last
+    /// epoch, and returns the per-epoch [`RebalanceSnapshot`] that
+    /// [`plan`] consumes. Jobs are sorted by id, so the snapshot is a
+    /// deterministic function of the rollups regardless of input
+    /// order.
+    pub fn observe_epoch(
+        &mut self,
+        members: Vec<MemberLoad>,
+        jobs: impl IntoIterator<Item = (JobId, usize, u64, u64)>,
+    ) -> RebalanceSnapshot {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut out: Vec<JobLoad> = jobs
+            .into_iter()
+            .map(|(job, member, events_cum, churn_cum)| {
+                let base = self.baseline.entry(job).or_default();
+                let events = events_cum.saturating_sub(base.events);
+                let mix_churn = churn_cum.saturating_sub(base.mix_churn);
+                base.events = events_cum;
+                base.mix_churn = churn_cum;
+                let dwell = epoch - self.last_moved.get(&job).copied().unwrap_or(0);
+                JobLoad {
+                    job,
+                    member,
+                    events,
+                    mix_churn,
+                    dwell_epochs: dwell,
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|j| j.job);
+        RebalanceSnapshot {
+            epoch,
+            members,
+            jobs: out,
+        }
+    }
+
+    /// The plan for `snap` under this rebalancer's config — delegates
+    /// to the pure [`plan`].
+    pub fn plan(&self, snap: &RebalanceSnapshot) -> RebalancePlan {
+        plan(&self.cfg, snap)
+    }
+
+    /// Records that `job` migrated during `epoch`, restarting its
+    /// dwell counter.
+    pub fn note_moved(&mut self, job: JobId, epoch: u64) {
+        self.last_moved.insert(job, epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(members: usize, jobs: Vec<JobLoad>) -> RebalanceSnapshot {
+        RebalanceSnapshot {
+            epoch: 10,
+            members: (0..members)
+                .map(|m| MemberLoad {
+                    member: m,
+                    queue_high_water: 0,
+                })
+                .collect(),
+            jobs,
+        }
+    }
+
+    fn jl(job: u32, member: usize, events: u64) -> JobLoad {
+        JobLoad {
+            job,
+            member,
+            events,
+            mix_churn: 0,
+            dwell_epochs: 10,
+        }
+    }
+
+    #[test]
+    fn balanced_members_plan_nothing() {
+        let cfg = RebalanceConfig::default();
+        let s = snap(2, vec![jl(0, 0, 100), jl(1, 1, 100)]);
+        assert!(plan(&cfg, &s).moves.is_empty());
+        // Within headroom: 120 vs 100 is < 1.25x the 110 mean.
+        let s = snap(2, vec![jl(0, 0, 120), jl(1, 1, 100)]);
+        assert!(plan(&cfg, &s).moves.is_empty());
+    }
+
+    #[test]
+    fn hot_member_donates_its_largest_movable_job_to_the_coldest() {
+        let cfg = RebalanceConfig {
+            max_moves_per_epoch: 1,
+            ..Default::default()
+        };
+        let s = snap(
+            3,
+            vec![jl(0, 0, 500), jl(1, 0, 300), jl(2, 1, 100), jl(3, 2, 50)],
+        );
+        let p = plan(&cfg, &s);
+        assert_eq!(p.moves.len(), 1);
+        assert_eq!(p.moves[0].job, 0, "heaviest eligible job moves");
+        assert_eq!(p.moves[0].from, 0);
+        assert_eq!(p.moves[0].to, 2, "coldest member receives");
+    }
+
+    #[test]
+    fn moves_that_would_overshoot_are_skipped() {
+        let cfg = RebalanceConfig {
+            headroom: 0,
+            max_moves_per_epoch: 4,
+            min_dwell_epochs: 0,
+        };
+        // One giant job: moving it would just swap the imbalance, so
+        // the strict-improvement guard must refuse.
+        let s = snap(2, vec![jl(0, 0, 1000), jl(1, 1, 10)]);
+        assert!(plan(&cfg, &s).moves.is_empty());
+    }
+
+    #[test]
+    fn dwell_and_move_budget_are_respected() {
+        let mut hot = vec![jl(0, 0, 400), jl(1, 0, 300), jl(2, 0, 200)];
+        hot[0].dwell_epochs = 0; // just moved: ineligible
+        let cfg = RebalanceConfig {
+            headroom: 0,
+            max_moves_per_epoch: 1,
+            min_dwell_epochs: 2,
+        };
+        let mut jobs = hot.clone();
+        jobs.push(jl(9, 1, 10));
+        let p = plan(&cfg, &snap(2, jobs));
+        assert_eq!(p.moves.len(), 1, "budget caps at one move");
+        assert_eq!(p.moves[0].job, 1, "largest *eligible* job moves");
+    }
+
+    #[test]
+    fn mix_churn_outweighs_raw_events() {
+        // Equal event counts, but job 1's streams churn champions on
+        // every event: its weight doubles and it becomes the pick.
+        let mut j1 = jl(1, 0, 300);
+        j1.mix_churn = 300;
+        let cfg = RebalanceConfig {
+            headroom: 0,
+            max_moves_per_epoch: 1,
+            min_dwell_epochs: 0,
+        };
+        let p = plan(&cfg, &snap(2, vec![jl(0, 0, 300), j1, jl(2, 1, 10)]));
+        assert_eq!(p.moves.len(), 1);
+        assert_eq!(p.moves[0].job, 1);
+        assert_eq!(
+            p.moves[0].weight,
+            300 * (WEIGHT_SCALE + WEIGHT_SCALE),
+            "full churn doubles the weight"
+        );
+    }
+
+    #[test]
+    fn observe_epoch_deltas_cumulative_rollups_and_tracks_dwell() {
+        let mut reb = Rebalancer::new(RebalanceConfig::default());
+        let members = vec![MemberLoad {
+            member: 0,
+            queue_high_water: 0,
+        }];
+        let s1 = reb.observe_epoch(members.clone(), [(7u32, 0usize, 100u64, 4u64)]);
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.jobs[0].events, 100, "first epoch sees the full count");
+        assert_eq!(s1.jobs[0].mix_churn, 4);
+        assert_eq!(s1.jobs[0].dwell_epochs, 1);
+        let s2 = reb.observe_epoch(members.clone(), [(7u32, 0usize, 130u64, 4u64)]);
+        assert_eq!(s2.jobs[0].events, 30, "delta vs the stored baseline");
+        assert_eq!(s2.jobs[0].mix_churn, 0);
+        assert_eq!(s2.jobs[0].dwell_epochs, 2);
+        reb.note_moved(7, s2.epoch);
+        let s3 = reb.observe_epoch(members, [(7u32, 0usize, 130u64, 4u64)]);
+        assert_eq!(s3.jobs[0].dwell_epochs, 1, "dwell restarts after a move");
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_the_snapshot() {
+        let cfg = RebalanceConfig::default();
+        let s = snap(
+            4,
+            (0..16u32)
+                .map(|j| jl(j, (j % 4) as usize, u64::from(j) * 37 % 400))
+                .collect(),
+        );
+        let a = plan(&cfg, &s);
+        let b = plan(&cfg, &s.clone());
+        assert_eq!(a, b);
+    }
+}

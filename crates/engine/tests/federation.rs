@@ -97,6 +97,7 @@ proptest! {
             members,
             member: member_cfg.clone(),
             adaptive: None,
+            rebalance: None,
         });
         // Exercise the explicit pinning API: one job is pinned to an
         // arbitrary member before any traffic flows.
@@ -205,6 +206,7 @@ proptest! {
             members,
             member: member_cfg.clone(),
             adaptive: None,
+            rebalance: None,
         });
         let control = fed_of();
         let trial = fed_of();
@@ -311,7 +313,7 @@ fn migrating_between_incompatible_members_fails_cleanly() {
     assert!(before.is_some());
 
     match fed.migrate_job(job, 0, 1) {
-        Err(mpp_engine::SnapshotError::ConfigMismatch(msg)) => {
+        Err(mpp_engine::MigrateError::Snapshot(mpp_engine::SnapshotError::ConfigMismatch(msg))) => {
             assert!(msg.contains("TTL"), "mismatch names the field: {msg}")
         }
         other => panic!("expected ConfigMismatch, got {other:?}"),
@@ -323,16 +325,233 @@ fn migrating_between_incompatible_members_fails_cleanly() {
     assert_eq!(client.predict(key, 1), before);
 }
 
-/// Migrating a job its caller mis-attributes panics loudly rather
-/// than silently moving someone else's tenant.
+/// The stale-route regression pin: a rebalancer acting on an outdated
+/// metrics snapshot (the route moved under it — concurrent pin,
+/// earlier migration) must get a *recoverable* typed error, never a
+/// library panic, and the failed call must leave both members exactly
+/// as they were.
 #[test]
-#[should_panic(expected = "is served by member")]
-fn migrating_from_the_wrong_member_panics() {
-    let fed = FederatedEngine::new(FederationConfig::new(2, 1));
+fn migrating_from_a_stale_route_returns_not_serving_with_members_untouched() {
+    let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+    let client = fed.client();
     let job = (0..32u32)
         .find(|&j| fed.member_of(j) == 0)
         .expect("a job routed to member 0");
-    let _ = fed.migrate_job(job, 1, 0);
+    let key = jkey(job, 0, StreamKind::Sender);
+    for i in 0..20u64 {
+        client.observe(key, i % 2);
+    }
+    let before = client.predict(key, 1);
+    assert!(before.is_some());
+    let counts_before = (
+        fed.member(0).client().metrics_total().events_ingested,
+        fed.member(1).client().metrics_total().events_ingested,
+    );
+
+    // The caller believes member 1 serves the job; member 0 does.
+    assert_eq!(
+        fed.migrate_job(job, 1, 0),
+        Err(mpp_engine::MigrateError::NotServing {
+            job,
+            serving: 0,
+            from: 1,
+        })
+    );
+    // Both members untouched: residency, route, predictions, counters.
+    assert_eq!(fed.member_of(job), 0);
+    assert!(fed.member(0).client().resident_jobs().contains(&job));
+    assert!(!fed.member(1).client().resident_jobs().contains(&job));
+    assert_eq!(client.predict(key, 1), before);
+    assert_eq!(
+        (
+            fed.member(0).client().metrics_total().events_ingested,
+            fed.member(1).client().metrics_total().events_ingested,
+        ),
+        counts_before
+    );
+
+    // Out-of-range member indices are typed errors too.
+    assert_eq!(
+        fed.migrate_job(job, 0, 9),
+        Err(mpp_engine::MigrateError::MemberOutOfRange {
+            member: 9,
+            members: 2,
+        })
+    );
+    assert_eq!(
+        fed.migrate_job(job, 9, 0),
+        Err(mpp_engine::MigrateError::MemberOutOfRange {
+            member: 9,
+            members: 2,
+        })
+    );
+    assert!(
+        fed.try_pin_job(job, 9).is_err(),
+        "pin validates the member index the same way"
+    );
+    assert_eq!(fed.member_of(job), 0, "failed pin left the route alone");
+}
+
+/// The quiesce contract: events whose submission completed before a
+/// migration are never lost at the cut, even while other threads keep
+/// hammering *other* jobs on both members throughout. `migrate_job`
+/// drains the source member first, so the snapshot includes every
+/// fully-submitted batch — from any client, not just the migrating
+/// thread's.
+#[test]
+fn flushed_events_survive_migration_under_concurrent_other_job_ingest() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+    let job = (0..32u32)
+        .find(|&j| fed.member_of(j) == 0)
+        .expect("a job routed to member 0");
+    let noisy: Vec<u32> = (0..64u32).filter(|&j| j != job).take(4).collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let noise = {
+        let fed = fed.clone();
+        let stop = Arc::clone(&stop);
+        let noisy = noisy.clone();
+        std::thread::spawn(move || {
+            let client = fed.client();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let batch: Vec<Observation> = noisy
+                    .iter()
+                    .map(|&j| Observation::new(jkey(j, (i % 4) as u32, StreamKind::Sender), i % 5))
+                    .collect();
+                client.observe_batch(&batch);
+                i += 1;
+            }
+        })
+    };
+
+    // Submit the migrating job's events from a *different* client than
+    // the one the migration drains implicitly — the lost-update shape
+    // the old API documented away.
+    let submitter = fed.client();
+    const EVENTS: u64 = 500;
+    for i in 0..EVENTS {
+        submitter.observe_batch(&[Observation::new(
+            jkey(job, (i % 3) as u32, StreamKind::Sender),
+            i % 4,
+        )]);
+    }
+    // The submissions above returned; no explicit flush of `submitter`.
+    // quiesce_job + migrate_job must still capture all of them.
+    fed.quiesce_job(job);
+    let from = fed.member_of(job);
+    let to = (from + 1) % 2;
+    fed.migrate_job(job, from, to)
+        .expect("identically configured members accept the move");
+    stop.store(true, Ordering::Relaxed);
+    noise.join().expect("noise thread");
+
+    assert_eq!(fed.member_of(job), to);
+    assert_eq!(
+        fed.job_metrics_of(job).events_ingested,
+        EVENTS,
+        "every submitted-and-returned event survived the cut"
+    );
+    for j in noisy {
+        assert!(
+            fed.job_metrics_of(j).events_ingested > 0,
+            "concurrent ingest to other jobs kept flowing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The rebalancer acceptance property: interleaving
+    /// `rebalance_epoch` calls (aggressive policy — zero headroom, no
+    /// dwell, several moves per epoch) into a K-job workload leaves
+    /// every prediction and per-job rollup bit-identical to the same
+    /// workload with rebalancing disabled. Placement changes latency,
+    /// never results.
+    #[test]
+    fn rebalanced_epochs_are_bit_identical_to_never_rebalancing(
+        raw in prop::collection::vec((0u32..RANKS, 0u8..3, 0u64..6), 1..160),
+        jobs in 2u32..5,
+        members in 2usize..4,
+        shards in 1usize..3,
+        epoch_every in 1usize..5,
+    ) {
+        let dpd = DpdConfig { window: 48, max_lag: 16, ..DpdConfig::default() };
+        let member_cfg = EngineConfig {
+            shards,
+            dpd,
+            parallel_threshold: 0,
+            ttl: None,
+            ..EngineConfig::default()
+        };
+        let control = FederatedEngine::new(FederationConfig {
+            members,
+            member: member_cfg.clone(),
+            adaptive: None,
+            rebalance: None,
+        });
+        let trial = FederatedEngine::new(FederationConfig {
+            members,
+            member: member_cfg.clone(),
+            adaptive: None,
+            rebalance: Some(mpp_engine::RebalanceConfig {
+                headroom: 0,
+                max_moves_per_epoch: 4,
+                min_dwell_epochs: 0,
+            }),
+        });
+        let ctl = control.client();
+        let tri = trial.client();
+
+        let events: Vec<Observation> = raw
+            .iter()
+            .flat_map(|&(r, k, v)| (0..jobs).map(move |j| job_variant(j, r, k, v)))
+            .collect();
+        for (i, chunk) in events.chunks(13).enumerate() {
+            ctl.observe_batch(chunk);
+            tri.observe_batch(chunk);
+            if i % epoch_every == 0 {
+                trial.rebalance_epoch();
+            }
+        }
+        trial.rebalance_epoch();
+
+        let mut queries = Vec::new();
+        for j in 0..jobs {
+            for rank in 0..RANKS {
+                for kind in StreamKind::ALL {
+                    for h in 1..=HORIZONS {
+                        queries.push(Query::new(jkey(j, rank, kind), h));
+                    }
+                }
+            }
+        }
+        let (mut want, mut got) = (Vec::new(), Vec::new());
+        ctl.predict_batch(&queries, &mut want);
+        tri.predict_batch(&queries, &mut got);
+        prop_assert_eq!(&got, &want, "rebalancing changed a prediction");
+
+        // Rollups match modulo the migration layout detail
+        // (`predictions_served` counts on shards that ingested the
+        // job; migration plants history on the target's shard 0).
+        let normalize = |mut rolls: Vec<(JobId, mpp_engine::JobMetrics)>| {
+            for (_, m) in &mut rolls { m.predictions_served = 0; }
+            rolls
+        };
+        prop_assert_eq!(
+            normalize(ctl.job_metrics()),
+            normalize(tri.job_metrics()),
+            "rebalancing changed a job rollup"
+        );
+        prop_assert_eq!(
+            control.metrics_total().events_ingested,
+            trial.metrics_total().events_ingested
+        );
+    }
 }
 
 /// Flooding then evicting job A leaves job B's predictions, periods,

@@ -1,0 +1,173 @@
+//! Property pins for the load-aware placement plan.
+//!
+//! The rebalancer's safety story has two halves: migration is
+//! bit-identical across the cut (`tests/federation.rs`), and the plan
+//! itself is a **pure function** of the metrics snapshot — no clocks,
+//! no randomness, no ambient state — so placement decisions replay
+//! exactly and can be audited from a recorded snapshot. These
+//! properties pin the second half, plus the structural invariants
+//! every plan must satisfy.
+
+use mpp_engine::rebalance::{plan, JobLoad, MemberLoad, RebalanceConfig, RebalanceSnapshot};
+use proptest::prelude::*;
+
+/// Largest member count the raw draws are folded into.
+const MAX_MEMBERS: usize = 5;
+
+/// Builds a snapshot from raw proptest draws: `qhw` supplies one
+/// high-water mark per member (extra draws ignored) and each raw job
+/// tuple is `(member_pick, events, mix_churn, dwell_epochs)` with the
+/// member pick folded into range.
+fn build_snapshot(
+    members: usize,
+    epoch: u64,
+    qhw: &[u64],
+    raw_jobs: &[(usize, u64, u64, u64)],
+) -> RebalanceSnapshot {
+    RebalanceSnapshot {
+        epoch,
+        members: (0..members)
+            .map(|m| MemberLoad {
+                member: m,
+                queue_high_water: qhw[m],
+            })
+            .collect(),
+        jobs: raw_jobs
+            .iter()
+            .enumerate()
+            .map(|(j, &(pick, events, mix_churn, dwell_epochs))| JobLoad {
+                job: j as u32,
+                member: pick % members,
+                events,
+                mix_churn,
+                dwell_epochs,
+            })
+            .collect(),
+    }
+}
+
+fn build_config(headroom: u32, max_moves: usize, dwell: u64) -> RebalanceConfig {
+    RebalanceConfig {
+        headroom,
+        max_moves_per_epoch: max_moves,
+        min_dwell_epochs: dwell,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Purity: the same (config, snapshot) pair always yields the same
+    /// plan — byte for byte, across calls and across clones.
+    #[test]
+    fn plan_is_a_pure_function_of_the_snapshot(
+        members in 2usize..(MAX_MEMBERS + 1),
+        epoch in 0u64..50,
+        qhw in prop::collection::vec(0u64..64, MAX_MEMBERS),
+        raw_jobs in prop::collection::vec(
+            (0usize..MAX_MEMBERS, 0u64..10_000, 0u64..4_000, 0u64..8),
+            0..24,
+        ),
+        headroom in 0u32..200,
+        max_moves in 1usize..6,
+        dwell in 0u64..5,
+    ) {
+        let cfg = build_config(headroom, max_moves, dwell);
+        let snap = build_snapshot(members, epoch, &qhw, &raw_jobs);
+        let a = plan(&cfg, &snap);
+        let b = plan(&cfg, &snap.clone());
+        let c = plan(&cfg.clone(), &snap);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    /// Structural invariants every plan must satisfy: the move budget,
+    /// dwell eligibility, route consistency (each move starts where
+    /// the job actually is, earlier moves applied), no job moved
+    /// twice, and strict monotone descent of the donor's load (so the
+    /// plan can never oscillate or make the imbalance worse).
+    #[test]
+    fn every_plan_respects_budget_dwell_routes_and_descends(
+        members in 2usize..(MAX_MEMBERS + 1),
+        epoch in 0u64..50,
+        qhw in prop::collection::vec(0u64..64, MAX_MEMBERS),
+        raw_jobs in prop::collection::vec(
+            (0usize..MAX_MEMBERS, 0u64..10_000, 0u64..4_000, 0u64..8),
+            0..24,
+        ),
+        headroom in 0u32..200,
+        max_moves in 1usize..6,
+        dwell in 0u64..5,
+    ) {
+        let cfg = build_config(headroom, max_moves, dwell);
+        let snap = build_snapshot(members, epoch, &qhw, &raw_jobs);
+        let p = plan(&cfg, &snap);
+        prop_assert!(p.moves.len() <= cfg.max_moves_per_epoch, "move budget");
+
+        let n = snap.members.len();
+        let mut member_of: std::collections::HashMap<u32, usize> = snap
+            .jobs
+            .iter()
+            .map(|j| (j.job, j.member))
+            .collect();
+        let mut load = vec![0u64; n];
+        for j in &snap.jobs {
+            load[j.member] += j.weight();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for mv in &p.moves {
+            prop_assert!(mv.from < n && mv.to < n, "members in range");
+            prop_assert_ne!(mv.from, mv.to, "a move actually moves");
+            prop_assert!(seen.insert(mv.job), "no job moves twice per plan");
+            prop_assert_eq!(
+                member_of.get(&mv.job).copied(),
+                Some(mv.from),
+                "move starts where the job is (earlier moves applied)"
+            );
+            let j = snap.jobs.iter().find(|j| j.job == mv.job).unwrap();
+            prop_assert!(
+                j.dwell_epochs >= cfg.min_dwell_epochs,
+                "dwell eligibility"
+            );
+            prop_assert_eq!(mv.weight, j.weight(), "recorded weight is the job's");
+            prop_assert!(mv.weight > 0, "zero-weight jobs never move");
+            // Strict improvement: the receiver never overtakes the
+            // donor's pre-move load.
+            prop_assert!(
+                load[mv.to] + mv.weight < load[mv.from],
+                "each move strictly reduces the pairwise imbalance"
+            );
+            load[mv.from] -= mv.weight;
+            load[mv.to] += mv.weight;
+            member_of.insert(mv.job, mv.to);
+        }
+    }
+
+    /// A balanced federation (all member loads within headroom of the
+    /// mean) plans nothing — the rebalancer is quiescent at the fixed
+    /// point, so it can never thrash a balanced cluster.
+    #[test]
+    fn balanced_snapshots_plan_nothing(
+        members in 2usize..(MAX_MEMBERS + 1),
+        per_member in 1u64..1000,
+        dwell in 0u64..10,
+    ) {
+        let cfg = RebalanceConfig::default();
+        let snap = RebalanceSnapshot {
+            epoch: 1,
+            members: (0..members)
+                .map(|m| MemberLoad { member: m, queue_high_water: 0 })
+                .collect(),
+            jobs: (0..members)
+                .map(|m| JobLoad {
+                    job: m as u32,
+                    member: m,
+                    events: per_member,
+                    mix_churn: 0,
+                    dwell_epochs: dwell,
+                })
+                .collect(),
+        };
+        prop_assert!(plan(&cfg, &snap).moves.is_empty());
+    }
+}

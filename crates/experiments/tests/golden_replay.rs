@@ -271,3 +271,93 @@ fn ensemble_win_rates_stay_pinned() {
         );
     }
 }
+
+/// Golden win rates for the *full* challenger roster
+/// ([`EnsembleConfig::full`]: standard + frequency, single-cycle, tag,
+/// hybrid) on one NAS and one synthetic golden config, default seed.
+/// Measured on the full roster — the shares differ from the
+/// standard-roster pins above because the added challengers win
+/// championships of their own (frequency and the hybrid committee take
+/// real shares; cycle and tag stay benched on these traces).
+type FullWinRatePins = [(&'static str, f64); 8];
+
+const GOLDEN_FULL_WIN_RATES: [(BenchId, usize, FullWinRatePins); 2] = [
+    (
+        BenchId::Cg,
+        8,
+        [
+            ("dpd", 0.2183),
+            ("last-value", 0.1637),
+            ("stride", 0.0),
+            ("markov1", 0.2456),
+            ("frequency", 0.1384),
+            ("single-cycle", 0.0),
+            ("tag", 0.0),
+            ("hybrid", 0.2339),
+        ],
+    ),
+    (
+        BenchId::Ring,
+        8,
+        [
+            ("dpd", 0.6738),
+            ("last-value", 0.0053),
+            ("stride", 0.0),
+            ("markov1", 0.1584),
+            ("frequency", 0.1510),
+            ("single-cycle", 0.0114),
+            ("tag", 0.0),
+            ("hybrid", 0.0),
+        ],
+    ),
+];
+
+/// The full-roster acceptance pin: widening the ensemble must yield
+/// exactly these championship shares (±0.1 pt), which still partition
+/// the event stream, with the scoped engine bit-identical to the
+/// persistent one.
+#[test]
+fn full_roster_win_rates_stay_pinned() {
+    for (id, procs, pins) in GOLDEN_FULL_WIN_RATES {
+        let cfg = BenchmarkConfig::new(id, procs, Class::A);
+        let r = replay(
+            &cfg,
+            DEFAULT_SEED,
+            &ReplayOpts::with_shards(4).ensemble_full(true),
+        );
+        let s = replay(
+            &cfg,
+            DEFAULT_SEED,
+            &ReplayOpts::with_shards(2)
+                .ensemble_full(true)
+                .mode(EngineMode::Scoped),
+        );
+        assert_eq!(
+            r.models.len(),
+            8,
+            "{}: dpd + 7 full-roster challengers",
+            r.label
+        );
+        for (label, want) in pins {
+            let got = r.model_win_rate(label);
+            assert!(
+                (got - want).abs() <= TOLERANCE,
+                "{} {label} full-roster win rate drifted: got {got:.4}, \
+                 pinned {want:.4} ±{TOLERANCE:.4}",
+                r.label,
+            );
+            assert_eq!(
+                r.models.iter().find(|(l, _)| *l == label).unwrap().1,
+                s.models.iter().find(|(l, _)| *l == label).unwrap().1,
+                "{} {label}: per-model counters differ between execution modes",
+                r.label,
+            );
+        }
+        let served: u64 = r.models.iter().map(|(_, m)| m.champion_events).sum();
+        assert_eq!(
+            served, r.total.events_ingested,
+            "{}: championship shares must partition the events",
+            r.label
+        );
+    }
+}

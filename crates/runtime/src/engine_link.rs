@@ -48,8 +48,8 @@ use mpp_core::dpd::DpdConfig;
 pub use mpp_engine::{BackpressurePolicy, JobId, DEFAULT_JOB};
 use mpp_engine::{
     EngineConfig, FederatedClient, FederatedEngine, FederationConfig, FederationMetrics,
-    JobMetrics, Observation, PersistentEngine, RankId, SnapshotError, StreamKey, StreamKind,
-    TelemetrySnapshot,
+    JobMetrics, MigrateError, Observation, PersistentEngine, RankId, RebalanceReport, StreamKey,
+    StreamKind, TelemetrySnapshot,
 };
 use mpp_mpisim::{ArrivalOracle, OracleFactory, Rank, Tag};
 
@@ -206,11 +206,27 @@ impl EngineHandle {
 
     /// Moves `job`'s live state from federation member `from` to `to`
     /// and repins its routing, with predictions bit-identical across
-    /// the cut ([`FederatedEngine::migrate_job`]). Flush any client
-    /// that submitted `job`'s events (e.g. via a metrics round-trip)
-    /// before migrating — in-flight lane traffic is not dragged along.
-    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, SnapshotError> {
+    /// the cut ([`FederatedEngine::migrate_job`]). The source member is
+    /// drained first, so every event whose submission completed before
+    /// this call is carried along; stop *new* submissions for `job`
+    /// for the duration. Misuse (stale route, bad member index)
+    /// returns a typed [`MigrateError`] with both members untouched.
+    pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, MigrateError> {
         self.fed.migrate_job(job, from, to)
+    }
+
+    /// Quiesce barrier for `job`'s already-submitted ingest
+    /// ([`FederatedEngine::quiesce_job`]).
+    pub fn quiesce_job(&self, job: JobId) {
+        self.fed.quiesce_job(job);
+    }
+
+    /// Closes one epoch and runs the load-aware rebalancer
+    /// ([`FederatedEngine::rebalance_epoch`]): hot jobs migrate off
+    /// overloaded members when a [`FederationConfig::rebalance`] policy
+    /// is configured; plain epoch close otherwise.
+    pub fn rebalance_epoch(&self) -> RebalanceReport {
+        self.fed.rebalance_epoch()
     }
 
     /// Total streams resident in the engine.
