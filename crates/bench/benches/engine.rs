@@ -32,8 +32,9 @@
 use criterion::{black_box, criterion_group, Criterion, Throughput};
 use mpp_core::dpd::DpdConfig;
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, EnsembleConfig, FederatedEngine, FederationConfig,
-    Observation, PersistentEngine, Query, RebalanceConfig, StreamKey, StreamKind, TelemetryConfig,
+    BackpressurePolicy, DurabilityConfig, Engine, EngineConfig, EnsembleConfig, FederatedEngine,
+    FederationConfig, FlushPolicy, Observation, PersistentEngine, Query, RebalanceConfig,
+    StreamKey, StreamKind, TelemetryConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -229,6 +230,45 @@ fn measure_persistent_cfg(cfg: EngineConfig, batch: &[Observation], tb: usize) -
             start.elapsed()
         }),
     )
+}
+
+/// Durable (or, with `flush: None`, log-free) single-shard persistent
+/// ingest rate. Unlike the per-batch measurements, this times the
+/// *whole* window and closes it with a `sync_wal` durability barrier:
+/// the observation log is written by a dedicated thread, so a
+/// per-batch min estimator would let the fsync cost escape the timed
+/// slice entirely. Whole-window timing charges the durable arm for
+/// every byte it promises is on disk; the off arm is timed identically
+/// (its barrier returns immediately) so the A/B stays symmetric. Each
+/// call logs into a fresh directory, removed afterwards.
+fn measure_wal(flush: Option<FlushPolicy>, batch: &[Observation], tb: usize) -> f64 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mpp-bench-wal-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let cfg = match flush {
+        Some(f) => config_with(1).with_durability(DurabilityConfig::new(&dir).with_flush(f)),
+        None => config_with(1),
+    };
+    let engine = PersistentEngine::new(cfg);
+    let client = engine.client();
+    client.observe_batch(batch); // warm: slots, interners, leg buffers
+    client.metrics_total();
+    engine.sync_wal(); // warm-up frames on disk before the window opens
+    let start = Instant::now();
+    for _ in 0..tb {
+        client.observe_batch(batch);
+    }
+    black_box(client.metrics_total().events_ingested);
+    engine.sync_wal();
+    let rate = (batch.len() * tb) as f64 / start.elapsed().as_secs_f64().max(1e-12);
+    drop(client);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
 }
 
 /// Eviction-heavy scoped ingest (events/sec): the TTL is far shorter
@@ -667,6 +707,32 @@ fn write_bench_json(p: &Params) {
         );
     }
 
+    // WAL A/B: the identical single-shard workload with the
+    // observation log off and on, one arm per flush policy. Whole
+    // windows closed by a sync_wal barrier (see `measure_wal`), arms
+    // interleaved within each best-of run. every_batch is the honest
+    // price of per-batch durability; every_n(64) and on_rotate show
+    // what relaxing the fsync cadence buys back.
+    const WAL_ARMS: [(&str, Option<FlushPolicy>); 4] = [
+        ("off", None),
+        ("every_batch", Some(FlushPolicy::EveryBatch)),
+        ("every_n_64", Some(FlushPolicy::EveryN(64))),
+        ("on_rotate", Some(FlushPolicy::OnRotate)),
+    ];
+    let mut wal = [0.0f64; WAL_ARMS.len()];
+    for _ in 0..p.runs {
+        for (slot, &(_, flush)) in wal.iter_mut().zip(WAL_ARMS.iter()) {
+            *slot = slot.max(measure_wal(flush, &batch, p.timed_batches));
+        }
+    }
+    for (&(label, _), &rate) in WAL_ARMS.iter().zip(wal.iter()) {
+        println!(
+            "engine ingest  1 shard(s), wal A/B ({label}): {rate:>10.0} ev/s \
+             ({:+.2}% overhead vs off)",
+            100.0 * (wal[0] / rate.max(1e-12) - 1.0)
+        );
+    }
+
     // Churn section: eviction-heavy ingest, latency percentiles, and
     // the evict_lru cost sweep over resident-set sizes.
     let churn_rate = best_of(p.runs, || measure_ttl_churn(&batch, p.timed_batches));
@@ -762,6 +828,18 @@ fn write_bench_json(p: &Params) {
          always-predicting challengers observing and scoring every event on top of \
          the DPD bank), so overhead_pct is the honest price of online model \
          selection, not a near-zero instrumentation budget\"\n  }},\n  \
+         \"wal_overhead\": {{\n    \"shards\": 1,\n    \"cores\": {cores},\n    \
+         \"events_per_sec\": {{\"off\": {:.0}, \"every_batch\": {:.0}, \
+         \"every_n_64\": {:.0}, \"on_rotate\": {:.0}}},\n    \
+         \"overhead_pct\": {{\"every_batch\": {:.2}, \"every_n_64\": {:.2}, \
+         \"on_rotate\": {:.2}}},\n    \
+         \"method\": \"same fixed workload as results, 1 shard, observation log off \
+         vs on per flush policy; arms interleaved within each best-of run and each \
+         durable arm logs into a fresh directory; whole-window timing (all timed \
+         batches + a closing sync_wal durability barrier, best window across runs) \
+         rather than the per-batch min estimator, because the log is written by a \
+         dedicated thread and a per-batch minimum would let the fsync cost escape \
+         the timed slice; overhead_pct = off_rate/on_rate - 1\"\n  }},\n  \
          \"baseline_pr4\": {BASELINE_PR4},\n  \
          \"speedup_vs_baseline_pr4\": {{\n    \"scoped_1shard\": {:.3},\n    \
          \"persistent_1shard\": {:.3}\n  }},\n  \
@@ -792,6 +870,13 @@ fn write_bench_json(p: &Params) {
         ens[1].1,
         overhead_pct(ens[0]),
         overhead_pct(ens[1]),
+        wal[0],
+        wal[1],
+        wal[2],
+        wal[3],
+        overhead_pct((wal[0], wal[1])),
+        overhead_pct((wal[0], wal[2])),
+        overhead_pct((wal[0], wal[3])),
         scoped_1shard / BASELINE_PR4_SCOPED_1SHARD,
         single / BASELINE_PR4_PERSISTENT_1SHARD,
         best_multi / single.max(1e-12),

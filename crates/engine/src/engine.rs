@@ -47,6 +47,7 @@
 //! evictions regardless of TTL.
 
 use crate::metrics::{EngineMetrics, JobMetrics, ModelStats, ShardMetrics};
+use crate::oplog::DurabilityConfig;
 use crate::shard::Shard;
 use crate::snapshot::{
     decode_engine, decode_job, encode_engine, encode_job, EngineSnapshot, JobSnapshot,
@@ -249,6 +250,11 @@ pub struct EngineConfig {
     /// Champion/challenger ensemble; disabled by default (DPD-only,
     /// bit-identical to pre-ensemble builds). See [`EnsembleConfig`].
     pub ensemble: EnsembleConfig,
+    /// Persistent mode only: durable observation log + snapshot store
+    /// for crash recovery (see [`crate::oplog`]). `None` — the default
+    /// — keeps the pre-durability behaviour: nothing is written, a
+    /// crash loses everything since the last explicit snapshot.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -262,6 +268,7 @@ impl Default for EngineConfig {
             backpressure: BackpressurePolicy::Block,
             telemetry: TelemetryConfig::default(),
             ensemble: EnsembleConfig::default(),
+            durability: None,
         }
     }
 }
@@ -308,6 +315,13 @@ impl EngineConfig {
         self
     }
 
+    /// Enables the durable observation log rooted at
+    /// `durability.dir` (persistent mode; see [`crate::oplog`]).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.shards > 0, "engine needs at least one shard");
         assert!(
@@ -315,6 +329,9 @@ impl EngineConfig {
             "observe_queue_cap must be positive (use None for unbounded lanes)"
         );
         self.ensemble.validate();
+        if let Some(d) = &self.durability {
+            d.validate();
+        }
     }
 }
 

@@ -68,13 +68,20 @@ use crate::metrics::{
     merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
     ModelStats, ShardMetrics,
 };
-use crate::persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+use crate::oplog;
+use crate::persistent::{
+    EngineClient, ObserveOutcome, PersistentEngine, RecoverError, RecoveryReport, SpawnError,
+    WorkerGone,
+};
 use crate::rebalance::{MemberLoad, RebalanceConfig, RebalancePlan, Rebalancer};
 use crate::snapshot::SnapshotError;
 use crate::types::{JobId, Observation, Query, RankId, StreamKey, DEFAULT_JOB};
 use mpp_telemetry::{FlightEvent, FlightKind, FlightRecorder, Histogram, TelemetrySnapshot};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -85,6 +92,98 @@ use std::time::Instant;
 #[inline]
 fn member_hash(job: JobId, members: usize) -> usize {
     (u64::from(job).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % members
+}
+
+/// Leading bytes of the persisted pin table.
+const PINS_MAGIC: [u8; 7] = *b"MPPPIN\0";
+
+/// Current pin-table format version.
+const PINS_VERSION: u32 = 1;
+
+fn pins_path(base: &Path) -> PathBuf {
+    base.join("pins.bin")
+}
+
+/// Writes the pin table atomically (temp file + fsync + rename) so a
+/// crash mid-write leaves either the old table or the new one, never a
+/// torn file. Format: magic, version, count, `(job, member)` pairs,
+/// trailing FNV-1a checksum over everything before it.
+fn save_pins(base: &Path, pins: &HashMap<JobId, usize>) -> io::Result<()> {
+    let mut entries: Vec<(JobId, usize)> = pins.iter().map(|(&j, &m)| (j, m)).collect();
+    entries.sort_unstable_by_key(|&(j, _)| j);
+    let mut buf = Vec::with_capacity(PINS_MAGIC.len() + 16 + entries.len() * 8);
+    buf.extend_from_slice(&PINS_MAGIC);
+    buf.extend_from_slice(&PINS_VERSION.to_le_bytes());
+    buf.extend_from_slice(
+        &u32::try_from(entries.len())
+            .expect("pin count fits u32")
+            .to_le_bytes(),
+    );
+    for (job, member) in entries {
+        buf.extend_from_slice(&job.to_le_bytes());
+        buf.extend_from_slice(
+            &u32::try_from(member)
+                .expect("member fits u32")
+                .to_le_bytes(),
+        );
+    }
+    let sum = oplog::fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    fs::create_dir_all(base)?;
+    let tmp = base.join(format!(".pins-tmp-{}", std::process::id()));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, pins_path(base))?;
+    Ok(())
+}
+
+/// Loads the persisted pin table; an absent file is an empty table. A
+/// malformed or checksum-failing file errs with `InvalidData` rather
+/// than silently dropping pins — lost pins would re-route migrated
+/// jobs to members that do not hold their state (delete `pins.bin` to
+/// accept hash routing explicitly).
+fn load_pins(base: &Path) -> io::Result<HashMap<JobId, usize>> {
+    let path = pins_path(base);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    let bad = |msg: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("pin table {}: {msg}", path.display()),
+        )
+    };
+    if bytes.len() < PINS_MAGIC.len() + 4 + 4 + 8 {
+        return Err(bad("truncated"));
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum.try_into().expect("8-byte checksum"));
+    if oplog::fnv1a(body) != stored {
+        return Err(bad("checksum mismatch"));
+    }
+    if body[..PINS_MAGIC.len()] != PINS_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = u32::from_le_bytes(body[7..11].try_into().expect("4-byte version"));
+    if version != PINS_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let count = u32::from_le_bytes(body[11..15].try_into().expect("4-byte count")) as usize;
+    let rest = &body[15..];
+    if rest.len() != count * 8 {
+        return Err(bad("entry count does not match file length"));
+    }
+    let mut pins = HashMap::with_capacity(count);
+    for chunk in rest.chunks_exact(8) {
+        let job = u32::from_le_bytes(chunk[..4].try_into().expect("4-byte job"));
+        let member = u32::from_le_bytes(chunk[4..].try_into().expect("4-byte member")) as usize;
+        pins.insert(job, member);
+    }
+    Ok(pins)
 }
 
 /// Deterministic epoch policy auto-sizing each member's observe-lane
@@ -206,6 +305,36 @@ impl FederationConfig {
     }
 }
 
+/// Per-member engine config for slot `i`: with durability configured,
+/// each member gets its own `member-{i}` subdirectory so member logs
+/// and snapshots never mix (they keep independent engine-time
+/// domains).
+fn member_config(cfg: &FederationConfig, i: usize) -> EngineConfig {
+    let mut member = cfg.member.clone();
+    if let Some(d) = member.durability.as_mut() {
+        d.dir = d.dir.join(format!("member-{i}"));
+    }
+    member
+}
+
+/// What [`FederatedEngine::recover`] rebuilt, per member plus the
+/// routing layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FedRecoveryReport {
+    /// One recovery report per member, indexed by member id.
+    pub members: Vec<RecoveryReport>,
+    /// Job pins restored from the persisted pin table.
+    pub pins_restored: usize,
+}
+
+impl FedRecoveryReport {
+    /// Total events recovered across the federation (snapshots + log
+    /// tails).
+    pub fn events(&self) -> u64 {
+        self.members.iter().map(RecoveryReport::events).sum()
+    }
+}
+
 /// Error surfaced when a member engine's shard worker is gone,
 /// attributed to the job whose batch leg hit the dead lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -271,6 +400,14 @@ pub enum MigrateError {
     /// The snapshot/restore leg failed (config mismatch between
     /// members, or a corrupt payload).
     Snapshot(SnapshotError),
+    /// A durable leg failed: a member checkpoint or the pin-table
+    /// write hit an I/O error (message preserved). Unlike the other
+    /// variants this can leave the migration partially applied *in
+    /// memory* — the job may be resident on both members until the
+    /// move is retried — but on-disk state is never torn (checkpoints
+    /// and the pin table are written atomically) and a crash recovers
+    /// to a consistent pre- or post-migration view.
+    Durability(String),
 }
 
 impl std::fmt::Display for MigrateError {
@@ -283,6 +420,7 @@ impl std::fmt::Display for MigrateError {
                 write!(f, "job {job} is served by member {serving}, not {from}")
             }
             MigrateError::Snapshot(e) => write!(f, "migration snapshot leg failed: {e}"),
+            MigrateError::Durability(msg) => write!(f, "migration durability leg failed: {msg}"),
         }
     }
 }
@@ -300,6 +438,19 @@ impl From<SnapshotError> for MigrateError {
     fn from(e: SnapshotError) -> Self {
         MigrateError::Snapshot(e)
     }
+}
+
+/// What one [`FederatedEngine::quiesce_job`] barrier drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiesceReport {
+    /// The quiesced job.
+    pub job: JobId,
+    /// The member whose lanes were drained (the job's current route).
+    pub member: usize,
+    /// Whether the job had resident streams on that member once the
+    /// barrier completed — `false` for unknown jobs and for jobs whose
+    /// state was already evicted or migrated away (the no-op cases).
+    pub resident: bool,
 }
 
 /// One member's entry in an [`FederatedEngine::end_epoch`] report.
@@ -349,6 +500,11 @@ struct FedInner {
     members: Vec<PersistentEngine>,
     /// Explicit job→member overrides; consulted before the hash.
     pins: RwLock<HashMap<JobId, usize>>,
+    /// Base durability directory (member `i` logs under
+    /// `member-{i}/`, the pin table in `pins.bin`). `None` for
+    /// in-memory federations and for [`FederatedEngine::from_members`]
+    /// wrappers, whose members own their directories individually.
+    durability: Option<PathBuf>,
     adaptive: Option<AdaptiveCapacity>,
     /// Load-aware placement state; present only when configured.
     rebalance: Option<Mutex<Rebalancer>>,
@@ -373,6 +529,16 @@ impl FedInner {
         match pins.get(&job) {
             Some(&m) => m,
             None => member_hash(job, self.members.len()),
+        }
+    }
+
+    /// Persists the pin table when the federation is durable (call
+    /// with the pins write lock held so writers serialize on the
+    /// atomic file swap).
+    fn persist_pins(&self, pins: &HashMap<JobId, usize>) -> io::Result<()> {
+        match &self.durability {
+            Some(base) => save_pins(base, pins),
+            None => Ok(()),
         }
     }
 }
@@ -404,21 +570,105 @@ impl FederatedEngine {
 
     /// Fallible constructor. Members already spawned when a later one
     /// fails are shut down by drop before the error returns.
+    ///
+    /// With [`EngineConfig::durability`] configured, member `i` logs
+    /// under `{dir}/member-{i}` (each member wipes its own
+    /// subdirectory, exactly like a fresh
+    /// [`PersistentEngine`](crate::PersistentEngine)), and any stale
+    /// pin table in `{dir}` is removed — a fresh federation must not
+    /// resurrect a previous run's routing. Use
+    /// [`FederatedEngine::recover`] to resume from existing state.
     pub fn try_new(cfg: FederationConfig) -> Result<Self, SpawnError> {
         cfg.validate();
         let members = (0..cfg.members)
-            .map(|_| PersistentEngine::try_new(cfg.member.clone()))
+            .map(|i| PersistentEngine::try_new(member_config(&cfg, i)))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::assemble(members, cfg.adaptive, cfg.rebalance))
+        let durability = cfg.member.durability.map(|d| d.dir);
+        if let Some(base) = &durability {
+            if let Err(e) = fs::remove_file(pins_path(base)) {
+                assert!(
+                    e.kind() == io::ErrorKind::NotFound,
+                    "cannot reset stale pin table in {}: {e}",
+                    base.display()
+                );
+            }
+        }
+        Ok(Self::assemble(
+            members,
+            cfg.adaptive,
+            cfg.rebalance,
+            durability,
+            HashMap::new(),
+        ))
+    }
+
+    /// Rebuilds a federation from its durability directory: recovers
+    /// every member from `{dir}/member-{i}` (newest valid snapshot +
+    /// observation-log tail, with the same corruption fallbacks as
+    /// [`PersistentEngine::recover`](crate::PersistentEngine::recover))
+    /// and restores the persisted pin table, so migrated jobs route
+    /// back to the members that hold their state. `cfg` must carry the
+    /// same member count and durability directory the crashed
+    /// federation ran with.
+    ///
+    /// Errs — never panics, never partially applies — when a member's
+    /// recovery fails hard (see
+    /// [`RecoverError`](crate::persistent::RecoverError)) or the pin
+    /// table is unreadable/corrupt (`RecoverError::Io` with
+    /// `InvalidData`; delete `pins.bin` to explicitly accept hash
+    /// routing instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` has no durability configured — recovery
+    /// without a directory is a caller bug, not a runtime condition.
+    pub fn recover(cfg: FederationConfig) -> Result<(Self, FedRecoveryReport), RecoverError> {
+        cfg.validate();
+        let base = cfg
+            .member
+            .durability
+            .as_ref()
+            .map(|d| d.dir.clone())
+            .expect("FederatedEngine::recover needs EngineConfig::durability configured");
+        let mut members = Vec::with_capacity(cfg.members);
+        let mut reports = Vec::with_capacity(cfg.members);
+        for i in 0..cfg.members {
+            let (eng, report) = PersistentEngine::recover(member_config(&cfg, i))?;
+            members.push(eng);
+            reports.push(report);
+        }
+        let pins = load_pins(&base)?;
+        if let Some((&job, &member)) = pins.iter().find(|&(_, &m)| m >= cfg.members) {
+            return Err(RecoverError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "pin table routes job {job} to member {member}, \
+                     but the federation has {} members",
+                    cfg.members
+                ),
+            )));
+        }
+        let pins_restored = pins.len();
+        let fed = Self::assemble(members, cfg.adaptive, cfg.rebalance, Some(base), pins);
+        Ok((
+            fed,
+            FedRecoveryReport {
+                members: reports,
+                pins_restored,
+            },
+        ))
     }
 
     /// Wraps already-running engines as federation members (member `i`
     /// is `members[i]`). The one-element case is the compatibility
     /// wrapper: every job routes to the lone engine, and job-0 traffic
-    /// is bit-identical to driving the engine directly.
+    /// is bit-identical to driving the engine directly. Members may be
+    /// individually durable, but the federation layer itself is not
+    /// (no shared directory — pins are not persisted); build with
+    /// [`FederationConfig`] for durable routing.
     pub fn from_members(members: Vec<PersistentEngine>) -> Self {
         assert!(!members.is_empty(), "federation needs at least one member");
-        Self::assemble(members, None, None)
+        Self::assemble(members, None, None, None, HashMap::new())
     }
 
     /// A single-member federation over a freshly spawned engine.
@@ -430,6 +680,8 @@ impl FederatedEngine {
         members: Vec<PersistentEngine>,
         adaptive: Option<AdaptiveCapacity>,
         rebalance: Option<RebalanceConfig>,
+        durability: Option<PathBuf>,
+        pins: HashMap<JobId, usize>,
     ) -> Self {
         let telemetry = members
             .iter()
@@ -446,7 +698,8 @@ impl FederatedEngine {
         FederatedEngine {
             inner: Arc::new(FedInner {
                 members,
-                pins: RwLock::new(HashMap::new()),
+                pins: RwLock::new(pins),
+                durability,
                 adaptive,
                 rebalance: rebalance.map(|cfg| Mutex::new(Rebalancer::new(cfg))),
                 epoch: AtomicU64::new(0),
@@ -481,40 +734,49 @@ impl FederatedEngine {
     /// Errs with [`MigrateError::MemberOutOfRange`] — without touching
     /// the pin table — when `member` is outside the federation, so
     /// automated callers (the rebalancer) racing a stale membership
-    /// view recover instead of panicking.
+    /// view recover instead of panicking; or with
+    /// [`MigrateError::Durability`] when the federation is durable and
+    /// the pin table cannot be written (the in-memory pin is applied
+    /// either way — routing and its persisted record never silently
+    /// diverge without a surfaced error).
     pub fn try_pin_job(&self, job: JobId, member: usize) -> Result<(), MigrateError> {
         let members = self.inner.members.len();
         if member >= members {
             return Err(MigrateError::MemberOutOfRange { member, members });
         }
+        let mut pins = self.inner.pins.write().expect("pins lock poisoned");
+        pins.insert(job, member);
         self.inner
-            .pins
-            .write()
-            .expect("pins lock poisoned")
-            .insert(job, member);
-        Ok(())
+            .persist_pins(&pins)
+            .map_err(|e| MigrateError::Durability(format!("cannot persist pin table: {e}")))
     }
 
     /// Panicking convenience over [`FederatedEngine::try_pin_job`] for
-    /// hand-written call sites where an out-of-range member is a
-    /// caller bug.
+    /// hand-written call sites where an out-of-range member (or a
+    /// failing durable pin-table write) is a caller/operator bug.
     ///
     /// # Panics
     ///
-    /// Panics when `member` is out of range.
+    /// Panics when `member` is out of range or the pin table cannot be
+    /// persisted.
     pub fn pin_job(&self, job: JobId, member: usize) {
         self.try_pin_job(job, member).unwrap_or_else(|e| {
-            panic!("pin target out of range: {e}");
+            panic!("pin failed: {e}");
         });
     }
 
     /// Removes `job`'s pin, returning it to the hash route.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the federation is durable and the pin table cannot
+    /// be rewritten.
     pub fn unpin_job(&self, job: JobId) {
+        let mut pins = self.inner.pins.write().expect("pins lock poisoned");
+        pins.remove(&job);
         self.inner
-            .pins
-            .write()
-            .expect("pins lock poisoned")
-            .remove(&job);
+            .persist_pins(&pins)
+            .unwrap_or_else(|e| panic!("cannot persist pin table: {e}"));
     }
 
     /// Quiesces `job`'s already-submitted ingest: blocks until every
@@ -527,20 +789,48 @@ impl FederatedEngine {
     /// *inside* an observe call for this job can land events after the
     /// barrier; concurrent ingest to jobs on *other* members is
     /// unaffected and always safe (pinned in `tests/federation.rs`).
-    pub fn quiesce_job(&self, job: JobId) {
-        self.inner.members[self.member_of(job)].client().drain();
+    ///
+    /// Idempotent by construction: draining an already-drained member
+    /// is a no-op barrier, and quiescing a job the federation has
+    /// never seen simply drains its hash-routed member. The returned
+    /// [`QuiesceReport`] says which member was drained and whether the
+    /// job actually had resident streams there — so orchestration code
+    /// can tell "quiesced real state" from "nothing to quiesce"
+    /// without a second query (`tests/federation.rs`).
+    pub fn quiesce_job(&self, job: JobId) -> QuiesceReport {
+        let member = self.member_of(job);
+        let client = self.inner.members[member].client();
+        client.drain();
+        QuiesceReport {
+            job,
+            member,
+            resident: client.resident_jobs().contains(&job),
+        }
     }
 
     /// Migrates `job` live from member `from` to member `to`,
     /// returning how many resident streams moved. The sequence is
-    /// drain-source → snapshot-on-source → restore-on-target →
-    /// extract-on-source → pin, so routing always points at a member
-    /// that holds the state: queries served mid-migration see the
-    /// source copy until the moment the route flips. The job's
-    /// predictor states, symbol histories, scoring rollup, and per-job
-    /// time-domain clock all move, so predictions after the cut are
-    /// bit-identical to an uninterrupted run (differential-tested in
-    /// `tests/federation.rs`).
+    /// drain-source → snapshot-on-source → restore-on-target → pin →
+    /// extract-on-source, so routing always points at a member that
+    /// holds the state: queries served mid-migration see the source
+    /// copy until the moment the route flips, then the (identical)
+    /// target copy. The job's predictor states, symbol histories,
+    /// scoring rollup, and per-job time-domain clock all move, so
+    /// predictions after the cut are bit-identical to an uninterrupted
+    /// run (differential-tested in `tests/federation.rs`).
+    ///
+    /// Durable federations add two checkpoint legs: the target member
+    /// checkpoints after the restore (restores travel the command
+    /// lanes, not the observation log — without an anchor a
+    /// post-migration crash on the target would recover without the
+    /// job) and the source checkpoints after the extraction (its log
+    /// still holds the job's observations — without an anchor a crash
+    /// would resurrect the moved job on the source). The pin is
+    /// persisted between them, so a crash in any window recovers to a
+    /// routable state: before the pin write the job recovers on the
+    /// source, after it on the target; a leftover copy on the other
+    /// member is unreachable by routing and reclaimable with
+    /// [`FederatedEngine::evict_job`].
     ///
     /// The source member is drained first (the
     /// [`FederatedEngine::quiesce_job`] barrier), so every observation
@@ -561,6 +851,10 @@ impl FederatedEngine {
     ///   [`MigrateError::Snapshot`] wrapping
     ///   [`SnapshotError::ConfigMismatch`] — shard counts may differ,
     ///   the streams re-partition).
+    ///
+    /// A failing durable leg errs with [`MigrateError::Durability`];
+    /// see that variant for the (in-memory-only) partial-application
+    /// caveat.
     pub fn migrate_job(&self, job: JobId, from: usize, to: usize) -> Result<usize, MigrateError> {
         let members = self.inner.members.len();
         if from >= members {
@@ -582,6 +876,7 @@ impl FederatedEngine {
         if from == to {
             return Ok(0);
         }
+        let durable = self.inner.durability.is_some();
         let src = self.inner.members[from].client();
         // Quiesce: everything submitted before this call is ingested
         // before the snapshot cut.
@@ -589,9 +884,26 @@ impl FederatedEngine {
         let snap = src.snapshot_job(job);
         // Restore on the target before extracting from the source: a
         // config mismatch fails here with both members unchanged.
-        let (_, moved) = self.inner.members[to].client().restore_job(&snap)?;
+        let dst = self.inner.members[to].client();
+        let (_, moved) = dst.restore_job(&snap)?;
+        // Anchor the restored copy on disk before the route flips
+        // (same client as the restore, so the lane FIFO guarantees the
+        // snapshot sees it).
+        if durable {
+            dst.checkpoint().map_err(|e| {
+                MigrateError::Durability(format!("checkpoint of target member {to} failed: {e}"))
+            })?;
+        }
+        self.try_pin_job(job, to)?;
         src.extract_job(job);
-        self.pin_job(job, to);
+        // Anchor the extraction: the source's log still holds the
+        // job's observations, and only a snapshot past them stops
+        // recovery from resurrecting the moved job here.
+        if durable {
+            src.checkpoint().map_err(|e| {
+                MigrateError::Durability(format!("checkpoint of source member {from} failed: {e}"))
+            })?;
+        }
         if let Some(tel) = self.inner.telemetry.as_ref() {
             tel.push_flight(FlightEvent {
                 at: self.inner.members[to].clock(),

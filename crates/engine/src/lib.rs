@@ -103,6 +103,7 @@
 pub mod engine;
 pub mod federation;
 pub mod metrics;
+pub mod oplog;
 pub mod persistent;
 pub mod rebalance;
 pub mod shard;
@@ -113,14 +114,19 @@ pub mod types;
 
 pub use engine::{BackpressurePolicy, Engine, EngineConfig, EnsembleConfig};
 pub use federation::{
-    AdaptiveCapacity, EpochCapacity, FederatedClient, FederatedEngine, FederationConfig,
-    FederationMetrics, FederationWorkerGone, MigrateError, RebalanceReport,
+    AdaptiveCapacity, EpochCapacity, FedRecoveryReport, FederatedClient, FederatedEngine,
+    FederationConfig, FederationMetrics, FederationWorkerGone, MigrateError, QuiesceReport,
+    RebalanceReport,
 };
 pub use metrics::{
     merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
     ModelStats, ShardMetrics,
 };
-pub use persistent::{EngineClient, ObserveOutcome, PersistentEngine, SpawnError, WorkerGone};
+pub use oplog::{DurabilityConfig, FlushPolicy, WalError, WAL_MAGIC, WAL_VERSION};
+pub use persistent::{
+    EngineClient, ObserveOutcome, PersistentEngine, RecoverError, RecoveryReport, SpawnError,
+    WorkerGone,
+};
 pub use rebalance::{
     JobLoad, MemberLoad, PlannedMove, RebalanceConfig, RebalancePlan, RebalanceSnapshot, Rebalancer,
 };

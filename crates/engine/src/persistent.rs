@@ -97,6 +97,7 @@ use crate::metrics::{
     merge_job_model_rollups, merge_job_rollups, merge_model_stats, EngineMetrics, JobMetrics,
     ModelStats, ShardMetrics,
 };
+use crate::oplog::{self, WalWriter};
 use crate::shard::Shard;
 use crate::snapshot::{
     check_config, decode_engine, decode_job, encode_engine, encode_job, ConfigKey, EngineSnapshot,
@@ -156,6 +157,91 @@ impl std::fmt::Display for SpawnError {
 impl std::error::Error for SpawnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.source)
+    }
+}
+
+/// What [`PersistentEngine::recover`] rebuilt, and from where.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Events carried in by the restored snapshot (its clock
+    /// watermark); zero when recovery started from an empty engine.
+    pub snapshot_events: u64,
+    /// Events replayed live from the observation-log tail past the
+    /// snapshot watermark.
+    pub wal_events: u64,
+    /// Snapshot files that failed validation (corrupt, torn, wrong
+    /// magic) and were skipped in favour of an older one.
+    pub snapshots_skipped: u32,
+    /// Whether the log had a torn or corrupt tail that was truncated
+    /// back to its last valid frame (also recorded as a
+    /// `wal_truncated` flight event when telemetry is on).
+    pub wal_truncated: bool,
+}
+
+impl RecoveryReport {
+    /// Total events the recovered engine holds (its clock).
+    pub fn events(&self) -> u64 {
+        self.snapshot_events + self.wal_events
+    }
+}
+
+/// Why [`PersistentEngine::recover`] could not rebuild an engine.
+/// Corrupt artifacts are *not* errors — they fall back (older
+/// snapshot, truncated log); these are the conditions with no
+/// documented fallback.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The filesystem failed underneath the durability directory.
+    Io(std::io::Error),
+    /// A snapshot decoded cleanly but was taken under an incompatible
+    /// configuration — recovering *around* it would silently serve
+    /// different semantics, so this surfaces instead.
+    Config(SnapshotError),
+    /// The log's oldest surviving frame starts past what the best
+    /// snapshot covers: the prefix in between is gone (files deleted
+    /// out from under the retention policy).
+    MissingPrefix {
+        /// Clock the best usable snapshot reaches.
+        covered: u64,
+        /// First stamp the surviving log resumes at.
+        log_starts_at: u64,
+    },
+    /// A shard worker died while the log tail was being replayed.
+    Replay(WorkerGone),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O error: {e}"),
+            RecoverError::Config(e) => write!(f, "snapshot rejects this config: {e}"),
+            RecoverError::MissingPrefix {
+                covered,
+                log_starts_at,
+            } => write!(
+                f,
+                "unrecoverable gap: snapshots cover events up to {covered} \
+                 but the log resumes at {log_starts_at}"
+            ),
+            RecoverError::Replay(e) => write!(f, "log replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Io(e) => Some(e),
+            RecoverError::Config(e) => Some(e),
+            RecoverError::Replay(e) => Some(e),
+            RecoverError::MissingPrefix { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
     }
 }
 
@@ -404,12 +490,126 @@ impl EngineTelemetry {
     }
 }
 
+/// Retained buffer bound for the WAL copy-buffer recycle lane: the
+/// log thread hands at most this many emptied buffers back for
+/// clients to reuse (beyond it they are simply dropped).
+const WAL_POOL_MAX_BUFFERS: usize = 32;
+
+/// One unit of work for the dedicated log-writer thread.
+enum WalMsg {
+    /// Append a frame: `obs` is a private copy of one submitted batch,
+    /// stamped `[base, base + obs.len())` on the global clock. The
+    /// emptied buffer is recycled through the WAL buffer lane.
+    Frame { base: u64, obs: Vec<Observation> },
+    /// Force pending frames to stable storage, then acknowledge — the
+    /// barrier behind [`PersistentEngine::sync_wal`].
+    Sync(Sender<()>),
+}
+
+/// Log-writer telemetry, shared between the writer thread and the
+/// clients that export it. Updated regardless of whether the
+/// telemetry layer is enabled (plain relaxed atomics); exported only
+/// through [`EngineClient::telemetry`].
+#[derive(Default)]
+struct WalCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    /// Events replayed from the log tail by the last recovery.
+    recovered_events: AtomicU64,
+    /// Appends or fsyncs the writer thread lost to filesystem errors
+    /// (each also logged to stderr once) — nonzero means the log has a
+    /// hole and recovery will stop at it.
+    io_errors: AtomicU64,
+    /// Fsync latency, one sample per fsync.
+    flush_ns: Histogram,
+}
+
+/// The durability hookup carried by `Inner` when
+/// [`EngineConfig::durability`] is set.
+struct WalState {
+    /// Frame lane into the writer thread.
+    tx: Sender<WalMsg>,
+    /// Emptied copy-buffers coming back from the writer thread;
+    /// clients `try_recv` one before falling back to allocation.
+    buf_rx: Receiver<Vec<Observation>>,
+    counters: Arc<WalCounters>,
+}
+
+/// The dedicated log-writer loop: drains frames off the observe path,
+/// appends them through [`WalWriter`] (rotation + flush policy), and
+/// recycles the copy buffers. Exits when every sender is gone,
+/// flushing whatever is pending first.
+fn wal_writer_loop(
+    mut writer: WalWriter,
+    rx: Receiver<WalMsg>,
+    buf_tx: Sender<Vec<Observation>>,
+    counters: Arc<WalCounters>,
+) {
+    let mut reported = false;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WalMsg::Frame { base, mut obs } => {
+                match writer.append(base, &obs) {
+                    Ok(stats) => {
+                        counters.frames.fetch_add(1, Ordering::Relaxed);
+                        counters.bytes.fetch_add(stats.bytes, Ordering::Relaxed);
+                        if stats.synced {
+                            counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                            counters.flush_ns.record(stats.sync_ns);
+                        }
+                    }
+                    Err(e) => {
+                        counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                        if !reported {
+                            eprintln!("mpp-engine WAL append failed (log has a hole): {e}");
+                            reported = true;
+                        }
+                    }
+                }
+                obs.clear();
+                if obs.capacity() <= POOL_MAX_EVENT_CAP && buf_tx.len() < WAL_POOL_MAX_BUFFERS {
+                    let _ = buf_tx.send(obs);
+                }
+            }
+            WalMsg::Sync(ack) => {
+                match writer.sync() {
+                    Ok(Some(ns)) => {
+                        counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        counters.flush_ns.record(ns);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                        if !reported {
+                            eprintln!("mpp-engine WAL fsync failed: {e}");
+                            reported = true;
+                        }
+                    }
+                }
+                let _ = ack.send(());
+            }
+        }
+    }
+    // Shutdown flush: nothing acknowledged durable is lost to a clean
+    // drop, whatever the policy.
+    if let Ok(Some(ns)) = writer.sync() {
+        counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        counters.flush_ns.record(ns);
+    }
+}
+
 /// Shared, thread-safe state: config, per-shard senders, the global
 /// engine-time clock, and the worker handles joined on drop.
 struct Inner {
     cfg: EngineConfig,
     senders: Vec<Sender<ShardCmd>>,
     workers: Vec<JoinHandle<()>>,
+    /// Durable-log hookup; `None` without [`EngineConfig::durability`].
+    wal: Option<WalState>,
+    /// The log-writer thread, joined on drop after `wal`'s sender is
+    /// gone.
+    wal_writer: Option<JoinHandle<()>>,
     /// Submission-side backpressure counters, one per shard lane.
     lanes: Vec<LaneStats>,
     /// Engine time: events stamped `1..=clock` have been submitted.
@@ -435,6 +635,13 @@ impl Drop for Inner {
     fn drop(&mut self) {
         self.senders.clear();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Closing the frame lane ends the writer loop after it drains
+        // and flushes; joining makes the final fsync happen-before the
+        // engine is gone.
+        self.wal = None;
+        if let Some(handle) = self.wal_writer.take() {
             let _ = handle.join();
         }
     }
@@ -628,8 +835,60 @@ impl PersistentEngine {
     /// owning one shard. On a failed spawn the already-started workers
     /// are shut down and joined before the error is returned, so a
     /// partial engine never leaks threads.
+    ///
+    /// With [`EngineConfig::durability`] set this is a **fresh start**:
+    /// any segments or snapshots already in the durability directory
+    /// belong to a previous life of the engine and are deleted (a new
+    /// engine's empty state must not mix with a stale log — recovery
+    /// would replay history this engine never saw). Use
+    /// [`PersistentEngine::recover`] to resume from existing state
+    /// instead. Panics if the durability directory cannot be prepared.
     pub fn try_new(cfg: EngineConfig) -> Result<Self, SpawnError> {
+        if let Some(d) = &cfg.durability {
+            let wipe = || -> std::io::Result<()> {
+                for seg in oplog::segment_files(&d.dir)? {
+                    std::fs::remove_file(&seg.path)?;
+                }
+                for (_, path) in oplog::snapshot_files(&d.dir)? {
+                    std::fs::remove_file(&path)?;
+                }
+                Ok(())
+            };
+            wipe()
+                .unwrap_or_else(|e| panic!("cannot reset durability dir {}: {e}", d.dir.display()));
+        }
+        Self::try_spawn(cfg)
+    }
+
+    /// Spawns workers (and the log-writer thread when durability is
+    /// configured) *without* touching existing log artifacts — the
+    /// writer appends after the last valid frame. Restore/recovery
+    /// paths use this; [`PersistentEngine::try_new`] wipes first.
+    fn try_spawn(cfg: EngineConfig) -> Result<Self, SpawnError> {
         cfg.validate();
+        let (wal, wal_writer) = match &cfg.durability {
+            Some(d) => {
+                let writer = WalWriter::open(d.clone())
+                    .unwrap_or_else(|e| panic!("cannot open WAL in {}: {e}", d.dir.display()));
+                let (tx, rx) = unbounded();
+                let (buf_tx, buf_rx) = unbounded();
+                let counters = Arc::new(WalCounters::default());
+                let thread_counters = Arc::clone(&counters);
+                let handle = std::thread::Builder::new()
+                    .name("mpp-wal-writer".into())
+                    .spawn(move || wal_writer_loop(writer, rx, buf_tx, thread_counters))
+                    .unwrap_or_else(|e| panic!("cannot spawn WAL writer thread: {e}"));
+                (
+                    Some(WalState {
+                        tx,
+                        buf_rx,
+                        counters,
+                    }),
+                    Some(handle),
+                )
+            }
+            None => (None, None),
+        };
         let mut senders = Vec::with_capacity(cfg.shards);
         let mut workers = Vec::with_capacity(cfg.shards);
         let lanes = (0..cfg.shards).map(|_| LaneStats::default()).collect();
@@ -662,6 +921,10 @@ impl PersistentEngine {
                     for handle in workers {
                         let _ = handle.join();
                     }
+                    drop(wal); // closes the frame lane
+                    if let Some(handle) = wal_writer {
+                        let _ = handle.join();
+                    }
                     return Err(SpawnError { shard: id, source });
                 }
             }
@@ -671,6 +934,8 @@ impl PersistentEngine {
                 cfg,
                 senders,
                 workers,
+                wal,
+                wal_writer,
                 lanes,
                 clock: AtomicU64::new(0),
                 job_clocks: RwLock::new(FxHashMap::default()),
@@ -778,6 +1043,13 @@ impl PersistentEngine {
     /// parameters ([`SnapshotError::ConfigMismatch`] otherwise);
     /// transport knobs are free to differ. Panics like
     /// [`PersistentEngine::new`] if a worker thread cannot be spawned.
+    ///
+    /// With [`EngineConfig::durability`] set, existing log artifacts
+    /// are *kept* and appended after (unlike
+    /// [`PersistentEngine::new`]) — the restored clock continues the
+    /// stamp sequence the log left off at. This is the recovery
+    /// building block; callers restoring a snapshot unrelated to the
+    /// directory's log should point durability at a fresh directory.
     pub fn restore(cfg: EngineConfig, bytes: &[u8]) -> Result<Self, SnapshotError> {
         let snap = decode_engine(bytes)?;
         check_config(
@@ -794,7 +1066,7 @@ impl PersistentEngine {
                 ensemble: &cfg.ensemble,
             },
         )?;
-        let eng = Self::new(cfg);
+        let eng = Self::try_spawn(cfg).unwrap_or_else(|e| panic!("{e}"));
         eng.inner.clock.store(snap.clock, Ordering::Relaxed);
         {
             let mut registry = eng.inner.job_clocks.write().unwrap();
@@ -810,6 +1082,125 @@ impl PersistentEngine {
             .collect();
         client.broadcast(|s| QueryBody::Restore(states[s].take().expect("one state per shard")));
         Ok(eng)
+    }
+
+    /// Blocks until every observation-log frame submitted before this
+    /// call is written *and fsynced* — a durability barrier over the
+    /// fire-and-forget log lane, regardless of the flush policy.
+    /// Returns `false` (trivially satisfied) when the engine has no
+    /// durability configured.
+    pub fn sync_wal(&self) -> bool {
+        let Some(wal) = self.inner.wal.as_ref() else {
+            return false;
+        };
+        let (ack_tx, ack_rx) = bounded(1);
+        if wal.tx.send(WalMsg::Sync(ack_tx)).is_err() {
+            return false;
+        }
+        ack_rx.recv().is_ok()
+    }
+
+    /// Rebuilds an engine from its durability directory: restores the
+    /// newest snapshot that validates (falling back to older ones past
+    /// corrupt files), repairs the observation log (a torn or corrupt
+    /// tail is truncated to the last valid frame — recorded in the
+    /// report and, with telemetry on, as a `wal_truncated` flight
+    /// event), then replays every log frame past the snapshot's
+    /// watermark through the live observe path. The recovered engine
+    /// keeps appending to the same log, so crash → recover → crash →
+    /// recover composes.
+    ///
+    /// With no usable snapshot, recovery replays the whole log into an
+    /// empty engine. Corruption never panics and is never partially
+    /// applied; the only hard failures are the [`RecoverError`]
+    /// conditions (I/O, config mismatch, an unrecoverable gap).
+    ///
+    /// Recovery is bit-identical to never having crashed for
+    /// everything the log retained: predictions, metrics, hit rates,
+    /// and ensemble `ModelStats` (`tests/wal.rs`). The single-writer
+    /// determinism caveat from [`EngineClient::snapshot`] applies, and
+    /// [`BackpressurePolicy::Shed`] engines forfeit the guarantee for
+    /// shed events (the log records submissions; shedding is
+    /// load-dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has no [`EngineConfig::durability`] (there is
+    /// nothing to recover from), or if workers cannot be spawned.
+    pub fn recover(cfg: EngineConfig) -> Result<(Self, RecoveryReport), RecoverError> {
+        let d = cfg
+            .durability
+            .clone()
+            .expect("recover() needs EngineConfig::durability");
+        std::fs::create_dir_all(&d.dir)?;
+        let scan = oplog::scan_log(&d.dir)?;
+        oplog::repair(&d.dir, &scan)?;
+        let mut report = RecoveryReport {
+            wal_truncated: scan.tear.is_some(),
+            ..RecoveryReport::default()
+        };
+
+        // Newest snapshot that validates wins; corrupt ones are
+        // skipped in favour of an older snapshot + a longer replay.
+        let mut restored: Option<PersistentEngine> = None;
+        for (_, path) in oplog::snapshot_files(&d.dir)?.iter().rev() {
+            let bytes = std::fs::read(path)?;
+            match Self::restore(cfg.clone(), &bytes) {
+                Ok(eng) => {
+                    restored = Some(eng);
+                    break;
+                }
+                Err(SnapshotError::ConfigMismatch(m)) => {
+                    return Err(RecoverError::Config(SnapshotError::ConfigMismatch(m)));
+                }
+                Err(_corrupt) => report.snapshots_skipped += 1,
+            }
+        }
+        let eng =
+            restored.unwrap_or_else(|| Self::try_spawn(cfg).unwrap_or_else(|e| panic!("{e}")));
+        report.snapshot_events = eng.clock();
+
+        // Replay the tail. Frames are stamp-sorted and contiguous
+        // after repair; the engine clock re-allocates the exact stamp
+        // ranges the original run did, so the replayed state is the
+        // original state. Replayed frames are not re-appended (they
+        // are already in the log).
+        let client = eng.client();
+        for frame in &scan.frames {
+            let end = frame.base + frame.obs.len() as u64;
+            let cur = eng.clock();
+            if end <= cur {
+                continue; // fully covered by the snapshot
+            }
+            if frame.base > cur {
+                return Err(RecoverError::MissingPrefix {
+                    covered: cur,
+                    log_starts_at: frame.base,
+                });
+            }
+            let skip = (cur - frame.base) as usize;
+            client
+                .observe_batch_inner(&frame.obs[skip..], false)
+                .map_err(RecoverError::Replay)?;
+        }
+        report.wal_events = eng.clock() - report.snapshot_events;
+        if let Some(wal) = eng.inner.wal.as_ref() {
+            wal.counters
+                .recovered_events
+                .store(report.wal_events, Ordering::Relaxed);
+        }
+        if let (Some(tear), Some(tel)) = (&scan.tear, eng.inner.telemetry.as_ref()) {
+            tel.push_flight(FlightEvent {
+                at: eng.clock(),
+                kind: FlightKind::WalTruncated,
+                member: 0,
+                shard: 0,
+                job: 0,
+                a: tear.dropped_bytes,
+                b: tear.offset,
+            });
+        }
+        Ok((eng, report))
     }
 
     /// Creates a client: a private, buffered lane into the engine. One
@@ -1083,6 +1474,18 @@ impl EngineClient {
     /// events) only if a shard worker is gone — the non-panicking path
     /// destructors need.
     pub fn try_observe_batch(&self, batch: &[Observation]) -> Result<ObserveOutcome, WorkerGone> {
+        self.observe_batch_inner(batch, true)
+    }
+
+    /// The submission path behind [`EngineClient::try_observe_batch`].
+    /// `log` is false only on the recovery replay path: replayed
+    /// frames are already in the observation log and must not be
+    /// re-appended.
+    fn observe_batch_inner(
+        &self,
+        batch: &[Observation],
+        log: bool,
+    ) -> Result<ObserveOutcome, WorkerGone> {
         let mut outcome = ObserveOutcome::default();
         if batch.is_empty() {
             return Ok(outcome);
@@ -1093,6 +1496,17 @@ impl EngineClient {
             .clock
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         let now = base + batch.len() as u64;
+        if log {
+            if let Some(wal) = self.inner.wal.as_ref() {
+                // One copy of the batch, into a buffer recycled from
+                // the writer thread, handed off the hot path; the
+                // writer owns framing, rotation, and fsync cadence.
+                let mut buf = wal.buf_rx.try_recv().unwrap_or_default();
+                buf.clear();
+                buf.extend_from_slice(batch);
+                let _ = wal.tx.send(WalMsg::Frame { base, obs: buf });
+            }
+        }
         self.drain_recycled();
         let stamped = self.inner.cfg.ttl.is_some();
         // Per-job stamp allocation: count each job's events, reserve one
@@ -1459,6 +1873,18 @@ impl EngineClient {
         total.add_counter("send_blocked", blocked);
         total.add_counter("shed_events", shed);
         total.merge_histogram("send_block_ns", tel.send_block_ns.snapshot());
+        if let Some(wal) = self.inner.wal.as_ref() {
+            let c = &wal.counters;
+            total.add_counter("wal_frames", c.frames.load(Ordering::Relaxed));
+            total.add_counter("wal_bytes", c.bytes.load(Ordering::Relaxed));
+            total.add_counter("wal_fsyncs", c.fsyncs.load(Ordering::Relaxed));
+            total.add_counter(
+                "wal_recovered_events",
+                c.recovered_events.load(Ordering::Relaxed),
+            );
+            total.add_counter("wal_io_errors", c.io_errors.load(Ordering::Relaxed));
+            total.merge_histogram("wal_flush_ns", c.flush_ns.snapshot());
+        }
         total.extend_flight(tel.flight.lock().unwrap().dump());
         total.sort_flight();
         Some(total)
@@ -1624,6 +2050,31 @@ impl EngineClient {
             job_clocks,
             shard_states,
         })
+    }
+
+    /// Takes a durable checkpoint: fsyncs the observation log, writes
+    /// a snapshot file named by the engine-time watermark into the
+    /// durability directory (atomically — temp file + rename), then
+    /// retires log segments and older snapshots the new anchor makes
+    /// redundant (the previous snapshot is kept as a corruption
+    /// fallback). Returns the watermark, or `Ok(None)` when the engine
+    /// has no durability configured.
+    ///
+    /// The watermark is read *before* the snapshot cut, so under
+    /// concurrent ingest the file name may undercount the state it
+    /// holds — retention errs conservative, never dropping frames a
+    /// recovery could still need. Same single-client consistency
+    /// contract as [`EngineClient::snapshot`].
+    pub fn checkpoint(&self) -> std::io::Result<Option<u64>> {
+        let Some(d) = self.inner.cfg.durability.as_ref() else {
+            return Ok(None);
+        };
+        self.engine().sync_wal();
+        let watermark = self.engine_time();
+        let bytes = self.snapshot();
+        oplog::write_snapshot_file(&d.dir, watermark, &bytes)?;
+        oplog::retain(&d.dir, watermark)?;
+        Ok(Some(watermark))
     }
 
     /// Serializes one job's slice of the engine — streams, summed

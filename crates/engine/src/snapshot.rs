@@ -101,12 +101,20 @@ pub enum SnapshotError {
         needed: usize,
         /// Bytes remaining.
         available: usize,
+        /// Byte offset into the snapshot file where the decoder was
+        /// positioned — where the cut begins, for `dd`/hex-dump
+        /// forensics on the damaged file.
+        offset: usize,
     },
     /// Bytes remain after the last decoded field — the length header
-    /// and the structure disagree.
+    /// and the structure disagree (a concatenated or padded file, or a
+    /// length header lying about its payload).
     TrailingBytes {
         /// Count of undecoded trailing bytes.
         extra: usize,
+        /// Byte offset into the snapshot file of the first undecoded
+        /// byte.
+        offset: usize,
     },
     /// The payload decodes but describes an impossible structure
     /// (bad enum tag, count overflow).
@@ -128,12 +136,20 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "snapshot payload corrupted: checksum {computed:#018x} != stored {stored:#018x}"
             ),
-            SnapshotError::Truncated { needed, available } => write!(
+            SnapshotError::Truncated {
+                needed,
+                available,
+                offset,
+            } => write!(
                 f,
-                "snapshot truncated: needed {needed} more bytes, {available} available"
+                "snapshot truncated at byte {offset}: needed {needed} more bytes, \
+                 {available} available"
             ),
-            SnapshotError::TrailingBytes { extra } => {
-                write!(f, "snapshot has {extra} undecoded trailing bytes")
+            SnapshotError::TrailingBytes { extra, offset } => {
+                write!(
+                    f,
+                    "snapshot has {extra} undecoded trailing bytes starting at byte {offset}"
+                )
             }
             SnapshotError::Malformed(what) => write!(f, "snapshot malformed: {what}"),
             SnapshotError::ConfigMismatch(what) => {
@@ -498,6 +514,10 @@ pub(crate) fn encode_job(snap: &JobSnapshot) -> Vec<u8> {
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Byte offset of `buf[0]` within the snapshot file, so errors can
+    /// report absolute file positions (the payload readers sit past
+    /// the 20-byte frame header).
+    base: usize,
 }
 
 impl<'a> Reader<'a> {
@@ -507,6 +527,7 @@ impl<'a> Reader<'a> {
             return Err(SnapshotError::Truncated {
                 needed: n,
                 available,
+                offset: self.base + self.pos,
             });
         }
         let out = &self.buf[self.pos..self.pos + n];
@@ -759,7 +780,11 @@ fn unframe(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     if bytes.len() < 8 || bytes[..8] != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let mut r = Reader { buf: bytes, pos: 8 };
+    let mut r = Reader {
+        buf: bytes,
+        pos: 8,
+        base: 0,
+    };
     let version = r.u32()?;
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::VersionMismatch {
@@ -777,16 +802,22 @@ fn unframe(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     if r.pos != bytes.len() {
         return Err(SnapshotError::TrailingBytes {
             extra: bytes.len() - r.pos,
+            offset: r.pos,
         });
     }
     Ok(payload)
 }
+
+/// Byte offset of the payload within a framed snapshot: magic (8) +
+/// version (4) + payload length (8).
+const PAYLOAD_BASE: usize = 8 + 4 + 8;
 
 pub(crate) fn decode_engine(bytes: &[u8]) -> Result<EngineSnapshot, SnapshotError> {
     let payload = unframe(bytes)?;
     let mut r = Reader {
         buf: payload,
         pos: 0,
+        base: PAYLOAD_BASE,
     };
     if r.u8()? != SCOPE_ENGINE {
         return Err(SnapshotError::ConfigMismatch(
@@ -813,6 +844,7 @@ pub(crate) fn decode_engine(bytes: &[u8]) -> Result<EngineSnapshot, SnapshotErro
     if r.pos != payload.len() {
         return Err(SnapshotError::TrailingBytes {
             extra: payload.len() - r.pos,
+            offset: r.base + r.pos,
         });
     }
     if shard_states.len() != shards as usize {
@@ -836,6 +868,7 @@ pub(crate) fn decode_job(bytes: &[u8]) -> Result<JobSnapshot, SnapshotError> {
     let mut r = Reader {
         buf: payload,
         pos: 0,
+        base: PAYLOAD_BASE,
     };
     if r.u8()? != SCOPE_JOB {
         return Err(SnapshotError::ConfigMismatch(
@@ -857,6 +890,7 @@ pub(crate) fn decode_job(bytes: &[u8]) -> Result<JobSnapshot, SnapshotError> {
     if r.pos != payload.len() {
         return Err(SnapshotError::TrailingBytes {
             extra: payload.len() - r.pos,
+            offset: r.base + r.pos,
         });
     }
     Ok(JobSnapshot {
@@ -1108,10 +1142,12 @@ mod tests {
         for cut in [9, 19, bytes.len() / 2, bytes.len() - 1] {
             match decode_engine(&bytes[..cut]) {
                 Err(
-                    SnapshotError::Truncated { .. }
-                    | SnapshotError::BadMagic
-                    | SnapshotError::ChecksumMismatch { .. },
-                ) => {}
+                    SnapshotError::Truncated { offset, .. }
+                    | SnapshotError::TrailingBytes { offset, .. },
+                ) => {
+                    assert!(offset <= cut, "cut at {cut}: offset {offset} past the cut");
+                }
+                Err(SnapshotError::BadMagic | SnapshotError::ChecksumMismatch { .. }) => {}
                 other => panic!("cut at {cut}: expected typed error, got {other:?}"),
             }
         }
@@ -1120,10 +1156,15 @@ mod tests {
     #[test]
     fn trailing_bytes_are_rejected() {
         let mut bytes = encode_engine(&sample_engine_snapshot());
+        let end = bytes.len();
         bytes.push(0);
         assert_eq!(
             decode_engine(&bytes),
-            Err(SnapshotError::TrailingBytes { extra: 1 })
+            Err(SnapshotError::TrailingBytes {
+                extra: 1,
+                offset: end
+            }),
+            "the reported offset points at the first undecoded byte"
         );
     }
 

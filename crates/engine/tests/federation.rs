@@ -730,3 +730,60 @@ fn dead_member_worker_attributes_job_and_member_and_spares_other_jobs() {
         "nothing landed on a healthy member in a single-job batch"
     );
 }
+
+/// Satellite of the durability PR: `quiesce_job` is idempotent and
+/// typed. Draining twice is a no-op barrier reporting the same route,
+/// and quiescing a job the federation has never seen drains its
+/// hash-routed member and reports `resident: false` — orchestration
+/// code (the rebalancer, operators scripting migrations) can call it
+/// defensively without special-casing.
+#[test]
+fn quiesce_job_is_idempotent_and_reports_residency() {
+    let fed = FederatedEngine::new(FederationConfig::new(2, 2));
+    let client = fed.client();
+    let job = (0..32u32)
+        .find(|&j| fed.member_of(j) == 0)
+        .expect("a job routed to member 0");
+    for i in 0..20u64 {
+        client.observe_batch(&[Observation::new(
+            jkey(job, (i % 2) as u32, StreamKind::Sender),
+            i % 3,
+        )]);
+    }
+
+    let first = fed.quiesce_job(job);
+    assert_eq!((first.job, first.member), (job, 0));
+    assert!(first.resident, "ingested job has resident streams");
+
+    // Double drain: same typed answer, nothing changes.
+    let second = fed.quiesce_job(job);
+    assert_eq!(second, first, "double drain is a no-op");
+    assert_eq!(
+        fed.job_metrics_of(job).events_ingested,
+        20,
+        "quiescing twice ingests nothing new"
+    );
+    assert_eq!(
+        client.predict(jkey(job, 0, StreamKind::Sender), 1),
+        client.predict(jkey(job, 0, StreamKind::Sender), 1),
+        "predictions unchanged across drains"
+    );
+
+    // Unknown job: drains the hash-routed member, reports no residency.
+    let unknown = (0..64u32)
+        .find(|&j| !fed.resident_jobs().contains(&j))
+        .expect("an unseen job id");
+    let report = fed.quiesce_job(unknown);
+    assert_eq!(report.job, unknown);
+    assert_eq!(report.member, fed.member_of(unknown));
+    assert!(!report.resident, "never-seen job has no resident streams");
+    assert_eq!(
+        fed.quiesce_job(unknown),
+        report,
+        "unknown-job drain is idempotent too"
+    );
+
+    // A quiesced-then-evicted job reports non-resident afterwards.
+    fed.evict_job(job);
+    assert!(!fed.quiesce_job(job).resident, "evicted state is gone");
+}

@@ -336,7 +336,7 @@ fn corrupted_snapshots_fail_typed() {
     padded.push(0);
     assert!(matches!(
         Engine::restore(cfg, &padded),
-        Err(SnapshotError::TrailingBytes { extra: 1 })
+        Err(SnapshotError::TrailingBytes { extra: 1, offset }) if offset == bytes.len()
     ));
 }
 
@@ -381,4 +381,46 @@ fn config_mismatch_fails_before_restoring() {
         ),
         Err(SnapshotError::ConfigMismatch(_))
     ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Regression satellite of the durability PR: snapshot files that
+    /// gained bytes — zero padding from a preallocating filesystem, or
+    /// two frames concatenated by a botched copy — are rejected as
+    /// [`SnapshotError::TrailingBytes`] whose `extra` counts exactly
+    /// the surplus and whose `offset` names the first undecoded byte,
+    /// never decoded partially and never a panic.
+    #[test]
+    fn padded_and_concatenated_snapshots_are_rejected_with_offsets(
+        pad in 1usize..96,
+        byte in 0u8..255,
+    ) {
+        let (engine, bytes) = trained_engine();
+        let cfg = engine.config().clone();
+
+        // Padding: any tail of repeated bytes after a valid frame.
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(byte, pad));
+        prop_assert_eq!(
+            Engine::restore(cfg.clone(), &padded).err(),
+            Some(SnapshotError::TrailingBytes {
+                extra: pad,
+                offset: bytes.len(),
+            })
+        );
+
+        // Concatenation: a second full frame (or any prefix of one —
+        // `pad` bytes of it) appended to the first.
+        let mut doubled = bytes.clone();
+        doubled.extend_from_slice(&bytes[..pad.min(bytes.len())]);
+        prop_assert_eq!(
+            Engine::restore(cfg, &doubled).err(),
+            Some(SnapshotError::TrailingBytes {
+                extra: pad.min(bytes.len()),
+                offset: bytes.len(),
+            })
+        );
+    }
 }

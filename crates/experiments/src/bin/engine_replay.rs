@@ -62,10 +62,26 @@
 //! covers the whole trace, with `restored`/`replayed` splitting the
 //! events carried in from the snapshot from those ingested live. Both
 //! flags require exactly one configuration and `--engines 1`.
+//!
+//! `--wal DIR` replays a single configuration through a *durable*
+//! persistent engine: every batch is appended to the segmented
+//! observation log under `DIR`, a snapshot checkpoint anchors the
+//! midpoint, and the log is fsynced before exit. `--recover DIR`
+//! rebuilds the engine from `DIR` (newest valid snapshot + log tail,
+//! truncating any torn frame) and replays only the trace events the
+//! recovered state had not yet ingested — so `--wal` run, killed at
+//! any moment, then `--recover` run, lands on the same final state as
+//! an uninterrupted replay (the CI kill-9 smoke does exactly that).
+//! Both flags require one configuration, `--engines 1`, persistent
+//! mode. Restored/recovered runs also audit their own accounting: if
+//! the engine's `events_ingested` disagrees with `restored +
+//! replayed`, or events went missing against the trace, the run exits
+//! nonzero.
 
-use mpp_engine::{BackpressurePolicy, TelemetrySnapshot};
+use mpp_engine::{BackpressurePolicy, DurabilityConfig, TelemetrySnapshot};
 use mpp_experiments::replay::{
-    replay, replay_from_snapshot, replay_to_snapshot, EngineMode, ReplayOpts, ReplayReport,
+    replay, replay_from_snapshot, replay_recover, replay_to_snapshot, replay_with_wal, EngineMode,
+    ReplayOpts, ReplayReport,
 };
 use mpp_experiments::CliArgs;
 use mpp_nasbench::{paper_configs, BenchId, BenchmarkConfig, Class};
@@ -217,6 +233,21 @@ fn main() {
         eprintln!("snapshots capture a single engine (--engines 1)");
         std::process::exit(2);
     }
+    let wal_dir = args.take_flag("--wal");
+    let recover_dir = args.take_flag("--recover");
+    if wal_dir.is_some() && recover_dir.is_some() {
+        eprintln!("--wal and --recover are mutually exclusive (log, then recover)");
+        std::process::exit(2);
+    }
+    let durable = wal_dir.is_some() || recover_dir.is_some();
+    if durable && (snapshot_path.is_some() || restore_path.is_some()) {
+        eprintln!("--wal/--recover manage their own snapshots (no --snapshot/--restore alongside)");
+        std::process::exit(2);
+    }
+    if durable && (engines > 1 || mode != EngineMode::Persistent) {
+        eprintln!("the observation log records a single persistent engine (--engines 1)");
+        std::process::exit(2);
+    }
     let telemetry_json = args.take_flag("--telemetry-json");
     let stats_every: Option<usize> = args.take_flag("--stats-every").map(|v| {
         v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
@@ -274,8 +305,10 @@ fn main() {
         .telemetry(telemetry)
         .stats_every(stats_every);
 
-    if (snapshot_path.is_some() || restore_path.is_some()) && configs.len() != 1 {
-        eprintln!("--snapshot/--restore need exactly one configuration (e.g. `cg 8 A`)");
+    if (snapshot_path.is_some() || restore_path.is_some() || durable) && configs.len() != 1 {
+        eprintln!(
+            "--snapshot/--restore/--wal/--recover need exactly one configuration (e.g. `cg 8 A`)"
+        );
         std::process::exit(2);
     }
     if let Some(path) = &snapshot_path {
@@ -318,14 +351,56 @@ fn main() {
         );
     }
     let mut json_entries = String::new();
+    let mut accounting_bad = false;
     for config in &configs {
-        let r = match &restore_bytes {
-            Some(bytes) => replay_from_snapshot(config, seed, &opts, bytes).unwrap_or_else(|e| {
-                eprintln!("failed to restore snapshot: {e}");
-                std::process::exit(1);
-            }),
-            None => replay(config, seed, &opts),
+        let mut recovery = None;
+        let r = if let Some(dir) = &wal_dir {
+            replay_with_wal(config, seed, &opts, DurabilityConfig::new(dir))
+        } else if let Some(dir) = &recover_dir {
+            match replay_recover(config, seed, &opts, DurabilityConfig::new(dir)) {
+                Ok((r, rec)) => {
+                    recovery = Some(rec);
+                    r
+                }
+                Err(e) => {
+                    eprintln!("failed to recover from {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match &restore_bytes {
+                Some(bytes) => {
+                    replay_from_snapshot(config, seed, &opts, bytes).unwrap_or_else(|e| {
+                        eprintln!("failed to restore snapshot: {e}");
+                        std::process::exit(1);
+                    })
+                }
+                None => replay(config, seed, &opts),
+            }
         };
+        // A restored/recovered run that loses or double-counts events
+        // would still print a plausible table — audit the split so CI
+        // catches it. `events_ingested` must be exactly the carried-in
+        // count plus the live-replayed count, and (minus shed losses)
+        // the whole trace must have landed.
+        if restore_bytes.is_some() || recover_dir.is_some() {
+            let ingested = r.total.events_ingested;
+            if ingested != r.restored_events + r.replayed_events
+                || ingested + r.total.shed_events != r.events as u64
+            {
+                eprintln!(
+                    "accounting mismatch for {}: events_ingested {} != restored {} + \
+                     replayed {} (trace {}, shed {})",
+                    r.label,
+                    ingested,
+                    r.restored_events,
+                    r.replayed_events,
+                    r.events,
+                    r.total.shed_events,
+                );
+                accounting_bad = true;
+            }
+        }
         if args.csv {
             println!(
                 "{},{},{},{:.4},{},{},{},{:.0},{},{},{},{},{},{},{},{}",
@@ -358,7 +433,21 @@ fn main() {
                 r.total.shed_events,
                 r.events_per_sec
             );
-            if r.restored_events > 0 {
+            if let Some(rec) = &recovery {
+                println!(
+                    "  [recover] {} events from the snapshot anchor + {} from the log tail, \
+                     {} replayed live ({} snapshot(s) skipped{})",
+                    rec.snapshot_events,
+                    rec.wal_events,
+                    r.events as u64 - rec.events(),
+                    rec.snapshots_skipped,
+                    if rec.wal_truncated {
+                        ", torn log tail truncated"
+                    } else {
+                        ""
+                    },
+                );
+            } else if r.restored_events > 0 {
                 println!(
                     "  [restore] {} events carried in from the snapshot, {} replayed live",
                     r.restored_events, r.replayed_events
@@ -433,5 +522,8 @@ fn main() {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
+    }
+    if accounting_bad {
+        std::process::exit(1);
     }
 }

@@ -51,7 +51,7 @@ const COUNTERS: [&str; 9] = [
 const CORE_HISTOGRAMS: [&str; 3] = ["observe_batch_ns", "observe_event_ns", "forecast_ns"];
 
 /// Flight-recorder kind labels the engine can emit.
-const FLIGHT_KINDS: [&str; 8] = [
+const FLIGHT_KINDS: [&str; 9] = [
     "eviction",
     "backpressure_block",
     "backpressure_shed",
@@ -60,6 +60,7 @@ const FLIGHT_KINDS: [&str; 8] = [
     "epoch_rebound",
     "job_migrated",
     "champion_swapped",
+    "wal_truncated",
 ];
 
 struct Checker {

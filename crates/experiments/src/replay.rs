@@ -6,9 +6,10 @@
 use mpp_core::dpd::DpdConfig;
 use mpp_core::PredictorKind;
 use mpp_engine::{
-    BackpressurePolicy, Engine, EngineConfig, EnsembleConfig, FederatedEngine, FederationConfig,
-    JobId, JobMetrics, ModelStats, Observation, PersistentEngine, RebalanceConfig, ShardMetrics,
-    SnapshotError, StreamKey, StreamKind, TelemetryConfig, TelemetrySnapshot,
+    BackpressurePolicy, DurabilityConfig, Engine, EngineConfig, EnsembleConfig, FederatedEngine,
+    FederationConfig, JobId, JobMetrics, ModelStats, Observation, PersistentEngine,
+    RebalanceConfig, RecoverError, RecoveryReport, ShardMetrics, SnapshotError, StreamKey,
+    StreamKind, TelemetryConfig, TelemetrySnapshot,
 };
 use mpp_nasbench::{run_config, BenchmarkConfig};
 use std::time::Instant;
@@ -693,6 +694,118 @@ pub fn replay_from_snapshot(
         }
     };
     Ok(report_of(config, events.len(), restored as u64, outcome))
+}
+
+/// Runs `config` and replays it through a *durable* persistent engine:
+/// every ingested batch is appended to the observation log under
+/// `durability.dir`, and a snapshot checkpoint is written at the
+/// [`snapshot_cut`] midpoint batch boundary (so recovery exercises
+/// both the snapshot anchor and the log tail past it). The log is
+/// fsynced before returning, making the whole replay crash-durable —
+/// and making a `kill -9` at *any* earlier moment recoverable via
+/// [`replay_recover`] (the CI kill-9 smoke does exactly that).
+/// Restricted to one persistent engine: the log records one engine's
+/// observation stream.
+pub fn replay_with_wal(
+    config: &BenchmarkConfig,
+    seed: u64,
+    opts: &ReplayOpts,
+    durability: DurabilityConfig,
+) -> ReplayReport {
+    assert!(
+        opts.engines == 1 && opts.mode == EngineMode::Persistent,
+        "the observation log records a single persistent engine \
+         (--engines 1, persistent mode)"
+    );
+    let trace = run_config(config, seed);
+    let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
+    let cfg = opts.engine_config().with_durability(durability);
+    let labels = roster_labels(&cfg.ensemble);
+    let engine = PersistentEngine::new(cfg);
+    let client = engine.client();
+    let cut = snapshot_cut(events.len());
+    let start = Instant::now();
+    let mut submitted = 0usize;
+    for chunk in events.chunks(REPLAY_BATCH) {
+        client.observe_batch(chunk);
+        submitted += chunk.len();
+        if submitted.saturating_sub(chunk.len()) < cut && submitted >= cut {
+            client
+                .checkpoint()
+                .expect("midpoint checkpoint")
+                .expect("durability is configured");
+        }
+    }
+    // Durability barrier: whatever the flush policy, everything
+    // submitted above is on stable storage when this returns.
+    engine.sync_wal();
+    let per_shard = client.metrics().shards;
+    let secs = start.elapsed().as_secs_f64();
+    let per_job = client.job_metrics();
+    let models = labels.iter().copied().zip(client.model_stats()).collect();
+    let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
+    let outcome = ReplayOutcome {
+        per_shard,
+        per_job,
+        models,
+        events_per_sec: events.len() as f64 / secs.max(1e-12),
+        telemetry,
+        intervals: Vec::new(),
+    };
+    report_of(config, events.len(), 0, outcome)
+}
+
+/// Recovers an engine from `durability.dir` (newest valid snapshot +
+/// observation-log tail) and replays exactly the trace events the
+/// recovered state had not yet ingested — the crash-recovery analogue
+/// of [`replay_from_snapshot`], with the skip count read from the
+/// recovered engine's own clock. The report's accounting follows the
+/// durability contract: `restored_events` counts only what the
+/// snapshot anchor carried in; events replayed from the log tail went
+/// through the live observe path and count as `replayed_events`
+/// (exactly like the trace remainder), so `telemetry_check`'s
+/// `events_ingested == restored + replayed` invariant holds across a
+/// crash.
+pub fn replay_recover(
+    config: &BenchmarkConfig,
+    seed: u64,
+    opts: &ReplayOpts,
+    durability: DurabilityConfig,
+) -> Result<(ReplayReport, RecoveryReport), RecoverError> {
+    assert!(
+        opts.engines == 1 && opts.mode == EngineMode::Persistent,
+        "recovery rebuilds a single persistent engine \
+         (--engines 1, persistent mode)"
+    );
+    let trace = run_config(config, seed);
+    let events = interleave_jobs(&trace_to_events(&trace), opts.jobs);
+    let cfg = opts.engine_config().with_durability(durability);
+    let labels = roster_labels(&cfg.ensemble);
+    let (engine, recovery) = PersistentEngine::recover(cfg)?;
+    let client = engine.client();
+    let skip = (recovery.events() as usize).min(events.len());
+    let start = Instant::now();
+    for chunk in events[skip..].chunks(REPLAY_BATCH) {
+        client.observe_batch(chunk);
+    }
+    engine.sync_wal();
+    let per_shard = client.metrics().shards;
+    let secs = start.elapsed().as_secs_f64();
+    let per_job = client.job_metrics();
+    let models = labels.iter().copied().zip(client.model_stats()).collect();
+    let telemetry = opts.telemetry.then(|| client.telemetry()).flatten();
+    let outcome = ReplayOutcome {
+        per_shard,
+        per_job,
+        models,
+        events_per_sec: (events.len() - skip) as f64 / secs.max(1e-12),
+        telemetry,
+        intervals: Vec::new(),
+    };
+    Ok((
+        report_of(config, events.len(), recovery.snapshot_events, outcome),
+        recovery,
+    ))
 }
 
 #[cfg(test)]

@@ -37,6 +37,10 @@ pub enum FlightKind {
     /// sustained scoring lead. `a` = `(stream-kind index << 32) | rank`,
     /// `b` = `(old champion's predictor tag << 8) | new champion's tag`.
     ChampionSwapped,
+    /// Crash recovery found a torn or corrupt tail in the observation
+    /// log and cut it back to the last valid frame. `a` = bytes
+    /// dropped, `b` = byte offset of the tear in its segment.
+    WalTruncated,
 }
 
 impl FlightKind {
@@ -51,6 +55,7 @@ impl FlightKind {
             FlightKind::EpochRebound => "epoch_rebound",
             FlightKind::JobMigrated => "job_migrated",
             FlightKind::ChampionSwapped => "champion_swapped",
+            FlightKind::WalTruncated => "wal_truncated",
         }
     }
 }
